@@ -1,0 +1,384 @@
+//! NL intent sketches.
+//!
+//! The baselines decode SQL from a *sketch* of the question: aggregate and
+//! superlative markers, condition spans with comparison operators, grouping
+//! and set-operation connectors. This mirrors how the paper's baselines
+//! decode a grammar sketch conditioned on the question, and it is exactly
+//! the layer that breaks down as questions get more paraphrased — producing
+//! the difficulty gradient of Table 1.
+
+use gar_sql::ast::{CmpOp, OrderDir, SetOp};
+
+/// One parsed comparison: `(lhs span, op, value, second value)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondSketch {
+    /// Tokens describing the left-hand column.
+    pub lhs: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Value text (number or string).
+    pub value: String,
+    /// Second value (for BETWEEN).
+    pub value2: Option<String>,
+    /// `true` when joined to the previous condition with OR.
+    pub or_with_prev: bool,
+}
+
+/// A parsed question sketch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Intent {
+    /// The projection segment ("the name and age of the employee").
+    pub head: String,
+    /// `how many` / `count` question.
+    pub count_question: bool,
+    /// `different` marker → DISTINCT.
+    pub distinct: bool,
+    /// Conditions.
+    pub conds: Vec<CondSketch>,
+    /// Superlative: (span, direction, count-based "most/fewest").
+    pub superlative: Option<(String, OrderDir, bool)>,
+    /// Explicit sort keys: (span, direction).
+    pub sort: Vec<(String, OrderDir)>,
+    /// `top N only`.
+    pub top_n: Option<u64>,
+    /// Group-by span ("for each X").
+    pub group: Option<String>,
+    /// Having conditions.
+    pub having: Vec<CondSketch>,
+    /// Compound tail.
+    pub compound: Option<(SetOp, Box<Intent>)>,
+}
+
+fn find_any<'a>(text: &'a str, patterns: &[&'a str]) -> Option<(usize, &'a str)> {
+    let mut best: Option<(usize, &str)> = None;
+    for p in patterns {
+        if let Some(i) = text.find(p) {
+            if best.map(|(bi, _)| i < bi).unwrap_or(true) {
+                best = Some((i, p));
+            }
+        }
+    }
+    best
+}
+
+/// Parse a question into an [`Intent`] sketch.
+pub fn parse_intent(question: &str) -> Intent {
+    let text = question
+        .to_lowercase()
+        .trim_end_matches(['?', '.', '!'])
+        .to_string();
+
+    // Compound connectors first (rightmost split keeps the left arm whole).
+    for (pat, op) in [
+        (" and also ", SetOp::Union),
+        (" that are also among ", SetOp::Intersect),
+        (" but not ", SetOp::Except),
+    ] {
+        if let Some(i) = text.find(pat) {
+            let left = &text[..i];
+            let right = &text[i + pat.len()..];
+            let mut intent = parse_intent(left);
+            intent.compound = Some((op, Box::new(parse_intent(right))));
+            return intent;
+        }
+    }
+
+    let mut intent = Intent::default();
+    let mut rest = text.clone();
+
+    // Superlative idioms.
+    for (pat, dir, count_based) in [
+        (" with the highest ", OrderDir::Desc, false),
+        (" with the most ", OrderDir::Desc, true),
+        (" with the largest ", OrderDir::Desc, false),
+        (" with the lowest ", OrderDir::Asc, false),
+        (" with the fewest ", OrderDir::Asc, true),
+        (" with the smallest ", OrderDir::Asc, false),
+    ] {
+        if let Some(i) = rest.find(pat) {
+            let tail = rest[i + pat.len()..].to_string();
+            let span = tail
+                .split(" for each ")
+                .next()
+                .unwrap_or(&tail)
+                .split(" per ")
+                .next()
+                .unwrap_or(&tail)
+                .to_string();
+            intent.superlative = Some((span.trim().to_string(), dir, count_based));
+            rest = format!("{} {}", &rest[..i], skip_span(&tail, &span));
+        }
+    }
+
+    // Explicit sort.
+    if let Some((i, sort_pat)) = find_any(&rest, &[" sorted by ", " ordered by "]) {
+        let tail = rest[i + sort_pat.len()..].to_string();
+        let sort_part = tail
+            .split(" top ")
+            .next()
+            .unwrap_or(&tail)
+            .split(" for each ")
+            .next()
+            .unwrap_or(&tail)
+            .to_string();
+        for key in sort_part.split(" then ") {
+            let (span, dir) = if let Some(s) = key.strip_suffix(" descending") {
+                (s, OrderDir::Desc)
+            } else if let Some(s) = key.strip_suffix(" ascending") {
+                (s, OrderDir::Asc)
+            } else {
+                (key, OrderDir::Asc)
+            };
+            intent.sort.push((span.trim().to_string(), dir));
+        }
+        rest = match tail.split(" top ").nth(1) {
+            Some(remainder) => format!("{} top {remainder}", &rest[..i]),
+            None => rest[..i].to_string(),
+        };
+    }
+
+    // top N only.
+    if let Some(i) = rest.find(" top ") {
+        let tail = &rest[i + 5..];
+        if let Some(n) = tail.split(' ').next().and_then(|w| w.parse::<u64>().ok()) {
+            intent.top_n = Some(n);
+            rest = rest[..i].to_string();
+        }
+    }
+
+    // having (before group, since "having" follows group text in templates).
+    if let Some(i) = rest.find(" having ") {
+        let tail = rest[i + " having ".len()..].to_string();
+        intent.having = parse_conditions(&tail);
+        rest = rest[..i].to_string();
+    }
+
+    // Group-by.
+    if let Some((i, pat)) = find_any(&rest, &[" for each ", " per ", " grouped by "]) {
+        let tail = rest[i + pat.len()..].to_string();
+        intent.group = Some(tail.trim().to_string());
+        rest = rest[..i].to_string();
+    }
+
+    // Conditions: whose / where / with (+ the common paraphrases).
+    if let Some((i, pat)) = find_any(
+        &rest,
+        &[" whose ", " where ", " with ", " for which ", " such that "],
+    ) {
+        let tail = rest[i + pat.len()..].to_string();
+        intent.conds = parse_conditions(&tail);
+        rest = rest[..i].to_string();
+    }
+
+    // Count-question heads.
+    for pat in [
+        "how many ",
+        "count the number of ",
+        "what is the total count of ",
+    ] {
+        if let Some(s) = rest.strip_prefix(pat) {
+            intent.count_question = true;
+            rest = s
+                .trim_end_matches(" are there")
+                .to_string();
+            break;
+        }
+    }
+
+    if rest.contains("different ") {
+        intent.distinct = true;
+        rest = rest.replace("different ", "");
+    }
+
+    intent.head = rest.trim().to_string();
+    intent
+}
+
+fn skip_span(tail: &str, span: &str) -> String {
+    tail[span.len().min(tail.len())..].to_string()
+}
+
+/// Parse a condition body ("age is more than 30 and name equals aurora").
+pub fn parse_conditions(body: &str) -> Vec<CondSketch> {
+    let mut out = Vec::new();
+    // Careful splitting: BETWEEN uses "and" internally; handle it first by
+    // scanning each and/or chunk and merging when an op is missing.
+    let mut chunks: Vec<(String, bool)> = Vec::new();
+    let mut remaining = body.to_string();
+    loop {
+        match find_any(&remaining, &[" and ", " or "]) {
+            Some((i, pat)) => {
+                chunks.push((remaining[..i].to_string(), pat == " or "));
+                remaining = remaining[i + pat.len()..].to_string();
+            }
+            None => {
+                chunks.push((remaining.clone(), false));
+                break;
+            }
+        }
+    }
+    // The or flag stored on a chunk describes its joint with the *next*
+    // chunk; shift to or_with_prev.
+    let mut i = 0;
+    while i < chunks.len() {
+        let (chunk, _) = &chunks[i];
+        let or_with_prev = if i == 0 {
+            false
+        } else {
+            chunks[i - 1].1
+        };
+        if let Some(mut c) = parse_one_condition(chunk) {
+            // BETWEEN consumed "x is between A" — the next chunk is "B".
+            if c.op == CmpOp::Between && c.value2.is_none() && i + 1 < chunks.len() {
+                c.value2 = Some(chunks[i + 1].0.trim().to_string());
+                i += 1;
+            }
+            c.or_with_prev = or_with_prev;
+            out.push(c);
+        }
+        i += 1;
+    }
+    out
+}
+
+const OP_PHRASES: &[(&str, CmpOp)] = &[
+    (" is more than ", CmpOp::Gt),
+    (" is greater than ", CmpOp::Gt),
+    (" is above ", CmpOp::Gt),
+    (" is at least ", CmpOp::Ge),
+    (" is less than ", CmpOp::Lt),
+    (" is below ", CmpOp::Lt),
+    (" is at most ", CmpOp::Le),
+    (" is not among ", CmpOp::NotIn),
+    (" is among ", CmpOp::In),
+    (" is not ", CmpOp::Ne),
+    (" does not contain ", CmpOp::NotLike),
+    (" contains ", CmpOp::Like),
+    (" is between ", CmpOp::Between),
+    (" equals ", CmpOp::Eq),
+    (" is ", CmpOp::Eq),
+    (" over ", CmpOp::Gt),
+];
+
+fn parse_one_condition(chunk: &str) -> Option<CondSketch> {
+    for (phrase, op) in OP_PHRASES {
+        if let Some(i) = chunk.find(phrase) {
+            let lhs = chunk[..i].trim().to_string();
+            let value = chunk[i + phrase.len()..].trim().to_string();
+            if lhs.is_empty() || value.is_empty() {
+                continue;
+            }
+            return Some(CondSketch {
+                lhs,
+                op: *op,
+                value,
+                value2: None,
+                or_with_prev: false,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_head() {
+        let i = parse_intent("Show the name of the employee");
+        assert_eq!(i.head, "show the name of the employee");
+        assert!(i.conds.is_empty());
+        assert!(!i.count_question);
+    }
+
+    #[test]
+    fn parses_count_question() {
+        let i = parse_intent("How many employees are there?");
+        assert!(i.count_question);
+        assert_eq!(i.head, "employees");
+    }
+
+    #[test]
+    fn parses_condition_with_operator() {
+        let i = parse_intent("List the name of the employee whose age is more than 30");
+        assert_eq!(i.conds.len(), 1);
+        assert_eq!(i.conds[0].op, CmpOp::Gt);
+        assert_eq!(i.conds[0].lhs, "age");
+        assert_eq!(i.conds[0].value, "30");
+    }
+
+    #[test]
+    fn parses_and_or_chains() {
+        let i = parse_intent(
+            "Show the name whose age is more than 30 and city equals paris or age is below 20",
+        );
+        assert_eq!(i.conds.len(), 3);
+        assert!(!i.conds[1].or_with_prev);
+        assert!(i.conds[2].or_with_prev);
+    }
+
+    #[test]
+    fn parses_superlative() {
+        let i = parse_intent("Find the name of the employee with the highest salary");
+        let (span, dir, count) = i.superlative.unwrap();
+        assert_eq!(span, "salary");
+        assert_eq!(dir, OrderDir::Desc);
+        assert!(!count);
+    }
+
+    #[test]
+    fn parses_most_as_count_superlative() {
+        let i = parse_intent("Which city has the employees with the most evaluations");
+        let (_, dir, count) = i.superlative.unwrap();
+        assert_eq!(dir, OrderDir::Desc);
+        assert!(count);
+    }
+
+    #[test]
+    fn parses_group() {
+        let i = parse_intent("Show the number of games for each club");
+        assert_eq!(i.group.as_deref(), Some("club"));
+    }
+
+    #[test]
+    fn parses_compound_except() {
+        let i = parse_intent(
+            "Show the name whose age is above 50 but not show the name whose age is below 30",
+        );
+        let (op, rhs) = i.compound.unwrap();
+        assert_eq!(op, SetOp::Except);
+        assert_eq!(rhs.conds.len(), 1);
+        assert_eq!(rhs.conds[0].op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn parses_between_with_internal_and() {
+        let conds = parse_conditions("age is between 20 and 30 and city is paris");
+        assert_eq!(conds.len(), 2);
+        assert_eq!(conds[0].op, CmpOp::Between);
+        assert_eq!(conds[0].value, "20");
+        assert_eq!(conds[0].value2.as_deref(), Some("30"));
+        assert_eq!(conds[1].op, CmpOp::Eq);
+    }
+
+    #[test]
+    fn parses_sorted_by_with_top() {
+        let i = parse_intent("List the name sorted by age descending top 3 only");
+        assert_eq!(i.sort.len(), 1);
+        assert_eq!(i.sort[0].1, OrderDir::Desc);
+        assert_eq!(i.top_n, Some(3));
+    }
+
+    #[test]
+    fn distinct_marker() {
+        let i = parse_intent("Show the different cities of the store");
+        assert!(i.distinct);
+        assert!(!i.head.contains("different"));
+    }
+
+    #[test]
+    fn unparseable_condition_yields_empty() {
+        assert!(parse_conditions("total gibberish without operators").is_empty());
+    }
+}

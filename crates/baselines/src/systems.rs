@@ -1,0 +1,834 @@
+//! The four baseline NL2SQL systems.
+//!
+//! Each baseline is a schema-linking + sketch-decoding translator whose
+//! capability envelope mirrors the published architecture it stands in for
+//! (see DESIGN.md §1 for the substitution argument):
+//!
+//! - **BRIDGE-like** — exact lexical anchors, no synonym knowledge, no
+//!   nested or compound sketches;
+//! - **RAT-SQL-like** — relation-aware (partial) linking, grouping support,
+//!   no nested subqueries;
+//! - **GAP-like** — pre-training proxy (synonym lexicon) on top of RAT-SQL;
+//!   drops the join condition when several foreign keys connect a table
+//!   pair (its Fig. 7 failure mode);
+//! - **SMBOP-like** — bottom-up composition with the widest coverage
+//!   (nested + compound), but bails out with a degenerate tree on very
+//!   complex questions (the paper observes it "fails on almost all Extra
+//!   Hard queries and returns invalid queries").
+
+use crate::linker::{best_column_for, rank_tables, ColumnHit, LinkerConfig};
+use crate::sketch::{parse_intent, CondSketch, Intent};
+use gar_benchmarks::GeneratedDb;
+use gar_ltr::tokenize;
+use gar_nl::Lexicon;
+use gar_sql::ast::*;
+
+/// A system that translates NL questions to SQL over a database.
+pub trait Nl2SqlSystem {
+    /// Display name (matches the paper's tables).
+    fn name(&self) -> &str;
+
+    /// Translate; `None` when the system cannot produce any query.
+    fn translate(&self, db: &GeneratedDb, question: &str) -> Option<Query>;
+}
+
+/// Capability envelope of one baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Linker strictness.
+    pub linker: LinkerConfig,
+    /// Understands `for each` grouping.
+    pub handles_group: bool,
+    /// Can emit nested subqueries.
+    pub handles_nested: bool,
+    /// Can emit set operations.
+    pub handles_compound: bool,
+    /// Emits `ON` conditions even when several FKs connect the tables.
+    /// (`false` reproduces GAP's missing-join-condition failures.)
+    pub robust_join_conditions: bool,
+    /// Bails out with a degenerate query when the sketch complexity
+    /// exceeds this many components (SMBOP's Extra-Hard behaviour);
+    /// `usize::MAX` disables bailing.
+    pub bail_complexity: usize,
+}
+
+/// A configured baseline system.
+#[derive(Debug, Clone)]
+pub struct BaselineSystem {
+    profile: SystemProfile,
+    lexicon: Lexicon,
+}
+
+/// The BRIDGE-like baseline.
+pub fn bridge() -> BaselineSystem {
+    BaselineSystem::new(SystemProfile {
+        name: "BRIDGE",
+        linker: LinkerConfig {
+            partial: false,
+            synonyms: false,
+        },
+        handles_group: true,
+        handles_nested: false,
+        handles_compound: false,
+        robust_join_conditions: true,
+        bail_complexity: usize::MAX,
+    })
+}
+
+/// The RAT-SQL-like baseline.
+pub fn ratsql() -> BaselineSystem {
+    BaselineSystem::new(SystemProfile {
+        name: "RAT-SQL",
+        linker: LinkerConfig {
+            partial: true,
+            synonyms: false,
+        },
+        handles_group: true,
+        handles_nested: false,
+        handles_compound: true,
+        robust_join_conditions: true,
+        bail_complexity: usize::MAX,
+    })
+}
+
+/// The GAP-like baseline.
+pub fn gap() -> BaselineSystem {
+    BaselineSystem::new(SystemProfile {
+        name: "GAP",
+        linker: LinkerConfig {
+            partial: true,
+            synonyms: true,
+        },
+        handles_group: true,
+        handles_nested: true,
+        handles_compound: false,
+        robust_join_conditions: false,
+        bail_complexity: usize::MAX,
+    })
+}
+
+/// The SMBOP-like baseline.
+pub fn smbop() -> BaselineSystem {
+    BaselineSystem::new(SystemProfile {
+        name: "SMBOP",
+        linker: LinkerConfig {
+            partial: true,
+            synonyms: true,
+        },
+        handles_group: true,
+        handles_nested: true,
+        handles_compound: true,
+        robust_join_conditions: true,
+        bail_complexity: 5,
+    })
+}
+
+/// All four baselines in the paper's comparison order.
+pub fn all_baselines() -> Vec<BaselineSystem> {
+    vec![gap(), smbop(), ratsql(), bridge()]
+}
+
+impl Nl2SqlSystem for BaselineSystem {
+    fn name(&self) -> &str {
+        self.profile.name
+    }
+
+    fn translate(&self, db: &GeneratedDb, question: &str) -> Option<Query> {
+        let intent = parse_intent(question);
+        self.build(db, &intent, 0)
+    }
+}
+
+impl BaselineSystem {
+    fn new(profile: SystemProfile) -> Self {
+        BaselineSystem {
+            profile,
+            lexicon: Lexicon::builtin(),
+        }
+    }
+
+    /// The system's capability profile.
+    pub fn profile(&self) -> &SystemProfile {
+        &self.profile
+    }
+
+    fn complexity(intent: &Intent) -> usize {
+        intent.conds.len()
+            + intent.having.len()
+            + usize::from(intent.group.is_some())
+            + usize::from(intent.superlative.is_some())
+            + 2 * usize::from(intent.compound.is_some())
+            + intent.sort.len()
+            + intent
+                .conds
+                .iter()
+                .filter(|c| matches!(c.op, CmpOp::In | CmpOp::NotIn))
+                .count()
+    }
+
+    fn build(&self, db: &GeneratedDb, intent: &Intent, depth: usize) -> Option<Query> {
+        if depth > 2 {
+            return None;
+        }
+        let schema = &db.schema;
+        let head_tokens = tokenize(&intent.head);
+
+        // SMBOP-style bail-out: emit the cheapest tree it can assemble.
+        if Self::complexity(intent) >= self.profile.bail_complexity {
+            let t = rank_tables(schema, &head_tokens, &self.lexicon, self.profile.linker)
+                .into_iter()
+                .next()?;
+            let table = schema.table(&t.0)?;
+            let col = table.columns.first()?;
+            return Some(Query::simple(
+                &table.name,
+                vec![ColExpr::plain(ColumnRef::new(&table.name, &col.name))],
+            ));
+        }
+
+        // Primary table.
+        let ranked = rank_tables(schema, &head_tokens, &self.lexicon, self.profile.linker);
+        let primary = ranked
+            .first()
+            .filter(|(_, s)| *s > 0.0)
+            .map(|(t, _)| t.clone());
+
+        // Projection.
+        let mut items: Vec<ColExpr> = Vec::new();
+        let mut used_tables: Vec<String> = Vec::new();
+        if intent.count_question {
+            items.push(ColExpr::count_star());
+            if let Some(t) = &primary {
+                push_unique(&mut used_tables, t.clone());
+            }
+        } else {
+            for segment in split_head(&intent.head) {
+                let (agg, span) = strip_agg(&segment);
+                let span_tokens = tokenize(&span);
+                let hit = best_column_for(
+                    schema,
+                    &span_tokens,
+                    &self.lexicon,
+                    self.profile.linker,
+                    primary.as_deref(),
+                );
+                if let Some(ColumnHit { table, column, .. }) = hit {
+                    push_unique(&mut used_tables, table.clone());
+                    items.push(ColExpr {
+                        agg,
+                        distinct: false,
+                        col: ColumnRef::new(&table, &column),
+                    });
+                }
+            }
+            if items.is_empty() {
+                // Fall back to the primary table's first non-key column.
+                let t = primary.clone().or_else(|| ranked.first().map(|(t, _)| t.clone()))?;
+                let table = schema.table(&t)?;
+                let col = table
+                    .columns
+                    .iter()
+                    .find(|c| !c.name.ends_with("_id"))
+                    .or_else(|| table.columns.first())?;
+                push_unique(&mut used_tables, t.clone());
+                items.push(ColExpr::plain(ColumnRef::new(&t, &col.name)));
+            }
+        }
+
+        // Conditions.
+        let mut preds: Vec<Predicate> = Vec::new();
+        let mut conns: Vec<BoolConn> = Vec::new();
+        for c in &intent.conds {
+            if let Some(p) = self.build_predicate(db, c, primary.as_deref(), depth) {
+                if let Some(t) = &p.lhs.col.table {
+                    push_unique(&mut used_tables, t.clone());
+                }
+                if !preds.is_empty() {
+                    conns.push(if c.or_with_prev {
+                        BoolConn::Or
+                    } else {
+                        BoolConn::And
+                    });
+                }
+                preds.push(p);
+            }
+        }
+
+        // Grouping.
+        let mut group_by: Vec<ColumnRef> = Vec::new();
+        let mut having: Option<Condition> = None;
+        if self.profile.handles_group {
+            if let Some(gspan) = &intent.group {
+                if let Some(hit) = best_column_for(
+                    schema,
+                    &tokenize(gspan),
+                    &self.lexicon,
+                    self.profile.linker,
+                    primary.as_deref(),
+                ) {
+                    push_unique(&mut used_tables, hit.table.clone());
+                    let gcol = ColumnRef::new(&hit.table, &hit.column);
+                    // Canonical grouped projection: key first.
+                    if !items.iter().any(|i| i.col == gcol) {
+                        items.insert(0, ColExpr::plain(gcol.clone()));
+                    }
+                    group_by.push(gcol);
+                }
+            }
+            if !intent.having.is_empty() && !group_by.is_empty() {
+                let mut hp = Vec::new();
+                for c in &intent.having {
+                    if let Some(p) = self.build_having_predicate(c) {
+                        hp.push(p);
+                    }
+                }
+                if !hp.is_empty() {
+                    let n = hp.len();
+                    having = Some(Condition {
+                        preds: hp,
+                        conns: vec![BoolConn::And; n - 1],
+                    });
+                }
+            }
+        }
+
+        // Ordering.
+        let mut order_by: Option<OrderClause> = None;
+        let mut limit: Option<u64> = intent.top_n;
+        if let Some((span, dir, count_based)) = &intent.superlative {
+            if *count_based {
+                // "most X" → group by the projection key, order by COUNT(*).
+                if let Some(first) = items.first() {
+                    if first.agg.is_none() && group_by.is_empty() {
+                        group_by.push(first.col.clone());
+                    }
+                }
+                order_by = Some(OrderClause {
+                    items: vec![OrderItem {
+                        expr: ColExpr::count_star(),
+                        dir: *dir,
+                    }],
+                });
+                limit = Some(1);
+                // The "most X" span names the counted entity; link it as a
+                // join table when it matches one.
+                let span_tokens = tokenize(span);
+                for (t, s) in rank_tables(schema, &span_tokens, &self.lexicon, self.profile.linker)
+                {
+                    if s >= 0.5 {
+                        push_unique(&mut used_tables, t);
+                        break;
+                    }
+                }
+            } else {
+                let (agg, span2) = strip_agg(span);
+                if let Some(hit) = best_column_for(
+                    schema,
+                    &tokenize(&span2),
+                    &self.lexicon,
+                    self.profile.linker,
+                    primary.as_deref(),
+                ) {
+                    push_unique(&mut used_tables, hit.table.clone());
+                    order_by = Some(OrderClause {
+                        items: vec![OrderItem {
+                            expr: ColExpr {
+                                agg,
+                                distinct: false,
+                                col: ColumnRef::new(&hit.table, &hit.column),
+                            },
+                            dir: *dir,
+                        }],
+                    });
+                    limit = Some(1);
+                }
+            }
+        } else if !intent.sort.is_empty() {
+            let mut oitems = Vec::new();
+            for (span, dir) in &intent.sort {
+                let (agg, span2) = strip_agg(span);
+                if let Some(hit) = best_column_for(
+                    schema,
+                    &tokenize(&span2),
+                    &self.lexicon,
+                    self.profile.linker,
+                    primary.as_deref(),
+                ) {
+                    push_unique(&mut used_tables, hit.table.clone());
+                    oitems.push(OrderItem {
+                        expr: ColExpr {
+                            agg,
+                            distinct: false,
+                            col: ColumnRef::new(&hit.table, &hit.column),
+                        },
+                        dir: *dir,
+                    });
+                }
+            }
+            if !oitems.is_empty() {
+                order_by = Some(OrderClause { items: oitems });
+            }
+        }
+
+        // FROM: connect the used tables along foreign keys.
+        if used_tables.is_empty() {
+            let t = primary?;
+            used_tables.push(t);
+        }
+        let from = self.build_from(db, &used_tables)?;
+
+        let mut q = Query {
+            select: SelectClause {
+                distinct: intent.distinct,
+                items,
+            },
+            from,
+            where_: if preds.is_empty() {
+                None
+            } else {
+                Some(Condition { preds, conns })
+            },
+            group_by,
+            having,
+            order_by,
+            limit,
+            compound: None,
+        };
+
+        // Grouped aggregate ordering requires a group key; patch it in
+        // (baselines do emit GROUP BY for "the most" idioms).
+        if let Some(ob) = &q.order_by {
+            if ob.items.iter().any(|i| i.expr.is_aggregated()) && q.group_by.is_empty() {
+                if let Some(first) = q.select.items.iter().find(|i| !i.is_aggregated()) {
+                    q.group_by.push(first.col.clone());
+                }
+            }
+        }
+
+        // Compound arm.
+        if let Some((op, rhs)) = &intent.compound {
+            if self.profile.handles_compound {
+                if let Some(rq) = self.build(db, rhs, depth + 1) {
+                    q.compound = Some((*op, Box::new(rq)));
+                }
+            }
+        }
+
+        Some(q)
+    }
+
+    fn build_predicate(
+        &self,
+        db: &GeneratedDb,
+        c: &CondSketch,
+        prefer: Option<&str>,
+        depth: usize,
+    ) -> Option<Predicate> {
+        let schema = &db.schema;
+        let hit = best_column_for(
+            schema,
+            &tokenize(&c.lhs),
+            &self.lexicon,
+            self.profile.linker,
+            prefer,
+        )?;
+        let lhs = ColExpr::plain(ColumnRef::new(&hit.table, &hit.column));
+
+        match c.op {
+            CmpOp::In | CmpOp::NotIn => {
+                if !self.profile.handles_nested {
+                    return None;
+                }
+                // "those in <sub-question>" — decode the value span as a
+                // nested question.
+                let sub_intent = parse_intent(c.value.trim_start_matches("those in "));
+                let sub = self.build(db, &sub_intent, depth + 1)?;
+                Some(Predicate {
+                    lhs,
+                    op: c.op,
+                    rhs: Operand::Subquery(Box::new(sub)),
+                    rhs2: None,
+                })
+            }
+            CmpOp::Like | CmpOp::NotLike => Some(Predicate {
+                lhs,
+                op: c.op,
+                rhs: Operand::Lit(Literal::Str(format!("{}%", c.value))),
+                rhs2: None,
+            }),
+            CmpOp::Between => {
+                let lo = parse_literal(&c.value);
+                let hi = c.value2.as_deref().map(parse_literal)?;
+                Some(Predicate {
+                    lhs,
+                    op: CmpOp::Between,
+                    rhs: Operand::Lit(lo),
+                    rhs2: Some(Operand::Lit(hi)),
+                })
+            }
+            op => {
+                // "average X" comparisons → nested scalar subquery.
+                if c.value.starts_with("those in ") {
+                    if !self.profile.handles_nested {
+                        return None;
+                    }
+                    let sub_intent = parse_intent(c.value.trim_start_matches("those in "));
+                    let sub = self.build(db, &sub_intent, depth + 1)?;
+                    return Some(Predicate {
+                        lhs,
+                        op,
+                        rhs: Operand::Subquery(Box::new(sub)),
+                        rhs2: None,
+                    });
+                }
+                Some(Predicate {
+                    lhs,
+                    op,
+                    rhs: Operand::Lit(parse_literal(&c.value)),
+                    rhs2: None,
+                })
+            }
+        }
+    }
+
+    fn build_having_predicate(&self, c: &CondSketch) -> Option<Predicate> {
+        // HAVING in the benchmark templates is always a COUNT(*) bound.
+        if !c.lhs.contains("number") && !c.lhs.contains("count") {
+            return None;
+        }
+        Some(Predicate {
+            lhs: ColExpr::count_star(),
+            op: c.op,
+            rhs: Operand::Lit(parse_literal(&c.value)),
+            rhs2: None,
+        })
+    }
+
+    /// Connect the used tables along foreign keys into a FROM clause. The
+    /// first FK found wins — which is exactly the coin-flip that QBEN's
+    /// dual-role joins punish.
+    fn build_from(&self, db: &GeneratedDb, tables: &[String]) -> Option<FromClause> {
+        let schema = &db.schema;
+        let mut ordered = vec![tables[0].clone()];
+        let mut conds = Vec::new();
+        let mut pending: Vec<String> = tables[1..].to_vec();
+        let mut guard = 0;
+        while !pending.is_empty() && guard < 24 {
+            guard += 1;
+            let mut connected = None;
+            'outer: for (pi, p) in pending.iter().enumerate() {
+                for anchor in &ordered {
+                    let fks = schema.fks_between(anchor, p);
+                    if let Some(fk) = fks.first() {
+                        let cond = if self.profile.robust_join_conditions || fks.len() == 1 {
+                            Some(JoinCond {
+                                left: ColumnRef::new(&fk.from_table, &fk.from_column),
+                                right: ColumnRef::new(&fk.to_table, &fk.to_column),
+                            })
+                        } else {
+                            // GAP-style: several FKs → no ON emitted.
+                            None
+                        };
+                        connected = Some((pi, cond));
+                        break 'outer;
+                    }
+                }
+            }
+            match connected {
+                Some((pi, cond)) => {
+                    let t = pending.remove(pi);
+                    ordered.push(t);
+                    if let Some(c) = cond {
+                        conds.push(c);
+                    }
+                }
+                None => {
+                    // Try a one-hop bridge through an intermediate table.
+                    let p = pending.remove(0);
+                    let mut bridged = false;
+                    for mid in &schema.tables {
+                        if ordered.contains(&mid.name) || mid.name == p {
+                            continue;
+                        }
+                        let a = schema.fks_between(&ordered[0], &mid.name);
+                        let b = schema.fks_between(&mid.name, &p);
+                        if let (Some(f1), Some(f2)) = (a.first(), b.first()) {
+                            ordered.push(mid.name.clone());
+                            conds.push(JoinCond {
+                                left: ColumnRef::new(&f1.from_table, &f1.from_column),
+                                right: ColumnRef::new(&f1.to_table, &f1.to_column),
+                            });
+                            ordered.push(p.clone());
+                            conds.push(JoinCond {
+                                left: ColumnRef::new(&f2.from_table, &f2.from_column),
+                                right: ColumnRef::new(&f2.to_table, &f2.to_column),
+                            });
+                            bridged = true;
+                            break;
+                        }
+                    }
+                    if !bridged {
+                        // Unconnectable table — drop it (produces a wrong
+                        // but well-formed query).
+                        continue;
+                    }
+                }
+            }
+        }
+        Some(FromClause {
+            tables: ordered,
+            conds,
+        })
+    }
+}
+
+fn push_unique(v: &mut Vec<String>, t: String) {
+    if !v.contains(&t) {
+        v.push(t);
+    }
+}
+
+/// Split the head segment into projection spans, stripping lead verbs.
+fn split_head(head: &str) -> Vec<String> {
+    let mut h = head.to_string();
+    for prefix in [
+        "what is the ",
+        "what are the ",
+        "show the ",
+        "list the ",
+        "give me the ",
+        "find the ",
+        "show ",
+        "list ",
+        "find ",
+    ] {
+        if let Some(s) = h.strip_prefix(prefix) {
+            h = s.to_string();
+            break;
+        }
+    }
+    // Drop a trailing "of the <entity>" attribution — the entity is linked
+    // separately as the primary table.
+    let head_core = match h.find(" of the ") {
+        Some(i) => h[..i].to_string(),
+        None => h.clone(),
+    };
+    head_core
+        .split(" and ")
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Strip an aggregate marker from a projection span.
+fn strip_agg(span: &str) -> (Option<AggFunc>, String) {
+    for (prefix, agg) in [
+        ("number of ", AggFunc::Count),
+        ("total ", AggFunc::Sum),
+        ("average ", AggFunc::Avg),
+        ("smallest ", AggFunc::Min),
+        ("minimum ", AggFunc::Min),
+        ("largest ", AggFunc::Max),
+        ("maximum ", AggFunc::Max),
+    ] {
+        if let Some(rest) = span.strip_prefix(prefix) {
+            return (Some(agg), rest.to_string());
+        }
+    }
+    (None, span.to_string())
+}
+
+fn parse_literal(text: &str) -> Literal {
+    let t = text.trim();
+    if let Ok(v) = t.parse::<i64>() {
+        Literal::Int(v)
+    } else if let Ok(v) = t.parse::<f64>() {
+        Literal::Float(v)
+    } else {
+        Literal::Str(t.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_benchmarks::{generate_db, GeneratedDb};
+    use gar_sql::to_sql;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn demo_db() -> GeneratedDb {
+        use gar_engine::{Database, Datum};
+        use gar_schema::SchemaBuilder;
+        let schema = SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .col_float("salary")
+                    .col_text("city")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("evaluation_id")
+                    .col_int("employee_id")
+                    .col_float("bonus")
+                    .pk(&["evaluation_id"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build();
+        let mut db = Database::empty(schema.clone());
+        db.insert(
+            "employee",
+            vec![
+                Datum::Int(1),
+                Datum::from("ada"),
+                Datum::Int(40),
+                Datum::Float(100.0),
+                Datum::from("paris"),
+            ],
+        );
+        db.insert(
+            "evaluation",
+            vec![Datum::Int(1), Datum::Int(1), Datum::Float(500.0)],
+        );
+        GeneratedDb {
+            schema,
+            database: db,
+            annotations: gar_schema::AnnotationSet::empty(),
+        }
+    }
+
+    #[test]
+    fn bridge_translates_simple_select() {
+        let db = demo_db();
+        let q = bridge()
+            .translate(&db, "Show the name of the employee")
+            .unwrap();
+        assert_eq!(to_sql(&q), "SELECT employee.name FROM employee");
+    }
+
+    #[test]
+    fn translates_filter_with_value() {
+        let db = demo_db();
+        let q = bridge()
+            .translate(&db, "Show the name of the employee whose age is more than 30")
+            .unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("employee.age > 30"), "{sql}");
+    }
+
+    #[test]
+    fn translates_superlative_with_join() {
+        let db = demo_db();
+        let q = gap()
+            .translate(&db, "Find the name of the employee with the highest bonus")
+            .unwrap();
+        let sql = to_sql(&q);
+        assert!(sql.contains("ORDER BY evaluation.bonus DESC LIMIT 1"), "{sql}");
+        assert!(sql.contains("JOIN"), "{sql}");
+    }
+
+    #[test]
+    fn bridge_cannot_do_nested() {
+        let db = demo_db();
+        let q = bridge().translate(
+            &db,
+            "Show the name of the employee whose employee id is among those in list the employee id of the evaluation",
+        );
+        // Either no query or one without the IN subquery.
+        if let Some(q) = q {
+            assert!(!q.has_nested_subquery());
+        }
+    }
+
+    #[test]
+    fn smbop_handles_nested() {
+        let db = demo_db();
+        let q = smbop().translate(
+            &db,
+            "Show the name of the employee whose employee id is among those in list the employee id of the evaluation",
+        );
+        assert!(q.is_some_and(|q| q.has_nested_subquery()));
+    }
+
+    #[test]
+    fn smbop_bails_on_very_complex_questions() {
+        let db = demo_db();
+        let q = smbop()
+            .translate(
+                &db,
+                "Show the name whose age is more than 30 and salary is above 50 \
+                 and city equals paris with the highest bonus for each city \
+                 but not show the name whose age is below 20",
+            )
+            .unwrap();
+        // The degenerate bail-out is a bare single-column select.
+        assert!(q.where_.is_none());
+        assert!(q.compound.is_none());
+    }
+
+    #[test]
+    fn ratsql_handles_compound() {
+        let db = demo_db();
+        let q = ratsql().translate(
+            &db,
+            "Show the name of the employee whose age is above 50 but not \
+             show the name of the employee whose age is below 30",
+        );
+        assert!(q.is_some_and(|q| q.is_compound()));
+    }
+
+    #[test]
+    fn count_question_yields_count_star() {
+        let db = demo_db();
+        let q = bridge()
+            .translate(&db, "How many employees are there?")
+            .unwrap();
+        assert_eq!(q.select.items[0], ColExpr::count_star());
+    }
+
+    #[test]
+    fn group_question_yields_group_by() {
+        let db = demo_db();
+        let q = ratsql()
+            .translate(&db, "Show the number of employees for each city")
+            .unwrap();
+        assert!(!q.group_by.is_empty(), "{}", to_sql(&q));
+    }
+
+    #[test]
+    fn translations_resolve_against_schema() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = generate_db(&gar_benchmarks::vocab::THEMES[0], 0, &mut rng);
+        for sys in all_baselines() {
+            for nl in [
+                "Show the name of the student",
+                "How many teachers are there?",
+                "List the name of the student whose age is more than 20",
+            ] {
+                if let Some(q) = sys.translate(&db, nl) {
+                    assert!(
+                        gar_schema::resolve_query(&db.schema, &q).is_ok(),
+                        "{}: {} -> {}",
+                        sys.name(),
+                        nl,
+                        to_sql(&q)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_baselines_have_distinct_names() {
+        let names: Vec<String> = all_baselines()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
+        let set: std::collections::HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

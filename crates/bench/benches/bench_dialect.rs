@@ -1,0 +1,37 @@
+//! Dialect rendering throughput: plain GAR vs the GAR-J annotation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gar_benchmarks::{curate_annotations, generate_db, generate_queries, vocab::THEMES};
+use gar_dialect::DialectBuilder;
+use gar_schema::AnnotationSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dialect(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut db = generate_db(&THEMES[2], 0, &mut rng);
+    let queries = generate_queries(&db, 200, &mut rng);
+    curate_annotations(&mut db);
+
+    let empty = AnnotationSet::empty();
+    let plain = DialectBuilder::new(&db.schema, &empty);
+    c.bench_function("dialect_render_gar", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(plain.render(q));
+            }
+        })
+    });
+
+    let annotated = DialectBuilder::new(&db.schema, &db.annotations);
+    c.bench_function("dialect_render_gar_j", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(annotated.render(q));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_dialect);
+criterion_main!(benches);

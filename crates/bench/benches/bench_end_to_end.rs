@@ -1,0 +1,68 @@
+//! End-to-end GAR translation latency by SPIDER difficulty — the
+//! measurement path behind Fig. 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gar_benchmarks::{spider_sim, SpiderSimConfig};
+use gar_core::{GarConfig, GarSystem, PrepareConfig};
+use gar_sql::{classify, Difficulty, Query};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 4,
+        val_dbs: 1,
+        queries_per_db: 40,
+        seed: 17,
+    });
+    let config = GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 1_000,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 400,
+        retrieval: gar_ltr::RetrievalConfig {
+            epochs: 2,
+            ..gar_ltr::RetrievalConfig::default()
+        },
+        rerank: gar_ltr::RerankConfig {
+            epochs: 2,
+            ..gar_ltr::RerankConfig::default()
+        },
+        ..GarConfig::default()
+    };
+    let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+
+    let db_name = bench.dev[0].db.clone();
+    let db = bench.db(&db_name).expect("dev db");
+    let gold: Vec<Query> = bench
+        .dev
+        .iter()
+        .filter(|e| e.db == db_name)
+        .map(|e| e.sql.clone())
+        .collect();
+    let prepared = gar.prepare_eval_db(db, &gold);
+
+    let mut group = c.benchmark_group("translate_by_difficulty");
+    group.sample_size(20);
+    for d in Difficulty::all() {
+        let Some(ex) = bench
+            .dev
+            .iter()
+            .find(|e| e.db == db_name && classify(&e.sql) == d)
+        else {
+            continue;
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(d.as_str()),
+            &ex.nl,
+            |b, nl| b.iter(|| std::hint::black_box(gar.translate(db, &prepared, nl))),
+        );
+    }
+    group.finish();
+
+    c.bench_function("prepare_db_gen1000", |b| {
+        b.iter(|| std::hint::black_box(gar.prepare_eval_db(db, &gold).entries.len()))
+    });
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

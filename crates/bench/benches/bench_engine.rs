@@ -1,0 +1,44 @@
+//! Execution-engine throughput (the execution-accuracy evaluator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gar_benchmarks::{generate_db, generate_queries, vocab::THEMES};
+use gar_engine::execute;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let db = generate_db(&THEMES[3], 0, &mut rng);
+    let queries = generate_queries(&db, 100, &mut rng);
+
+    c.bench_function("execute_benchmark_mix_100", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for q in &queries {
+                rows += execute(&db.database, q).map(|r| r.rows.len()).unwrap_or(0);
+            }
+            std::hint::black_box(rows)
+        })
+    });
+
+    let join = gar_sql::parse(
+        "SELECT employee.name FROM employee JOIN store ON employee.store_id = store.store_id \
+         WHERE store.city = 'paris'",
+    );
+    // The schema layout depends on the generated theme; fall back to the
+    // first generated join query when the static one does not resolve.
+    let join = match join {
+        Ok(q) if gar_schema::resolve_query(&db.schema, &q).is_ok() => q,
+        _ => queries
+            .iter()
+            .find(|q| q.from.has_join())
+            .cloned()
+            .expect("mix contains a join"),
+    };
+    c.bench_function("execute_single_join", |b| {
+        b.iter(|| std::hint::black_box(execute(&db.database, &join).expect("executes")))
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Algorithm 1 throughput vs. generalization size (the paper's footnote 12
+//! reports ~65 s for 20,000 queries with their "naive approach").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gar_benchmarks::{generate_db, generate_queries, vocab::THEMES};
+use gar_generalize::{Generalizer, GeneralizerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generalize(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let db = generate_db(&THEMES[1], 0, &mut rng);
+    let samples = generate_queries(&db, 40, &mut rng);
+
+    let mut group = c.benchmark_group("generalize");
+    group.sample_size(10);
+    for size in [200usize, 1_000, 4_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter(|| {
+                let g = Generalizer::new(
+                    &db.schema,
+                    GeneralizerConfig {
+                        target_size: size,
+                        seed: 7,
+                        ..GeneralizerConfig::default()
+                    },
+                );
+                std::hint::black_box(g.generalize(&samples).queries.len())
+            })
+        });
+    }
+    group.finish();
+
+    // Ablation: how much work each recomposition rule saves/costs. The
+    // join rule and syntactic restriction prune the candidate space, so
+    // disabling them changes both runtime and acceptance behaviour.
+    let mut ablation = c.benchmark_group("generalize_rule_ablation");
+    ablation.sample_size(10);
+    let variants: Vec<(&str, gar_generalize::RuleSet, bool)> = vec![
+        ("all_rules", gar_generalize::RuleSet::default(), false),
+        (
+            "no_join_rule",
+            gar_generalize::RuleSet {
+                join_rule: false,
+                ..gar_generalize::RuleSet::default()
+            },
+            false,
+        ),
+        (
+            "no_syntactic_restriction",
+            gar_generalize::RuleSet {
+                syntactic_restriction: false,
+                ..gar_generalize::RuleSet::default()
+            },
+            false,
+        ),
+        ("schema_augmentation", gar_generalize::RuleSet::default(), true),
+    ];
+    for (name, rules, augment) in variants {
+        ablation.bench_function(name, |b| {
+            b.iter(|| {
+                let g = Generalizer::new(
+                    &db.schema,
+                    GeneralizerConfig {
+                        target_size: 1_000,
+                        seed: 7,
+                        rules,
+                        schema_augmentation: augment,
+                        ..GeneralizerConfig::default()
+                    },
+                );
+                std::hint::black_box(g.generalize(&samples).queries.len())
+            })
+        });
+    }
+    ablation.finish();
+}
+
+criterion_group!(benches, bench_generalize);
+criterion_main!(benches);

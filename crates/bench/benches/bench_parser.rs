@@ -1,0 +1,45 @@
+//! Parser / normalizer throughput over the benchmark query mix.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gar_benchmarks::{generate_db, generate_queries, vocab::THEMES};
+use gar_sql::{normalize, parse, to_sql};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let db = generate_db(&THEMES[0], 0, &mut rng);
+    let queries = generate_queries(&db, 200, &mut rng);
+    let sqls: Vec<String> = queries.iter().map(to_sql).collect();
+
+    c.bench_function("parse_benchmark_mix", |b| {
+        b.iter(|| {
+            for s in &sqls {
+                std::hint::black_box(parse(s).expect("benchmark SQL parses"));
+            }
+        })
+    });
+
+    c.bench_function("normalize_benchmark_mix", |b| {
+        b.iter_batched(
+            || queries.clone(),
+            |qs| {
+                for q in &qs {
+                    std::hint::black_box(normalize(q));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("print_benchmark_mix", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(to_sql(q));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Second-stage re-ranking inference latency at the paper's k=100.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gar_ltr::{pair_features, RerankConfig, RerankModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_rerank(c: &mut Criterion) {
+    let model = RerankModel::new(RerankConfig::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let embed = 64usize;
+    let q_emb: Vec<f32> = (0..embed).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+    let q_text = "Find the name of the employee with the highest one time bonus";
+    let d_text = "Find the name of employee regarding to evaluation with employee. \
+                  Return the top one result in descending order of one bonus.";
+
+    // Pre-built feature rows (the translation path builds them per query).
+    let rows: Vec<Vec<f32>> = (0..100)
+        .map(|_| {
+            let d_emb: Vec<f32> = (0..embed).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            pair_features(&q_emb, &d_emb, q_text, d_text)
+        })
+        .collect();
+
+    c.bench_function("rerank_score_k100_prebuilt", |b| {
+        b.iter(|| std::hint::black_box(model.score_list(&rows)))
+    });
+
+    c.bench_function("rerank_features_plus_score_k100", |b| {
+        b.iter(|| {
+            let mut total = 0.0f32;
+            for _ in 0..100 {
+                let f = pair_features(&q_emb, &q_emb, q_text, d_text);
+                total += model.score(&f);
+            }
+            std::hint::black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_rerank);
+criterion_main!(benches);

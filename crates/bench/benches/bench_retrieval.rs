@@ -1,0 +1,69 @@
+//! First-stage retrieval: encoder throughput and the flat-vs-IVF search
+//! trade-off (the Faiss role in the paper's pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gar_ltr::{RetrievalConfig, RetrievalModel};
+use gar_vecindex::{FlatIndex, IvfConfig, IvfIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_retrieval(c: &mut Criterion) {
+    let model = RetrievalModel::new(RetrievalConfig::default());
+    let texts: Vec<String> = (0..64)
+        .map(|i| {
+            format!(
+                "Find the name of employee regarding to evaluation with employee \
+                 number {i}. Return the top one result in descending order of bonus."
+            )
+        })
+        .collect();
+
+    c.bench_function("encode_64_dialects", |b| {
+        b.iter(|| {
+            for t in &texts {
+                std::hint::black_box(model.encode(t));
+            }
+        })
+    });
+
+    // Index search over a 20k corpus (the paper's generalization size).
+    let dim = 64usize;
+    let mut rng = StdRng::seed_from_u64(4);
+    let corpus: Vec<Vec<f32>> = (0..20_000)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut flat = FlatIndex::new(dim);
+    for (i, v) in corpus.iter().enumerate() {
+        flat.add(i, v);
+    }
+    let mut ivf = IvfIndex::new(
+        dim,
+        IvfConfig {
+            nlist: 128,
+            nprobe: 8,
+            ..IvfConfig::default()
+        },
+    );
+    ivf.train(&corpus[..2_000]);
+    for (i, v) in corpus.iter().enumerate() {
+        ivf.add(i, v);
+    }
+    let query: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+
+    let mut group = c.benchmark_group("top100_search_20k");
+    for (name, is_flat) in [("flat", true), ("ivf_nprobe8", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &is_flat, |b, &is_flat| {
+            b.iter(|| {
+                if is_flat {
+                    std::hint::black_box(flat.search(&query, 100))
+                } else {
+                    std::hint::black_box(ivf.search(&query, 100))
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,442 @@
+//! Shared experiment context: benchmark construction, GAR training, and
+//! cached evaluation runs.
+
+use gar_baselines::{BaselineSystem, Nl2SqlSystem};
+use gar_benchmarks::{
+    execution_match, geo_sim, mt_teql_sim, qben_sim, spider_sim, Benchmark, Example,
+    GeoSimConfig, MtTeqlConfig, QbenSimConfig, SpiderSimConfig, Tally,
+};
+use gar_core::{analyze, ErrorAnalysis, GarConfig, GarSystem, PrepareConfig, PreparedDb};
+use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+use gar_sql::{classify, clause_types, exact_match, ClauseType, Difficulty, Query};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// Experiment-wide scale knobs (defaults are CPU-tractable; the paper-scale
+/// values are recorded in EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// SPIDER-sim training databases.
+    pub train_dbs: usize,
+    /// SPIDER-sim validation databases.
+    pub val_dbs: usize,
+    /// Queries generated per database.
+    pub queries_per_db: usize,
+    /// Generalization size for evaluation databases (paper: 20,000).
+    pub gen_size: usize,
+    /// MT-TEQL sampled test size (paper: 10,000).
+    pub mt_samples: usize,
+    /// Data-preparation repeats averaged in reports (paper: 5).
+    pub repeats: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            train_dbs: 16,
+            val_dbs: 4,
+            queries_per_db: 56,
+            gen_size: 2_000,
+            mt_samples: 400,
+            repeats: 1,
+            seed: 2023,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// A fast smoke-test scale.
+    pub fn fast() -> Self {
+        ExpConfig {
+            train_dbs: 4,
+            val_dbs: 2,
+            queries_per_db: 24,
+            gen_size: 600,
+            mt_samples: 120,
+            repeats: 1,
+            seed: 2023,
+        }
+    }
+
+    /// The GAR configuration derived from the experiment scale.
+    pub fn gar_config(&self, seed_shift: u64) -> GarConfig {
+        GarConfig {
+            prepare: PrepareConfig {
+                gen_size: self.gen_size,
+                seed: self.seed ^ seed_shift,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: (self.gen_size / 3).max(300),
+            k: 100,
+            negatives: 8,
+            rerank_list_size: 40,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig::default(),
+                hidden: 128,
+                embed: 64,
+                epochs: 8,
+                seed: self.seed ^ seed_shift ^ 0x11,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 64,
+                hidden: 96,
+                epochs: 14,
+                seed: self.seed ^ seed_shift ^ 0x22,
+                ..RerankConfig::default()
+            },
+            use_rerank: true,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+            seed: self.seed ^ seed_shift,
+        }
+    }
+}
+
+/// One evaluated example with everything the tables need.
+#[derive(Debug, Clone)]
+pub struct EvalRecord {
+    /// Database id (kept for per-database drill-downs in the JSON
+    /// artifacts and the probe experiments).
+    #[allow(dead_code)]
+    pub db: String,
+    /// SPIDER difficulty.
+    pub difficulty: Difficulty,
+    /// Table-5 clause types.
+    pub clause_types: Vec<ClauseType>,
+    /// Exact-set-match correct.
+    pub exact: bool,
+    /// Execution-accuracy correct.
+    pub exec: bool,
+    /// Rank of the gold query in the top-10 (None = absent).
+    pub gold_rank: Option<usize>,
+    /// Gold present in the candidate pool.
+    pub pool_hit: bool,
+    /// Gold present in the retrieval top-k.
+    pub retrieved_hit: bool,
+    /// End-to-end translation latency (microseconds).
+    pub latency_us: u128,
+}
+
+/// Evaluate a trained GAR over a split, preparing each database under the
+/// paper's protocol (gold-derived samples with gold ruled out). Returns the
+/// per-example records.
+pub fn evaluate_gar(
+    gar: &GarSystem,
+    bench: &Benchmark,
+    split: &[Example],
+) -> Vec<EvalRecord> {
+    let mut by_db: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+    for ex in split {
+        by_db.entry(ex.db.as_str()).or_default().push(ex);
+    }
+    let mut records = Vec::with_capacity(split.len());
+    for (db_name, exs) in by_db {
+        let Some(db) = bench.db(db_name) else { continue };
+        let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        for ex in exs {
+            records.push(eval_one(gar, db, &prepared, ex));
+        }
+    }
+    records
+}
+
+fn eval_one(
+    gar: &GarSystem,
+    db: &gar_benchmarks::GeneratedDb,
+    prepared: &PreparedDb,
+    ex: &Example,
+) -> EvalRecord {
+    let gold_masked = gar_sql::mask_values(&ex.sql);
+    let gold_ids: Vec<usize> = prepared
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| exact_match(&e.sql, &gold_masked))
+        .map(|(i, _)| i)
+        .collect();
+
+    let t0 = Instant::now();
+    let tr = gar.translate(db, prepared, &ex.nl);
+    let latency_us = t0.elapsed().as_micros();
+
+    let exact = tr.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false);
+    let exec = tr
+        .top1()
+        .map(|t| execution_match(&db.database, t, &ex.sql))
+        .unwrap_or(false);
+    let gold_rank = tr
+        .ranked
+        .iter()
+        .position(|c| exact_match(&c.sql, &ex.sql));
+
+    EvalRecord {
+        db: ex.db.clone(),
+        difficulty: classify(&ex.sql),
+        clause_types: clause_types(&ex.sql),
+        exact,
+        exec,
+        gold_rank,
+        pool_hit: !gold_ids.is_empty(),
+        retrieved_hit: tr.retrieved.iter().any(|id| gold_ids.contains(id)),
+        latency_us,
+    }
+}
+
+/// Evaluate GAR over a split using a *curated* sample split (QBEN's
+/// protocol: the benchmark ships explicit sample queries per database).
+pub fn evaluate_gar_with_samples(
+    gar: &GarSystem,
+    bench: &Benchmark,
+    split: &[Example],
+) -> Vec<EvalRecord> {
+    let mut by_db: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+    for ex in split {
+        by_db.entry(ex.db.as_str()).or_default().push(ex);
+    }
+    let mut records = Vec::with_capacity(split.len());
+    for (db_name, exs) in by_db {
+        let Some(db) = bench.db(db_name) else { continue };
+        let samples: Vec<Query> = bench
+            .samples
+            .iter()
+            .filter(|e| e.db == db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        let prepared = if samples.is_empty() {
+            let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+            gar.prepare_eval_db(db, &gold)
+        } else {
+            gar.prepare_with_samples(db, &samples)
+        };
+        for ex in exs {
+            records.push(eval_one(gar, db, &prepared, ex));
+        }
+    }
+    records
+}
+
+/// Evaluate a baseline system over a split.
+pub fn evaluate_baseline(
+    sys: &BaselineSystem,
+    bench: &Benchmark,
+    split: &[Example],
+) -> Vec<EvalRecord> {
+    let mut records = Vec::with_capacity(split.len());
+    for ex in split {
+        let Some(db) = bench.db(&ex.db) else { continue };
+        let t0 = Instant::now();
+        let pred = sys.translate(db, &ex.nl);
+        let latency_us = t0.elapsed().as_micros();
+        let (exact, exec) = match &pred {
+            Some(p) => (
+                exact_match(p, &ex.sql),
+                execution_match(&db.database, p, &ex.sql),
+            ),
+            None => (false, false),
+        };
+        records.push(EvalRecord {
+            db: ex.db.clone(),
+            difficulty: classify(&ex.sql),
+            clause_types: clause_types(&ex.sql),
+            exact,
+            exec,
+            gold_rank: if exact { Some(0) } else { None },
+            pool_hit: true,
+            retrieved_hit: exact,
+            latency_us,
+        });
+    }
+    records
+}
+
+/// Overall exact accuracy of a record set.
+pub fn overall(records: &[EvalRecord]) -> f64 {
+    let mut t = Tally::default();
+    for r in records {
+        t.record(r.exact);
+    }
+    t.accuracy()
+}
+
+/// Overall execution accuracy.
+pub fn overall_exec(records: &[EvalRecord]) -> f64 {
+    let mut t = Tally::default();
+    for r in records {
+        t.record(r.exec);
+    }
+    t.accuracy()
+}
+
+/// Accuracy per difficulty level (Table 1/4 rows).
+pub fn by_difficulty(records: &[EvalRecord]) -> Vec<(Difficulty, Tally)> {
+    let mut map: HashMap<Difficulty, Tally> = HashMap::new();
+    for r in records {
+        map.entry(r.difficulty).or_default().record(r.exact);
+    }
+    Difficulty::all()
+        .into_iter()
+        .map(|d| (d, map.remove(&d).unwrap_or_default()))
+        .collect()
+}
+
+/// Accuracy per clause type (Table 5 columns).
+pub fn by_clause_type(records: &[EvalRecord]) -> Vec<(ClauseType, Tally)> {
+    let mut map: HashMap<ClauseType, Tally> = HashMap::new();
+    for r in records {
+        for ct in &r.clause_types {
+            map.entry(*ct).or_default().record(r.exact);
+        }
+    }
+    ClauseType::all()
+        .into_iter()
+        .map(|c| (c, map.remove(&c).unwrap_or_default()))
+        .collect()
+}
+
+/// Precision@K from the cached gold ranks.
+pub fn precision_at(records: &[EvalRecord], k: usize) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records
+        .iter()
+        .filter(|r| r.gold_rank.map(|i| i < k).unwrap_or(false))
+        .count() as f64
+        / records.len() as f64
+}
+
+/// MRR with the paper's top-10 cutoff.
+pub fn mrr_of(records: &[EvalRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records
+        .iter()
+        .map(|r| r.gold_rank.map(|i| 1.0 / (i + 1) as f64).unwrap_or(0.0))
+        .sum::<f64>()
+        / records.len() as f64
+}
+
+/// Mean latency (ms) per difficulty.
+pub fn latency_by_difficulty(records: &[EvalRecord]) -> Vec<(Difficulty, f64)> {
+    let mut sums: HashMap<Difficulty, (u128, usize)> = HashMap::new();
+    for r in records {
+        let e = sums.entry(r.difficulty).or_insert((0, 0));
+        e.0 += r.latency_us;
+        e.1 += 1;
+    }
+    Difficulty::all()
+        .into_iter()
+        .map(|d| {
+            let (sum, n) = sums.get(&d).copied().unwrap_or((0, 0));
+            (d, if n == 0 { 0.0 } else { sum as f64 / n as f64 / 1000.0 })
+        })
+        .collect()
+}
+
+/// Table-9-style stage analysis from cached records.
+pub fn stage_analysis(records: &[EvalRecord]) -> ErrorAnalysis {
+    let mut a = ErrorAnalysis::default();
+    for r in records {
+        a.total += 1;
+        if r.exact {
+            a.correct += 1;
+        } else if !r.pool_hit {
+            a.data_prep_miss += 1;
+        } else if !r.retrieved_hit {
+            a.retrieval_miss += 1;
+        } else {
+            a.rerank_miss += 1;
+        }
+    }
+    a
+}
+
+/// Build the standard benchmark suite for the experiment scale.
+pub struct Suite {
+    /// The SPIDER simulator instance.
+    pub spider: Benchmark,
+    /// The GEO simulator instance.
+    pub geo: Benchmark,
+}
+
+impl Suite {
+    /// Construct spider_sim and geo_sim at the configured scale.
+    pub fn build(cfg: &ExpConfig) -> Suite {
+        let spider = spider_sim(SpiderSimConfig {
+            train_dbs: cfg.train_dbs,
+            val_dbs: cfg.val_dbs,
+            queries_per_db: cfg.queries_per_db,
+            seed: cfg.seed,
+        });
+        let geo = geo_sim(GeoSimConfig {
+            seed: cfg.seed ^ 7,
+            ..GeoSimConfig::default()
+        });
+        Suite { spider, geo }
+    }
+
+    /// The MT-TEQL simulator derived from this suite's spider instance.
+    pub fn mt_teql(&self, cfg: &ExpConfig) -> Benchmark {
+        mt_teql_sim(
+            &self.spider,
+            MtTeqlConfig {
+                samples: cfg.mt_samples,
+                schema_variants: 2,
+                seed: cfg.seed ^ 9,
+            },
+        )
+    }
+
+    /// The QBEN simulator.
+    pub fn qben(&self, cfg: &ExpConfig) -> Benchmark {
+        qben_sim(QbenSimConfig {
+            seed: cfg.seed ^ 11,
+            ..QbenSimConfig::default()
+        })
+    }
+}
+
+/// Train plain GAR on the suite's spider training split.
+pub fn train_gar(cfg: &ExpConfig, suite: &Suite, seed_shift: u64) -> GarSystem {
+    let gar_cfg = cfg.gar_config(seed_shift);
+    let (gar, _) = GarSystem::train(&suite.spider.dbs, &suite.spider.train, gar_cfg);
+    gar
+}
+
+/// Run GAR-J-style analysis (Table 9) over a split by preparing every
+/// database and delegating to `gar-core`'s analyzer.
+pub fn analyze_split(
+    gar: &GarSystem,
+    bench: &Benchmark,
+    split: &[Example],
+    use_curated_samples: bool,
+) -> ErrorAnalysis {
+    let mut by_db: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+    for ex in split {
+        by_db.entry(ex.db.as_str()).or_default().push(ex);
+    }
+    let mut out = ErrorAnalysis::default();
+    for (db_name, exs) in by_db {
+        let Some(db) = bench.db(db_name) else { continue };
+        let prepared = if use_curated_samples && !bench.samples.is_empty() {
+            let samples: Vec<Query> = bench
+                .samples
+                .iter()
+                .filter(|e| e.db == db_name)
+                .map(|e| e.sql.clone())
+                .collect();
+            gar.prepare_with_samples(db, &samples)
+        } else {
+            let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+            gar.prepare_eval_db(db, &gold)
+        };
+        out.merge(&analyze(gar, db, &prepared, &exs));
+    }
+    out
+}

@@ -1,0 +1,114 @@
+//! `gar-exp` — the experiment harness regenerating every table and figure
+//! of the GAR paper's evaluation (Section V). See DESIGN.md §3 for the
+//! per-experiment index and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! ```text
+//! gar-exp [--fast] [--gen-size N] [--repeats N] [--seed N] <experiment>...
+//! gar-exp all
+//! ```
+
+mod context;
+mod exps;
+mod report;
+
+use context::ExpConfig;
+use exps::Lab;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "fig1", "fig7", "fig9", "fig10", "fig11", "fig12",
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gar-exp [--fast] [--gen-size N] [--repeats N] [--seed N] <experiment>...\n\
+         experiments: {} | all",
+        EXPERIMENTS.join(" | ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ExpConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => cfg = ExpConfig::fast(),
+            "--gen-size" => {
+                cfg.gen_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--repeats" => {
+                cfg.repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--train-dbs" => {
+                cfg.train_dbs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--val-dbs" => {
+                cfg.val_dbs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "all" => targets.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            "probe" | "probeq" => targets.push(arg.clone()),
+            other if EXPERIMENTS.contains(&other) => targets.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    targets.dedup();
+
+    let started = std::time::Instant::now();
+    let mut lab = Lab::new(cfg);
+    let mut fig17_done = false;
+    for t in &targets {
+        match t.as_str() {
+            "table1" => exps::table1(&mut lab),
+            "table2" => exps::table2(&mut lab),
+            "table3" => exps::table3(&mut lab),
+            "table4" => exps::table4(&mut lab),
+            "table5" => exps::table5(&mut lab),
+            "table6" => exps::table6(&mut lab),
+            "table7" => exps::table7(&mut lab),
+            "table8" => exps::table8(&mut lab),
+            "table9" => exps::table9(&mut lab),
+            "fig1" | "fig7" => {
+                if !fig17_done {
+                    exps::fig1_fig7(&mut lab);
+                    fig17_done = true;
+                }
+            }
+            "fig9" => exps::fig9(&mut lab),
+            "fig10" => exps::fig10(&mut lab),
+            "fig11" => exps::fig11(&mut lab),
+            "fig12" => exps::fig12(&mut lab),
+            "probe" => exps::probe(&mut lab),
+            "probeq" => exps::probeq(&mut lab),
+            _ => unreachable!("validated above"),
+        }
+    }
+    eprintln!(
+        "[gar-exp] done: {} experiment(s) in {:.1}s; artifacts in {}",
+        targets.len(),
+        started.elapsed().as_secs_f64(),
+        report::results_dir().display()
+    );
+}

@@ -1,0 +1,60 @@
+//! Result output: aligned text tables plus JSON artifacts under `results/`.
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where experiment artifacts land.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let p = PathBuf::from(dir);
+    let _ = fs::create_dir_all(&p);
+    p
+}
+
+/// Write an experiment's text rendering and JSON payload, and echo the text
+/// to stdout.
+pub fn emit(id: &str, text: &str, json: Value) {
+    println!("==== {id} ====");
+    println!("{text}");
+    let dir = results_dir();
+    let _ = fs::write(dir.join(format!("{id}.txt")), text);
+    let _ = fs::write(
+        dir.join(format!("{id}.json")),
+        serde_json::to_string_pretty(&json).unwrap_or_default(),
+    );
+}
+
+/// Format a ratio as the paper does (three decimals).
+pub fn fmt3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Render an aligned table: header row + data rows.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+    }
+    out.push('\n');
+    for (i, _) in header.iter().enumerate() {
+        out.push_str(&"-".repeat(widths[i]));
+        out.push_str("  ");
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,40 @@
+//! # gar-benchmarks — synthetic NLIDB benchmark suites and metrics
+//!
+//! The paper evaluates GAR on four benchmarks — SPIDER, GEO, MT-TEQL and
+//! QBEN — none of which is available in this offline environment. This
+//! crate builds distribution-faithful simulators for all four (see
+//! DESIGN.md §1 for the substitution argument):
+//!
+//! - [`spider_sim`] — cross-domain, multi-database, train/val DB-disjoint,
+//!   SPIDER-like clause mix;
+//! - [`geo_sim`] — one geography database, three splits, no compounds;
+//! - [`mt_teql_sim`] — metamorphic utterance and schema transformations of
+//!   spider_sim's validation split;
+//! - [`qben_sim`] — seven dual-role-join databases with curated GAR-J
+//!   annotations, where join semantics are not textually inferable.
+//!
+//! Plus the evaluation [`metrics`] of Section V-A4 (exact set match,
+//! execution accuracy, Precision@K, MRR) and Table-3 [`stats`].
+
+#![warn(missing_docs)]
+
+pub mod geo_sim;
+pub mod metrics;
+pub mod mt_teql_sim;
+pub mod qben_sim;
+pub mod query_gen;
+pub mod schema_gen;
+pub mod spider_sim;
+pub mod stats;
+pub mod suite;
+pub mod vocab;
+
+pub use geo_sim::{geo_sim, GeoSimConfig};
+pub use metrics::{execution_match, mrr, precision_at_k, translation_match, Tally};
+pub use mt_teql_sim::{mt_teql_sim, MtTeqlConfig};
+pub use qben_sim::{qben_sim, QbenSimConfig};
+pub use query_gen::generate_queries;
+pub use schema_gen::{curate_annotations, generate_db, populate, GeneratedDb};
+pub use spider_sim::{ambiguity_for, spider_sim, utterance_for, SpiderSimConfig};
+pub use stats::{BenchStats, SplitStats};
+pub use suite::{Benchmark, Example};

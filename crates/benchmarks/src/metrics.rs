@@ -1,0 +1,201 @@
+//! Evaluation metrics (Section V-A4 of the paper).
+//!
+//! - **Translation accuracy** — exact set match after normalization (the
+//!   SPIDER Exact Match Accuracy metric);
+//! - **Execution accuracy** — result-set comparison against the in-repo
+//!   execution engine;
+//! - **Precision@K** and **MRR** over ranked candidate lists (reciprocal
+//!   rank counted 0 when the gold is outside the top 10, as the paper
+//!   specifies).
+
+use gar_engine::{execute, Database};
+use gar_sql::{exact_match, Query};
+
+/// Exact-set-match translation accuracy for one prediction.
+pub fn translation_match(pred: &Query, gold: &Query) -> bool {
+    exact_match(pred, gold)
+}
+
+/// Execution accuracy for one prediction: both queries execute and their
+/// result sets match (ordered iff the gold query orders).
+pub fn execution_match(db: &Database, pred: &Query, gold: &Query) -> bool {
+    let (Ok(p), Ok(g)) = (execute(db, pred), execute(db, gold)) else {
+        return false;
+    };
+    let ordered = gold.order_by.is_some();
+    p.matches(&g, ordered)
+}
+
+/// Precision@K over ranked candidate lists: the fraction of queries whose
+/// gold SQL appears among the top-K candidates.
+pub fn precision_at_k(ranked: &[Vec<Query>], golds: &[Query], k: usize) -> f64 {
+    assert_eq!(ranked.len(), golds.len());
+    if golds.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .zip(golds)
+        .filter(|(cands, gold)| cands.iter().take(k).any(|c| exact_match(c, gold)))
+        .count();
+    hits as f64 / golds.len() as f64
+}
+
+/// Mean Reciprocal Rank with the paper's convention: rank 0 (contribution
+/// 0) when the gold is not in the top 10.
+pub fn mrr(ranked: &[Vec<Query>], golds: &[Query]) -> f64 {
+    assert_eq!(ranked.len(), golds.len());
+    if golds.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = ranked
+        .iter()
+        .zip(golds)
+        .map(|(cands, gold)| {
+            cands
+                .iter()
+                .take(10)
+                .position(|c| exact_match(c, gold))
+                .map(|i| 1.0 / (i + 1) as f64)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    sum / golds.len() as f64
+}
+
+/// An accuracy accumulator for grouped breakdowns (difficulty levels,
+/// clause types, overall).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tally {
+    /// Correct predictions.
+    pub correct: usize,
+    /// Total predictions.
+    pub total: usize,
+}
+
+impl Tally {
+    /// Record one outcome.
+    pub fn record(&mut self, ok: bool) {
+        self.total += 1;
+        if ok {
+            self.correct += 1;
+        }
+    }
+
+    /// Accuracy in `[0, 1]` (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_engine::Datum;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    fn q(s: &str) -> Query {
+        parse(s).unwrap()
+    }
+
+    fn tiny_db() -> Database {
+        let schema = SchemaBuilder::new("d")
+            .table("t", |t| t.col_int("a").col_int("b").pk(&["a"]))
+            .build();
+        let mut db = Database::empty(schema);
+        db.insert("t", vec![Datum::Int(1), Datum::Int(10)]);
+        db.insert("t", vec![Datum::Int(2), Datum::Int(20)]);
+        db
+    }
+
+    #[test]
+    fn translation_match_ignores_values() {
+        assert!(translation_match(
+            &q("SELECT t.a FROM t WHERE t.b = 10"),
+            &q("SELECT t.a FROM t WHERE t.b = 99"),
+        ));
+    }
+
+    #[test]
+    fn execution_match_catches_semantic_equivalents() {
+        let db = tiny_db();
+        // Different syntax, same result (b > 15 matches only row 2).
+        assert!(execution_match(
+            &db,
+            &q("SELECT a FROM t WHERE b > 15"),
+            &q("SELECT a FROM t WHERE b >= 20"),
+        ));
+        // Different results.
+        assert!(!execution_match(
+            &db,
+            &q("SELECT a FROM t WHERE b > 5"),
+            &q("SELECT a FROM t WHERE b > 15"),
+        ));
+    }
+
+    #[test]
+    fn execution_match_fails_on_error() {
+        let db = tiny_db();
+        assert!(!execution_match(
+            &db,
+            &q("SELECT a FROM missing"),
+            &q("SELECT a FROM t"),
+        ));
+    }
+
+    #[test]
+    fn precision_at_k_counts_top_k_hits() {
+        let golds = vec![q("SELECT t.a FROM t")];
+        let ranked = vec![vec![
+            q("SELECT t.b FROM t"),
+            q("SELECT t.a FROM t"),
+            q("SELECT t.a, t.b FROM t"),
+        ]];
+        assert_eq!(precision_at_k(&ranked, &golds, 1), 0.0);
+        assert_eq!(precision_at_k(&ranked, &golds, 3), 1.0);
+    }
+
+    #[test]
+    fn mrr_uses_reciprocal_rank_with_top10_cutoff() {
+        let golds = vec![q("SELECT t.a FROM t"), q("SELECT t.b FROM t")];
+        let mut long_list: Vec<Query> = (0..11).map(|_| q("SELECT t.c FROM t")).collect();
+        long_list.push(q("SELECT t.b FROM t")); // rank 12: beyond cutoff
+        let ranked = vec![
+            vec![q("SELECT t.x FROM t"), q("SELECT t.a FROM t")], // rank 2
+            long_list,
+        ];
+        let m = mrr(&ranked, &golds);
+        assert!((m - 0.25).abs() < 1e-9, "{m}"); // (1/2 + 0) / 2
+    }
+
+    #[test]
+    fn tally_accumulates() {
+        let mut t = Tally::default();
+        t.record(true);
+        t.record(false);
+        t.record(true);
+        assert_eq!(t.total, 3);
+        assert!((t.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+        let mut u = Tally::default();
+        u.record(false);
+        u.merge(&t);
+        assert_eq!(u.total, 4);
+        assert_eq!(u.correct, 2);
+    }
+
+    #[test]
+    fn empty_tally_is_zero() {
+        assert_eq!(Tally::default().accuracy(), 0.0);
+    }
+}

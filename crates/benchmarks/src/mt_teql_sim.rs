@@ -1,0 +1,329 @@
+//! `mt_teql_sim` — the MT-TEQL benchmark simulator.
+//!
+//! MT-TEQL applies semantics-preserving metamorphic transformations to the
+//! SPIDER validation set: utterance variations (synonym substitution,
+//! politeness wrappers) and schema variations (identifier renamings). The
+//! simulator reproduces both transformation classes over `spider_sim`'s
+//! validation split and samples a test set, as the paper samples 10,000 of
+//! MT-TEQL's 62,430 variants.
+
+use crate::schema_gen::GeneratedDb;
+use crate::suite::{Benchmark, Example};
+use gar_nl::{perturb_utterance, Lexicon};
+use gar_sql::ast::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration for the MT-TEQL simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct MtTeqlConfig {
+    /// Number of transformed test samples (paper: 10,000 sampled).
+    pub samples: usize,
+    /// Renamed schema variants generated per validation database.
+    pub schema_variants: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for MtTeqlConfig {
+    fn default() -> Self {
+        MtTeqlConfig {
+            samples: 600,
+            schema_variants: 2,
+            seed: 62430,
+        }
+    }
+}
+
+/// A consistent identifier renaming for one database.
+#[derive(Debug, Clone, Default)]
+pub struct RenameMap {
+    /// Old table name → new table name.
+    pub tables: HashMap<String, String>,
+    /// (old table, old column) → new column name.
+    pub columns: HashMap<(String, String), String>,
+}
+
+impl RenameMap {
+    /// New name of a table (identity when unrenamed).
+    pub fn table(&self, t: &str) -> String {
+        self.tables.get(t).cloned().unwrap_or_else(|| t.to_string())
+    }
+
+    /// New name of a column (identity when unrenamed).
+    pub fn column(&self, t: &str, c: &str) -> String {
+        self.columns
+            .get(&(t.to_string(), c.to_string()))
+            .cloned()
+            .unwrap_or_else(|| c.to_string())
+    }
+}
+
+/// Build a renaming over a schema: ~30% of tables get an `_tbl` suffix and
+/// ~20% of non-key columns get a `_field` suffix. NL annotations are kept —
+/// MT-TEQL's renamings are semantics-preserving.
+pub fn make_rename_map(db: &GeneratedDb, rng: &mut StdRng) -> RenameMap {
+    let mut map = RenameMap::default();
+    for t in &db.schema.tables {
+        if rng.random_range(0..10) < 3 {
+            map.tables
+                .insert(t.name.clone(), format!("{}_tbl", t.name));
+        }
+        for c in &t.columns {
+            let is_key = c.name.ends_with("_id") || t.primary_key.contains(&c.name);
+            if !is_key && rng.random_range(0..10) < 2 {
+                map.columns.insert(
+                    (t.name.clone(), c.name.clone()),
+                    format!("{}_field", c.name),
+                );
+            }
+        }
+    }
+    map
+}
+
+/// Apply a renaming to a whole database (schema, FKs and physical tables),
+/// producing a new database id `{old}_{variant}`.
+pub fn rename_db(db: &GeneratedDb, map: &RenameMap, variant: usize) -> GeneratedDb {
+    let mut out = db.clone();
+    out.schema.name = format!("{}_mt{variant}", db.schema.name);
+    for t in &mut out.schema.tables {
+        let old_t = t.name.clone();
+        for c in &mut t.columns {
+            let new_c = map.column(&old_t, &c.name);
+            c.name = new_c;
+        }
+        t.primary_key = t
+            .primary_key
+            .iter()
+            .map(|k| map.column(&old_t, k))
+            .collect();
+        t.name = map.table(&old_t);
+    }
+    for fk in &mut out.schema.foreign_keys {
+        fk.from_column = map.column(&fk.from_table, &fk.from_column);
+        fk.to_column = map.column(&fk.to_table, &fk.to_column);
+        fk.from_table = map.table(&fk.from_table);
+        fk.to_table = map.table(&fk.to_table);
+    }
+    // Physical data: rename table keys and column headers.
+    let mut tables = HashMap::new();
+    for (name, mut data) in out.database.tables.drain() {
+        for c in &mut data.columns {
+            *c = map.column(&name, c);
+        }
+        let new_name = map.table(&name);
+        data.name = new_name.clone();
+        tables.insert(new_name, data);
+    }
+    out.database.tables = tables;
+    out.database.schema = out.schema.clone();
+    out
+}
+
+/// Apply a renaming to a query (recursively).
+pub fn rename_query(q: &Query, map: &RenameMap) -> Query {
+    let mut out = q.clone();
+    rename_rec(&mut out, map);
+    out
+}
+
+fn rename_colref(c: &mut ColumnRef, map: &RenameMap) {
+    if let Some(t) = &c.table {
+        if !c.is_star() {
+            c.column = map.column(t, &c.column);
+        }
+        c.table = Some(map.table(t));
+    }
+}
+
+fn rename_rec(q: &mut Query, map: &RenameMap) {
+    for item in &mut q.select.items {
+        rename_colref(&mut item.col, map);
+    }
+    for jc in &mut q.from.conds {
+        rename_colref(&mut jc.left, map);
+        rename_colref(&mut jc.right, map);
+    }
+    for t in &mut q.from.tables {
+        *t = map.table(t);
+    }
+    let mut conds: Vec<&mut Condition> = Vec::new();
+    if let Some(c) = &mut q.where_ {
+        conds.push(c);
+    }
+    if let Some(c) = &mut q.having {
+        conds.push(c);
+    }
+    for cond in conds {
+        for p in &mut cond.preds {
+            rename_colref(&mut p.lhs.col, map);
+            if let Operand::Col(c) = &mut p.rhs {
+                rename_colref(&mut c.col, map);
+            }
+            if let Operand::Subquery(sq) = &mut p.rhs {
+                rename_rec(sq, map);
+            }
+            match &mut p.rhs2 {
+                Some(Operand::Col(c)) => rename_colref(&mut c.col, map),
+                Some(Operand::Subquery(sq)) => rename_rec(sq, map),
+                _ => {}
+            }
+        }
+    }
+    for g in &mut q.group_by {
+        rename_colref(g, map);
+    }
+    if let Some(ob) = &mut q.order_by {
+        for item in &mut ob.items {
+            rename_colref(&mut item.expr.col, map);
+        }
+    }
+    if let Some((_, rhs)) = &mut q.compound {
+        rename_rec(rhs, map);
+    }
+}
+
+/// Build the `mt_teql_sim` benchmark from a spider_sim instance.
+pub fn mt_teql_sim(spider: &Benchmark, config: MtTeqlConfig) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let lexicon = Lexicon::builtin();
+
+    // Renamed schema variants for each validation database.
+    let dev_db_names = Benchmark::split_dbs(&spider.dev);
+    let mut dbs: Vec<GeneratedDb> = Vec::new();
+    let mut variants: HashMap<String, Vec<(String, RenameMap)>> = HashMap::new();
+    for name in &dev_db_names {
+        let base = spider.db(name).expect("dev db in spider").clone();
+        let mut vlist = Vec::new();
+        for v in 0..config.schema_variants {
+            let map = make_rename_map(&base, &mut rng);
+            let renamed = rename_db(&base, &map, v);
+            vlist.push((renamed.schema.name.clone(), map));
+            dbs.push(renamed);
+        }
+        variants.insert(name.clone(), vlist);
+        dbs.push(base);
+    }
+
+    // Sample transformed examples.
+    let mut test = Vec::new();
+    if !spider.dev.is_empty() {
+        for i in 0..config.samples {
+            let ex = &spider.dev[rng.random_range(0..spider.dev.len())];
+            let kind = rng.random_range(0..10);
+            let (db, sql) = if kind < 5 {
+                // Utterance-only transformation.
+                (ex.db.clone(), ex.sql.clone())
+            } else {
+                // Schema transformation (possibly with utterance transform).
+                let vlist = &variants[&ex.db];
+                let (vname, map) = &vlist[rng.random_range(0..vlist.len())];
+                (vname.clone(), rename_query(&ex.sql, map))
+            };
+            let nl = if !(5..8).contains(&kind) {
+                perturb_utterance(&ex.nl, &lexicon, config.seed ^ i as u64)
+            } else {
+                ex.nl.clone()
+            };
+            test.push(Example { db, nl, sql });
+        }
+    }
+
+    Benchmark {
+        name: "mt_teql_sim".to_string(),
+        dbs,
+        train: Vec::new(),
+        dev: Vec::new(),
+        test,
+        samples: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spider_sim::{spider_sim, SpiderSimConfig};
+
+    fn spider() -> Benchmark {
+        spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 2,
+            queries_per_db: 20,
+            seed: 9,
+        })
+    }
+
+    #[test]
+    fn produces_requested_sample_count() {
+        let s = spider();
+        let mt = mt_teql_sim(&s, MtTeqlConfig {
+            samples: 80,
+            schema_variants: 2,
+            seed: 1,
+        });
+        assert_eq!(mt.test.len(), 80);
+    }
+
+    #[test]
+    fn renamed_queries_resolve_on_renamed_schema() {
+        let s = spider();
+        let mt = mt_teql_sim(&s, MtTeqlConfig {
+            samples: 120,
+            schema_variants: 2,
+            seed: 2,
+        });
+        for ex in &mt.test {
+            let db = mt.db(&ex.db).unwrap_or_else(|| panic!("missing db {}", ex.db));
+            assert!(
+                gar_schema::resolve_query(&db.schema, &ex.sql).is_ok(),
+                "{} on {}",
+                gar_sql::to_sql(&ex.sql),
+                ex.db
+            );
+        }
+    }
+
+    #[test]
+    fn renamed_queries_still_execute_with_same_results() {
+        let s = spider();
+        let base_name = Benchmark::split_dbs(&s.dev)[0].clone();
+        let base = s.db(&base_name).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let map = make_rename_map(base, &mut rng);
+        let renamed = rename_db(base, &map, 0);
+        for ex in s.dev.iter().filter(|e| e.db == base_name).take(10) {
+            let orig = gar_engine::execute(&base.database, &ex.sql).unwrap();
+            let rq = rename_query(&ex.sql, &map);
+            let new = gar_engine::execute(&renamed.database, &rq).unwrap();
+            assert!(orig.matches(&new, ex.sql.order_by.is_some()));
+        }
+    }
+
+    #[test]
+    fn rename_map_changes_some_identifiers() {
+        let s = spider();
+        let base = &s.dbs[0];
+        let mut any = false;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let map = make_rename_map(base, &mut rng);
+            if !map.tables.is_empty() || !map.columns.is_empty() {
+                any = true;
+            }
+        }
+        assert!(any);
+    }
+
+    #[test]
+    fn renamed_schema_is_valid() {
+        let s = spider();
+        let base = &s.dbs[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let map = make_rename_map(base, &mut rng);
+        let renamed = rename_db(base, &map, 1);
+        assert!(renamed.schema.validate().is_ok());
+        assert_ne!(renamed.schema.name, base.schema.name);
+    }
+}

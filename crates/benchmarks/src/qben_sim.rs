@@ -1,0 +1,530 @@
+//! `qben_sim` — the QBEN benchmark simulator.
+//!
+//! QBEN (Section V-E) tests queries whose join semantics are "more than
+//! simple compositions of table/column names": every database here has an
+//! event table with **two parallel foreign keys into the same parent**
+//! (source/destination airports, home/away clubs, sender/recipient users,
+//! ...). The NL question names the *role* ("arriving flights"), but the two
+//! candidate SQL queries differ only in which foreign-key column they join
+//! on — textual schema matching cannot tell them apart. GAR-J's join
+//! annotations carry exactly the missing role semantics.
+//!
+//! Seven databases, with curated join annotations, a sample split and a
+//! component-similar test split (paper: 293 samples / 200 test).
+
+use crate::schema_gen::{populate, GeneratedDb};
+use crate::suite::{Benchmark, Example};
+use gar_engine::Datum;
+use gar_schema::SchemaBuilder;
+use gar_sql::ast::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One dual-role domain blueprint.
+struct Domain {
+    db: &'static str,
+    parent: &'static str,
+    parent_cols: &'static [&'static str], // text cols after name
+    event: &'static str,
+    event_plural: &'static str,
+    measure: &'static str,
+    roles: [Role; 2],
+}
+
+/// One foreign-key role of the event table.
+struct Role {
+    column: &'static str,
+    /// The adjective used in NL ("arriving").
+    word: &'static str,
+    /// GAR-J join description.
+    description: &'static str,
+}
+
+const DOMAINS: &[Domain] = &[
+    Domain {
+        db: "flight_net",
+        parent: "airport",
+        parent_cols: &["city"],
+        event: "flight",
+        event_plural: "flights",
+        measure: "distance",
+        roles: [
+            Role {
+                column: "dest_airport",
+                word: "arriving",
+                description: "the arriving flights of the airport",
+            },
+            Role {
+                column: "source_airport",
+                word: "departing",
+                description: "the departing flights of the airport",
+            },
+        ],
+    },
+    Domain {
+        db: "bank_net",
+        parent: "account",
+        parent_cols: &["city"],
+        event: "transfer",
+        event_plural: "transfers",
+        measure: "amount",
+        roles: [
+            Role {
+                column: "to_account",
+                word: "incoming",
+                description: "the incoming transfers of the account",
+            },
+            Role {
+                column: "from_account",
+                word: "outgoing",
+                description: "the outgoing transfers of the account",
+            },
+        ],
+    },
+    Domain {
+        db: "soccer_league",
+        parent: "club",
+        parent_cols: &["city"],
+        event: "game",
+        event_plural: "games",
+        measure: "attendance",
+        roles: [
+            Role {
+                column: "home_club",
+                word: "home",
+                description: "the home games of the club",
+            },
+            Role {
+                column: "away_club",
+                word: "away",
+                description: "the away games of the club",
+            },
+        ],
+    },
+    Domain {
+        db: "chess_club",
+        parent: "player",
+        parent_cols: &["country"],
+        event: "match",
+        event_plural: "matches",
+        measure: "moves",
+        roles: [
+            Role {
+                column: "white_player",
+                word: "white",
+                description: "the white matches of the player",
+            },
+            Role {
+                column: "black_player",
+                word: "black",
+                description: "the black matches of the player",
+            },
+        ],
+    },
+    Domain {
+        db: "shipping_net",
+        parent: "port",
+        parent_cols: &["country"],
+        event: "voyage",
+        event_plural: "voyages",
+        measure: "cargo",
+        roles: [
+            Role {
+                column: "dest_port",
+                word: "arriving",
+                description: "the arriving voyages of the port",
+            },
+            Role {
+                column: "origin_port",
+                word: "departing",
+                description: "the departing voyages of the port",
+            },
+        ],
+    },
+    Domain {
+        db: "email_sys",
+        parent: "user",
+        parent_cols: &["city"],
+        event: "message",
+        event_plural: "messages",
+        measure: "length",
+        roles: [
+            Role {
+                column: "recipient",
+                word: "received",
+                description: "the received messages of the user",
+            },
+            Role {
+                column: "sender",
+                word: "sent",
+                description: "the sent messages of the user",
+            },
+        ],
+    },
+    Domain {
+        db: "metro_net",
+        parent: "station",
+        parent_cols: &["city"],
+        event: "trip",
+        event_plural: "trips",
+        measure: "duration",
+        roles: [
+            Role {
+                column: "end_station",
+                word: "ending",
+                description: "the ending trips of the station",
+            },
+            Role {
+                column: "start_station",
+                word: "starting",
+                description: "the starting trips of the station",
+            },
+        ],
+    },
+];
+
+fn build_domain_db(d: &Domain, rng: &mut StdRng) -> GeneratedDb {
+    let pk = format!("{}_id", d.parent);
+    let mut b = SchemaBuilder::new(d.db).table(d.parent, |mut t| {
+        t = t.col_int(&pk).pk(&[&pk]).col_text("name");
+        for c in d.parent_cols {
+            t = t.col_text(c);
+        }
+        t
+    });
+    let ek = format!("{}_id", d.event);
+    b = b.table(d.event, |t| {
+        t.col_int(&ek)
+            .pk(&[&ek])
+            .col_int(d.roles[0].column)
+            .col_int(d.roles[1].column)
+            .col_int(d.measure)
+            .col_int("year")
+    });
+    for role in &d.roles {
+        b = b.fk(d.event, role.column, d.parent, &pk);
+    }
+    let schema = b.build();
+    let database = populate(&schema, rng);
+
+    let mut gdb = GeneratedDb {
+        schema,
+        database,
+        annotations: gar_schema::AnnotationSet::empty(),
+    };
+    for role in &d.roles {
+        gdb.annotations.add(
+            d.parent,
+            d.event,
+            &format!("{}.{}", d.parent, pk),
+            &format!("{}.{}", d.event, role.column),
+            role.description,
+            d.event,
+        );
+    }
+    gdb
+}
+
+/// A query pattern over a role; `value_salt` varies literals so sample and
+/// test instances are component-similar but not identical.
+fn role_query(
+    d: &Domain,
+    role: &Role,
+    pattern: usize,
+    db: &GeneratedDb,
+    rng: &mut StdRng,
+) -> Option<(String, Query)> {
+    let pk = format!("{}_id", d.parent);
+    let from = FromClause {
+        tables: vec![d.parent.to_string(), d.event.to_string()],
+        conds: vec![JoinCond {
+            left: ColumnRef::new(d.parent, &pk),
+            right: ColumnRef::new(d.event, role.column),
+        }],
+    };
+    let name_col = ColumnRef::new(d.parent, "name");
+    let measure_col = ColumnRef::new(d.event, d.measure);
+
+    let pick_name = |db: &GeneratedDb, rng: &mut StdRng| -> Option<String> {
+        let vals = db.column_values(d.parent, "name");
+        if vals.is_empty() {
+            return None;
+        }
+        match &vals[rng.random_range(0..vals.len())] {
+            Datum::Text(s) => Some(s.clone()),
+            _ => None,
+        }
+    };
+
+    Some(match pattern {
+        0 => {
+            // Which parent has the most <role> events?
+            let mut q = Query::simple(d.parent, vec![ColExpr::plain(name_col.clone())]);
+            q.from = from;
+            q.group_by = vec![name_col];
+            q.order_by = Some(OrderClause {
+                items: vec![OrderItem {
+                    expr: ColExpr::count_star(),
+                    dir: OrderDir::Desc,
+                }],
+            });
+            q.limit = Some(1);
+            let nl = format!(
+                "What is the name of the {} with the most {} {}?",
+                d.parent, role.word, d.event_plural
+            );
+            (nl, q)
+        }
+        1 => {
+            // How many <role> events does parent X have?
+            let name = pick_name(db, rng)?;
+            let mut q = Query::simple(d.parent, vec![ColExpr::count_star()]);
+            q.from = from;
+            q.where_ = Some(Condition::single(Predicate {
+                lhs: ColExpr::plain(name_col),
+                op: CmpOp::Eq,
+                rhs: Operand::Lit(Literal::Str(name.clone())),
+                rhs2: None,
+            }));
+            let nl = format!(
+                "How many {} {} of the {} whose name is {name} are there?",
+                role.word, d.event_plural, d.parent
+            );
+            (nl, q)
+        }
+        2 => {
+            // Names of parents with a <role> event whose measure > v.
+            let v = rng.random_range(100..500);
+            let mut q = Query::simple(d.parent, vec![ColExpr::plain(name_col)]);
+            q.select.distinct = true;
+            q.from = from;
+            q.where_ = Some(Condition::single(Predicate {
+                lhs: ColExpr::plain(measure_col),
+                op: CmpOp::Gt,
+                rhs: Operand::Lit(Literal::Int(v)),
+                rhs2: None,
+            }));
+            let nl = format!(
+                "List the different names of the {} with {} {} whose {} is greater than {v}.",
+                d.parent, role.word, d.event_plural, d.measure
+            );
+            (nl, q)
+        }
+        3 => {
+            // Average measure of <role> events of parent X.
+            let name = pick_name(db, rng)?;
+            let mut q = Query::simple(
+                d.parent,
+                vec![ColExpr::agg(AggFunc::Avg, measure_col)],
+            );
+            q.from = from;
+            q.where_ = Some(Condition::single(Predicate {
+                lhs: ColExpr::plain(name_col),
+                op: CmpOp::Eq,
+                rhs: Operand::Lit(Literal::Str(name.clone())),
+                rhs2: None,
+            }));
+            let nl = format!(
+                "What is the average {} of the {} {} of the {} whose name is {name}?",
+                d.measure, role.word, d.event_plural, d.parent
+            );
+            (nl, q)
+        }
+        _ => {
+            // Parent of the <role> event with the highest measure.
+            let mut q = Query::simple(d.parent, vec![ColExpr::plain(name_col)]);
+            q.from = from;
+            q.order_by = Some(OrderClause {
+                items: vec![OrderItem {
+                    expr: ColExpr::plain(measure_col),
+                    dir: OrderDir::Desc,
+                }],
+            });
+            q.limit = Some(1);
+            let nl = format!(
+                "What is the name of the {} with the {} {} with the highest {}?",
+                d.parent, role.word, d.event, d.measure
+            );
+            (nl, q)
+        }
+    })
+}
+
+/// Configuration for the QBEN simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct QbenSimConfig {
+    /// Curated sample queries across the 7 databases (paper: 293).
+    pub samples: usize,
+    /// Test queries (paper: 200).
+    pub test: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for QbenSimConfig {
+    fn default() -> Self {
+        QbenSimConfig {
+            samples: 293,
+            test: 200,
+            seed: 777,
+        }
+    }
+}
+
+/// Build the `qben_sim` benchmark.
+pub fn qben_sim(config: QbenSimConfig) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dbs: Vec<GeneratedDb> = DOMAINS.iter().map(|d| build_domain_db(d, &mut rng)).collect();
+
+    let mut samples = Vec::new();
+    let mut test = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+
+    // Round-robin over (domain, role, pattern) with varying literals until
+    // both splits are full.
+    let mut tick = 0usize;
+    let budget = (config.samples + config.test) * 12;
+    while (samples.len() < config.samples || test.len() < config.test) && tick < budget {
+        let d = &DOMAINS[tick % DOMAINS.len()];
+        let role = &d.roles[(tick / DOMAINS.len()) % 2];
+        let pattern = (tick / (DOMAINS.len() * 2)) % 5;
+        tick += 1;
+        let db = dbs.iter().find(|g| g.schema.name == d.db).expect("domain db");
+        let Some((nl, sql)) = role_query(d, role, pattern, db, &mut rng) else {
+            continue;
+        };
+        let key = format!("{}|{nl}|{}", d.db, gar_sql::to_sql(&sql));
+        if !seen.insert(key) {
+            continue;
+        }
+        let ex = Example {
+            db: d.db.to_string(),
+            nl,
+            sql,
+        };
+        if samples.len() < config.samples && (!tick.is_multiple_of(3) || test.len() >= config.test) {
+            samples.push(ex);
+        } else if test.len() < config.test {
+            test.push(ex);
+        }
+    }
+
+    Benchmark {
+        name: "qben_sim".to_string(),
+        dbs,
+        train: Vec::new(),
+        dev: Vec::new(),
+        test,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Benchmark {
+        qben_sim(QbenSimConfig {
+            samples: 60,
+            test: 40,
+            seed: 1,
+        })
+    }
+
+    #[test]
+    fn has_seven_databases_with_annotations() {
+        let b = small();
+        assert_eq!(b.dbs.len(), 7);
+        for db in &b.dbs {
+            assert_eq!(db.annotations.len(), 2, "{}", db.schema.name);
+        }
+    }
+
+    #[test]
+    fn splits_have_requested_sizes() {
+        let b = small();
+        assert_eq!(b.samples.len(), 60);
+        assert_eq!(b.test.len(), 40);
+    }
+
+    #[test]
+    fn every_query_resolves_and_executes() {
+        let b = small();
+        for ex in b.samples.iter().chain(&b.test) {
+            let db = b.db(&ex.db).unwrap();
+            assert!(gar_schema::resolve_query(&db.schema, &ex.sql).is_ok());
+            assert!(
+                gar_engine::execute(&db.database, &ex.sql).is_ok(),
+                "{}",
+                gar_sql::to_sql(&ex.sql)
+            );
+        }
+    }
+
+    #[test]
+    fn role_words_appear_in_nl_but_not_in_schema() {
+        let b = small();
+        for ex in b.test.iter().take(20) {
+            let db = b.db(&ex.db).unwrap();
+            let nl = ex.nl.to_lowercase();
+            // The NL must carry a role adjective that no column name spells
+            // out the same way the join condition does.
+            let has_role_word = DOMAINS
+                .iter()
+                .flat_map(|d| d.roles.iter())
+                .any(|r| nl.contains(r.word));
+            assert!(has_role_word, "{nl}");
+            let _ = db;
+        }
+    }
+
+    #[test]
+    fn both_roles_are_exercised() {
+        let b = small();
+        let mut dest = 0;
+        let mut src = 0;
+        for ex in b.samples.iter().chain(&b.test) {
+            let sql = gar_sql::to_sql(&ex.sql);
+            if ex.db == "flight_net" {
+                if sql.contains("dest_airport") {
+                    dest += 1;
+                }
+                if sql.contains("source_airport") {
+                    src += 1;
+                }
+            }
+        }
+        assert!(dest > 0 && src > 0, "dest {dest} src {src}");
+    }
+
+    #[test]
+    fn test_is_component_similar_to_samples() {
+        // Every test query's masked fingerprint pattern (ignoring values)
+        // must also occur in the sample split for at least one sibling —
+        // QBEN's "test queries for each are component-similar to those in
+        // the sample set".
+        let b = qben_sim(QbenSimConfig {
+            samples: 140,
+            test: 60,
+            seed: 2,
+        });
+        let sample_fps: std::collections::HashSet<String> = b
+            .samples
+            .iter()
+            .map(|e| gar_sql::fingerprint(&gar_sql::normalize(&gar_sql::mask_values(&e.sql))))
+            .collect();
+        let mut covered = 0usize;
+        for ex in &b.test {
+            let fp =
+                gar_sql::fingerprint(&gar_sql::normalize(&gar_sql::mask_values(&ex.sql)));
+            if sample_fps.contains(&fp) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered * 10 >= b.test.len() * 8,
+            "only {covered}/{} component-similar",
+            b.test.len()
+        );
+    }
+}

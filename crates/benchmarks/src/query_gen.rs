@@ -1,0 +1,590 @@
+//! Stratified gold-query generation.
+//!
+//! Samples SQL queries over a generated database with a clause mix tuned to
+//! SPIDER's published statistics (Table 3 of the paper: ~14% nested, ~21%
+//! ORDER BY, ~23% GROUP BY, ~6% compound), covering every pattern the GAR
+//! pipeline and its baselines must handle: filters, aggregates,
+//! superlatives, grouped counts, FK joins, nested subqueries, negations,
+//! LIKE patterns and set operations.
+
+use crate::schema_gen::GeneratedDb;
+use gar_engine::Datum;
+use gar_schema::ForeignKey;
+use gar_sql::ast::*;
+use gar_sql::{fingerprint, normalize};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Relative weights for the query patterns (indices match `PATTERNS`).
+const WEIGHTS: [usize; 9] = [14, 12, 15, 16, 15, 10, 5, 8, 5];
+
+/// Generate up to `n` distinct gold queries over the database.
+pub fn generate_queries(db: &GeneratedDb, n: usize, rng: &mut StdRng) -> Vec<Query> {
+    let mut out = Vec::with_capacity(n);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = n * 60;
+    while out.len() < n && attempts < max_attempts {
+        attempts += 1;
+        let total: usize = WEIGHTS.iter().sum();
+        let mut roll = rng.random_range(0..total);
+        let mut pattern = 0usize;
+        for (i, w) in WEIGHTS.iter().enumerate() {
+            if roll < *w {
+                pattern = i;
+                break;
+            }
+            roll -= w;
+        }
+        let Some(q) = try_pattern(db, pattern, rng) else {
+            continue;
+        };
+        if gar_schema::resolve_query(&db.schema, &q).is_err() {
+            continue;
+        }
+        let fp = fingerprint(&normalize(&q));
+        if seen.insert(fp) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+fn try_pattern(db: &GeneratedDb, pattern: usize, rng: &mut StdRng) -> Option<Query> {
+    match pattern {
+        0 => simple_select(db, rng),
+        1 => agg_select(db, rng),
+        2 => order_by(db, rng),
+        3 => group_by(db, rng),
+        4 => join_select(db, rng),
+        5 => nested(db, rng),
+        6 => compound(db, rng),
+        7 => negation(db, rng),
+        8 => like_query(db, rng),
+        _ => None,
+    }
+}
+
+// ---------- helpers ----------
+
+fn pick_table<'a>(db: &'a GeneratedDb, rng: &mut StdRng) -> &'a gar_schema::Table {
+    let i = rng.random_range(0..db.schema.tables.len());
+    &db.schema.tables[i]
+}
+
+fn pick_col<'a>(
+    t: &'a gar_schema::Table,
+    rng: &mut StdRng,
+    pred: impl Fn(&gar_schema::Column) -> bool,
+) -> Option<&'a gar_schema::Column> {
+    let candidates: Vec<&gar_schema::Column> = t.columns.iter().filter(|c| pred(c)).collect();
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[rng.random_range(0..candidates.len())])
+    }
+}
+
+fn not_key(t: &gar_schema::Table) -> impl Fn(&gar_schema::Column) -> bool + '_ {
+    move |c| !c.name.ends_with("_id") && !t.primary_key.contains(&c.name)
+}
+
+fn literal_for(db: &GeneratedDb, table: &str, col: &str, rng: &mut StdRng) -> Option<Literal> {
+    let vals = db.column_values(table, col);
+    if vals.is_empty() {
+        return None;
+    }
+    Some(match &vals[rng.random_range(0..vals.len())] {
+        Datum::Int(v) => Literal::Int(*v),
+        Datum::Float(v) => Literal::Float(*v),
+        Datum::Text(s) => Literal::Str(s.clone()),
+        Datum::Null => return None,
+    })
+}
+
+fn cmp_for(ty: gar_schema::ColType, rng: &mut StdRng) -> CmpOp {
+    if ty.is_numeric() {
+        match rng.random_range(0..4) {
+            0 => CmpOp::Eq,
+            1 => CmpOp::Gt,
+            2 => CmpOp::Lt,
+            _ => CmpOp::Ge,
+        }
+    } else {
+        CmpOp::Eq
+    }
+}
+
+fn where_pred(
+    db: &GeneratedDb,
+    t: &gar_schema::Table,
+    rng: &mut StdRng,
+) -> Option<Predicate> {
+    let col = pick_col(t, rng, not_key(t))?;
+    let lit = literal_for(db, &t.name, &col.name, rng)?;
+    Some(Predicate {
+        lhs: ColExpr::plain(ColumnRef::new(&t.name, &col.name)),
+        op: cmp_for(col.ty, rng),
+        rhs: Operand::Lit(lit),
+        rhs2: None,
+    })
+}
+
+fn where_condition(
+    db: &GeneratedDb,
+    t: &gar_schema::Table,
+    max_preds: usize,
+    rng: &mut StdRng,
+) -> Option<Condition> {
+    let n = rng.random_range(1..=max_preds);
+    let mut preds = Vec::with_capacity(n);
+    let mut conns = Vec::new();
+    for i in 0..n {
+        preds.push(where_pred(db, t, rng)?);
+        if i > 0 {
+            conns.push(if rng.random_range(0..5) == 0 {
+                BoolConn::Or
+            } else {
+                BoolConn::And
+            });
+        }
+    }
+    Some(Condition {
+        preds: preds.clone(),
+        conns,
+    })
+}
+
+fn pick_fk<'a>(db: &'a GeneratedDb, rng: &mut StdRng) -> Option<&'a ForeignKey> {
+    if db.schema.foreign_keys.is_empty() {
+        return None;
+    }
+    let i = rng.random_range(0..db.schema.foreign_keys.len());
+    Some(&db.schema.foreign_keys[i])
+}
+
+fn joined_from(fk: &ForeignKey) -> FromClause {
+    FromClause {
+        tables: vec![fk.to_table.clone(), fk.from_table.clone()],
+        conds: vec![JoinCond {
+            left: ColumnRef::new(&fk.to_table, &fk.to_column),
+            right: ColumnRef::new(&fk.from_table, &fk.from_column),
+        }],
+    }
+}
+
+// ---------- patterns ----------
+
+fn simple_select(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    let t = pick_table(db, rng);
+    let n_cols = rng.random_range(1..=2usize);
+    let mut items = Vec::new();
+    for _ in 0..n_cols {
+        let c = pick_col(t, rng, |_| true)?;
+        let item = ColExpr::plain(ColumnRef::new(&t.name, &c.name));
+        if !items.contains(&item) {
+            items.push(item);
+        }
+    }
+    let mut q = Query::simple(&t.name, items);
+    if rng.random_range(0..2) == 0 {
+        q.where_ = where_condition(db, t, 2, rng);
+    }
+    if rng.random_range(0..5) == 0 {
+        q.select.distinct = true;
+    }
+    Some(q)
+}
+
+fn agg_select(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    let t = pick_table(db, rng);
+    let item = match rng.random_range(0..5) {
+        0 => ColExpr::count_star(),
+        1 => {
+            let c = pick_col(t, rng, |c| c.ty.is_numeric() && !c.name.ends_with("_id"))?;
+            ColExpr::agg(AggFunc::Avg, ColumnRef::new(&t.name, &c.name))
+        }
+        2 => {
+            let c = pick_col(t, rng, |c| c.ty.is_numeric() && !c.name.ends_with("_id"))?;
+            ColExpr::agg(AggFunc::Sum, ColumnRef::new(&t.name, &c.name))
+        }
+        3 => {
+            let c = pick_col(t, rng, |c| c.ty.is_numeric() && !c.name.ends_with("_id"))?;
+            ColExpr::agg(AggFunc::Max, ColumnRef::new(&t.name, &c.name))
+        }
+        _ => {
+            let c = pick_col(t, rng, |c| !c.name.ends_with("_id"))?;
+            ColExpr {
+                agg: Some(AggFunc::Count),
+                distinct: true,
+                col: ColumnRef::new(&t.name, &c.name),
+            }
+        }
+    };
+    let mut q = Query::simple(&t.name, vec![item]);
+    if rng.random_range(0..2) == 0 {
+        q.where_ = where_condition(db, t, 2, rng);
+    }
+    Some(q)
+}
+
+fn order_by(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    // 50% joined superlative (the Fig. 1 shape), 50% single table.
+    let (mut q, order_table) = if rng.random_range(0..2) == 0 {
+        let fk = pick_fk(db, rng)?;
+        let parent = db.schema.table(&fk.to_table)?;
+        let sel_col = pick_col(parent, rng, not_key(parent))?;
+        let mut q = Query::simple(
+            &parent.name,
+            vec![ColExpr::plain(ColumnRef::new(&parent.name, &sel_col.name))],
+        );
+        q.from = joined_from(fk);
+        (q, fk.from_table.clone())
+    } else {
+        let t = pick_table(db, rng);
+        let sel_col = pick_col(t, rng, not_key(t))?;
+        (
+            Query::simple(
+                &t.name,
+                vec![ColExpr::plain(ColumnRef::new(&t.name, &sel_col.name))],
+            ),
+            t.name.clone(),
+        )
+    };
+    let ot = db.schema.table(&order_table)?;
+    let key_col = pick_col(ot, rng, |c| c.ty.is_numeric() && !c.name.ends_with("_id"))?;
+    let dir = if rng.random_range(0..3) == 0 {
+        OrderDir::Asc
+    } else {
+        OrderDir::Desc
+    };
+    q.order_by = Some(OrderClause {
+        items: vec![OrderItem {
+            expr: ColExpr::plain(ColumnRef::new(&ot.name, &key_col.name)),
+            dir,
+        }],
+    });
+    q.limit = Some(match rng.random_range(0..4) {
+        0 => 3,
+        1 => 5,
+        _ => 1,
+    });
+    Some(q)
+}
+
+fn group_by(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    // Group an event/child table by its FK column (SPIDER's dominant shape),
+    // or an entity table by a text category column.
+    let use_fk = rng.random_range(0..2) == 0 && !db.schema.foreign_keys.is_empty();
+    let (table, group_col) = if use_fk {
+        let fk = pick_fk(db, rng)?;
+        (fk.from_table.clone(), fk.from_column.clone())
+    } else {
+        let t = pick_table(db, rng);
+        let c = pick_col(t, rng, |c| {
+            matches!(c.ty, gar_schema::ColType::Text) && !c.name.ends_with("_id")
+        })?;
+        (t.name.clone(), c.name.clone())
+    };
+    let gcol = ColumnRef::new(&table, &group_col);
+    let mut q = Query::simple(
+        &table,
+        vec![ColExpr::plain(gcol.clone()), ColExpr::count_star()],
+    );
+    q.group_by = vec![gcol];
+
+    match rng.random_range(0..3) {
+        0 => {
+            // HAVING COUNT(*) >= k
+            q.having = Some(Condition::single(Predicate {
+                lhs: ColExpr::count_star(),
+                op: CmpOp::Ge,
+                rhs: Operand::Lit(Literal::Int(rng.random_range(2..5))),
+                rhs2: None,
+            }));
+        }
+        1 => {
+            // ORDER BY COUNT(*) DESC LIMIT 1 — "the most" idiom.
+            q.order_by = Some(OrderClause {
+                items: vec![OrderItem {
+                    expr: ColExpr::count_star(),
+                    dir: OrderDir::Desc,
+                }],
+            });
+            q.limit = Some(1);
+            q.select.items.pop(); // project only the group key
+        }
+        _ => {}
+    }
+    Some(q)
+}
+
+fn join_select(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    let fk = pick_fk(db, rng)?;
+    let parent = db.schema.table(&fk.to_table)?;
+    let child = db.schema.table(&fk.from_table)?;
+    let sel_col = pick_col(parent, rng, not_key(parent))?;
+    let mut q = Query::simple(
+        &parent.name,
+        vec![ColExpr::plain(ColumnRef::new(&parent.name, &sel_col.name))],
+    );
+    q.from = joined_from(fk);
+    q.where_ = where_condition(db, child, 2, rng)
+        .or_else(|| where_condition(db, parent, 1, rng));
+    Some(q)
+}
+
+fn nested(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    if rng.random_range(0..2) == 0 {
+        // parent.key IN (SELECT fk FROM child WHERE measure > v)
+        let fk = pick_fk(db, rng)?;
+        let parent = db.schema.table(&fk.to_table)?;
+        let child = db.schema.table(&fk.from_table)?;
+        let sel_col = pick_col(parent, rng, not_key(parent))?;
+        let mut sub = Query::simple(
+            &child.name,
+            vec![ColExpr::plain(ColumnRef::new(&child.name, &fk.from_column))],
+        );
+        sub.where_ = where_condition(db, child, 1, rng);
+        let mut q = Query::simple(
+            &parent.name,
+            vec![ColExpr::plain(ColumnRef::new(&parent.name, &sel_col.name))],
+        );
+        q.where_ = Some(Condition::single(Predicate {
+            lhs: ColExpr::plain(ColumnRef::new(&parent.name, &fk.to_column)),
+            op: CmpOp::In,
+            rhs: Operand::Subquery(Box::new(sub)),
+            rhs2: None,
+        }));
+        Some(q)
+    } else {
+        // t.num > (SELECT AVG(num) FROM t)
+        let t = pick_table(db, rng);
+        let num = pick_col(t, rng, |c| c.ty.is_numeric() && !c.name.ends_with("_id"))?;
+        let sel = pick_col(t, rng, not_key(t))?;
+        let sub = Query::simple(
+            &t.name,
+            vec![ColExpr::agg(AggFunc::Avg, ColumnRef::new(&t.name, &num.name))],
+        );
+        let mut q = Query::simple(
+            &t.name,
+            vec![ColExpr::plain(ColumnRef::new(&t.name, &sel.name))],
+        );
+        q.where_ = Some(Condition::single(Predicate {
+            lhs: ColExpr::plain(ColumnRef::new(&t.name, &num.name)),
+            op: CmpOp::Gt,
+            rhs: Operand::Subquery(Box::new(sub)),
+            rhs2: None,
+        }));
+        Some(q)
+    }
+}
+
+fn compound(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    let t = pick_table(db, rng);
+    let sel = pick_col(t, rng, not_key(t))?;
+    let item = ColExpr::plain(ColumnRef::new(&t.name, &sel.name));
+    let mut left = Query::simple(&t.name, vec![item.clone()]);
+    left.where_ = Some(Condition::single(where_pred(db, t, rng)?));
+    let mut right = Query::simple(&t.name, vec![item]);
+    right.where_ = Some(Condition::single(where_pred(db, t, rng)?));
+    let op = match rng.random_range(0..3) {
+        0 => SetOp::Union,
+        1 => SetOp::Intersect,
+        _ => SetOp::Except,
+    };
+    left.compound = Some((op, Box::new(right)));
+    Some(left)
+}
+
+fn negation(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    if rng.random_range(0..2) == 0 {
+        // != literal
+        let t = pick_table(db, rng);
+        let sel = pick_col(t, rng, not_key(t))?;
+        let c = pick_col(t, rng, not_key(t))?;
+        let lit = literal_for(db, &t.name, &c.name, rng)?;
+        let mut q = Query::simple(
+            &t.name,
+            vec![ColExpr::plain(ColumnRef::new(&t.name, &sel.name))],
+        );
+        q.where_ = Some(Condition::single(Predicate {
+            lhs: ColExpr::plain(ColumnRef::new(&t.name, &c.name)),
+            op: CmpOp::Ne,
+            rhs: Operand::Lit(lit),
+            rhs2: None,
+        }));
+        Some(q)
+    } else {
+        // parent.key NOT IN (SELECT fk FROM child)
+        let fk = pick_fk(db, rng)?;
+        let parent = db.schema.table(&fk.to_table)?;
+        let sel = pick_col(parent, rng, not_key(parent))?;
+        let sub = Query::simple(
+            &fk.from_table,
+            vec![ColExpr::plain(ColumnRef::new(&fk.from_table, &fk.from_column))],
+        );
+        let mut q = Query::simple(
+            &parent.name,
+            vec![ColExpr::plain(ColumnRef::new(&parent.name, &sel.name))],
+        );
+        q.where_ = Some(Condition::single(Predicate {
+            lhs: ColExpr::plain(ColumnRef::new(&parent.name, &fk.to_column)),
+            op: CmpOp::NotIn,
+            rhs: Operand::Subquery(Box::new(sub)),
+            rhs2: None,
+        }));
+        Some(q)
+    }
+}
+
+fn like_query(db: &GeneratedDb, rng: &mut StdRng) -> Option<Query> {
+    let t = pick_table(db, rng);
+    let text_col = pick_col(t, rng, |c| {
+        matches!(c.ty, gar_schema::ColType::Text) && !c.name.ends_with("_id")
+    })?;
+    let sel = pick_col(t, rng, not_key(t))?;
+    let lit = literal_for(db, &t.name, &text_col.name, rng)?;
+    let pattern = match lit {
+        Literal::Str(s) if s.len() >= 3 => {
+            let prefix: String = s.chars().take(3).collect();
+            format!("{prefix}%")
+        }
+        Literal::Str(s) => format!("{s}%"),
+        _ => return None,
+    };
+    let mut q = Query::simple(
+        &t.name,
+        vec![ColExpr::plain(ColumnRef::new(&t.name, &sel.name))],
+    );
+    q.where_ = Some(Condition::single(Predicate {
+        lhs: ColExpr::plain(ColumnRef::new(&t.name, &text_col.name)),
+        op: if rng.random_range(0..4) == 0 {
+            CmpOp::NotLike
+        } else {
+            CmpOp::Like
+        },
+        rhs: Operand::Lit(Literal::Str(pattern)),
+        rhs2: None,
+    }));
+    Some(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::generate_db;
+    use crate::vocab::THEMES;
+    use gar_sql::{classify, clause_types, ClauseType, Difficulty};
+    use rand::SeedableRng;
+
+    fn corpus(n: usize, seed: u64) -> (GeneratedDb, Vec<Query>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let db = generate_db(&THEMES[seed as usize % THEMES.len()], 0, &mut rng);
+        let queries = generate_queries(&db, n, &mut rng);
+        (db, queries)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (_, qs) = corpus(120, 1);
+        assert!(qs.len() >= 100, "only {} queries", qs.len());
+    }
+
+    #[test]
+    fn all_queries_resolve_against_schema() {
+        let (db, qs) = corpus(150, 2);
+        for q in &qs {
+            assert!(
+                gar_schema::resolve_query(&db.schema, q).is_ok(),
+                "{}",
+                gar_sql::to_sql(q)
+            );
+        }
+    }
+
+    #[test]
+    fn all_queries_parse_roundtrip() {
+        let (_, qs) = corpus(150, 3);
+        for q in &qs {
+            let sql = gar_sql::to_sql(q);
+            let back = gar_sql::parse(&sql).expect(&sql);
+            assert!(gar_sql::exact_match(q, &back), "{sql}");
+        }
+    }
+
+    #[test]
+    fn all_queries_execute() {
+        let (db, qs) = corpus(150, 4);
+        for q in &qs {
+            gar_engine::execute(&db.database, q)
+                .unwrap_or_else(|e| panic!("{e}: {}", gar_sql::to_sql(q)));
+        }
+    }
+
+    #[test]
+    fn clause_mix_covers_all_types() {
+        let (_, qs) = corpus(250, 5);
+        let mut counts = std::collections::HashMap::new();
+        for q in &qs {
+            for ct in clause_types(q) {
+                *counts.entry(ct).or_insert(0usize) += 1;
+            }
+        }
+        for ct in ClauseType::all() {
+            assert!(
+                counts.get(&ct).copied().unwrap_or(0) > 0,
+                "no queries of type {ct:?}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn difficulty_mix_covers_all_levels() {
+        let (_, qs) = corpus(300, 6);
+        let mut counts = std::collections::HashMap::new();
+        for q in &qs {
+            *counts.entry(classify(q)).or_insert(0usize) += 1;
+        }
+        for d in Difficulty::all() {
+            assert!(
+                counts.get(&d).copied().unwrap_or(0) > 0,
+                "no {d:?} queries: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_are_distinct() {
+        let (_, qs) = corpus(200, 7);
+        let mut fps = HashSet::new();
+        for q in &qs {
+            assert!(fps.insert(fingerprint(&normalize(q))));
+        }
+    }
+
+    #[test]
+    fn many_filters_hit_rows() {
+        // Literals are sampled from real data, so a good share of queries
+        // with WHERE should return non-empty results.
+        let (db, qs) = corpus(150, 8);
+        let mut with_where = 0usize;
+        let mut nonempty = 0usize;
+        for q in &qs {
+            if q.where_.is_some() && q.compound.is_none() {
+                with_where += 1;
+                if let Ok(rs) = gar_engine::execute(&db.database, q) {
+                    if !rs.rows.is_empty() {
+                        nonempty += 1;
+                    }
+                }
+            }
+        }
+        assert!(with_where > 10);
+        assert!(
+            nonempty * 2 >= with_where,
+            "{nonempty}/{with_where} non-empty"
+        );
+    }
+}

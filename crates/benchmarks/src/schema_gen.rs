@@ -1,0 +1,360 @@
+//! Schema generation and data population for the benchmark simulators.
+
+use crate::vocab::{text_pool, ColSpec, Theme};
+use gar_engine::{Database, Datum};
+use gar_schema::{AnnotationSet, Schema, SchemaBuilder};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generated database: schema, populated data, and (possibly empty) join
+/// annotations.
+#[derive(Debug, Clone)]
+pub struct GeneratedDb {
+    /// The schema.
+    pub schema: Schema,
+    /// Populated physical data (backs execution accuracy).
+    pub database: Database,
+    /// GAR-J join annotations (empty unless curated by the suite).
+    pub annotations: AnnotationSet,
+}
+
+impl GeneratedDb {
+    /// Distinct non-null values of a column, in storage order. Query
+    /// generation samples literals from here so filters select real rows.
+    pub fn column_values(&self, table: &str, column: &str) -> Vec<Datum> {
+        let Some(t) = self.database.table(table) else {
+            return Vec::new();
+        };
+        let Some(i) = t.col_index(column) else {
+            return Vec::new();
+        };
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for row in &t.rows {
+            let v = &row[i];
+            if !v.is_null() && seen.insert(v.canon_key()) {
+                out.push(v.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Generate a SPIDER-style database from a theme: a subset of the theme's
+/// entity tables plus one or two event/bridge tables with compound keys and
+/// foreign keys, then populate it with consistent synthetic rows.
+pub fn generate_db(theme: &Theme, variant: u64, rng: &mut StdRng) -> GeneratedDb {
+    let db_name = format!("{}_{variant}", theme.name);
+
+    // Choose 2..=n entity tables.
+    let n_entities = rng.random_range(2..=theme.tables.len().min(4));
+    let mut chosen: Vec<usize> = (0..theme.tables.len()).collect();
+    for i in (1..chosen.len()).rev() {
+        let j = rng.random_range(0..=i);
+        chosen.swap(i, j);
+    }
+    chosen.truncate(n_entities);
+    chosen.sort_unstable();
+
+    let mut builder = SchemaBuilder::new(&db_name);
+    let mut entity_names: Vec<&'static str> = Vec::new();
+    for &ti in &chosen {
+        let spec = theme.tables[ti];
+        entity_names.push(spec.name);
+        builder = builder.table(spec.name, |mut t| {
+            let key = format!("{}_id", spec.name);
+            t = t.col_int(&key).pk(&[&key]);
+            for col in spec.cols {
+                t = add_col(t, col);
+            }
+            t
+        });
+    }
+
+    // Event/bridge tables between entity pairs (these create the join paths
+    // and compound keys the paper's examples rely on).
+    let n_events = if entity_names.len() >= 2 {
+        rng.random_range(1..=2usize)
+    } else {
+        0
+    };
+    let mut event_specs: Vec<(String, &'static str, &'static str, String)> = Vec::new();
+    for e in 0..n_events {
+        let a = entity_names[rng.random_range(0..entity_names.len())];
+        let mut b = entity_names[rng.random_range(0..entity_names.len())];
+        if a == b {
+            b = entity_names[entity_names.len().div_ceil(2) % entity_names.len()];
+            if a == b {
+                continue;
+            }
+        }
+        let measure = ["amount", "score", "bonus", "quantity"][e % 4].to_string();
+        let ev_name = format!("{a}_{b}_record");
+        if event_specs.iter().any(|(n, _, _, _)| *n == ev_name) {
+            continue;
+        }
+        builder = builder.table(&ev_name, |t| {
+            let ka = format!("{a}_id");
+            let kb = format!("{b}_id");
+            t.col_int(&ka)
+                .col_int(&kb)
+                .col_int("year")
+                .col_float(&measure)
+                .pk(&[&ka, "year"])
+        });
+        builder = builder.fk(&ev_name, &format!("{a}_id"), a, &format!("{a}_id"));
+        builder = builder.fk(&ev_name, &format!("{b}_id"), b, &format!("{b}_id"));
+        event_specs.push((ev_name, a, b, measure));
+    }
+
+    let schema = builder.build();
+    let database = populate(&schema, rng);
+
+    GeneratedDb {
+        schema,
+        database,
+        annotations: AnnotationSet::empty(),
+    }
+}
+
+/// Curate generic GAR-J join annotations from the schema's foreign keys
+/// (the "manual annotation" step of Section IV-A, automated for the
+/// simulated benchmarks: one annotation per FK, describing the child-of-
+/// parent relationship and keying the asterisk on the child entity).
+pub fn curate_annotations(db: &mut GeneratedDb) {
+    for fk in &db.schema.foreign_keys {
+        let child_nl = db
+            .schema
+            .table(&fk.from_table)
+            .map(|t| t.nl_name.clone())
+            .unwrap_or_else(|| fk.from_table.clone());
+        let parent_nl = db
+            .schema
+            .table(&fk.to_table)
+            .map(|t| t.nl_name.clone())
+            .unwrap_or_else(|| fk.to_table.clone());
+        db.annotations.add(
+            &fk.to_table,
+            &fk.from_table,
+            &format!("{}.{}", fk.to_table, fk.to_column),
+            &format!("{}.{}", fk.from_table, fk.from_column),
+            &format!("the {child_nl} belong to the {parent_nl}"),
+            &child_nl,
+        );
+    }
+}
+
+fn add_col(
+    t: gar_schema::builder::TableBuilder,
+    col: &ColSpec,
+) -> gar_schema::builder::TableBuilder {
+    match col.ty {
+        'i' => t.col_int(col.name),
+        'f' => t.col_float(col.name),
+        _ => t.col_text(col.name),
+    }
+}
+
+/// Populate every table of a schema with synthetic rows. Foreign-key columns
+/// reference existing parent keys; text columns draw from the shared pools
+/// (so `WHERE` literals sampled from the data hit real rows); numeric
+/// columns use name-aware ranges.
+pub fn populate(schema: &Schema, rng: &mut StdRng) -> Database {
+    let mut db = Database::empty(schema.clone());
+
+    // Parents first (tables that are FK targets), then referencing tables.
+    let mut order: Vec<&str> = schema.tables.iter().map(|t| t.name.as_str()).collect();
+    order.sort_by_key(|t| {
+        schema
+            .foreign_keys
+            .iter()
+            .filter(|fk| fk.from_table == *t)
+            .count()
+    });
+
+    for tname in order {
+        let table = schema.table(tname).expect("ordered over schema tables");
+        let n_rows = rng.random_range(24..=60usize);
+        for i in 0..n_rows {
+            let mut row = Vec::with_capacity(table.columns.len());
+            for col in &table.columns {
+                // FK column: sample a parent key.
+                let fk = schema
+                    .foreign_keys
+                    .iter()
+                    .find(|fk| fk.from_table == tname && fk.from_column == col.name);
+                if let Some(fk) = fk {
+                    let parents = db
+                        .table(&fk.to_table)
+                        .map(|t| t.rows.len())
+                        .unwrap_or(0);
+                    if parents > 0 {
+                        row.push(Datum::Int(rng.random_range(1..=parents as i64)));
+                    } else {
+                        row.push(Datum::Int(1));
+                    }
+                    continue;
+                }
+                // Primary key prefix column named <table>_id: sequential.
+                if table.primary_key.first().map(String::as_str) == Some(col.name.as_str())
+                    && table.primary_key.len() == 1
+                {
+                    row.push(Datum::Int(i as i64 + 1));
+                    continue;
+                }
+                row.push(random_value(&col.name, col.ty, rng));
+            }
+            db.insert(tname, row);
+        }
+    }
+    db
+}
+
+fn random_value(name: &str, ty: gar_schema::ColType, rng: &mut StdRng) -> Datum {
+    use gar_schema::ColType;
+    match ty {
+        ColType::Text => {
+            let pool = text_pool(name);
+            Datum::Text(pool[rng.random_range(0..pool.len())].to_string())
+        }
+        ColType::Int => {
+            let (lo, hi) = int_range(name);
+            Datum::Int(rng.random_range(lo..=hi))
+        }
+        ColType::Float => {
+            let (lo, hi) = float_range(name);
+            let v: f64 = rng.random_range(lo..hi);
+            Datum::Float((v * 100.0).round() / 100.0)
+        }
+    }
+}
+
+fn int_range(name: &str) -> (i64, i64) {
+    match name {
+        "age" => (18, 70),
+        n if n.contains("year") || n == "founded" || n == "opened" => (1960, 2023),
+        "capacity" => (1_000, 90_000),
+        "elevation" => (0, 4_000),
+        "attendance" | "headcount" | "population" => (100, 50_000),
+        "distance" => (100, 9_000),
+        "duration" => (30, 900),
+        "floor" => (1, 12),
+        "credits" => (1, 10),
+        "pages" => (80, 1200),
+        "goals" | "experience" | "stock" | "fleet_size" | "calories" => (0, 800),
+        _ => (1, 1_000),
+    }
+}
+
+fn float_range(name: &str) -> (f64, f64) {
+    match name {
+        "gpa" => (1.0, 4.0),
+        "rating" => (1.0, 5.0),
+        "price" | "amount" => (1.0, 500.0),
+        "salary" | "bonus" => (1_000.0, 20_000.0),
+        "budget" | "revenue" | "value" | "sales" => (10_000.0, 5_000_000.0),
+        _ => (0.0, 1_000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::THEMES;
+    use rand::SeedableRng;
+
+    fn gen(seed: u64) -> GeneratedDb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate_db(&THEMES[0], 0, &mut rng)
+    }
+
+    #[test]
+    fn generated_schema_is_valid() {
+        let g = gen(1);
+        assert!(g.schema.validate().is_ok());
+        assert!(g.schema.table_count() >= 2);
+    }
+
+    #[test]
+    fn all_tables_are_populated() {
+        let g = gen(2);
+        for t in &g.schema.tables {
+            let rows = g.database.table(&t.name).unwrap().rows.len();
+            assert!(rows >= 24, "{} has {rows} rows", t.name);
+        }
+    }
+
+    #[test]
+    fn fk_values_reference_existing_parents() {
+        let g = gen(3);
+        for fk in &g.schema.foreign_keys {
+            let child = g.database.table(&fk.from_table).unwrap();
+            let ci = child.col_index(&fk.from_column).unwrap();
+            let parent = g.database.table(&fk.to_table).unwrap();
+            let pi = parent.col_index(&fk.to_column).unwrap();
+            let parent_keys: std::collections::HashSet<String> = parent
+                .rows
+                .iter()
+                .map(|r| r[pi].canon_key())
+                .collect();
+            for row in &child.rows {
+                assert!(
+                    parent_keys.contains(&row[ci].canon_key()),
+                    "dangling FK {}.{}",
+                    fk.from_table,
+                    fk.from_column
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_tables_have_compound_keys_and_joins() {
+        // Generate several DBs; at least one must contain a compound-keyed
+        // event table with two FKs (the Fig. 1 shape).
+        let mut found = false;
+        for seed in 0..10 {
+            let g = gen(seed);
+            for t in &g.schema.tables {
+                if t.has_compound_key() {
+                    let fks = g
+                        .schema
+                        .foreign_keys
+                        .iter()
+                        .filter(|fk| fk.from_table == t.name)
+                        .count();
+                    if fks >= 2 {
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn column_values_returns_real_data() {
+        let g = gen(5);
+        let t = &g.schema.tables[0];
+        let col = &t.columns[1];
+        let vals = g.column_values(&t.name, &col.name);
+        assert!(!vals.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen(7);
+        let b = gen(7);
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.database.total_rows(), b.database.total_rows());
+    }
+
+    #[test]
+    fn different_variants_have_different_names() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = generate_db(&THEMES[1], 3, &mut rng);
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = generate_db(&THEMES[1], 4, &mut rng);
+        assert_ne!(a.schema.name, b.schema.name);
+    }
+}

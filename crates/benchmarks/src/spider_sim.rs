@@ -1,0 +1,175 @@
+//! `spider_sim` — the SPIDER benchmark simulator.
+//!
+//! Reproduces SPIDER's defining properties (Table 3 of the paper): many
+//! cross-domain databases with ~4.1 tables each, a train/validation split
+//! whose databases are disjoint ("a database schema is used exclusively for
+//! either training or validation, but not both"), and a clause mix of
+//! roughly 14% nested, 21% ORDER BY, 23% GROUP BY and 6% compound queries.
+//! Sizes are scaled by configuration; proportions are preserved.
+
+use crate::query_gen::generate_queries;
+use crate::schema_gen::{generate_db, GeneratedDb};
+use crate::suite::{Benchmark, Example};
+use crate::vocab::THEMES;
+use gar_nl::{NlConfig, NlGenerator};
+use gar_sql::{classify, Difficulty, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for the SPIDER simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct SpiderSimConfig {
+    /// Number of training databases (paper: 146).
+    pub train_dbs: usize,
+    /// Number of validation databases (paper: 20).
+    pub val_dbs: usize,
+    /// Gold queries generated per database (paper: ~59 train / ~52 val).
+    pub queries_per_db: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SpiderSimConfig {
+    fn default() -> Self {
+        SpiderSimConfig {
+            train_dbs: 12,
+            val_dbs: 4,
+            queries_per_db: 56,
+            seed: 2023,
+        }
+    }
+}
+
+/// Ambiguity (paraphrase aggressiveness) as a function of difficulty: the
+/// harder the query, the further the human phrasing strays from the schema
+/// wording — this is what makes hard queries hard for every system, as in
+/// the paper's Table 1/4 gradients.
+pub fn ambiguity_for(d: Difficulty) -> f64 {
+    match d {
+        Difficulty::Easy => 0.12,
+        Difficulty::Medium => 0.28,
+        Difficulty::Hard => 0.42,
+        Difficulty::ExtraHard => 0.58,
+    }
+}
+
+/// Render the NL utterance for a gold query using difficulty-scaled
+/// ambiguity.
+pub fn utterance_for(db: &GeneratedDb, q: &Query, seed: u64, salt: u64) -> String {
+    let gen = NlGenerator::new(
+        &db.schema,
+        NlConfig {
+            seed,
+            ambiguity: ambiguity_for(classify(q)),
+        },
+    );
+    gen.generate(q, salt)
+}
+
+/// Build the `spider_sim` benchmark.
+pub fn spider_sim(config: SpiderSimConfig) -> Benchmark {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dbs = Vec::new();
+    let mut train = Vec::new();
+    let mut dev = Vec::new();
+
+    let total_dbs = config.train_dbs + config.val_dbs;
+    for i in 0..total_dbs {
+        let theme = &THEMES[i % THEMES.len()];
+        let variant = (i / THEMES.len()) as u64;
+        let db = generate_db(theme, variant, &mut rng);
+        let queries = generate_queries(&db, config.queries_per_db, &mut rng);
+        let is_train = i < config.train_dbs;
+        for (j, q) in queries.into_iter().enumerate() {
+            let nl = utterance_for(&db, &q, config.seed ^ (i as u64), j as u64);
+            let ex = Example {
+                db: db.schema.name.clone(),
+                nl,
+                sql: q,
+            };
+            if is_train {
+                train.push(ex);
+            } else {
+                dev.push(ex);
+            }
+        }
+        dbs.push(db);
+    }
+
+    Benchmark {
+        name: "spider_sim".to_string(),
+        dbs,
+        train,
+        dev,
+        test: Vec::new(),
+        samples: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> Benchmark {
+        spider_sim(SpiderSimConfig {
+            train_dbs: 3,
+            val_dbs: 2,
+            queries_per_db: 30,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn train_and_dev_databases_are_disjoint() {
+        let b = small();
+        let train_dbs: HashSet<String> = Benchmark::split_dbs(&b.train).into_iter().collect();
+        let dev_dbs: HashSet<String> = Benchmark::split_dbs(&b.dev).into_iter().collect();
+        assert!(!train_dbs.is_empty() && !dev_dbs.is_empty());
+        assert!(train_dbs.is_disjoint(&dev_dbs));
+    }
+
+    #[test]
+    fn every_example_resolves_on_its_db() {
+        let b = small();
+        for ex in b.train.iter().chain(&b.dev) {
+            let db = b.db(&ex.db).expect("db exists");
+            assert!(gar_schema::resolve_query(&db.schema, &ex.sql).is_ok());
+            assert!(!ex.nl.is_empty());
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.train.len(), b.train.len());
+        for (x, y) in a.dev.iter().zip(&b.dev) {
+            assert_eq!(x.nl, y.nl);
+            assert_eq!(gar_sql::to_sql(&x.sql), gar_sql::to_sql(&y.sql));
+        }
+    }
+
+    #[test]
+    fn ambiguity_is_monotone_in_difficulty() {
+        let ds = Difficulty::all();
+        for w in ds.windows(2) {
+            assert!(ambiguity_for(w[0]) < ambiguity_for(w[1]));
+        }
+    }
+
+    #[test]
+    fn difficulty_mix_present_in_dev() {
+        let b = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 3,
+            queries_per_db: 56,
+            seed: 6,
+        });
+        let mut counts = std::collections::HashMap::new();
+        for ex in &b.dev {
+            *counts.entry(classify(&ex.sql)).or_insert(0usize) += 1;
+        }
+        assert!(counts.len() >= 3, "{counts:?}");
+    }
+}

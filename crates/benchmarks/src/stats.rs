@@ -1,0 +1,178 @@
+//! Benchmark statistics (Table 3 of the paper).
+
+use crate::suite::{Benchmark, Example};
+
+/// Statistics for one split of a benchmark.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SplitStats {
+    /// Number of examples.
+    pub total: usize,
+    /// Queries with nested subqueries.
+    pub nested: usize,
+    /// Queries with `ORDER BY`.
+    pub order_by: usize,
+    /// Queries with `GROUP BY`.
+    pub group_by: usize,
+    /// Compound (set-operation) queries.
+    pub compound: usize,
+}
+
+impl SplitStats {
+    /// Compute over a split.
+    pub fn compute(split: &[Example]) -> Self {
+        let mut s = SplitStats {
+            total: split.len(),
+            ..SplitStats::default()
+        };
+        for ex in split {
+            if ex.sql.has_nested_subquery() {
+                s.nested += 1;
+            }
+            if ex.sql.order_by.is_some() {
+                s.order_by += 1;
+            }
+            if !ex.sql.group_by.is_empty() {
+                s.group_by += 1;
+            }
+            if ex.sql.is_compound() {
+                s.compound += 1;
+            }
+        }
+        s
+    }
+}
+
+/// Full Table-3-style statistics for a benchmark.
+#[derive(Debug, Clone, Default)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of databases.
+    pub databases: usize,
+    /// Average tables per database.
+    pub avg_tables: f64,
+    /// Per-split statistics: (split name, stats), only non-empty splits.
+    pub splits: Vec<(String, SplitStats)>,
+}
+
+impl BenchStats {
+    /// Compute the statistics of a benchmark.
+    pub fn compute(b: &Benchmark) -> Self {
+        let databases = b.dbs.len();
+        let avg_tables = if databases == 0 {
+            0.0
+        } else {
+            b.dbs.iter().map(|d| d.schema.table_count()).sum::<usize>() as f64
+                / databases as f64
+        };
+        let mut splits = Vec::new();
+        for (name, split) in [
+            ("train", &b.train),
+            ("dev", &b.dev),
+            ("test", &b.test),
+            ("samples", &b.samples),
+        ] {
+            if !split.is_empty() {
+                splits.push((name.to_string(), SplitStats::compute(split)));
+            }
+        }
+        BenchStats {
+            name: b.name.clone(),
+            databases,
+            avg_tables,
+            splits,
+        }
+    }
+
+    /// Render as an aligned text table row set (one row per split).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} databases, {:.2} avg tables/db\n",
+            self.name, self.databases, self.avg_tables
+        );
+        out.push_str(
+            "  split     total  nested  orderby  groupby  compound\n",
+        );
+        for (name, s) in &self.splits {
+            out.push_str(&format!(
+                "  {name:<9} {:<6} {:<7} {:<8} {:<8} {:<8}\n",
+                s.total, s.nested, s.order_by, s.group_by, s.compound
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spider_sim::{spider_sim, SpiderSimConfig};
+
+    #[test]
+    fn stats_reflect_clause_mix() {
+        let b = spider_sim(SpiderSimConfig {
+            train_dbs: 3,
+            val_dbs: 1,
+            queries_per_db: 50,
+            seed: 12,
+        });
+        let stats = BenchStats::compute(&b);
+        assert_eq!(stats.databases, 4);
+        assert!(stats.avg_tables >= 2.0);
+        let train = &stats.splits[0].1;
+        assert!(train.total > 100);
+        // The SPIDER-like mix must show all clause families.
+        assert!(train.nested > 0);
+        assert!(train.order_by > 0);
+        assert!(train.group_by > 0);
+        // Compound queries are rarer but present at this scale.
+        assert!(train.compound > 0, "{train:?}");
+    }
+
+    #[test]
+    fn proportions_are_spider_like() {
+        // SPIDER train: nested 14%, ORDER BY 21%, GROUP BY 23%, compound 6%.
+        // Allow generous tolerances — the point is the *shape*.
+        let b = spider_sim(SpiderSimConfig {
+            train_dbs: 5,
+            val_dbs: 1,
+            queries_per_db: 56,
+            seed: 13,
+        });
+        let s = SplitStats::compute(&b.train);
+        let frac = |n: usize| n as f64 / s.total as f64;
+        assert!(
+            (0.05..=0.32).contains(&frac(s.nested)),
+            "nested {}",
+            frac(s.nested)
+        );
+        assert!(
+            (0.08..=0.40).contains(&frac(s.order_by)),
+            "orderby {}",
+            frac(s.order_by)
+        );
+        assert!(
+            (0.08..=0.40).contains(&frac(s.group_by)),
+            "groupby {}",
+            frac(s.group_by)
+        );
+        assert!(
+            (0.01..=0.15).contains(&frac(s.compound)),
+            "compound {}",
+            frac(s.compound)
+        );
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let b = spider_sim(SpiderSimConfig {
+            train_dbs: 1,
+            val_dbs: 1,
+            queries_per_db: 10,
+            seed: 14,
+        });
+        let r = BenchStats::compute(&b).render();
+        assert!(r.contains("train"));
+        assert!(r.contains("dev"));
+    }
+}

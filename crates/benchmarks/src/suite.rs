@@ -1,0 +1,94 @@
+//! Benchmark container types shared by the four suite simulators.
+
+use crate::schema_gen::GeneratedDb;
+use gar_sql::Query;
+
+/// One (NL, SQL) evaluation example over a named database.
+#[derive(Debug, Clone)]
+pub struct Example {
+    /// Database id the example targets.
+    pub db: String,
+    /// The natural-language question.
+    pub nl: String,
+    /// The gold SQL query (resolved against the database's schema).
+    pub sql: Query,
+}
+
+/// A benchmark: databases plus train/dev/test (and, for QBEN, sample)
+/// example splits. Splits that a benchmark does not define are empty.
+#[derive(Debug, Clone, Default)]
+pub struct Benchmark {
+    /// Benchmark name (`spider_sim`, `geo_sim`, ...).
+    pub name: String,
+    /// All databases, train and evaluation.
+    pub dbs: Vec<GeneratedDb>,
+    /// Training examples (cross-database for spider-style suites).
+    pub train: Vec<Example>,
+    /// Validation examples.
+    pub dev: Vec<Example>,
+    /// Test examples.
+    pub test: Vec<Example>,
+    /// Sample queries (QBEN's curated sample split).
+    pub samples: Vec<Example>,
+}
+
+impl Benchmark {
+    /// Look up a database by id.
+    pub fn db(&self, name: &str) -> Option<&GeneratedDb> {
+        self.dbs.iter().find(|d| d.schema.name == name)
+    }
+
+    /// Database ids covered by a split.
+    pub fn split_dbs(split: &[Example]) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for e in split {
+            if !out.contains(&e.db) {
+                out.push(e.db.clone());
+            }
+        }
+        out
+    }
+
+    /// The evaluation split: `dev` when non-empty (SPIDER evaluates on the
+    /// validation set), else `test`.
+    pub fn eval_split(&self) -> &[Example] {
+        if !self.dev.is_empty() {
+            &self.dev
+        } else {
+            &self.test
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_dbs_dedups_in_order() {
+        let e = |db: &str| Example {
+            db: db.into(),
+            nl: String::new(),
+            sql: gar_sql::parse("SELECT t.a FROM t").unwrap(),
+        };
+        let split = vec![e("b"), e("a"), e("b"), e("c")];
+        assert_eq!(Benchmark::split_dbs(&split), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn eval_split_prefers_dev() {
+        let e = Example {
+            db: "x".into(),
+            nl: "q".into(),
+            sql: gar_sql::parse("SELECT t.a FROM t").unwrap(),
+        };
+        let mut b = Benchmark {
+            name: "t".into(),
+            ..Benchmark::default()
+        };
+        b.test = vec![e.clone()];
+        assert_eq!(b.eval_split().len(), 1);
+        b.dev = vec![e.clone(), e];
+        assert_eq!(b.eval_split().len(), 2);
+    }
+}

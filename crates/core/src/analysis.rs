@@ -1,0 +1,113 @@
+//! Per-stage error attribution (Table 9 of the paper).
+//!
+//! A failed translation is blamed on exactly one pipeline stage:
+//!
+//! - **data preparation miss** — the gold query was never generated into
+//!   the candidate pool;
+//! - **retrieval miss** — the gold is in the pool but the first-stage
+//!   model did not put it in the top-k;
+//! - **re-ranking miss** — the gold was retrieved but not ranked first.
+
+use crate::system::{GarSystem, PreparedDb};
+use gar_benchmarks::{Example, GeneratedDb};
+use gar_sql::{exact_match, mask_values};
+
+/// Per-stage failure counts over one evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ErrorAnalysis {
+    /// Examples evaluated.
+    pub total: usize,
+    /// Correct top-1 translations.
+    pub correct: usize,
+    /// Gold absent from the candidate pool.
+    pub data_prep_miss: usize,
+    /// Gold in pool, absent from retrieval top-k.
+    pub retrieval_miss: usize,
+    /// Gold retrieved, not ranked first.
+    pub rerank_miss: usize,
+}
+
+impl ErrorAnalysis {
+    /// Top-1 accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Merge another analysis into this one.
+    pub fn merge(&mut self, other: &ErrorAnalysis) {
+        self.total += other.total;
+        self.correct += other.correct;
+        self.data_prep_miss += other.data_prep_miss;
+        self.retrieval_miss += other.retrieval_miss;
+        self.rerank_miss += other.rerank_miss;
+    }
+}
+
+/// Attribute every failure in the examples to a pipeline stage.
+pub fn analyze(
+    gar: &GarSystem,
+    db: &GeneratedDb,
+    prepared: &PreparedDb,
+    examples: &[&Example],
+) -> ErrorAnalysis {
+    let mut out = ErrorAnalysis::default();
+    for ex in examples {
+        out.total += 1;
+        let gold = mask_values(&ex.sql);
+        let gold_ids: Vec<usize> = prepared
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| exact_match(&e.sql, &gold))
+            .map(|(i, _)| i)
+            .collect();
+        if gold_ids.is_empty() {
+            out.data_prep_miss += 1;
+            continue;
+        }
+        let tr = gar.translate(db, prepared, &ex.nl);
+        let top_ok = tr
+            .top1()
+            .map(|t| exact_match(t, &ex.sql))
+            .unwrap_or(false);
+        if top_ok {
+            out.correct += 1;
+            continue;
+        }
+        if tr.retrieved.iter().any(|id| gold_ids.contains(id)) {
+            out.rerank_miss += 1;
+        } else {
+            out.retrieval_miss += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_sum_to_total() {
+        let mut a = ErrorAnalysis {
+            total: 10,
+            correct: 6,
+            data_prep_miss: 1,
+            retrieval_miss: 1,
+            rerank_miss: 2,
+        };
+        assert_eq!(
+            a.correct + a.data_prep_miss + a.retrieval_miss + a.rerank_miss,
+            a.total
+        );
+        assert!((a.accuracy() - 0.6).abs() < 1e-9);
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.total, 20);
+        assert_eq!(a.correct, 12);
+    }
+}

@@ -1,0 +1,273 @@
+//! Artifact persistence: trained systems and prepared databases.
+//!
+//! GAR's pipeline is split into an offline phase (generalize → dialect →
+//! train → encode) and an online phase (translate). These codecs make the
+//! split real: a deployment trains once, persists the [`GarSystem`] and a
+//! [`PreparedDb`] per database, and serves translations from the loaded
+//! artifacts.
+//!
+//! The format reuses `gar-ltr`'s length-prefixed little-endian layout
+//! (magic `GAR1`); kind 3 = system, kind 4 = prepared database.
+
+use crate::prepare::DialectEntry;
+use crate::system::{GarConfig, GarSystem, PreparedDb};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gar_ltr::persist::{read_header, write_header, PersistError};
+use gar_ltr::{RerankModel, RetrievalModel};
+use gar_vecindex::FlatIndex;
+
+/// Errors from decoding a core artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// Underlying codec error.
+    Persist(PersistError),
+    /// A stored SQL string failed to re-parse.
+    BadSql(String),
+    /// Malformed UTF-8 or layout.
+    Corrupt,
+}
+
+impl From<PersistError> for ArtifactError {
+    fn from(e: PersistError) -> Self {
+        ArtifactError::Persist(e)
+    }
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Persist(e) => write!(f, "artifact codec: {e}"),
+            ArtifactError::BadSql(s) => write!(f, "stored SQL does not parse: {s}"),
+            ArtifactError::Corrupt => write!(f, "corrupt artifact"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, ArtifactError> {
+    if buf.remaining() < 4 {
+        return Err(ArtifactError::Corrupt);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(ArtifactError::Corrupt);
+    }
+    let raw = buf.copy_to_bytes(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| ArtifactError::Corrupt)
+}
+
+/// Serialize a trained system (both models + the inference-relevant
+/// configuration switches).
+pub fn system_to_bytes(sys: &GarSystem) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    write_header(&mut buf, 3);
+    buf.put_u8(u8::from(sys.config.use_rerank));
+    buf.put_u32_le(sys.config.k as u32);
+    let retrieval = sys.retrieval.to_bytes();
+    buf.put_u32_le(retrieval.len() as u32);
+    buf.put_slice(&retrieval);
+    let rerank = sys.rerank.to_bytes();
+    buf.put_u32_le(rerank.len() as u32);
+    buf.put_slice(&rerank);
+    buf.to_vec()
+}
+
+/// Deserialize a trained system. Training-only configuration fields come
+/// back as defaults; everything the online path needs is restored.
+pub fn system_from_bytes(data: &[u8]) -> Result<GarSystem, ArtifactError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if read_header(&mut buf)? != 3 {
+        return Err(PersistError::BadMagic.into());
+    }
+    if buf.remaining() < 5 {
+        return Err(ArtifactError::Corrupt);
+    }
+    let use_rerank = buf.get_u8() != 0;
+    let k = buf.get_u32_le() as usize;
+
+    let n = checked_len(&mut buf)?;
+    let retrieval = RetrievalModel::from_bytes(&buf.copy_to_bytes(n))?;
+    let n = checked_len(&mut buf)?;
+    let rerank = RerankModel::from_bytes(&buf.copy_to_bytes(n))?;
+
+    let mut config = GarConfig {
+        use_rerank,
+        k,
+        ..GarConfig::default()
+    };
+    config.retrieval = retrieval.config.clone();
+    config.rerank = rerank.config.clone();
+    Ok(GarSystem {
+        config,
+        retrieval,
+        rerank,
+    })
+}
+
+fn checked_len(buf: &mut Bytes) -> Result<usize, ArtifactError> {
+    if buf.remaining() < 4 {
+        return Err(ArtifactError::Corrupt);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(ArtifactError::Corrupt);
+    }
+    Ok(n)
+}
+
+/// Serialize a prepared database (candidate SQL + dialects + embeddings).
+pub fn prepared_to_bytes(p: &PreparedDb) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    write_header(&mut buf, 4);
+    put_str(&mut buf, &p.db_name);
+    buf.put_u32_le(p.entries.len() as u32);
+    let dim = p.embeds.first().map(Vec::len).unwrap_or(0);
+    buf.put_u32_le(dim as u32);
+    for (e, emb) in p.entries.iter().zip(&p.embeds) {
+        put_str(&mut buf, &gar_sql::to_sql(&e.sql));
+        put_str(&mut buf, &e.dialect);
+        for &v in emb {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.to_vec()
+}
+
+/// Deserialize a prepared database, rebuilding the vector index.
+pub fn prepared_from_bytes(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if read_header(&mut buf)? != 4 {
+        return Err(PersistError::BadMagic.into());
+    }
+    let db_name = get_str(&mut buf)?;
+    if buf.remaining() < 8 {
+        return Err(ArtifactError::Corrupt);
+    }
+    let n = buf.get_u32_le() as usize;
+    let dim = buf.get_u32_le() as usize;
+    let mut entries = Vec::with_capacity(n);
+    let mut embeds = Vec::with_capacity(n);
+    let mut index = FlatIndex::new(dim);
+    for i in 0..n {
+        let sql_text = get_str(&mut buf)?;
+        let sql = gar_sql::parse(&sql_text).map_err(|_| ArtifactError::BadSql(sql_text))?;
+        let dialect = get_str(&mut buf)?;
+        if buf.remaining() < dim * 4 {
+            return Err(ArtifactError::Corrupt);
+        }
+        let mut emb = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            emb.push(buf.get_f32_le());
+        }
+        index.add(i, &emb);
+        entries.push(DialectEntry { sql, dialect });
+        embeds.push(emb);
+    }
+    Ok(PreparedDb {
+        db_name,
+        entries,
+        embeds,
+        index,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::PrepareConfig;
+    use gar_benchmarks::{spider_sim, SpiderSimConfig};
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+    use gar_sql::exact_match;
+
+    fn tiny_system() -> (GarSystem, gar_benchmarks::Benchmark) {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 14,
+            seed: 61,
+        });
+        let config = GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 150,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 100,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 512,
+                    ..FeatureConfig::default()
+                },
+                hidden: 24,
+                embed: 12,
+                epochs: 2,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 12,
+                hidden: 16,
+                epochs: 2,
+                ..RerankConfig::default()
+            },
+            ..GarConfig::default()
+        };
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+        (gar, bench)
+    }
+
+    #[test]
+    fn system_roundtrip_preserves_translation_behaviour() {
+        let (gar, bench) = tiny_system();
+        let back = system_from_bytes(&system_to_bytes(&gar)).expect("decodes");
+
+        let db = bench.db(&bench.dev[0].db).expect("dev db");
+        let gold: Vec<gar_sql::Query> =
+            bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        for ex in bench.dev.iter().take(5) {
+            let a = gar.translate(db, &prepared, &ex.nl);
+            let b = back.translate(db, &prepared, &ex.nl);
+            match (a.top1(), b.top1()) {
+                (Some(x), Some(y)) => assert!(exact_match(x, y)),
+                (None, None) => {}
+                other => panic!("divergent translations: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_db_roundtrip() {
+        let (gar, bench) = tiny_system();
+        let db = bench.db(&bench.dev[0].db).expect("dev db");
+        let gold: Vec<gar_sql::Query> =
+            bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        let back = prepared_from_bytes(&prepared_to_bytes(&prepared)).expect("decodes");
+        assert_eq!(back.db_name, prepared.db_name);
+        assert_eq!(back.entries.len(), prepared.entries.len());
+        assert_eq!(back.embeds, prepared.embeds);
+        // Translations through the restored index agree.
+        let ex = &bench.dev[0];
+        let a = gar.translate(db, &prepared, &ex.nl);
+        let b = gar.translate(db, &back, &ex.nl);
+        assert_eq!(
+            a.ranked.iter().map(|c| c.entry).collect::<Vec<_>>(),
+            b.ranked.iter().map(|c| c.entry).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected() {
+        let (gar, _) = tiny_system();
+        let mut bytes = system_to_bytes(&gar);
+        bytes.truncate(bytes.len() / 2);
+        assert!(system_from_bytes(&bytes).is_err());
+        assert!(system_from_bytes(&[1, 2, 3]).is_err());
+        assert!(prepared_from_bytes(&system_to_bytes(&gar)).is_err());
+    }
+}

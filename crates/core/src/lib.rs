@@ -1,0 +1,39 @@
+//! # gar-core — the GAR generate-and-rank NL2SQL pipeline
+//!
+//! This crate assembles the full system of the paper (Fan et al., ICDE
+//! 2023) from the substrate crates:
+//!
+//! 1. **Data preparation** ([`prepare`]) — compositional generalization of
+//!    the sample queries (`gar-generalize`) followed by dialect rendering
+//!    (`gar-dialect`);
+//! 2. **LTR training** ([`GarSystem::train`]) — clause-punishment-scored
+//!    triples for the Siamese retrieval model and query-grouped listwise
+//!    training for the re-ranker (`gar-ltr`);
+//! 3. **Two-stage translation** ([`GarSystem::translate`]) — encode the NL
+//!    query, retrieve the top-k dialect expressions from a vector index
+//!    (`gar-vecindex`), apply value post-processing ([`postprocess`]), and
+//!    re-rank to produce the final SQL;
+//! 4. **Error attribution** ([`analysis`]) — Table 9's per-stage miss
+//!    accounting.
+//!
+//! GAR-J is the same pipeline with `prepare.use_annotations = true`, which
+//! routes the database's join annotations into the dialect builder
+//! (Section IV).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod artifact;
+pub mod postprocess;
+pub mod prepare;
+pub mod system;
+
+pub use analysis::{analyze, ErrorAnalysis};
+pub use artifact::{
+    prepared_from_bytes, prepared_to_bytes, system_from_bytes, system_to_bytes, ArtifactError,
+};
+pub use postprocess::{extract_nl_values, filter_candidates, instantiate, NlValue};
+pub use prepare::{eval_samples_from_gold, pool_covers, prepare, DialectEntry, PrepareConfig};
+pub use system::{
+    GarConfig, GarSystem, GarTrainReport, PreparedDb, RankedCandidate, Translation,
+};

@@ -1,0 +1,306 @@
+//! Value post-processing (Section V-A3 of the paper).
+//!
+//! GAR masks literal values during generalization, so the ranked candidates
+//! carry placeholders. Post-processing does two things:
+//!
+//! 1. **Column-mention filtering** — when a value in the NL query is found
+//!    in some database column, candidates whose SQL does not reference that
+//!    column are dropped from the result set;
+//! 2. **Value instantiation** — placeholders are filled with the values
+//!    extracted from the NL query (numbers, and text values matched against
+//!    the database content), enabling the execution-accuracy metric.
+
+use gar_benchmarks::GeneratedDb;
+use gar_engine::Datum;
+use gar_ltr::tokenize;
+use gar_sql::ast::*;
+use gar_sql::visit::all_column_refs;
+use std::collections::HashSet;
+
+/// A value mentioned in the NL query, with the database columns known to
+/// contain it (empty for plain numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NlValue {
+    /// The literal.
+    pub literal: Literal,
+    /// Columns whose data contains this value (qualified `table.column`).
+    pub columns: Vec<(String, String)>,
+}
+
+/// Extract literal values from an NL question: numeric tokens, and word
+/// uni/bigrams that occur verbatim in some text column of the database.
+pub fn extract_nl_values(nl: &str, db: &GeneratedDb) -> Vec<NlValue> {
+    let tokens = tokenize(nl);
+    let mut out: Vec<NlValue> = Vec::new();
+    let mut used: HashSet<String> = HashSet::new();
+
+    // Numbers — scanned on the raw text so decimals ("275.29") survive
+    // (word tokenization would split them at the dot).
+    for raw in nl.split(|c: char| c.is_whitespace() || c == ',' || c == '?') {
+        let t = raw.trim_matches(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'));
+        if t.is_empty() || !t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+            continue;
+        }
+        if !used.insert(t.to_string()) {
+            continue;
+        }
+        if t.contains('.') {
+            if let Ok(v) = t.parse::<f64>() {
+                out.push(NlValue {
+                    literal: Literal::Float(v),
+                    columns: columns_containing(db, &Datum::Float(v)),
+                });
+            }
+        } else if let Ok(v) = t.parse::<i64>() {
+            out.push(NlValue {
+                literal: Literal::Int(v),
+                columns: columns_containing(db, &Datum::Int(v)),
+            });
+        }
+    }
+
+    // Text values: check bigrams first (multi-word values), then unigrams.
+    let mut spans: Vec<String> = tokens
+        .windows(2)
+        .map(|w| format!("{} {}", w[0], w[1]))
+        .collect();
+    spans.extend(tokens.iter().cloned());
+    for span in spans {
+        if used.contains(&span) {
+            continue;
+        }
+        let datum = Datum::Text(span.clone());
+        let cols = columns_containing(db, &datum);
+        if !cols.is_empty() {
+            used.insert(span.clone());
+            out.push(NlValue {
+                literal: Literal::Str(span),
+                columns: cols,
+            });
+        }
+    }
+    out
+}
+
+fn columns_containing(db: &GeneratedDb, value: &Datum) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let key = value.canon_key();
+    for t in &db.schema.tables {
+        for c in &t.columns {
+            // Numeric id columns carry no value semantics.
+            if c.name.ends_with("_id") {
+                continue;
+            }
+            let vals = db.column_values(&t.name, &c.name);
+            if vals.iter().any(|v| v.canon_key() == key) {
+                out.push((t.name.clone(), c.name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// The paper's candidate filter: for every *text* value mentioned in the NL
+/// query, the candidate must reference one of the columns that contain the
+/// value. Returns the surviving candidate indices; if nothing survives, the
+/// original order is returned (defensive fallback).
+pub fn filter_candidates(
+    candidates: &[usize],
+    sqls: &[&Query],
+    nl_values: &[NlValue],
+) -> Vec<usize> {
+    let constraints: Vec<&NlValue> = nl_values
+        .iter()
+        .filter(|v| matches!(v.literal, Literal::Str(_)) && !v.columns.is_empty())
+        .collect();
+    if constraints.is_empty() {
+        return candidates.to_vec();
+    }
+    let surviving: Vec<usize> = candidates
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let refs = all_column_refs(sqls[*i]);
+            constraints.iter().all(|v| {
+                v.columns.iter().any(|(t, c)| {
+                    refs.iter()
+                        .any(|r| r.table.as_deref() == Some(t.as_str()) && r.column == *c)
+                })
+            })
+        })
+        .map(|(_, id)| *id)
+        .collect();
+    if surviving.is_empty() {
+        candidates.to_vec()
+    } else {
+        surviving
+    }
+}
+
+/// Fill a masked candidate's placeholders with NL-extracted values. Each
+/// masked slot is matched by column: text slots take a value whose column
+/// set contains the slot's column (else any text value); numeric slots take
+/// numbers in order of appearance.
+pub fn instantiate(q: &Query, db: &GeneratedDb, nl_values: &[NlValue]) -> Query {
+    let mut numbers: Vec<Literal> = nl_values
+        .iter()
+        .filter(|v| matches!(v.literal, Literal::Int(_) | Literal::Float(_)))
+        .map(|v| v.literal.clone())
+        .collect();
+    let mut texts: Vec<NlValue> = nl_values
+        .iter()
+        .filter(|v| matches!(v.literal, Literal::Str(_)))
+        .cloned()
+        .collect();
+
+    let mut out = q.clone();
+    fill(&mut out, db, &mut numbers, &mut texts);
+    out
+}
+
+fn fill(q: &mut Query, db: &GeneratedDb, numbers: &mut Vec<Literal>, texts: &mut Vec<NlValue>) {
+    let mut conds: Vec<&mut Condition> = Vec::new();
+    if let Some(c) = &mut q.where_ {
+        conds.push(c);
+    }
+    if let Some(c) = &mut q.having {
+        conds.push(c);
+    }
+    for cond in conds {
+        for p in &mut cond.preds {
+            let col = p.lhs.col.clone();
+            fill_operand(&mut p.rhs, &col, db, numbers, texts);
+            if let Some(r2) = &mut p.rhs2 {
+                fill_operand(r2, &col, db, numbers, texts);
+            }
+        }
+    }
+    if let Some((_, rhs)) = &mut q.compound {
+        fill(rhs, db, numbers, texts);
+    }
+}
+
+fn fill_operand(
+    o: &mut Operand,
+    col: &ColumnRef,
+    db: &GeneratedDb,
+    numbers: &mut Vec<Literal>,
+    texts: &mut Vec<NlValue>,
+) {
+    match o {
+        Operand::Lit(l) if l.is_masked() => {
+            let col_ty = col
+                .table
+                .as_deref()
+                .and_then(|t| db.schema.column(t, &col.column))
+                .map(|c| c.ty);
+            let is_text = matches!(col_ty, Some(gar_schema::ColType::Text));
+            if is_text {
+                // Prefer a text value known to live in this column.
+                let pos = texts.iter().position(|v| {
+                    v.columns.iter().any(|(t, c)| {
+                        col.table.as_deref() == Some(t.as_str()) && col.column == *c
+                    })
+                });
+                if let Some(i) = pos.or(if texts.is_empty() { None } else { Some(0) }) {
+                    *l = texts.remove(i).literal;
+                }
+            } else if !numbers.is_empty() {
+                *l = numbers.remove(0);
+            }
+        }
+        Operand::Subquery(sq) => fill(sq, db, numbers, texts),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_benchmarks::{generate_db, vocab::THEMES};
+    use gar_sql::{parse, to_sql};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db() -> GeneratedDb {
+        let mut rng = StdRng::seed_from_u64(4);
+        generate_db(&THEMES[0], 0, &mut rng)
+    }
+
+    #[test]
+    fn extracts_numbers_and_known_text() {
+        let d = db();
+        // "paris" is in the city text pool, so some student/teacher row has it.
+        let vals = extract_nl_values("students older than 25 from paris", &d);
+        let has_num = vals.iter().any(|v| v.literal == Literal::Int(25));
+        assert!(has_num, "{vals:?}");
+        let text = vals
+            .iter()
+            .find(|v| v.literal == Literal::Str("paris".into()));
+        if let Some(t) = text {
+            assert!(!t.columns.is_empty());
+        }
+    }
+
+    #[test]
+    fn instantiate_fills_numeric_slot() {
+        let d = db();
+        let q = parse("SELECT student.name FROM student WHERE student.age > ?").unwrap();
+        let vals = extract_nl_values("show students older than 25", &d);
+        let filled = instantiate(&q, &d, &vals);
+        assert!(to_sql(&filled).contains("student.age > 25"));
+    }
+
+    #[test]
+    fn instantiate_matches_text_by_column() {
+        let d = db();
+        let city_vals = d.column_values("student", "city");
+        let Some(Datum::Text(city)) = city_vals.first().cloned() else {
+            panic!("no city values");
+        };
+        let q = parse("SELECT student.name FROM student WHERE student.city = ?").unwrap();
+        let nl = format!("students living in {city}");
+        let vals = extract_nl_values(&nl, &d);
+        let filled = instantiate(&q, &d, &vals);
+        assert!(to_sql(&filled).contains(&format!("student.city = '{city}'")), "{}", to_sql(&filled));
+    }
+
+    #[test]
+    fn filter_drops_candidates_missing_value_column() {
+        let d = db();
+        let city_vals = d.column_values("student", "city");
+        let Some(Datum::Text(city)) = city_vals.first().cloned() else {
+            panic!("no city values");
+        };
+        let with_city =
+            parse("SELECT student.name FROM student WHERE student.city = ?").unwrap();
+        let without =
+            parse("SELECT student.name FROM student WHERE student.age > ?").unwrap();
+        let vals = extract_nl_values(&format!("students from {city}"), &d);
+        let kept = filter_candidates(&[0, 1], &[&with_city, &without], &vals);
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    fn filter_keeps_all_when_no_text_values() {
+        let d = db();
+        let q1 = parse("SELECT student.name FROM student").unwrap();
+        let q2 = parse("SELECT student.age FROM student").unwrap();
+        let vals = extract_nl_values("show all students older than 20", &d);
+        let kept = filter_candidates(&[0, 1], &[&q1, &q2], &vals);
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn filter_falls_back_when_everything_dies() {
+        let d = db();
+        let city_vals = d.column_values("student", "city");
+        let Some(Datum::Text(city)) = city_vals.first().cloned() else {
+            panic!("no city values");
+        };
+        let q = parse("SELECT student.age FROM student").unwrap();
+        let vals = extract_nl_values(&format!("students from {city}"), &d);
+        let kept = filter_candidates(&[0], &[&q], &vals);
+        assert_eq!(kept, vec![0]);
+    }
+}

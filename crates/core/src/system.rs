@@ -1,0 +1,487 @@
+//! The GAR system: training, per-database preparation, and two-stage
+//! translation (Fig. 2 / Fig. 3 of the paper).
+
+use crate::postprocess::{extract_nl_values, filter_candidates, instantiate};
+use crate::prepare::{eval_samples_from_gold, prepare, DialectEntry, PrepareConfig};
+use gar_benchmarks::{Example, GeneratedDb};
+use gar_ltr::{
+    pair_features, similarity_score, RankList, RerankConfig, RerankModel, RetrievalConfig,
+    RetrievalModel, Triple,
+};
+use gar_sql::{exact_match, mask_values, Query};
+use gar_vecindex::FlatIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Full GAR configuration.
+#[derive(Debug, Clone)]
+pub struct GarConfig {
+    /// Data-preparation settings (generalization size, dialects,
+    /// annotations, rules).
+    pub prepare: PrepareConfig,
+    /// Generalization size used for *training* databases (the training
+    /// signal needs variety, not coverage, so this can be smaller).
+    pub train_gen_size: usize,
+    /// Retrieval threshold k (paper: 100).
+    pub k: usize,
+    /// Negative samples per training query for the retrieval model.
+    pub negatives: usize,
+    /// Candidate-list size for re-ranker training (grouped listwise).
+    pub rerank_list_size: usize,
+    /// Retrieval-model hyper-parameters.
+    pub retrieval: RetrievalConfig,
+    /// Re-ranker hyper-parameters.
+    pub rerank: RerankConfig,
+    /// Apply the second-stage re-ranker (Table 8 ablation switch).
+    pub use_rerank: bool,
+    /// Worker threads for batch encoding.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GarConfig {
+    fn default() -> Self {
+        GarConfig {
+            prepare: PrepareConfig::default(),
+            train_gen_size: 600,
+            k: 100,
+            negatives: 8,
+            rerank_list_size: 30,
+            retrieval: RetrievalConfig::default(),
+            rerank: RerankConfig::default(),
+            use_rerank: true,
+            threads: 4,
+            seed: 2023,
+        }
+    }
+}
+
+/// A trained GAR instance (the two ranking models plus configuration).
+#[derive(Debug, Clone)]
+pub struct GarSystem {
+    /// Configuration used at training time.
+    pub config: GarConfig,
+    /// The first-stage Siamese retrieval encoder.
+    pub retrieval: RetrievalModel,
+    /// The second-stage listwise re-ranker.
+    pub rerank: RerankModel,
+}
+
+/// A database prepared for translation: candidate entries, their
+/// embeddings, and the vector index.
+#[derive(Debug, Clone)]
+pub struct PreparedDb {
+    /// Database id.
+    pub db_name: String,
+    /// Candidate pool (masked SQL + dialect).
+    pub entries: Vec<DialectEntry>,
+    /// Candidate embeddings (parallel to `entries`).
+    pub embeds: Vec<Vec<f32>>,
+    /// Flat cosine index over the embeddings.
+    pub index: FlatIndex,
+}
+
+/// One ranked translation candidate.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// Index into the prepared pool.
+    pub entry: usize,
+    /// The candidate with values instantiated from the NL query.
+    pub sql: Query,
+    /// Final score (re-ranker, or retrieval when re-ranking is off).
+    pub score: f32,
+}
+
+/// The result of one translation.
+#[derive(Debug, Clone)]
+pub struct Translation {
+    /// Ranked candidates, best first (top 10 kept).
+    pub ranked: Vec<RankedCandidate>,
+    /// Entry indices returned by the first-stage retrieval (top-k).
+    pub retrieved: Vec<usize>,
+    /// Stage latencies in microseconds: (encode+retrieve, post-filter,
+    /// re-rank).
+    pub timing_us: (u128, u128, u128),
+}
+
+impl Translation {
+    /// The top-1 SQL, if any candidate survived.
+    pub fn top1(&self) -> Option<&Query> {
+        self.ranked.first().map(|c| &c.sql)
+    }
+}
+
+/// A training report.
+#[derive(Debug, Clone, Default)]
+pub struct GarTrainReport {
+    /// Number of (q, d, s) retrieval triples.
+    pub retrieval_triples: usize,
+    /// Retrieval per-epoch losses.
+    pub retrieval_losses: Vec<f32>,
+    /// Number of listwise groups.
+    pub rerank_lists: usize,
+    /// Re-ranker per-epoch losses.
+    pub rerank_losses: Vec<f32>,
+}
+
+impl GarSystem {
+    /// Train GAR on a benchmark's training split (Fig. 3): run data
+    /// preparation per training database, build the similarity-scored
+    /// triples for the retrieval model, then the query-grouped lists for
+    /// the re-ranker.
+    pub fn train(dbs: &[GeneratedDb], train: &[Example], config: GarConfig) -> (Self, GarTrainReport) {
+        let mut report = GarTrainReport::default();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Group training examples per database.
+        let mut by_db: BTreeMap<&str, Vec<&Example>> = BTreeMap::new();
+        for ex in train {
+            by_db.entry(ex.db.as_str()).or_default().push(ex);
+        }
+
+        // Data preparation per training database: the gold queries are the
+        // sample set (Section II-B).
+        let mut prepared: BTreeMap<&str, Vec<DialectEntry>> = BTreeMap::new();
+        let prep_cfg = PrepareConfig {
+            gen_size: config.train_gen_size,
+            ..config.prepare.clone()
+        };
+        for (db_name, exs) in &by_db {
+            let Some(db) = dbs.iter().find(|d| d.schema.name == *db_name) else {
+                continue;
+            };
+            let samples: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+            prepared.insert(db_name, prepare(db, &samples, &prep_cfg));
+        }
+
+        // Retrieval triples.
+        let mut triples = Vec::new();
+        for (db_name, exs) in &by_db {
+            let Some(entries) = prepared.get(db_name) else {
+                continue;
+            };
+            for ex in exs {
+                let gold = mask_values(&ex.sql);
+                // Positive: the dialect generated from the gold query.
+                if let Some(e) = entries.iter().find(|e| exact_match(&e.sql, &gold)) {
+                    triples.push(Triple {
+                        query: ex.nl.clone(),
+                        dialect: e.dialect.clone(),
+                        score: 1.0,
+                    });
+                }
+                // Negatives: random pool entries with clause-punishment
+                // scores (Section III-C1).
+                for _ in 0..config.negatives {
+                    let e = &entries[rng.random_range(0..entries.len())];
+                    let score = similarity_score(&e.sql, &gold);
+                    if score >= 1.0 {
+                        continue;
+                    }
+                    triples.push(Triple {
+                        query: ex.nl.clone(),
+                        dialect: e.dialect.clone(),
+                        score,
+                    });
+                }
+            }
+        }
+        report.retrieval_triples = triples.len();
+        let mut retrieval = RetrievalModel::new(config.retrieval.clone());
+        report.retrieval_losses = retrieval.train(&triples).epoch_losses;
+
+        // Re-ranker lists: retrieve top candidates per training query with
+        // the *trained* retrieval model (Section III-C2).
+        let mut lists = Vec::new();
+        for (db_name, exs) in &by_db {
+            let Some(entries) = prepared.get(db_name) else {
+                continue;
+            };
+            let texts: Vec<String> = entries.iter().map(|e| e.dialect.clone()).collect();
+            let embeds = retrieval.encode_batch(&texts, config.threads);
+            let mut index = FlatIndex::new(retrieval.embed_dim());
+            for (i, e) in embeds.iter().enumerate() {
+                index.add(i, e);
+            }
+            for ex in exs {
+                let gold = mask_values(&ex.sql);
+                let q_emb = retrieval.encode(&ex.nl);
+                let hits = index.search(&q_emb, config.rerank_list_size);
+                let mut ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
+                // Guarantee the positive is present in the list.
+                let gold_id = entries.iter().position(|e| exact_match(&e.sql, &gold));
+                if let Some(g) = gold_id {
+                    if !ids.contains(&g) {
+                        if !ids.is_empty() {
+                            let last = ids.len() - 1;
+                            ids[last] = g;
+                        } else {
+                            ids.push(g);
+                        }
+                    }
+                } else {
+                    continue;
+                }
+                let mut list = RankList::default();
+                for id in ids {
+                    list.items.push(pair_features(
+                        &q_emb,
+                        &embeds[id],
+                        &ex.nl,
+                        &entries[id].dialect,
+                    ));
+                    list.labels.push(exact_match(&entries[id].sql, &gold));
+                }
+                lists.push(list);
+            }
+        }
+        report.rerank_lists = lists.len();
+        let mut rerank = RerankModel::new(RerankConfig {
+            embed: config.retrieval.embed,
+            ..config.rerank.clone()
+        });
+        report.rerank_losses = rerank.train(&lists).epoch_losses;
+
+        (
+            GarSystem {
+                config,
+                retrieval,
+                rerank,
+            },
+            report,
+        )
+    }
+
+    /// Prepare an evaluation database under the paper's protocol
+    /// (Section V-A3): generalize the gold set, rule the gold queries out,
+    /// use the remainder as samples, then run normal data preparation.
+    pub fn prepare_eval_db(&self, db: &GeneratedDb, gold: &[Query]) -> PreparedDb {
+        let samples = eval_samples_from_gold(db, gold, &self.config.prepare);
+        self.prepare_with_samples(db, &samples)
+    }
+
+    /// Prepare a database from an explicit sample-query set (the deployment
+    /// path, and QBEN's curated sample split).
+    pub fn prepare_with_samples(&self, db: &GeneratedDb, samples: &[Query]) -> PreparedDb {
+        let entries = prepare(db, samples, &self.config.prepare);
+        let texts: Vec<String> = entries.iter().map(|e| e.dialect.clone()).collect();
+        let embeds = self.retrieval.encode_batch(&texts, self.config.threads);
+        let mut index = FlatIndex::new(self.retrieval.embed_dim());
+        for (i, e) in embeds.iter().enumerate() {
+            index.add(i, e);
+        }
+        PreparedDb {
+            db_name: db.schema.name.clone(),
+            entries,
+            embeds,
+            index,
+        }
+    }
+
+    /// Translate an NL question over a prepared database.
+    pub fn translate(&self, db: &GeneratedDb, prepared: &PreparedDb, nl: &str) -> Translation {
+        // Stage 1: encode + retrieve top-k.
+        let t0 = Instant::now();
+        let q_emb = self.retrieval.encode(nl);
+        let hits = prepared.index.search(&q_emb, self.config.k);
+        let retrieved: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        let retrieve_us = t0.elapsed().as_micros();
+
+        // Stage 2: value post-processing filter.
+        let t1 = Instant::now();
+        let nl_values = extract_nl_values(nl, db);
+        let sqls: Vec<&Query> = retrieved.iter().map(|&i| &prepared.entries[i].sql).collect();
+        let filtered = filter_candidates(&retrieved, &sqls, &nl_values);
+        let filter_us = t1.elapsed().as_micros();
+
+        // Stage 3: re-rank (or keep retrieval order).
+        let t2 = Instant::now();
+        let scored: Vec<(usize, f32)> = if self.config.use_rerank {
+            filtered
+                .iter()
+                .map(|&id| {
+                    let f = pair_features(
+                        &q_emb,
+                        &prepared.embeds[id],
+                        nl,
+                        &prepared.entries[id].dialect,
+                    );
+                    (id, self.rerank.score(&f))
+                })
+                .collect()
+        } else {
+            // Retrieval scores, preserved from the hits.
+            filtered
+                .iter()
+                .map(|&id| {
+                    let s = hits
+                        .iter()
+                        .find(|h| h.id == id)
+                        .map(|h| h.score)
+                        .unwrap_or(0.0);
+                    (id, s)
+                })
+                .collect()
+        };
+        // Instantiate values; candidates whose placeholders stayed
+        // unfilled demand values the question never mentioned, so they are
+        // demoted below fully-instantiated candidates (the re-ranker score
+        // orders within each tier).
+        let mut with_unfilled: Vec<(usize, RankedCandidate)> = scored
+            .into_iter()
+            .map(|(id, score)| {
+                let sql = instantiate(&prepared.entries[id].sql, db, &nl_values);
+                let unfilled = gar_sql::masked_count(&sql);
+                (unfilled, RankedCandidate { entry: id, sql, score })
+            })
+            .collect();
+        with_unfilled.sort_by(|(ua, a), (ub, b)| {
+            ua.cmp(ub).then_with(|| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        });
+        let mut ranked: Vec<RankedCandidate> =
+            with_unfilled.into_iter().map(|(_, c)| c).collect();
+        ranked.truncate(10);
+        let rerank_us = t2.elapsed().as_micros();
+
+        Translation {
+            ranked,
+            retrieved,
+            timing_us: (retrieve_us, filter_us, rerank_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_benchmarks::{spider_sim, SpiderSimConfig};
+    use gar_ltr::FeatureConfig;
+
+    /// A small but end-to-end configuration used across core tests.
+    pub fn tiny_config() -> GarConfig {
+        GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 400,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 250,
+            k: 40,
+            negatives: 6,
+            rerank_list_size: 15,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 1024,
+                    ..FeatureConfig::default()
+                },
+                hidden: 48,
+                embed: 24,
+                epochs: 3,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 24,
+                hidden: 32,
+                epochs: 4,
+                ..RerankConfig::default()
+            },
+            use_rerank: true,
+            threads: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn end_to_end_trains_and_translates_above_chance() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 3,
+            val_dbs: 1,
+            queries_per_db: 30,
+            seed: 21,
+        });
+        let (gar, report) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        assert!(report.retrieval_triples > 50);
+        assert!(report.rerank_lists > 20);
+
+        // Evaluate on the held-out database.
+        let dev_db_name = &bench.dev[0].db;
+        let db = bench.db(dev_db_name).unwrap();
+        let gold: Vec<Query> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == dev_db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        assert!(prepared.entries.len() > gold.len());
+
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for ex in bench.dev.iter().filter(|e| &e.db == dev_db_name).take(25) {
+            total += 1;
+            let tr = gar.translate(db, &prepared, &ex.nl);
+            if let Some(top) = tr.top1() {
+                if exact_match(top, &ex.sql) {
+                    correct += 1;
+                }
+            }
+        }
+        // Well above the ~1/N chance level; the full-scale experiment
+        // measures the real accuracy.
+        assert!(
+            correct * 4 >= total,
+            "only {correct}/{total} correct on held-out db"
+        );
+    }
+
+    #[test]
+    fn translation_reports_timing_and_candidates() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 22,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        let tr = gar.translate(db, &prepared, &bench.dev[0].nl);
+        assert!(!tr.ranked.is_empty());
+        assert!(tr.ranked.len() <= 10);
+        assert!(!tr.retrieved.is_empty());
+        // Scores are sorted descending.
+        for w in tr.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn rerank_ablation_changes_ranking_path() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 23,
+        });
+        let mut cfg = tiny_config();
+        cfg.use_rerank = false;
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        let tr = gar.translate(db, &prepared, &bench.dev[0].nl);
+        // Retrieval-only scores are cosines in [-1, 1].
+        for c in &tr.ranked {
+            assert!(c.score <= 1.01 && c.score >= -1.01);
+        }
+    }
+}

@@ -1,0 +1,582 @@
+//! The template-assisted dialect builder (Section III-B) and its GAR-J
+//! extension (Section IV-B).
+//!
+//! The builder traverses the parse tree in pre-order and emits one NL phrase
+//! per component sub-tree, concatenating them into the *dialect expression*:
+//!
+//! - `SELECT` → *"Find the name of employee"*;
+//! - `JOIN` → *"regarding to evaluation with employee"* (or, with a GAR-J
+//!   annotation, *"regarding to the flights arrive in the airports"*);
+//! - `WHERE` → *"Return results only for employee that name is John"*;
+//! - `GROUP`/`ORDER`/`LIMIT` → *"Return the top one result for each city of
+//!   airports in descending order of the number of flights"*;
+//! - compound → an explicit combination sentence.
+//!
+//! Two schema-aware refinements from the paper are implemented: the
+//! *"one bonus"* semantics (a non-aggregated sort column over a
+//! compound-keyed table is a per-event value, not a per-entity total), and
+//! GAR-J's asterisk annotation (`COUNT(*)` names the joined table's key
+//! entity instead of the raw table names).
+
+use crate::phrase::*;
+use gar_schema::{AnnotationSet, Schema};
+use gar_sql::ast::*;
+
+/// Renders SQL queries into dialect expressions for one database.
+#[derive(Debug, Clone, Copy)]
+pub struct DialectBuilder<'a> {
+    schema: &'a Schema,
+    annotations: &'a AnnotationSet,
+}
+
+impl<'a> DialectBuilder<'a> {
+    /// A plain-GAR builder (no join annotations).
+    pub fn new(schema: &'a Schema, annotations: &'a AnnotationSet) -> Self {
+        DialectBuilder {
+            schema,
+            annotations,
+        }
+    }
+
+    /// Render the dialect expression for a query.
+    pub fn render(&self, q: &Query) -> String {
+        let mut out = String::with_capacity(128);
+        self.render_query(q, &mut out);
+        out
+    }
+
+    fn render_query(&self, q: &Query, out: &mut String) {
+        // SELECT sentence.
+        out.push_str("Find ");
+        for (i, item) in q.select.items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&self.colexpr_phrase(item, q, false));
+        }
+        if q.select.distinct {
+            out.push_str(" without duplicates");
+        }
+        if let Some(join_phrase) = self.join_phrase(&q.from) {
+            out.push_str(" regarding to ");
+            out.push_str(&join_phrase);
+        }
+        out.push('.');
+
+        // WHERE sentence.
+        if let Some(w) = &q.where_ {
+            out.push_str(" Return results only for ");
+            self.render_condition(w, q, out);
+            out.push('.');
+        }
+
+        // ORDER/GROUP/HAVING sentence.
+        let has_order = q.order_by.is_some();
+        let has_group = !q.group_by.is_empty();
+        if has_order || has_group {
+            out.push_str(" Return ");
+            if let Some(l) = q.limit {
+                if l == 1 {
+                    out.push_str("the top one result");
+                } else {
+                    out.push_str(&format!("the top {l} results"));
+                }
+            } else {
+                out.push_str("the results");
+            }
+            if let Some(h) = &q.having {
+                out.push_str(" only for ");
+                self.render_condition(h, q, out);
+            }
+            if has_group {
+                for g in &q.group_by {
+                    out.push_str(" for each ");
+                    out.push_str(&self.colref_phrase(g));
+                }
+            }
+            if let Some(ob) = &q.order_by {
+                for (i, item) in ob.items.iter().enumerate() {
+                    out.push_str(if i == 0 { " in " } else { " and then " });
+                    out.push_str(match item.dir {
+                        OrderDir::Desc => "descending order of ",
+                        OrderDir::Asc => "ascending order of ",
+                    });
+                    out.push_str(&self.colexpr_phrase(&item.expr, q, true));
+                }
+            }
+            out.push('.');
+        } else if let Some(h) = &q.having {
+            // HAVING without ORDER BY.
+            out.push_str(" Keep only groups where ");
+            self.render_condition(h, q, out);
+            out.push('.');
+        }
+
+        // Compound sentence.
+        if let Some((op, rhs)) = &q.compound {
+            out.push(' ');
+            out.push_str(match op {
+                SetOp::Union => "Also include the following:",
+                SetOp::Intersect => "Keep only results that also match the following:",
+                SetOp::Except => "Exclude results that match the following:",
+            });
+            out.push(' ');
+            self.render_query(rhs, out);
+        }
+    }
+
+    fn render_condition(&self, c: &Condition, q: &Query, out: &mut String) {
+        for (i, p) in c.preds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(match c.conns[i - 1] {
+                    BoolConn::And => " and ",
+                    BoolConn::Or => " or ",
+                });
+            }
+            self.render_predicate(p, q, out);
+        }
+    }
+
+    fn render_predicate(&self, p: &Predicate, q: &Query, out: &mut String) {
+        // "{table} that {column} {op} {value}"
+        let subject = match &p.lhs.col.table {
+            Some(t) if !p.lhs.col.is_star() => table_label(self.schema, t),
+            // For `COUNT(*)` and other unattributed expressions, the
+            // subject is the query's FROM entity.
+            _ => table_label(self.schema, &q.from.tables[0]),
+        };
+        let lhs = self.colexpr_inner_phrase(&p.lhs, q);
+        out.push_str(&subject);
+        out.push_str(" that ");
+        out.push_str(&lhs);
+        out.push(' ');
+        out.push_str(op_phrase(p.op));
+        out.push(' ');
+        self.render_operand(&p.rhs, out);
+        if p.op == CmpOp::Between {
+            out.push_str(" and ");
+            match &p.rhs2 {
+                Some(o) => self.render_operand(o, out),
+                None => out.push_str("some value"),
+            }
+        }
+    }
+
+    fn render_operand(&self, o: &Operand, out: &mut String) {
+        match o {
+            Operand::Lit(l) => out.push_str(&literal_phrase(l)),
+            Operand::Col(c) => {
+                out.push_str(&column_label(self.schema, &c.col));
+            }
+            Operand::Subquery(sq) => {
+                // Render the subquery as a compact noun phrase: its
+                // projection plus conditions, per the GEO example in the
+                // paper ("the maximum length of river that ...").
+                out.push_str(&self.subquery_phrase(sq));
+            }
+        }
+    }
+
+    /// Compact noun-phrase rendering of a subquery (kept as a whole, per
+    /// Rule 4 — its internals are never referenced individually elsewhere).
+    fn subquery_phrase(&self, sq: &Query) -> String {
+        let mut s = String::new();
+        for (i, item) in sq.select.items.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&self.colexpr_phrase(item, sq, false));
+        }
+        if let Some(jp) = self.join_phrase(&sq.from) {
+            s.push_str(" regarding to ");
+            s.push_str(&jp);
+        }
+        if let Some(w) = &sq.where_ {
+            s.push_str(" that ");
+            let mut cond = String::new();
+            self.render_condition(w, sq, &mut cond);
+            s.push_str(&cond);
+        }
+        if let Some(ob) = &sq.order_by {
+            if let Some(item) = ob.items.first() {
+                s.push_str(match item.dir {
+                    OrderDir::Desc => " with the highest ",
+                    OrderDir::Asc => " with the lowest ",
+                });
+                s.push_str(&self.colexpr_inner_phrase(&item.expr, sq));
+            }
+        }
+        s
+    }
+
+    /// Phrase for the FROM clause when it joins tables; `None` for a single
+    /// table (the per-column "of {table}" phrases carry it).
+    fn join_phrase(&self, from: &FromClause) -> Option<String> {
+        if !from.has_join() {
+            return None;
+        }
+        // GAR-J: if every join condition is annotated, concatenate the
+        // annotation descriptions.
+        if !self.annotations.is_empty() {
+            let descs: Vec<&str> = from
+                .conds
+                .iter()
+                .filter_map(|jc| self.annotations.lookup(jc))
+                .map(|a| a.description.as_str())
+                .collect();
+            if descs.len() == from.conds.len() && !descs.is_empty() {
+                return Some(descs.join(" and "));
+            }
+        }
+        // Plain GAR: "t1 with t2 with t3".
+        let labels: Vec<String> = from
+            .tables
+            .iter()
+            .map(|t| table_label(self.schema, t))
+            .collect();
+        Some(labels.join(" with "))
+    }
+
+    /// Full phrase of a column expression, with table attribution:
+    /// "the name of employee", "the number of flights", "one bonus of the
+    /// evaluation".
+    fn colexpr_phrase(&self, ce: &ColExpr, q: &Query, order_context: bool) -> String {
+        if ce.col.is_star() {
+            return match ce.agg {
+                Some(AggFunc::Count) => format!("the number of {}", self.star_entity(q)),
+                _ => format!("all of {}", self.star_entity(q)),
+            };
+        }
+        let col = column_label(self.schema, &ce.col);
+        let table = ce
+            .col
+            .table
+            .as_deref()
+            .map(|t| table_label(self.schema, t));
+        let body = match ce.agg {
+            Some(a) => {
+                let inner = if ce.distinct {
+                    format!("distinct {col}")
+                } else {
+                    col
+                };
+                agg_phrase(a, &inner)
+            }
+            None => {
+                // Schema-aware "one X" semantics: a raw column used as a
+                // sort key over a compound-keyed table denotes a single
+                // event's value, not an entity total.
+                if order_context && self.is_compound_key_table(&ce.col) {
+                    format!("one {col}")
+                } else {
+                    format!("the {col}")
+                }
+            }
+        };
+        match table {
+            Some(t) => format!("{body} of {t}"),
+            None => body,
+        }
+    }
+
+    /// Column-expression phrase without table attribution (used as the
+    /// predicate subject's property).
+    fn colexpr_inner_phrase(&self, ce: &ColExpr, q: &Query) -> String {
+        if ce.col.is_star() {
+            return match ce.agg {
+                Some(AggFunc::Count) => format!("the number of {}", self.star_entity(q)),
+                _ => format!("all of {}", self.star_entity(q)),
+            };
+        }
+        let col = column_label(self.schema, &ce.col);
+        match ce.agg {
+            Some(a) => {
+                let inner = if ce.distinct {
+                    format!("distinct {col}")
+                } else {
+                    col
+                };
+                agg_phrase(a, &inner)
+            }
+            None => col,
+        }
+    }
+
+    /// The entity named by an asterisk. Plain GAR uses the FROM tables'
+    /// labels; GAR-J resolves through the join annotation's Table Keys
+    /// (Section IV-B: `COUNT(*)` → "the number of flights").
+    fn star_entity(&self, q: &Query) -> String {
+        if !self.annotations.is_empty() {
+            for jc in &q.from.conds {
+                if let Some(ann) = self.annotations.lookup(jc) {
+                    return pluralize(&ann.table_key);
+                }
+            }
+        }
+        let labels: Vec<String> = q
+            .from
+            .tables
+            .iter()
+            .map(|t| table_label(self.schema, t))
+            .collect();
+        labels.join(" with ")
+    }
+
+    /// "city of airports" — a bare column with table attribution, used for
+    /// `GROUP BY` keys.
+    fn colref_phrase(&self, c: &ColumnRef) -> String {
+        let col = column_label(self.schema, c);
+        match &c.table {
+            Some(t) => format!("{col} of {}", table_label(self.schema, t)),
+            None => col,
+        }
+    }
+
+    fn is_compound_key_table(&self, c: &ColumnRef) -> bool {
+        c.table
+            .as_deref()
+            .and_then(|t| self.schema.table(t))
+            .map(|t| t.has_compound_key())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    fn hr_schema() -> Schema {
+        SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_int("year_awarded")
+                    .col_float("bonus")
+                    .pk(&["employee_id", "year_awarded"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build()
+    }
+
+    fn flights_schema() -> Schema {
+        SchemaBuilder::new("flight_2")
+            .table("airports", |t| {
+                t.col_text("airportcode").col_text("city").pk(&["airportcode"])
+            })
+            .table("flights", |t| {
+                t.col_int("flightno")
+                    .col_text("sourceairport")
+                    .col_text("destairport")
+                    .pk(&["flightno"])
+            })
+            .fk("flights", "destairport", "airports", "airportcode")
+            .fk("flights", "sourceairport", "airports", "airportcode")
+            .build()
+    }
+
+    #[test]
+    fn renders_fig5_style_dialect() {
+        // The paper's Fig. 5 dialect for the Fig. 1 gold query:
+        // "Find the name of employee regarding to evaluation with employee.
+        //  Return the top one result in descending order of one bonus of the
+        //  employee evaluation."
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse(
+            "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+             ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+        )
+        .unwrap();
+        let d = b.render(&q);
+        assert!(d.starts_with("Find the name of employee regarding to"), "{d}");
+        assert!(d.contains("the top one result"), "{d}");
+        // Compound-key awareness: "one bonus", not "the bonus"/"total bonus".
+        assert!(d.contains("descending order of one bonus"), "{d}");
+    }
+
+    #[test]
+    fn simple_key_table_does_not_get_one_semantics() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse("SELECT name FROM employee ORDER BY age DESC LIMIT 1").unwrap();
+        let d = b.render(&q);
+        assert!(d.contains("descending order of the age"), "{d}");
+        assert!(!d.contains("one age"), "{d}");
+    }
+
+    #[test]
+    fn where_clause_renders_subject_that_property() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse("SELECT name FROM employee WHERE name = 'John'").unwrap();
+        let d = b.render(&q);
+        assert!(
+            d.contains("Return results only for employee that name is John"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn masked_values_render_as_some_value() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse("SELECT name FROM employee WHERE age > ?").unwrap();
+        let d = b.render(&q);
+        assert!(d.contains("age is greater than some value"), "{d}");
+    }
+
+    #[test]
+    fn count_star_without_annotation_uses_table_names() {
+        let schema = flights_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse(
+            "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 \
+             ON T1.airportcode = T2.destairport \
+             GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+        )
+        .unwrap();
+        let d = b.render(&q);
+        // Fig. 7/8: plain GAR says "the number of airports with flights".
+        assert!(d.contains("the number of airports with flights"), "{d}");
+    }
+
+    #[test]
+    fn count_star_with_annotation_uses_table_key() {
+        let schema = flights_schema();
+        let mut ann = AnnotationSet::empty();
+        ann.add(
+            "airports",
+            "flights",
+            "airports.airportcode",
+            "flights.destairport",
+            "the flights arrive in the airports",
+            "flight",
+        );
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse(
+            "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 \
+             ON T1.airportcode = T2.destairport \
+             GROUP BY T1.city ORDER BY COUNT(*) DESC LIMIT 1",
+        )
+        .unwrap();
+        let d = b.render(&q);
+        // Fig. 8: the join description and the key-entity asterisk.
+        assert!(d.contains("regarding to the flights arrive in the airports"), "{d}");
+        assert!(d.contains("the number of flights"), "{d}");
+        assert!(d.contains("for each city of airports"), "{d}");
+    }
+
+    #[test]
+    fn annotation_distinguishes_join_directions() {
+        let schema = flights_schema();
+        let mut ann = AnnotationSet::empty();
+        ann.add(
+            "airports",
+            "flights",
+            "airports.airportcode",
+            "flights.destairport",
+            "the flights arrive in the airports",
+            "flight",
+        );
+        ann.add(
+            "airports",
+            "flights",
+            "airports.airportcode",
+            "flights.sourceairport",
+            "the flights depart from the airports",
+            "flight",
+        );
+        let b = DialectBuilder::new(&schema, &ann);
+        let arrive = parse(
+            "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 \
+             ON T1.airportcode = T2.destairport",
+        )
+        .unwrap();
+        let depart = parse(
+            "SELECT T1.city FROM airports AS T1 JOIN flights AS T2 \
+             ON T1.airportcode = T2.sourceairport",
+        )
+        .unwrap();
+        let da = b.render(&arrive);
+        let dd = b.render(&depart);
+        assert!(da.contains("arrive"), "{da}");
+        assert!(dd.contains("depart"), "{dd}");
+        assert_ne!(da, dd);
+    }
+
+    #[test]
+    fn subquery_renders_as_noun_phrase() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse(
+            "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)",
+        )
+        .unwrap();
+        let d = b.render(&q);
+        assert!(d.contains("age is greater than the average age"), "{d}");
+    }
+
+    #[test]
+    fn compound_query_renders_both_arms() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse(
+            "SELECT name FROM employee WHERE age > 30 \
+             INTERSECT SELECT name FROM employee WHERE age < 60",
+        )
+        .unwrap();
+        let d = b.render(&q);
+        assert!(d.contains("Keep only results that also match"), "{d}");
+        assert!(d.contains("is less than 60"), "{d}");
+    }
+
+    #[test]
+    fn aggregates_render() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q =
+            parse("SELECT COUNT(DISTINCT name), MAX(age) FROM employee").unwrap();
+        let d = b.render(&q);
+        assert!(d.contains("the number of distinct name of employee"), "{d}");
+        assert!(d.contains("the maximum age of employee"), "{d}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse("SELECT name FROM employee WHERE age > 30 GROUP BY name").unwrap();
+        assert_eq!(b.render(&q), b.render(&q));
+    }
+
+    #[test]
+    fn group_having_renders() {
+        let schema = hr_schema();
+        let ann = AnnotationSet::empty();
+        let b = DialectBuilder::new(&schema, &ann);
+        let q = parse(
+            "SELECT employee_id FROM evaluation GROUP BY employee_id \
+             HAVING COUNT(*) >= 2",
+        )
+        .unwrap();
+        let d = b.render(&q);
+        assert!(d.contains("only for evaluation that the number of"), "{d}");
+        assert!(d.contains("for each"), "{d}");
+    }
+}

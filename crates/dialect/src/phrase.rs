@@ -1,0 +1,135 @@
+//! Low-level phrase generation: labels for parse-tree nodes.
+//!
+//! Following GRAPH-NL (Koutrika et al., ICDE 2010) as adapted by GAR
+//! (Section III-B), every terminal node gets a label — for tables and
+//! columns, the NL annotations shipped with the benchmark (paper,
+//! footnote 6); for operators and aggregates, fixed descriptive labels.
+
+use gar_schema::Schema;
+use gar_sql::ast::*;
+
+/// NL label of a table: its schema annotation, or the identifier with
+/// underscores spaced when the table is unknown (defensive).
+pub fn table_label(schema: &Schema, table: &str) -> String {
+    schema
+        .table(table)
+        .map(|t| t.nl_name.clone())
+        .unwrap_or_else(|| table.replace('_', " "))
+}
+
+/// NL label of a column.
+pub fn column_label(schema: &Schema, c: &ColumnRef) -> String {
+    if let Some(t) = &c.table {
+        if let Some(col) = schema.column(t, &c.column) {
+            return col.nl_name.clone();
+        }
+    }
+    c.column.replace('_', " ")
+}
+
+/// The comparison-operator phrase ("is", "is greater than", ...).
+pub fn op_phrase(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "is",
+        CmpOp::Ne => "is not",
+        CmpOp::Lt => "is less than",
+        CmpOp::Le => "is at most",
+        CmpOp::Gt => "is greater than",
+        CmpOp::Ge => "is at least",
+        CmpOp::Like => "contains",
+        CmpOp::NotLike => "does not contain",
+        CmpOp::In => "is one of",
+        CmpOp::NotIn => "is not one of",
+        CmpOp::Between => "is between",
+    }
+}
+
+/// The literal phrase; masked literals become an explicit "some value"
+/// marker so that value post-processing can key on column mentions.
+pub fn literal_phrase(l: &Literal) -> String {
+    match l {
+        Literal::Int(v) => v.to_string(),
+        Literal::Float(v) => v.to_string(),
+        Literal::Str(s) => s.clone(),
+        Literal::Masked => "some value".to_string(),
+    }
+}
+
+/// Naive English pluralization for key entities ("flight" → "flights").
+pub fn pluralize(word: &str) -> String {
+    if word.ends_with('s') {
+        word.to_string()
+    } else if word.ends_with('y')
+        && !word.ends_with("ay")
+        && !word.ends_with("ey")
+        && !word.ends_with("oy")
+    {
+        format!("{}ies", &word[..word.len() - 1])
+    } else {
+        format!("{word}s")
+    }
+}
+
+/// The aggregate phrase prefix applied to a column label.
+pub fn agg_phrase(agg: AggFunc, col_label: &str) -> String {
+    match agg {
+        AggFunc::Count => format!("the number of {col_label}"),
+        AggFunc::Sum => format!("the total {col_label}"),
+        AggFunc::Avg => format!("the average {col_label}"),
+        AggFunc::Min => format!("the minimum {col_label}"),
+        AggFunc::Max => format!("the maximum {col_label}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+
+    #[test]
+    fn labels_come_from_annotations() {
+        let s = SchemaBuilder::new("d")
+            .table("team_member", |t| {
+                t.nl("team members").col_int("uid").col_nl("member id").pk(&["uid"])
+            })
+            .build();
+        assert_eq!(table_label(&s, "team_member"), "team members");
+        assert_eq!(
+            column_label(&s, &ColumnRef::new("team_member", "uid")),
+            "member id"
+        );
+    }
+
+    #[test]
+    fn unknown_names_degrade_gracefully() {
+        let s = SchemaBuilder::new("d")
+            .table("t", |t| t.col_int("a").pk(&["a"]))
+            .build();
+        assert_eq!(table_label(&s, "ghost_table"), "ghost table");
+        assert_eq!(
+            column_label(&s, &ColumnRef::new("t", "missing_col")),
+            "missing col"
+        );
+    }
+
+    #[test]
+    fn pluralize_rules() {
+        assert_eq!(pluralize("flight"), "flights");
+        assert_eq!(pluralize("city"), "cities");
+        assert_eq!(pluralize("day"), "days");
+        assert_eq!(pluralize("airports"), "airports");
+    }
+
+    #[test]
+    fn agg_phrases() {
+        assert_eq!(agg_phrase(AggFunc::Count, "bonus"), "the number of bonus");
+        assert_eq!(agg_phrase(AggFunc::Sum, "bonus"), "the total bonus");
+        assert_eq!(agg_phrase(AggFunc::Avg, "age"), "the average age");
+    }
+
+    #[test]
+    fn masked_literal_phrase() {
+        assert_eq!(literal_phrase(&Literal::Masked), "some value");
+        assert_eq!(literal_phrase(&Literal::Str("Spain".into())), "Spain");
+    }
+}

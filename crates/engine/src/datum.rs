@@ -1,0 +1,173 @@
+//! Runtime values and their SQL comparison semantics.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A runtime value stored in a table cell or produced by evaluation.
+///
+/// `PartialEq` is *structural* (`Int(1) != Float(1.0)`); use
+/// [`Datum::sql_eq`] for SQL comparison semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Datum {
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Datum {
+    /// `true` if NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Numeric view with Int→Float coercion; `None` for text/NULL.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: NULL compares with nothing (`None`); numbers coerce;
+    /// text compares lexicographically (case-insensitive, matching the
+    /// benchmark convention of case-insensitive value match).
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        match (self, other) {
+            (Datum::Null, _) | (_, Datum::Null) => None,
+            (Datum::Text(a), Datum::Text(b)) => {
+                Some(a.to_lowercase().cmp(&b.to_lowercase()))
+            }
+            (a, b) => {
+                let (x, y) = (a.as_f64()?, b.as_f64()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+
+    /// SQL equality derived from [`Datum::sql_cmp`]; NULL never equals.
+    pub fn sql_eq(&self, other: &Datum) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// A canonical key string used when rows are compared as sets/multisets
+    /// (execution-accuracy metric). Floats are formatted with a fixed
+    /// precision so `1.0` and `1` collide, as SQLite result comparison does.
+    pub fn canon_key(&self) -> String {
+        match self {
+            Datum::Int(v) => format!("{:.4}", *v as f64),
+            Datum::Float(v) => format!("{v:.4}"),
+            Datum::Text(s) => format!("t:{}", s.to_lowercase()),
+            Datum::Null => "null".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Text(s) => write!(f, "{s}"),
+            Datum::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float(v)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Text(v.to_string())
+    }
+}
+
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::Text(v)
+    }
+}
+
+/// SQL `LIKE` pattern match (`%` = any run, `_` = any one char), ASCII
+/// case-insensitive.
+pub fn like_match(value: &str, pattern: &str) -> bool {
+    let v: Vec<char> = value.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    like_rec(&v, &p)
+}
+
+fn like_rec(v: &[char], p: &[char]) -> bool {
+    match p.first() {
+        None => v.is_empty(),
+        Some('%') => {
+            // Try consuming 0..=len characters of v.
+            (0..=v.len()).any(|k| like_rec(&v[k..], &p[1..]))
+        }
+        Some('_') => !v.is_empty() && like_rec(&v[1..], &p[1..]),
+        Some(c) => v.first() == Some(c) && like_rec(&v[1..], &p[1..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_coercion_in_comparison() {
+        assert!(Datum::Int(2).sql_eq(&Datum::Float(2.0)));
+        assert_eq!(
+            Datum::Int(1).sql_cmp(&Datum::Float(1.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn text_comparison_is_case_insensitive() {
+        assert!(Datum::from("Spain").sql_eq(&Datum::from("spain")));
+        assert_eq!(
+            Datum::from("apple").sql_cmp(&Datum::from("Banana")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_never_compares() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), None);
+        assert!(!Datum::Null.sql_eq(&Datum::Null));
+    }
+
+    #[test]
+    fn canon_key_unifies_int_and_float() {
+        assert_eq!(Datum::Int(1).canon_key(), Datum::Float(1.0).canon_key());
+        assert_ne!(Datum::Int(1).canon_key(), Datum::from("1").canon_key());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("red bull racing", "%bull%"));
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("cart", "c_t"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("ABC", "abc"));
+        assert!(like_match("prefix-rest", "prefix%"));
+        assert!(!like_match("xprefix", "prefix%"));
+    }
+}

@@ -1,0 +1,614 @@
+//! Query execution.
+//!
+//! A straightforward iterator-free executor: materialize the joined working
+//! set, filter, group, aggregate, order, and apply set operations. The
+//! engine's job is *correctness on the benchmark SQL subset* — it backs the
+//! execution-accuracy metric (Section V-A4) and the value post-processing
+//! step, not a performance claim.
+
+use crate::datum::{like_match, Datum};
+use crate::table::{Database, ResultSet};
+use gar_sql::ast::*;
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Referenced table has no data.
+    UnknownTable(String),
+    /// Column not found in the working set.
+    UnknownColumn(String),
+    /// The query contains a masked (`?`) literal; execute after value
+    /// post-processing instead.
+    MaskedValue,
+    /// Constructs outside the engine subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column {c}"),
+            ExecError::MaskedValue => write!(f, "query contains masked literal"),
+            ExecError::Unsupported(s) => write!(f, "unsupported: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a query against a database.
+pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
+    let mut result = execute_core(db, q)?;
+    if let Some((op, rhs)) = &q.compound {
+        let right = execute(db, rhs)?;
+        result = apply_setop(*op, result, right);
+    }
+    Ok(result)
+}
+
+fn row_key(row: &[Datum]) -> String {
+    let mut s = String::with_capacity(row.len() * 8);
+    for d in row {
+        s.push_str(&d.canon_key());
+        s.push('|');
+    }
+    s
+}
+
+fn apply_setop(op: SetOp, left: ResultSet, right: ResultSet) -> ResultSet {
+    let right_keys: HashSet<String> = right.rows.iter().map(|r| row_key(r)).collect();
+    let mut seen = HashSet::new();
+    let mut rows = Vec::new();
+    match op {
+        SetOp::Union => {
+            for r in left.rows.into_iter().chain(right.rows) {
+                if seen.insert(row_key(&r)) {
+                    rows.push(r);
+                }
+            }
+        }
+        SetOp::Intersect => {
+            for r in left.rows {
+                let k = row_key(&r);
+                if right_keys.contains(&k) && seen.insert(k) {
+                    rows.push(r);
+                }
+            }
+        }
+        SetOp::Except => {
+            for r in left.rows {
+                let k = row_key(&r);
+                if !right_keys.contains(&k) && seen.insert(k) {
+                    rows.push(r);
+                }
+            }
+        }
+    }
+    ResultSet {
+        columns: left.columns,
+        rows,
+    }
+}
+
+/// The joined, pre-aggregation working set.
+struct WorkingSet {
+    cols: Vec<String>,
+    col_map: HashMap<String, usize>,
+    rows: Vec<Vec<Datum>>,
+}
+
+impl WorkingSet {
+    fn index_of(&self, c: &ColumnRef) -> Result<usize, ExecError> {
+        if let Some(t) = &c.table {
+            let key = format!("{t}.{}", c.column);
+            if let Some(&i) = self.col_map.get(&key) {
+                return Ok(i);
+            }
+        } else {
+            // Bare column: unique suffix match.
+            let suffix = format!(".{}", c.column);
+            let mut found = None;
+            for (name, &i) in &self.col_map {
+                if name.ends_with(&suffix) {
+                    if found.is_some() {
+                        return Err(ExecError::UnknownColumn(format!(
+                            "ambiguous {}",
+                            c.column
+                        )));
+                    }
+                    found = Some(i);
+                }
+            }
+            if let Some(i) = found {
+                return Ok(i);
+            }
+        }
+        Err(ExecError::UnknownColumn(c.to_string()))
+    }
+}
+
+fn build_working_set(db: &Database, from: &FromClause) -> Result<WorkingSet, ExecError> {
+    let first = db
+        .table(&from.tables[0])
+        .ok_or_else(|| ExecError::UnknownTable(from.tables[0].clone()))?;
+    let mut cols: Vec<String> = first
+        .columns
+        .iter()
+        .map(|c| format!("{}.{}", first.name, c))
+        .collect();
+    let mut rows: Vec<Vec<Datum>> = first.rows.clone();
+
+    for (i, tname) in from.tables.iter().enumerate().skip(1) {
+        let t = db
+            .table(tname)
+            .ok_or_else(|| ExecError::UnknownTable(tname.clone()))?;
+        let new_cols: Vec<String> = t
+            .columns
+            .iter()
+            .map(|c| format!("{}.{}", t.name, c))
+            .collect();
+
+        // Locate the join condition for this table if present.
+        let cond = from.conds.get(i - 1);
+        let mut joined = Vec::new();
+        match cond {
+            Some(jc) => {
+                // Determine which side lives in the accumulated set.
+                let left_key = format!(
+                    "{}.{}",
+                    jc.left.table.as_deref().unwrap_or(""),
+                    jc.left.column
+                );
+                let right_key = format!(
+                    "{}.{}",
+                    jc.right.table.as_deref().unwrap_or(""),
+                    jc.right.column
+                );
+                let (acc_key, new_key) = if cols.contains(&left_key) {
+                    (left_key, right_key)
+                } else {
+                    (right_key, left_key)
+                };
+                let acc_idx = cols
+                    .iter()
+                    .position(|c| *c == acc_key)
+                    .ok_or_else(|| ExecError::UnknownColumn(acc_key.clone()))?;
+                let new_idx = new_cols
+                    .iter()
+                    .position(|c| *c == new_key)
+                    .ok_or_else(|| ExecError::UnknownColumn(new_key.clone()))?;
+
+                // Hash join on canonical key.
+                let mut index: HashMap<String, Vec<&Vec<Datum>>> = HashMap::new();
+                for r in &t.rows {
+                    if !r[new_idx].is_null() {
+                        index.entry(r[new_idx].canon_key()).or_default().push(r);
+                    }
+                }
+                for lr in &rows {
+                    if lr[acc_idx].is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = index.get(&lr[acc_idx].canon_key()) {
+                        for rr in matches {
+                            let mut combined = lr.clone();
+                            combined.extend_from_slice(rr);
+                            joined.push(combined);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Cross product (no ON clause — rare, but keep semantics).
+                for lr in &rows {
+                    for rr in &t.rows {
+                        let mut combined = lr.clone();
+                        combined.extend_from_slice(rr);
+                        joined.push(combined);
+                    }
+                }
+            }
+        }
+        cols.extend(new_cols);
+        rows = joined;
+    }
+
+    let col_map = cols
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.clone(), i))
+        .collect();
+    Ok(WorkingSet {
+        cols,
+        col_map,
+        rows,
+    })
+}
+
+/// Pre-evaluated operand: literals and (uncorrelated) subquery results.
+enum EvaluatedOperand {
+    Value(Datum),
+    Set(HashSet<String>),
+    Column(ColExpr),
+}
+
+fn eval_operand(db: &Database, o: &Operand, membership: bool) -> Result<EvaluatedOperand, ExecError> {
+    match o {
+        Operand::Lit(Literal::Masked) => Err(ExecError::MaskedValue),
+        Operand::Lit(Literal::Int(v)) => Ok(EvaluatedOperand::Value(Datum::Int(*v))),
+        Operand::Lit(Literal::Float(v)) => Ok(EvaluatedOperand::Value(Datum::Float(*v))),
+        Operand::Lit(Literal::Str(s)) => Ok(EvaluatedOperand::Value(Datum::Text(s.clone()))),
+        Operand::Col(c) => Ok(EvaluatedOperand::Column(c.clone())),
+        Operand::Subquery(sq) => {
+            let rs = execute(db, sq)?;
+            if membership {
+                Ok(EvaluatedOperand::Set(
+                    rs.rows
+                        .iter()
+                        .filter_map(|r| r.first())
+                        .map(Datum::canon_key)
+                        .collect(),
+                ))
+            } else {
+                let v = rs
+                    .rows
+                    .first()
+                    .and_then(|r| r.first())
+                    .cloned()
+                    .unwrap_or(Datum::Null);
+                Ok(EvaluatedOperand::Value(v))
+            }
+        }
+    }
+}
+
+/// Evaluation context: either one working-set row, or a group of them.
+enum Ctx<'a> {
+    Row(&'a [Datum]),
+    Group(&'a [&'a Vec<Datum>]),
+}
+
+fn eval_colexpr(ws: &WorkingSet, ctx: &Ctx<'_>, ce: &ColExpr) -> Result<Datum, ExecError> {
+    match (ce.agg, ctx) {
+        (None, Ctx::Row(row)) => {
+            let i = ws.index_of(&ce.col)?;
+            Ok(row[i].clone())
+        }
+        (None, Ctx::Group(rows)) => {
+            // A bare column in a grouped context: the group key value —
+            // constant within the group, so take it from the first row.
+            let i = ws.index_of(&ce.col)?;
+            Ok(rows.first().map(|r| r[i].clone()).unwrap_or(Datum::Null))
+        }
+        (Some(agg), ctx) => {
+            let rows: Vec<&Vec<Datum>> = match ctx {
+                Ctx::Group(rs) => rs.to_vec(),
+                Ctx::Row(_) => {
+                    return Err(ExecError::Unsupported(
+                        "aggregate outside grouped context".to_string(),
+                    ))
+                }
+            };
+            eval_aggregate(ws, &rows, agg, ce)
+        }
+    }
+}
+
+fn eval_aggregate(
+    ws: &WorkingSet,
+    rows: &[&Vec<Datum>],
+    agg: AggFunc,
+    ce: &ColExpr,
+) -> Result<Datum, ExecError> {
+    if ce.col.is_star() {
+        if agg == AggFunc::Count {
+            return Ok(Datum::Int(rows.len() as i64));
+        }
+        return Err(ExecError::Unsupported(format!("{agg}(*)")));
+    }
+    let i = ws.index_of(&ce.col)?;
+    let mut values: Vec<&Datum> = rows.iter().map(|r| &r[i]).filter(|d| !d.is_null()).collect();
+    if ce.distinct {
+        let mut seen = HashSet::new();
+        values.retain(|d| seen.insert(d.canon_key()));
+    }
+    match agg {
+        AggFunc::Count => Ok(Datum::Int(values.len() as i64)),
+        AggFunc::Sum => {
+            let mut sum = 0.0;
+            let mut any = false;
+            for v in &values {
+                if let Some(x) = v.as_f64() {
+                    sum += x;
+                    any = true;
+                }
+            }
+            if any {
+                Ok(Datum::Float(sum))
+            } else {
+                Ok(Datum::Null)
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Ok(Datum::Null)
+            } else {
+                Ok(Datum::Float(nums.iter().sum::<f64>() / nums.len() as f64))
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<&Datum> = None;
+            for v in values {
+                best = match best {
+                    None => Some(v),
+                    Some(b) => {
+                        let keep_new = match v.sql_cmp(b) {
+                            Some(Ordering::Less) => agg == AggFunc::Min,
+                            Some(Ordering::Greater) => agg == AggFunc::Max,
+                            _ => false,
+                        };
+                        if keep_new {
+                            Some(v)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            Ok(best.cloned().unwrap_or(Datum::Null))
+        }
+    }
+}
+
+fn eval_predicate(
+    db: &Database,
+    ws: &WorkingSet,
+    ctx: &Ctx<'_>,
+    p: &Predicate,
+) -> Result<bool, ExecError> {
+    let lhs = eval_colexpr(ws, ctx, &p.lhs)?;
+    let membership = matches!(p.op, CmpOp::In | CmpOp::NotIn);
+    let rhs = eval_operand(db, &p.rhs, membership)?;
+
+    let cmp_to = |target: &EvaluatedOperand| -> Result<Option<Ordering>, ExecError> {
+        match target {
+            EvaluatedOperand::Value(v) => Ok(lhs.sql_cmp(v)),
+            EvaluatedOperand::Column(c) => {
+                let v = eval_colexpr(ws, ctx, c)?;
+                Ok(lhs.sql_cmp(&v))
+            }
+            EvaluatedOperand::Set(_) => Ok(None),
+        }
+    };
+
+    Ok(match p.op {
+        CmpOp::Eq => cmp_to(&rhs)? == Some(Ordering::Equal),
+        CmpOp::Ne => matches!(cmp_to(&rhs)?, Some(o) if o != Ordering::Equal),
+        CmpOp::Lt => cmp_to(&rhs)? == Some(Ordering::Less),
+        CmpOp::Le => matches!(cmp_to(&rhs)?, Some(Ordering::Less | Ordering::Equal)),
+        CmpOp::Gt => cmp_to(&rhs)? == Some(Ordering::Greater),
+        CmpOp::Ge => matches!(cmp_to(&rhs)?, Some(Ordering::Greater | Ordering::Equal)),
+        CmpOp::Like | CmpOp::NotLike => {
+            let pattern = match &rhs {
+                EvaluatedOperand::Value(Datum::Text(s)) => s.clone(),
+                _ => return Err(ExecError::Unsupported("LIKE needs text pattern".into())),
+            };
+            let v = match &lhs {
+                Datum::Text(s) => s.clone(),
+                Datum::Null => return Ok(false),
+                other => other.to_string(),
+            };
+            let m = like_match(&v, &pattern);
+            if p.op == CmpOp::Like {
+                m
+            } else {
+                !m
+            }
+        }
+        CmpOp::In | CmpOp::NotIn => {
+            let set = match &rhs {
+                EvaluatedOperand::Set(s) => s,
+                _ => return Err(ExecError::Unsupported("IN needs subquery".into())),
+            };
+            let contains = !lhs.is_null() && set.contains(&lhs.canon_key());
+            if p.op == CmpOp::In {
+                contains
+            } else {
+                !contains
+            }
+        }
+        CmpOp::Between => {
+            let low = cmp_to(&rhs)?;
+            let rhs2 = p
+                .rhs2
+                .as_ref()
+                .ok_or_else(|| ExecError::Unsupported("BETWEEN missing bound".into()))?;
+            let high = cmp_to(&eval_operand(db, rhs2, false)?)?;
+            matches!(low, Some(Ordering::Greater | Ordering::Equal))
+                && matches!(high, Some(Ordering::Less | Ordering::Equal))
+        }
+    })
+}
+
+/// Evaluate a flat condition chain with SQL precedence (AND binds tighter
+/// than OR).
+fn eval_condition(
+    db: &Database,
+    ws: &WorkingSet,
+    ctx: &Ctx<'_>,
+    cond: &Condition,
+) -> Result<bool, ExecError> {
+    // Split into OR-separated groups of AND-ed predicates.
+    let mut group_ok = true;
+    let mut any = false;
+    for (i, p) in cond.preds.iter().enumerate() {
+        if i > 0 && cond.conns[i - 1] == BoolConn::Or {
+            if group_ok {
+                any = true;
+            }
+            group_ok = true;
+        }
+        if group_ok {
+            group_ok = eval_predicate(db, ws, ctx, p)?;
+        }
+    }
+    if group_ok {
+        any = true;
+    }
+    Ok(any)
+}
+
+fn execute_core(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
+    let ws = build_working_set(db, &q.from)?;
+
+    // WHERE filter.
+    let mut filtered: Vec<&Vec<Datum>> = Vec::with_capacity(ws.rows.len());
+    match &q.where_ {
+        Some(cond) => {
+            for row in &ws.rows {
+                if eval_condition(db, &ws, &Ctx::Row(row), cond)? {
+                    filtered.push(row);
+                }
+            }
+        }
+        None => filtered.extend(ws.rows.iter()),
+    }
+
+    let labels: Vec<String> = q.select.items.iter().map(|i| i.to_string()).collect();
+    let has_agg_select = q.select.items.iter().any(ColExpr::is_aggregated)
+        || q.order_by
+            .as_ref()
+            .map(|ob| ob.items.iter().any(|i| i.expr.is_aggregated()))
+            .unwrap_or(false);
+
+    // Build output units: (projection row, sort keys).
+    let mut units: Vec<(Vec<Datum>, Vec<Datum>)> = Vec::new();
+
+    if !q.group_by.is_empty() || has_agg_select {
+        // Grouped path. Empty GROUP BY = one global group.
+        let mut groups: Vec<Vec<&Vec<Datum>>> = Vec::new();
+        if q.group_by.is_empty() {
+            // A single group — even over zero rows (COUNT(*) = 0).
+            groups.push(filtered.clone());
+        } else {
+            let idxs: Vec<usize> = q
+                .group_by
+                .iter()
+                .map(|g| ws.index_of(g))
+                .collect::<Result<_, _>>()?;
+            let mut bucket_of: HashMap<String, usize> = HashMap::new();
+            for row in &filtered {
+                let key: String = idxs
+                    .iter()
+                    .map(|&i| row[i].canon_key())
+                    .collect::<Vec<_>>()
+                    .join("|");
+                let slot = *bucket_of.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[slot].push(row);
+            }
+        }
+
+        for g in &groups {
+            let ctx = Ctx::Group(g.as_slice());
+            if let Some(h) = &q.having {
+                if g.is_empty() || !eval_condition(db, &ws, &ctx, h)? {
+                    continue;
+                }
+            }
+            let mut proj = Vec::with_capacity(q.select.items.len());
+            for item in &q.select.items {
+                if item.col.is_star() && item.agg.is_none() {
+                    return Err(ExecError::Unsupported("bare * in grouped select".into()));
+                }
+                proj.push(eval_colexpr(&ws, &ctx, item)?);
+            }
+            let mut keys = Vec::new();
+            if let Some(ob) = &q.order_by {
+                for oi in &ob.items {
+                    keys.push(eval_colexpr(&ws, &ctx, &oi.expr)?);
+                }
+            }
+            units.push((proj, keys));
+        }
+    } else {
+        // Row-wise path.
+        for row in &filtered {
+            let ctx = Ctx::Row(row);
+            let mut proj = Vec::with_capacity(q.select.items.len());
+            for item in &q.select.items {
+                if item.col.is_star() {
+                    // SELECT * — expand all working-set columns.
+                    proj.extend(row.iter().cloned());
+                } else {
+                    proj.push(eval_colexpr(&ws, &ctx, item)?);
+                }
+            }
+            let mut keys = Vec::new();
+            if let Some(ob) = &q.order_by {
+                for oi in &ob.items {
+                    keys.push(eval_colexpr(&ws, &ctx, &oi.expr)?);
+                }
+            }
+            units.push((proj, keys));
+        }
+    }
+
+    // DISTINCT.
+    if q.select.distinct {
+        let mut seen = HashSet::new();
+        units.retain(|(proj, _)| seen.insert(row_key(proj)));
+    }
+
+    // ORDER BY.
+    if let Some(ob) = &q.order_by {
+        let dirs: Vec<OrderDir> = ob.items.iter().map(|i| i.dir).collect();
+        units.sort_by(|(_, ka), (_, kb)| {
+            for (j, dir) in dirs.iter().enumerate() {
+                let ord = match ka[j].sql_cmp(&kb[j]) {
+                    Some(o) => o,
+                    None => {
+                        // NULLs sort first, stably.
+                        match (ka[j].is_null(), kb[j].is_null()) {
+                            (true, false) => Ordering::Less,
+                            (false, true) => Ordering::Greater,
+                            _ => Ordering::Equal,
+                        }
+                    }
+                };
+                let ord = if *dir == OrderDir::Desc {
+                    ord.reverse()
+                } else {
+                    ord
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    // LIMIT.
+    if let Some(l) = q.limit {
+        units.truncate(l as usize);
+    }
+
+    let columns = if q.select.items.len() == 1 && q.select.items[0].col.is_star() {
+        ws.cols.clone()
+    } else {
+        labels
+    };
+
+    Ok(ResultSet {
+        columns,
+        rows: units.into_iter().map(|(p, _)| p).collect(),
+    })
+}

@@ -1,0 +1,315 @@
+//! # gar-engine — in-memory relational execution for GAR
+//!
+//! GAR's evaluation uses an *Execution Accuracy* metric: "evaluates if the
+//! execution result matches the ground truth by executing the generated SQL
+//! query against the underlying relational database" (Section V-A4). The
+//! paper executes against SQLite; this crate provides the equivalent
+//! substrate — a small, correct executor for the benchmark SQL subset:
+//!
+//! - multi-table equi-joins (hash join), filters with `AND`/`OR` precedence,
+//! - `GROUP BY` + `HAVING` with `COUNT`/`SUM`/`AVG`/`MIN`/`MAX` (and
+//!   `DISTINCT` inside aggregates),
+//! - `ORDER BY`/`LIMIT`, `DISTINCT`,
+//! - `IN`/`NOT IN` and scalar comparison subqueries (uncorrelated),
+//! - `UNION`/`INTERSECT`/`EXCEPT` with set semantics.
+//!
+//! ```
+//! use gar_engine::{Database, Datum, execute};
+//! use gar_schema::SchemaBuilder;
+//! use gar_sql::parse;
+//!
+//! let schema = SchemaBuilder::new("demo")
+//!     .table("employee", |t| t.col_int("id").col_text("name").pk(&["id"]))
+//!     .build();
+//! let mut db = Database::empty(schema);
+//! db.insert("employee", vec![Datum::Int(1), Datum::from("ada")]);
+//! db.insert("employee", vec![Datum::Int(2), Datum::from("grace")]);
+//!
+//! let q = parse("SELECT COUNT(*) FROM employee").unwrap();
+//! let rs = execute(&db, &q).unwrap();
+//! assert_eq!(rs.rows, vec![vec![Datum::Int(2)]]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datum;
+pub mod exec;
+pub mod table;
+
+pub use datum::{like_match, Datum};
+pub use exec::{execute, ExecError};
+pub use table::{Database, ResultSet, TableData};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    /// The employee/evaluation database of the paper's Fig. 1.
+    fn hr_db() -> Database {
+        let schema = SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_int("year_awarded")
+                    .col_float("bonus")
+                    .pk(&["employee_id", "year_awarded"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build();
+        let mut db = Database::empty(schema);
+        for (id, name, age) in [(1, "alice", 34), (2, "bob", 28), (3, "carol", 45)] {
+            db.insert(
+                "employee",
+                vec![Datum::Int(id), Datum::from(name), Datum::Int(age)],
+            );
+        }
+        // alice: two medium bonuses; bob: one huge bonus; carol: none.
+        for (eid, year, bonus) in [(1, 2020, 500.0), (1, 2021, 600.0), (2, 2021, 2000.0)] {
+            db.insert(
+                "evaluation",
+                vec![Datum::Int(eid), Datum::Int(year), Datum::Float(bonus)],
+            );
+        }
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> ResultSet {
+        execute(db, &parse(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn projection_and_filter() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT name FROM employee WHERE age > 30");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn fig1_gold_query_finds_highest_single_bonus() {
+        // "Find the name of the employee who got the highest one time bonus."
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+             ON T1.employee_id = T2.employee_id \
+             ORDER BY T2.bonus DESC LIMIT 1",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::from("bob")]]);
+    }
+
+    #[test]
+    fn fig1_gap_style_wrong_query_returns_most_bonuses() {
+        // The GAP mistranslation counts records per employee — returns alice.
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+             ON T1.employee_id = T2.employee_id \
+             GROUP BY T2.employee_id ORDER BY COUNT(*) DESC LIMIT 1",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::from("alice")]]);
+    }
+
+    #[test]
+    fn group_by_with_having() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT evaluation.employee_id FROM evaluation \
+             GROUP BY evaluation.employee_id HAVING COUNT(*) >= 2",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::Int(1)]]);
+    }
+
+    #[test]
+    fn aggregates_compute() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT COUNT(*), SUM(bonus), AVG(bonus), MIN(bonus), MAX(bonus) FROM evaluation",
+        );
+        let row = &rs.rows[0];
+        assert_eq!(row[0], Datum::Int(3));
+        assert!(row[1].sql_eq(&Datum::Float(3100.0)));
+        assert!((row[2].as_f64().unwrap() - 1033.333).abs() < 0.01);
+        assert!(row[3].sql_eq(&Datum::Float(500.0)));
+        assert!(row[4].sql_eq(&Datum::Float(2000.0)));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT COUNT(DISTINCT employee_id) FROM evaluation");
+        assert_eq!(rs.rows, vec![vec![Datum::Int(2)]]);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT name FROM employee WHERE employee_id IN \
+             (SELECT employee_id FROM evaluation WHERE bonus > 1000)",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::from("bob")]]);
+    }
+
+    #[test]
+    fn not_in_subquery() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT name FROM employee WHERE employee_id NOT IN \
+             (SELECT employee_id FROM evaluation)",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::from("carol")]]);
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)",
+        );
+        // AVG(age) = 35.67; only carol (45).
+        assert_eq!(rs.rows, vec![vec![Datum::from("carol")]]);
+    }
+
+    #[test]
+    fn union_dedups() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT employee_id FROM evaluation UNION SELECT employee_id FROM employee",
+        );
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn intersect_and_except() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT employee_id FROM employee INTERSECT SELECT employee_id FROM evaluation",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        let rs = run(
+            &db,
+            "SELECT employee_id FROM employee EXCEPT SELECT employee_id FROM evaluation",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::Int(3)]]);
+    }
+
+    #[test]
+    fn like_filter() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT name FROM employee WHERE name LIKE '%li%'");
+        assert_eq!(rs.rows, vec![vec![Datum::from("alice")]]);
+        let rs = run(&db, "SELECT name FROM employee WHERE name NOT LIKE '%li%'");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn between_filter() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT name FROM employee WHERE age BETWEEN 28 AND 34");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn or_precedence() {
+        let db = hr_db();
+        // (age > 40) OR (age < 30 AND name = 'bob') — matches carol and bob.
+        let rs = run(
+            &db,
+            "SELECT name FROM employee WHERE age > 40 OR age < 30 AND name = 'bob'",
+        );
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT DISTINCT employee_id FROM evaluation");
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_multiple_keys() {
+        let db = hr_db();
+        let rs = run(
+            &db,
+            "SELECT employee_id, year_awarded FROM evaluation \
+             ORDER BY employee_id DESC, year_awarded",
+        );
+        assert_eq!(rs.rows[0], vec![Datum::Int(2), Datum::Int(2021)]);
+        assert_eq!(rs.rows[1], vec![Datum::Int(1), Datum::Int(2020)]);
+    }
+
+    #[test]
+    fn empty_group_has_zero_count() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT COUNT(*) FROM employee WHERE age > 100");
+        assert_eq!(rs.rows, vec![vec![Datum::Int(0)]]);
+    }
+
+    #[test]
+    fn masked_literal_is_rejected() {
+        let db = hr_db();
+        let q = parse("SELECT name FROM employee WHERE age > ?").unwrap();
+        assert_eq!(execute(&db, &q), Err(ExecError::MaskedValue));
+    }
+
+    #[test]
+    fn select_star_expands() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT * FROM employee WHERE employee_id = 1");
+        assert_eq!(rs.columns.len(), 3);
+        assert_eq!(rs.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn case_insensitive_text_match() {
+        let db = hr_db();
+        let rs = run(&db, "SELECT employee_id FROM employee WHERE name = 'ALICE'");
+        assert_eq!(rs.rows, vec![vec![Datum::Int(1)]]);
+    }
+
+    #[test]
+    fn three_way_join_executes() {
+        let schema = SchemaBuilder::new("f1")
+            .table("mechanic", |t| {
+                t.col_int("mechaniccode").col_text("fname").pk(&["mechaniccode"])
+            })
+            .table("team_member", |t| {
+                t.col_int("uid").col_int("teamcode").pk(&["uid"])
+            })
+            .table("teams", |t| t.col_int("uid").col_text("name").pk(&["uid"]))
+            .fk("team_member", "uid", "mechanic", "mechaniccode")
+            .fk("team_member", "teamcode", "teams", "uid")
+            .build();
+        let mut db = Database::empty(schema);
+        db.insert("mechanic", vec![Datum::Int(1), Datum::from("max")]);
+        db.insert("mechanic", vec![Datum::Int(2), Datum::from("lewis")]);
+        db.insert("team_member", vec![Datum::Int(1), Datum::Int(10)]);
+        db.insert("team_member", vec![Datum::Int(2), Datum::Int(20)]);
+        db.insert("teams", vec![Datum::Int(10), Datum::from("red bull")]);
+        db.insert("teams", vec![Datum::Int(20), Datum::from("mercedes")]);
+        let rs = run(
+            &db,
+            "SELECT T1.fname FROM mechanic AS T1 \
+             JOIN team_member AS T2 ON T1.mechaniccode = T2.uid \
+             JOIN teams AS T3 ON T2.teamcode = T3.uid \
+             WHERE T3.name = 'red bull'",
+        );
+        assert_eq!(rs.rows, vec![vec![Datum::from("max")]]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Physical tables and databases.
+
+use crate::datum::Datum;
+use gar_schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Row-oriented storage for one table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableData {
+    /// Table name (matches the schema).
+    pub name: String,
+    /// Column names in storage order (matches the schema's declaration).
+    pub columns: Vec<String>,
+    /// Rows; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<Datum>>,
+}
+
+impl TableData {
+    /// An empty table with the given column layout.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        TableData {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Append a row (panics if arity mismatches — construction-time error).
+    pub fn push_row(&mut self, row: Vec<Datum>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row arity mismatch in table {}",
+            self.name
+        );
+        self.rows.push(row);
+    }
+}
+
+/// A database: a schema plus the physical data for each table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Database {
+    /// The logical schema.
+    pub schema: Schema,
+    /// Physical tables keyed by name.
+    pub tables: HashMap<String, TableData>,
+}
+
+impl Database {
+    /// An empty database: one empty [`TableData`] per schema table.
+    pub fn empty(schema: Schema) -> Self {
+        let tables = schema
+            .tables
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    TableData::new(
+                        t.name.clone(),
+                        t.columns.iter().map(|c| c.name.clone()).collect(),
+                    ),
+                )
+            })
+            .collect();
+        Database { schema, tables }
+    }
+
+    /// Mutable access to a table's data.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut TableData> {
+        self.tables.get_mut(name)
+    }
+
+    /// Shared access to a table's data.
+    pub fn table(&self, name: &str) -> Option<&TableData> {
+        self.tables.get(name)
+    }
+
+    /// Insert a row into a table, by value list in declaration order.
+    pub fn insert(&mut self, table: &str, row: Vec<Datum>) {
+        self.tables
+            .get_mut(table)
+            .unwrap_or_else(|| panic!("unknown table {table}"))
+            .push_row(row);
+    }
+
+    /// Total row count across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.rows.len()).sum()
+    }
+}
+
+/// A query result: column headers plus rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Datum>>,
+}
+
+impl ResultSet {
+    /// An empty result with the given headers.
+    pub fn empty(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Execution-accuracy comparison. When `ordered` is `true` (the query
+    /// has an `ORDER BY`) rows must match in sequence; otherwise the row
+    /// multisets must match. Cell values use canonical keys (numeric
+    /// unification, case-insensitive text).
+    pub fn matches(&self, other: &ResultSet, ordered: bool) -> bool {
+        if self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let key = |r: &Vec<Datum>| -> String {
+            let mut s = String::new();
+            for d in r {
+                s.push_str(&d.canon_key());
+                s.push('|');
+            }
+            s
+        };
+        if ordered {
+            self.rows
+                .iter()
+                .zip(other.rows.iter())
+                .all(|(a, b)| key(a) == key(b))
+        } else {
+            let mut a: Vec<String> = self.rows.iter().map(key).collect();
+            let mut b: Vec<String> = other.rows.iter().map(key).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new("d")
+            .table("t", |t| t.col_int("a").col_text("b").pk(&["a"]))
+            .build();
+        Database::empty(schema)
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut d = db();
+        d.insert("t", vec![Datum::Int(1), Datum::from("x")]);
+        d.insert("t", vec![Datum::Int(2), Datum::from("y")]);
+        assert_eq!(d.total_rows(), 2);
+        assert_eq!(d.table("t").unwrap().col_index("b"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut d = db();
+        d.insert("t", vec![Datum::Int(1)]);
+    }
+
+    #[test]
+    fn resultset_unordered_match() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+        };
+        let b = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Float(2.0)], vec![Datum::Int(1)]],
+        };
+        assert!(a.matches(&b, false));
+        assert!(!a.matches(&b, true));
+    }
+
+    #[test]
+    fn resultset_ordered_match() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(1)], vec![Datum::Int(2)]],
+        };
+        let b = a.clone();
+        assert!(a.matches(&b, true));
+    }
+
+    #[test]
+    fn resultset_length_mismatch_fails() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            rows: vec![vec![Datum::Int(1)]],
+        };
+        let b = ResultSet::empty(vec!["x".into()]);
+        assert!(!a.matches(&b, false));
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests on the execution engine: structural invariants of query
+//! results over randomly generated tables and filters.
+
+use gar_engine::{execute, Database, Datum};
+use gar_schema::SchemaBuilder;
+use gar_sql::parse;
+use proptest::prelude::*;
+
+fn db_with_rows(rows: &[(i64, i64, String)]) -> Database {
+    let schema = SchemaBuilder::new("p")
+        .table("t", |t| t.col_int("id").col_int("x").col_text("s").pk(&["id"]))
+        .build();
+    let mut db = Database::empty(schema);
+    for (i, (_, x, s)) in rows.iter().enumerate() {
+        db.insert(
+            "t",
+            vec![Datum::Int(i as i64 + 1), Datum::Int(*x), Datum::Text(s.clone())],
+        );
+    }
+    db
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, i64, String)>> {
+    proptest::collection::vec((0i64..10, -50i64..50, "[a-c]{1,2}"), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LIMIT bounds the result size.
+    #[test]
+    fn limit_bounds_rows(rows in rows_strategy(), lim in 0u64..10) {
+        let db = db_with_rows(&rows);
+        let q = parse(&format!("SELECT t.x FROM t ORDER BY t.x LIMIT {lim}")).unwrap();
+        let rs = execute(&db, &q).unwrap();
+        prop_assert!(rs.rows.len() <= lim as usize);
+        prop_assert!(rs.rows.len() <= rows.len());
+    }
+
+    /// ORDER BY ASC yields a non-decreasing column.
+    #[test]
+    fn order_by_sorts(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let q = parse("SELECT t.x FROM t ORDER BY t.x").unwrap();
+        let rs = execute(&db, &q).unwrap();
+        let xs: Vec<f64> = rs.rows.iter().map(|r| r[0].as_f64().unwrap()).collect();
+        for w in xs.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    /// DISTINCT never yields duplicates and never grows the result.
+    #[test]
+    fn distinct_dedups(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let plain = execute(&db, &parse("SELECT t.s FROM t").unwrap()).unwrap();
+        let distinct = execute(&db, &parse("SELECT DISTINCT t.s FROM t").unwrap()).unwrap();
+        prop_assert!(distinct.rows.len() <= plain.rows.len());
+        let mut seen = std::collections::HashSet::new();
+        for r in &distinct.rows {
+            prop_assert!(seen.insert(r[0].canon_key()));
+        }
+    }
+
+    /// A WHERE filter is a subset of the unfiltered result, and every
+    /// surviving row satisfies the predicate.
+    #[test]
+    fn filter_is_sound(rows in rows_strategy(), bound in -50i64..50) {
+        let db = db_with_rows(&rows);
+        let all = execute(&db, &parse("SELECT t.x FROM t").unwrap()).unwrap();
+        let q = parse(&format!("SELECT t.x FROM t WHERE t.x > {bound}")).unwrap();
+        let filtered = execute(&db, &q).unwrap();
+        prop_assert!(filtered.rows.len() <= all.rows.len());
+        for r in &filtered.rows {
+            prop_assert!(r[0].as_f64().unwrap() > bound as f64);
+        }
+    }
+
+    /// COUNT(*) equals the number of rows matching the filter.
+    #[test]
+    fn count_star_matches_filter(rows in rows_strategy(), bound in -50i64..50) {
+        let db = db_with_rows(&rows);
+        let select = execute(
+            &db,
+            &parse(&format!("SELECT t.x FROM t WHERE t.x <= {bound}")).unwrap(),
+        )
+        .unwrap();
+        let count = execute(
+            &db,
+            &parse(&format!("SELECT COUNT(*) FROM t WHERE t.x <= {bound}")).unwrap(),
+        )
+        .unwrap();
+        prop_assert_eq!(count.rows[0][0].clone(), Datum::Int(select.rows.len() as i64));
+    }
+
+    /// UNION is idempotent (q UNION q == DISTINCT q) and EXCEPT with self
+    /// is empty.
+    #[test]
+    fn setop_identities(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let union_self = execute(
+            &db,
+            &parse("SELECT t.s FROM t UNION SELECT t.s FROM t").unwrap(),
+        )
+        .unwrap();
+        let distinct = execute(&db, &parse("SELECT DISTINCT t.s FROM t").unwrap()).unwrap();
+        prop_assert!(union_self.matches(&distinct, false));
+
+        let except_self = execute(
+            &db,
+            &parse("SELECT t.s FROM t EXCEPT SELECT t.s FROM t").unwrap(),
+        )
+        .unwrap();
+        prop_assert!(except_self.rows.is_empty());
+    }
+
+    /// GROUP BY counts sum to the total row count.
+    #[test]
+    fn group_counts_partition(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let grouped = execute(
+            &db,
+            &parse("SELECT t.s, COUNT(*) FROM t GROUP BY t.s").unwrap(),
+        )
+        .unwrap();
+        let total: i64 = grouped
+            .rows
+            .iter()
+            .map(|r| match r[1] {
+                Datum::Int(v) => v,
+                _ => 0,
+            })
+            .sum();
+        prop_assert_eq!(total, rows.len() as i64);
+    }
+
+    /// Execution is deterministic.
+    #[test]
+    fn execution_is_deterministic(rows in rows_strategy()) {
+        let db = db_with_rows(&rows);
+        let q = parse("SELECT t.s, COUNT(*) FROM t GROUP BY t.s ORDER BY COUNT(*) DESC").unwrap();
+        let a = execute(&db, &q).unwrap();
+        let b = execute(&db, &q).unwrap();
+        prop_assert!(a.matches(&b, true));
+    }
+}

@@ -1,0 +1,114 @@
+//! Schema-augmented component seeding — the paper's stated future-work
+//! extension (Sections III-A and VII).
+//!
+//! GAR "in the current setting may fail on some 'simple' cases where the
+//! SQL query includes one or more simple but unseen query components. For
+//! example, if the sample queries only have `GROUP BY employee.id` but not
+//! the `GROUP BY employee.name` component, GAR is not able to generate the
+//! SQL queries that include the latter component. It will be an interesting
+//! future work direction to see how such a limitation may be resolved,
+//! e.g., by examining the database schema to obtain more basic components."
+//!
+//! This module does exactly that: it derives *basic component trees* from
+//! the schema — one single-column projection per column, one grouped-count
+//! query per plausible grouping column — and seeds them into the
+//! generalizer's pool, so their `select`/`group` sub-trees become available
+//! for recomposition even when no sample query contains them.
+
+use gar_schema::Schema;
+use gar_sql::ast::*;
+
+/// Derive basic component-carrier queries from a schema.
+///
+/// Two families are produced:
+/// - `SELECT t.c FROM t` for every column (select/from components);
+/// - `SELECT t.c, COUNT(*) FROM t GROUP BY t.c` for every text or
+///   foreign-key-ish column (group components).
+pub fn schema_components(schema: &Schema) -> Vec<Query> {
+    let mut out = Vec::new();
+    for t in &schema.tables {
+        for c in &t.columns {
+            let col = ColumnRef::new(&t.name, &c.name);
+            out.push(Query::simple(&t.name, vec![ColExpr::plain(col.clone())]));
+
+            // Grouping makes sense on categorical-ish columns: text columns
+            // and foreign keys (the shapes SPIDER queries group on).
+            let is_fk = schema
+                .foreign_keys
+                .iter()
+                .any(|fk| fk.from_table == t.name && fk.from_column == c.name);
+            let is_text = matches!(c.ty, gar_schema::ColType::Text);
+            if is_text || is_fk {
+                let mut g = Query::simple(
+                    &t.name,
+                    vec![ColExpr::plain(col.clone()), ColExpr::count_star()],
+                );
+                g.group_by = vec![col];
+                out.push(g);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id").col_float("bonus").pk(&["employee_id"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build()
+    }
+
+    #[test]
+    fn every_column_gets_a_projection_seed() {
+        let seeds = schema_components(&schema());
+        for (t, c) in [
+            ("employee", "name"),
+            ("employee", "age"),
+            ("evaluation", "bonus"),
+        ] {
+            let want = Query::simple(t, vec![ColExpr::plain(ColumnRef::new(t, c))]);
+            assert!(
+                seeds.iter().any(|q| gar_sql::exact_match(q, &want)),
+                "missing projection seed for {t}.{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_and_fk_columns_get_group_seeds() {
+        let seeds = schema_components(&schema());
+        let grouped: Vec<&Query> = seeds.iter().filter(|q| !q.group_by.is_empty()).collect();
+        // name (text) and evaluation.employee_id (fk) group; age (plain
+        // int) does not.
+        assert!(grouped
+            .iter()
+            .any(|q| q.group_by[0] == ColumnRef::new("employee", "name")));
+        assert!(grouped
+            .iter()
+            .any(|q| q.group_by[0] == ColumnRef::new("evaluation", "employee_id")));
+        assert!(!grouped
+            .iter()
+            .any(|q| q.group_by[0] == ColumnRef::new("employee", "age")));
+    }
+
+    #[test]
+    fn seeds_resolve_against_their_schema() {
+        let s = schema();
+        for q in schema_components(&s) {
+            assert!(gar_schema::resolve_query(&s, &q).is_ok());
+        }
+    }
+}

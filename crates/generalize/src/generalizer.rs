@@ -1,0 +1,513 @@
+//! The compositional generalization algorithm (Algorithm 1 of the paper).
+//!
+//! Starting from the masked sample parse trees, the generalizer repeatedly
+//! picks two trees and a component type present in both, shuffles the two
+//! sub-trees, validates the recomposed trees (the four rules + semantic
+//! checks + schema resolution), and adds valid, novel trees back into the
+//! set — until the target size is reached or no new tree can be generated.
+
+use crate::component::{get_component, present_types, set_component, ComponentType};
+use crate::rules::{semantic_check, JoinCatalog, RuleSet, SubqueryCatalog, SyntacticLimits};
+use gar_schema::{resolve_query, Schema};
+use gar_sql::{fingerprint, mask_values, normalize, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for a generalization run.
+#[derive(Debug, Clone)]
+pub struct GeneralizerConfig {
+    /// Stop once this many queries (samples + generated) are in the set.
+    /// The paper uses 20,000 per database.
+    pub target_size: usize,
+    /// Hard bound on recomposition rounds (a safety net; Algorithm 1's
+    /// natural stop is stagnation).
+    pub max_rounds: usize,
+    /// Rounds without a newly accepted tree before declaring a fixpoint.
+    pub stagnation_rounds: usize,
+    /// RNG seed — generalization is deterministic given the seed.
+    pub seed: u64,
+    /// Active recomposition rules.
+    pub rules: RuleSet,
+    /// Seed basic component trees derived from the schema (the paper's
+    /// future-work extension, Section VII; see [`crate::augment`]). Off by
+    /// default to match the paper's main setting.
+    pub schema_augmentation: bool,
+}
+
+impl Default for GeneralizerConfig {
+    fn default() -> Self {
+        GeneralizerConfig {
+            target_size: 2_000,
+            max_rounds: 400_000,
+            stagnation_rounds: 4_000,
+            seed: 7,
+            rules: RuleSet::default(),
+            schema_augmentation: false,
+        }
+    }
+}
+
+/// Counters describing a generalization run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GeneralizeStats {
+    /// Recomposition rounds executed.
+    pub rounds: usize,
+    /// Candidate trees produced (2 per round).
+    pub candidates: usize,
+    /// Accepted novel trees.
+    pub accepted: usize,
+    /// Rejected by Rule 1 (join path).
+    pub rejected_join: usize,
+    /// Rejected by Rule 2 (syntactic limits).
+    pub rejected_syntax: usize,
+    /// Rejected by Rule 4 (mutated subquery).
+    pub rejected_subquery: usize,
+    /// Rejected by semantic sanity checks.
+    pub rejected_semantic: usize,
+    /// Rejected by schema resolution.
+    pub rejected_schema: usize,
+    /// Rejected as duplicates.
+    pub rejected_duplicate: usize,
+}
+
+/// The output of a generalization run.
+#[derive(Debug, Clone)]
+pub struct Generalized {
+    /// The generalized set: the masked samples followed by every accepted
+    /// recomposition, in acceptance order.
+    pub queries: Vec<Query>,
+    /// How many leading entries of `queries` are the original samples.
+    pub sample_count: usize,
+    /// Run counters.
+    pub stats: GeneralizeStats,
+}
+
+impl Generalized {
+    /// The generated (non-sample) queries.
+    pub fn generated(&self) -> &[Query] {
+        &self.queries[self.sample_count..]
+    }
+}
+
+/// The compositional SQL generalizer for one database.
+#[derive(Debug)]
+pub struct Generalizer<'a> {
+    schema: &'a Schema,
+    config: GeneralizerConfig,
+}
+
+impl<'a> Generalizer<'a> {
+    /// Create a generalizer over a schema.
+    pub fn new(schema: &'a Schema, config: GeneralizerConfig) -> Self {
+        Generalizer { schema, config }
+    }
+
+    /// Run Algorithm 1 over the sample queries.
+    ///
+    /// Samples that do not resolve against the schema are skipped (they can
+    /// never produce valid recompositions). Values are masked before
+    /// generalization, per Section III-A.
+    pub fn generalize(&self, samples: &[Query]) -> Generalized {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut stats = GeneralizeStats::default();
+
+        // Masked, schema-valid sample trees.
+        let mut pool: Vec<Query> = Vec::with_capacity(samples.len());
+        let mut seen: HashSet<String> = HashSet::new();
+        for s in samples {
+            let masked = mask_values(s);
+            if let Ok(resolved) = resolve_query(self.schema, &masked) {
+                let fp = fingerprint(&normalize(&resolved));
+                if seen.insert(fp) {
+                    pool.push(resolved);
+                }
+            }
+        }
+        let sample_count = pool.len();
+
+        // Future-work extension: seed basic component trees derived from
+        // the schema so unseen-but-simple components become recomposable.
+        if self.config.schema_augmentation {
+            for seed_q in crate::augment::schema_components(self.schema) {
+                if let Ok(resolved) = resolve_query(self.schema, &seed_q) {
+                    let fp = fingerprint(&normalize(&resolved));
+                    if seen.insert(fp) {
+                        pool.push(resolved);
+                    }
+                }
+            }
+        }
+
+        if pool.len() < 2 {
+            return Generalized {
+                queries: pool,
+                sample_count,
+                stats,
+            };
+        }
+
+        // Rule state, collected from the samples only.
+        let join_catalog = JoinCatalog::from_samples(pool.iter());
+        let limits = SyntacticLimits::from_samples(pool.iter());
+        let subquery_catalog = SubqueryCatalog::from_samples(pool.iter());
+
+        // Rule 3: component-type frequencies over the samples drive the
+        // choice of which non-terminal to shuffle.
+        let mut type_freq: HashMap<ComponentType, usize> = HashMap::new();
+        for q in &pool {
+            for t in present_types(q) {
+                *type_freq.entry(t).or_insert(0) += 1;
+            }
+        }
+
+        let mut since_last_accept = 0usize;
+        while pool.len() < self.config.target_size
+            && stats.rounds < self.config.max_rounds
+            && since_last_accept < self.config.stagnation_rounds
+        {
+            stats.rounds += 1;
+            since_last_accept += 1;
+
+            let i = rng.random_range(0..pool.len());
+            let mut j = rng.random_range(0..pool.len());
+            if i == j {
+                j = (j + 1) % pool.len();
+            }
+
+            // Component types present in both trees.
+            let ti = present_types(&pool[i]);
+            let tj = present_types(&pool[j]);
+            let mut common: Vec<ComponentType> =
+                ti.iter().filter(|t| tj.contains(t)).copied().collect();
+            if common.is_empty() {
+                continue;
+            }
+            // Never swap identical FROM clauses back and forth pointlessly;
+            // shuffling Select is always meaningful, others depend on content.
+            let ty = if self.config.rules.frequency_preservation {
+                weighted_pick(&mut rng, &common, &type_freq)
+            } else {
+                common.swap_remove(rng.random_range(0..common.len()))
+            };
+
+            let (ci, cj) = match (get_component(&pool[i], ty), get_component(&pool[j], ty)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            if ci == cj {
+                continue;
+            }
+
+            let mut n1 = pool[i].clone();
+            let mut n2 = pool[j].clone();
+            set_component(&mut n1, cj);
+            set_component(&mut n2, ci);
+
+            for cand in [n1, n2] {
+                stats.candidates += 1;
+                if let Some(valid) = self.validate(
+                    cand,
+                    &join_catalog,
+                    &limits,
+                    &subquery_catalog,
+                    &mut stats,
+                ) {
+                    let fp = fingerprint(&normalize(&valid));
+                    if seen.insert(fp) {
+                        pool.push(valid);
+                        stats.accepted += 1;
+                        since_last_accept = 0;
+                        if pool.len() >= self.config.target_size {
+                            break;
+                        }
+                    } else {
+                        stats.rejected_duplicate += 1;
+                    }
+                }
+            }
+        }
+
+        Generalized {
+            queries: pool,
+            sample_count,
+            stats,
+        }
+    }
+
+    /// `VALIDATE-TREE` from Algorithm 1: rules + semantics + schema.
+    fn validate(
+        &self,
+        q: Query,
+        joins: &JoinCatalog,
+        limits: &SyntacticLimits,
+        subqueries: &SubqueryCatalog,
+        stats: &mut GeneralizeStats,
+    ) -> Option<Query> {
+        if !semantic_check(&q) {
+            stats.rejected_semantic += 1;
+            return None;
+        }
+        if self.config.rules.join_rule && !joins.check_query(&q) {
+            stats.rejected_join += 1;
+            return None;
+        }
+        if self.config.rules.syntactic_restriction && !limits.check_query(&q) {
+            stats.rejected_syntax += 1;
+            return None;
+        }
+        if self.config.rules.subquery_preservation && !subqueries.check_query(&q) {
+            stats.rejected_subquery += 1;
+            return None;
+        }
+        match resolve_query(self.schema, &q) {
+            Ok(resolved) => Some(resolved),
+            Err(_) => {
+                stats.rejected_schema += 1;
+                None
+            }
+        }
+    }
+}
+
+fn weighted_pick(
+    rng: &mut StdRng,
+    options: &[ComponentType],
+    freq: &HashMap<ComponentType, usize>,
+) -> ComponentType {
+    let weights: Vec<usize> = options
+        .iter()
+        .map(|t| freq.get(t).copied().unwrap_or(0) + 1)
+        .collect();
+    let total: usize = weights.iter().sum();
+    let mut roll = rng.random_range(0..total);
+    for (t, w) in options.iter().zip(weights) {
+        if roll < w {
+            return *t;
+        }
+        roll -= w;
+    }
+    options[options.len() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::{exact_match, parse, to_sql};
+
+    fn hr_schema() -> Schema {
+        SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_int("year_awarded")
+                    .col_float("bonus")
+                    .pk(&["employee_id", "year_awarded"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build()
+    }
+
+    fn samples() -> Vec<Query> {
+        [
+            "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+             ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+            "SELECT employee.age FROM employee WHERE employee.name = 'John'",
+            "SELECT employee.name FROM employee WHERE employee.age > 30",
+            "SELECT COUNT(*) FROM evaluation GROUP BY evaluation.employee_id",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect()
+    }
+
+    fn config(target: usize) -> GeneralizerConfig {
+        GeneralizerConfig {
+            target_size: target,
+            seed: 42,
+            ..GeneralizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_the_papers_motivating_query() {
+        // From the Fig. 1 sample, GAR "should allow users to ask ... the AGE
+        // of the employee who got the highest one time bonus" — i.e. the
+        // select component of sample 2 recomposed into sample 1.
+        let schema = hr_schema();
+        let g = Generalizer::new(&schema, config(200));
+        let out = g.generalize(&samples());
+        let want = parse(
+            "SELECT employee.age FROM employee JOIN evaluation \
+             ON employee.employee_id = evaluation.employee_id \
+             ORDER BY evaluation.bonus DESC LIMIT 1",
+        )
+        .unwrap();
+        assert!(
+            out.queries.iter().any(|q| exact_match(q, &want)),
+            "expected the recomposed query among {} generated",
+            out.queries.len()
+        );
+    }
+
+    #[test]
+    fn all_generated_queries_respect_join_rule() {
+        let schema = hr_schema();
+        let g = Generalizer::new(&schema, config(300));
+        let out = g.generalize(&samples());
+        let cat = JoinCatalog::from_samples(out.queries[..out.sample_count].iter());
+        for q in out.generated() {
+            assert!(cat.check_query(q), "join rule violated: {}", to_sql(q));
+        }
+    }
+
+    #[test]
+    fn all_generated_queries_resolve_against_schema() {
+        let schema = hr_schema();
+        let g = Generalizer::new(&schema, config(300));
+        let out = g.generalize(&samples());
+        for q in &out.queries {
+            assert!(resolve_query(&schema, q).is_ok(), "bad: {}", to_sql(q));
+        }
+    }
+
+    #[test]
+    fn generated_set_is_deduplicated() {
+        let schema = hr_schema();
+        let g = Generalizer::new(&schema, config(300));
+        let out = g.generalize(&samples());
+        let mut fps = HashSet::new();
+        for q in &out.queries {
+            assert!(
+                fps.insert(fingerprint(&normalize(q))),
+                "duplicate: {}",
+                to_sql(q)
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let schema = hr_schema();
+        let a = Generalizer::new(&schema, config(150)).generalize(&samples());
+        let b = Generalizer::new(&schema, config(150)).generalize(&samples());
+        let sa: Vec<String> = a.queries.iter().map(to_sql).collect();
+        let sb: Vec<String> = b.queries.iter().map(to_sql).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn values_are_masked_in_output() {
+        let schema = hr_schema();
+        let out = Generalizer::new(&schema, config(100)).generalize(&samples());
+        for q in &out.queries {
+            let sql = to_sql(q);
+            assert!(!sql.contains("'John'"), "unmasked value in {sql}");
+        }
+    }
+
+    #[test]
+    fn stops_at_fixpoint_with_tiny_sample_space() {
+        let schema = hr_schema();
+        let two = vec![
+            parse("SELECT employee.name FROM employee").unwrap(),
+            parse("SELECT employee.age FROM employee").unwrap(),
+        ];
+        let out = Generalizer::new(&schema, config(10_000)).generalize(&two);
+        // Only select swaps possible: exactly the 2 samples (swapping the
+        // single-item selects just exchanges the two queries).
+        assert!(out.queries.len() <= 4, "got {}", out.queries.len());
+        assert!(out.stats.rounds < 10_000_000);
+    }
+
+    #[test]
+    fn single_sample_returns_unchanged() {
+        let schema = hr_schema();
+        let one = vec![parse("SELECT employee.name FROM employee").unwrap()];
+        let out = Generalizer::new(&schema, config(100)).generalize(&one);
+        assert_eq!(out.queries.len(), 1);
+        assert_eq!(out.sample_count, 1);
+    }
+
+    #[test]
+    fn disabling_join_rule_admits_new_paths() {
+        // With two different join conditions between the same tables in the
+        // schema but only one in the samples, the join rule is what blocks
+        // cross-path recompositions; verify the counter moves when enabled.
+        let schema = hr_schema();
+        let g = Generalizer::new(&schema, config(300));
+        let out = g.generalize(&samples());
+        // With all rules on, no generated query may use an uncatalogued path
+        // (already checked elsewhere); here assert the validator did real
+        // work overall.
+        assert!(out.stats.candidates > 0);
+        assert!(out.stats.accepted > 0);
+    }
+
+    #[test]
+    fn schema_augmentation_resolves_the_papers_limitation_example() {
+        // Section III-A: "if the sample queries only have GROUP BY
+        // employee.id but not the GROUP BY employee.name component, GAR is
+        // not able to generate the SQL queries that include the latter".
+        // The schema-augmentation extension fixes exactly this.
+        let schema = hr_schema();
+        let samples = vec![
+            parse("SELECT COUNT(*) FROM employee GROUP BY employee.employee_id").unwrap(),
+            parse("SELECT employee.age FROM employee WHERE employee.age > 30").unwrap(),
+        ];
+        let want = parse(
+            "SELECT employee.name, COUNT(*) FROM employee GROUP BY employee.name",
+        )
+        .unwrap();
+
+        let plain = Generalizer::new(&schema, config(400)).generalize(&samples);
+        assert!(
+            !plain.queries.iter().any(|q| exact_match(q, &want)),
+            "without augmentation the unseen group component must stay absent"
+        );
+
+        let augmented = Generalizer::new(
+            &schema,
+            GeneralizerConfig {
+                schema_augmentation: true,
+                ..config(400)
+            },
+        )
+        .generalize(&samples);
+        assert!(
+            augmented.queries.iter().any(|q| exact_match(q, &want)),
+            "augmentation must supply the GROUP BY employee.name component"
+        );
+    }
+
+    #[test]
+    fn augmented_queries_still_respect_schema_and_rules() {
+        let schema = hr_schema();
+        let out = Generalizer::new(
+            &schema,
+            GeneralizerConfig {
+                schema_augmentation: true,
+                ..config(400)
+            },
+        )
+        .generalize(&samples());
+        for q in &out.queries {
+            assert!(resolve_query(&schema, q).is_ok(), "bad: {}", to_sql(q));
+        }
+        assert!(out.queries.len() > out.sample_count);
+    }
+
+    #[test]
+    fn growth_is_monotone_in_target_size() {
+        let schema = hr_schema();
+        let small = Generalizer::new(&schema, config(50)).generalize(&samples());
+        let large = Generalizer::new(&schema, config(500)).generalize(&samples());
+        assert!(large.queries.len() >= small.queries.len());
+    }
+}

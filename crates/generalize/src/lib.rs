@@ -1,0 +1,46 @@
+//! # gar-generalize — compositional SQL generalization
+//!
+//! The "Generate" half of GAR (Section III-A of the paper). SQL is
+//! compositional in a context-free manner: every query is formed from
+//! components (Definition 1) that can be recomposed into new queries. Given
+//! a set of sample queries over a database, the [`Generalizer`] runs the
+//! compositional generalization algorithm (Algorithm 1): it repeatedly
+//! shuffles same-typed components between two parse trees, validates the
+//! recomposed trees, and grows the set until the target size or a fixpoint.
+//!
+//! Validation applies the paper's four recomposition rules
+//! ([`rules::RuleSet`]) plus schema resolution and semantic sanity checks,
+//! so every emitted query is *component-similar* to the samples, legal
+//! against the schema, and meaningful SQL.
+//!
+//! ```
+//! use gar_generalize::{Generalizer, GeneralizerConfig};
+//! use gar_schema::SchemaBuilder;
+//! use gar_sql::parse;
+//!
+//! let schema = SchemaBuilder::new("hr")
+//!     .table("employee", |t| t.col_int("id").col_text("name").col_int("age").pk(&["id"]))
+//!     .build();
+//! let samples = vec![
+//!     parse("SELECT employee.name FROM employee WHERE employee.age > 30").unwrap(),
+//!     parse("SELECT employee.age FROM employee ORDER BY employee.age DESC LIMIT 1").unwrap(),
+//! ];
+//! let out = Generalizer::new(&schema, GeneralizerConfig::default()).generalize(&samples);
+//! // The recomposition "name of the oldest employee" appears:
+//! let want = parse("SELECT employee.name FROM employee ORDER BY employee.age DESC LIMIT 1").unwrap();
+//! assert!(out.queries.iter().any(|q| gar_sql::exact_match(q, &want)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod component;
+pub mod generalizer;
+pub mod rules;
+
+pub use augment::schema_components;
+pub use component::{
+    extract_components, get_component, present_types, set_component, Component, ComponentType,
+};
+pub use generalizer::{Generalized, GeneralizeStats, Generalizer, GeneralizerConfig};
+pub use rules::{semantic_check, JoinCatalog, RuleSet, SubqueryCatalog, SyntacticLimits};

@@ -1,0 +1,408 @@
+//! The four recomposition rules of Section III-A.
+//!
+//! Rules prune the recomposition space so the generalized set stays
+//! *component-similar* to the samples:
+//!
+//! 1. **Join Rule** — generalized queries may only use join paths that occur
+//!    in the sample set;
+//! 2. **Syntactic Restriction** — per-clause complexity limits collected
+//!    from the samples;
+//! 3. **Frequency Preservation** — sub-trees that occur more often in the
+//!    sample set should occur more often in the generalized set;
+//! 4. **Sub-query Preservation** — subqueries are recomposed as opaque
+//!    wholes.
+//!
+//! Each rule can be toggled off for the ablation benches.
+
+use gar_sql::ast::*;
+use gar_sql::visit;
+use std::collections::HashSet;
+
+/// Which rules are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Rule 1.
+    pub join_rule: bool,
+    /// Rule 2.
+    pub syntactic_restriction: bool,
+    /// Rule 3 (weighted component sampling).
+    pub frequency_preservation: bool,
+    /// Rule 4 (always structurally enforced by the component model; this
+    /// flag additionally rejects queries whose subqueries were never seen
+    /// as a whole in the samples).
+    pub subquery_preservation: bool,
+}
+
+impl Default for RuleSet {
+    fn default() -> Self {
+        RuleSet {
+            join_rule: true,
+            syntactic_restriction: true,
+            frequency_preservation: true,
+            subquery_preservation: true,
+        }
+    }
+}
+
+/// Rule 1 state: the catalog of join paths seen in the sample queries.
+///
+/// A join path is recorded at two granularities: the canonical equi-join
+/// condition (column level) and the unordered table pair. A generalized
+/// query passes when **every** join condition it contains (recursively,
+/// including subqueries and compound arms) appears in the catalog.
+#[derive(Debug, Clone, Default)]
+pub struct JoinCatalog {
+    conds: HashSet<String>,
+    pairs: HashSet<(String, String)>,
+}
+
+impl JoinCatalog {
+    /// Build the catalog from the sample queries.
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = &'a Query>) -> Self {
+        let mut cat = JoinCatalog::default();
+        for q in samples {
+            cat.absorb(q);
+        }
+        cat
+    }
+
+    fn absorb(&mut self, q: &Query) {
+        for jc in &q.from.conds {
+            self.insert(jc);
+        }
+        for sq in q.subqueries() {
+            self.absorb(sq);
+        }
+    }
+
+    fn insert(&mut self, jc: &JoinCond) {
+        let (a, b) = jc.canonical();
+        self.conds.insert(format!("{a}={b}"));
+        let ta = a.table.clone().unwrap_or_default();
+        let tb = b.table.clone().unwrap_or_default();
+        let pair = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        self.pairs.insert(pair);
+    }
+
+    /// Number of distinct join conditions.
+    pub fn len(&self) -> usize {
+        self.conds.len()
+    }
+
+    /// `true` when the catalog has no joins.
+    pub fn is_empty(&self) -> bool {
+        self.conds.is_empty()
+    }
+
+    /// `true` if the single condition is catalogued.
+    pub fn allows(&self, jc: &JoinCond) -> bool {
+        let (a, b) = jc.canonical();
+        self.conds.contains(&format!("{a}={b}"))
+    }
+
+    /// Rule 1 check over a whole query tree.
+    pub fn check_query(&self, q: &Query) -> bool {
+        if !q.from.conds.iter().all(|jc| self.allows(jc)) {
+            return false;
+        }
+        if !q.subqueries().iter().all(|sq| self.check_query(sq)) {
+            return false;
+        }
+        true
+    }
+}
+
+/// Rule 2 state: syntactic complexity limits collected from the samples
+/// ("the complexity of generalized SQL queries should be similar to the one
+/// in the sample queries").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntacticLimits {
+    /// Max predicates in any single `WHERE`/`HAVING` chain.
+    pub max_preds: usize,
+    /// Max projection items.
+    pub max_select_items: usize,
+    /// Max `GROUP BY` columns.
+    pub max_group_cols: usize,
+    /// Max `ORDER BY` keys.
+    pub max_order_items: usize,
+    /// Max tables in one `FROM`.
+    pub max_tables: usize,
+    /// Max subquery nesting depth.
+    pub max_nesting: usize,
+}
+
+impl SyntacticLimits {
+    /// Collect limits from the sample queries.
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = &'a Query>) -> Self {
+        let mut lim = SyntacticLimits {
+            max_preds: 1,
+            max_select_items: 1,
+            max_group_cols: 0,
+            max_order_items: 0,
+            max_tables: 1,
+            max_nesting: 0,
+        };
+        for q in samples {
+            lim.absorb(q);
+        }
+        lim
+    }
+
+    fn absorb(&mut self, q: &Query) {
+        for cond in q.where_.iter().chain(q.having.iter()) {
+            self.max_preds = self.max_preds.max(cond.preds.len());
+        }
+        self.max_select_items = self.max_select_items.max(q.select.items.len());
+        self.max_group_cols = self.max_group_cols.max(q.group_by.len());
+        if let Some(ob) = &q.order_by {
+            self.max_order_items = self.max_order_items.max(ob.items.len());
+        }
+        self.max_tables = self.max_tables.max(q.from.tables.len());
+        self.max_nesting = self.max_nesting.max(visit::nesting_depth(q));
+        for sq in q.subqueries() {
+            self.absorb(sq);
+        }
+    }
+
+    /// Rule 2 check over a whole query tree.
+    pub fn check_query(&self, q: &Query) -> bool {
+        for cond in q.where_.iter().chain(q.having.iter()) {
+            if cond.preds.len() > self.max_preds {
+                return false;
+            }
+        }
+        if q.select.items.len() > self.max_select_items
+            || q.group_by.len() > self.max_group_cols.max(if q.group_by.is_empty() { 0 } else { 1 })
+            || q.from.tables.len() > self.max_tables
+            || visit::nesting_depth(q) > self.max_nesting
+        {
+            return false;
+        }
+        if let Some(ob) = &q.order_by {
+            if ob.items.len() > self.max_order_items.max(1) {
+                return false;
+            }
+        }
+        q.subqueries().iter().all(|sq| self.check_query(sq))
+    }
+}
+
+/// Rule 4 state: the set of whole subqueries (by normalized fingerprint)
+/// seen in the samples.
+#[derive(Debug, Clone, Default)]
+pub struct SubqueryCatalog {
+    fps: HashSet<String>,
+}
+
+impl SubqueryCatalog {
+    /// Build from samples.
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = &'a Query>) -> Self {
+        let mut cat = SubqueryCatalog::default();
+        for q in samples {
+            cat.absorb(q);
+        }
+        cat
+    }
+
+    fn absorb(&mut self, q: &Query) {
+        for cond in q.where_.iter().chain(q.having.iter()) {
+            for p in &cond.preds {
+                if let Operand::Subquery(sq) = &p.rhs {
+                    self.fps
+                        .insert(gar_sql::fingerprint(&gar_sql::normalize(sq)));
+                    self.absorb(sq);
+                }
+            }
+        }
+        if let Some((_, rhs)) = &q.compound {
+            self.absorb(rhs);
+        }
+    }
+
+    /// Number of distinct catalogued subqueries.
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// Rule 4 check: every predicate subquery in `q` must be catalogued.
+    pub fn check_query(&self, q: &Query) -> bool {
+        for cond in q.where_.iter().chain(q.having.iter()) {
+            for p in &cond.preds {
+                if let Operand::Subquery(sq) = &p.rhs {
+                    if !self
+                        .fps
+                        .contains(&gar_sql::fingerprint(&gar_sql::normalize(sq)))
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        if let Some((_, rhs)) = &q.compound {
+            if !self.check_query(rhs) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Semantic sanity checks that are independent of the sample set: rejects
+/// queries that are syntactically recomposable but not meaningful SQL
+/// (aggregates in `WHERE`, `HAVING` without `GROUP BY`, grouped queries with
+/// no aggregate or key projection, aggregated `ORDER BY` without grouping).
+pub fn semantic_check(q: &Query) -> bool {
+    // Aggregates are not allowed in WHERE.
+    if let Some(w) = &q.where_ {
+        if w.preds.iter().any(|p| p.lhs.is_aggregated()) {
+            return false;
+        }
+    }
+    // HAVING requires GROUP BY (structural in the AST, but a swap could
+    // install Group(cols=[], having=Some) — defensive).
+    if q.having.is_some() && q.group_by.is_empty() {
+        return false;
+    }
+    // An aggregated ORDER BY key requires grouping.
+    if let Some(ob) = &q.order_by {
+        if ob.items.iter().any(|i| i.expr.is_aggregated()) && q.group_by.is_empty() {
+            return false;
+        }
+    }
+    // With GROUP BY, the projection must reference the group key or an
+    // aggregate (otherwise the projection is underdetermined).
+    if !q.group_by.is_empty() {
+        let ok = q.select.items.iter().all(|item| {
+            item.is_aggregated() || q.group_by.contains(&item.col)
+        });
+        if !ok {
+            return false;
+        }
+    }
+    // A compound's arms must project the same number of columns.
+    if let Some((_, rhs)) = &q.compound {
+        if rhs.select.items.len() != q.select.items.len() {
+            return false;
+        }
+        if !semantic_check(rhs) {
+            return false;
+        }
+    }
+    q.subqueries().iter().all(|sq| semantic_check(sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_sql::parse;
+
+    fn q(sql: &str) -> Query {
+        parse(sql).unwrap()
+    }
+
+    #[test]
+    fn join_catalog_allows_sample_paths_only() {
+        let samples = vec![q("SELECT a.x FROM a JOIN b ON a.id = b.aid")];
+        let cat = JoinCatalog::from_samples(&samples);
+        assert!(cat.check_query(&q("SELECT b.y FROM a JOIN b ON a.id = b.aid")));
+        assert!(!cat.check_query(&q("SELECT b.y FROM a JOIN b ON a.id = b.bid")));
+        assert!(cat.check_query(&q("SELECT a.x FROM a")));
+    }
+
+    #[test]
+    fn join_catalog_checks_subqueries() {
+        let samples = vec![q("SELECT a.x FROM a JOIN b ON a.id = b.aid")];
+        let cat = JoinCatalog::from_samples(&samples);
+        assert!(!cat.check_query(&q(
+            "SELECT a.x FROM a WHERE a.id IN (SELECT c.x FROM c JOIN d ON c.id = d.cid)"
+        )));
+    }
+
+    #[test]
+    fn syntactic_limits_collect_maxima() {
+        let samples = vec![
+            q("SELECT t.a, t.b FROM t WHERE t.c = 1 AND t.d = 2"),
+            q("SELECT t.a FROM t ORDER BY t.a LIMIT 1"),
+        ];
+        let lim = SyntacticLimits::from_samples(&samples);
+        assert_eq!(lim.max_preds, 2);
+        assert_eq!(lim.max_select_items, 2);
+        assert_eq!(lim.max_order_items, 1);
+        assert!(lim.check_query(&q("SELECT t.a FROM t WHERE t.c = 1 AND t.d = 3")));
+        assert!(!lim.check_query(&q(
+            "SELECT t.a FROM t WHERE t.a = 1 AND t.b = 2 AND t.c = 3"
+        )));
+    }
+
+    #[test]
+    fn syntactic_limits_bound_nesting() {
+        let samples = vec![q("SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u)")];
+        let lim = SyntacticLimits::from_samples(&samples);
+        assert_eq!(lim.max_nesting, 1);
+        assert!(!lim.check_query(&q(
+            "SELECT t.a FROM t WHERE t.b IN \
+             (SELECT u.b FROM u WHERE u.c IN (SELECT v.c FROM v))"
+        )));
+    }
+
+    #[test]
+    fn subquery_catalog_accepts_whole_sample_subqueries() {
+        let samples = vec![q(
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 1)",
+        )];
+        let cat = SubqueryCatalog::from_samples(&samples);
+        assert_eq!(cat.len(), 1);
+        // Same subquery (different value) — allowed.
+        assert!(cat.check_query(&q(
+            "SELECT t.z FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 9)"
+        )));
+        // Mutated subquery internals — rejected.
+        assert!(!cat.check_query(&q(
+            "SELECT t.z FROM t WHERE t.b IN (SELECT u.b FROM u)"
+        )));
+    }
+
+    #[test]
+    fn semantic_check_rejects_aggregate_in_where() {
+        assert!(!semantic_check(&q("SELECT t.a FROM t WHERE COUNT(*) > 1")));
+    }
+
+    #[test]
+    fn semantic_check_rejects_agg_order_without_group() {
+        assert!(!semantic_check(&q(
+            "SELECT t.a FROM t ORDER BY COUNT(*) DESC LIMIT 1"
+        )));
+        assert!(semantic_check(&q(
+            "SELECT t.a FROM t GROUP BY t.a ORDER BY COUNT(*) DESC LIMIT 1"
+        )));
+    }
+
+    #[test]
+    fn semantic_check_rejects_ungrouped_projection() {
+        assert!(!semantic_check(&q(
+            "SELECT t.b FROM t GROUP BY t.a"
+        )));
+        assert!(semantic_check(&q(
+            "SELECT t.a, COUNT(*) FROM t GROUP BY t.a"
+        )));
+    }
+
+    #[test]
+    fn semantic_check_rejects_mismatched_compound_arity() {
+        assert!(!semantic_check(&q(
+            "SELECT t.a FROM t UNION SELECT u.a, u.b FROM u"
+        )));
+    }
+
+    #[test]
+    fn default_ruleset_is_all_on() {
+        let r = RuleSet::default();
+        assert!(r.join_rule && r.syntactic_restriction);
+        assert!(r.frequency_preservation && r.subquery_preservation);
+    }
+}

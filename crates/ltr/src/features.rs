@@ -1,0 +1,322 @@
+//! Text featurization: tokenization and feature hashing.
+//!
+//! The paper's retrieval/re-ranking encoders start from pre-trained
+//! transformers; this offline reproduction replaces the subword embedding
+//! layer with *feature hashing* over word unigrams, word bigrams and
+//! character trigrams — a classical, training-free sparse text
+//! representation that the dense layers then learn to project into the
+//! semantic-matching embedding space.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse feature vector (sorted unique indices, L2-normalized values).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseVec {
+    /// Feature indices, strictly increasing.
+    pub indices: Vec<u32>,
+    /// Feature values, parallel to `indices`.
+    pub values: Vec<f32>,
+}
+
+impl SparseVec {
+    /// Number of non-zero features.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.values.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sparse dot product with another sparse vector.
+    pub fn dot(&self, other: &SparseVec) -> f32 {
+        let mut s = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.indices.len() && j < other.indices.len() {
+            match self.indices[i].cmp(&other.indices[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    s += self.values[i] * other.values[j];
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Lower-case word tokens (alphanumeric runs; digits kept as tokens).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// FNV-1a 64-bit hash.
+#[inline]
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The featurizer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Hash-space dimension (power of two recommended).
+    pub dim: usize,
+    /// Include word bigrams.
+    pub word_bigrams: bool,
+    /// Include character trigrams.
+    pub char_trigrams: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            dim: 2048,
+            word_bigrams: true,
+            char_trigrams: true,
+        }
+    }
+}
+
+/// Hash a text into a sparse, L2-normalized feature vector.
+pub fn hash_features(text: &str, cfg: &FeatureConfig) -> SparseVec {
+    let tokens = tokenize(text);
+    let mut accum: Vec<(u32, f32)> = Vec::with_capacity(tokens.len() * 4);
+
+    let dim = cfg.dim as u64;
+    for t in &tokens {
+        accum.push(((fnv1a(t.as_bytes(), 1) % dim) as u32, 1.0));
+    }
+    if cfg.word_bigrams {
+        for w in tokens.windows(2) {
+            let joined = format!("{} {}", w[0], w[1]);
+            accum.push(((fnv1a(joined.as_bytes(), 2) % dim) as u32, 1.0));
+        }
+    }
+    if cfg.char_trigrams {
+        for t in &tokens {
+            let chars: Vec<char> = t.chars().collect();
+            if chars.len() >= 3 {
+                for w in chars.windows(3) {
+                    let tri: String = w.iter().collect();
+                    accum.push(((fnv1a(tri.as_bytes(), 3) % dim) as u32, 0.5));
+                }
+            }
+        }
+    }
+
+    // Merge duplicate indices.
+    accum.sort_unstable_by_key(|(i, _)| *i);
+    let mut indices = Vec::with_capacity(accum.len());
+    let mut values: Vec<f32> = Vec::with_capacity(accum.len());
+    for (i, v) in accum {
+        if indices.last() == Some(&i) {
+            *values.last_mut().expect("parallel") += v;
+        } else {
+            indices.push(i);
+            values.push(v);
+        }
+    }
+
+    // L2 normalize.
+    let norm = values.iter().map(|v| v * v).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for v in &mut values {
+            *v /= norm;
+        }
+    }
+    SparseVec { indices, values }
+}
+
+/// Light plural/inflection stemming used by the stemmed-overlap feature
+/// ("arriving"/"arrive", "flights"/"flight").
+pub fn stem(w: &str) -> String {
+    let w = w.strip_suffix("ing").filter(|s| s.len() >= 4).unwrap_or(w);
+    if w.len() > 4 && w.ends_with("ies") {
+        format!("{}y", &w[..w.len() - 3])
+    } else if w.len() > 3 && w.ends_with('s') && !w.ends_with("ss") {
+        w[..w.len() - 1].to_string()
+    } else if w.len() > 4 && w.ends_with('e') {
+        // Unify "arrive"/"arriv(ing)" after the -ing strip.
+        w[..w.len() - 1].to_string()
+    } else {
+        w.to_string()
+    }
+}
+
+/// Lexical-overlap features between two texts, used by the re-ranker in
+/// addition to the embedding interaction (9 features, all in `[0, 1]`).
+pub fn overlap_features(a: &str, b: &str) -> [f32; 9] {
+    use std::collections::HashSet;
+    let ta = tokenize(a);
+    let tb = tokenize(b);
+    let sa: HashSet<&String> = ta.iter().collect();
+    let sb: HashSet<&String> = tb.iter().collect();
+    let inter = sa.intersection(&sb).count() as f32;
+    let union = sa.union(&sb).count() as f32;
+
+    let jaccard = if union > 0.0 { inter / union } else { 0.0 };
+    let cov_a = if sa.is_empty() { 0.0 } else { inter / sa.len() as f32 };
+    let cov_b = if sb.is_empty() { 0.0 } else { inter / sb.len() as f32 };
+
+    let bigrams = |ts: &[String]| -> HashSet<String> {
+        ts.windows(2).map(|w| format!("{} {}", w[0], w[1])).collect()
+    };
+    let ba = bigrams(&ta);
+    let bb = bigrams(&tb);
+    let b_inter = ba.intersection(&bb).count() as f32;
+    let b_union = ba.union(&bb).count() as f32;
+    let bigram_jaccard = if b_union > 0.0 { b_inter / b_union } else { 0.0 };
+
+    let len_ratio = {
+        let (x, y) = (ta.len() as f32, tb.len() as f32);
+        if x.max(y) > 0.0 {
+            x.min(y) / x.max(y)
+        } else {
+            1.0
+        }
+    };
+
+    // Digit-token overlap (literal values mentioned on both sides).
+    fn digits(ts: &[String]) -> HashSet<&String> {
+        ts.iter()
+            .filter(|t| t.chars().all(|c| c.is_ascii_digit()))
+            .collect()
+    }
+    let da = digits(&ta);
+    let db = digits(&tb);
+    let d_inter = da.intersection(&db).count() as f32;
+    let d_max = da.len().max(db.len()) as f32;
+    let digit_overlap = if d_max > 0.0 { d_inter / d_max } else { 0.0 };
+
+    // Long-token (>= 6 chars, usually schema words) overlap.
+    fn long(ts: &[String]) -> HashSet<&String> {
+        ts.iter().filter(|t| t.len() >= 6).collect()
+    }
+    let la = long(&ta);
+    let lb = long(&tb);
+    let l_inter = la.intersection(&lb).count() as f32;
+    let l_max = la.len().max(lb.len()) as f32;
+    let long_overlap = if l_max > 0.0 { l_inter / l_max } else { 0.0 };
+
+    let exact = if a == b { 1.0 } else { 0.0 };
+
+    // Stemmed jaccard: bridges inflection gaps between the NL channel and
+    // the dialect channel ("arriving flights" vs "the flights arrive").
+    let stemmed = |ts: &[String]| -> HashSet<String> {
+        ts.iter().map(|t| stem(t)).collect()
+    };
+    let sta = stemmed(&ta);
+    let stb = stemmed(&tb);
+    let st_inter = sta.intersection(&stb).count() as f32;
+    let st_union = sta.union(&stb).count() as f32;
+    let stem_jaccard = if st_union > 0.0 {
+        st_inter / st_union
+    } else {
+        0.0
+    };
+
+    [
+        jaccard,
+        cov_a,
+        cov_b,
+        bigram_jaccard,
+        len_ratio,
+        digit_overlap,
+        long_overlap,
+        exact,
+        stem_jaccard,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowers() {
+        assert_eq!(
+            tokenize("Find the employee's NAME!"),
+            vec!["find", "the", "employee", "s", "name"]
+        );
+        assert_eq!(tokenize("top-1 result"), vec!["top", "1", "result"]);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_normalized() {
+        let cfg = FeatureConfig::default();
+        let a = hash_features("find the name of employee", &cfg);
+        let b = hash_features("find the name of employee", &cfg);
+        assert_eq!(a, b);
+        assert!((a.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn indices_are_sorted_unique() {
+        let cfg = FeatureConfig::default();
+        let v = hash_features("the the the the employee employee", &cfg);
+        for w in v.indices.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn similar_texts_have_higher_dot() {
+        let cfg = FeatureConfig::default();
+        let q = hash_features("find the name of the employee", &cfg);
+        let close = hash_features("find the age of the employee", &cfg);
+        let far = hash_features("count flights arriving per city", &cfg);
+        assert!(q.dot(&close) > q.dot(&far));
+    }
+
+    #[test]
+    fn empty_text_is_empty_vector() {
+        let cfg = FeatureConfig::default();
+        let v = hash_features("", &cfg);
+        assert_eq!(v.nnz(), 0);
+    }
+
+    #[test]
+    fn overlap_features_in_range() {
+        let f = overlap_features(
+            "what is the name and capacity of the stadium",
+            "find the capacity of stadium, the name of stadium",
+        );
+        for x in f {
+            assert!((0.0..=1.0).contains(&x), "{f:?}");
+        }
+        assert!(f[0] > 0.2, "jaccard should be substantial: {f:?}");
+    }
+
+    #[test]
+    fn digit_overlap_detects_shared_values() {
+        let with = overlap_features("concerts after 2013", "year is at least 2014");
+        let shared = overlap_features("concerts after 2014", "year is at least 2014");
+        assert!(shared[5] > with[5]);
+    }
+
+    #[test]
+    fn exact_match_flag() {
+        assert_eq!(overlap_features("same text", "same text")[7], 1.0);
+        assert_eq!(overlap_features("same text", "other text")[7], 0.0);
+    }
+}

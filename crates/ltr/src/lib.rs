@@ -1,0 +1,83 @@
+//! # gar-ltr — learning-to-rank substrate for GAR
+//!
+//! GAR formulates NL2SQL as semantic matching between NL queries and dialect
+//! expressions, solved by a two-stage learning-to-rank pipeline
+//! (Section III-C of the paper):
+//!
+//! 1. a coarse **retrieval model** — here a Siamese encoder over hashed
+//!    text features trained by cosine-score regression
+//!    ([`RetrievalModel`]), standing in for the paper's Sentence-BERT
+//!    encoder (no pre-trained transformer is available offline; see
+//!    DESIGN.md for the substitution argument);
+//! 2. a fine **re-ranking model** — a pair-interaction MLP trained with a
+//!    listwise (ListNet) objective over query-grouped candidate lists
+//!    ([`RerankModel`]), standing in for the paper's RoBERTa + NeuralNDCG.
+//!
+//! The crate also provides the clause-punishment similarity score that
+//! labels training triples ([`similarity_score`]), the featurization layer,
+//! a minimal dense-NN substrate with hand-written backprop and Adam, and
+//! compact binary model persistence.
+
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod nn;
+pub mod persist;
+pub mod rerank;
+pub mod retrieval;
+pub mod similarity;
+
+pub use features::{hash_features, overlap_features, tokenize, FeatureConfig, SparseVec};
+pub use rerank::{pair_features, RankList, RerankConfig, RerankModel, RerankReport};
+pub use retrieval::{RetrievalConfig, RetrievalModel, TrainReport, Triple};
+pub use similarity::{similarity_score, similarity_score_with, Punishments};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieval_model_persistence_roundtrip() {
+        let cfg = RetrievalConfig {
+            features: FeatureConfig {
+                dim: 256,
+                ..FeatureConfig::default()
+            },
+            hidden: 16,
+            embed: 8,
+            ..RetrievalConfig::default()
+        };
+        let m = RetrievalModel::new(cfg);
+        let bytes = m.to_bytes();
+        let back = RetrievalModel::from_bytes(&bytes).unwrap();
+        assert_eq!(m.encode("some text"), back.encode("some text"));
+    }
+
+    #[test]
+    fn rerank_model_persistence_roundtrip() {
+        let cfg = RerankConfig {
+            embed: 8,
+            hidden: 16,
+            ..RerankConfig::default()
+        };
+        let m = RerankModel::new(cfg);
+        let bytes = m.to_bytes();
+        let back = RerankModel::from_bytes(&bytes).unwrap();
+        let f = vec![0.25; 4 * 8 + crate::rerank::EXTRA_FEATURES];
+        assert_eq!(m.score(&f), back.score(&f));
+    }
+
+    #[test]
+    fn cross_kind_artifacts_are_rejected() {
+        let m = RetrievalModel::new(RetrievalConfig {
+            features: FeatureConfig {
+                dim: 64,
+                ..FeatureConfig::default()
+            },
+            hidden: 8,
+            embed: 4,
+            ..RetrievalConfig::default()
+        });
+        assert!(RerankModel::from_bytes(&m.to_bytes()).is_err());
+    }
+}

@@ -1,0 +1,446 @@
+//! Minimal dense neural-network substrate with manual backprop.
+//!
+//! Exactly what the two ranking models need: linear layers (with a sparse
+//! input fast path for the feature-hashed first layer), `tanh`/`relu`
+//! activations, and per-tensor Adam state. No autograd — the two model
+//! architectures are fixed, so gradients are written out by hand in
+//! `retrieval.rs` / `rerank.rs`.
+
+// Index-based loops are deliberate in the hand-written forward/backward
+// kernels: explicit bounds keep the math shape visible.
+#![allow(clippy::needless_range_loop)]
+
+use crate::features::SparseVec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A dense linear layer `y = W x + b` with `W: out × in` (row-major).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Input dimension.
+    pub input: usize,
+    /// Output dimension.
+    pub output: usize,
+    /// Weights, row-major (`output` rows of `input`).
+    pub w: Vec<f32>,
+    /// Bias.
+    pub b: Vec<f32>,
+}
+
+impl Linear {
+    /// Xavier-initialized layer.
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0f32 / (input + output) as f32).sqrt();
+        let w = (0..input * output)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Linear {
+            input,
+            output,
+            w,
+            b: vec![0.0; output],
+        }
+    }
+
+    /// Dense forward pass.
+    pub fn forward(&self, x: &[f32], y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.input);
+        y.clear();
+        y.reserve(self.output);
+        for o in 0..self.output {
+            let row = &self.w[o * self.input..(o + 1) * self.input];
+            let mut s = self.b[o];
+            for i in 0..self.input {
+                s += row[i] * x[i];
+            }
+            y.push(s);
+        }
+    }
+
+    /// Sparse forward pass (first layer over hashed features).
+    pub fn forward_sparse(&self, x: &SparseVec, y: &mut Vec<f32>) {
+        y.clear();
+        y.extend_from_slice(&self.b);
+        for (&idx, &v) in x.indices.iter().zip(&x.values) {
+            let i = idx as usize;
+            debug_assert!(i < self.input);
+            for o in 0..self.output {
+                y[o] += self.w[o * self.input + i] * v;
+            }
+        }
+    }
+}
+
+/// Gradient buffers for a [`Linear`] layer.
+#[derive(Debug, Clone)]
+pub struct LinearGrad {
+    /// dL/dW.
+    pub w: Vec<f32>,
+    /// dL/db.
+    pub b: Vec<f32>,
+}
+
+impl LinearGrad {
+    /// Zeroed gradients matching a layer's shape.
+    pub fn zeros(layer: &Linear) -> Self {
+        LinearGrad {
+            w: vec![0.0; layer.w.len()],
+            b: vec![0.0; layer.b.len()],
+        }
+    }
+
+    /// Reset to zero (reusing buffers between minibatches).
+    pub fn zero(&mut self) {
+        self.w.iter_mut().for_each(|v| *v = 0.0);
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Accumulate gradients for a dense input: given upstream `dy` and the
+    /// forward input `x`, add `dy ⊗ x` into dW and `dy` into db, and write
+    /// `Wᵀ dy` into `dx` (accumulating).
+    pub fn backward(
+        &mut self,
+        layer: &Linear,
+        x: &[f32],
+        dy: &[f32],
+        dx: Option<&mut Vec<f32>>,
+    ) {
+        for o in 0..layer.output {
+            let g = dy[o];
+            if g == 0.0 {
+                continue;
+            }
+            self.b[o] += g;
+            let row = &mut self.w[o * layer.input..(o + 1) * layer.input];
+            for i in 0..layer.input {
+                row[i] += g * x[i];
+            }
+        }
+        if let Some(dx) = dx {
+            if dx.len() != layer.input {
+                dx.resize(layer.input, 0.0);
+            }
+            for o in 0..layer.output {
+                let g = dy[o];
+                if g == 0.0 {
+                    continue;
+                }
+                let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+                for i in 0..layer.input {
+                    dx[i] += g * row[i];
+                }
+            }
+        }
+    }
+
+    /// Accumulate gradients for a sparse input (no dx — the hashed features
+    /// are the network input).
+    pub fn backward_sparse(&mut self, layer: &Linear, x: &SparseVec, dy: &[f32]) {
+        for o in 0..layer.output {
+            let g = dy[o];
+            if g == 0.0 {
+                continue;
+            }
+            self.b[o] += g;
+            for (&idx, &v) in x.indices.iter().zip(&x.values) {
+                self.w[o * layer.input + idx as usize] += g * v;
+            }
+        }
+    }
+}
+
+/// Adam state for one layer.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m_w: Vec<f32>,
+    v_w: Vec<f32>,
+    m_b: Vec<f32>,
+    v_b: Vec<f32>,
+    t: u64,
+}
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AdamConfig {
+    /// Base learning rate.
+    pub lr: f32,
+    /// β1.
+    pub beta1: f32,
+    /// β2.
+    pub beta2: f32,
+    /// ε.
+    pub eps: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+impl AdamState {
+    /// Zeroed state for a layer.
+    pub fn zeros(layer: &Linear) -> Self {
+        AdamState {
+            m_w: vec![0.0; layer.w.len()],
+            v_w: vec![0.0; layer.w.len()],
+            m_b: vec![0.0; layer.b.len()],
+            v_b: vec![0.0; layer.b.len()],
+            t: 0,
+        }
+    }
+
+    /// One Adam step with the given effective learning rate.
+    pub fn step(&mut self, layer: &mut Linear, grad: &LinearGrad, cfg: &AdamConfig, lr: f32) {
+        self.t += 1;
+        let bc1 = 1.0 - cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - cfg.beta2.powi(self.t as i32);
+        for (i, g) in grad.w.iter().enumerate() {
+            self.m_w[i] = cfg.beta1 * self.m_w[i] + (1.0 - cfg.beta1) * g;
+            self.v_w[i] = cfg.beta2 * self.v_w[i] + (1.0 - cfg.beta2) * g * g;
+            let mhat = self.m_w[i] / bc1;
+            let vhat = self.v_w[i] / bc2;
+            layer.w[i] -= lr * mhat / (vhat.sqrt() + cfg.eps);
+        }
+        for (i, g) in grad.b.iter().enumerate() {
+            self.m_b[i] = cfg.beta1 * self.m_b[i] + (1.0 - cfg.beta1) * g;
+            self.v_b[i] = cfg.beta2 * self.v_b[i] + (1.0 - cfg.beta2) * g * g;
+            let mhat = self.m_b[i] / bc1;
+            let vhat = self.v_b[i] / bc2;
+            layer.b[i] -= lr * mhat / (vhat.sqrt() + cfg.eps);
+        }
+    }
+}
+
+/// In-place `tanh`; returns a copy of the activations for backprop.
+pub fn tanh_forward(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = v.tanh();
+    }
+}
+
+/// Backprop through `tanh` given the *activated* outputs.
+pub fn tanh_backward(activated: &[f32], dy: &mut [f32]) {
+    for (d, a) in dy.iter_mut().zip(activated) {
+        *d *= 1.0 - a * a;
+    }
+}
+
+/// In-place ReLU.
+pub fn relu_forward(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Backprop through ReLU given the activated outputs.
+pub fn relu_backward(activated: &[f32], dy: &mut [f32]) {
+    for (d, a) in dy.iter_mut().zip(activated) {
+        if *a <= 0.0 {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Learning-rate schedule: linear warmup over the first `warmup` steps, then
+/// constant; optionally halved on plateau by the caller via
+/// [`LrSchedule::reduce`].
+#[derive(Debug, Clone)]
+pub struct LrSchedule {
+    base: f32,
+    warmup: u64,
+    step: u64,
+    reductions: u32,
+}
+
+impl LrSchedule {
+    /// A schedule with linear warmup (paper: "warmup over the first 10% of
+    /// total steps").
+    pub fn new(base: f32, warmup: u64) -> Self {
+        LrSchedule {
+            base,
+            warmup,
+            step: 0,
+            reductions: 0,
+        }
+    }
+
+    /// Advance one step and return the effective learning rate.
+    pub fn next_lr(&mut self) -> f32 {
+        self.step += 1;
+        let warm = if self.warmup > 0 && self.step < self.warmup {
+            self.step as f32 / self.warmup as f32
+        } else {
+            1.0
+        };
+        self.base * warm * 0.5f32.powi(self.reductions as i32)
+    }
+
+    /// Halve the learning rate (reduce-on-plateau, paper: "reduces the
+    /// learning rate by a factor of 0.5 once learning stagnates").
+    pub fn reduce(&mut self) {
+        self.reductions += 1;
+    }
+
+    /// Number of reductions applied so far.
+    pub fn reductions(&self) -> u32 {
+        self.reductions
+    }
+}
+
+/// Deterministic RNG for model initialization.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{hash_features, FeatureConfig};
+
+    #[test]
+    fn dense_and_sparse_forward_agree() {
+        let mut rng = seeded_rng(1);
+        let layer = Linear::new(64, 8, &mut rng);
+        let cfg = FeatureConfig {
+            dim: 64,
+            ..FeatureConfig::default()
+        };
+        let sparse = hash_features("find the name of employee", &cfg);
+        let mut dense_x = vec![0.0f32; 64];
+        for (&i, &v) in sparse.indices.iter().zip(&sparse.values) {
+            dense_x[i as usize] = v;
+        }
+        let mut y1 = Vec::new();
+        let mut y2 = Vec::new();
+        layer.forward(&dense_x, &mut y1);
+        layer.forward_sparse(&sparse, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_check_dense_layer() {
+        // Finite-difference check on a scalar loss L = sum(y).
+        let mut rng = seeded_rng(2);
+        let mut layer = Linear::new(5, 3, &mut rng);
+        let x: Vec<f32> = (0..5).map(|i| 0.1 * i as f32 - 0.2).collect();
+        let mut y = Vec::new();
+        layer.forward(&x, &mut y);
+
+        let mut grad = LinearGrad::zeros(&layer);
+        let dy = vec![1.0; 3];
+        let mut dx = vec![0.0; 5];
+        grad.backward(&layer, &x, &dy, Some(&mut dx));
+
+        let eps = 1e-3;
+        // Check a few weight entries.
+        for &(o, i) in &[(0usize, 0usize), (1, 2), (2, 4)] {
+            let idx = o * 5 + i;
+            let orig = layer.w[idx];
+            layer.w[idx] = orig + eps;
+            let mut yp = Vec::new();
+            layer.forward(&x, &mut yp);
+            layer.w[idx] = orig - eps;
+            let mut ym = Vec::new();
+            layer.forward(&x, &mut ym);
+            layer.w[idx] = orig;
+            let num = (yp.iter().sum::<f32>() - ym.iter().sum::<f32>()) / (2.0 * eps);
+            assert!(
+                (num - grad.w[idx]).abs() < 1e-2,
+                "w[{idx}]: numeric {num} vs analytic {}",
+                grad.w[idx]
+            );
+        }
+        // Check dx.
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut yp = Vec::new();
+            layer.forward(&xp, &mut yp);
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let mut ym = Vec::new();
+            layer.forward(&xm, &mut ym);
+            let num = (yp.iter().sum::<f32>() - ym.iter().sum::<f32>()) / (2.0 * eps);
+            assert!((num - dx[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn adam_reduces_quadratic_loss() {
+        // Minimize ||W x - t||^2 for fixed x, t.
+        let mut rng = seeded_rng(3);
+        let mut layer = Linear::new(4, 2, &mut rng);
+        let mut adam = AdamState::zeros(&layer);
+        let cfg = AdamConfig {
+            lr: 0.05,
+            ..AdamConfig::default()
+        };
+        let x = vec![0.5, -0.3, 0.8, 0.1];
+        let t = vec![1.0, -1.0];
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..200 {
+            let mut y = Vec::new();
+            layer.forward(&x, &mut y);
+            let dy: Vec<f32> = y.iter().zip(&t).map(|(a, b)| 2.0 * (a - b)).collect();
+            last_loss = y.iter().zip(&t).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+            if first_loss.is_none() {
+                first_loss = Some(last_loss);
+            }
+            let mut grad = LinearGrad::zeros(&layer);
+            grad.backward(&layer, &x, &dy, None);
+            adam.step(&mut layer, &grad, &cfg, cfg.lr);
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.01, "{last_loss}");
+    }
+
+    #[test]
+    fn activations_roundtrip() {
+        let mut x = vec![-1.0, 0.0, 2.0];
+        let pre = x.clone();
+        tanh_forward(&mut x);
+        for (a, p) in x.iter().zip(&pre) {
+            assert!((a - p.tanh()).abs() < 1e-6);
+        }
+        let mut dy = vec![1.0, 1.0, 1.0];
+        tanh_backward(&x, &mut dy);
+        assert!(dy[1] > dy[2]); // derivative peaks at 0
+
+        let mut r = vec![-1.0, 0.5];
+        relu_forward(&mut r);
+        assert_eq!(r, vec![0.0, 0.5]);
+        let mut dr = vec![1.0, 1.0];
+        relu_backward(&r, &mut dr);
+        assert_eq!(dr, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn warmup_schedule_ramps_then_flat() {
+        let mut s = LrSchedule::new(1.0, 10);
+        let lr1 = s.next_lr();
+        let lr5 = {
+            for _ in 0..3 {
+                s.next_lr();
+            }
+            s.next_lr()
+        };
+        assert!(lr1 < lr5);
+        for _ in 0..20 {
+            s.next_lr();
+        }
+        assert!((s.next_lr() - 1.0).abs() < 1e-6);
+        s.reduce();
+        assert!((s.next_lr() - 0.5).abs() < 1e-6);
+    }
+}

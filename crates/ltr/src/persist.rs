@@ -1,0 +1,141 @@
+//! Compact binary persistence for trained models.
+//!
+//! The paper's pipeline prepares everything offline (generalize → dialect →
+//! train → encode) and serves translations online; persisted model
+//! artifacts make that split real. The format is a simple length-prefixed
+//! little-endian layout built on [`bytes`].
+
+use crate::nn::Linear;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic header for model artifacts.
+pub const MAGIC: u32 = 0x47_41_52_31; // "GAR1"
+
+/// Errors from decoding a model artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The buffer is truncated.
+    Truncated,
+    /// Magic/version mismatch.
+    BadMagic,
+    /// Shape fields are inconsistent.
+    BadShape,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Truncated => write!(f, "truncated artifact"),
+            PersistError::BadMagic => write!(f, "bad magic"),
+            PersistError::BadShape => write!(f, "inconsistent shape"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Append a linear layer to the buffer.
+pub fn write_linear(buf: &mut BytesMut, layer: &Linear) {
+    buf.put_u32_le(layer.input as u32);
+    buf.put_u32_le(layer.output as u32);
+    for &w in &layer.w {
+        buf.put_f32_le(w);
+    }
+    for &b in &layer.b {
+        buf.put_f32_le(b);
+    }
+}
+
+/// Read a linear layer from the buffer.
+pub fn read_linear(buf: &mut Bytes) -> Result<Linear, PersistError> {
+    if buf.remaining() < 8 {
+        return Err(PersistError::Truncated);
+    }
+    let input = buf.get_u32_le() as usize;
+    let output = buf.get_u32_le() as usize;
+    let need = (input * output + output) * 4;
+    if buf.remaining() < need {
+        return Err(PersistError::Truncated);
+    }
+    if input == 0 || output == 0 || input * output > 1 << 28 {
+        return Err(PersistError::BadShape);
+    }
+    let mut w = Vec::with_capacity(input * output);
+    for _ in 0..input * output {
+        w.push(buf.get_f32_le());
+    }
+    let mut b = Vec::with_capacity(output);
+    for _ in 0..output {
+        b.push(buf.get_f32_le());
+    }
+    Ok(Linear {
+        input,
+        output,
+        w,
+        b,
+    })
+}
+
+/// Write the artifact header.
+pub fn write_header(buf: &mut BytesMut, kind: u8) {
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(kind);
+}
+
+/// Read and validate the artifact header, returning the kind byte.
+pub fn read_header(buf: &mut Bytes) -> Result<u8, PersistError> {
+    if buf.remaining() < 5 {
+        return Err(PersistError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    Ok(buf.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::seeded_rng;
+
+    #[test]
+    fn linear_roundtrip() {
+        let mut rng = seeded_rng(5);
+        let layer = Linear::new(12, 7, &mut rng);
+        let mut buf = BytesMut::new();
+        write_linear(&mut buf, &layer);
+        let mut bytes = buf.freeze();
+        let back = read_linear(&mut bytes).unwrap();
+        assert_eq!(back.input, 12);
+        assert_eq!(back.output, 7);
+        assert_eq!(back.w, layer.w);
+        assert_eq!(back.b, layer.b);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let mut rng = seeded_rng(6);
+        let layer = Linear::new(4, 4, &mut rng);
+        let mut buf = BytesMut::new();
+        write_linear(&mut buf, &layer);
+        let mut short = buf.freeze().slice(0..10);
+        assert!(matches!(
+            read_linear(&mut short),
+            Err(PersistError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn header_roundtrip_and_bad_magic() {
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, 2);
+        let mut ok = buf.freeze();
+        assert_eq!(read_header(&mut ok), Ok(2));
+
+        let mut bad = BytesMut::new();
+        bad.put_u32_le(0xdeadbeef);
+        bad.put_u8(1);
+        let mut bad = bad.freeze();
+        assert_eq!(read_header(&mut bad), Err(PersistError::BadMagic));
+    }
+}

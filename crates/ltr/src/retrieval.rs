@@ -1,0 +1,443 @@
+//! First-stage retrieval model (Section III-C1).
+//!
+//! A Siamese encoder in the spirit of Sentence-BERT: both the NL query and
+//! the dialect expression pass through the *same* two-layer network
+//! (hashed features → tanh hidden → embedding), and the model regresses the
+//! cosine similarity of the two embeddings onto the clause-punishment
+//! similarity score of the training triple. At inference, all dialect
+//! expressions are encoded once and served from a vector index; the NL
+//! query is encoded and its nearest neighbours retrieved.
+
+use crate::features::{hash_features, FeatureConfig, SparseVec};
+use crate::nn::{
+    seeded_rng, tanh_backward, tanh_forward, AdamConfig, AdamState, Linear, LinearGrad,
+    LrSchedule,
+};
+use serde::{Deserialize, Serialize};
+
+/// One training triple `(query text, dialect text, similarity score)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Triple {
+    /// NL query text.
+    pub query: String,
+    /// Dialect expression text.
+    pub dialect: String,
+    /// Target similarity in `[0, 1]`.
+    pub score: f32,
+}
+
+/// Retrieval model hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetrievalConfig {
+    /// Featurizer settings.
+    pub features: FeatureConfig,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Embedding dimension.
+    pub embed: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Base learning rate (Adam).
+    pub lr: f32,
+    /// Warmup fraction of total steps (paper: 10%).
+    pub warmup_frac: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RetrievalConfig {
+    fn default() -> Self {
+        RetrievalConfig {
+            features: FeatureConfig::default(),
+            hidden: 128,
+            embed: 64,
+            epochs: 4,
+            batch: 32,
+            lr: 2e-3,
+            warmup_frac: 0.1,
+            seed: 11,
+        }
+    }
+}
+
+/// Per-epoch training report.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The Siamese retrieval encoder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RetrievalModel {
+    /// Hyper-parameters (kept for encoding consistency).
+    pub config: RetrievalConfig,
+    l1: Linear,
+    l2: Linear,
+}
+
+struct Tower {
+    h: Vec<f32>,
+    e: Vec<f32>,
+}
+
+impl RetrievalModel {
+    /// A freshly initialized (untrained) model.
+    pub fn new(config: RetrievalConfig) -> Self {
+        let mut rng = seeded_rng(config.seed);
+        let l1 = Linear::new(config.features.dim, config.hidden, &mut rng);
+        let l2 = Linear::new(config.hidden, config.embed, &mut rng);
+        RetrievalModel { config, l1, l2 }
+    }
+
+    /// Embedding dimension.
+    pub fn embed_dim(&self) -> usize {
+        self.config.embed
+    }
+
+    fn forward(&self, x: &SparseVec) -> Tower {
+        let mut h = Vec::new();
+        self.l1.forward_sparse(x, &mut h);
+        tanh_forward(&mut h);
+        let mut e = Vec::new();
+        self.l2.forward(&h, &mut e);
+        Tower { h, e }
+    }
+
+    /// Encode a text into an (unnormalized) embedding.
+    pub fn encode(&self, text: &str) -> Vec<f32> {
+        let x = hash_features(text, &self.config.features);
+        self.forward(&x).e
+    }
+
+    /// Encode many texts in parallel across `threads` workers.
+    pub fn encode_batch(&self, texts: &[String], threads: usize) -> Vec<Vec<f32>> {
+        if texts.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(texts.len());
+        let chunk = texts.len().div_ceil(threads);
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); texts.len()];
+        crossbeam::scope(|scope| {
+            for (slot, input) in out.chunks_mut(chunk).zip(texts.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (o, t) in slot.iter_mut().zip(input) {
+                        *o = self.encode(t);
+                    }
+                });
+            }
+        })
+        .expect("encode_batch worker panicked");
+        out
+    }
+
+    /// Cosine similarity between two embeddings.
+    pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Train with cosine-score regression over the triples (SBERT
+    /// objective), Adam with linear warmup.
+    pub fn train(&mut self, triples: &[Triple]) -> TrainReport {
+        let mut report = TrainReport::default();
+        if triples.is_empty() {
+            return report;
+        }
+        let cfg = AdamConfig {
+            lr: self.config.lr,
+            ..AdamConfig::default()
+        };
+        let total_steps =
+            (self.config.epochs * triples.len().div_ceil(self.config.batch)) as u64;
+        let mut sched = LrSchedule::new(
+            self.config.lr,
+            ((total_steps as f32) * self.config.warmup_frac) as u64,
+        );
+        let mut adam1 = AdamState::zeros(&self.l1);
+        let mut adam2 = AdamState::zeros(&self.l2);
+        let mut g1 = LinearGrad::zeros(&self.l1);
+        let mut g2 = LinearGrad::zeros(&self.l2);
+
+        // Pre-featurize once.
+        let feats: Vec<(SparseVec, SparseVec, f32)> = triples
+            .iter()
+            .map(|t| {
+                (
+                    hash_features(&t.query, &self.config.features),
+                    hash_features(&t.dialect, &self.config.features),
+                    t.score,
+                )
+            })
+            .collect();
+
+        let mut order: Vec<usize> = (0..feats.len()).collect();
+        let mut rng = seeded_rng(self.config.seed ^ 0x5eed);
+
+        for _epoch in 0..self.config.epochs {
+            // Fisher-Yates shuffle for stochasticity.
+            for i in (1..order.len()).rev() {
+                let j = rand::Rng::random_range(&mut rng, 0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f64;
+            let mut in_batch = 0usize;
+            g1.zero();
+            g2.zero();
+
+            for &idx in &order {
+                let (fq, fd, target) = &feats[idx];
+                epoch_loss += self.backward_triple(fq, fd, *target, &mut g1, &mut g2) as f64;
+                in_batch += 1;
+                if in_batch == self.config.batch {
+                    let lr = sched.next_lr();
+                    scale_grad(&mut g1, 1.0 / in_batch as f32);
+                    scale_grad(&mut g2, 1.0 / in_batch as f32);
+                    adam1.step(&mut self.l1, &g1, &cfg, lr);
+                    adam2.step(&mut self.l2, &g2, &cfg, lr);
+                    g1.zero();
+                    g2.zero();
+                    in_batch = 0;
+                }
+            }
+            if in_batch > 0 {
+                let lr = sched.next_lr();
+                scale_grad(&mut g1, 1.0 / in_batch as f32);
+                scale_grad(&mut g2, 1.0 / in_batch as f32);
+                adam1.step(&mut self.l1, &g1, &cfg, lr);
+                adam2.step(&mut self.l2, &g2, &cfg, lr);
+                g1.zero();
+                g2.zero();
+            }
+            report
+                .epoch_losses
+                .push((epoch_loss / feats.len() as f64) as f32);
+        }
+        report
+    }
+
+    /// Forward + backward for one triple; returns the loss. Gradients are
+    /// accumulated into `g1`/`g2` for both towers (shared weights).
+    fn backward_triple(
+        &self,
+        fq: &SparseVec,
+        fd: &SparseVec,
+        target: f32,
+        g1: &mut LinearGrad,
+        g2: &mut LinearGrad,
+    ) -> f32 {
+        let tq = self.forward(fq);
+        let td = self.forward(fd);
+
+        let dot: f32 = tq.e.iter().zip(&td.e).map(|(a, b)| a * b).sum();
+        let nq: f32 = tq.e.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let nd: f32 = td.e.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let cos = dot / (nq * nd);
+        let diff = cos - target;
+        let loss = diff * diff;
+        let dcos = 2.0 * diff;
+
+        // d cos / d eq = ed/(nq nd) - cos * eq / nq^2  (and symmetric).
+        let deq: Vec<f32> = tq
+            .e
+            .iter()
+            .zip(&td.e)
+            .map(|(eq, ed)| dcos * (ed / (nq * nd) - cos * eq / (nq * nq)))
+            .collect();
+        let ded: Vec<f32> = tq
+            .e
+            .iter()
+            .zip(&td.e)
+            .map(|(eq, ed)| dcos * (eq / (nq * nd) - cos * ed / (nd * nd)))
+            .collect();
+
+        // Backprop tower q.
+        let mut dh = vec![0.0f32; self.config.hidden];
+        g2.backward(&self.l2, &tq.h, &deq, Some(&mut dh));
+        tanh_backward(&tq.h, &mut dh);
+        g1.backward_sparse(&self.l1, fq, &dh);
+
+        // Backprop tower d.
+        let mut dh = vec![0.0f32; self.config.hidden];
+        g2.backward(&self.l2, &td.h, &ded, Some(&mut dh));
+        tanh_backward(&td.h, &mut dh);
+        g1.backward_sparse(&self.l1, fd, &dh);
+
+        loss
+    }
+}
+
+impl RetrievalModel {
+    /// Serialize to the compact binary artifact format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use bytes::BufMut;
+        let mut buf = bytes::BytesMut::new();
+        crate::persist::write_header(&mut buf, 1);
+        buf.put_u32_le(self.config.features.dim as u32);
+        buf.put_u8(u8::from(self.config.features.word_bigrams));
+        buf.put_u8(u8::from(self.config.features.char_trigrams));
+        buf.put_u32_le(self.config.hidden as u32);
+        buf.put_u32_le(self.config.embed as u32);
+        crate::persist::write_linear(&mut buf, &self.l1);
+        crate::persist::write_linear(&mut buf, &self.l2);
+        buf.to_vec()
+    }
+
+    /// Deserialize from [`RetrievalModel::to_bytes`] output.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, crate::persist::PersistError> {
+        use bytes::Buf;
+        let mut buf = bytes::Bytes::copy_from_slice(data);
+        if crate::persist::read_header(&mut buf)? != 1 {
+            return Err(crate::persist::PersistError::BadMagic);
+        }
+        if buf.remaining() < 14 {
+            return Err(crate::persist::PersistError::Truncated);
+        }
+        let dim = buf.get_u32_le() as usize;
+        let word_bigrams = buf.get_u8() != 0;
+        let char_trigrams = buf.get_u8() != 0;
+        let hidden = buf.get_u32_le() as usize;
+        let embed = buf.get_u32_le() as usize;
+        let l1 = crate::persist::read_linear(&mut buf)?;
+        let l2 = crate::persist::read_linear(&mut buf)?;
+        if l1.input != dim || l1.output != hidden || l2.input != hidden || l2.output != embed {
+            return Err(crate::persist::PersistError::BadShape);
+        }
+        Ok(RetrievalModel {
+            config: RetrievalConfig {
+                features: FeatureConfig {
+                    dim,
+                    word_bigrams,
+                    char_trigrams,
+                },
+                hidden,
+                embed,
+                ..RetrievalConfig::default()
+            },
+            l1,
+            l2,
+        })
+    }
+}
+
+fn scale_grad(g: &mut LinearGrad, s: f32) {
+    g.w.iter_mut().for_each(|v| *v *= s);
+    g.b.iter_mut().for_each(|v| *v *= s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_triples() -> Vec<Triple> {
+        // Two clusters of paraphrases; positives score 1, cross pairs 0.2.
+        let pairs = [
+            (
+                "what is the name of the oldest employee",
+                "Find the name of employee. Return the top one result in descending order of the age of employee.",
+            ),
+            (
+                "how many flights arrive in each city",
+                "Find the number of flights. Return the results for each city of airports.",
+            ),
+            (
+                "list singers from france",
+                "Find the name of singer. Return results only for singer that country is France.",
+            ),
+        ];
+        let mut triples = Vec::new();
+        for (i, (q, d)) in pairs.iter().enumerate() {
+            for (j, (_, d2)) in pairs.iter().enumerate() {
+                triples.push(Triple {
+                    query: q.to_string(),
+                    dialect: d2.to_string(),
+                    score: if i == j { 1.0 } else { 0.1 },
+                });
+            }
+            let _ = d;
+        }
+        triples
+    }
+
+    fn small_config() -> RetrievalConfig {
+        RetrievalConfig {
+            features: FeatureConfig {
+                dim: 512,
+                ..FeatureConfig::default()
+            },
+            hidden: 32,
+            embed: 16,
+            epochs: 60,
+            batch: 4,
+            lr: 5e-3,
+            ..RetrievalConfig::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut m = RetrievalModel::new(small_config());
+        let report = m.train(&toy_triples());
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first * 0.5, "first {first} last {last}");
+    }
+
+    #[test]
+    fn trained_model_ranks_matching_dialect_first() {
+        let mut m = RetrievalModel::new(small_config());
+        let triples = toy_triples();
+        m.train(&triples);
+        let q = m.encode("what is the name of the oldest employee");
+        let pos = m.encode(
+            "Find the name of employee. Return the top one result in descending order of the age of employee.",
+        );
+        let neg = m.encode("Find the number of flights. Return the results for each city of airports.");
+        assert!(
+            RetrievalModel::cosine(&q, &pos) > RetrievalModel::cosine(&q, &neg),
+            "pos {} neg {}",
+            RetrievalModel::cosine(&q, &pos),
+            RetrievalModel::cosine(&q, &neg)
+        );
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let m = RetrievalModel::new(small_config());
+        assert_eq!(m.encode("hello world"), m.encode("hello world"));
+    }
+
+    #[test]
+    fn encode_batch_matches_sequential() {
+        let m = RetrievalModel::new(small_config());
+        let texts: Vec<String> = (0..17).map(|i| format!("text number {i}")).collect();
+        let batch = m.encode_batch(&texts, 4);
+        for (t, b) in texts.iter().zip(&batch) {
+            assert_eq!(&m.encode(t), b);
+        }
+    }
+
+    #[test]
+    fn empty_training_set_is_noop() {
+        let mut m = RetrievalModel::new(small_config());
+        let r = m.train(&[]);
+        assert!(r.epoch_losses.is_empty());
+    }
+
+    #[test]
+    fn cosine_bounds() {
+        let a = vec![1.0, 0.0];
+        let b = vec![-1.0, 0.0];
+        assert!((RetrievalModel::cosine(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((RetrievalModel::cosine(&a, &b) + 1.0).abs() < 1e-6);
+        assert_eq!(RetrievalModel::cosine(&a, &[0.0, 0.0]), 0.0);
+    }
+}

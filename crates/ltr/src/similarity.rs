@@ -1,0 +1,181 @@
+//! Semantic-similarity scores for LTR training triples (Section III-C).
+//!
+//! "First, si is set to 1 initially, and then we compare each clause of the
+//! SQL query that is used to obtain the dialect di with the 'gold' query
+//! that is given for qi. If a clause is not the same, we give a punishment
+//! on the si value. Finally, the calculation process ends until we have
+//! compared all the clauses or the si value drops to 0."
+
+use gar_sql::normalize::{normalize, NormalizedQuery};
+use gar_sql::Query;
+
+/// Per-clause punishment weights. Chosen so that a query differing in every
+/// clause reaches 0 and a query differing in one minor clause stays high.
+#[derive(Debug, Clone, Copy)]
+pub struct Punishments {
+    /// `SELECT` projection mismatch.
+    pub select: f32,
+    /// `FROM` table-set mismatch.
+    pub tables: f32,
+    /// Join-condition mismatch.
+    pub joins: f32,
+    /// `WHERE` predicate mismatch.
+    pub where_: f32,
+    /// `GROUP BY` mismatch.
+    pub group: f32,
+    /// `HAVING` mismatch.
+    pub having: f32,
+    /// `ORDER BY` (keys or direction) mismatch.
+    pub order: f32,
+    /// `LIMIT` mismatch.
+    pub limit: f32,
+    /// Compound (set-op or right arm) mismatch.
+    pub compound: f32,
+}
+
+impl Default for Punishments {
+    fn default() -> Self {
+        Punishments {
+            select: 0.20,
+            tables: 0.15,
+            joins: 0.15,
+            where_: 0.20,
+            group: 0.15,
+            having: 0.10,
+            order: 0.15,
+            limit: 0.05,
+            compound: 0.20,
+        }
+    }
+}
+
+/// Clause-punishment similarity between a candidate query and the gold
+/// query: 1.0 for an exact (set-match) equal pair, decreasing with each
+/// differing clause, floored at 0.
+pub fn similarity_score(candidate: &Query, gold: &Query) -> f32 {
+    similarity_score_with(candidate, gold, &Punishments::default())
+}
+
+/// [`similarity_score`] with explicit punishment weights.
+pub fn similarity_score_with(candidate: &Query, gold: &Query, p: &Punishments) -> f32 {
+    let a = normalize(candidate);
+    let b = normalize(gold);
+    score_normalized(&a, &b, p)
+}
+
+fn score_normalized(a: &NormalizedQuery, b: &NormalizedQuery, p: &Punishments) -> f32 {
+    let mut s = 1.0f32;
+    if a.select != b.select || a.distinct != b.distinct {
+        s -= p.select;
+    }
+    if a.tables != b.tables {
+        s -= p.tables;
+    }
+    if a.joins != b.joins {
+        s -= p.joins;
+    }
+    if a.where_preds != b.where_preds || a.has_or != b.has_or {
+        s -= p.where_;
+    }
+    if a.group_by != b.group_by {
+        s -= p.group;
+    }
+    if a.having_preds != b.having_preds {
+        s -= p.having;
+    }
+    if a.order_by != b.order_by {
+        s -= p.order;
+    }
+    if a.limit != b.limit {
+        s -= p.limit;
+    }
+    match (&a.compound, &b.compound) {
+        (None, None) => {}
+        (Some((op_a, qa)), Some((op_b, qb))) => {
+            if op_a != op_b || qa != qb {
+                s -= p.compound;
+            }
+        }
+        _ => s -= p.compound,
+    }
+    s.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_sql::parse;
+
+    fn score(a: &str, b: &str) -> f32 {
+        similarity_score(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn identical_queries_score_one() {
+        let s = score("SELECT t.a FROM t WHERE t.b = 1", "SELECT t.a FROM t WHERE t.b = 9");
+        assert_eq!(s, 1.0, "values are masked in clause comparison");
+    }
+
+    #[test]
+    fn one_clause_difference_is_one_punishment() {
+        let s = score("SELECT t.a FROM t", "SELECT t.b FROM t");
+        assert!((s - 0.8).abs() < 1e-6, "{s}");
+    }
+
+    #[test]
+    fn more_differences_score_lower() {
+        let one = score("SELECT t.a FROM t", "SELECT t.b FROM t");
+        let two = score(
+            "SELECT t.a FROM t",
+            "SELECT t.b FROM t WHERE t.c = 1",
+        );
+        assert!(two < one);
+    }
+
+    #[test]
+    fn score_is_floored_at_zero() {
+        let s = score(
+            "SELECT t.a FROM t",
+            "SELECT u.b, COUNT(*) FROM u JOIN v ON u.id = v.uid \
+             WHERE u.c = 1 GROUP BY u.b HAVING COUNT(*) > 2 \
+             ORDER BY COUNT(*) DESC LIMIT 1",
+        );
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn order_direction_matters() {
+        let s = score(
+            "SELECT t.a FROM t ORDER BY t.a DESC",
+            "SELECT t.a FROM t ORDER BY t.a",
+        );
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn compound_mismatch_punished() {
+        let s = score(
+            "SELECT t.a FROM t UNION SELECT u.a FROM u",
+            "SELECT t.a FROM t INTERSECT SELECT u.a FROM u",
+        );
+        assert!((s - 0.8).abs() < 1e-6, "{s}");
+        let s2 = score("SELECT t.a FROM t UNION SELECT u.a FROM u", "SELECT t.a FROM t");
+        assert!(s2 < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = "SELECT t.a FROM t WHERE t.b > 1";
+        let b = "SELECT t.a, t.c FROM t";
+        assert_eq!(score(a, b), score(b, a));
+    }
+
+    #[test]
+    fn gold_differing_in_limit_only_scores_high() {
+        let s = score(
+            "SELECT t.a FROM t ORDER BY t.a LIMIT 1",
+            "SELECT t.a FROM t ORDER BY t.a LIMIT 3",
+        );
+        assert!((s - 0.95).abs() < 1e-6, "{s}");
+    }
+}

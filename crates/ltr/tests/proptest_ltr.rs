@@ -1,0 +1,70 @@
+//! Property tests on featurization and the similarity score.
+
+use gar_ltr::{hash_features, overlap_features, similarity_score, FeatureConfig};
+use gar_sql::parse;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Hashed feature vectors are unit-norm (or empty), with sorted unique
+    /// indices inside the hash space.
+    #[test]
+    fn hashed_features_are_normalized(text in "[a-z0-9 ]{0,60}") {
+        let cfg = FeatureConfig::default();
+        let v = hash_features(&text, &cfg);
+        if v.nnz() > 0 {
+            prop_assert!((v.norm() - 1.0).abs() < 1e-4);
+        }
+        for w in v.indices.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &i in &v.indices {
+            prop_assert!((i as usize) < cfg.dim);
+        }
+    }
+
+    /// Sparse dot product is symmetric and bounded by 1 for unit vectors.
+    #[test]
+    fn sparse_dot_symmetric_bounded(a in "[a-z ]{1,40}", b in "[a-z ]{1,40}") {
+        let cfg = FeatureConfig::default();
+        let va = hash_features(&a, &cfg);
+        let vb = hash_features(&b, &cfg);
+        let d1 = va.dot(&vb);
+        let d2 = vb.dot(&va);
+        prop_assert!((d1 - d2).abs() < 1e-5);
+        prop_assert!(d1 <= 1.0 + 1e-4);
+        prop_assert!(d1 >= -1e-4, "non-negative feature values: {d1}");
+    }
+
+    /// Every overlap feature stays in [0, 1]; identical texts maximize the
+    /// jaccard and exact-match features.
+    #[test]
+    fn overlap_features_bounded(a in "[a-z0-9 ]{0,50}", b in "[a-z0-9 ]{0,50}") {
+        let f = overlap_features(&a, &b);
+        for x in f {
+            prop_assert!((0.0..=1.0).contains(&x), "{f:?}");
+        }
+        let same = overlap_features(&a, &a);
+        prop_assert_eq!(same[7], 1.0);
+    }
+
+    /// The clause-punishment similarity is symmetric, bounded, and 1 only
+    /// for set-match-equal queries.
+    #[test]
+    fn similarity_score_properties(
+        ca in "[a-z]{1,6}".prop_filter("not a keyword", |s| gar_sql::token::Keyword::from_word(s).is_none()),
+        cb in "[a-z]{1,6}".prop_filter("not a keyword", |s| gar_sql::token::Keyword::from_word(s).is_none()),
+        v in 0i64..100,
+    ) {
+        let qa = parse(&format!("SELECT t.{ca} FROM t WHERE t.{cb} > {v}")).unwrap();
+        let qb = parse(&format!("SELECT t.{cb} FROM t")).unwrap();
+        let s_ab = similarity_score(&qa, &qb);
+        let s_ba = similarity_score(&qb, &qa);
+        prop_assert!((s_ab - s_ba).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&s_ab));
+        prop_assert_eq!(similarity_score(&qa, &qa), 1.0);
+        let equal = gar_sql::exact_match(&qa, &qb);
+        prop_assert_eq!(s_ab == 1.0, equal);
+    }
+}

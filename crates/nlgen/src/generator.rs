@@ -1,0 +1,547 @@
+//! NL utterance generation from gold SQL queries.
+//!
+//! The benchmark simulators need (NL, SQL) pairs. The generator renders a
+//! gold query into a *natural* utterance through a template family that is
+//! deliberately disjoint from the dialect builder's: question forms,
+//! idiomatic superlatives ("the highest bonus" for `ORDER BY bonus DESC
+//! LIMIT 1`), synonym substitution, clause reordering and stop-word
+//! dropping. The gap between this channel and the dialect channel is what
+//! the LTR models must learn to bridge — exactly the matching problem the
+//! paper trains on.
+
+use crate::lexicon::Lexicon;
+use gar_schema::Schema;
+use gar_sql::ast::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NL generation settings.
+#[derive(Debug, Clone, Copy)]
+pub struct NlConfig {
+    /// Base RNG seed; each query derives its own stream from this and a
+    /// caller-provided per-query salt, so corpora are reproducible.
+    pub seed: u64,
+    /// Paraphrase aggressiveness in `[0, 1]`: probability scaling for
+    /// synonym substitution, stop-word dropping and schema-word omission.
+    /// Benchmarks raise it with query difficulty.
+    pub ambiguity: f64,
+}
+
+impl Default for NlConfig {
+    fn default() -> Self {
+        NlConfig {
+            seed: 97,
+            ambiguity: 0.35,
+        }
+    }
+}
+
+/// Generates natural-language utterances for gold SQL queries over one
+/// schema.
+#[derive(Debug, Clone)]
+pub struct NlGenerator<'a> {
+    schema: &'a Schema,
+    lexicon: Lexicon,
+    config: NlConfig,
+}
+
+impl<'a> NlGenerator<'a> {
+    /// A generator with the built-in lexicon.
+    pub fn new(schema: &'a Schema, config: NlConfig) -> Self {
+        NlGenerator {
+            schema,
+            lexicon: Lexicon::builtin(),
+            config,
+        }
+    }
+
+    /// Replace the lexicon (benchmark-specific vocabularies).
+    pub fn with_lexicon(mut self, lexicon: Lexicon) -> Self {
+        self.lexicon = lexicon;
+        self
+    }
+
+    /// Generate the utterance for a gold query. `salt` individualizes the
+    /// randomness per query (pass the query's index or id).
+    pub fn generate(&self, q: &Query, salt: u64) -> String {
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ salt.wrapping_mul(0x9e3779b9));
+        let mut s = self.render_query(q, &mut rng);
+        s = self.surface_noise(&s, &mut rng);
+        // Sentence case + question mark for question forms.
+        let mut chars = s.chars();
+        let capitalized = match chars.next() {
+            Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+            None => s,
+        };
+        capitalized
+    }
+
+    fn table_nl(&self, t: &str, rng: &mut StdRng) -> String {
+        let base = self
+            .schema
+            .table(t)
+            .map(|x| x.nl_name.clone())
+            .unwrap_or_else(|| t.replace('_', " "));
+        self.lexicon.substitute(&base, self.config.ambiguity, rng)
+    }
+
+    fn col_nl(&self, c: &ColumnRef, rng: &mut StdRng) -> String {
+        let base = match &c.table {
+            Some(t) => self
+                .schema
+                .column(t, &c.column)
+                .map(|x| x.nl_name.clone())
+                .unwrap_or_else(|| c.column.replace('_', " ")),
+            None => c.column.replace('_', " "),
+        };
+        self.lexicon.substitute(&base, self.config.ambiguity, rng)
+    }
+
+    /// Pick a base phrasing, or — with probability `ambiguity` — one of its
+    /// rarer paraphrases. Harder questions therefore stray further from the
+    /// canonical phrasing, which is what makes them hard for sketch-based
+    /// systems while staying learnable for GAR's ranking models.
+    fn pick_variant(&self, base: &str, variants: &[&str], rng: &mut StdRng) -> String {
+        if !variants.is_empty() && rng.random_range(0.0..1.0) < self.config.ambiguity {
+            variants[rng.random_range(0..variants.len())].to_string()
+        } else {
+            base.to_string()
+        }
+    }
+
+    fn render_query(&self, q: &Query, rng: &mut StdRng) -> String {
+        let mut parts: Vec<String> = Vec::new();
+
+        // Detect the idiomatic superlative: ORDER BY <col> [DESC] LIMIT 1.
+        let superlative = match (&q.order_by, q.limit) {
+            (Some(ob), Some(1)) if ob.items.len() == 1 => Some(&ob.items[0]),
+            _ => None,
+        };
+
+        // Head: question form around the projection.
+        parts.push(self.head_phrase(q, rng));
+
+        // WHERE conditions.
+        if let Some(w) = &q.where_ {
+            parts.push(self.condition_phrase(w, rng));
+        }
+
+        // Superlative / ordering tail.
+        if let Some(item) = superlative {
+            let col_phrase = self.order_expr_nl(&item.expr, q, rng);
+            let lead = match (item.dir, rng.random_range(0..2)) {
+                (OrderDir::Desc, 0) => self.pick_variant(
+                    "with the highest",
+                    &["with the top", "with the greatest", "having the highest"],
+                    rng,
+                ),
+                (OrderDir::Desc, _) => self.pick_variant(
+                    "with the most",
+                    &["with the greatest number of", "having the most"],
+                    rng,
+                ),
+                (OrderDir::Asc, 0) => self.pick_variant(
+                    "with the lowest",
+                    &["with the minimum", "having the lowest"],
+                    rng,
+                ),
+                (OrderDir::Asc, _) => self.pick_variant(
+                    "with the fewest",
+                    &["with the least", "having the fewest"],
+                    rng,
+                ),
+            };
+            parts.push(format!("{lead} {col_phrase}"));
+        } else if let Some(ob) = &q.order_by {
+            let keys: Vec<String> = ob
+                .items
+                .iter()
+                .map(|i| {
+                    let dir = match i.dir {
+                        OrderDir::Asc => "ascending",
+                        OrderDir::Desc => "descending",
+                    };
+                    format!("{} {dir}", self.order_expr_nl(&i.expr, q, rng))
+                })
+                .collect();
+            let sort_word =
+                self.pick_variant("sorted by", &["ordered by", "arranged by"], rng);
+            parts.push(format!("{sort_word} {}", keys.join(" then ")));
+            if let Some(l) = q.limit {
+                parts.push(format!("top {l} only"));
+            }
+        }
+
+        // Grouping.
+        if !q.group_by.is_empty() && superlative.is_none() {
+            let cols: Vec<String> = q.group_by.iter().map(|g| self.col_nl(g, rng)).collect();
+            let base = if rng.random_range(0..2) == 0 {
+                "for each"
+            } else {
+                "per"
+            };
+            let word = self.pick_variant(base, &["grouped by", "broken down by"], rng);
+            parts.push(format!("{word} {}", cols.join(" and ")));
+        }
+        if let Some(h) = &q.having {
+            parts.push(format!("having {}", self.condition_body(h, rng)));
+        }
+
+        // Compound.
+        if let Some((op, rhs)) = &q.compound {
+            let connector = match op {
+                SetOp::Union => {
+                    self.pick_variant("and also", &["together with", "plus"], rng)
+                }
+                SetOp::Intersect => self.pick_variant(
+                    "that are also among",
+                    &["which also appear in", "that also show up in"],
+                    rng,
+                ),
+                SetOp::Except => {
+                    self.pick_variant("but not", &["excluding", "other than"], rng)
+                }
+            };
+            parts.push(format!("{connector} {}", self.render_query(rhs, rng)));
+        }
+
+        parts.retain(|p| !p.is_empty());
+        parts.join(" ")
+    }
+
+    fn head_phrase(&self, q: &Query, rng: &mut StdRng) -> String {
+        let items = &q.select.items;
+        // "how many" for a lone COUNT.
+        if items.len() == 1 {
+            if let Some(AggFunc::Count) = items[0].agg {
+                let entity = if items[0].col.is_star() {
+                    let t = q.from.tables.last().map(String::as_str).unwrap_or("rows");
+                    self.table_nl(t, rng)
+                } else {
+                    self.col_nl(&items[0].col, rng)
+                };
+                return match rng.random_range(0..3) {
+                    0 => format!("how many {entity} are there"),
+                    1 => format!("count the number of {entity}"),
+                    _ => format!("what is the total count of {entity}"),
+                };
+            }
+        }
+
+        let sel: Vec<String> = items.iter().map(|i| self.select_item_nl(i, rng)).collect();
+        let sel = sel.join(" and ");
+
+        // Attach the subject entity (the table the projection belongs to)
+        // unless the ambiguity roll drops it.
+        let subject_table = items
+            .first()
+            .and_then(|i| i.col.table.clone())
+            .or_else(|| q.from.tables.first().cloned());
+        let subject = match subject_table {
+            Some(t) => {
+                let drop = rng.random_range(0.0..1.0) < self.config.ambiguity * 0.4;
+                if drop {
+                    String::new()
+                } else {
+                    format!(" of the {}", self.table_nl(&t, rng))
+                }
+            }
+            None => String::new(),
+        };
+
+        let distinct = if q.select.distinct { "different " } else { "" };
+        match rng.random_range(0..5) {
+            0 => format!("what is the {distinct}{sel}{subject}"),
+            1 => format!("show the {distinct}{sel}{subject}"),
+            2 => format!("list the {distinct}{sel}{subject}"),
+            3 => format!("give me the {distinct}{sel}{subject}"),
+            _ => format!("find the {distinct}{sel}{subject}"),
+        }
+    }
+
+    fn select_item_nl(&self, item: &ColExpr, rng: &mut StdRng) -> String {
+        if item.col.is_star() {
+            return match item.agg {
+                Some(AggFunc::Count) => "number of entries".to_string(),
+                _ => "all information".to_string(),
+            };
+        }
+        let col = self.col_nl(&item.col, rng);
+        match item.agg {
+            Some(AggFunc::Count) => format!("number of {col}"),
+            Some(AggFunc::Sum) => format!("total {col}"),
+            Some(AggFunc::Avg) => format!("average {col}"),
+            Some(AggFunc::Min) => format!("smallest {col}"),
+            Some(AggFunc::Max) => format!("largest {col}"),
+            None => col,
+        }
+    }
+
+    fn order_expr_nl(&self, e: &ColExpr, q: &Query, rng: &mut StdRng) -> String {
+        if e.col.is_star() {
+            // COUNT(*) in an ordering: "the number of <entity>".
+            let t = q.from.tables.last().map(String::as_str).unwrap_or("rows");
+            return format!("number of {}", self.table_nl(t, rng));
+        }
+        self.select_item_nl(e, rng)
+    }
+
+    fn condition_phrase(&self, c: &Condition, rng: &mut StdRng) -> String {
+        let base = match rng.random_range(0..3) {
+            0 => "whose",
+            1 => "where",
+            _ => "with",
+        };
+        let intro = self.pick_variant(base, &["for which", "such that"], rng);
+        format!("{intro} {}", self.condition_body(c, rng))
+    }
+
+    fn condition_body(&self, c: &Condition, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for (i, p) in c.preds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(match c.conns[i - 1] {
+                    BoolConn::And => " and ",
+                    BoolConn::Or => " or ",
+                });
+            }
+            out.push_str(&self.predicate_nl(p, rng));
+        }
+        out
+    }
+
+    fn predicate_nl(&self, p: &Predicate, rng: &mut StdRng) -> String {
+        let col = if p.lhs.col.is_star() {
+            "entries".to_string()
+        } else {
+            self.col_nl(&p.lhs.col, rng)
+        };
+        let lhs = match p.lhs.agg {
+            Some(AggFunc::Count) => format!("number of {col}"),
+            Some(AggFunc::Sum) => format!("total {col}"),
+            Some(AggFunc::Avg) => format!("average {col}"),
+            Some(AggFunc::Min) => format!("minimum {col}"),
+            Some(AggFunc::Max) => format!("maximum {col}"),
+            None => col,
+        };
+        let rhs = self.operand_nl(&p.rhs, rng);
+        match p.op {
+            CmpOp::Eq => {
+                let v = match rng.random_range(0..2) {
+                    0 => "is",
+                    _ => "equals",
+                };
+                format!("{lhs} {v} {rhs}")
+            }
+            CmpOp::Ne => format!("{lhs} is not {rhs}"),
+            CmpOp::Gt => {
+                let v = match rng.random_range(0..3) {
+                    0 => "is more than",
+                    1 => "is greater than",
+                    _ => "is above",
+                };
+                format!("{lhs} {v} {rhs}")
+            }
+            CmpOp::Ge => format!("{lhs} is at least {rhs}"),
+            CmpOp::Lt => {
+                let v = match rng.random_range(0..2) {
+                    0 => "is less than",
+                    _ => "is below",
+                };
+                format!("{lhs} {v} {rhs}")
+            }
+            CmpOp::Le => format!("{lhs} is at most {rhs}"),
+            CmpOp::Like => format!("{lhs} contains {}", rhs.replace('%', "")),
+            CmpOp::NotLike => {
+                format!("{lhs} does not contain {}", rhs.replace('%', ""))
+            }
+            CmpOp::In => format!("{lhs} is among {rhs}"),
+            CmpOp::NotIn => format!("{lhs} is not among {rhs}"),
+            CmpOp::Between => {
+                let hi = p
+                    .rhs2
+                    .as_ref()
+                    .map(|o| self.operand_nl(o, rng))
+                    .unwrap_or_else(|| "some value".to_string());
+                format!("{lhs} is between {rhs} and {hi}")
+            }
+        }
+    }
+
+    fn operand_nl(&self, o: &Operand, rng: &mut StdRng) -> String {
+        match o {
+            Operand::Lit(Literal::Int(v)) => v.to_string(),
+            Operand::Lit(Literal::Float(v)) => v.to_string(),
+            Operand::Lit(Literal::Str(s)) => s.clone(),
+            Operand::Lit(Literal::Masked) => "some value".to_string(),
+            Operand::Col(c) => self.col_nl(&c.col, rng),
+            Operand::Subquery(sq) => {
+                // Nested queries become relative clauses.
+                format!("those in {}", self.render_query(sq, rng))
+            }
+        }
+    }
+
+    /// Surface-level noise: stop-word dropping scaled by ambiguity.
+    fn surface_noise(&self, s: &str, rng: &mut StdRng) -> String {
+        let drop_p = self.config.ambiguity * 0.25;
+        let words: Vec<&str> = s.split(' ').collect();
+        let kept: Vec<&str> = words
+            .iter()
+            .filter(|w| {
+                let droppable = matches!(**w, "the" | "of" | "a" | "me");
+                !(droppable && rng.random_range(0.0..1.0) < drop_p)
+            })
+            .copied()
+            .collect();
+        kept.join(" ")
+    }
+}
+
+/// MT-TEQL-style semantics-preserving utterance transformations
+/// (Section V-A1: "semantics-preserving transformations toward utterances").
+pub fn perturb_utterance(utterance: &str, lexicon: &Lexicon, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core = lexicon.substitute(utterance, 0.5, &mut rng);
+    match rng.random_range(0..4) {
+        0 => format!("Could you tell me {}", decapitalize(&core)),
+        1 => format!("I would like to know {}", decapitalize(&core)),
+        2 => format!("Please {}", decapitalize(&core)),
+        _ => core,
+    }
+}
+
+fn decapitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_float("bonus")
+                    .pk(&["employee_id"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build()
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_salt() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig::default());
+        let q = parse("SELECT name FROM employee WHERE age > 30").unwrap();
+        assert_eq!(g.generate(&q, 5), g.generate(&q, 5));
+    }
+
+    #[test]
+    fn different_salts_vary_surface_form() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig::default());
+        let q = parse("SELECT name FROM employee WHERE age > 30").unwrap();
+        let outs: std::collections::HashSet<String> =
+            (0..30).map(|i| g.generate(&q, i)).collect();
+        assert!(outs.len() >= 3, "too uniform: {outs:?}");
+    }
+
+    #[test]
+    fn values_survive_into_utterance() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig { seed: 1, ambiguity: 0.0 });
+        let q = parse("SELECT name FROM employee WHERE name = 'John'").unwrap();
+        let u = g.generate(&q, 0);
+        assert!(u.contains("John"), "{u}");
+    }
+
+    #[test]
+    fn superlative_idiom_for_order_limit_one() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig { seed: 2, ambiguity: 0.0 });
+        let q = parse(
+            "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+             ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+        )
+        .unwrap();
+        let u = g.generate(&q, 0).to_lowercase();
+        assert!(
+            u.contains("highest") || u.contains("most"),
+            "missing superlative idiom: {u}"
+        );
+        assert!(!u.contains("order"), "should not leak SQL wording: {u}");
+    }
+
+    #[test]
+    fn count_becomes_how_many_style() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig { seed: 3, ambiguity: 0.0 });
+        let q = parse("SELECT COUNT(*) FROM employee").unwrap();
+        let u = g.generate(&q, 1).to_lowercase();
+        assert!(
+            u.contains("how many") || u.contains("count") || u.contains("total count"),
+            "{u}"
+        );
+    }
+
+    #[test]
+    fn utterance_differs_from_sql() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig::default());
+        let q = parse("SELECT name FROM employee WHERE age > 30").unwrap();
+        let u = g.generate(&q, 7).to_lowercase();
+        assert!(!u.contains("select"));
+        assert!(!u.contains("where"));
+    }
+
+    #[test]
+    fn zero_ambiguity_keeps_stop_words() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig { seed: 5, ambiguity: 0.0 });
+        let q = parse("SELECT name FROM employee").unwrap();
+        let u = g.generate(&q, 0).to_lowercase();
+        assert!(u.contains("the"), "{u}");
+    }
+
+    #[test]
+    fn compound_queries_render_connector() {
+        let s = schema();
+        let g = NlGenerator::new(&s, NlConfig { seed: 6, ambiguity: 0.0 });
+        let q = parse(
+            "SELECT name FROM employee WHERE age > 50 \
+             EXCEPT SELECT name FROM employee WHERE age < 30",
+        )
+        .unwrap();
+        let u = g.generate(&q, 0).to_lowercase();
+        assert!(u.contains("but not"), "{u}");
+    }
+
+    #[test]
+    fn perturbation_preserves_values() {
+        let lex = Lexicon::builtin();
+        let u = perturb_utterance("Show the name of employees older than 30", &lex, 9);
+        assert!(u.contains("30"), "{u}");
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_per_seed() {
+        let lex = Lexicon::builtin();
+        let a = perturb_utterance("Show the employee names", &lex, 11);
+        let b = perturb_utterance("Show the employee names", &lex, 11);
+        assert_eq!(a, b);
+    }
+}

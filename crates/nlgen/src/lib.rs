@@ -1,0 +1,22 @@
+//! # gar-nl — natural-language utterance generation for the benchmarks
+//!
+//! The paper evaluates on human-authored NLIDB benchmarks (SPIDER, GEO,
+//! MT-TEQL, QBEN). Those corpora are not available offline, so the benchmark
+//! simulators in `gar-benchmarks` pair every gold SQL query with an
+//! utterance produced by this crate's [`NlGenerator`] — a paraphrase channel
+//! deliberately *disjoint* from the dialect builder's templates (question
+//! forms, idiomatic superlatives, synonym substitution, stop-word dropping,
+//! difficulty-scaled ambiguity). Matching utterances to dialect expressions
+//! therefore remains a genuine learning problem for the LTR stack.
+//!
+//! The crate also implements MT-TEQL-style semantics-preserving utterance
+//! transformations ([`perturb_utterance`]) used by the `mt_teql_sim`
+//! benchmark.
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod lexicon;
+
+pub use generator::{perturb_utterance, NlConfig, NlGenerator};
+pub use lexicon::Lexicon;

@@ -1,0 +1,174 @@
+//! GAR-J join annotations (Section IV-A of the paper).
+//!
+//! A join annotation captures four aspects of a join operation whose
+//! semantics are "more than simple compositions of table/column names":
+//!
+//! 1. **Joining Tables** — which tables are involved;
+//! 2. **Join Condition** — the equi-join condition;
+//! 3. **Join Description** — an NL description of the "new" table the join
+//!    produces (e.g. *"the flights arrive in the airports"*);
+//! 4. **Table Keys** — the key entity of the new table, used to annotate
+//!    asterisk nodes (`COUNT(*)` → *"the number of flights"*).
+//!
+//! Annotations are keyed by the canonical join condition so that a join
+//! written in either orientation finds its annotation.
+
+use gar_sql::JoinCond;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A single GAR-J join annotation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinAnnotation {
+    /// The two joining tables.
+    pub tables: (String, String),
+    /// The join condition, canonical qualified-column pair.
+    pub condition: (String, String),
+    /// NL description of the joined "new table".
+    pub description: String,
+    /// The key entity of the new table (singular NL noun, e.g. "flight").
+    pub table_key: String,
+}
+
+/// Canonical lookup key for a join condition.
+pub fn join_key(jc: &JoinCond) -> String {
+    let (a, b) = jc.canonical();
+    format!("{a}={b}")
+}
+
+/// A per-database registry of join annotations.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotationSet {
+    map: HashMap<String, JoinAnnotation>,
+}
+
+impl AnnotationSet {
+    /// An empty registry (plain GAR, no annotations).
+    pub fn empty() -> Self {
+        AnnotationSet::default()
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no annotations are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Register an annotation. The condition is given as two qualified
+    /// column strings (`"airports.airportcode"`, `"flights.destairport"`);
+    /// order does not matter.
+    pub fn add(
+        &mut self,
+        table_a: &str,
+        table_b: &str,
+        cond_left: &str,
+        cond_right: &str,
+        description: &str,
+        table_key: &str,
+    ) {
+        let (a, b) = if cond_left <= cond_right {
+            (cond_left.to_string(), cond_right.to_string())
+        } else {
+            (cond_right.to_string(), cond_left.to_string())
+        };
+        let key = format!("{a}={b}");
+        self.map.insert(
+            key,
+            JoinAnnotation {
+                tables: (table_a.to_string(), table_b.to_string()),
+                condition: (a, b),
+                description: description.to_string(),
+                table_key: table_key.to_string(),
+            },
+        );
+    }
+
+    /// Look up the annotation for a join condition, if any.
+    pub fn lookup(&self, jc: &JoinCond) -> Option<&JoinAnnotation> {
+        self.map.get(&join_key(jc))
+    }
+
+    /// Iterate over all annotations.
+    pub fn iter(&self) -> impl Iterator<Item = &JoinAnnotation> {
+        self.map.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_sql::ColumnRef;
+
+    fn flights_cond() -> JoinCond {
+        JoinCond {
+            left: ColumnRef::new("airports", "airportcode"),
+            right: ColumnRef::new("flights", "destairport"),
+        }
+    }
+
+    #[test]
+    fn lookup_is_orientation_insensitive() {
+        let mut ann = AnnotationSet::empty();
+        ann.add(
+            "airports",
+            "flights",
+            "airports.airportcode",
+            "flights.destairport",
+            "the flights arrive in the airports",
+            "flight",
+        );
+        let fwd = flights_cond();
+        let rev = JoinCond {
+            left: fwd.right.clone(),
+            right: fwd.left.clone(),
+        };
+        assert!(ann.lookup(&fwd).is_some());
+        assert!(ann.lookup(&rev).is_some());
+        assert_eq!(
+            ann.lookup(&fwd).unwrap().description,
+            "the flights arrive in the airports"
+        );
+    }
+
+    #[test]
+    fn different_fk_columns_get_different_annotations() {
+        let mut ann = AnnotationSet::empty();
+        ann.add(
+            "airports",
+            "flights",
+            "airports.airportcode",
+            "flights.destairport",
+            "the flights arrive in the airports",
+            "flight",
+        );
+        ann.add(
+            "airports",
+            "flights",
+            "airports.airportcode",
+            "flights.sourceairport",
+            "the flights depart from the airports",
+            "flight",
+        );
+        assert_eq!(ann.len(), 2);
+        let dest = flights_cond();
+        let src = JoinCond {
+            left: ColumnRef::new("airports", "airportcode"),
+            right: ColumnRef::new("flights", "sourceairport"),
+        };
+        assert_ne!(
+            ann.lookup(&dest).unwrap().description,
+            ann.lookup(&src).unwrap().description
+        );
+    }
+
+    #[test]
+    fn missing_annotation_is_none() {
+        let ann = AnnotationSet::empty();
+        assert!(ann.lookup(&flights_cond()).is_none());
+        assert!(ann.is_empty());
+    }
+}

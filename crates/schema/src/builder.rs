@@ -1,0 +1,172 @@
+//! Fluent construction of [`Schema`] values.
+//!
+//! Used by tests, examples and the benchmark generators. NL annotations
+//! default to the identifier with underscores replaced by spaces (exactly
+//! how SPIDER's annotation files are commonly derived); `nl` overrides.
+
+use crate::model::{ColType, Column, ForeignKey, Schema, Table};
+
+/// Builder for a [`Schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+/// Builder for a single [`Table`], used inside [`SchemaBuilder::table`].
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    table: Table,
+}
+
+fn default_nl(ident: &str) -> String {
+    ident.replace('_', " ")
+}
+
+impl TableBuilder {
+    fn new(name: &str) -> Self {
+        TableBuilder {
+            table: Table {
+                name: name.to_string(),
+                nl_name: default_nl(name),
+                columns: Vec::new(),
+                primary_key: Vec::new(),
+            },
+        }
+    }
+
+    /// Override the table's NL annotation.
+    pub fn nl(mut self, nl_name: &str) -> Self {
+        self.table.nl_name = nl_name.to_string();
+        self
+    }
+
+    /// Add a column of the given type.
+    pub fn col(mut self, name: &str, ty: ColType) -> Self {
+        self.table.columns.push(Column {
+            name: name.to_string(),
+            ty,
+            nl_name: default_nl(name),
+        });
+        self
+    }
+
+    /// Add an `Int` column.
+    pub fn col_int(self, name: &str) -> Self {
+        self.col(name, ColType::Int)
+    }
+
+    /// Add a `Float` column.
+    pub fn col_float(self, name: &str) -> Self {
+        self.col(name, ColType::Float)
+    }
+
+    /// Add a `Text` column.
+    pub fn col_text(self, name: &str) -> Self {
+        self.col(name, ColType::Text)
+    }
+
+    /// Override the NL annotation of the most recently added column.
+    pub fn col_nl(mut self, nl_name: &str) -> Self {
+        if let Some(c) = self.table.columns.last_mut() {
+            c.nl_name = nl_name.to_string();
+        }
+        self
+    }
+
+    /// Set the primary key (one entry = simple key; several = compound key).
+    pub fn pk(mut self, cols: &[&str]) -> Self {
+        self.table.primary_key = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+}
+
+impl SchemaBuilder {
+    /// Start a schema with the given database name.
+    pub fn new(name: &str) -> Self {
+        SchemaBuilder {
+            schema: Schema {
+                name: name.to_string(),
+                tables: Vec::new(),
+                foreign_keys: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a table via a closure over a [`TableBuilder`].
+    pub fn table(mut self, name: &str, f: impl FnOnce(TableBuilder) -> TableBuilder) -> Self {
+        let tb = f(TableBuilder::new(name));
+        self.schema.tables.push(tb.table);
+        self
+    }
+
+    /// Add a foreign key edge.
+    pub fn fk(mut self, from_table: &str, from_col: &str, to_table: &str, to_col: &str) -> Self {
+        self.schema.foreign_keys.push(ForeignKey {
+            from_table: from_table.to_string(),
+            from_column: from_col.to_string(),
+            to_table: to_table.to_string(),
+            to_column: to_col.to_string(),
+        });
+        self
+    }
+
+    /// Finish, asserting validity (panics on inconsistent input — builders
+    /// are developer-facing).
+    pub fn build(self) -> Schema {
+        self.schema
+            .validate()
+            .expect("SchemaBuilder produced an inconsistent schema");
+        self.schema
+    }
+
+    /// Finish without validating (for tests that construct bad schemas).
+    pub fn build_unchecked(self) -> Schema {
+        self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_schema_with_annotations() {
+        let s = SchemaBuilder::new("demo")
+            .table("concert_singer", |t| {
+                t.nl("concerts and singers")
+                    .col_int("singer_id")
+                    .col_nl("singer identifier")
+                    .col_text("name")
+                    .pk(&["singer_id"])
+            })
+            .build();
+        let t = s.table("concert_singer").unwrap();
+        assert_eq!(t.nl_name, "concerts and singers");
+        assert_eq!(t.column("singer_id").unwrap().nl_name, "singer identifier");
+        assert_eq!(t.column("name").unwrap().nl_name, "name");
+    }
+
+    #[test]
+    fn default_nl_replaces_underscores() {
+        let s = SchemaBuilder::new("demo")
+            .table("flight_info", |t| t.col_int("dest_airport").pk(&["dest_airport"]))
+            .build();
+        assert_eq!(s.table("flight_info").unwrap().nl_name, "flight info");
+        assert_eq!(
+            s.table("flight_info")
+                .unwrap()
+                .column("dest_airport")
+                .unwrap()
+                .nl_name,
+            "dest airport"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent schema")]
+    fn build_panics_on_bad_pk() {
+        SchemaBuilder::new("bad")
+            .table("t", |t| t.col_int("a").pk(&["missing"]))
+            .build();
+    }
+}

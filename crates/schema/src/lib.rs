@@ -1,0 +1,28 @@
+//! # gar-schema — database schema model for GAR
+//!
+//! GAR needs more from a schema than table/column names. The dialect builder
+//! (Section III-B of the paper) "leverag[es] the database schema information"
+//! to decide, e.g., that `bonus` in a compound-keyed `evaluation` table means
+//! *"one bonus"* rather than *"total bonus"*; the generalizer's Rule 1 needs
+//! the catalog of legal join paths; GAR-J (Section IV) attaches *join
+//! annotations* to join conditions.
+//!
+//! This crate provides:
+//! - the [`Schema`] model (tables, typed columns, primary/compound keys,
+//!   foreign keys, NL annotations for tables and columns);
+//! - AST resolution/validation ([`resolve_query`]) that qualifies bare
+//!   column references and rejects queries that do not type-check against
+//!   the schema;
+//! - the GAR-J [`JoinAnnotation`] registry ([`AnnotationSet`]).
+
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod builder;
+pub mod model;
+pub mod resolve;
+
+pub use annotation::{join_key, AnnotationSet, JoinAnnotation};
+pub use builder::SchemaBuilder;
+pub use model::{ColType, Column, ForeignKey, Schema, SchemaError, Table};
+pub use resolve::resolve_query;

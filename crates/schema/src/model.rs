@@ -1,0 +1,330 @@
+//! Core schema types.
+
+use gar_sql::ColumnRef;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Column data type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Text,
+}
+
+impl ColType {
+    /// `true` for `Int` and `Float`.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, ColType::Int | ColType::Float)
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    /// Physical column name (lower-case).
+    pub name: String,
+    /// Data type.
+    pub ty: ColType,
+    /// Natural-language annotation ("employee id" for `employee_id`).
+    /// SPIDER ships these annotations with its databases; the benchmark
+    /// generators provide them the same way (paper, footnote 6).
+    pub nl_name: String,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Physical table name (lower-case).
+    pub name: String,
+    /// Natural-language annotation.
+    pub nl_name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+    /// Primary key column names; more than one entry means a *compound key*
+    /// (which drives the "one X" vs "total X" dialect semantics).
+    pub primary_key: Vec<String>,
+}
+
+impl Table {
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// `true` if the primary key spans multiple columns.
+    pub fn has_compound_key(&self) -> bool {
+        self.primary_key.len() > 1
+    }
+
+    /// `true` if `col` alone uniquely identifies rows (it is the entire
+    /// primary key).
+    pub fn is_unique_key(&self, col: &str) -> bool {
+        self.primary_key.len() == 1 && self.primary_key[0] == col
+    }
+}
+
+/// A foreign-key edge `from_table.from_column -> to_table.to_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing column.
+    pub from_column: String,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced column.
+    pub to_column: String,
+}
+
+impl ForeignKey {
+    /// The join condition this foreign key induces, as a canonical
+    /// (sorted) pair of qualified column strings.
+    pub fn canonical_pair(&self) -> (String, String) {
+        let a = format!("{}.{}", self.from_table, self.from_column);
+        let b = format!("{}.{}", self.to_table, self.to_column);
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+/// A database schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Database identifier (unique within a benchmark).
+    pub name: String,
+    /// Tables in declaration order.
+    pub tables: Vec<Table>,
+    /// Foreign-key edges.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Schema {
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a column by qualified reference.
+    pub fn column(&self, table: &str, column: &str) -> Option<&Column> {
+        self.table(table).and_then(|t| t.column(column))
+    }
+
+    /// `true` if the qualified column exists.
+    pub fn has_column(&self, c: &ColumnRef) -> bool {
+        match &c.table {
+            Some(t) => {
+                c.is_star() && self.table(t).is_some()
+                    || self.column(t, &c.column).is_some()
+            }
+            None => c.is_star(),
+        }
+    }
+
+    /// Tables that contain a column named `column`.
+    pub fn tables_with_column(&self, column: &str) -> Vec<&Table> {
+        self.tables
+            .iter()
+            .filter(|t| t.column(column).is_some())
+            .collect()
+    }
+
+    /// All foreign keys connecting `a` and `b` (in either direction).
+    pub fn fks_between(&self, a: &str, b: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| {
+                (fk.from_table == a && fk.to_table == b)
+                    || (fk.from_table == b && fk.to_table == a)
+            })
+            .collect()
+    }
+
+    /// Adjacency map of the foreign-key join graph.
+    pub fn join_graph(&self) -> HashMap<&str, Vec<&str>> {
+        let mut g: HashMap<&str, Vec<&str>> = HashMap::new();
+        for fk in &self.foreign_keys {
+            g.entry(fk.from_table.as_str())
+                .or_default()
+                .push(fk.to_table.as_str());
+            g.entry(fk.to_table.as_str())
+                .or_default()
+                .push(fk.from_table.as_str());
+        }
+        g
+    }
+
+    /// Number of tables (benchmark statistics use this).
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Validate internal consistency: key columns exist, FK endpoints exist,
+    /// names are unique.
+    pub fn validate(&self) -> Result<(), SchemaError> {
+        let mut seen = std::collections::HashSet::new();
+        for t in &self.tables {
+            if !seen.insert(t.name.as_str()) {
+                return Err(SchemaError::DuplicateTable(t.name.clone()));
+            }
+            let mut cols = std::collections::HashSet::new();
+            for c in &t.columns {
+                if !cols.insert(c.name.as_str()) {
+                    return Err(SchemaError::DuplicateColumn(t.name.clone(), c.name.clone()));
+                }
+            }
+            for k in &t.primary_key {
+                if t.column(k).is_none() {
+                    return Err(SchemaError::UnknownColumn(t.name.clone(), k.clone()));
+                }
+            }
+        }
+        for fk in &self.foreign_keys {
+            if self.column(&fk.from_table, &fk.from_column).is_none() {
+                return Err(SchemaError::UnknownColumn(
+                    fk.from_table.clone(),
+                    fk.from_column.clone(),
+                ));
+            }
+            if self.column(&fk.to_table, &fk.to_column).is_none() {
+                return Err(SchemaError::UnknownColumn(
+                    fk.to_table.clone(),
+                    fk.to_column.clone(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Errors from schema validation or query resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A table name appears twice.
+    DuplicateTable(String),
+    /// A column name appears twice within a table.
+    DuplicateColumn(String, String),
+    /// `(table, column)` does not exist.
+    UnknownColumn(String, String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A bare column could not be qualified unambiguously.
+    AmbiguousColumn(String),
+    /// A column is referenced outside the query's `FROM` scope.
+    OutOfScope(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateTable(t) => write!(f, "duplicate table {t}"),
+            SchemaError::DuplicateColumn(t, c) => write!(f, "duplicate column {t}.{c}"),
+            SchemaError::UnknownColumn(t, c) => write!(f, "unknown column {t}.{c}"),
+            SchemaError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            SchemaError::AmbiguousColumn(c) => write!(f, "ambiguous column {c}"),
+            SchemaError::OutOfScope(c) => write!(f, "column {c} out of scope"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    fn employee_schema() -> Schema {
+        SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_int("year_awarded")
+                    .col_float("bonus")
+                    .pk(&["employee_id", "year_awarded"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build()
+    }
+
+    #[test]
+    fn validates_ok() {
+        assert!(employee_schema().validate().is_ok());
+    }
+
+    #[test]
+    fn compound_key_detected() {
+        let s = employee_schema();
+        assert!(!s.table("employee").unwrap().has_compound_key());
+        assert!(s.table("evaluation").unwrap().has_compound_key());
+        assert!(s.table("employee").unwrap().is_unique_key("employee_id"));
+        assert!(!s.table("evaluation").unwrap().is_unique_key("employee_id"));
+    }
+
+    #[test]
+    fn fk_lookup_is_direction_insensitive() {
+        let s = employee_schema();
+        assert_eq!(s.fks_between("employee", "evaluation").len(), 1);
+        assert_eq!(s.fks_between("evaluation", "employee").len(), 1);
+        assert!(s.fks_between("employee", "employee").is_empty());
+    }
+
+    #[test]
+    fn has_column_handles_stars() {
+        let s = employee_schema();
+        assert!(s.has_column(&ColumnRef::star()));
+        assert!(s.has_column(&ColumnRef::new("employee", "name")));
+        assert!(!s.has_column(&ColumnRef::new("employee", "ghost")));
+        assert!(s.has_column(&ColumnRef {
+            table: Some("employee".into()),
+            column: "*".into()
+        }));
+    }
+
+    #[test]
+    fn tables_with_column_finds_shared_names() {
+        let s = employee_schema();
+        let ts = s.tables_with_column("employee_id");
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fk() {
+        let mut s = employee_schema();
+        s.foreign_keys.push(ForeignKey {
+            from_table: "evaluation".into(),
+            from_column: "ghost".into(),
+            to_table: "employee".into(),
+            to_column: "employee_id".into(),
+        });
+        assert!(matches!(s.validate(), Err(SchemaError::UnknownColumn(_, _))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_table() {
+        let mut s = employee_schema();
+        let dup = s.tables[0].clone();
+        s.tables.push(dup);
+        assert!(matches!(s.validate(), Err(SchemaError::DuplicateTable(_))));
+    }
+
+    #[test]
+    fn join_graph_is_symmetric() {
+        let s = employee_schema();
+        let g = s.join_graph();
+        assert!(g["employee"].contains(&"evaluation"));
+        assert!(g["evaluation"].contains(&"employee"));
+    }
+}

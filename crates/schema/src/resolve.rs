@@ -1,0 +1,263 @@
+//! Schema-aware query resolution and validation.
+//!
+//! The parser qualifies columns only when the `FROM` clause is
+//! single-table; multi-table queries can still carry bare column references.
+//! [`resolve_query`] finishes qualification against a [`Schema`] and
+//! validates that every reference is inside the query's `FROM` scope —
+//! exactly the "syntactic and semantic checks" the generalizer performs on
+//! recomposed parse trees (Algorithm 1, `VALIDATE-TREE`).
+
+use crate::model::{Schema, SchemaError};
+use gar_sql::ast::*;
+
+/// Resolve and validate a query against a schema.
+///
+/// Returns the fully qualified query, or an error when a table is unknown, a
+/// column does not exist, a bare column is ambiguous within the `FROM`
+/// scope, or a qualified column references a table outside the scope.
+pub fn resolve_query(schema: &Schema, q: &Query) -> Result<Query, SchemaError> {
+    let mut out = q.clone();
+    resolve_rec(schema, &mut out)?;
+    Ok(out)
+}
+
+fn resolve_rec(schema: &Schema, q: &mut Query) -> Result<(), SchemaError> {
+    // 1. FROM tables must exist.
+    for t in &q.from.tables {
+        if schema.table(t).is_none() {
+            return Err(SchemaError::UnknownTable(t.clone()));
+        }
+    }
+    let scope: Vec<String> = q.from.tables.clone();
+
+    // 2. Join conditions.
+    for jc in &mut q.from.conds {
+        resolve_colref(schema, &scope, &mut jc.left)?;
+        resolve_colref(schema, &scope, &mut jc.right)?;
+    }
+
+    // 3. SELECT items.
+    for item in &mut q.select.items {
+        resolve_colexpr(schema, &scope, item)?;
+    }
+
+    // 4. WHERE / HAVING.
+    let mut conds: Vec<&mut Condition> = Vec::new();
+    if let Some(c) = &mut q.where_ {
+        conds.push(c);
+    }
+    if let Some(c) = &mut q.having {
+        conds.push(c);
+    }
+    for cond in conds {
+        for p in &mut cond.preds {
+            resolve_colexpr(schema, &scope, &mut p.lhs)?;
+            resolve_operand(schema, &scope, &mut p.rhs)?;
+            if let Some(r2) = &mut p.rhs2 {
+                resolve_operand(schema, &scope, r2)?;
+            }
+        }
+    }
+
+    // 5. GROUP BY / ORDER BY.
+    for g in &mut q.group_by {
+        resolve_colref(schema, &scope, g)?;
+    }
+    if let Some(ob) = &mut q.order_by {
+        for item in &mut ob.items {
+            resolve_colexpr(schema, &scope, &mut item.expr)?;
+        }
+    }
+
+    // 6. Compound arm.
+    if let Some((_, rhs)) = &mut q.compound {
+        resolve_rec(schema, rhs)?;
+    }
+    Ok(())
+}
+
+fn resolve_operand(
+    schema: &Schema,
+    scope: &[String],
+    o: &mut Operand,
+) -> Result<(), SchemaError> {
+    match o {
+        Operand::Col(c) => resolve_colexpr(schema, scope, c),
+        Operand::Subquery(sq) => resolve_rec(schema, sq),
+        Operand::Lit(_) => Ok(()),
+    }
+}
+
+fn resolve_colexpr(
+    schema: &Schema,
+    scope: &[String],
+    c: &mut ColExpr,
+) -> Result<(), SchemaError> {
+    resolve_colref(schema, scope, &mut c.col)
+}
+
+fn resolve_colref(
+    schema: &Schema,
+    scope: &[String],
+    c: &mut ColumnRef,
+) -> Result<(), SchemaError> {
+    if c.is_star() {
+        if let Some(t) = &c.table {
+            if !scope.iter().any(|s| s == t) {
+                return Err(SchemaError::OutOfScope(format!("{t}.*")));
+            }
+        }
+        return Ok(());
+    }
+    match &c.table {
+        Some(t) => {
+            if !scope.iter().any(|s| s == t) {
+                return Err(SchemaError::OutOfScope(c.to_string()));
+            }
+            if schema.column(t, &c.column).is_none() {
+                return Err(SchemaError::UnknownColumn(t.clone(), c.column.clone()));
+            }
+            Ok(())
+        }
+        None => {
+            let candidates: Vec<&String> = scope
+                .iter()
+                .filter(|t| schema.column(t, &c.column).is_some())
+                .collect();
+            match candidates.len() {
+                0 => Err(SchemaError::UnknownColumn(
+                    "<scope>".to_string(),
+                    c.column.clone(),
+                )),
+                1 => {
+                    c.table = Some(candidates[0].clone());
+                    Ok(())
+                }
+                _ => Err(SchemaError::AmbiguousColumn(c.column.clone())),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+    use gar_sql::{parse, to_sql};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_int("year_awarded")
+                    .col_float("bonus")
+                    .pk(&["employee_id", "year_awarded"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build()
+    }
+
+    #[test]
+    fn qualifies_bare_columns_in_join_scope() {
+        let q = parse(
+            "SELECT name FROM employee JOIN evaluation \
+             ON employee.employee_id = evaluation.employee_id WHERE bonus > 10",
+        )
+        .unwrap();
+        let r = resolve_query(&schema(), &q).unwrap();
+        let sql = to_sql(&r);
+        assert!(sql.contains("employee.name"), "{sql}");
+        assert!(sql.contains("evaluation.bonus"), "{sql}");
+    }
+
+    #[test]
+    fn rejects_ambiguous_bare_column() {
+        let q = parse(
+            "SELECT employee_id FROM employee JOIN evaluation \
+             ON employee.employee_id = evaluation.employee_id",
+        )
+        .unwrap();
+        assert_eq!(
+            resolve_query(&schema(), &q),
+            Err(SchemaError::AmbiguousColumn("employee_id".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_table() {
+        let q = parse("SELECT x.a FROM x").unwrap();
+        assert_eq!(
+            resolve_query(&schema(), &q),
+            Err(SchemaError::UnknownTable("x".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        let q = parse("SELECT employee.ghost FROM employee").unwrap();
+        assert!(matches!(
+            resolve_query(&schema(), &q),
+            Err(SchemaError::UnknownColumn(_, _))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_scope_reference() {
+        // evaluation.bonus referenced, but FROM only has employee.
+        let q = parse("SELECT evaluation.bonus FROM employee").unwrap();
+        assert!(matches!(
+            resolve_query(&schema(), &q),
+            Err(SchemaError::OutOfScope(_))
+        ));
+    }
+
+    #[test]
+    fn subquery_scopes_are_independent() {
+        let q = parse(
+            "SELECT employee.name FROM employee WHERE employee.employee_id IN \
+             (SELECT evaluation.employee_id FROM evaluation WHERE evaluation.bonus > 5)",
+        )
+        .unwrap();
+        assert!(resolve_query(&schema(), &q).is_ok());
+
+        // Outer column inside subquery scope is rejected (no correlation in
+        // the subset).
+        let q = parse(
+            "SELECT employee.name FROM employee WHERE employee.employee_id IN \
+             (SELECT evaluation.employee_id FROM evaluation WHERE employee.age > 5)",
+        )
+        .unwrap();
+        assert!(matches!(
+            resolve_query(&schema(), &q),
+            Err(SchemaError::OutOfScope(_))
+        ));
+    }
+
+    #[test]
+    fn star_is_always_in_scope_when_table_matches() {
+        let q = parse("SELECT COUNT(*) FROM employee").unwrap();
+        assert!(resolve_query(&schema(), &q).is_ok());
+        let q = parse("SELECT COUNT(employee.*) FROM employee").unwrap();
+        assert!(resolve_query(&schema(), &q).is_ok());
+        let q = parse("SELECT COUNT(evaluation.*) FROM employee").unwrap();
+        assert!(resolve_query(&schema(), &q).is_err());
+    }
+
+    #[test]
+    fn compound_arm_is_resolved() {
+        let q = parse(
+            "SELECT employee.name FROM employee UNION SELECT ghost.name FROM ghost",
+        )
+        .unwrap();
+        assert_eq!(
+            resolve_query(&schema(), &q),
+            Err(SchemaError::UnknownTable("ghost".into()))
+        );
+    }
+}

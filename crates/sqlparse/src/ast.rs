@@ -1,0 +1,664 @@
+//! The typed SQL AST — GAR's *parse tree* (Section III-A of the paper).
+//!
+//! Each [`Query`] is a tree whose sub-trees correspond to the seven component
+//! types of Definition 1 (`select`, `from`, `where`, `group`, `order`, `join`,
+//! `compound`). The generalizer in `gar-generalize` recomposes these sub-trees
+//! across queries; the dialect builder in `gar-dialect` walks them in
+//! pre-order to emit natural-language phrases.
+//!
+//! Table aliases are resolved at parse time: every [`ColumnRef`] carries the
+//! *real* table name (or `None` for an unqualified column), so two
+//! syntactically different but alias-equivalent queries share one AST.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A literal value appearing in a predicate or `LIMIT`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// An integer constant.
+    Int(i64),
+    /// A floating point constant.
+    Float(f64),
+    /// A string constant.
+    Str(String),
+    /// A masked placeholder (`?`) produced by
+    /// [`mask_values`](crate::mask::mask_values).
+    Masked,
+}
+
+impl Literal {
+    /// `true` if this literal is the masked placeholder.
+    pub fn is_masked(&self) -> bool {
+        matches!(self, Literal::Masked)
+    }
+}
+
+impl Eq for Literal {}
+
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Literal::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Literal::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Literal::Masked => 3u8.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(v) => write!(f, "{v}"),
+            Literal::Float(v) => write!(f, "{v}"),
+            Literal::Str(s) => write!(f, "'{s}'"),
+            Literal::Masked => write!(f, "?"),
+        }
+    }
+}
+
+/// A reference to a column, qualified by its (alias-resolved) table name.
+///
+/// `column == "*"` encodes the asterisk; an asterisk may be qualified
+/// (`employee.*`) or bare (`*`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Resolved table name, if the reference was qualified (or resolvable).
+    pub table: Option<String>,
+    /// Column name, lower-cased; `"*"` for the asterisk.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// A qualified column reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+
+    /// An unqualified column reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// The bare asterisk `*`.
+    pub fn star() -> Self {
+        ColumnRef {
+            table: None,
+            column: "*".to_string(),
+        }
+    }
+
+    /// `true` if this is the asterisk (qualified or not).
+    pub fn is_star(&self) -> bool {
+        self.column == "*"
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// The SQL aggregate functions of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+impl AggFunc {
+    /// Canonical upper-case spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+
+    /// All aggregate functions, in canonical order.
+    pub fn all() -> [AggFunc; 5] {
+        [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ]
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A column expression: an optionally aggregated, optionally `DISTINCT`
+/// column reference. This is the value expression used in `SELECT`,
+/// `ORDER BY`, `HAVING` and predicate left-hand sides.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ColExpr {
+    /// Optional aggregate applied to the column.
+    pub agg: Option<AggFunc>,
+    /// `COUNT(DISTINCT x)` style distinct-inside-aggregate flag.
+    pub distinct: bool,
+    /// The column (possibly `*`, only meaningful under `COUNT`).
+    pub col: ColumnRef,
+}
+
+impl ColExpr {
+    /// A plain (non-aggregated) column expression.
+    pub fn plain(col: ColumnRef) -> Self {
+        ColExpr {
+            agg: None,
+            distinct: false,
+            col,
+        }
+    }
+
+    /// An aggregated column expression.
+    pub fn agg(agg: AggFunc, col: ColumnRef) -> Self {
+        ColExpr {
+            agg: Some(agg),
+            distinct: false,
+            col,
+        }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star() -> Self {
+        ColExpr::agg(AggFunc::Count, ColumnRef::star())
+    }
+
+    /// `true` if an aggregate function is applied.
+    pub fn is_aggregated(&self) -> bool {
+        self.agg.is_some()
+    }
+}
+
+impl fmt::Display for ColExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.agg {
+            Some(a) => {
+                if self.distinct {
+                    write!(f, "{a}(DISTINCT {})", self.col)
+                } else {
+                    write!(f, "{a}({})", self.col)
+                }
+            }
+            None => write!(f, "{}", self.col),
+        }
+    }
+}
+
+/// The `SELECT` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SelectClause {
+    /// `SELECT DISTINCT` flag (applies to the whole projection).
+    pub distinct: bool,
+    /// Projection list, in order.
+    pub items: Vec<ColExpr>,
+}
+
+/// An equi-join condition `left = right` appearing in `ON`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinCond {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+}
+
+impl JoinCond {
+    /// Canonical (order-insensitive) form with the lexicographically smaller
+    /// side first; used by set-match comparison and the join-path catalog.
+    pub fn canonical(&self) -> (ColumnRef, ColumnRef) {
+        if self.left <= self.right {
+            (self.left.clone(), self.right.clone())
+        } else {
+            (self.right.clone(), self.left.clone())
+        }
+    }
+}
+
+/// The `FROM` clause: a list of base tables and the equi-join conditions
+/// connecting them. The first table is the anchor; table `i + 1` is joined
+/// with condition `i` when conditions are present.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FromClause {
+    /// Base tables in join order (deduplicated, alias-resolved).
+    pub tables: Vec<String>,
+    /// Equi-join conditions, one per `JOIN ... ON`.
+    pub conds: Vec<JoinCond>,
+}
+
+impl FromClause {
+    /// A single-table `FROM`.
+    pub fn single(table: impl Into<String>) -> Self {
+        FromClause {
+            tables: vec![table.into()],
+            conds: Vec::new(),
+        }
+    }
+
+    /// `true` if this `FROM` clause joins two or more tables.
+    pub fn has_join(&self) -> bool {
+        self.tables.len() > 1
+    }
+}
+
+/// Comparison operators for predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `LIKE`
+    Like,
+    /// `NOT LIKE`
+    NotLike,
+    /// `IN`
+    In,
+    /// `NOT IN`
+    NotIn,
+    /// `BETWEEN ... AND ...`
+    Between,
+}
+
+impl CmpOp {
+    /// `true` for the negated membership/pattern operators.
+    pub fn is_negation(&self) -> bool {
+        matches!(self, CmpOp::Ne | CmpOp::NotLike | CmpOp::NotIn)
+    }
+
+    /// Canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Like => "LIKE",
+            CmpOp::NotLike => "NOT LIKE",
+            CmpOp::In => "IN",
+            CmpOp::NotIn => "NOT IN",
+            CmpOp::Between => "BETWEEN",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The right-hand side of a predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A literal value.
+    Lit(Literal),
+    /// A column expression (column-to-column comparison).
+    Col(ColExpr),
+    /// A nested subquery (scalar or membership, depending on the operator).
+    Subquery(Box<Query>),
+}
+
+impl Operand {
+    /// `true` if the operand is a nested subquery.
+    pub fn is_subquery(&self) -> bool {
+        matches!(self, Operand::Subquery(_))
+    }
+}
+
+/// A single predicate `lhs op rhs [AND rhs2]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Predicate {
+    /// Left-hand side column expression.
+    pub lhs: ColExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Operand,
+    /// Second operand for `BETWEEN`.
+    pub rhs2: Option<Operand>,
+}
+
+/// Boolean connective between adjacent predicates in a flat condition chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolConn {
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A flat conjunction/disjunction chain of predicates, as in the SPIDER SQL
+/// subset (`WHERE p1 AND p2 OR p3`; no parenthesized boolean nesting).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Condition {
+    /// The predicates, in source order.
+    pub preds: Vec<Predicate>,
+    /// Connectives; `conns.len() == preds.len() - 1`.
+    pub conns: Vec<BoolConn>,
+}
+
+impl Condition {
+    /// A condition holding a single predicate.
+    pub fn single(p: Predicate) -> Self {
+        Condition {
+            preds: vec![p],
+            conns: Vec::new(),
+        }
+    }
+
+    /// `true` if any connective is `OR`.
+    pub fn has_or(&self) -> bool {
+        self.conns.contains(&BoolConn::Or)
+    }
+}
+
+/// Sort direction for `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrderDir {
+    /// Ascending (the default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+impl OrderDir {
+    /// Canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OrderDir::Asc => "ASC",
+            OrderDir::Desc => "DESC",
+        }
+    }
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrderItem {
+    /// Sort expression.
+    pub expr: ColExpr,
+    /// Sort direction.
+    pub dir: OrderDir,
+}
+
+/// The `ORDER BY` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OrderClause {
+    /// Sort keys in priority order.
+    pub items: Vec<OrderItem>,
+}
+
+/// A set operation combining two queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetOp {
+    /// `UNION`
+    Union,
+    /// `INTERSECT`
+    Intersect,
+    /// `EXCEPT`
+    Except,
+}
+
+impl SetOp {
+    /// Canonical spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SetOp::Union => "UNION",
+            SetOp::Intersect => "INTERSECT",
+            SetOp::Except => "EXCEPT",
+        }
+    }
+}
+
+impl fmt::Display for SetOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A full query — the root of a parse tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Query {
+    /// `SELECT` clause.
+    pub select: SelectClause,
+    /// `FROM` clause (tables + join conditions).
+    pub from: FromClause,
+    /// Optional `WHERE` condition.
+    pub where_: Option<Condition>,
+    /// Optional `GROUP BY` columns.
+    pub group_by: Vec<ColumnRef>,
+    /// Optional `HAVING` condition (requires `GROUP BY`).
+    pub having: Option<Condition>,
+    /// Optional `ORDER BY`.
+    pub order_by: Option<OrderClause>,
+    /// Optional `LIMIT`.
+    pub limit: Option<u64>,
+    /// Optional trailing compound query (`INTERSECT`/`UNION`/`EXCEPT`).
+    pub compound: Option<(SetOp, Box<Query>)>,
+}
+
+impl Query {
+    /// A minimal `SELECT items FROM table` query, useful in tests and
+    /// builders.
+    pub fn simple(table: impl Into<String>, items: Vec<ColExpr>) -> Self {
+        Query {
+            select: SelectClause {
+                distinct: false,
+                items,
+            },
+            from: FromClause::single(table),
+            where_: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: None,
+            limit: None,
+            compound: None,
+        }
+    }
+
+    /// Iterate over the immediate nested subqueries (in `WHERE`/`HAVING`
+    /// operands and the compound arm).
+    pub fn subqueries(&self) -> Vec<&Query> {
+        let mut out = Vec::new();
+        for cond in self.where_.iter().chain(self.having.iter()) {
+            for p in &cond.preds {
+                if let Operand::Subquery(q) = &p.rhs {
+                    out.push(q.as_ref());
+                }
+                if let Some(Operand::Subquery(q)) = &p.rhs2 {
+                    out.push(q.as_ref());
+                }
+            }
+        }
+        if let Some((_, q)) = &self.compound {
+            out.push(q.as_ref());
+        }
+        out
+    }
+
+    /// `true` if the query (recursively) contains a nested subquery in a
+    /// predicate operand. Compound arms do **not** count as nesting here;
+    /// SPIDER counts them separately.
+    pub fn has_nested_subquery(&self) -> bool {
+        for cond in self.where_.iter().chain(self.having.iter()) {
+            for p in &cond.preds {
+                if p.rhs.is_subquery() || matches!(&p.rhs2, Some(o) if o.is_subquery()) {
+                    return true;
+                }
+            }
+        }
+        if let Some((_, q)) = &self.compound {
+            if q.has_nested_subquery() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `true` if the query is a compound (set-operation) query.
+    pub fn is_compound(&self) -> bool {
+        self.compound.is_some()
+    }
+
+    /// All tables referenced anywhere in the query tree (recursively),
+    /// deduplicated, in first-appearance order.
+    pub fn all_tables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        for t in &self.from.tables {
+            if !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+        for sq in self.subqueries() {
+            sq.collect_tables(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_example() -> Query {
+        // SELECT name FROM employee WHERE id IN (SELECT employee_id FROM evaluation)
+        let sub = Query::simple(
+            "evaluation",
+            vec![ColExpr::plain(ColumnRef::new("evaluation", "employee_id"))],
+        );
+        let mut q = Query::simple(
+            "employee",
+            vec![ColExpr::plain(ColumnRef::new("employee", "name"))],
+        );
+        q.where_ = Some(Condition::single(Predicate {
+            lhs: ColExpr::plain(ColumnRef::new("employee", "id")),
+            op: CmpOp::In,
+            rhs: Operand::Subquery(Box::new(sub)),
+            rhs2: None,
+        }));
+        q
+    }
+
+    #[test]
+    fn subqueries_finds_where_subquery() {
+        let q = nested_example();
+        assert_eq!(q.subqueries().len(), 1);
+        assert!(q.has_nested_subquery());
+    }
+
+    #[test]
+    fn compound_arm_is_not_nested() {
+        let mut q = Query::simple(
+            "employee",
+            vec![ColExpr::plain(ColumnRef::new("employee", "name"))],
+        );
+        q.compound = Some((
+            SetOp::Union,
+            Box::new(Query::simple(
+                "employee",
+                vec![ColExpr::plain(ColumnRef::new("employee", "name"))],
+            )),
+        ));
+        assert!(!q.has_nested_subquery());
+        assert!(q.is_compound());
+        assert_eq!(q.subqueries().len(), 1);
+    }
+
+    #[test]
+    fn all_tables_recurses_and_dedups() {
+        let q = nested_example();
+        assert_eq!(q.all_tables(), vec!["employee", "evaluation"]);
+    }
+
+    #[test]
+    fn join_cond_canonical_is_order_insensitive() {
+        let a = JoinCond {
+            left: ColumnRef::new("a", "x"),
+            right: ColumnRef::new("b", "y"),
+        };
+        let b = JoinCond {
+            left: ColumnRef::new("b", "y"),
+            right: ColumnRef::new("a", "x"),
+        };
+        assert_eq!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn colexpr_display_formats() {
+        assert_eq!(ColExpr::count_star().to_string(), "COUNT(*)");
+        let d = ColExpr {
+            agg: Some(AggFunc::Count),
+            distinct: true,
+            col: ColumnRef::new("t", "c"),
+        };
+        assert_eq!(d.to_string(), "COUNT(DISTINCT t.c)");
+    }
+
+    #[test]
+    fn condition_has_or() {
+        let p = Predicate {
+            lhs: ColExpr::plain(ColumnRef::bare("x")),
+            op: CmpOp::Eq,
+            rhs: Operand::Lit(Literal::Int(1)),
+            rhs2: None,
+        };
+        let mut c = Condition {
+            preds: vec![p.clone(), p],
+            conns: vec![BoolConn::Or],
+        };
+        assert!(c.has_or());
+        c.conns = vec![BoolConn::And];
+        assert!(!c.has_or());
+    }
+}

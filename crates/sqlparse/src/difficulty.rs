@@ -1,0 +1,323 @@
+//! SPIDER difficulty (hardness) classification.
+//!
+//! Reimplements the component-counting rules of the official SPIDER
+//! evaluator so that Table 1, Table 4 and Fig. 10 bucket queries the same
+//! way the paper does. SPIDER "defines the SQL difficulty based on the
+//! number of SQL clauses, so that queries that contain more SQL keywords are
+//! considered to be harder" (paper, footnote 2).
+
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SPIDER hardness level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Difficulty {
+    /// Easy.
+    Easy,
+    /// Medium.
+    Medium,
+    /// Hard.
+    Hard,
+    /// Extra Hard.
+    ExtraHard,
+}
+
+impl Difficulty {
+    /// All levels in ascending hardness order.
+    pub fn all() -> [Difficulty; 4] {
+        [
+            Difficulty::Easy,
+            Difficulty::Medium,
+            Difficulty::Hard,
+            Difficulty::ExtraHard,
+        ]
+    }
+
+    /// Human-readable name used in report tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Difficulty::Easy => "Easy",
+            Difficulty::Medium => "Medium",
+            Difficulty::Hard => "Hard",
+            Difficulty::ExtraHard => "Extra Hard",
+        }
+    }
+}
+
+impl fmt::Display for Difficulty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Count of "component 1" features: WHERE, GROUP BY, ORDER BY, LIMIT, JOIN,
+/// OR, LIKE (per the official SPIDER `eval_hardness`).
+fn count_component1(q: &Query) -> usize {
+    let mut n = 0;
+    if q.where_.is_some() {
+        n += 1;
+    }
+    if !q.group_by.is_empty() {
+        n += 1;
+    }
+    if q.order_by.is_some() {
+        n += 1;
+    }
+    if q.limit.is_some() {
+        n += 1;
+    }
+    if q.from.has_join() {
+        n += q.from.tables.len() - 1;
+    }
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        n += cond
+            .conns
+            .iter()
+            .filter(|c| **c == BoolConn::Or)
+            .count();
+        n += cond
+            .preds
+            .iter()
+            .filter(|p| matches!(p.op, CmpOp::Like | CmpOp::NotLike))
+            .count();
+    }
+    n
+}
+
+/// Count of "component 2" features: nested subqueries in operands, plus
+/// compound set operations.
+fn count_component2(q: &Query) -> usize {
+    let mut n = 0;
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        for p in &cond.preds {
+            if p.rhs.is_subquery() {
+                n += 1;
+            }
+            if matches!(&p.rhs2, Some(o) if o.is_subquery()) {
+                n += 1;
+            }
+        }
+    }
+    if q.compound.is_some() {
+        n += 1;
+    }
+    n
+}
+
+/// Count of "others": #aggs > 1, #select columns > 1, #where predicates > 1,
+/// #group-by columns > 1 each contribute one.
+fn count_others(q: &Query) -> usize {
+    let mut n = 0;
+    let agg_count = q
+        .select
+        .items
+        .iter()
+        .filter(|i| i.is_aggregated())
+        .count()
+        + q.order_by
+            .as_ref()
+            .map(|ob| ob.items.iter().filter(|i| i.expr.is_aggregated()).count())
+            .unwrap_or(0)
+        + q.having
+            .as_ref()
+            .map(|h| h.preds.iter().filter(|p| p.lhs.is_aggregated()).count())
+            .unwrap_or(0);
+    if agg_count > 1 {
+        n += 1;
+    }
+    if q.select.items.len() > 1 {
+        n += 1;
+    }
+    let where_preds = q.where_.as_ref().map(|c| c.preds.len()).unwrap_or(0);
+    if where_preds > 1 {
+        n += 1;
+    }
+    if q.group_by.len() > 1 {
+        n += 1;
+    }
+    n
+}
+
+/// Classify a query into a SPIDER hardness level.
+pub fn classify(q: &Query) -> Difficulty {
+    // For compound queries, SPIDER counts the components of both sides.
+    let (c1, c2, others) = match &q.compound {
+        Some((_, rhs)) => {
+            let (a1, a2, ao) = (count_component1(q), count_component2(q), count_others(q));
+            let (b1, b2, bo) = (
+                count_component1(rhs),
+                count_component2(rhs),
+                count_others(rhs),
+            );
+            (a1 + b1, a2 + b2, ao.max(bo))
+        }
+        None => (count_component1(q), count_component2(q), count_others(q)),
+    };
+
+    if c1 <= 1 && others == 0 && c2 == 0 {
+        Difficulty::Easy
+    } else if (others <= 2 && c1 <= 1 && c2 == 0) || (c1 <= 2 && others < 2 && c2 == 0) {
+        Difficulty::Medium
+    } else if (others > 2 && c1 <= 2 && c2 == 0)
+        || (c1 > 2 && c1 <= 3 && others <= 2 && c2 == 0)
+        || (c1 <= 1 && others == 0 && c2 <= 1)
+    {
+        Difficulty::Hard
+    } else {
+        Difficulty::ExtraHard
+    }
+}
+
+/// Clause-type categories used by Table 5 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ClauseType {
+    /// Contains a nested subquery.
+    Nested,
+    /// Contains a negation operator (`!=`, `NOT IN`, `NOT LIKE`).
+    Negation,
+    /// Contains `ORDER BY`.
+    OrderBy,
+    /// Contains `GROUP BY`.
+    GroupBy,
+    /// None of the above.
+    Others,
+}
+
+impl ClauseType {
+    /// All categories in the paper's column order.
+    pub fn all() -> [ClauseType; 5] {
+        [
+            ClauseType::Nested,
+            ClauseType::Negation,
+            ClauseType::OrderBy,
+            ClauseType::GroupBy,
+            ClauseType::Others,
+        ]
+    }
+
+    /// Table-5 column header.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ClauseType::Nested => "Nested",
+            ClauseType::Negation => "Negation",
+            ClauseType::OrderBy => "ORDERBY",
+            ClauseType::GroupBy => "GROUPBY",
+            ClauseType::Others => "Others",
+        }
+    }
+}
+
+/// All clause-type categories a query belongs to (a query can appear in
+/// several Table-5 columns; `Others` only when none apply).
+pub fn clause_types(q: &Query) -> Vec<ClauseType> {
+    let mut out = Vec::new();
+    if q.has_nested_subquery() {
+        out.push(ClauseType::Nested);
+    }
+    let has_negation = {
+        fn neg(q: &Query) -> bool {
+            for cond in q.where_.iter().chain(q.having.iter()) {
+                if cond.preds.iter().any(|p| p.op.is_negation()) {
+                    return true;
+                }
+            }
+            q.subqueries().iter().any(|s| neg(s))
+        }
+        neg(q)
+    };
+    if has_negation {
+        out.push(ClauseType::Negation);
+    }
+    if q.order_by.is_some() {
+        out.push(ClauseType::OrderBy);
+    }
+    if !q.group_by.is_empty() {
+        out.push(ClauseType::GroupBy);
+    }
+    if out.is_empty() {
+        out.push(ClauseType::Others);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diff(sql: &str) -> Difficulty {
+        classify(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn bare_select_is_easy() {
+        assert_eq!(diff("SELECT t.a FROM t"), Difficulty::Easy);
+    }
+
+    #[test]
+    fn single_where_is_easy() {
+        assert_eq!(diff("SELECT t.a FROM t WHERE t.b = 1"), Difficulty::Easy);
+    }
+
+    #[test]
+    fn two_columns_with_where_is_medium() {
+        assert_eq!(
+            diff("SELECT t.a, t.b FROM t WHERE t.c = 1"),
+            Difficulty::Medium
+        );
+    }
+
+    #[test]
+    fn join_with_group_and_order_is_hard_or_worse() {
+        let d = diff(
+            "SELECT a.x FROM a JOIN b ON a.id = b.aid \
+             GROUP BY a.x ORDER BY COUNT(*) DESC LIMIT 1",
+        );
+        assert!(d >= Difficulty::Hard, "got {d:?}");
+    }
+
+    #[test]
+    fn nested_plus_components_is_extra_hard() {
+        let d = diff(
+            "SELECT a.x, a.y FROM a JOIN b ON a.id = b.aid \
+             WHERE a.z > 1 AND a.x IN (SELECT c.x FROM c) \
+             GROUP BY a.x ORDER BY COUNT(*) DESC LIMIT 3",
+        );
+        assert_eq!(d, Difficulty::ExtraHard);
+    }
+
+    #[test]
+    fn simple_nested_is_hard() {
+        let d = diff("SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u)");
+        assert_eq!(d, Difficulty::Hard);
+    }
+
+    #[test]
+    fn clause_types_cover_each_category() {
+        let q = parse(
+            "SELECT t.a FROM t WHERE t.b != 1 AND t.c IN (SELECT u.c FROM u) \
+             GROUP BY t.a ORDER BY t.a",
+        )
+        .unwrap();
+        let cts = clause_types(&q);
+        assert!(cts.contains(&ClauseType::Nested));
+        assert!(cts.contains(&ClauseType::Negation));
+        assert!(cts.contains(&ClauseType::OrderBy));
+        assert!(cts.contains(&ClauseType::GroupBy));
+        assert!(!cts.contains(&ClauseType::Others));
+    }
+
+    #[test]
+    fn plain_query_is_others() {
+        let q = parse("SELECT t.a FROM t WHERE t.b = 1").unwrap();
+        assert_eq!(clause_types(&q), vec![ClauseType::Others]);
+    }
+
+    #[test]
+    fn difficulty_is_monotone_in_added_components() {
+        let base = diff("SELECT t.a FROM t");
+        let more = diff("SELECT t.a FROM t WHERE t.b = 1 OR t.c = 2 ORDER BY t.a LIMIT 1");
+        assert!(more >= base);
+    }
+}

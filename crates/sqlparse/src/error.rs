@@ -1,0 +1,68 @@
+//! Error types for the SQL front-end.
+
+use std::fmt;
+
+/// An error produced while lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset (lexer) or token index (parser) where the error occurred.
+    pub pos: usize,
+    /// Human-readable message.
+    pub msg: String,
+    /// Which phase produced the error.
+    pub phase: Phase,
+}
+
+/// The front-end phase an error originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+}
+
+impl ParseError {
+    /// A lexer error at byte offset `pos`.
+    pub fn lex(pos: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            msg: msg.into(),
+            phase: Phase::Lex,
+        }
+    }
+
+    /// A parser error at token index `pos`.
+    pub fn parse(pos: usize, msg: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            msg: msg.into(),
+            phase: Phase::Parse,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+        };
+        write!(f, "{phase} error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_position() {
+        let e = ParseError::parse(7, "expected FROM");
+        assert_eq!(e.to_string(), "parse error at 7: expected FROM");
+        let e = ParseError::lex(3, "bad char");
+        assert_eq!(e.to_string(), "lex error at 3: bad char");
+    }
+}

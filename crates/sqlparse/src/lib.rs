@@ -1,0 +1,63 @@
+//! # gar-sql — SQL front-end for the GAR NL2SQL system
+//!
+//! This crate implements the SQL side of the GAR pipeline (Fan et al.,
+//! *GAR: A Generate-and-Rank Approach for Natural Language to SQL
+//! Translation*, ICDE 2023):
+//!
+//! - a lexer and recursive-descent [`parser`] for the SPIDER-family SQL
+//!   subset;
+//! - the typed [`ast`] — GAR's *parse trees* (Section III-A), whose
+//!   sub-trees are the recomposition units of the generalizer;
+//! - a canonical [`printer`] (round-trip stable);
+//! - value [`mask`]ing and re-instantiation (the paper masks literal values
+//!   with placeholders before generalization);
+//! - the [`normalize`] module implementing SPIDER's *exact set match*
+//!   metric;
+//! - the SPIDER [`difficulty`] classifier used to bucket results in
+//!   Tables 1/4 and Fig. 10.
+//!
+//! ## Example
+//!
+//! ```
+//! use gar_sql::{parse, to_sql, exact_match, classify, Difficulty};
+//!
+//! let q = parse(
+//!     "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+//!      ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+//! ).unwrap();
+//!
+//! // Aliases are resolved away in the canonical form.
+//! assert!(to_sql(&q).starts_with("SELECT employee.name FROM employee JOIN"));
+//!
+//! // Exact set match ignores cosmetic differences.
+//! let q2 = parse(
+//!     "SELECT employee.name FROM employee JOIN evaluation \
+//!      ON evaluation.employee_id = employee.employee_id \
+//!      ORDER BY evaluation.bonus DESC LIMIT 1",
+//! ).unwrap();
+//! assert!(exact_match(&q, &q2));
+//! assert_eq!(classify(&q), Difficulty::Hard);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod difficulty;
+pub mod error;
+pub mod mask;
+pub mod normalize;
+pub mod parser;
+pub mod printer;
+pub mod token;
+pub mod visit;
+
+pub use ast::{
+    AggFunc, BoolConn, CmpOp, ColExpr, ColumnRef, Condition, FromClause, JoinCond, Literal,
+    Operand, OrderClause, OrderDir, OrderItem, Predicate, Query, SelectClause, SetOp,
+};
+pub use difficulty::{classify, clause_types, ClauseType, Difficulty};
+pub use error::ParseError;
+pub use mask::{collect_values, mask_in_place, mask_values, masked_count, unmask_values};
+pub use normalize::{exact_match, fingerprint, normalize, NormalizedQuery};
+pub use parser::parse;
+pub use printer::to_sql;

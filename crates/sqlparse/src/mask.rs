@@ -1,0 +1,230 @@
+//! Value masking (Section III-A of the paper).
+//!
+//! The generalization process "should not depend on the specific literal
+//! values", so literals in predicates are replaced by placeholders before
+//! queries enter the generalizer. `LIMIT` values are preserved — the paper's
+//! `order` component explicitly carries `LIMIT 1` semantics ("the highest one
+//! time bonus").
+
+use crate::ast::*;
+
+/// Return a copy of `q` with every predicate literal replaced by
+/// [`Literal::Masked`], recursively through subqueries and compound arms.
+pub fn mask_values(q: &Query) -> Query {
+    let mut out = q.clone();
+    mask_in_place(&mut out);
+    out
+}
+
+/// Mask a query in place. See [`mask_values`].
+pub fn mask_in_place(q: &mut Query) {
+    if let Some(c) = &mut q.where_ {
+        mask_condition(c);
+    }
+    if let Some(c) = &mut q.having {
+        mask_condition(c);
+    }
+    if let Some((_, rhs)) = &mut q.compound {
+        mask_in_place(rhs);
+    }
+}
+
+fn mask_condition(c: &mut Condition) {
+    for p in &mut c.preds {
+        mask_operand(&mut p.rhs);
+        if let Some(r2) = &mut p.rhs2 {
+            mask_operand(r2);
+        }
+    }
+}
+
+fn mask_operand(o: &mut Operand) {
+    match o {
+        Operand::Lit(l) => *l = Literal::Masked,
+        Operand::Subquery(q) => mask_in_place(q),
+        Operand::Col(_) => {}
+    }
+}
+
+/// Collect every (column, literal) pair from the query's predicates,
+/// recursively. Used by value post-processing to learn which columns carry
+/// which literal values in the sample set.
+pub fn collect_values(q: &Query) -> Vec<(ColumnRef, Literal)> {
+    let mut out = Vec::new();
+    collect_rec(q, &mut out);
+    out
+}
+
+fn collect_rec(q: &Query, out: &mut Vec<(ColumnRef, Literal)>) {
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        for p in &cond.preds {
+            if let Operand::Lit(l) = &p.rhs {
+                if !l.is_masked() {
+                    out.push((p.lhs.col.clone(), l.clone()));
+                }
+            }
+            if let Some(Operand::Lit(l)) = &p.rhs2 {
+                if !l.is_masked() {
+                    out.push((p.lhs.col.clone(), l.clone()));
+                }
+            }
+            if let Operand::Subquery(sq) = &p.rhs {
+                collect_rec(sq, out);
+            }
+        }
+    }
+    if let Some((_, rhs)) = &q.compound {
+        collect_rec(rhs, out);
+    }
+}
+
+/// Count the masked literal placeholders in a query, recursively.
+pub fn masked_count(q: &Query) -> usize {
+    let mut n = 0;
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        for p in &cond.preds {
+            if let Operand::Lit(l) = &p.rhs {
+                n += usize::from(l.is_masked());
+            }
+            if let Some(Operand::Lit(l)) = &p.rhs2 {
+                n += usize::from(l.is_masked());
+            }
+            if let Operand::Subquery(sq) = &p.rhs {
+                n += masked_count(sq);
+            }
+            if let Some(Operand::Subquery(sq)) = &p.rhs2 {
+                n += masked_count(sq);
+            }
+        }
+    }
+    if let Some((_, rhs)) = &q.compound {
+        n += masked_count(rhs);
+    }
+    n
+}
+
+/// Re-instantiate masked literals from an ordered list of replacement
+/// values (value post-processing, Section V-A3). Literals are consumed in
+/// pre-order; unmatched placeholders stay masked.
+pub fn unmask_values(q: &Query, values: &[Literal]) -> Query {
+    let mut out = q.clone();
+    let mut iter = values.iter();
+    unmask_rec(&mut out, &mut iter);
+    out
+}
+
+fn unmask_rec<'a>(q: &mut Query, values: &mut impl Iterator<Item = &'a Literal>) {
+    let mut conds: Vec<&mut Condition> = Vec::new();
+    if let Some(c) = &mut q.where_ {
+        conds.push(c);
+    }
+    if let Some(c) = &mut q.having {
+        conds.push(c);
+    }
+    for cond in conds {
+        for p in &mut cond.preds {
+            unmask_operand(&mut p.rhs, values);
+            if let Some(r2) = &mut p.rhs2 {
+                unmask_operand(r2, values);
+            }
+        }
+    }
+    if let Some((_, rhs)) = &mut q.compound {
+        unmask_rec(rhs, values);
+    }
+}
+
+fn unmask_operand<'a>(o: &mut Operand, values: &mut impl Iterator<Item = &'a Literal>) {
+    match o {
+        Operand::Lit(l) if l.is_masked() => {
+            if let Some(v) = values.next() {
+                *l = v.clone();
+            }
+        }
+        Operand::Subquery(q) => unmask_rec(q, values),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::to_sql;
+
+    #[test]
+    fn masks_where_and_having_literals() {
+        let q = parse(
+            "SELECT a FROM t WHERE b = 'x' AND c > 3 GROUP BY a HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+        let m = mask_values(&q);
+        assert_eq!(
+            to_sql(&m),
+            "SELECT t.a FROM t WHERE t.b = ? AND t.c > ? \
+             GROUP BY t.a HAVING COUNT(*) > ?"
+        );
+    }
+
+    #[test]
+    fn preserves_limit() {
+        let q = parse("SELECT a FROM t ORDER BY b DESC LIMIT 1").unwrap();
+        let m = mask_values(&q);
+        assert_eq!(m.limit, Some(1));
+    }
+
+    #[test]
+    fn masks_inside_subquery_and_compound() {
+        let q = parse(
+            "SELECT a FROM t WHERE b IN (SELECT b FROM u WHERE c = 5) \
+             UNION SELECT a FROM v WHERE d = 'y'",
+        )
+        .unwrap();
+        let m = mask_values(&q);
+        let sql = to_sql(&m);
+        assert!(!sql.contains('5'), "{sql}");
+        assert!(!sql.contains("'y'"), "{sql}");
+        assert_eq!(sql.matches('?').count(), 2);
+    }
+
+    #[test]
+    fn collect_then_unmask_roundtrips() {
+        let q = parse("SELECT a FROM t WHERE b = 'x' AND c > 3").unwrap();
+        let values: Vec<Literal> = collect_values(&q).into_iter().map(|(_, l)| l).collect();
+        let m = mask_values(&q);
+        let back = unmask_values(&m, &values);
+        assert_eq!(to_sql(&back), to_sql(&q));
+    }
+
+    #[test]
+    fn unmask_with_too_few_values_leaves_placeholders() {
+        let q = parse("SELECT a FROM t WHERE b = ? AND c = ?").unwrap();
+        let back = unmask_values(&q, &[Literal::Int(1)]);
+        let sql = to_sql(&back);
+        assert!(sql.contains("t.b = 1"));
+        assert!(sql.contains("t.c = ?"));
+    }
+
+    #[test]
+    fn masked_count_counts_recursively() {
+        let q = parse(
+            "SELECT a FROM t WHERE b = ? AND c IN (SELECT c FROM u WHERE d = ?) \
+             UNION SELECT a FROM v WHERE e = ?",
+        )
+        .unwrap();
+        assert_eq!(masked_count(&q), 3);
+        let q = parse("SELECT a FROM t WHERE b = 1").unwrap();
+        assert_eq!(masked_count(&q), 0);
+    }
+
+    #[test]
+    fn collect_values_pairs_columns() {
+        let q = parse("SELECT a FROM t WHERE b = 'spain' AND c BETWEEN 1 AND 9").unwrap();
+        let vals = collect_values(&q);
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals[0].0.column, "b");
+        assert_eq!(vals[0].1, Literal::Str("spain".into()));
+        assert_eq!(vals[1].1, Literal::Int(1));
+        assert_eq!(vals[2].1, Literal::Int(9));
+    }
+}

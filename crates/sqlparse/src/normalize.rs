@@ -1,0 +1,315 @@
+//! Query normalization and exact set match.
+//!
+//! Reimplements the SPIDER evaluation protocol the paper relies on
+//! (Section V-A4, *Translation Accuracy*): each SQL query is decomposed into
+//! its clauses, and two queries match exactly when every clause matches as a
+//! *set* — projection order, join-condition orientation, predicate order
+//! (modulo identical connectives) and literal values are all ignored, while
+//! `ORDER BY` stays order-sensitive and `LIMIT` is compared by value.
+
+use crate::ast::*;
+use std::collections::BTreeSet;
+
+/// The normalized, comparison-ready form of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizedQuery {
+    /// `SELECT DISTINCT` flag.
+    pub distinct: bool,
+    /// Projection set.
+    pub select: BTreeSet<NormColExpr>,
+    /// Table set.
+    pub tables: BTreeSet<String>,
+    /// Canonicalized join conditions.
+    pub joins: BTreeSet<(String, String)>,
+    /// Normalized `WHERE` predicates (values masked) plus the sorted
+    /// connective multiset.
+    pub where_preds: BTreeSet<NormPred>,
+    /// `true` if the `WHERE`/`HAVING` chain contains an `OR`.
+    pub has_or: bool,
+    /// Group-by column set.
+    pub group_by: BTreeSet<String>,
+    /// Normalized `HAVING` predicates.
+    pub having_preds: BTreeSet<NormPred>,
+    /// Order-by keys, order sensitive.
+    pub order_by: Vec<(NormColExpr, OrderDir)>,
+    /// `LIMIT` value.
+    pub limit: Option<u64>,
+    /// Compound op and normalized right-hand side.
+    pub compound: Option<(SetOp, Box<NormalizedQuery>)>,
+}
+
+/// Normalized column expression: `(agg, distinct, table, column)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NormColExpr {
+    /// Aggregate (if any).
+    pub agg: Option<AggFunc>,
+    /// Distinct-in-aggregate flag.
+    pub distinct: bool,
+    /// Qualified column as `table.column` (or bare column).
+    pub col: String,
+}
+
+/// Normalized predicate. Literal operands are collapsed to a kind marker so
+/// values never affect exact match; subquery operands are compared by their
+/// normalized form rendered to a canonical string.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NormPred {
+    /// Left-hand side.
+    pub lhs: NormColExpr,
+    /// Operator spelling.
+    pub op: &'static str,
+    /// Canonical operand description.
+    pub rhs: String,
+}
+
+fn norm_colexpr(c: &ColExpr) -> NormColExpr {
+    NormColExpr {
+        agg: c.agg,
+        distinct: c.distinct,
+        col: c.col.to_string(),
+    }
+}
+
+fn norm_operand(o: &Operand) -> String {
+    match o {
+        Operand::Lit(_) => "<value>".to_string(),
+        Operand::Col(c) => format!("col:{c}"),
+        Operand::Subquery(q) => format!("sub:{}", fingerprint(&normalize(q))),
+    }
+}
+
+fn norm_condition(c: &Condition) -> BTreeSet<NormPred> {
+    c.preds
+        .iter()
+        .map(|p| {
+            let rhs = match (&p.rhs, &p.rhs2) {
+                (a, Some(b)) => format!("{}..{}", norm_operand(a), norm_operand(b)),
+                (a, None) => norm_operand(a),
+            };
+            NormPred {
+                lhs: norm_colexpr(&p.lhs),
+                op: p.op.as_str(),
+                rhs,
+            }
+        })
+        .collect()
+}
+
+/// Normalize a query for exact-set-match comparison.
+pub fn normalize(q: &Query) -> NormalizedQuery {
+    NormalizedQuery {
+        distinct: q.select.distinct,
+        select: q.select.items.iter().map(norm_colexpr).collect(),
+        tables: q.from.tables.iter().cloned().collect(),
+        joins: q
+            .from
+            .conds
+            .iter()
+            .map(|jc| {
+                let (a, b) = jc.canonical();
+                (a.to_string(), b.to_string())
+            })
+            .collect(),
+        where_preds: q.where_.as_ref().map(norm_condition).unwrap_or_default(),
+        has_or: q.where_.as_ref().map(Condition::has_or).unwrap_or(false)
+            || q.having.as_ref().map(Condition::has_or).unwrap_or(false),
+        group_by: q.group_by.iter().map(|c| c.to_string()).collect(),
+        having_preds: q.having.as_ref().map(norm_condition).unwrap_or_default(),
+        order_by: q
+            .order_by
+            .as_ref()
+            .map(|ob| {
+                ob.items
+                    .iter()
+                    .map(|i| (norm_colexpr(&i.expr), i.dir))
+                    .collect()
+            })
+            .unwrap_or_default(),
+        limit: q.limit,
+        compound: q
+            .compound
+            .as_ref()
+            .map(|(op, rhs)| (*op, Box::new(normalize(rhs)))),
+    }
+}
+
+/// A stable string fingerprint of a normalized query; equal fingerprints
+/// iff the normalized forms are equal. Used for deduplication in the
+/// generalizer and for subquery operand comparison.
+pub fn fingerprint(n: &NormalizedQuery) -> String {
+    let mut s = String::with_capacity(128);
+    fingerprint_into(n, &mut s);
+    s
+}
+
+fn fingerprint_into(n: &NormalizedQuery, s: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(s, "d{}|S[", u8::from(n.distinct));
+    for c in &n.select {
+        let _ = write!(s, "{:?},{},{};", c.agg, u8::from(c.distinct), c.col);
+    }
+    s.push_str("]T[");
+    for t in &n.tables {
+        let _ = write!(s, "{t};");
+    }
+    s.push_str("]J[");
+    for (a, b) in &n.joins {
+        let _ = write!(s, "{a}={b};");
+    }
+    s.push_str("]W[");
+    for p in &n.where_preds {
+        let _ = write!(s, "{:?}{}{};", p.lhs, p.op, p.rhs);
+    }
+    let _ = write!(s, "]o{}G[", u8::from(n.has_or));
+    for g in &n.group_by {
+        let _ = write!(s, "{g};");
+    }
+    s.push_str("]H[");
+    for p in &n.having_preds {
+        let _ = write!(s, "{:?}{}{};", p.lhs, p.op, p.rhs);
+    }
+    s.push_str("]O[");
+    for (c, d) in &n.order_by {
+        let _ = write!(s, "{:?},{};", c, d.as_str());
+    }
+    let _ = write!(s, "]L{:?}", n.limit);
+    if let Some((op, rhs)) = &n.compound {
+        let _ = write!(s, "C{}(", op.as_str());
+        fingerprint_into(rhs, s);
+        s.push(')');
+    }
+}
+
+/// Exact set match between two queries (the paper's *Translation Accuracy*
+/// metric). Values are ignored; structure must match clause-by-clause.
+pub fn exact_match(a: &Query, b: &Query) -> bool {
+    normalize(a) == normalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn em(a: &str, b: &str) -> bool {
+        exact_match(&parse(a).unwrap(), &parse(b).unwrap())
+    }
+
+    #[test]
+    fn projection_order_is_ignored() {
+        assert!(em(
+            "SELECT t.a, t.b FROM t",
+            "SELECT t.b, t.a FROM t"
+        ));
+    }
+
+    #[test]
+    fn literal_values_are_ignored() {
+        assert!(em(
+            "SELECT t.a FROM t WHERE t.b = 'x'",
+            "SELECT t.a FROM t WHERE t.b = 'y'"
+        ));
+        assert!(em(
+            "SELECT t.a FROM t WHERE t.b > 3",
+            "SELECT t.a FROM t WHERE t.b > ?"
+        ));
+    }
+
+    #[test]
+    fn operator_differences_matter() {
+        assert!(!em(
+            "SELECT t.a FROM t WHERE t.b > 3",
+            "SELECT t.a FROM t WHERE t.b < 3"
+        ));
+    }
+
+    #[test]
+    fn join_orientation_is_ignored() {
+        assert!(em(
+            "SELECT a.x FROM a JOIN b ON a.id = b.id",
+            "SELECT a.x FROM a JOIN b ON b.id = a.id"
+        ));
+    }
+
+    #[test]
+    fn different_join_paths_differ() {
+        assert!(!em(
+            "SELECT a.x FROM a JOIN b ON a.id = b.aid",
+            "SELECT a.x FROM a JOIN b ON a.id = b.bid"
+        ));
+    }
+
+    #[test]
+    fn order_by_direction_matters() {
+        assert!(!em(
+            "SELECT t.a FROM t ORDER BY t.a DESC",
+            "SELECT t.a FROM t ORDER BY t.a"
+        ));
+    }
+
+    #[test]
+    fn order_by_sequence_matters() {
+        assert!(!em(
+            "SELECT t.a FROM t ORDER BY t.a, t.b",
+            "SELECT t.a FROM t ORDER BY t.b, t.a"
+        ));
+    }
+
+    #[test]
+    fn limit_value_matters() {
+        assert!(!em(
+            "SELECT t.a FROM t ORDER BY t.a LIMIT 1",
+            "SELECT t.a FROM t ORDER BY t.a LIMIT 3"
+        ));
+    }
+
+    #[test]
+    fn where_predicate_order_is_ignored() {
+        assert!(em(
+            "SELECT t.a FROM t WHERE t.b = 1 AND t.c = 2",
+            "SELECT t.a FROM t WHERE t.c = 2 AND t.b = 1"
+        ));
+    }
+
+    #[test]
+    fn and_vs_or_matters() {
+        assert!(!em(
+            "SELECT t.a FROM t WHERE t.b = 1 AND t.c = 2",
+            "SELECT t.a FROM t WHERE t.b = 1 OR t.c = 2"
+        ));
+    }
+
+    #[test]
+    fn subquery_structure_matters() {
+        assert!(em(
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 1)",
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 2)"
+        ));
+        assert!(!em(
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 1)",
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u)"
+        ));
+    }
+
+    #[test]
+    fn compound_op_matters() {
+        assert!(!em(
+            "SELECT t.a FROM t UNION SELECT u.a FROM u",
+            "SELECT t.a FROM t INTERSECT SELECT u.a FROM u"
+        ));
+    }
+
+    #[test]
+    fn fingerprints_agree_with_equality() {
+        let a = normalize(&parse("SELECT t.a FROM t WHERE t.b = 1").unwrap());
+        let b = normalize(&parse("SELECT t.a FROM t WHERE t.b = 99").unwrap());
+        let c = normalize(&parse("SELECT t.a FROM t WHERE t.b > 1").unwrap());
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn distinct_flag_matters() {
+        assert!(!em("SELECT DISTINCT t.a FROM t", "SELECT t.a FROM t"));
+    }
+}

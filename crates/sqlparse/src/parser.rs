@@ -1,0 +1,771 @@
+//! Recursive-descent parser for the GAR SQL subset.
+//!
+//! The grammar matches what the SPIDER-family benchmarks emit:
+//!
+//! ```text
+//! query      := select_core (setop select_core)?
+//! select_core:= SELECT [DISTINCT] items FROM from_clause
+//!               [WHERE cond] [GROUP BY cols [HAVING cond]]
+//!               [ORDER BY order_items] [LIMIT int]
+//! from_clause:= table [AS alias] (JOIN table [AS alias] ON col = col)*
+//! cond       := pred ((AND|OR) pred)*
+//! pred       := colexpr op operand
+//!             | colexpr [NOT] IN '(' query | literals ')'
+//!             | colexpr [NOT] LIKE literal
+//!             | colexpr BETWEEN operand AND operand
+//! operand    := literal | colexpr | '(' query ')'
+//! colexpr    := [agg '('] [DISTINCT] colref [')'] | COUNT '(' '*' ')'
+//! colref     := [name '.'] name | '*' | name '.' '*'
+//! ```
+//!
+//! Aliases (`employee AS T1`) are resolved during parsing: the produced AST
+//! qualifies every column by its real table name. When a column is
+//! unqualified and the `FROM` clause has a single table, it is qualified with
+//! that table; with multiple tables it is left bare (schema resolution in
+//! `gar-schema` finishes the job).
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::token::{tokenize, Keyword, Token};
+use std::collections::HashMap;
+
+/// Parse a SQL string into a [`Query`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on any lexical or syntactic violation of the
+/// subset grammar, including trailing garbage after the query.
+pub fn parse(sql: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser::new(&tokens);
+    let q = p.parse_query()?;
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(ParseError::parse(
+            p.pos,
+            format!("trailing input starting at token {}", p.peek_desc()),
+        ));
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn peek_desc(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("{t}"),
+            None => "<eof>".to_string(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        self.eat_if(&Token::Keyword(kw))
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::parse(
+                self.pos,
+                format!("expected {}, found {}", kw.as_str(), self.peek_desc()),
+            ))
+        }
+    }
+
+    fn expect_tok(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.eat_if(&t) {
+            Ok(())
+        } else {
+            Err(ParseError::parse(
+                self.pos,
+                format!("expected {t}, found {}", self.peek_desc()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(ParseError::parse(
+                self.pos,
+                format!("expected identifier, found {}", self.peek_desc()),
+            )),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        let mut q = self.parse_select_core()?;
+        let setop = match self.peek() {
+            Some(Token::Keyword(Keyword::Union)) => Some(SetOp::Union),
+            Some(Token::Keyword(Keyword::Intersect)) => Some(SetOp::Intersect),
+            Some(Token::Keyword(Keyword::Except)) => Some(SetOp::Except),
+            _ => None,
+        };
+        if let Some(op) = setop {
+            self.pos += 1;
+            let rhs = self.parse_query()?;
+            q.compound = Some((op, Box::new(rhs)));
+        }
+        Ok(q)
+    }
+
+    fn parse_select_core(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw(Keyword::Select)?;
+        let distinct = self.eat_kw(Keyword::Distinct);
+
+        // Projection items use raw (alias-unresolved) column refs first; we
+        // resolve after the FROM clause gives us the alias map.
+        let mut raw_items = vec![self.parse_colexpr()?];
+        while self.eat_if(&Token::Comma) {
+            raw_items.push(self.parse_colexpr()?);
+        }
+
+        self.expect_kw(Keyword::From)?;
+        let (from, aliases) = self.parse_from()?;
+
+        let resolver = AliasResolver::new(&from, aliases);
+        let items: Vec<ColExpr> = raw_items
+            .into_iter()
+            .map(|c| resolver.resolve_colexpr(c))
+            .collect();
+
+        let where_ = if self.eat_kw(Keyword::Where) {
+            Some(self.parse_condition(&resolver)?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        let mut having = None;
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(resolver.resolve_colref(self.parse_colref()?));
+            while self.eat_if(&Token::Comma) {
+                group_by.push(resolver.resolve_colref(self.parse_colref()?));
+            }
+            if self.eat_kw(Keyword::Having) {
+                having = Some(self.parse_condition(&resolver)?);
+            }
+        }
+
+        let order_by = if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            let mut items = vec![self.parse_order_item(&resolver)?];
+            while self.eat_if(&Token::Comma) {
+                items.push(self.parse_order_item(&resolver)?);
+            }
+            Some(OrderClause { items })
+        } else {
+            None
+        };
+
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.bump() {
+                Some(Token::Int(v)) if *v >= 0 => Some(*v as u64),
+                _ => {
+                    return Err(ParseError::parse(
+                        self.pos,
+                        "expected non-negative integer after LIMIT",
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(Query {
+            select: SelectClause { distinct, items },
+            from,
+            where_,
+            group_by,
+            having,
+            order_by,
+            limit,
+            compound: None,
+        })
+    }
+
+    fn parse_from(&mut self) -> Result<(FromClause, HashMap<String, String>), ParseError> {
+        let mut aliases: HashMap<String, String> = HashMap::new();
+        let mut tables = Vec::new();
+        let mut conds = Vec::new();
+
+        let (t, alias) = self.parse_table_item()?;
+        if let Some(a) = alias {
+            aliases.insert(a, t.clone());
+        }
+        tables.push(t);
+
+        while self.eat_kw(Keyword::Join) {
+            let (t, alias) = self.parse_table_item()?;
+            if let Some(a) = alias {
+                aliases.insert(a, t.clone());
+            }
+            if !tables.contains(&t) {
+                tables.push(t);
+            }
+            self.expect_kw(Keyword::On)?;
+            let left = self.parse_colref()?;
+            self.expect_tok(Token::Eq)?;
+            let right = self.parse_colref()?;
+            conds.push(JoinCond { left, right });
+        }
+
+        // Resolve the join-condition columns now that all aliases are known.
+        let from = FromClause { tables, conds };
+        let resolver = AliasResolver::new(&from, aliases.clone());
+        let conds = from
+            .conds
+            .iter()
+            .map(|jc| JoinCond {
+                left: resolver.resolve_colref(jc.left.clone()),
+                right: resolver.resolve_colref(jc.right.clone()),
+            })
+            .collect();
+        Ok((
+            FromClause {
+                tables: from.tables,
+                conds,
+            },
+            aliases,
+        ))
+    }
+
+    fn parse_table_item(&mut self) -> Result<(String, Option<String>), ParseError> {
+        let table = self.expect_ident()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else {
+            // Implicit alias: `FROM employee e` — an identifier not followed
+            // by `.` in table position. We only accept explicit AS to keep
+            // the grammar unambiguous, matching SPIDER's style.
+            None
+        };
+        Ok((table, alias))
+    }
+
+    fn parse_condition(&mut self, resolver: &AliasResolver) -> Result<Condition, ParseError> {
+        let mut preds = vec![self.parse_predicate(resolver)?];
+        let mut conns = Vec::new();
+        loop {
+            if self.eat_kw(Keyword::And) {
+                conns.push(BoolConn::And);
+            } else if self.eat_kw(Keyword::Or) {
+                conns.push(BoolConn::Or);
+            } else {
+                break;
+            }
+            preds.push(self.parse_predicate(resolver)?);
+        }
+        Ok(Condition { preds, conns })
+    }
+
+    fn parse_predicate(&mut self, resolver: &AliasResolver) -> Result<Predicate, ParseError> {
+        let lhs = resolver.resolve_colexpr(self.parse_colexpr()?);
+
+        // NOT IN / NOT LIKE
+        if self.eat_kw(Keyword::Not) {
+            if self.eat_kw(Keyword::In) {
+                let rhs = self.parse_in_rhs()?;
+                return Ok(Predicate {
+                    lhs,
+                    op: CmpOp::NotIn,
+                    rhs,
+                    rhs2: None,
+                });
+            }
+            if self.eat_kw(Keyword::Like) {
+                let rhs = self.parse_operand(resolver)?;
+                return Ok(Predicate {
+                    lhs,
+                    op: CmpOp::NotLike,
+                    rhs,
+                    rhs2: None,
+                });
+            }
+            return Err(ParseError::parse(
+                self.pos,
+                "expected IN or LIKE after NOT",
+            ));
+        }
+
+        if self.eat_kw(Keyword::In) {
+            let rhs = self.parse_in_rhs()?;
+            return Ok(Predicate {
+                lhs,
+                op: CmpOp::In,
+                rhs,
+                rhs2: None,
+            });
+        }
+        if self.eat_kw(Keyword::Like) {
+            let rhs = self.parse_operand(resolver)?;
+            return Ok(Predicate {
+                lhs,
+                op: CmpOp::Like,
+                rhs,
+                rhs2: None,
+            });
+        }
+        if self.eat_kw(Keyword::Between) {
+            let low = self.parse_operand(resolver)?;
+            self.expect_kw(Keyword::And)?;
+            let high = self.parse_operand(resolver)?;
+            return Ok(Predicate {
+                lhs,
+                op: CmpOp::Between,
+                rhs: low,
+                rhs2: Some(high),
+            });
+        }
+
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            _ => {
+                return Err(ParseError::parse(
+                    self.pos.saturating_sub(1),
+                    "expected comparison operator",
+                ))
+            }
+        };
+        let rhs = self.parse_operand(resolver)?;
+        Ok(Predicate {
+            lhs,
+            op,
+            rhs,
+            rhs2: None,
+        })
+    }
+
+    /// `IN` right-hand side: a parenthesized subquery. (Literal lists are not
+    /// produced by the benchmark generators, but a subquery is mandatory.)
+    fn parse_in_rhs(&mut self) -> Result<Operand, ParseError> {
+        self.expect_tok(Token::LParen)?;
+        if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+            let q = self.parse_query()?;
+            self.expect_tok(Token::RParen)?;
+            Ok(Operand::Subquery(Box::new(q)))
+        } else {
+            Err(ParseError::parse(
+                self.pos,
+                "expected subquery after IN (",
+            ))
+        }
+    }
+
+    fn parse_operand(&mut self, resolver: &AliasResolver) -> Result<Operand, ParseError> {
+        match self.peek() {
+            Some(Token::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(Operand::Lit(Literal::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(Operand::Lit(Literal::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(Operand::Lit(Literal::Str(s)))
+            }
+            Some(Token::Placeholder) => {
+                self.pos += 1;
+                Ok(Operand::Lit(Literal::Masked))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.peek() == Some(&Token::Keyword(Keyword::Select)) {
+                    let q = self.parse_query()?;
+                    self.expect_tok(Token::RParen)?;
+                    Ok(Operand::Subquery(Box::new(q)))
+                } else {
+                    Err(ParseError::parse(self.pos, "expected subquery after ("))
+                }
+            }
+            Some(Token::Ident(_)) | Some(Token::Keyword(_)) => {
+                let ce = self.parse_colexpr()?;
+                Ok(Operand::Col(resolver.resolve_colexpr(ce)))
+            }
+            _ => Err(ParseError::parse(
+                self.pos,
+                format!("expected operand, found {}", self.peek_desc()),
+            )),
+        }
+    }
+
+    fn parse_order_item(&mut self, resolver: &AliasResolver) -> Result<OrderItem, ParseError> {
+        let expr = resolver.resolve_colexpr(self.parse_colexpr()?);
+        let dir = if self.eat_kw(Keyword::Desc) {
+            OrderDir::Desc
+        } else {
+            // ASC is the default and may be explicit.
+            self.eat_kw(Keyword::Asc);
+            OrderDir::Asc
+        };
+        Ok(OrderItem { expr, dir })
+    }
+
+    fn parse_colexpr(&mut self) -> Result<ColExpr, ParseError> {
+        let agg = match self.peek() {
+            Some(Token::Keyword(Keyword::Count)) => Some(AggFunc::Count),
+            Some(Token::Keyword(Keyword::Sum)) => Some(AggFunc::Sum),
+            Some(Token::Keyword(Keyword::Avg)) => Some(AggFunc::Avg),
+            Some(Token::Keyword(Keyword::Min)) => Some(AggFunc::Min),
+            Some(Token::Keyword(Keyword::Max)) => Some(AggFunc::Max),
+            _ => None,
+        };
+        if let Some(a) = agg {
+            // Only treat the keyword as an aggregate when followed by `(`.
+            if self.peek_at(1) == Some(&Token::LParen) {
+                self.pos += 2; // keyword + '('
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let col = self.parse_colref()?;
+                self.expect_tok(Token::RParen)?;
+                return Ok(ColExpr {
+                    agg: Some(a),
+                    distinct,
+                    col,
+                });
+            }
+            // Otherwise fall through: `count` used as a column name.
+            // (Benchmarks never do this, but a parser should not explode.)
+            let word = match self.bump() {
+                Some(Token::Keyword(k)) => k.as_str().to_ascii_lowercase(),
+                _ => unreachable!("peeked keyword"),
+            };
+            return self.finish_colref_from(word).map(ColExpr::plain);
+        }
+        let col = self.parse_colref()?;
+        Ok(ColExpr {
+            agg: None,
+            distinct: false,
+            col,
+        })
+    }
+
+    fn parse_colref(&mut self) -> Result<ColumnRef, ParseError> {
+        match self.peek() {
+            Some(Token::Star) => {
+                self.pos += 1;
+                Ok(ColumnRef::star())
+            }
+            Some(Token::Ident(name)) => {
+                let name = name.clone();
+                self.pos += 1;
+                self.finish_colref_from(name)
+            }
+            _ => Err(ParseError::parse(
+                self.pos,
+                format!("expected column reference, found {}", self.peek_desc()),
+            )),
+        }
+    }
+
+    /// Continue a column reference after its first identifier was consumed.
+    fn finish_colref_from(&mut self, first: String) -> Result<ColumnRef, ParseError> {
+        if self.eat_if(&Token::Dot) {
+            match self.bump() {
+                Some(Token::Ident(col)) => Ok(ColumnRef {
+                    table: Some(first),
+                    column: col.clone(),
+                }),
+                Some(Token::Star) => Ok(ColumnRef {
+                    table: Some(first),
+                    column: "*".to_string(),
+                }),
+                _ => Err(ParseError::parse(
+                    self.pos.saturating_sub(1),
+                    "expected column name after '.'",
+                )),
+            }
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+}
+
+/// Resolves table aliases (and single-table implicit qualification) in
+/// column references.
+struct AliasResolver {
+    aliases: HashMap<String, String>,
+    single_table: Option<String>,
+    tables: Vec<String>,
+}
+
+impl AliasResolver {
+    fn new(from: &FromClause, aliases: HashMap<String, String>) -> Self {
+        AliasResolver {
+            single_table: if from.tables.len() == 1 {
+                Some(from.tables[0].clone())
+            } else {
+                None
+            },
+            tables: from.tables.clone(),
+            aliases,
+        }
+    }
+
+    fn resolve_colref(&self, c: ColumnRef) -> ColumnRef {
+        match c.table {
+            Some(t) => {
+                let real = self.aliases.get(&t).cloned().unwrap_or(t);
+                ColumnRef {
+                    table: Some(real),
+                    column: c.column,
+                }
+            }
+            None => {
+                if c.is_star() {
+                    return c;
+                }
+                match &self.single_table {
+                    Some(t) => ColumnRef {
+                        table: Some(t.clone()),
+                        column: c.column,
+                    },
+                    // Ambiguous without schema knowledge — leave bare; the
+                    // schema resolver finishes qualification.
+                    None => {
+                        let _ = &self.tables;
+                        c
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve_colexpr(&self, c: ColExpr) -> ColExpr {
+        ColExpr {
+            agg: c.agg,
+            distinct: c.distinct,
+            col: self.resolve_colref(c.col),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_select() {
+        let q = parse("SELECT name FROM employee").unwrap();
+        assert_eq!(q.from.tables, vec!["employee"]);
+        assert_eq!(
+            q.select.items,
+            vec![ColExpr::plain(ColumnRef::new("employee", "name"))]
+        );
+    }
+
+    #[test]
+    fn resolves_aliases_in_join() {
+        let q = parse(
+            "SELECT T1.name FROM employee AS T1 JOIN evaluation AS T2 \
+             ON T1.employee_id = T2.employee_id ORDER BY T2.bonus DESC LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(q.from.tables, vec!["employee", "evaluation"]);
+        assert_eq!(
+            q.select.items[0].col,
+            ColumnRef::new("employee", "name")
+        );
+        let jc = &q.from.conds[0];
+        assert_eq!(jc.left, ColumnRef::new("employee", "employee_id"));
+        assert_eq!(jc.right, ColumnRef::new("evaluation", "employee_id"));
+        let ob = q.order_by.as_ref().unwrap();
+        assert_eq!(ob.items[0].expr.col, ColumnRef::new("evaluation", "bonus"));
+        assert_eq!(ob.items[0].dir, OrderDir::Desc);
+        assert_eq!(q.limit, Some(1));
+    }
+
+    #[test]
+    fn parses_where_with_and_or() {
+        let q = parse("SELECT a FROM t WHERE a = 1 AND b > 2 OR c != 'x'").unwrap();
+        let w = q.where_.unwrap();
+        assert_eq!(w.preds.len(), 3);
+        assert_eq!(w.conns, vec![BoolConn::And, BoolConn::Or]);
+        assert_eq!(w.preds[2].op, CmpOp::Ne);
+    }
+
+    #[test]
+    fn parses_nested_in_subquery() {
+        let q = parse(
+            "SELECT name FROM employee WHERE employee_id IN \
+             (SELECT employee_id FROM evaluation WHERE bonus > 100)",
+        )
+        .unwrap();
+        assert!(q.has_nested_subquery());
+        let w = q.where_.unwrap();
+        assert_eq!(w.preds[0].op, CmpOp::In);
+        match &w.preds[0].rhs {
+            Operand::Subquery(sq) => {
+                assert_eq!(sq.from.tables, vec!["evaluation"]);
+            }
+            other => panic!("expected subquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scalar_subquery_comparison() {
+        let q = parse("SELECT name FROM t WHERE age > (SELECT AVG(age) FROM t)").unwrap();
+        let w = q.where_.unwrap();
+        assert!(matches!(w.preds[0].rhs, Operand::Subquery(_)));
+    }
+
+    #[test]
+    fn parses_group_having() {
+        let q = parse(
+            "SELECT dept, COUNT(*) FROM employee GROUP BY dept HAVING COUNT(*) >= 3",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec![ColumnRef::new("employee", "dept")]);
+        let h = q.having.unwrap();
+        assert_eq!(h.preds[0].lhs, ColExpr::count_star());
+        assert_eq!(h.preds[0].op, CmpOp::Ge);
+    }
+
+    #[test]
+    fn parses_compound_union() {
+        let q = parse("SELECT a FROM t UNION SELECT b FROM u WHERE b = 1").unwrap();
+        let (op, rhs) = q.compound.unwrap();
+        assert_eq!(op, SetOp::Union);
+        assert_eq!(rhs.from.tables, vec!["u"]);
+    }
+
+    #[test]
+    fn parses_between() {
+        let q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 10").unwrap();
+        let w = q.where_.unwrap();
+        assert_eq!(w.preds[0].op, CmpOp::Between);
+        assert_eq!(w.preds[0].rhs, Operand::Lit(Literal::Int(1)));
+        assert_eq!(w.preds[0].rhs2, Some(Operand::Lit(Literal::Int(10))));
+    }
+
+    #[test]
+    fn parses_not_in_and_not_like() {
+        let q = parse(
+            "SELECT a FROM t WHERE a NOT IN (SELECT a FROM u) AND b NOT LIKE 'x'",
+        )
+        .unwrap();
+        let w = q.where_.unwrap();
+        assert_eq!(w.preds[0].op, CmpOp::NotIn);
+        assert_eq!(w.preds[1].op, CmpOp::NotLike);
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let q = parse("SELECT COUNT(DISTINCT name) FROM t").unwrap();
+        let it = &q.select.items[0];
+        assert_eq!(it.agg, Some(AggFunc::Count));
+        assert!(it.distinct);
+    }
+
+    #[test]
+    fn parses_masked_placeholder() {
+        let q = parse("SELECT a FROM t WHERE b = ?").unwrap();
+        let w = q.where_.unwrap();
+        assert_eq!(w.preds[0].rhs, Operand::Lit(Literal::Masked));
+    }
+
+    #[test]
+    fn unqualified_columns_get_single_table() {
+        let q = parse("SELECT a FROM t WHERE b = 1 GROUP BY c ORDER BY d").unwrap();
+        assert_eq!(q.select.items[0].col, ColumnRef::new("t", "a"));
+        assert_eq!(
+            q.where_.unwrap().preds[0].lhs.col,
+            ColumnRef::new("t", "b")
+        );
+        assert_eq!(q.group_by[0], ColumnRef::new("t", "c"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("SELECT a FROM t extra junk").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from() {
+        assert!(parse("SELECT a WHERE b = 1").is_err());
+    }
+
+    #[test]
+    fn rejects_in_without_subquery() {
+        assert!(parse("SELECT a FROM t WHERE a IN (1, 2)").is_err());
+    }
+
+    #[test]
+    fn accepts_trailing_semicolon() {
+        assert!(parse("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn parses_qualified_star_under_count() {
+        let q = parse("SELECT COUNT(t.*) FROM t").unwrap();
+        assert_eq!(
+            q.select.items[0].col,
+            ColumnRef {
+                table: Some("t".into()),
+                column: "*".into()
+            }
+        );
+    }
+
+    #[test]
+    fn order_by_asc_explicit_and_default_agree() {
+        let a = parse("SELECT a FROM t ORDER BY a ASC").unwrap();
+        let b = parse("SELECT a FROM t ORDER BY a").unwrap();
+        assert_eq!(a, b);
+    }
+}

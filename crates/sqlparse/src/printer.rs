@@ -1,0 +1,223 @@
+//! Canonical SQL rendering.
+//!
+//! [`to_sql`] prints a [`Query`] in a canonical textual form that the parser
+//! accepts back (a round-trip invariant enforced by property tests):
+//! upper-case keywords, lower-case identifiers, fully qualified columns, and
+//! no table aliases (the AST stores real table names).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a query as canonical SQL text.
+pub fn to_sql(q: &Query) -> String {
+    let mut out = String::with_capacity(128);
+    write_query(&mut out, q);
+    out
+}
+
+fn write_query(out: &mut String, q: &Query) {
+    write_select_core(out, q);
+    if let Some((op, rhs)) = &q.compound {
+        let _ = write!(out, " {} ", op.as_str());
+        write_query(out, rhs);
+    }
+}
+
+fn write_select_core(out: &mut String, q: &Query) {
+    out.push_str("SELECT ");
+    if q.select.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in q.select.items.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_colexpr(out, item);
+    }
+
+    out.push_str(" FROM ");
+    out.push_str(&q.from.tables[0]);
+    for (i, t) in q.from.tables.iter().enumerate().skip(1) {
+        out.push_str(" JOIN ");
+        out.push_str(t);
+        if let Some(jc) = q.from.conds.get(i - 1) {
+            out.push_str(" ON ");
+            write_colref(out, &jc.left);
+            out.push_str(" = ");
+            write_colref(out, &jc.right);
+        }
+    }
+
+    if let Some(w) = &q.where_ {
+        out.push_str(" WHERE ");
+        write_condition(out, w);
+    }
+
+    if !q.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, c) in q.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_colref(out, c);
+        }
+        if let Some(h) = &q.having {
+            out.push_str(" HAVING ");
+            write_condition(out, h);
+        }
+    }
+
+    if let Some(ob) = &q.order_by {
+        out.push_str(" ORDER BY ");
+        for (i, item) in ob.items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_colexpr(out, &item.expr);
+            if item.dir == OrderDir::Desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+
+    if let Some(l) = q.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+}
+
+fn write_condition(out: &mut String, c: &Condition) {
+    for (i, p) in c.preds.iter().enumerate() {
+        if i > 0 {
+            match c.conns.get(i - 1) {
+                Some(BoolConn::And) | None => out.push_str(" AND "),
+                Some(BoolConn::Or) => out.push_str(" OR "),
+            }
+        }
+        write_predicate(out, p);
+    }
+}
+
+fn write_predicate(out: &mut String, p: &Predicate) {
+    write_colexpr(out, &p.lhs);
+    match p.op {
+        CmpOp::Between => {
+            out.push_str(" BETWEEN ");
+            write_operand(out, &p.rhs);
+            out.push_str(" AND ");
+            if let Some(r2) = &p.rhs2 {
+                write_operand(out, r2);
+            } else {
+                out.push('?');
+            }
+        }
+        op => {
+            let _ = write!(out, " {} ", op.as_str());
+            write_operand(out, &p.rhs);
+        }
+    }
+}
+
+fn write_operand(out: &mut String, o: &Operand) {
+    match o {
+        Operand::Lit(l) => {
+            let _ = write!(out, "{l}");
+        }
+        Operand::Col(c) => write_colexpr(out, c),
+        Operand::Subquery(q) => {
+            out.push('(');
+            write_query(out, q);
+            out.push(')');
+        }
+    }
+}
+
+fn write_colexpr(out: &mut String, c: &ColExpr) {
+    match c.agg {
+        Some(a) => {
+            out.push_str(a.as_str());
+            out.push('(');
+            if c.distinct {
+                out.push_str("DISTINCT ");
+            }
+            write_colref(out, &c.col);
+            out.push(')');
+        }
+        None => write_colref(out, &c.col),
+    }
+}
+
+fn write_colref(out: &mut String, c: &ColumnRef) {
+    match &c.table {
+        Some(t) if !c.is_star() => {
+            out.push_str(t);
+            out.push('.');
+            out.push_str(&c.column);
+        }
+        Some(t) => {
+            // Qualified star `t.*`.
+            out.push_str(t);
+            out.push_str(".*");
+        }
+        None => out.push_str(&c.column),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(sql: &str) -> String {
+        to_sql(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn prints_canonical_join() {
+        let s = roundtrip(
+            "select T1.name from employee as T1 join evaluation as T2 \
+             on T1.employee_id = T2.employee_id order by T2.bonus desc limit 1",
+        );
+        assert_eq!(
+            s,
+            "SELECT employee.name FROM employee JOIN evaluation \
+             ON employee.employee_id = evaluation.employee_id \
+             ORDER BY evaluation.bonus DESC LIMIT 1"
+        );
+    }
+
+    #[test]
+    fn roundtrip_is_fixpoint() {
+        let cases = [
+            "SELECT a FROM t",
+            "SELECT DISTINCT t.a, COUNT(*) FROM t WHERE t.b = 'x' GROUP BY t.a HAVING COUNT(*) > 2",
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u) ORDER BY t.a LIMIT 3",
+            "SELECT t.a FROM t UNION SELECT u.a FROM u",
+            "SELECT t.a FROM t WHERE t.b BETWEEN 1 AND 5",
+        ];
+        for sql in cases {
+            let once = roundtrip(sql);
+            let twice = to_sql(&parse(&once).unwrap());
+            assert_eq!(once, twice, "canonical form must be a fixpoint: {sql}");
+        }
+    }
+
+    #[test]
+    fn prints_masked_values() {
+        let s = roundtrip("SELECT t.a FROM t WHERE t.b = ?");
+        assert_eq!(s, "SELECT t.a FROM t WHERE t.b = ?");
+    }
+
+    #[test]
+    fn prints_count_distinct() {
+        let s = roundtrip("SELECT COUNT(DISTINCT t.a) FROM t");
+        assert_eq!(s, "SELECT COUNT(DISTINCT t.a) FROM t");
+    }
+
+    #[test]
+    fn prints_compound_nested() {
+        let s = roundtrip(
+            "SELECT t.a FROM t EXCEPT SELECT u.a FROM u WHERE u.b = 1",
+        );
+        assert_eq!(s, "SELECT t.a FROM t EXCEPT SELECT u.a FROM u WHERE u.b = 1");
+    }
+}

@@ -1,0 +1,485 @@
+//! SQL tokenizer for the GAR SQL subset.
+//!
+//! The lexer is deliberately small: it covers exactly the SQL dialect used by
+//! the SPIDER-family benchmarks (single-statement `SELECT` queries with joins,
+//! grouping, ordering, set operations and nested subqueries). Keywords are
+//! case-insensitive; identifiers are normalized to lowercase at the token
+//! level so that downstream comparison (exact set match) never has to worry
+//! about case.
+
+use std::fmt;
+
+use crate::error::ParseError;
+
+/// A single lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A (lower-cased) identifier: table, column or alias name.
+    Ident(String),
+    /// A SQL keyword, stored upper-cased (`SELECT`, `FROM`, ...).
+    Keyword(Keyword),
+    /// An integer literal.
+    Int(i64),
+    /// A floating point literal.
+    Float(f64),
+    /// A quoted string literal (quotes stripped).
+    Str(String),
+    /// `?` — masked literal placeholder produced by value masking.
+    Placeholder,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;` — accepted and ignored at end of input.
+    Semi,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Placeholder => write!(f, "?"),
+            Token::Star => write!(f, "*"),
+            Token::Dot => write!(f, "."),
+            Token::Comma => write!(f, ","),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// The reserved words of the GAR SQL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    Distinct,
+    From,
+    Join,
+    On,
+    As,
+    Where,
+    And,
+    Or,
+    Not,
+    In,
+    Like,
+    Between,
+    Group,
+    By,
+    Having,
+    Order,
+    Asc,
+    Desc,
+    Limit,
+    Union,
+    Intersect,
+    Except,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Null,
+    Is,
+}
+
+impl Keyword {
+    /// Look a keyword up from an (already lower-cased) word.
+    pub fn from_word(word: &str) -> Option<Keyword> {
+        Some(match word {
+            "select" => Keyword::Select,
+            "distinct" => Keyword::Distinct,
+            "from" => Keyword::From,
+            "join" => Keyword::Join,
+            "on" => Keyword::On,
+            "as" => Keyword::As,
+            "where" => Keyword::Where,
+            "and" => Keyword::And,
+            "or" => Keyword::Or,
+            "not" => Keyword::Not,
+            "in" => Keyword::In,
+            "like" => Keyword::Like,
+            "between" => Keyword::Between,
+            "group" => Keyword::Group,
+            "by" => Keyword::By,
+            "having" => Keyword::Having,
+            "order" => Keyword::Order,
+            "asc" => Keyword::Asc,
+            "desc" => Keyword::Desc,
+            "limit" => Keyword::Limit,
+            "union" => Keyword::Union,
+            "intersect" => Keyword::Intersect,
+            "except" => Keyword::Except,
+            "count" => Keyword::Count,
+            "sum" => Keyword::Sum,
+            "avg" => Keyword::Avg,
+            "min" => Keyword::Min,
+            "max" => Keyword::Max,
+            "null" => Keyword::Null,
+            "is" => Keyword::Is,
+            _ => return None,
+        })
+    }
+
+    /// The canonical (upper-case) spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Keyword::Select => "SELECT",
+            Keyword::Distinct => "DISTINCT",
+            Keyword::From => "FROM",
+            Keyword::Join => "JOIN",
+            Keyword::On => "ON",
+            Keyword::As => "AS",
+            Keyword::Where => "WHERE",
+            Keyword::And => "AND",
+            Keyword::Or => "OR",
+            Keyword::Not => "NOT",
+            Keyword::In => "IN",
+            Keyword::Like => "LIKE",
+            Keyword::Between => "BETWEEN",
+            Keyword::Group => "GROUP",
+            Keyword::By => "BY",
+            Keyword::Having => "HAVING",
+            Keyword::Order => "ORDER",
+            Keyword::Asc => "ASC",
+            Keyword::Desc => "DESC",
+            Keyword::Limit => "LIMIT",
+            Keyword::Union => "UNION",
+            Keyword::Intersect => "INTERSECT",
+            Keyword::Except => "EXCEPT",
+            Keyword::Count => "COUNT",
+            Keyword::Sum => "SUM",
+            Keyword::Avg => "AVG",
+            Keyword::Min => "MIN",
+            Keyword::Max => "MAX",
+            Keyword::Null => "NULL",
+            Keyword::Is => "IS",
+        }
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Tokenize a SQL string into a flat token vector.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for unterminated string literals, malformed numbers
+/// and any character outside the subset's alphabet.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::with_capacity(input.len() / 4);
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Placeholder);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(ParseError::lex(i, "expected '=' after '!'"));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = bytes[i];
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError::lex(i, "unterminated string literal"));
+                }
+                // Safe: we only slice at char boundaries for ASCII quotes, and
+                // the content between them is valid UTF-8 by construction.
+                let s = &input[start..j];
+                tokens.push(Token::Str(s.to_string()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                {
+                    if bytes[i] == b'.' {
+                        // A dot not followed by a digit terminates the number
+                        // (e.g. would be a syntax error anyway in this subset).
+                        if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() {
+                            break;
+                        }
+                        saw_dot = true;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                if saw_dot {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| ParseError::lex(start, "malformed float literal"))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| ParseError::lex(start, "malformed integer literal"))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = input[start..i].to_ascii_lowercase();
+                match Keyword::from_word(&word) {
+                    Some(kw) => tokens.push(Token::Keyword(kw)),
+                    None => tokens.push(Token::Ident(word)),
+                }
+            }
+            '-' => {
+                // Negative numeric literal (only valid where a literal is
+                // expected; the parser validates context).
+                if i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    let start = i;
+                    i += 1;
+                    let mut saw_dot = false;
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_digit() || (bytes[i] == b'.' && !saw_dot))
+                    {
+                        if bytes[i] == b'.' {
+                            if i + 1 >= bytes.len() || !bytes[i + 1].is_ascii_digit() {
+                                break;
+                            }
+                            saw_dot = true;
+                        }
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    if saw_dot {
+                        let v: f64 = text
+                            .parse()
+                            .map_err(|_| ParseError::lex(start, "malformed float literal"))?;
+                        tokens.push(Token::Float(v));
+                    } else {
+                        let v: i64 = text
+                            .parse()
+                            .map_err(|_| ParseError::lex(start, "malformed integer literal"))?;
+                        tokens.push(Token::Int(v));
+                    }
+                } else {
+                    return Err(ParseError::lex(i, "unexpected '-'"));
+                }
+            }
+            other => {
+                return Err(ParseError::lex(i, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT name FROM employee").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("name".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("employee".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("select SeLeCt SELECT").unwrap();
+        assert!(toks
+            .iter()
+            .all(|t| *t == Token::Keyword(Keyword::Select)));
+    }
+
+    #[test]
+    fn identifiers_are_lowercased() {
+        let toks = tokenize("Employee_ID").unwrap();
+        assert_eq!(toks, vec![Token::Ident("employee_id".into())]);
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let toks = tokenize("= != <> < <= > >=").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_string_literals_both_quotes() {
+        let toks = tokenize("'John' \"red bull\"").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Str("John".into()), Token::Str("red bull".into())]
+        );
+    }
+
+    #[test]
+    fn string_content_preserves_case() {
+        let toks = tokenize("'MixedCase'").unwrap();
+        assert_eq!(toks, vec![Token::Str("MixedCase".into())]);
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let toks = tokenize("42 3.5 -7 -0.25").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Float(3.5),
+                Token::Int(-7),
+                Token::Float(-0.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_qualified_star_and_placeholder() {
+        let toks = tokenize("t1.* ?").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t1".into()),
+                Token::Dot,
+                Token::Star,
+                Token::Placeholder
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_character() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_bang() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_token_stream() {
+        assert!(tokenize("   \n\t ").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Read-only traversal helpers over the AST.
+
+use crate::ast::*;
+
+/// Collect every column reference in the query (excluding `*`), recursively,
+/// in clause order. Duplicates are kept.
+pub fn all_column_refs(q: &Query) -> Vec<ColumnRef> {
+    let mut out = Vec::new();
+    collect(q, &mut out);
+    out.retain(|c| !c.is_star());
+    out
+}
+
+fn collect(q: &Query, out: &mut Vec<ColumnRef>) {
+    for item in &q.select.items {
+        out.push(item.col.clone());
+    }
+    for jc in &q.from.conds {
+        out.push(jc.left.clone());
+        out.push(jc.right.clone());
+    }
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        for p in &cond.preds {
+            out.push(p.lhs.col.clone());
+            if let Operand::Col(c) = &p.rhs {
+                out.push(c.col.clone());
+            }
+            if let Some(Operand::Col(c)) = &p.rhs2 {
+                out.push(c.col.clone());
+            }
+            if let Operand::Subquery(sq) = &p.rhs {
+                collect(sq, out);
+            }
+            if let Some(Operand::Subquery(sq)) = &p.rhs2 {
+                collect(sq, out);
+            }
+        }
+    }
+    for g in &q.group_by {
+        out.push(g.clone());
+    }
+    if let Some(ob) = &q.order_by {
+        for item in &ob.items {
+            out.push(item.expr.col.clone());
+        }
+    }
+    if let Some((_, rhs)) = &q.compound {
+        collect(rhs, out);
+    }
+}
+
+/// Column references of the *top-level* query only (no subquery or compound
+/// recursion). Used by semantic validation during recomposition, where each
+/// level is validated against its own `FROM` scope.
+pub fn top_level_column_refs(q: &Query) -> Vec<ColumnRef> {
+    let mut out = Vec::new();
+    for item in &q.select.items {
+        out.push(item.col.clone());
+    }
+    for jc in &q.from.conds {
+        out.push(jc.left.clone());
+        out.push(jc.right.clone());
+    }
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        for p in &cond.preds {
+            out.push(p.lhs.col.clone());
+            if let Operand::Col(c) = &p.rhs {
+                out.push(c.col.clone());
+            }
+            if let Some(Operand::Col(c)) = &p.rhs2 {
+                out.push(c.col.clone());
+            }
+        }
+    }
+    for g in &q.group_by {
+        out.push(g.clone());
+    }
+    if let Some(ob) = &q.order_by {
+        for item in &ob.items {
+            out.push(item.expr.col.clone());
+        }
+    }
+    out.retain(|c| !c.is_star());
+    out
+}
+
+/// Count the total number of predicates in `WHERE` clauses, recursively.
+pub fn where_predicate_count(q: &Query) -> usize {
+    let mut n = q.where_.as_ref().map(|c| c.preds.len()).unwrap_or(0);
+    for sq in q.subqueries() {
+        n += where_predicate_count(sq);
+    }
+    n
+}
+
+/// Maximum subquery nesting depth (a query without subqueries has depth 0).
+pub fn nesting_depth(q: &Query) -> usize {
+    let mut depth = 0;
+    for cond in q.where_.iter().chain(q.having.iter()) {
+        for p in &cond.preds {
+            if let Operand::Subquery(sq) = &p.rhs {
+                depth = depth.max(1 + nesting_depth(sq));
+            }
+            if let Some(Operand::Subquery(sq)) = &p.rhs2 {
+                depth = depth.max(1 + nesting_depth(sq));
+            }
+        }
+    }
+    if let Some((_, rhs)) = &q.compound {
+        depth = depth.max(nesting_depth(rhs));
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn all_refs_recurse_into_subqueries() {
+        let q = parse(
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 1)",
+        )
+        .unwrap();
+        let refs = all_column_refs(&q);
+        assert!(refs.contains(&ColumnRef::new("u", "c")));
+        assert!(refs.contains(&ColumnRef::new("t", "a")));
+    }
+
+    #[test]
+    fn top_level_refs_do_not_recurse() {
+        let q = parse(
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u WHERE u.c = 1)",
+        )
+        .unwrap();
+        let refs = top_level_column_refs(&q);
+        assert!(!refs.iter().any(|c| c.table.as_deref() == Some("u")));
+    }
+
+    #[test]
+    fn nesting_depth_counts_levels() {
+        let q0 = parse("SELECT t.a FROM t").unwrap();
+        assert_eq!(nesting_depth(&q0), 0);
+        let q1 = parse("SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u)").unwrap();
+        assert_eq!(nesting_depth(&q1), 1);
+        let q2 = parse(
+            "SELECT t.a FROM t WHERE t.b IN \
+             (SELECT u.b FROM u WHERE u.c IN (SELECT v.c FROM v))",
+        )
+        .unwrap();
+        assert_eq!(nesting_depth(&q2), 2);
+    }
+
+    #[test]
+    fn where_predicate_count_recurses() {
+        let q = parse(
+            "SELECT t.a FROM t WHERE t.b = 1 AND t.c IN \
+             (SELECT u.c FROM u WHERE u.d = 2)",
+        )
+        .unwrap();
+        assert_eq!(where_predicate_count(&q), 3);
+    }
+
+    #[test]
+    fn star_is_excluded() {
+        let q = parse("SELECT COUNT(*) FROM t").unwrap();
+        assert!(all_column_refs(&q).is_empty());
+    }
+}

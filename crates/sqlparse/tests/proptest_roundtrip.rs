@@ -1,0 +1,167 @@
+//! Property tests on the SQL front-end: printer/parser round-trips,
+//! normalization stability, and masking idempotence over randomly
+//! generated ASTs.
+
+use gar_sql::ast::*;
+use gar_sql::{exact_match, fingerprint, mask_values, normalize, parse, to_sql};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+        gar_sql::token::Keyword::from_word(s).is_none()
+    })
+}
+
+fn colref() -> impl Strategy<Value = ColumnRef> {
+    (ident(), ident()).prop_map(|(t, c)| ColumnRef::new(t, c))
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Literal::Int(v as i64)),
+        (-1_000_000i32..1_000_000).prop_map(|v| Literal::Float(v as f64 / 100.0)),
+        "[a-z ]{0,12}".prop_map(Literal::Str),
+        Just(Literal::Masked),
+    ]
+}
+
+fn agg() -> impl Strategy<Value = Option<AggFunc>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(AggFunc::Count)),
+        Just(Some(AggFunc::Sum)),
+        Just(Some(AggFunc::Avg)),
+        Just(Some(AggFunc::Min)),
+        Just(Some(AggFunc::Max)),
+    ]
+}
+
+fn colexpr() -> impl Strategy<Value = ColExpr> {
+    (agg(), any::<bool>(), colref()).prop_map(|(agg, distinct, col)| ColExpr {
+        agg,
+        distinct: distinct && agg.is_some(),
+        col,
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    (colexpr(), cmp_op(), literal()).prop_map(|(lhs, op, lit)| Predicate {
+        lhs: ColExpr {
+            agg: None,
+            distinct: false,
+            col: lhs.col,
+        },
+        op,
+        rhs: Operand::Lit(lit),
+        rhs2: None,
+    })
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    (
+        proptest::collection::vec(predicate(), 1..4),
+        proptest::collection::vec(any::<bool>(), 3),
+    )
+        .prop_map(|(preds, ors)| {
+            let conns = (0..preds.len().saturating_sub(1))
+                .map(|i| if ors[i] { BoolConn::Or } else { BoolConn::And })
+                .collect();
+            Condition { preds, conns }
+        })
+}
+
+prop_compose! {
+    fn query()(
+        items in proptest::collection::vec(colexpr(), 1..4),
+        table in ident(),
+        where_ in proptest::option::of(condition()),
+        order_col in colexpr(),
+        has_order in any::<bool>(),
+        desc in any::<bool>(),
+        limit in proptest::option::of(1u64..50),
+        distinct in any::<bool>(),
+    ) -> Query {
+        let mut q = Query::simple(table, items);
+        q.select.distinct = distinct;
+        q.where_ = where_;
+        if has_order {
+            q.order_by = Some(OrderClause {
+                items: vec![OrderItem {
+                    expr: ColExpr { agg: None, distinct: false, col: order_col.col },
+                    dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
+                }],
+            });
+            q.limit = limit;
+        }
+        q
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing then parsing reproduces an exact-set-match-equal query.
+    #[test]
+    fn print_parse_roundtrip(q in query()) {
+        let sql = to_sql(&q);
+        let back = parse(&sql).unwrap_or_else(|e| panic!("{e}: {sql}"));
+        prop_assert!(exact_match(&q, &back), "{sql}");
+    }
+
+    /// The canonical form is a fixpoint: print(parse(print(q))) == print(q).
+    #[test]
+    fn canonical_form_is_fixpoint(q in query()) {
+        let once = to_sql(&q);
+        let twice = to_sql(&parse(&once).expect("canonical parses"));
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Masking is idempotent and never changes the normalized structure.
+    #[test]
+    fn masking_is_idempotent_and_structure_preserving(q in query()) {
+        let m1 = mask_values(&q);
+        let m2 = mask_values(&m1);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert!(exact_match(&q, &m1), "masking changed structure");
+    }
+
+    /// Fingerprints agree with normalized equality.
+    #[test]
+    fn fingerprint_agrees_with_normalize(a in query(), b in query()) {
+        let (na, nb) = (normalize(&a), normalize(&b));
+        let (fa, fb) = (fingerprint(&na), fingerprint(&nb));
+        prop_assert_eq!(na == nb, fa == fb);
+    }
+
+    /// The difficulty classifier is total (never panics) and produces a
+    /// stable value for equal queries.
+    #[test]
+    fn classify_is_total_and_stable(q in query()) {
+        let d1 = gar_sql::classify(&q);
+        let d2 = gar_sql::classify(&parse(&to_sql(&q)).expect("roundtrip"));
+        prop_assert_eq!(d1, d2);
+    }
+
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_is_panic_free(s in "\\PC*") {
+        let _ = gar_sql::token::tokenize(&s);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_is_panic_free(s in "[a-zA-Z0-9_ .,()'*=<>!?;-]{0,80}") {
+        let _ = parse(&s);
+    }
+}

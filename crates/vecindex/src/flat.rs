@@ -1,0 +1,199 @@
+//! Exact (brute-force) top-k cosine index.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scored search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Caller-assigned vector id.
+    pub id: usize,
+    /// Cosine similarity in `[-1, 1]`.
+    pub score: f32,
+}
+
+// Min-heap entry keyed on score (reverse ordering) so we can keep top-k.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry(Hit);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.score == other.0.score
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: smallest score at the top of the heap.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.0.id.cmp(&self.0.id))
+    }
+}
+
+/// L2-normalize a vector in place; zero vectors are left untouched.
+pub fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0f32;
+    for i in 0..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Exact cosine-similarity index. Vectors are normalized on insertion, so
+/// search is a dot product scan with a top-k heap — the role Faiss's
+/// `IndexFlatIP` plays in the paper's pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct FlatIndex {
+    dim: usize,
+    data: Vec<f32>,
+    ids: Vec<usize>,
+}
+
+impl FlatIndex {
+    /// An empty index for vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        FlatIndex {
+            dim,
+            data: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Add a vector under a caller-assigned id. The vector is copied and
+    /// L2-normalized. Panics on dimension mismatch (construction error).
+    pub fn add(&mut self, id: usize, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let start = self.data.len();
+        self.data.extend_from_slice(v);
+        normalize(&mut self.data[start..]);
+        self.ids.push(id);
+    }
+
+    /// Retrieve the normalized vector stored at insertion position `pos`.
+    pub fn vector(&self, pos: usize) -> &[f32] {
+        &self.data[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    /// Top-k cosine search. The query is normalized internally. Results are
+    /// sorted by descending score.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (pos, &id) in self.ids.iter().enumerate() {
+            let score = dot(&q, self.vector(pos));
+            if heap.len() < k {
+                heap.push(HeapEntry(Hit { id, score }));
+            } else if let Some(top) = heap.peek() {
+                if score > top.0.score {
+                    heap.pop();
+                    heap.push(HeapEntry(Hit { id, score }));
+                }
+            }
+        }
+        let mut out: Vec<Hit> = heap.into_iter().map(|e| e.0).collect();
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_nearest_vector() {
+        let mut idx = FlatIndex::new(3);
+        idx.add(0, &[1.0, 0.0, 0.0]);
+        idx.add(1, &[0.0, 1.0, 0.0]);
+        idx.add(2, &[0.7, 0.7, 0.0]);
+        let hits = idx.search(&[1.0, 0.1, 0.0], 2);
+        assert_eq!(hits[0].id, 0);
+        assert_eq!(hits[1].id, 2);
+    }
+
+    #[test]
+    fn scores_are_cosine() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(7, &[3.0, 0.0]); // normalization makes magnitude irrelevant
+        let hits = idx.search(&[5.0, 0.0], 1);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+        let hits = idx.search(&[0.0, 2.0], 1);
+        assert!(hits[0].score.abs() < 1e-6);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(1, &[1.0, 0.0]);
+        idx.add(2, &[0.0, 1.0]);
+        let hits = idx.search(&[1.0, 1.0], 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let mut idx = FlatIndex::new(2);
+        for i in 0..50 {
+            let a = i as f32 / 50.0;
+            idx.add(i, &[a, 1.0 - a]);
+        }
+        let hits = idx.search(&[1.0, 0.0], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn zero_vector_is_handled() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(0, &[0.0, 0.0]);
+        idx.add(1, &[1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 2);
+        assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_checks_dimension() {
+        let mut idx = FlatIndex::new(3);
+        idx.add(0, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Inverted-file (IVF) approximate cosine index.
+//!
+//! A coarse k-means quantizer partitions the vectors into `nlist` cells;
+//! search probes the `nprobe` nearest cells. This reproduces the recall /
+//! latency trade-off of Faiss's `IndexIVFFlat`, which the paper uses to make
+//! first-stage retrieval "efficient similarity search" over the large
+//! dialect set.
+
+use crate::flat::{dot, normalize, Hit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+
+/// IVF index configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IvfConfig {
+    /// Number of coarse cells.
+    pub nlist: usize,
+    /// Cells probed at search time.
+    pub nprobe: usize,
+    /// k-means iterations during training.
+    pub train_iters: usize,
+    /// RNG seed for centroid initialization.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        IvfConfig {
+            nlist: 64,
+            nprobe: 8,
+            train_iters: 10,
+            seed: 13,
+        }
+    }
+}
+
+/// Approximate cosine index with a k-means coarse quantizer.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    config: IvfConfig,
+    centroids: Vec<f32>,
+    // Per cell: (id, normalized vector) pairs flattened.
+    cells: Vec<Vec<(usize, Vec<f32>)>>,
+    trained: bool,
+}
+
+impl IvfIndex {
+    /// An untrained index.
+    pub fn new(dim: usize, config: IvfConfig) -> Self {
+        IvfIndex {
+            dim,
+            config,
+            centroids: Vec::new(),
+            cells: Vec::new(),
+            trained: false,
+        }
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.cells.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` after [`IvfIndex::train`].
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Train the coarse quantizer on (a sample of) the corpus.
+    pub fn train(&mut self, sample: &[Vec<f32>]) {
+        assert!(!sample.is_empty(), "cannot train on an empty sample");
+        let nlist = self.config.nlist.min(sample.len()).max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+
+        // Normalize the training sample.
+        let normed: Vec<Vec<f32>> = sample
+            .iter()
+            .map(|v| {
+                let mut x = v.clone();
+                normalize(&mut x);
+                x
+            })
+            .collect();
+
+        // Random init.
+        let mut centroids: Vec<Vec<f32>> = (0..nlist)
+            .map(|_| normed[rng.random_range(0..normed.len())].clone())
+            .collect();
+
+        for _ in 0..self.config.train_iters {
+            let mut sums = vec![vec![0.0f32; self.dim]; nlist];
+            let mut counts = vec![0usize; nlist];
+            for v in &normed {
+                let c = nearest_centroid(&centroids, v);
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(v.iter()) {
+                    *s += x;
+                }
+            }
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if counts[c] > 0 {
+                    *centroid = sums[c].clone();
+                    normalize(centroid);
+                } else {
+                    // Re-seed an empty cell.
+                    *centroid = normed[rng.random_range(0..normed.len())].clone();
+                }
+            }
+        }
+
+        self.centroids = centroids.concat();
+        self.cells = vec![Vec::new(); nlist];
+        self.trained = true;
+    }
+
+    fn nlist(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Add a vector (requires training). Panics if untrained — that is an
+    /// API misuse, matching Faiss behaviour.
+    pub fn add(&mut self, id: usize, v: &[f32]) {
+        assert!(self.trained, "IvfIndex::add before train");
+        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        let mut x = v.to_vec();
+        normalize(&mut x);
+        let cents: Vec<&[f32]> = (0..self.nlist()).map(|c| self.centroid(c)).collect();
+        let c = nearest_centroid_slices(&cents, &x);
+        self.cells[c].push((id, x));
+    }
+
+    /// Top-k approximate search over the `nprobe` nearest cells.
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert!(self.trained, "IvfIndex::search before train");
+        let mut q = query.to_vec();
+        normalize(&mut q);
+
+        // Rank cells by centroid similarity.
+        let mut cell_scores: Vec<(usize, f32)> = (0..self.nlist())
+            .map(|c| (c, dot(self.centroid(c), &q)))
+            .collect();
+        cell_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+
+        let mut hits: Vec<Hit> = Vec::new();
+        for &(c, _) in cell_scores.iter().take(self.config.nprobe.max(1)) {
+            for (id, v) in &self.cells[c] {
+                hits.push(Hit {
+                    id: *id,
+                    score: dot(v, &q),
+                });
+            }
+        }
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        hits.truncate(k);
+        hits
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_score = f32::NEG_INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let s = dot(c, v);
+        if s > best_score {
+            best_score = s;
+            best = i;
+        }
+    }
+    best
+}
+
+fn nearest_centroid_slices(centroids: &[&[f32]], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_score = f32::NEG_INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let s = dot(c, v);
+        if s > best_score {
+            best_score = s;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn exact_when_probing_all_cells() {
+        let corpus = random_corpus(300, 16, 1);
+        let mut ivf = IvfIndex::new(
+            16,
+            IvfConfig {
+                nlist: 8,
+                nprobe: 8,
+                ..IvfConfig::default()
+            },
+        );
+        ivf.train(&corpus);
+        let mut flat = FlatIndex::new(16);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+            flat.add(i, v);
+        }
+        let q = &corpus[42];
+        let a = ivf.search(q, 5);
+        let b = flat.search(q, 5);
+        assert_eq!(
+            a.iter().map(|h| h.id).collect::<Vec<_>>(),
+            b.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn high_recall_with_partial_probe() {
+        let corpus = random_corpus(1000, 16, 2);
+        let mut ivf = IvfIndex::new(
+            16,
+            IvfConfig {
+                nlist: 16,
+                nprobe: 6,
+                ..IvfConfig::default()
+            },
+        );
+        ivf.train(&corpus);
+        let mut flat = FlatIndex::new(16);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+            flat.add(i, v);
+        }
+        // Recall@10 over 20 queries should be decent.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let q = &corpus[rng.random_range(0..corpus.len())];
+            let approx: Vec<usize> = ivf.search(q, 10).iter().map(|h| h.id).collect();
+            let exact: Vec<usize> = flat.search(q, 10).iter().map(|h| h.id).collect();
+            total += exact.len();
+            hits += exact.iter().filter(|i| approx.contains(i)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.6, "recall too low: {recall}");
+    }
+
+    #[test]
+    #[should_panic(expected = "before train")]
+    fn add_requires_training() {
+        let mut ivf = IvfIndex::new(4, IvfConfig::default());
+        ivf.add(0, &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn small_corpus_clamps_nlist() {
+        let corpus = random_corpus(5, 4, 4);
+        let mut ivf = IvfIndex::new(4, IvfConfig::default());
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        assert_eq!(ivf.len(), 5);
+        assert!(!ivf.search(&corpus[0], 3).is_empty());
+    }
+}

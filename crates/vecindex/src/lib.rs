@@ -1,0 +1,27 @@
+//! # gar-vecindex — vector similarity search for GAR's retrieval stage
+//!
+//! The paper encodes all dialect expressions once with the trained retrieval
+//! model and "use[s] the Faiss library for efficient similarity search to
+//! get the closest subset of dialect expressions for each given NL query"
+//! (Section V-A2). This crate is that substrate: an exact [`FlatIndex`]
+//! (Faiss `IndexFlatIP` over normalized vectors = cosine) and an
+//! approximate [`IvfIndex`] (`IndexIVFFlat`) with a k-means coarse
+//! quantizer, reproducing the speed/recall trade-off.
+//!
+//! ```
+//! use gar_vecindex::FlatIndex;
+//!
+//! let mut idx = FlatIndex::new(2);
+//! idx.add(10, &[1.0, 0.0]);
+//! idx.add(20, &[0.0, 1.0]);
+//! let hits = idx.search(&[0.9, 0.1], 1);
+//! assert_eq!(hits[0].id, 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod ivf;
+
+pub use flat::{dot, normalize, FlatIndex, Hit};
+pub use ivf::{IvfConfig, IvfIndex};

@@ -1,0 +1,86 @@
+//! Property tests on the vector indices.
+
+use gar_vecindex::{FlatIndex, IvfConfig, IvfIndex};
+use proptest::prelude::*;
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-1.0f32..1.0, 8),
+        1..60,
+    )
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flat top-1 equals the brute-force cosine argmax.
+    #[test]
+    fn flat_top1_is_argmax(corpus in corpus_strategy(), query in proptest::collection::vec(-1.0f32..1.0, 8)) {
+        prop_assume!(query.iter().any(|v| v.abs() > 1e-3));
+        let mut idx = FlatIndex::new(8);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        let hits = idx.search(&query, 1);
+        let brute: Option<usize> = corpus
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                cosine(a.1, &query)
+                    .partial_cmp(&cosine(b.1, &query))
+                    .unwrap()
+            })
+            .map(|(i, _)| i);
+        let best_score = brute.map(|i| cosine(&corpus[i], &query)).unwrap_or(0.0);
+        // Ties allowed: the returned hit must score as well as the argmax.
+        prop_assert!((hits[0].score - best_score).abs() < 1e-4,
+            "hit {} vs argmax {best_score}", hits[0].score);
+    }
+
+    /// Scores come back sorted and k caps the result length.
+    #[test]
+    fn flat_results_sorted_and_capped(corpus in corpus_strategy(), k in 1usize..10) {
+        let mut idx = FlatIndex::new(8);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        let hits = idx.search(&[0.5; 8], k);
+        prop_assert!(hits.len() <= k);
+        prop_assert!(hits.len() <= corpus.len());
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    /// IVF probing every cell reproduces the exact flat result ids.
+    #[test]
+    fn ivf_full_probe_matches_flat(corpus in corpus_strategy()) {
+        prop_assume!(corpus.len() >= 4);
+        let nlist = 4usize;
+        let mut ivf = IvfIndex::new(8, IvfConfig { nlist, nprobe: nlist, ..IvfConfig::default() });
+        ivf.train(&corpus);
+        let mut flat = FlatIndex::new(8);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+            flat.add(i, v);
+        }
+        let q = &corpus[0];
+        let a: Vec<f32> = ivf.search(q, 5).iter().map(|h| h.score).collect();
+        let b: Vec<f32> = flat.search(q, 5).iter().map(|h| h.score).collect();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Evaluate GAR against a baseline on a held-out benchmark split,
+//! reporting the paper's metrics (exact match, execution accuracy, and the
+//! SPIDER difficulty breakdown).
+//!
+//! ```sh
+//! cargo run --release --example benchmark_eval
+//! ```
+
+use gar::baselines::{smbop, Nl2SqlSystem};
+use gar::benchmarks::{execution_match, spider_sim, SpiderSimConfig, Tally};
+use gar::core::{GarConfig, GarSystem, PrepareConfig};
+use gar::sql::{classify, exact_match, Difficulty, Query};
+use std::collections::BTreeMap;
+
+fn main() {
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 8,
+        val_dbs: 2,
+        queries_per_db: 40,
+        seed: 11,
+    });
+    println!(
+        "spider_sim: {} train / {} dev examples over {} databases",
+        bench.train.len(),
+        bench.dev.len(),
+        bench.dbs.len()
+    );
+
+    println!("training GAR ...");
+    let config = GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 1200,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 500,
+        ..GarConfig::default()
+    };
+    let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+
+    // GAR: prepare each dev database under the paper's protocol and
+    // translate every dev question.
+    let mut gar_by_diff: BTreeMap<Difficulty, Tally> = BTreeMap::new();
+    let mut gar_exec = Tally::default();
+    let mut by_db: BTreeMap<&str, Vec<&gar::benchmarks::Example>> = BTreeMap::new();
+    for ex in &bench.dev {
+        by_db.entry(ex.db.as_str()).or_default().push(ex);
+    }
+    for (db_name, exs) in &by_db {
+        let db = bench.db(db_name).expect("dev db");
+        let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        for ex in exs {
+            let tr = gar.translate(db, &prepared, &ex.nl);
+            let ok = tr.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false);
+            gar_by_diff
+                .entry(classify(&ex.sql))
+                .or_default()
+                .record(ok);
+            gar_exec.record(
+                tr.top1()
+                    .map(|t| execution_match(&db.database, t, &ex.sql))
+                    .unwrap_or(false),
+            );
+        }
+    }
+
+    // Baseline: SMBOP-like, translating directly from the schema.
+    let baseline = smbop();
+    let mut base_by_diff: BTreeMap<Difficulty, Tally> = BTreeMap::new();
+    for ex in &bench.dev {
+        let db = bench.db(&ex.db).expect("dev db");
+        let ok = baseline
+            .translate(db, &ex.nl)
+            .map(|q| exact_match(&q, &ex.sql))
+            .unwrap_or(false);
+        base_by_diff
+            .entry(classify(&ex.sql))
+            .or_default()
+            .record(ok);
+    }
+
+    println!("\n{:<12} {:>8} {:>8}", "difficulty", "GAR", baseline.name());
+    let mut gar_all = Tally::default();
+    let mut base_all = Tally::default();
+    for d in Difficulty::all() {
+        let g = gar_by_diff.get(&d).cloned().unwrap_or_default();
+        let b = base_by_diff.get(&d).cloned().unwrap_or_default();
+        gar_all.merge(&g);
+        base_all.merge(&b);
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}%",
+            d.as_str(),
+            g.accuracy() * 100.0,
+            b.accuracy() * 100.0
+        );
+    }
+    println!(
+        "{:<12} {:>7.1}% {:>7.1}%",
+        "overall",
+        gar_all.accuracy() * 100.0,
+        base_all.accuracy() * 100.0
+    );
+    println!(
+        "\nGAR execution accuracy: {:.1}%",
+        gar_exec.accuracy() * 100.0
+    );
+}

@@ -1,0 +1,171 @@
+//! An interactive NL interface to a database — the end-user product the
+//! paper motivates. Trains (or loads cached) ranking models, prepares the
+//! database from sample queries, then answers NL questions from stdin with
+//! the translated SQL *and* its execution result.
+//!
+//! Artifacts are cached under `.gar-cache/` via the `gar-core` codecs, so
+//! the second launch skips straight to the online phase (the paper's
+//! offline/online split).
+//!
+//! ```sh
+//! cargo run --release --example nlidb_repl
+//! # then type questions, e.g.:
+//! #   find the name of the employee with the highest bonus
+//! #   how many evaluations are there for each employee?
+//! ```
+
+use gar::benchmarks::{populate, spider_sim, GeneratedDb, SpiderSimConfig};
+use gar::core::{
+    prepared_from_bytes, prepared_to_bytes, system_from_bytes, system_to_bytes, GarConfig,
+    GarSystem, PrepareConfig,
+};
+use gar::engine::execute;
+use gar::schema::{AnnotationSet, SchemaBuilder};
+use gar::sql::{parse, to_sql};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+fn demo_db() -> GeneratedDb {
+    let schema = SchemaBuilder::new("hr")
+        .table("employee", |t| {
+            t.col_int("employee_id")
+                .col_text("name")
+                .col_int("age")
+                .col_text("city")
+                .pk(&["employee_id"])
+        })
+        .table("evaluation", |t| {
+            t.col_int("employee_id")
+                .col_int("year_awarded")
+                .col_float("bonus")
+                .pk(&["employee_id", "year_awarded"])
+        })
+        .fk("evaluation", "employee_id", "employee", "employee_id")
+        .build();
+    let mut rng = StdRng::seed_from_u64(2023);
+    GeneratedDb {
+        database: populate(&schema, &mut rng),
+        schema,
+        annotations: AnnotationSet::empty(),
+    }
+}
+
+fn sample_queries() -> Vec<gar::sql::Query> {
+    [
+        "SELECT employee.name FROM employee JOIN evaluation \
+         ON employee.employee_id = evaluation.employee_id \
+         ORDER BY evaluation.bonus DESC LIMIT 1",
+        "SELECT employee.age FROM employee WHERE employee.name = 'x'",
+        "SELECT employee.name FROM employee WHERE employee.age > 30",
+        "SELECT employee.name FROM employee WHERE employee.city = 'paris'",
+        "SELECT COUNT(*) FROM evaluation GROUP BY evaluation.employee_id",
+        "SELECT AVG(evaluation.bonus) FROM evaluation",
+        "SELECT COUNT(*) FROM employee",
+    ]
+    .iter()
+    .map(|s| parse(s).expect("sample parses"))
+    .collect()
+}
+
+fn load_or_train(cache: &Path) -> GarSystem {
+    let sys_path = cache.join("system.gar");
+    if let Ok(bytes) = std::fs::read(&sys_path) {
+        if let Ok(sys) = system_from_bytes(&bytes) {
+            eprintln!("loaded trained system from {}", sys_path.display());
+            return sys;
+        }
+    }
+    eprintln!("training GAR (first launch only) ...");
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 6,
+        val_dbs: 1,
+        queries_per_db: 40,
+        seed: 5,
+    });
+    let config = GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 800,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 400,
+        ..GarConfig::default()
+    };
+    let (sys, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+    let _ = std::fs::create_dir_all(cache);
+    let _ = std::fs::write(&sys_path, system_to_bytes(&sys));
+    sys
+}
+
+fn main() {
+    let cache = Path::new(".gar-cache");
+    let gar = load_or_train(cache);
+    let db = demo_db();
+
+    let prep_path = cache.join(format!("{}.prepared", db.schema.name));
+    let prepared = match std::fs::read(&prep_path).ok().and_then(|b| {
+        prepared_from_bytes(&b).ok().filter(|p| {
+            // Reject stale caches built by a different encoder.
+            p.embeds.first().map(Vec::len) == Some(gar.retrieval.embed_dim())
+        })
+    }) {
+        Some(p) => {
+            eprintln!("loaded prepared index ({} candidates)", p.entries.len());
+            p
+        }
+        None => {
+            eprintln!("preparing database (generalize + dialects + encode) ...");
+            let p = gar.prepare_with_samples(&db, &sample_queries());
+            let _ = std::fs::create_dir_all(cache);
+            let _ = std::fs::write(&prep_path, prepared_to_bytes(&p));
+            p
+        }
+    };
+
+    println!(
+        "NLIDB ready over `{}` ({} candidate queries). Type a question, or \"quit\".",
+        db.schema.name,
+        prepared.entries.len()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("nl> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let question = line.trim();
+        if question.is_empty() {
+            continue;
+        }
+        if question.eq_ignore_ascii_case("quit") || question.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        let tr = gar.translate(&db, &prepared, question);
+        match tr.top1() {
+            Some(sql) => {
+                println!("sql> {}", to_sql(sql));
+                match execute(&db.database, sql) {
+                    Ok(rs) => {
+                        println!("     {} row(s)", rs.rows.len());
+                        for row in rs.rows.iter().take(5) {
+                            let cells: Vec<String> =
+                                row.iter().map(|d| d.to_string()).collect();
+                            println!("     {}", cells.join(" | "));
+                        }
+                        if rs.rows.len() > 5 {
+                            println!("     ...");
+                        }
+                    }
+                    Err(e) => println!("     (not executable: {e})"),
+                }
+            }
+            None => println!("sql> <no translation>"),
+        }
+    }
+    println!("bye");
+}

@@ -1,0 +1,36 @@
+//! # GAR — Generate-and-Rank Natural Language to SQL Translation
+//!
+//! A production-quality Rust implementation of *GAR: A Generate-and-Rank
+//! Approach for Natural Language to SQL Translation* (Fan et al., ICDE
+//! 2023), including every substrate the paper depends on: a SQL front-end,
+//! a schema model, an in-memory execution engine, the compositional
+//! generalizer, the template-assisted dialect builder, a learning-to-rank
+//! stack, a vector-similarity index, synthetic NLIDB benchmark suites, and
+//! the four baseline systems the paper compares against.
+//!
+//! This facade crate re-exports the public API of each subsystem; see the
+//! individual crates for details:
+//!
+//! - [`sql`] — parsing, printing, normalization ([`gar_sql`])
+//! - [`schema`] — schema model and GAR-J join annotations ([`gar_schema`])
+//! - [`engine`] — in-memory relational execution ([`gar_engine`])
+//! - [`generalize`] — compositional SQL generalization ([`gar_generalize`])
+//! - [`dialect`] — SQL-to-NL dialect builder ([`gar_dialect`])
+//! - [`ltr`] — learning-to-rank models ([`gar_ltr`])
+//! - [`vecindex`] — vector similarity search ([`gar_vecindex`])
+//! - [`nl`] — NL utterance generation for benchmarks ([`gar_nl`])
+//! - [`benchmarks`] — benchmark suites and metrics ([`gar_benchmarks`])
+//! - [`baselines`] — baseline NL2SQL systems ([`gar_baselines`])
+//! - [`core`] — the GAR pipeline itself ([`gar_core`])
+
+pub use gar_baselines as baselines;
+pub use gar_benchmarks as benchmarks;
+pub use gar_core as core;
+pub use gar_dialect as dialect;
+pub use gar_engine as engine;
+pub use gar_generalize as generalize;
+pub use gar_ltr as ltr;
+pub use gar_nl as nl;
+pub use gar_schema as schema;
+pub use gar_sql as sql;
+pub use gar_vecindex as vecindex;

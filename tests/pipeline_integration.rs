@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full generate-and-rank pipeline over
+//! the benchmark simulators, exercising every subsystem together.
+
+use gar::benchmarks::{qben_sim, spider_sim, QbenSimConfig, SpiderSimConfig};
+use gar::core::{GarConfig, GarSystem, PrepareConfig};
+use gar::ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+use gar::sql::{exact_match, Query};
+
+fn small_config() -> GarConfig {
+    GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 700,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 300,
+        k: 60,
+        retrieval: RetrievalConfig {
+            features: FeatureConfig::default(),
+            hidden: 96,
+            embed: 48,
+            epochs: 6,
+            ..RetrievalConfig::default()
+        },
+        rerank: RerankConfig {
+            embed: 48,
+            hidden: 64,
+            epochs: 10,
+            ..RerankConfig::default()
+        },
+        ..GarConfig::default()
+    }
+}
+
+fn small_bench() -> gar::benchmarks::Benchmark {
+    spider_sim(SpiderSimConfig {
+        train_dbs: 8,
+        val_dbs: 1,
+        queries_per_db: 40,
+        seed: 31,
+    })
+}
+
+fn accuracy(gar: &GarSystem, bench: &gar::benchmarks::Benchmark) -> (usize, usize) {
+    let db_name = bench.dev[0].db.clone();
+    let db = bench.db(&db_name).expect("dev db");
+    let gold: Vec<Query> = bench
+        .dev
+        .iter()
+        .filter(|e| e.db == db_name)
+        .map(|e| e.sql.clone())
+        .collect();
+    let prepared = gar.prepare_eval_db(db, &gold);
+    let mut correct = 0;
+    let mut total = 0;
+    for ex in bench.dev.iter().filter(|e| e.db == db_name) {
+        total += 1;
+        let tr = gar.translate(db, &prepared, &ex.nl);
+        if tr.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false) {
+            correct += 1;
+        }
+    }
+    (correct, total)
+}
+
+#[test]
+fn trained_gar_beats_half_on_held_out_db() {
+    let bench = small_bench();
+    let (gar, report) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+    assert!(report.retrieval_triples > 100);
+    assert!(!report.retrieval_losses.is_empty());
+    let (correct, total) = accuracy(&gar, &bench);
+    assert!(
+        correct * 2 >= total,
+        "only {correct}/{total} on held-out database"
+    );
+}
+
+#[test]
+fn rerank_ablation_does_not_beat_full_pipeline() {
+    let bench = small_bench();
+    let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+    let (full, total) = accuracy(&gar, &bench);
+    let mut no_rerank = gar.clone();
+    no_rerank.config.use_rerank = false;
+    let (ablated, _) = accuracy(&no_rerank, &bench);
+    // The re-ranker must not hurt; in practice it helps substantially
+    // (Table 8). Allow equality for tiny splits.
+    assert!(
+        full + 2 >= ablated,
+        "full {full} vs retrieval-only {ablated} of {total}"
+    );
+}
+
+#[test]
+fn gar_j_annotations_help_on_dual_role_joins() {
+    let bench = small_bench();
+    let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+    let qben = qben_sim(QbenSimConfig {
+        samples: 80,
+        test: 60,
+        seed: 5,
+    });
+
+    let mut garj = gar.clone();
+    garj.config.prepare.use_annotations = true;
+
+    let mut plain_ok = 0usize;
+    let mut ann_ok = 0usize;
+    let mut total = 0usize;
+    for db in &qben.dbs {
+        let samples: Vec<Query> = qben
+            .samples
+            .iter()
+            .filter(|e| e.db == db.schema.name)
+            .map(|e| e.sql.clone())
+            .collect();
+        if samples.is_empty() {
+            continue;
+        }
+        let plain = gar.prepare_with_samples(db, &samples);
+        let annotated = garj.prepare_with_samples(db, &samples);
+        for ex in qben.test.iter().filter(|e| e.db == db.schema.name) {
+            total += 1;
+            let p = gar.translate(db, &plain, &ex.nl);
+            let a = garj.translate(db, &annotated, &ex.nl);
+            plain_ok += usize::from(
+                p.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false),
+            );
+            ann_ok += usize::from(
+                a.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false),
+            );
+        }
+    }
+    assert!(total >= 40, "need a real test set, got {total}");
+    assert!(
+        ann_ok > plain_ok,
+        "annotations must help: GAR {plain_ok} vs GAR-J {ann_ok} of {total}"
+    );
+}
+
+#[test]
+fn training_is_deterministic() {
+    let bench = small_bench();
+    let (a, _) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+    let (b, _) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+    let probe = "Find the name of the student with the highest gpa";
+    assert_eq!(a.retrieval.encode(probe), b.retrieval.encode(probe));
+}

@@ -1,0 +1,133 @@
+//! Substrate-level integration: the SQL front-end, schema resolver,
+//! generalizer, dialect builder, NL generator, engine and metrics agree
+//! with each other on generated benchmark data.
+
+use gar::benchmarks::{
+    execution_match, generate_db, generate_queries, mt_teql_sim, spider_sim, utterance_for,
+    MtTeqlConfig, SpiderSimConfig,
+};
+use gar::dialect::DialectBuilder;
+use gar::generalize::{Generalizer, GeneralizerConfig, JoinCatalog};
+use gar::schema::{resolve_query, AnnotationSet};
+use gar::sql::{exact_match, parse, to_sql};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn every_generated_query_roundtrips_resolves_renders_and_executes() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for theme in gar::benchmarks::vocab::THEMES.iter().take(4) {
+        let db = generate_db(theme, 0, &mut rng);
+        let queries = generate_queries(&db, 60, &mut rng);
+        let ann = AnnotationSet::empty();
+        let builder = DialectBuilder::new(&db.schema, &ann);
+        for q in &queries {
+            // Round-trip through the printer/parser.
+            let sql = to_sql(q);
+            let back = parse(&sql).unwrap_or_else(|e| panic!("{e}: {sql}"));
+            assert!(exact_match(q, &back), "{sql}");
+            // Resolves against its schema.
+            assert!(resolve_query(&db.schema, q).is_ok(), "{sql}");
+            // Renders to a non-empty dialect.
+            assert!(!builder.render(q).is_empty());
+            // Executes on the populated database.
+            assert!(gar::engine::execute(&db.database, q).is_ok(), "{sql}");
+            // Self-comparison passes the execution-accuracy metric.
+            assert!(execution_match(&db.database, q, q), "{sql}");
+            // Produces an utterance.
+            assert!(!utterance_for(&db, q, 1, 2).is_empty());
+        }
+    }
+}
+
+#[test]
+fn generalized_pool_stays_inside_sample_join_paths_and_schema() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let db = generate_db(&gar::benchmarks::vocab::THEMES[5], 0, &mut rng);
+    let samples = generate_queries(&db, 40, &mut rng);
+    let out = Generalizer::new(
+        &db.schema,
+        GeneralizerConfig {
+            target_size: 800,
+            ..GeneralizerConfig::default()
+        },
+    )
+    .generalize(&samples);
+    assert!(out.queries.len() > samples.len(), "generalizer must expand");
+    let catalog = JoinCatalog::from_samples(out.queries[..out.sample_count].iter());
+    for q in &out.queries {
+        assert!(resolve_query(&db.schema, q).is_ok(), "{}", to_sql(q));
+        assert!(catalog.check_query(q), "join rule violated: {}", to_sql(q));
+    }
+}
+
+#[test]
+fn spider_sim_protocol_invariants() {
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 3,
+        val_dbs: 2,
+        queries_per_db: 25,
+        seed: 44,
+    });
+    // DB-disjoint train/dev.
+    let train_dbs: std::collections::HashSet<_> =
+        bench.train.iter().map(|e| e.db.clone()).collect();
+    let dev_dbs: std::collections::HashSet<_> =
+        bench.dev.iter().map(|e| e.db.clone()).collect();
+    assert!(train_dbs.is_disjoint(&dev_dbs));
+    // Every example's SQL executes on its database.
+    for ex in bench.train.iter().chain(&bench.dev) {
+        let db = bench.db(&ex.db).expect("db exists");
+        assert!(gar::engine::execute(&db.database, &ex.sql).is_ok());
+        assert!(!ex.nl.to_lowercase().contains("select"));
+    }
+}
+
+#[test]
+fn mt_teql_transformations_preserve_executability() {
+    let spider = spider_sim(SpiderSimConfig {
+        train_dbs: 2,
+        val_dbs: 2,
+        queries_per_db: 20,
+        seed: 45,
+    });
+    let mt = mt_teql_sim(
+        &spider,
+        MtTeqlConfig {
+            samples: 100,
+            schema_variants: 2,
+            seed: 46,
+        },
+    );
+    assert_eq!(mt.test.len(), 100);
+    for ex in &mt.test {
+        let db = mt.db(&ex.db).unwrap_or_else(|| panic!("missing {}", ex.db));
+        assert!(resolve_query(&db.schema, &ex.sql).is_ok());
+        assert!(gar::engine::execute(&db.database, &ex.sql).is_ok());
+    }
+}
+
+#[test]
+fn baselines_translate_schema_valid_sql_or_abstain() {
+    use gar::baselines::{all_baselines, Nl2SqlSystem};
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 1,
+        val_dbs: 1,
+        queries_per_db: 30,
+        seed: 47,
+    });
+    for sys in all_baselines() {
+        for ex in &bench.dev {
+            let db = bench.db(&ex.db).expect("db");
+            if let Some(q) = sys.translate(db, &ex.nl) {
+                assert!(
+                    resolve_query(&db.schema, &q).is_ok(),
+                    "{} emitted invalid SQL {} for {}",
+                    sys.name(),
+                    to_sql(&q),
+                    ex.nl
+                );
+            }
+        }
+    }
+}
