@@ -1,0 +1,199 @@
+//! Batched inference path: the acceptance workload for the blocked-kernel +
+//! batch top-k optimization (2,000-candidate flat index, dim 64, k = 100,
+//! 64-query batches), plus batch encoding. Three arms per search group:
+//!
+//! - `baseline_heap` — the pre-optimization scan (serial scalar dot, binary
+//!   heap updated per improving hit), kept so the speedup is measured
+//!   against what the batched path replaced;
+//! - `sequential`   — per-query [`FlatIndex::search`] over the batch;
+//! - `batched`      — one [`FlatIndex::search_batch`] over the batch.
+//!
+//! Besides the Criterion report, a manual timing pass writes
+//! `results/BENCH_retrieval.json` (honoring `GAR_RESULTS_DIR`) with the
+//! measured queries/s of all three arms.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gar_ltr::{RetrievalConfig, RetrievalModel};
+use gar_vecindex::{normalize, FlatIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+const N: usize = 2_000;
+const DIM: usize = 64;
+const K: usize = 100;
+const BATCH: usize = 64;
+
+/// The pre-optimization scan, reimplemented as the bench baseline.
+fn search_naive(idx: &FlatIndex, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    struct Entry(f32, usize);
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0 && self.1 == other.1
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        // Min-heap on score so the root is the current worst hit.
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+    let mut q = query.to_vec();
+    normalize(&mut q);
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for pos in 0..idx.len() {
+        let cand = idx.vector(pos);
+        let mut score = 0.0f32;
+        for i in 0..q.len() {
+            score += q[i] * cand[i];
+        }
+        if heap.len() < k {
+            heap.push(Entry(score, pos));
+        } else if let Some(worst) = heap.peek() {
+            if score > worst.0 {
+                heap.pop();
+                heap.push(Entry(score, pos));
+            }
+        }
+    }
+    let mut out: Vec<(usize, f32)> = heap.into_iter().map(|e| (e.1, e.0)).collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+    out
+}
+
+fn random_vecs(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Manual three-arm timing pass; returns (baseline_qps, single_qps,
+/// batch_qps) and writes `BENCH_retrieval.json` under the results dir.
+fn emit_retrieval_json(idx: &FlatIndex, queries: &[Vec<f32>]) {
+    let rounds = 40usize;
+    let mut sink = 0usize;
+
+    let naive_rounds = rounds.div_ceil(4); // ~4x slower; keep wall time flat
+    let t = Instant::now();
+    for _ in 0..naive_rounds {
+        for q in queries {
+            sink += search_naive(idx, q, K).len();
+        }
+    }
+    let naive_s = t.elapsed().as_secs_f64() * rounds as f64 / naive_rounds as f64;
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            sink += idx.search(q, K).len();
+        }
+    }
+    let seq_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        sink += idx.search_batch(queries, K).iter().map(Vec::len).sum::<usize>();
+    }
+    let batch_s = t.elapsed().as_secs_f64();
+    assert!(sink > 0);
+
+    let nq = (rounds * queries.len()) as f64;
+    let json = serde_json::json!({
+        "bench": format!("flat_topk_{N}x{DIM}_k{K}"),
+        "queries": nq,
+        "baseline_qps": nq / naive_s,
+        "single_qps": nq / seq_s,
+        "batch_qps": nq / batch_s,
+        "speedup_batch_vs_baseline": (nq / batch_s) / (nq / naive_s),
+        "speedup_batch_vs_single": (nq / batch_s) / (nq / seq_s),
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_retrieval.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_batch] wrote {}", path.display());
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let corpus = random_vecs(&mut rng, N, DIM);
+    let queries = random_vecs(&mut rng, BATCH, DIM);
+    let mut idx = FlatIndex::new(DIM);
+    for (i, v) in corpus.iter().enumerate() {
+        idx.add(i, v);
+    }
+
+    // Correctness tie before timing: batched must equal sequential bitwise,
+    // and the baseline must agree on the returned ids.
+    let warm = idx.search_batch(&queries, K);
+    for (q, b) in queries.iter().zip(&warm) {
+        let seq = idx.search(q, K);
+        assert_eq!(seq.len(), b.len());
+        for (x, y) in seq.iter().zip(b) {
+            assert!(x.id == y.id && x.score.to_bits() == y.score.to_bits());
+        }
+    }
+    let naive = search_naive(&idx, &queries[0], K);
+    for (a, b) in naive.iter().zip(&warm[0]) {
+        assert_eq!(a.0, b.id);
+        assert!((a.1 - b.score).abs() < 1e-5);
+    }
+
+    let mut group = c.benchmark_group(format!("flat_topk_{N}x{DIM}_k{K}"));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("baseline_heap", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(search_naive(&idx, q, K));
+            }
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(idx.search(q, K));
+            }
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| std::hint::black_box(idx.search_batch(&queries, K)))
+    });
+    group.finish();
+
+    // Batch encoding: per-text encode loop vs chunk-balanced encode_batch.
+    let model = RetrievalModel::new(RetrievalConfig::default());
+    let texts: Vec<String> = (0..32)
+        .map(|i| format!("Find the employee with evaluation number {i} ordered by bonus."))
+        .collect();
+    let mut group = c.benchmark_group("encode_32_texts");
+    group.throughput(Throughput::Elements(texts.len() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            for t in &texts {
+                std::hint::black_box(model.encode(t));
+            }
+        })
+    });
+    group.bench_function("batched", |b| {
+        b.iter(|| std::hint::black_box(model.encode_batch(&texts, 4)))
+    });
+    group.finish();
+
+    emit_retrieval_json(&idx, &queries);
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ use gar_benchmarks::{
     execution_match, geo_sim, mt_teql_sim, qben_sim, spider_sim, Benchmark, Example,
     GeoSimConfig, MtTeqlConfig, QbenSimConfig, SpiderSimConfig, Tally,
 };
-use gar_core::{analyze, ErrorAnalysis, GarConfig, GarSystem, PrepareConfig, PreparedDb};
+use gar_core::{analyze, ErrorAnalysis, GarConfig, GarSystem, PrepareConfig, PreparedDb, Translation};
 use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
 use gar_sql::{classify, clause_types, exact_match, ClauseType, Difficulty, Query};
 use std::collections::{BTreeMap, HashMap};
@@ -138,18 +138,32 @@ pub fn evaluate_gar(
         let Some(db) = bench.db(db_name) else { continue };
         let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
         let prepared = gar.prepare_eval_db(db, &gold);
-        for ex in exs {
-            records.push(eval_one(gar, db, &prepared, ex));
-        }
+        records.extend(eval_db_batch(gar, db, &prepared, &exs));
     }
     records
 }
 
-fn eval_one(
+/// Translate every example of one database as a single batch (amortized
+/// stage 1) and build the per-example records.
+fn eval_db_batch(
     gar: &GarSystem,
     db: &gar_benchmarks::GeneratedDb,
     prepared: &PreparedDb,
+    exs: &[&Example],
+) -> Vec<EvalRecord> {
+    let nls: Vec<String> = exs.iter().map(|e| e.nl.clone()).collect();
+    let translations = gar.translate_batch(db, prepared, &nls);
+    exs.iter()
+        .zip(translations)
+        .map(|(ex, tr)| record_from(db, prepared, ex, tr))
+        .collect()
+}
+
+fn record_from(
+    db: &gar_benchmarks::GeneratedDb,
+    prepared: &PreparedDb,
     ex: &Example,
+    tr: Translation,
 ) -> EvalRecord {
     let gold_masked = gar_sql::mask_values(&ex.sql);
     let gold_ids: Vec<usize> = prepared
@@ -160,9 +174,9 @@ fn eval_one(
         .map(|(i, _)| i)
         .collect();
 
-    let t0 = Instant::now();
-    let tr = gar.translate(db, prepared, &ex.nl);
-    let latency_us = t0.elapsed().as_micros();
+    // Per-stage timings already measured inside translate_batch; stage 1
+    // is the batch-amortized share.
+    let latency_us = tr.timing_us.0 + tr.timing_us.1 + tr.timing_us.2;
 
     let exact = tr.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false);
     let exec = tr
@@ -213,9 +227,7 @@ pub fn evaluate_gar_with_samples(
         } else {
             gar.prepare_with_samples(db, &samples)
         };
-        for ex in exs {
-            records.push(eval_one(gar, db, &prepared, ex));
-        }
+        records.extend(eval_db_batch(gar, db, &prepared, &exs));
     }
     records
 }

@@ -55,6 +55,8 @@ pub fn analyze(
     examples: &[&Example],
 ) -> ErrorAnalysis {
     let mut out = ErrorAnalysis::default();
+    // Pool check first; everything that survives is translated in one batch.
+    let mut pending: Vec<(&Example, Vec<usize>)> = Vec::with_capacity(examples.len());
     for ex in examples {
         out.total += 1;
         let gold = mask_values(&ex.sql);
@@ -67,18 +69,20 @@ pub fn analyze(
             .collect();
         if gold_ids.is_empty() {
             out.data_prep_miss += 1;
-            continue;
+        } else {
+            pending.push((*ex, gold_ids));
         }
-        let tr = gar.translate(db, prepared, &ex.nl);
+    }
+    let nls: Vec<String> = pending.iter().map(|(ex, _)| ex.nl.clone()).collect();
+    let translations = gar.translate_batch(db, prepared, &nls);
+    for ((ex, gold_ids), tr) in pending.iter().zip(&translations) {
         let top_ok = tr
             .top1()
             .map(|t| exact_match(t, &ex.sql))
             .unwrap_or(false);
         if top_ok {
             out.correct += 1;
-            continue;
-        }
-        if tr.retrieved.iter().any(|id| gold_ids.contains(id)) {
+        } else if tr.retrieved.iter().any(|id| gold_ids.contains(id)) {
             out.rerank_miss += 1;
         } else {
             out.retrieval_miss += 1;

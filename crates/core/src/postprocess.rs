@@ -223,8 +223,20 @@ mod tests {
     use rand::SeedableRng;
 
     fn db() -> GeneratedDb {
-        let mut rng = StdRng::seed_from_u64(4);
-        generate_db(&THEMES[0], 0, &mut rng)
+        // The theme picks a random entity subset, so not every RNG stream
+        // yields the student/city shape these tests exercise; scan seeds
+        // until it appears (seed 4 qualifies on the reference stream).
+        for seed in 4.. {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let d = generate_db(&THEMES[0], 0, &mut rng);
+            if matches!(
+                d.column_values("student", "city").first(),
+                Some(Datum::Text(_))
+            ) {
+                return d;
+            }
+        }
+        unreachable!("some seed yields a student table with city values")
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::prepare::{eval_samples_from_gold, prepare, DialectEntry, PrepareConfi
 use gar_benchmarks::{Example, GeneratedDb};
 use gar_ltr::{
     pair_features, similarity_score, RankList, RerankConfig, RerankModel, RetrievalConfig,
-    RetrievalModel, Triple,
+    RetrievalModel, ScoreScratch, Triple,
 };
 use gar_sql::{exact_match, mask_values, Query};
 use gar_vecindex::FlatIndex;
@@ -287,8 +287,89 @@ impl GarSystem {
         let t0 = Instant::now();
         let q_emb = self.retrieval.encode(nl);
         let hits = prepared.index.search(&q_emb, self.config.k);
-        let retrieved: Vec<usize> = hits.iter().map(|h| h.id).collect();
         let retrieve_us = t0.elapsed().as_micros();
+        self.finish_translation(db, prepared, nl, &q_emb, hits, retrieve_us)
+    }
+
+    /// Translate a batch of NL questions over one prepared database,
+    /// amortizing the first stage: one [`RetrievalModel::encode_batch`]
+    /// over all questions, one [`FlatIndex::search_batch_threads`] over all
+    /// query embeddings, then the filter + re-rank stages fan out over the
+    /// same worker pool. Results are identical to calling
+    /// [`GarSystem::translate`] per question; `timing_us.0` reports the
+    /// batch-amortized per-query stage-1 latency.
+    pub fn translate_batch(
+        &self,
+        db: &GeneratedDb,
+        prepared: &PreparedDb,
+        nls: &[String],
+    ) -> Vec<Translation> {
+        if nls.is_empty() {
+            return Vec::new();
+        }
+        let threads = self.config.threads.clamp(1, nls.len());
+
+        // Stage 1, batched across all questions.
+        let t0 = Instant::now();
+        let q_embs = self.retrieval.encode_batch(nls, threads);
+        let mut all_hits = prepared
+            .index
+            .search_batch_threads(&q_embs, self.config.k, threads);
+        let retrieve_us = t0.elapsed().as_micros() / nls.len() as u128;
+
+        // Stages 2 + 3, chunk-balanced over scoped workers.
+        let mut out: Vec<Option<Translation>> = (0..nls.len()).map(|_| None).collect();
+        if threads == 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let hits = std::mem::take(&mut all_hits[i]);
+                *slot = Some(self.finish_translation(
+                    db, prepared, &nls[i], &q_embs[i], hits, retrieve_us,
+                ));
+            }
+        } else {
+            let base = nls.len() / threads;
+            let extra = nls.len() % threads;
+            std::thread::scope(|scope| {
+                let mut rest_out = &mut out[..];
+                let mut rest_hits = &mut all_hits[..];
+                let mut start = 0usize;
+                for w in 0..threads {
+                    let size = base + usize::from(w < extra);
+                    let (slot, tail_out) = rest_out.split_at_mut(size);
+                    let (hits, tail_hits) = rest_hits.split_at_mut(size);
+                    rest_out = tail_out;
+                    rest_hits = tail_hits;
+                    let (nls, q_embs) = (&nls[start..start + size], &q_embs[start..start + size]);
+                    start += size;
+                    scope.spawn(move || {
+                        for (i, slot) in slot.iter_mut().enumerate() {
+                            let h = std::mem::take(&mut hits[i]);
+                            *slot = Some(self.finish_translation(
+                                db, prepared, &nls[i], &q_embs[i], h, retrieve_us,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter()
+            .map(|t| t.expect("translate_batch worker skipped a slot"))
+            .collect()
+    }
+
+    /// Stages 2 + 3 of translation (value filter, re-rank, instantiate),
+    /// shared by the single-question and batched paths so both produce
+    /// identical rankings.
+    fn finish_translation(
+        &self,
+        db: &GeneratedDb,
+        prepared: &PreparedDb,
+        nl: &str,
+        q_emb: &[f32],
+        hits: Vec<gar_vecindex::Hit>,
+        retrieve_us: u128,
+    ) -> Translation {
+        let retrieved: Vec<usize> = hits.iter().map(|h| h.id).collect();
 
         // Stage 2: value post-processing filter.
         let t1 = Instant::now();
@@ -300,16 +381,17 @@ impl GarSystem {
         // Stage 3: re-rank (or keep retrieval order).
         let t2 = Instant::now();
         let scored: Vec<(usize, f32)> = if self.config.use_rerank {
+            let mut scratch = ScoreScratch::default();
             filtered
                 .iter()
                 .map(|&id| {
                     let f = pair_features(
-                        &q_emb,
+                        q_emb,
                         &prepared.embeds[id],
                         nl,
                         &prepared.entries[id].dialect,
                     );
-                    (id, self.rerank.score(&f))
+                    (id, self.rerank.score_with(&f, &mut scratch))
                 })
                 .collect()
         } else {
@@ -461,6 +543,46 @@ mod tests {
         for w in tr.ranked.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    #[test]
+    fn translate_batch_matches_sequential_translate() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 24,
+        });
+        let mut cfg = tiny_config();
+        cfg.threads = 3;
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+
+        let nls: Vec<String> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.nl.clone())
+            .take(11)
+            .collect();
+        assert!(nls.len() > 4, "need a multi-chunk batch");
+        let batch = gar.translate_batch(db, &prepared, &nls);
+        assert_eq!(batch.len(), nls.len());
+        for (nl, b) in nls.iter().zip(&batch) {
+            let s = gar.translate(db, &prepared, nl);
+            assert_eq!(b.retrieved, s.retrieved, "retrieval diverged for {nl:?}");
+            assert_eq!(b.ranked.len(), s.ranked.len());
+            for (bc, sc) in b.ranked.iter().zip(&s.ranked) {
+                assert_eq!(bc.entry, sc.entry);
+                assert_eq!(bc.score.to_bits(), sc.score.to_bits());
+                assert!(exact_match(&bc.sql, &sc.sql));
+            }
+        }
+
+        assert!(gar.translate_batch(db, &prepared, &[]).is_empty());
     }
 
     #[test]

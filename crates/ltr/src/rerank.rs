@@ -104,6 +104,15 @@ pub struct RerankReport {
     pub lr_reductions: u32,
 }
 
+/// Reusable forward-pass buffers for repeated scoring. One scratch per
+/// caller (or per worker thread) eliminates the per-candidate hidden and
+/// output allocations once the buffers are warm.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    h: Vec<f32>,
+    out: Vec<f32>,
+}
+
 /// The pair-interaction listwise re-ranker.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RerankModel {
@@ -130,17 +139,25 @@ impl RerankModel {
 
     /// Score one pair-feature vector (higher = more relevant).
     pub fn score(&self, features: &[f32]) -> f32 {
-        let mut h = Vec::new();
-        self.l1.forward(features, &mut h);
-        relu_forward(&mut h);
-        let mut out = Vec::new();
-        self.l2.forward(&h, &mut out);
-        out[0]
+        self.score_with(features, &mut ScoreScratch::default())
     }
 
-    /// Score a whole candidate list.
+    /// [`RerankModel::score`] reusing caller-held forward buffers — the
+    /// allocation-free path for scoring many candidates.
+    pub fn score_with(&self, features: &[f32], scratch: &mut ScoreScratch) -> f32 {
+        self.l1.forward(features, &mut scratch.h);
+        relu_forward(&mut scratch.h);
+        self.l2.forward(&scratch.h, &mut scratch.out);
+        scratch.out[0]
+    }
+
+    /// Score a whole candidate list with one reused scratch.
     pub fn score_list(&self, items: &[Vec<f32>]) -> Vec<f32> {
-        items.iter().map(|f| self.score(f)).collect()
+        let mut scratch = ScoreScratch::default();
+        items
+            .iter()
+            .map(|f| self.score_with(f, &mut scratch))
+            .collect()
     }
 
     /// Train with the ListNet listwise objective over query-grouped lists.
@@ -402,6 +419,21 @@ mod tests {
         let m = RerankModel::new(small_config());
         let f = vec![0.3; 4 * 8 + EXTRA_FEATURES];
         assert_eq!(m.score(&f), m.score(&f));
+    }
+
+    #[test]
+    fn score_list_matches_itemwise_score() {
+        // The shared-scratch list path must agree bitwise with per-item
+        // scoring from a cold scratch.
+        let m = RerankModel::new(small_config());
+        let lists = synthetic_lists(3, 7);
+        for list in &lists {
+            let scores = m.score_list(&list.items);
+            assert_eq!(scores.len(), list.items.len());
+            for (f, s) in list.items.iter().zip(&scores) {
+                assert_eq!(m.score(f).to_bits(), s.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -83,6 +83,14 @@ struct Tower {
     e: Vec<f32>,
 }
 
+/// Reusable forward-pass buffers for repeated encodes. One scratch per
+/// caller (or per worker thread) eliminates the per-text hidden-layer
+/// allocation once the buffers are warm.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    h: Vec<f32>,
+}
+
 impl RetrievalModel {
     /// A freshly initialized (untrained) model.
     pub fn new(config: RetrievalConfig) -> Self {
@@ -108,28 +116,57 @@ impl RetrievalModel {
 
     /// Encode a text into an (unnormalized) embedding.
     pub fn encode(&self, text: &str) -> Vec<f32> {
-        let x = hash_features(text, &self.config.features);
-        self.forward(&x).e
+        let mut out = Vec::new();
+        self.encode_into(text, &mut EncodeScratch::default(), &mut out);
+        out
     }
 
-    /// Encode many texts in parallel across `threads` workers.
+    /// Encode a text into `out`, reusing `scratch` for the hidden layer —
+    /// the allocation-free path batch encoding and batch translation use.
+    pub fn encode_into(&self, text: &str, scratch: &mut EncodeScratch, out: &mut Vec<f32>) {
+        let x = hash_features(text, &self.config.features);
+        self.l1.forward_sparse(&x, &mut scratch.h);
+        tanh_forward(&mut scratch.h);
+        self.l2.forward(&scratch.h, out);
+    }
+
+    /// Encode many texts in parallel across `threads` scoped workers, each
+    /// with its own reused [`EncodeScratch`]. The thread count is clamped
+    /// to `1..=texts.len()` (0 runs sequentially; more workers than texts
+    /// would leave some idle), and texts are chunk-balanced so worker
+    /// loads differ by at most one text.
     pub fn encode_batch(&self, texts: &[String], threads: usize) -> Vec<Vec<f32>> {
         if texts.is_empty() {
             return Vec::new();
         }
-        let threads = threads.max(1).min(texts.len());
-        let chunk = texts.len().div_ceil(threads);
+        let threads = threads.clamp(1, texts.len());
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); texts.len()];
-        crossbeam::scope(|scope| {
-            for (slot, input) in out.chunks_mut(chunk).zip(texts.chunks(chunk)) {
-                scope.spawn(move |_| {
+        if threads == 1 {
+            let mut scratch = EncodeScratch::default();
+            for (o, t) in out.iter_mut().zip(texts) {
+                self.encode_into(t, &mut scratch, o);
+            }
+            return out;
+        }
+        let base = texts.len() / threads;
+        let extra = texts.len() % threads;
+        std::thread::scope(|scope| {
+            let mut rest_out = &mut out[..];
+            let mut rest_texts = texts;
+            for w in 0..threads {
+                let size = base + usize::from(w < extra);
+                let (slot, tail_out) = rest_out.split_at_mut(size);
+                let (input, tail_texts) = rest_texts.split_at(size);
+                rest_out = tail_out;
+                rest_texts = tail_texts;
+                scope.spawn(move || {
+                    let mut scratch = EncodeScratch::default();
                     for (o, t) in slot.iter_mut().zip(input) {
-                        *o = self.encode(t);
+                        self.encode_into(t, &mut scratch, o);
                     }
                 });
             }
-        })
-        .expect("encode_batch worker panicked");
+        });
         out
     }
 
@@ -422,6 +459,34 @@ mod tests {
         let batch = m.encode_batch(&texts, 4);
         for (t, b) in texts.iter().zip(&batch) {
             assert_eq!(&m.encode(t), b);
+        }
+    }
+
+    #[test]
+    fn encode_batch_clamps_degenerate_thread_counts() {
+        // threads = 0 must not panic or divide by zero; threads far beyond
+        // the text count must not spawn empty workers. Both agree with the
+        // sequential encoder.
+        let m = RetrievalModel::new(small_config());
+        let texts: Vec<String> = (0..5).map(|i| format!("query {i}")).collect();
+        for threads in [0usize, 1, 5, 1000] {
+            let batch = m.encode_batch(&texts, threads);
+            assert_eq!(batch.len(), texts.len());
+            for (t, b) in texts.iter().zip(&batch) {
+                assert_eq!(&m.encode(t), b, "threads = {threads}");
+            }
+        }
+        assert!(m.encode_batch(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn encode_into_with_reused_scratch_matches_encode() {
+        let m = RetrievalModel::new(small_config());
+        let mut scratch = EncodeScratch::default();
+        let mut out = Vec::new();
+        for text in ["first text", "second, longer text with more tokens"] {
+            m.encode_into(text, &mut scratch, &mut out);
+            assert_eq!(out, m.encode(text));
         }
     }
 

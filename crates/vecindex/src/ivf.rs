@@ -6,10 +6,20 @@
 //! first-stage retrieval "efficient similarity search" over the large
 //! dialect set.
 
-use crate::flat::{dot, normalize, Hit};
+use crate::flat::{dot, normalize, partition, Hit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
+
+/// Reusable per-worker scratch for IVF searches: the normalized query, the
+/// centroid ranking, and the probed-candidate buffer all keep their
+/// capacity across queries, so a batched probe allocates only its outputs.
+#[derive(Debug, Default)]
+struct IvfScratch {
+    q: Vec<f32>,
+    cell_scores: Vec<(usize, f32)>,
+    hits: Vec<Hit>,
+}
 
 /// IVF index configuration.
 #[derive(Debug, Clone, Copy)]
@@ -140,30 +150,98 @@ impl IvfIndex {
         self.cells[c].push((id, x));
     }
 
-    /// Top-k approximate search over the `nprobe` nearest cells.
+    /// Top-k approximate search over the `nprobe` nearest cells. `k = 0`
+    /// returns an empty vec without allocating; `k > len` returns every
+    /// probed hit sorted.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.search_with(query, k, &mut IvfScratch::default())
+    }
+
+    /// Batched top-k approximate search: one result list per query, each
+    /// bit-identical in ids and ordering to [`IvfIndex::search`] on the
+    /// same query. Worker count defaults to the available parallelism.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_batch_threads(queries, k, threads)
+    }
+
+    /// [`IvfIndex::search_batch`] with an explicit worker count. Queries are
+    /// chunk-balanced across scoped worker threads; each worker probes with
+    /// its own reused [`IvfScratch`], so results are independent of the
+    /// worker count by construction.
+    pub fn search_batch_threads(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
         assert!(self.trained, "IvfIndex::search before train");
-        let mut q = query.to_vec();
-        normalize(&mut q);
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<Vec<Hit>> = vec![Vec::new(); queries.len()];
+        let threads = threads.clamp(1, queries.len());
+        if threads == 1 || k == 0 {
+            let mut scratch = IvfScratch::default();
+            for (slot, q) in out.iter_mut().zip(queries) {
+                *slot = self.search_with(q, k, &mut scratch);
+            }
+            return out;
+        }
+        std::thread::scope(|scope| {
+            let mut out_rest = out.as_mut_slice();
+            let mut q_rest = queries;
+            for range in partition(queries.len(), threads) {
+                let (slots, rest) = out_rest.split_at_mut(range.len());
+                let (qs, qrest) = q_rest.split_at(range.len());
+                out_rest = rest;
+                q_rest = qrest;
+                scope.spawn(move || {
+                    let mut scratch = IvfScratch::default();
+                    for (slot, q) in slots.iter_mut().zip(qs) {
+                        *slot = self.search_with(q, k, &mut scratch);
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    fn search_with(&self, query: &[f32], k: usize, scratch: &mut IvfScratch) -> Vec<Hit> {
+        assert!(self.trained, "IvfIndex::search before train");
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        scratch.q.clear();
+        scratch.q.extend_from_slice(query);
+        normalize(&mut scratch.q);
+        let q = &scratch.q;
 
         // Rank cells by centroid similarity.
-        let mut cell_scores: Vec<(usize, f32)> = (0..self.nlist())
-            .map(|c| (c, dot(self.centroid(c), &q)))
-            .collect();
-        cell_scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+        scratch.cell_scores.clear();
+        scratch
+            .cell_scores
+            .extend((0..self.nlist()).map(|c| (c, dot(self.centroid(c), q))));
+        scratch
+            .cell_scores
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
 
-        let mut hits: Vec<Hit> = Vec::new();
-        for &(c, _) in cell_scores.iter().take(self.config.nprobe.max(1)) {
+        scratch.hits.clear();
+        for &(c, _) in scratch.cell_scores.iter().take(self.config.nprobe.max(1)) {
             for (id, v) in &self.cells[c] {
-                hits.push(Hit {
+                scratch.hits.push(Hit {
                     id: *id,
-                    score: dot(v, &q),
+                    score: dot(v, q),
                 });
             }
         }
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
-        hits.truncate(k);
-        hits
+        scratch
+            .hits
+            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        scratch.hits.iter().take(k).copied().collect()
     }
 }
 
@@ -270,6 +348,70 @@ mod tests {
     fn add_requires_training() {
         let mut ivf = IvfIndex::new(4, IvfConfig::default());
         ivf.add(0, &[1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn k_zero_returns_empty_without_allocating() {
+        let corpus = random_corpus(50, 8, 5);
+        let mut ivf = IvfIndex::new(8, IvfConfig::default());
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let hits = ivf.search(&corpus[0], 0);
+        assert!(hits.is_empty());
+        assert_eq!(hits.capacity(), 0);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all_probed_sorted() {
+        let corpus = random_corpus(30, 8, 6);
+        let mut ivf = IvfIndex::new(
+            8,
+            IvfConfig {
+                nlist: 4,
+                nprobe: 4,
+                ..IvfConfig::default()
+            },
+        );
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let hits = ivf.search(&corpus[0], 10_000);
+        assert_eq!(hits.len(), 30); // full probe: every vector comes back
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn search_batch_matches_sequential_search() {
+        let corpus = random_corpus(400, 16, 7);
+        let mut ivf = IvfIndex::new(
+            16,
+            IvfConfig {
+                nlist: 8,
+                nprobe: 3,
+                ..IvfConfig::default()
+            },
+        );
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let queries: Vec<Vec<f32>> = corpus[..13].to_vec();
+        for threads in [1, 4] {
+            let batch = ivf.search_batch_threads(&queries, 10, threads);
+            for (q, b) in queries.iter().zip(&batch) {
+                let seq = ivf.search(q, 10);
+                assert_eq!(seq.len(), b.len());
+                for (x, y) in seq.iter().zip(b) {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

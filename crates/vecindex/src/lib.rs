@@ -8,6 +8,12 @@
 //! approximate [`IvfIndex`] (`IndexIVFFlat`) with a k-means coarse
 //! quantizer, reproducing the speed/recall trade-off.
 //!
+//! Both indices expose a batched entry point (`search_batch`) built for the
+//! experiment harness's replay loops: blocked dot kernels, the vector store
+//! sharded across scoped worker threads (flat) or queries chunk-balanced
+//! over workers (IVF), and per-worker scratch reused across queries. Batched
+//! results are bit-identical in ids and ordering to per-query `search`.
+//!
 //! ```
 //! use gar_vecindex::FlatIndex;
 //!

@@ -63,6 +63,78 @@ proptest! {
         }
     }
 
+    /// The blocked dot kernel agrees with the naive scalar loop to within
+    /// 1e-5 (relative to the term-magnitude sum — summation order differs,
+    /// so long vectors accumulate a few ulps of reassociation error).
+    #[test]
+    fn blocked_dot_matches_naive_scalar(
+        pairs in proptest::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 0..200)
+    ) {
+        let a: Vec<f32> = pairs.iter().map(|p| p.0).collect();
+        let b: Vec<f32> = pairs.iter().map(|p| p.1).collect();
+        let mut naive = 0.0f32;
+        for (x, y) in a.iter().zip(&b) {
+            naive += x * y;
+        }
+        let blocked = gar_vecindex::dot(&a, &b);
+        let scale: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+        prop_assert!(
+            (blocked - naive).abs() <= 1e-5 * (1.0 + scale),
+            "blocked {blocked} vs naive {naive} (scale {scale})"
+        );
+    }
+
+    /// Batched flat search returns identical ids and ordering to per-query
+    /// search, for any corpus, query set, k, and worker count.
+    #[test]
+    fn flat_search_batch_identical_to_search(
+        corpus in corpus_strategy(),
+        queries in proptest::collection::vec(proptest::collection::vec(-1.0f32..1.0, 8), 1..20),
+        k in 0usize..12,
+        threads in 1usize..5,
+    ) {
+        let mut idx = FlatIndex::new(8);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        let batch = idx.search_batch_threads(&queries, k, threads);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            let seq = idx.search(q, k);
+            prop_assert_eq!(seq.len(), b.len());
+            for (x, y) in seq.iter().zip(b) {
+                prop_assert_eq!(x.id, y.id);
+                prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    /// Batched IVF search returns identical ids and ordering to per-query
+    /// search.
+    #[test]
+    fn ivf_search_batch_identical_to_search(
+        corpus in corpus_strategy(),
+        k in 0usize..12,
+        threads in 1usize..5,
+    ) {
+        prop_assume!(corpus.len() >= 4);
+        let mut ivf = IvfIndex::new(8, IvfConfig { nlist: 4, nprobe: 2, ..IvfConfig::default() });
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let queries: Vec<Vec<f32>> = corpus.iter().take(9).cloned().collect();
+        let batch = ivf.search_batch_threads(&queries, k, threads);
+        for (q, b) in queries.iter().zip(&batch) {
+            let seq = ivf.search(q, k);
+            prop_assert_eq!(seq.len(), b.len());
+            for (x, y) in seq.iter().zip(b) {
+                prop_assert_eq!(x.id, y.id);
+                prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
     /// IVF probing every cell reproduces the exact flat result ids.
     #[test]
     fn ivf_full_probe_matches_flat(corpus in corpus_strategy()) {

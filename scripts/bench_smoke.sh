@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Quick smoke pass over the retrieval-path Criterion benches: 1-second
+# measurement windows, enough to catch regressions in the blocked kernels
+# and the batched search path without a full bench run. `bench_batch` also
+# rewrites results/BENCH_retrieval.json with the measured throughput.
+#
+# Usage: scripts/bench_smoke.sh [extra cargo bench args...]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for bench in bench_retrieval bench_batch; do
+  echo "== $bench =="
+  cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
+    --measurement-time 1 --warm-up-time 0.5
+done

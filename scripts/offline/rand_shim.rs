@@ -1,0 +1,108 @@
+//! Minimal stand-in for the `rand` crate, used only by
+//! `scripts/offline_check.sh` so the workspace sources compile with plain
+//! `rustc` when cargo's registry is unreachable. It implements exactly the
+//! surface the workspace uses (`StdRng::seed_from_u64` + `random_range`
+//! over half-open and inclusive ranges of `usize`/`f32`/`f64`) on top of a
+//! splitmix64 generator. The stream differs from the real `StdRng`, which
+//! is fine: every test that consumes randomness is written against
+//! distributional properties, not exact draws.
+
+pub mod rngs {
+    /// Deterministic splitmix64 generator behind the `StdRng` name.
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+        }
+    }
+}
+
+/// Types samplable from a range with one raw 64-bit draw.
+pub trait Sample: Copy + PartialOrd {
+    fn half_open(raw: u64, lo: Self, hi: Self) -> Self;
+    fn inclusive(raw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! int_sample {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn half_open(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                lo + (raw % (hi.wrapping_sub(lo)) as u64) as $t
+            }
+            fn inclusive(raw: u64, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                lo + (raw % ((hi.wrapping_sub(lo)) as u64 + 1)) as $t
+            }
+        }
+    )*};
+}
+int_sample!(usize, u32, u64, i32, i64);
+
+impl Sample for f32 {
+    fn half_open(raw: u64, lo: Self, hi: Self) -> Self {
+        let unit = (raw >> 40) as f32 / (1u64 << 24) as f32; // [0, 1)
+        lo + unit * (hi - lo)
+    }
+    fn inclusive(raw: u64, lo: Self, hi: Self) -> Self {
+        Self::half_open(raw, lo, hi)
+    }
+}
+
+impl Sample for f64 {
+    fn half_open(raw: u64, lo: Self, hi: Self) -> Self {
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        lo + unit * (hi - lo)
+    }
+    fn inclusive(raw: u64, lo: Self, hi: Self) -> Self {
+        Self::half_open(raw, lo, hi)
+    }
+}
+
+/// Range shapes samplable with one raw 64-bit draw. Generic blanket impls
+/// (one per range shape, like the real crate) keep float-literal type
+/// inference working at call sites.
+pub trait SampleRange<T> {
+    fn sample(self, raw: u64) -> T;
+}
+
+impl<T: Sample> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, raw: u64) -> T {
+        T::half_open(raw, self.start, self.end)
+    }
+}
+
+impl<T: Sample> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, raw: u64) -> T {
+        T::inclusive(raw, *self.start(), *self.end())
+    }
+}
+
+pub trait Rng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+}

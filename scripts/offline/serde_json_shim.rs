@@ -1,0 +1,83 @@
+//! Minimal `serde_json` stand-in for the offline check harness: a flat
+//! value tree, a `json!` macro covering object literals with expression
+//! values, and `to_string_pretty`. Only the surface the bench files use.
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Number (everything numeric is carried as f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+macro_rules! from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Num(v as f64)
+            }
+        }
+    )*};
+}
+from_num!(f32, f64, u32, u64, i32, i64, usize);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+fn render(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                out.push_str(&format!("{:.1}", n));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::Str(s) => out.push_str(&format!("{s:?}")),
+        Value::Obj(pairs) => {
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                out.push_str(&" ".repeat(indent + 2));
+                out.push_str(&format!("{k:?}: "));
+                render(v, indent + 2, out);
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-print a value (infallible here; `Result` keeps call sites
+/// source-compatible with the real crate).
+pub fn to_string_pretty(v: &Value) -> Result<String, std::fmt::Error> {
+    let mut out = String::new();
+    render(v, 0, &mut out);
+    Ok(out)
+}
+
+/// Object-literal subset of `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    ({ $($k:tt : $v:expr),* $(,)? }) => {
+        $crate::Value::Obj(vec![ $(($k.to_string(), $crate::Value::from($v))),* ])
+    };
+    ($v:expr) => {
+        $crate::Value::from($v)
+    };
+}

@@ -1,0 +1,12 @@
+//! Minimal `serde` facade for the offline check harness: empty marker
+//! traits plus the no-op derive macros from `serde_shim_derive`. Only
+//! sufficient for crates that use serde exclusively through
+//! `#[derive(Serialize, Deserialize)]`.
+
+pub use serde_shim_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

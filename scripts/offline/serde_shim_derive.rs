@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline check
+//! harness (`scripts/offline_check.sh`): they expand to nothing, which is
+//! enough to compile crates that only use serde via `#[derive(..)]` and
+//! never actually serialize in their unit tests.
+
+extern crate proc_macro;
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,167 @@
+//! Offline throughput measurement: naive sequential baseline (scalar dot +
+//! binary heap, the pre-optimization implementation) vs per-query `search`
+//! vs `search_batch` on the acceptance workload (2,000-candidate flat
+//! index, dim 64, k = 100, 64-query batches). Prints a JSON object
+//! compatible with `results/BENCH_retrieval.json`. Built by
+//! `scripts/offline_check.sh`.
+
+#[path = "../../crates/vecindex/src/flat.rs"]
+pub mod flat;
+
+use flat::FlatIndex;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// The pre-optimization scan: serial scalar dot product and a binary heap
+/// updated per improving hit. Kept as the bench baseline so the batched
+/// path's speedup is measured against what it replaced.
+fn search_naive(idx: &FlatIndex, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+    struct Entry(f32, usize);
+    impl PartialEq for Entry {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0 && self.1 == other.1
+        }
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        // Min-heap on score so the root is the current worst hit.
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| self.1.cmp(&other.1))
+        }
+    }
+    let mut q = query.to_vec();
+    flat::normalize(&mut q);
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(k + 1);
+    for pos in 0..idx.len() {
+        let cand = idx.vector(pos);
+        let mut score = 0.0f32;
+        for i in 0..q.len() {
+            score += q[i] * cand[i];
+        }
+        if heap.len() < k {
+            heap.push(Entry(score, pos));
+        } else if let Some(worst) = heap.peek() {
+            if score > worst.0 {
+                heap.pop();
+                heap.push(Entry(score, pos));
+            }
+        }
+    }
+    let mut out: Vec<(usize, f32)> = heap.into_iter().map(|e| (e.1, e.0)).collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+    out
+}
+
+fn lcg_corpus(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+    };
+    (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect()
+}
+
+fn main() {
+    const N: usize = 2000;
+    const DIM: usize = 64;
+    const K: usize = 100;
+    const BATCH: usize = 64;
+
+    let corpus = lcg_corpus(N, DIM, 11);
+    let queries = lcg_corpus(BATCH, DIM, 12);
+    let mut idx = FlatIndex::new(DIM);
+    for (i, v) in corpus.iter().enumerate() {
+        idx.add(i, v);
+    }
+
+    // Warm-up + correctness tie: batched must equal sequential.
+    let warm = idx.search_batch(&queries, K);
+    for (q, b) in queries.iter().zip(&warm) {
+        let seq = idx.search(q, K);
+        assert_eq!(seq.len(), b.len());
+        for (x, y) in seq.iter().zip(b) {
+            assert!(x.id == y.id && x.score.to_bits() == y.score.to_bits());
+        }
+    }
+
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+
+    // The naive baseline must agree with the optimized paths on ids (the
+    // corpus uses id == position; scores differ only in rounding because
+    // the blocked kernel sums in a different order).
+    let naive = search_naive(&idx, &queries[0], K);
+    for (a, b) in naive.iter().zip(&warm[0]) {
+        assert_eq!(a.0, b.id);
+        assert!((a.1 - b.score).abs() < 1e-5);
+    }
+
+    let mut sink = 0usize;
+    let naive_rounds = rounds.div_ceil(4); // ~4x slower; keep wall time flat
+    let t = Instant::now();
+    for _ in 0..naive_rounds {
+        for q in &queries {
+            sink += search_naive(&idx, q, K).len();
+        }
+    }
+    let naive_s = t.elapsed().as_secs_f64() * rounds as f64 / naive_rounds as f64;
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for q in &queries {
+            sink += idx.search(q, K).len();
+        }
+    }
+    let seq_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        sink += idx
+            .search_batch(&queries, K)
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>();
+    }
+    let batch_s = t.elapsed().as_secs_f64();
+
+    let nq = (rounds * BATCH) as f64;
+    let baseline_qps = nq / naive_s;
+    let single_qps = nq / seq_s;
+    let batch_qps = nq / batch_s;
+    eprintln!("sink {sink}");
+    println!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"flat_topk_2000x{dim}_k{k}\",\n",
+            "  \"queries\": {nq},\n",
+            "  \"baseline_qps\": {base:.1},\n",
+            "  \"single_qps\": {single:.1},\n",
+            "  \"batch_qps\": {batch:.1},\n",
+            "  \"speedup_batch_vs_baseline\": {sb:.2},\n",
+            "  \"speedup_batch_vs_single\": {ss:.2}\n",
+            "}}"
+        ),
+        dim = DIM,
+        k = K,
+        nq = nq,
+        base = baseline_qps,
+        single = single_qps,
+        batch = batch_qps,
+        sb = batch_qps / baseline_qps,
+        ss = batch_qps / single_qps,
+    );
+}

@@ -1,0 +1,14 @@
+//! Offline test/bench harness for `gar-vecindex`.
+//!
+//! Includes the crate's real sources by path and reuses their `#[cfg(test)]`
+//! modules, so `rustc --test` runs the same unit tests `cargo test` would —
+//! without needing cargo to resolve the workspace. See
+//! `scripts/offline_check.sh`.
+
+#[path = "../../crates/vecindex/src/flat.rs"]
+pub mod flat;
+#[path = "../../crates/vecindex/src/ivf.rs"]
+pub mod ivf;
+
+pub use flat::{dot, normalize, FlatIndex, Hit};
+pub use ivf::{IvfConfig, IvfIndex};

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Offline build-and-test harness.
+#
+# When cargo's registry is unreachable (air-gapped CI, sandboxes), the
+# workspace cannot be built with cargo at all because the external
+# dependencies (rand, serde, bytes, criterion, proptest, ...) cannot be
+# fetched. This script compiles the core library crates directly with
+# rustc against the small local shims in scripts/offline/ (exactly the API
+# surface the workspace uses), runs their unit-test suites, and runs the
+# batched-retrieval throughput measurement.
+#
+# Covered crates: gar-sql, gar-schema, gar-engine, gar-generalize,
+# gar-dialect, gar-nl, gar-benchmarks, gar-vecindex, gar-ltr, gar-core,
+# gar-baselines (compile only), gar-experiments' eval loop (compile only)
+# and its bench_batch bench (smoke-run against a criterion shim).
+# Not covered: gar-baselines/gar-experiments binaries (need serde_json and
+# criterion) and the proptest suites — run those with plain `cargo test`
+# on a networked machine.
+#
+# Usage: scripts/offline_check.sh [--bench-rounds N]
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${GAR_OFFLINE_BUILD_DIR:-/tmp/gar-offline-build}"
+RUSTC="${RUSTC:-rustc}"
+BENCH_ROUNDS=40
+if [[ "${1:-}" == "--bench-rounds" ]]; then
+  BENCH_ROUNDS="${2:?--bench-rounds needs a value}"
+fi
+
+mkdir -p "$BUILD"
+cd "$BUILD"
+FLAGS=(-O --edition 2021 -L "dependency=$BUILD")
+
+say() { echo "[offline_check] $*"; }
+
+# --- 1. dependency shims --------------------------------------------------
+say "building dependency shims (rand, serde, bytes)"
+"$RUSTC" -O --edition 2021 --crate-type proc-macro --crate-name serde_shim_derive \
+  "$REPO/scripts/offline/serde_shim_derive.rs" -o libserde_shim_derive.so
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name serde \
+  "$REPO/scripts/offline/serde_shim.rs" \
+  --extern serde_shim_derive=libserde_shim_derive.so -o libserde.rlib
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name rand \
+  "$REPO/scripts/offline/rand_shim.rs" -o librand.rlib
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name bytes \
+  "$REPO/scripts/offline/bytes_shim.rs" -o libbytes.rlib
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name criterion \
+  "$REPO/scripts/offline/criterion_shim.rs" -o libcriterion.rlib
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name serde_json \
+  "$REPO/scripts/offline/serde_json_shim.rs" -o libserde_json.rlib
+
+# --- 2. workspace crates as rlibs ----------------------------------------
+# lib <crate_name> <dir> [--extern ...]
+lib() {
+  local name="$1" dir="$2"
+  shift 2
+  say "compiling $name"
+  "$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name "$name" \
+    "$REPO/crates/$dir/src/lib.rs" "$@" -o "lib$name.rlib"
+}
+
+SQL=(--extern gar_sql=libgar_sql.rlib)
+SCHEMA=(--extern gar_schema=libgar_schema.rlib)
+SERDE=(--extern serde=libserde.rlib)
+RAND=(--extern rand=librand.rlib)
+
+lib gar_sql sqlparse "${SERDE[@]}"
+lib gar_schema schema "${SQL[@]}" "${SERDE[@]}"
+lib gar_engine engine "${SQL[@]}" "${SCHEMA[@]}" "${SERDE[@]}"
+lib gar_generalize generalize "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}"
+lib gar_dialect dialect "${SQL[@]}" "${SCHEMA[@]}"
+lib gar_nl nlgen "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}"
+lib gar_benchmarks benchmarks "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" \
+  --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
+lib gar_vecindex vecindex "${RAND[@]}"
+lib gar_ltr ltr "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" --extern bytes=libbytes.rlib
+lib gar_baselines baselines "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" \
+  --extern gar_benchmarks=libgar_benchmarks.rlib \
+  --extern gar_ltr=libgar_ltr.rlib \
+  --extern gar_nl=libgar_nl.rlib \
+  --extern gar_engine=libgar_engine.rlib
+
+CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}"
+  --extern bytes=libbytes.rlib
+  --extern gar_engine=libgar_engine.rlib
+  --extern gar_generalize=libgar_generalize.rlib
+  --extern gar_dialect=libgar_dialect.rlib
+  --extern gar_nl=libgar_nl.rlib
+  --extern gar_benchmarks=libgar_benchmarks.rlib
+  --extern gar_ltr=libgar_ltr.rlib
+  --extern gar_vecindex=libgar_vecindex.rlib)
+lib gar_core core "${CORE_EXTERNS[@]}"
+
+# --- 3. unit-test suites --------------------------------------------------
+say "building + running gar-vecindex unit tests"
+"$RUSTC" "${FLAGS[@]}" --test --crate-name gar_vecindex \
+  "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}" -o vecindex_tests
+./vecindex_tests --test-threads=1
+
+say "building + running gar-ltr unit tests"
+"$RUSTC" "${FLAGS[@]}" --test --crate-name gar_ltr \
+  "$REPO/crates/ltr/src/lib.rs" "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" \
+  --extern bytes=libbytes.rlib -o ltr_tests
+./ltr_tests --test-threads=1
+
+say "building + running gar-core unit tests"
+"$RUSTC" "${FLAGS[@]}" --test --crate-name gar_core \
+  "$REPO/crates/core/src/lib.rs" "${CORE_EXTERNS[@]}" -o core_tests
+./core_tests --test-threads=1
+
+# --- 4. experiment-harness eval loop + bench_batch ------------------------
+say "compile-checking the gar-experiments eval loop (context.rs)"
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name gar_exp_context \
+  "$REPO/crates/bench/src/context.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib \
+  --extern gar_baselines=libgar_baselines.rlib \
+  -A dead_code -o libgar_exp_context.rlib
+
+say "building + smoke-running bench_batch against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_batch \
+  "$REPO/crates/bench/benches/bench_batch.rs" "${RAND[@]}" "${SERDE[@]}" \
+  --extern bytes=libbytes.rlib \
+  --extern gar_sql=libgar_sql.rlib \
+  --extern gar_ltr=libgar_ltr.rlib \
+  --extern gar_vecindex=libgar_vecindex.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_batch
+GAR_RESULTS_DIR="$BUILD/results" ./bench_batch
+
+# --- 5. batched retrieval throughput -------------------------------------
+say "building + running the batched-retrieval throughput measurement"
+"$RUSTC" "${FLAGS[@]}" --crate-name vecindex_bench \
+  "$REPO/scripts/offline/vecindex_bench.rs" "${RAND[@]}" -o vecindex_bench
+./vecindex_bench "$BENCH_ROUNDS"
+
+say "OK"
