@@ -34,10 +34,12 @@
 
 pub mod datum;
 pub mod exec;
+pub mod naive;
 pub mod table;
 
 pub use datum::{like_match, Datum};
 pub use exec::{execute, ExecError};
+pub use naive::execute_naive;
 pub use table::{Database, ResultSet, TableData};
 
 #[cfg(test)]
@@ -311,5 +313,184 @@ mod tests {
              WHERE T3.name = 'red bull'",
         );
         assert_eq!(rs.rows, vec![vec![Datum::from("max")]]);
+    }
+}
+
+/// NULL and empty-table semantics — the edge cases the differential
+/// harness leans on (populated databases never contain NULLs, so the
+/// testkit injects them; these tests pin the contract both executors
+/// must share).
+#[cfg(test)]
+mod null_semantics_tests {
+    use super::*;
+    use crate::naive::execute_naive;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    fn empty_db() -> Database {
+        let schema = SchemaBuilder::new("d")
+            .table("t", |t| t.col_int("a").col_text("b").col_float("x").pk(&["a"]))
+            .build();
+        Database::empty(schema)
+    }
+
+    /// Both executors, asserted equal; returns the optimized result.
+    fn both(db: &Database, sql: &str) -> ResultSet {
+        let q = parse(sql).unwrap();
+        let fast = execute(db, &q).unwrap();
+        let slow = execute_naive(db, &q).unwrap();
+        assert_eq!(fast, slow, "executors diverged on {sql}");
+        fast
+    }
+
+    #[test]
+    fn aggregates_over_zero_rows() {
+        let db = empty_db();
+        let rs = both(
+            &db,
+            "SELECT COUNT(*), COUNT(t.a), SUM(t.x), AVG(t.x), MIN(t.x), MAX(t.x) FROM t",
+        );
+        // One global group even with no input rows: COUNT = 0, the rest NULL.
+        assert_eq!(
+            rs.rows,
+            vec![vec![
+                Datum::Int(0),
+                Datum::Int(0),
+                Datum::Null,
+                Datum::Null,
+                Datum::Null,
+                Datum::Null,
+            ]]
+        );
+    }
+
+    #[test]
+    fn aggregates_after_where_eliminates_everything() {
+        let mut db = empty_db();
+        db.insert("t", vec![Datum::Int(1), Datum::from("p"), Datum::Float(2.5)]);
+        let rs = both(&db, "SELECT COUNT(*), SUM(t.x) FROM t WHERE t.a > 100");
+        assert_eq!(rs.rows, vec![vec![Datum::Int(0), Datum::Null]]);
+    }
+
+    #[test]
+    fn grouped_aggregates_over_zero_rows_yield_no_groups() {
+        let db = empty_db();
+        let rs = both(&db, "SELECT t.b, COUNT(*) FROM t GROUP BY t.b");
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn empty_table_join_produces_no_rows() {
+        let schema = SchemaBuilder::new("d")
+            .table("l", |t| t.col_int("id").col_text("n").pk(&["id"]))
+            .table("r", |t| t.col_int("id").col_int("v").pk(&["id"]))
+            .fk("r", "id", "l", "id")
+            .build();
+        let mut db = Database::empty(schema);
+        db.insert("l", vec![Datum::Int(1), Datum::from("a")]);
+        // r stays empty.
+        let rs = both(&db, "SELECT l.n FROM l JOIN r ON l.id = r.id");
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn group_by_with_all_null_keys_forms_one_group() {
+        let mut db = empty_db();
+        for i in 0..3 {
+            db.insert("t", vec![Datum::Int(i), Datum::Null, Datum::Float(i as f64)]);
+        }
+        let rs = both(&db, "SELECT t.b, COUNT(*) FROM t GROUP BY t.b");
+        // canon_key(NULL) is a single bucket: one group of three.
+        assert_eq!(rs.rows, vec![vec![Datum::Null, Datum::Int(3)]]);
+    }
+
+    #[test]
+    fn group_by_mixed_null_keys_first_encounter_order() {
+        let mut db = empty_db();
+        db.insert("t", vec![Datum::Int(1), Datum::from("x"), Datum::Float(1.0)]);
+        db.insert("t", vec![Datum::Int(2), Datum::Null, Datum::Float(2.0)]);
+        db.insert("t", vec![Datum::Int(3), Datum::from("x"), Datum::Float(3.0)]);
+        db.insert("t", vec![Datum::Int(4), Datum::Null, Datum::Float(4.0)]);
+        let rs = both(&db, "SELECT t.b, COUNT(*) FROM t GROUP BY t.b");
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Datum::from("x"), Datum::Int(2)],
+                vec![Datum::Null, Datum::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn null_predicates_never_match() {
+        let mut db = empty_db();
+        db.insert("t", vec![Datum::Int(1), Datum::Null, Datum::Float(1.0)]);
+        db.insert("t", vec![Datum::Int(2), Datum::from("q"), Datum::Float(2.0)]);
+        // NULL = / != / LIKE all fail to match.
+        assert!(both(&db, "SELECT t.a FROM t WHERE t.b = 'q' OR t.b != 'q'")
+            .rows
+            .len()
+            == 1);
+        assert!(both(&db, "SELECT t.a FROM t WHERE t.b LIKE '%q%'").rows.len() == 1);
+    }
+
+    #[test]
+    fn order_by_nulls_sort_first_and_ties_keep_insertion_order() {
+        let mut db = empty_db();
+        // Three ties on x = 1.0 inserted in a fixed order, one NULL, one 0.5.
+        db.insert("t", vec![Datum::Int(10), Datum::from("c"), Datum::Float(1.0)]);
+        db.insert("t", vec![Datum::Int(11), Datum::from("a"), Datum::Null]);
+        db.insert("t", vec![Datum::Int(12), Datum::from("b"), Datum::Float(1.0)]);
+        db.insert("t", vec![Datum::Int(13), Datum::from("d"), Datum::Float(0.5)]);
+        db.insert("t", vec![Datum::Int(14), Datum::from("e"), Datum::Float(1.0)]);
+        let rs = both(&db, "SELECT t.a FROM t ORDER BY t.x ASC");
+        // NULL first, then 0.5, then the tied 1.0s in insertion order
+        // (stable sort of the materialization order).
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Datum::Int(11)],
+                vec![Datum::Int(13)],
+                vec![Datum::Int(10)],
+                vec![Datum::Int(12)],
+                vec![Datum::Int(14)],
+            ]
+        );
+        // Descending keeps ties stable too — reversal of key order, not of
+        // the tied run.
+        let rs = both(&db, "SELECT t.a FROM t ORDER BY t.x DESC");
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Datum::Int(10)],
+                vec![Datum::Int(12)],
+                vec![Datum::Int(14)],
+                vec![Datum::Int(13)],
+                vec![Datum::Int(11)],
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates_skip_null_inputs() {
+        let mut db = empty_db();
+        db.insert("t", vec![Datum::Int(1), Datum::from("a"), Datum::Float(10.0)]);
+        db.insert("t", vec![Datum::Int(2), Datum::from("b"), Datum::Null]);
+        db.insert("t", vec![Datum::Int(3), Datum::from("c"), Datum::Float(30.0)]);
+        let rs = both(
+            &db,
+            "SELECT COUNT(*), COUNT(t.x), SUM(t.x), AVG(t.x), MIN(t.x), MAX(t.x) FROM t",
+        );
+        assert_eq!(
+            rs.rows,
+            vec![vec![
+                Datum::Int(3),
+                Datum::Int(2),
+                Datum::Float(40.0),
+                Datum::Float(20.0),
+                Datum::Float(10.0),
+                Datum::Float(30.0),
+            ]]
+        );
     }
 }

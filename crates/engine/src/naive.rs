@@ -1,0 +1,660 @@
+//! A naive reference interpreter for differential testing.
+//!
+//! [`execute_naive`] is a second, independently written evaluator for the
+//! same SQL subset as [`execute`](crate::exec::execute). It trades every
+//! optimization for obviousness — nested-loop joins instead of hash joins,
+//! linear column lookup, per-row re-evaluation — so that its output can be
+//! compared against the optimized executor over generated databases
+//! (differential execution, the `gar-testkit` harness). Any disagreement is
+//! a bug in one of the two.
+//!
+//! The two evaluators share only the `Datum` value primitives
+//! ([`Datum::sql_cmp`], [`like_match`], canonical keys); all query logic —
+//! joins, filtering, grouping, aggregation, ordering, set operations — is
+//! re-derived from the semantics spelled out below.
+//!
+//! ## Tie-breaking contract
+//!
+//! Both evaluators promise the same *deterministic* row order so ordered
+//! comparison is meaningful:
+//!
+//! - the pre-aggregation working set enumerates rows in `FROM`-order
+//!   nested-loop order (left row major, right table storage order);
+//! - groups are emitted in first-encounter order of their key;
+//! - `ORDER BY` is a stable sort of that materialization order, NULLs
+//!   first;
+//! - set operations keep the first occurrence of each row key, left
+//!   operand first.
+
+use crate::datum::{like_match, Datum};
+use crate::exec::ExecError;
+use crate::table::{Database, ResultSet};
+use gar_sql::ast::*;
+use std::cmp::Ordering;
+
+/// Execute a query with the naive reference interpreter.
+///
+/// # Errors
+///
+/// Mirrors [`execute`](crate::exec::execute): unknown tables/columns,
+/// masked literals, and constructs outside the subset.
+pub fn execute_naive(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
+    let mut result = naive_core(db, q)?;
+    if let Some((op, rhs)) = &q.compound {
+        let right = execute_naive(db, rhs)?;
+        result = naive_setop(*op, result, right);
+    }
+    Ok(result)
+}
+
+fn key_of(row: &[Datum]) -> String {
+    let mut s = String::new();
+    for d in row {
+        s.push_str(&d.canon_key());
+        s.push('|');
+    }
+    s
+}
+
+fn naive_setop(op: SetOp, left: ResultSet, right: ResultSet) -> ResultSet {
+    let mut rows: Vec<Vec<Datum>> = Vec::new();
+    let mut emitted: Vec<String> = Vec::new();
+    let in_right = |r: &Vec<Datum>| right.rows.iter().any(|rr| key_of(rr) == key_of(r));
+    let push_new = |rows: &mut Vec<Vec<Datum>>, emitted: &mut Vec<String>, r: Vec<Datum>| {
+        let k = key_of(&r);
+        if !emitted.contains(&k) {
+            emitted.push(k);
+            rows.push(r);
+        }
+    };
+    match op {
+        SetOp::Union => {
+            for r in left.rows.into_iter().chain(right.rows) {
+                push_new(&mut rows, &mut emitted, r);
+            }
+        }
+        SetOp::Intersect => {
+            for r in left.rows {
+                if in_right(&r) {
+                    push_new(&mut rows, &mut emitted, r);
+                }
+            }
+        }
+        SetOp::Except => {
+            for r in left.rows {
+                if !in_right(&r) {
+                    push_new(&mut rows, &mut emitted, r);
+                }
+            }
+        }
+    }
+    ResultSet {
+        columns: left.columns,
+        rows,
+    }
+}
+
+/// The joined working set: qualified column names + rows, built by plain
+/// nested loops.
+struct Joined {
+    header: Vec<String>,
+    rows: Vec<Vec<Datum>>,
+}
+
+impl Joined {
+    fn lookup(&self, c: &ColumnRef) -> Result<usize, ExecError> {
+        match &c.table {
+            Some(t) => {
+                let want = format!("{t}.{}", c.column);
+                self.header
+                    .iter()
+                    .position(|h| *h == want)
+                    .ok_or_else(|| ExecError::UnknownColumn(c.to_string()))
+            }
+            None => {
+                let suffix = format!(".{}", c.column);
+                let hits: Vec<usize> = self
+                    .header
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, h)| h.ends_with(&suffix))
+                    .map(|(i, _)| i)
+                    .collect();
+                match hits.len() {
+                    1 => Ok(hits[0]),
+                    0 => Err(ExecError::UnknownColumn(c.to_string())),
+                    _ => Err(ExecError::UnknownColumn(format!("ambiguous {}", c.column))),
+                }
+            }
+        }
+    }
+}
+
+fn join_tables(db: &Database, from: &FromClause) -> Result<Joined, ExecError> {
+    let mut header: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<Datum>> = vec![Vec::new()];
+    for (i, tname) in from.tables.iter().enumerate() {
+        let t = db
+            .table(tname)
+            .ok_or_else(|| ExecError::UnknownTable(tname.clone()))?;
+        let new_header: Vec<String> = t
+            .columns
+            .iter()
+            .map(|c| format!("{}.{}", t.name, c))
+            .collect();
+        let cond = if i == 0 { None } else { from.conds.get(i - 1) };
+        let mut combined_header = header.clone();
+        combined_header.extend(new_header.iter().cloned());
+        let probe = Joined {
+            header: combined_header.clone(),
+            rows: Vec::new(),
+        };
+        let (li, ri) = match cond {
+            Some(jc) => {
+                let a = probe.lookup(&jc.left)?;
+                let b = probe.lookup(&jc.right)?;
+                (Some(a), Some(b))
+            }
+            None => (None, None),
+        };
+        let mut next_rows = Vec::new();
+        for l in &rows {
+            for r in &t.rows {
+                let mut combined = l.clone();
+                combined.extend(r.iter().cloned());
+                let keep = match (li, ri) {
+                    (Some(a), Some(b)) => combined[a].sql_eq(&combined[b]),
+                    _ => true,
+                };
+                if keep {
+                    next_rows.push(combined);
+                }
+            }
+        }
+        header = combined_header;
+        rows = next_rows;
+    }
+    Ok(Joined { header, rows })
+}
+
+/// Evaluate a non-aggregated column expression against one row.
+fn row_value(ws: &Joined, row: &[Datum], ce: &ColExpr) -> Result<Datum, ExecError> {
+    if ce.agg.is_some() {
+        return Err(ExecError::Unsupported(
+            "aggregate outside grouped context".to_string(),
+        ));
+    }
+    Ok(row[ws.lookup(&ce.col)?].clone())
+}
+
+/// Evaluate a column expression against a group of rows.
+fn group_value(ws: &Joined, group: &[Vec<Datum>], ce: &ColExpr) -> Result<Datum, ExecError> {
+    let Some(agg) = ce.agg else {
+        // Group key: constant within the group by construction.
+        let i = ws.lookup(&ce.col)?;
+        return Ok(group.first().map(|r| r[i].clone()).unwrap_or(Datum::Null));
+    };
+    if ce.col.is_star() {
+        if agg == AggFunc::Count {
+            return Ok(Datum::Int(group.len() as i64));
+        }
+        return Err(ExecError::Unsupported(format!("{agg}(*)")));
+    }
+    let i = ws.lookup(&ce.col)?;
+    let mut vals: Vec<Datum> = group
+        .iter()
+        .map(|r| r[i].clone())
+        .filter(|d| !d.is_null())
+        .collect();
+    if ce.distinct {
+        let mut keys: Vec<String> = Vec::new();
+        vals.retain(|d| {
+            let k = d.canon_key();
+            if keys.contains(&k) {
+                false
+            } else {
+                keys.push(k);
+                true
+            }
+        });
+    }
+    Ok(match agg {
+        AggFunc::Count => Datum::Int(vals.len() as i64),
+        AggFunc::Sum => {
+            let nums: Vec<f64> = vals.iter().filter_map(Datum::as_f64).collect();
+            if nums.is_empty() {
+                Datum::Null
+            } else {
+                Datum::Float(nums.iter().sum())
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = vals.iter().filter_map(Datum::as_f64).collect();
+            if nums.is_empty() {
+                Datum::Null
+            } else {
+                Datum::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let mut best: Option<Datum> = None;
+            for v in vals {
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let take = match v.sql_cmp(&b) {
+                            Some(Ordering::Less) => agg == AggFunc::Min,
+                            Some(Ordering::Greater) => agg == AggFunc::Max,
+                            _ => false,
+                        };
+                        if take {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.unwrap_or(Datum::Null)
+        }
+    })
+}
+
+/// Row/group evaluation context for predicate evaluation.
+enum Scope<'a> {
+    Row(&'a [Datum]),
+    Group(&'a [Vec<Datum>]),
+}
+
+fn scope_value(ws: &Joined, scope: &Scope<'_>, ce: &ColExpr) -> Result<Datum, ExecError> {
+    match scope {
+        Scope::Row(r) => row_value(ws, r, ce),
+        Scope::Group(g) => group_value(ws, g, ce),
+    }
+}
+
+fn literal_datum(l: &Literal) -> Result<Datum, ExecError> {
+    match l {
+        Literal::Masked => Err(ExecError::MaskedValue),
+        Literal::Int(v) => Ok(Datum::Int(*v)),
+        Literal::Float(v) => Ok(Datum::Float(*v)),
+        Literal::Str(s) => Ok(Datum::Text(s.clone())),
+    }
+}
+
+/// Scalar value of an operand (literals, columns, scalar subqueries).
+fn operand_value(
+    db: &Database,
+    ws: &Joined,
+    scope: &Scope<'_>,
+    o: &Operand,
+) -> Result<Datum, ExecError> {
+    match o {
+        Operand::Lit(l) => literal_datum(l),
+        Operand::Col(c) => scope_value(ws, scope, c),
+        Operand::Subquery(sq) => {
+            let rs = execute_naive(db, sq)?;
+            Ok(rs
+                .rows
+                .first()
+                .and_then(|r| r.first())
+                .cloned()
+                .unwrap_or(Datum::Null))
+        }
+    }
+}
+
+fn predicate_holds(
+    db: &Database,
+    ws: &Joined,
+    scope: &Scope<'_>,
+    p: &Predicate,
+) -> Result<bool, ExecError> {
+    let lhs = scope_value(ws, scope, &p.lhs)?;
+    Ok(match p.op {
+        CmpOp::Eq | CmpOp::Ne | CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let rhs = operand_value(db, ws, scope, &p.rhs)?;
+            match lhs.sql_cmp(&rhs) {
+                None => false,
+                Some(ord) => match p.op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                    _ => unreachable!(),
+                },
+            }
+        }
+        CmpOp::Like | CmpOp::NotLike => {
+            // Mirror the optimized executor: a column operand is never a
+            // valid pattern, even if its value is text.
+            let pattern = match &p.rhs {
+                Operand::Col(_) => {
+                    return Err(ExecError::Unsupported("LIKE needs text pattern".into()))
+                }
+                other => match operand_value(db, ws, scope, other)? {
+                    Datum::Text(s) => s,
+                    _ => {
+                        return Err(ExecError::Unsupported("LIKE needs text pattern".into()))
+                    }
+                },
+            };
+            let value = match &lhs {
+                Datum::Null => return Ok(false),
+                Datum::Text(s) => s.clone(),
+                other => other.to_string(),
+            };
+            like_match(&value, &pattern) == (p.op == CmpOp::Like)
+        }
+        CmpOp::In | CmpOp::NotIn => {
+            let Operand::Subquery(sq) = &p.rhs else {
+                // The optimized executor evaluates the operand before
+                // dispatching on the operator, so a masked literal raises
+                // MaskedValue ahead of the not-a-subquery error.
+                if matches!(&p.rhs, Operand::Lit(Literal::Masked)) {
+                    return Err(ExecError::MaskedValue);
+                }
+                return Err(ExecError::Unsupported("IN needs subquery".into()));
+            };
+            let rs = execute_naive(db, sq)?;
+            let member = !lhs.is_null()
+                && rs
+                    .rows
+                    .iter()
+                    .filter_map(|r| r.first())
+                    .any(|v| v.canon_key() == lhs.canon_key());
+            member == (p.op == CmpOp::In)
+        }
+        CmpOp::Between => {
+            let lo = operand_value(db, ws, scope, &p.rhs)?;
+            let hi = match &p.rhs2 {
+                Some(o) => operand_value(db, ws, scope, o)?,
+                None => return Err(ExecError::Unsupported("BETWEEN missing bound".into())),
+            };
+            matches!(lhs.sql_cmp(&lo), Some(Ordering::Greater | Ordering::Equal))
+                && matches!(lhs.sql_cmp(&hi), Some(Ordering::Less | Ordering::Equal))
+        }
+    })
+}
+
+/// Flat condition chain with SQL precedence: the chain is a disjunction of
+/// OR-separated conjunction groups.
+fn condition_holds(
+    db: &Database,
+    ws: &Joined,
+    scope: &Scope<'_>,
+    cond: &Condition,
+) -> Result<bool, ExecError> {
+    let mut groups: Vec<Vec<&Predicate>> = vec![Vec::new()];
+    for (i, p) in cond.preds.iter().enumerate() {
+        if i > 0 && cond.conns[i - 1] == BoolConn::Or {
+            groups.push(Vec::new());
+        }
+        groups.last_mut().expect("non-empty").push(p);
+    }
+    // No early exit across groups: the optimized executor keeps evaluating
+    // later OR-groups even once one has succeeded, so an error (masked
+    // value, unsupported construct) in a later group still propagates.
+    // Within a group, predicates after the first false one are skipped.
+    let mut any = false;
+    for g in groups {
+        let mut all = true;
+        for p in g {
+            if all && !predicate_holds(db, ws, scope, p)? {
+                all = false;
+            }
+        }
+        if all {
+            any = true;
+        }
+    }
+    Ok(any)
+}
+
+/// Stable comparison of sort-key vectors under the engine's NULLs-first
+/// rule.
+fn order_cmp(a: &[Datum], b: &[Datum], dirs: &[OrderDir]) -> Ordering {
+    for (j, dir) in dirs.iter().enumerate() {
+        let ord = match a[j].sql_cmp(&b[j]) {
+            Some(o) => o,
+            None => match (a[j].is_null(), b[j].is_null()) {
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                _ => Ordering::Equal,
+            },
+        };
+        let ord = if *dir == OrderDir::Desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+fn naive_core(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
+    let ws = join_tables(db, &q.from)?;
+
+    let mut filtered: Vec<Vec<Datum>> = Vec::new();
+    for row in &ws.rows {
+        let keep = match &q.where_ {
+            Some(c) => condition_holds(db, &ws, &Scope::Row(row), c)?,
+            None => true,
+        };
+        if keep {
+            filtered.push(row.clone());
+        }
+    }
+
+    let aggregated = !q.group_by.is_empty()
+        || q.select.items.iter().any(ColExpr::is_aggregated)
+        || q.order_by
+            .as_ref()
+            .is_some_and(|ob| ob.items.iter().any(|i| i.expr.is_aggregated()));
+
+    // (projection, sort keys) units.
+    let mut units: Vec<(Vec<Datum>, Vec<Datum>)> = Vec::new();
+    if aggregated {
+        let mut groups: Vec<Vec<Vec<Datum>>> = Vec::new();
+        if q.group_by.is_empty() {
+            groups.push(filtered);
+        } else {
+            let idxs: Vec<usize> = q
+                .group_by
+                .iter()
+                .map(|g| ws.lookup(g))
+                .collect::<Result<_, _>>()?;
+            let mut keys: Vec<String> = Vec::new();
+            for row in filtered {
+                let k: String = idxs
+                    .iter()
+                    .map(|&i| row[i].canon_key())
+                    .collect::<Vec<_>>()
+                    .join("|");
+                match keys.iter().position(|existing| *existing == k) {
+                    Some(slot) => groups[slot].push(row),
+                    None => {
+                        keys.push(k);
+                        groups.push(vec![row]);
+                    }
+                }
+            }
+        }
+        for g in &groups {
+            if let Some(h) = &q.having {
+                if g.is_empty() || !condition_holds(db, &ws, &Scope::Group(g), h)? {
+                    continue;
+                }
+            }
+            let mut proj = Vec::new();
+            for item in &q.select.items {
+                if item.col.is_star() && item.agg.is_none() {
+                    return Err(ExecError::Unsupported("bare * in grouped select".into()));
+                }
+                proj.push(group_value(&ws, g, item)?);
+            }
+            let mut keys = Vec::new();
+            if let Some(ob) = &q.order_by {
+                for oi in &ob.items {
+                    keys.push(group_value(&ws, g, &oi.expr)?);
+                }
+            }
+            units.push((proj, keys));
+        }
+    } else {
+        for row in &filtered {
+            let mut proj = Vec::new();
+            for item in &q.select.items {
+                if item.col.is_star() {
+                    proj.extend(row.iter().cloned());
+                } else {
+                    proj.push(row_value(&ws, row, item)?);
+                }
+            }
+            let mut keys = Vec::new();
+            if let Some(ob) = &q.order_by {
+                for oi in &ob.items {
+                    keys.push(row_value(&ws, row, &oi.expr)?);
+                }
+            }
+            units.push((proj, keys));
+        }
+    }
+
+    if q.select.distinct {
+        let mut seen: Vec<String> = Vec::new();
+        units.retain(|(p, _)| {
+            let k = key_of(p);
+            if seen.contains(&k) {
+                false
+            } else {
+                seen.push(k);
+                true
+            }
+        });
+    }
+
+    if let Some(ob) = &q.order_by {
+        let dirs: Vec<OrderDir> = ob.items.iter().map(|i| i.dir).collect();
+        units.sort_by(|(_, ka), (_, kb)| order_cmp(ka, kb, &dirs));
+    }
+
+    if let Some(l) = q.limit {
+        units.truncate(l as usize);
+    }
+
+    let columns = if q.select.items.len() == 1 && q.select.items[0].col.is_star() {
+        ws.header.clone()
+    } else {
+        q.select.items.iter().map(|i| i.to_string()).collect()
+    };
+
+    Ok(ResultSet {
+        columns,
+        rows: units.into_iter().map(|(p, _)| p).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new("hr")
+            .table("employee", |t| {
+                t.col_int("employee_id")
+                    .col_text("name")
+                    .col_int("age")
+                    .pk(&["employee_id"])
+            })
+            .table("evaluation", |t| {
+                t.col_int("employee_id")
+                    .col_int("year_awarded")
+                    .col_float("bonus")
+                    .pk(&["employee_id", "year_awarded"])
+            })
+            .fk("evaluation", "employee_id", "employee", "employee_id")
+            .build();
+        let mut db = Database::empty(schema);
+        for (id, name, age) in [(1, "alice", 34), (2, "bob", 28), (3, "carol", 45)] {
+            db.insert(
+                "employee",
+                vec![Datum::Int(id), Datum::from(name), Datum::Int(age)],
+            );
+        }
+        for (eid, year, bonus) in [(1, 2020, 500.0), (1, 2021, 600.0), (2, 2021, 2000.0)] {
+            db.insert(
+                "evaluation",
+                vec![Datum::Int(eid), Datum::Int(year), Datum::Float(bonus)],
+            );
+        }
+        db
+    }
+
+    fn both(db: &Database, sql: &str) -> (ResultSet, ResultSet) {
+        let q = parse(sql).unwrap();
+        (execute_naive(db, &q).unwrap(), execute(db, &q).unwrap())
+    }
+
+    #[test]
+    fn agrees_with_optimized_on_joins_groups_and_setops() {
+        let db = db();
+        for sql in [
+            "SELECT name FROM employee WHERE age > 30",
+            "SELECT employee.name FROM employee JOIN evaluation \
+             ON employee.employee_id = evaluation.employee_id \
+             ORDER BY evaluation.bonus DESC LIMIT 1",
+            "SELECT evaluation.employee_id, COUNT(*) FROM evaluation \
+             GROUP BY evaluation.employee_id HAVING COUNT(*) >= 2",
+            "SELECT COUNT(*), SUM(bonus), AVG(bonus), MIN(bonus), MAX(bonus) FROM evaluation",
+            "SELECT employee_id FROM employee EXCEPT SELECT employee_id FROM evaluation",
+            "SELECT name FROM employee WHERE employee_id IN \
+             (SELECT employee_id FROM evaluation WHERE bonus > 1000)",
+            "SELECT name FROM employee WHERE age > (SELECT AVG(age) FROM employee)",
+            "SELECT DISTINCT employee_id FROM evaluation",
+            "SELECT name FROM employee WHERE age BETWEEN 28 AND 34 OR name LIKE '%ol%'",
+        ] {
+            let (a, b) = both(&db, sql);
+            assert_eq!(a, b, "naive vs optimized diverged on {sql}");
+        }
+    }
+
+    #[test]
+    fn nested_loop_join_matches_hash_join_order() {
+        let db = db();
+        let (a, b) = both(
+            &db,
+            "SELECT employee.name, evaluation.bonus FROM employee JOIN evaluation \
+             ON employee.employee_id = evaluation.employee_id",
+        );
+        // Ordered equality: the tie-breaking contract holds even without
+        // ORDER BY.
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn masked_literal_is_rejected() {
+        let db = db();
+        let q = parse("SELECT name FROM employee WHERE age > ?").unwrap();
+        assert_eq!(execute_naive(&db, &q), Err(ExecError::MaskedValue));
+    }
+
+    #[test]
+    fn unknown_table_and_column_error() {
+        let db = db();
+        let q = parse("SELECT x.a FROM x").unwrap();
+        assert!(matches!(
+            execute_naive(&db, &q),
+            Err(ExecError::UnknownTable(_))
+        ));
+        let q = parse("SELECT employee.nope FROM employee").unwrap();
+        assert!(matches!(
+            execute_naive(&db, &q),
+            Err(ExecError::UnknownColumn(_))
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Edge-case tests for the SQL front-end: malformed `IN` lists, deep
+//! subquery nesting, compound set-operation round-trips, and the exact
+//! boundaries of the SPIDER difficulty buckets.
+
+use crate::difficulty::{classify, Difficulty};
+use crate::parser::parse;
+use crate::printer::to_sql;
+use crate::{exact_match, ParseError};
+
+/// Parse, reprint, reparse: the printed form must be a fixpoint and the
+/// reparse must be exact-set-match equal to the first parse.
+fn roundtrip(sql: &str) -> String {
+    let q = parse(sql).unwrap_or_else(|e| panic!("{e}: {sql}"));
+    let printed = to_sql(&q);
+    let back = parse(&printed).unwrap_or_else(|e| panic!("reparse {e}: {printed}"));
+    assert_eq!(to_sql(&back), printed, "printer not a fixpoint for {sql}");
+    assert!(exact_match(&q, &back), "reparse changed meaning of {sql}");
+    printed
+}
+
+fn parse_err(sql: &str) -> ParseError {
+    match parse(sql) {
+        Ok(q) => panic!("expected parse error for {sql}, got {}", to_sql(&q)),
+        Err(e) => e,
+    }
+}
+
+// --- IN-list edge cases ---------------------------------------------------
+
+#[test]
+fn empty_in_list_is_a_graceful_error() {
+    let e = parse_err("SELECT t.a FROM t WHERE t.a IN ()");
+    let msg = e.to_string();
+    assert!(
+        msg.contains("subquery"),
+        "error should point at the missing subquery: {msg}"
+    );
+}
+
+#[test]
+fn literal_in_lists_are_rejected_not_panicked() {
+    // The SPIDER-subset grammar mandates a subquery after IN; literal
+    // lists of every literal type must error, never panic.
+    for sql in [
+        "SELECT t.a FROM t WHERE t.a IN (1)",
+        "SELECT t.a FROM t WHERE t.a IN (1, 2, 3)",
+        "SELECT t.a FROM t WHERE t.a IN (1.5, 2.5)",
+        "SELECT t.a FROM t WHERE t.a IN ('x', 'y')",
+        "SELECT t.a FROM t WHERE t.a NOT IN (1, 2)",
+    ] {
+        parse_err(sql);
+    }
+}
+
+#[test]
+fn unclosed_in_subquery_is_a_graceful_error() {
+    parse_err("SELECT t.a FROM t WHERE t.a IN (SELECT u.a FROM u");
+    parse_err("SELECT t.a FROM t WHERE t.a IN (");
+    parse_err("SELECT t.a FROM t WHERE t.a IN");
+}
+
+// --- deep nesting ---------------------------------------------------------
+
+#[test]
+fn depth_three_nested_subqueries_round_trip() {
+    roundtrip(
+        "SELECT t.a FROM t WHERE t.a IN (SELECT u.a FROM u WHERE u.b IN \
+         (SELECT v.b FROM v WHERE v.c IN (SELECT w.c FROM w)))",
+    );
+}
+
+#[test]
+fn depth_four_nesting_with_mixed_predicates_round_trips() {
+    let printed = roundtrip(
+        "SELECT t.a FROM t WHERE t.x > 3 AND t.a IN (SELECT u.a FROM u WHERE \
+         u.b NOT IN (SELECT v.b FROM v WHERE v.c IN (SELECT w.c FROM w \
+         WHERE w.d IN (SELECT z.d FROM z))))",
+    );
+    // All four nesting levels survive the round-trip.
+    assert_eq!(printed.matches("SELECT").count(), 5);
+}
+
+#[test]
+fn deeply_nested_queries_classify_as_hard_or_worse() {
+    let q = parse(
+        "SELECT t.a FROM t WHERE t.a IN (SELECT u.a FROM u WHERE u.b IN \
+         (SELECT v.b FROM v))",
+    )
+    .unwrap();
+    assert!(q.has_nested_subquery());
+    assert!(classify(&q) >= Difficulty::Hard);
+}
+
+// --- compound set operations ----------------------------------------------
+
+#[test]
+fn union_except_intersect_round_trip() {
+    for op in ["UNION", "EXCEPT", "INTERSECT"] {
+        let printed = roundtrip(&format!(
+            "SELECT t.a FROM t WHERE t.b = 1 {op} SELECT u.a FROM u"
+        ));
+        assert!(printed.contains(op), "{op} lost in {printed}");
+    }
+}
+
+#[test]
+fn compound_arms_keep_their_own_clauses() {
+    let printed = roundtrip(
+        "SELECT t.a FROM t WHERE t.b = 1 UNION SELECT u.a FROM u WHERE u.c = 2",
+    );
+    let arms: Vec<&str> = printed.split(" UNION ").collect();
+    assert_eq!(arms.len(), 2);
+    assert!(arms[0].contains("WHERE") && arms[1].contains("WHERE"));
+}
+
+#[test]
+fn compound_with_subquery_arm_round_trips() {
+    roundtrip(
+        "SELECT t.a FROM t WHERE t.a IN (SELECT u.a FROM u) \
+         EXCEPT SELECT v.a FROM v",
+    );
+}
+
+// --- difficulty bucket boundaries -----------------------------------------
+
+fn diff(sql: &str) -> Difficulty {
+    classify(&parse(sql).unwrap())
+}
+
+#[test]
+fn difficulty_walks_every_bucket_as_components_accumulate() {
+    // c1 counts WHERE/GROUP BY/ORDER BY/LIMIT/JOIN/OR/LIKE; one at a time:
+    // Easy (c1=1) → Medium (c1=2) → Hard (c1=3) → ExtraHard (c1=4).
+    assert_eq!(diff("SELECT t.a FROM t WHERE t.b = 1"), Difficulty::Easy);
+    assert_eq!(
+        diff("SELECT t.a FROM t WHERE t.b = 1 ORDER BY t.a"),
+        Difficulty::Medium
+    );
+    assert_eq!(
+        diff("SELECT t.a FROM t WHERE t.b = 1 ORDER BY t.a LIMIT 5"),
+        Difficulty::Hard
+    );
+    assert_eq!(
+        diff("SELECT t.a FROM t WHERE t.b = 1 OR t.c = 2 ORDER BY t.a LIMIT 5"),
+        Difficulty::ExtraHard
+    );
+}
+
+#[test]
+fn others_alone_cannot_pass_medium_until_it_exceeds_two() {
+    // others=1 (two select columns), c1=0 → Medium.
+    assert_eq!(diff("SELECT t.a, t.b FROM t"), Difficulty::Medium);
+    // others=4 (aggs>1, cols>1, preds>1, group-bys>1) with c1=2 → Hard.
+    assert_eq!(
+        diff(
+            "SELECT MAX(t.a), MIN(t.b) FROM t WHERE t.c = 1 AND t.d = 2 \
+             GROUP BY t.e, t.f"
+        ),
+        Difficulty::Hard
+    );
+}
+
+#[test]
+fn one_subquery_is_hard_two_are_extra_hard() {
+    // c2=1 with an otherwise-easy query → Hard.
+    assert_eq!(
+        diff("SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u)"),
+        Difficulty::Hard
+    );
+    // c2=2 → no Hard arm matches → ExtraHard.
+    assert_eq!(
+        diff(
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u) \
+             AND t.c IN (SELECT v.c FROM v)"
+        ),
+        Difficulty::ExtraHard
+    );
+}
+
+#[test]
+fn compound_counts_both_sides() {
+    // Each arm alone is Easy (c1=1); compound adds c2=1 and sums c1 to 2
+    // → the Hard arm (c1<=1) misses, the Medium arms need c2=0 → ExtraHard
+    // territory is avoided only while c2 stays 0. With both arms carrying
+    // WHERE the query lands in ExtraHard.
+    assert_eq!(
+        diff("SELECT t.a FROM t WHERE t.b = 1 UNION SELECT u.a FROM u WHERE u.c = 2"),
+        Difficulty::ExtraHard
+    );
+    // A bare compound: c1=0, c2=1, others=0 → Hard via the c2<=1 arm.
+    assert_eq!(
+        diff("SELECT t.a FROM t UNION SELECT u.a FROM u"),
+        Difficulty::Hard
+    );
+}

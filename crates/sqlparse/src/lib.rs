@@ -43,6 +43,8 @@
 
 pub mod ast;
 pub mod difficulty;
+#[cfg(test)]
+mod edge_tests;
 pub mod error;
 pub mod mask;
 pub mod normalize;

@@ -1,0 +1,190 @@
+//! Per-query invariant checks.
+//!
+//! Each check takes an AST (and, for execution checks, a database) and
+//! returns `Err(description)` on divergence. The runner in
+//! [`crate::differential`] attaches the case seed to any failure so it can
+//! be replayed in isolation.
+
+use gar_engine::{execute, execute_naive, Database, ResultSet};
+use gar_sql::ast::Query;
+use gar_sql::{
+    collect_values, exact_match, fingerprint, mask_values, masked_count, normalize, parse,
+    to_sql, unmask_values,
+};
+
+/// Print → parse → print fixpoint: the canonical SQL text of a generated
+/// AST must survive one parse/print cycle verbatim, and the re-parsed AST
+/// must itself be a parse fixpoint.
+pub fn check_print_parse_fixpoint(q: &Query) -> Result<(), String> {
+    let s1 = to_sql(q);
+    let q2 = parse(&s1).map_err(|e| format!("printed SQL fails to parse: {e:?} [{s1}]"))?;
+    let s2 = to_sql(&q2);
+    if s1 != s2 {
+        return Err(format!("print fixpoint violated:\n  first:  {s1}\n  second: {s2}"));
+    }
+    let q3 = parse(&s2).map_err(|e| format!("second parse failed: {e:?} [{s2}]"))?;
+    if q3 != q2 {
+        return Err(format!("parse not idempotent on canonical text [{s2}]"));
+    }
+    Ok(())
+}
+
+/// Masking is idempotent, accounts for every literal, and is inverted by
+/// `unmask_values` with the collected literal list.
+pub fn check_mask_roundtrip(q: &Query) -> Result<(), String> {
+    let m = mask_values(q);
+    let mm = mask_values(&m);
+    if m != mm {
+        return Err(format!("mask_values not idempotent on {}", to_sql(q)));
+    }
+    let values: Vec<_> = collect_values(q).into_iter().map(|(_, l)| l).collect();
+    let placeholders = masked_count(&m);
+    if placeholders != values.len() + masked_count(q) {
+        return Err(format!(
+            "masked_count({placeholders}) != collected({}) + pre-masked({}) on {}",
+            values.len(),
+            masked_count(q),
+            to_sql(q)
+        ));
+    }
+    if masked_count(q) == 0 {
+        let back = unmask_values(&m, &values);
+        if back != *q {
+            return Err(format!(
+                "unmask(mask(q)) != q:\n  q:    {}\n  back: {}",
+                to_sql(q),
+                to_sql(&back)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Normalization is stable across a print/parse cycle and under masking
+/// (exact set match ignores values), and `exact_match` is reflexive.
+pub fn check_normalize_stability(q: &Query) -> Result<(), String> {
+    let fp = fingerprint(&normalize(q));
+    let s = to_sql(q);
+    let q2 = parse(&s).map_err(|e| format!("printed SQL fails to parse: {e:?} [{s}]"))?;
+    if fingerprint(&normalize(&q2)) != fp {
+        return Err(format!("fingerprint changes across print/parse on {s}"));
+    }
+    if !exact_match(q, q) {
+        return Err(format!("exact_match not reflexive on {s}"));
+    }
+    if !exact_match(q, &mask_values(q)) {
+        return Err(format!("exact_match distinguishes masked values on {s}"));
+    }
+    Ok(())
+}
+
+fn render_rows(rs: &ResultSet, limit: usize) -> String {
+    let shown: Vec<String> = rs.rows.iter().take(limit).map(|r| {
+        let cells: Vec<String> = r.iter().map(|d| d.to_string()).collect();
+        format!("({})", cells.join(", "))
+    }).collect();
+    format!(
+        "{} rows: {}{}",
+        rs.rows.len(),
+        shown.join(" "),
+        if rs.rows.len() > limit { " …" } else { "" }
+    )
+}
+
+/// Differential execution: the optimized executor and the naive reference
+/// interpreter must agree exactly — same rows in the same order, or the
+/// same error.
+pub fn check_differential_exec(db: &Database, q: &Query) -> Result<(), String> {
+    let fast = execute(db, q);
+    let slow = execute_naive(db, q);
+    match (fast, slow) {
+        (Ok(a), Ok(b)) => {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!(
+                    "executor results diverge on {}\n  optimized: {}\n  reference: {}",
+                    to_sql(q),
+                    render_rows(&a, 5),
+                    render_rows(&b, 5)
+                ))
+            }
+        }
+        (Err(a), Err(b)) => {
+            if a == b {
+                Ok(())
+            } else {
+                Err(format!(
+                    "executor errors diverge on {}: optimized={a:?} reference={b:?}",
+                    to_sql(q)
+                ))
+            }
+        }
+        (Ok(a), Err(e)) => Err(format!(
+            "optimized succeeds ({}) but reference errors ({e:?}) on {}",
+            render_rows(&a, 3),
+            to_sql(q)
+        )),
+        (Err(e), Ok(b)) => Err(format!(
+            "reference succeeds ({}) but optimized errors ({e:?}) on {}",
+            render_rows(&b, 3),
+            to_sql(q)
+        )),
+    }
+}
+
+/// Metamorphic row-shuffle invariance: executing against a row-permuted
+/// copy of the database must yield the same result *multiset* (row order
+/// may legitimately change — group emission and tie order follow
+/// materialization order). Queries with `LIMIT` are the caller's job to
+/// skip: their visible rows depend on physical order when sort keys tie.
+pub fn check_shuffle_invariance(
+    base: &Database,
+    shuffled: &Database,
+    q: &Query,
+) -> Result<(), String> {
+    let a = execute(base, q);
+    let b = execute(shuffled, q);
+    match (a, b) {
+        (Ok(a), Ok(b)) => {
+            if a.matches(&b, false) {
+                Ok(())
+            } else {
+                Err(format!(
+                    "row shuffle changes result multiset on {}\n  base:     {}\n  shuffled: {}",
+                    to_sql(q),
+                    render_rows(&a, 5),
+                    render_rows(&b, 5)
+                ))
+            }
+        }
+        (Err(a), Err(b)) if a == b => Ok(()),
+        (a, b) => Err(format!(
+            "row shuffle changes outcome kind on {}: {a:?} vs {b:?}",
+            to_sql(q)
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixpoint_check_accepts_canonical_queries() {
+        let q = parse(
+            "SELECT t.a, COUNT(*) FROM t GROUP BY t.a HAVING COUNT(*) >= 2 \
+             ORDER BY COUNT(*) DESC LIMIT 3",
+        )
+        .unwrap();
+        check_print_parse_fixpoint(&q).unwrap();
+        check_mask_roundtrip(&q).unwrap();
+        check_normalize_stability(&q).unwrap();
+    }
+
+    #[test]
+    fn mask_roundtrip_accepts_partially_masked_queries() {
+        let q = parse("SELECT t.a FROM t WHERE t.b = ? AND t.c = 3").unwrap();
+        check_mask_roundtrip(&q).unwrap();
+    }
+}

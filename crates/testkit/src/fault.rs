@@ -1,0 +1,87 @@
+//! Seeded fault injection on generated databases.
+//!
+//! The benchmark populator never produces NULLs and always stores rows in
+//! generation order, so two whole classes of executor behaviour (NULL
+//! comparison semantics, physical-order sensitivity) would go untested
+//! without deliberate perturbation. Both injectors draw from [`TestRng`],
+//! so a perturbed database is a pure function of (base db, seed).
+
+use crate::rng::TestRng;
+use gar_engine::{Database, Datum};
+
+/// Return a copy of `db` with each cell independently replaced by NULL
+/// with probability `p`. Join-key NULLs are fine — both executors must
+/// agree that NULL never joins, so injection deliberately does not avoid
+/// key columns.
+pub fn inject_nulls(db: &Database, p: f64, rng: &mut TestRng) -> Database {
+    let mut out = db.clone();
+    // Deterministic iteration: table names sorted, rows/cells in order.
+    let mut names: Vec<String> = out.tables.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let t = out.tables.get_mut(&name).expect("known table");
+        for row in &mut t.rows {
+            for cell in row.iter_mut() {
+                if rng.chance(p) {
+                    *cell = Datum::Null;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Return a copy of `db` with every table's rows shuffled (Fisher–Yates
+/// per table, deterministic in the seed).
+pub fn shuffle_rows(db: &Database, rng: &mut TestRng) -> Database {
+    let mut out = db.clone();
+    let mut names: Vec<String> = out.tables.keys().cloned().collect();
+    names.sort();
+    for name in names {
+        let t = out.tables.get_mut(&name).expect("known table");
+        rng.shuffle(&mut t.rows);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::SchemaBuilder;
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new("d")
+            .table("t", |t| t.col_int("a").col_text("b").pk(&["a"]))
+            .build();
+        let mut db = Database::empty(schema);
+        for i in 0..50 {
+            db.insert("t", vec![Datum::Int(i), Datum::from(format!("v{i}"))]);
+        }
+        db
+    }
+
+    #[test]
+    fn null_injection_is_deterministic_and_partial() {
+        let base = db();
+        let a = inject_nulls(&base, 0.2, &mut TestRng::new(4));
+        let b = inject_nulls(&base, 0.2, &mut TestRng::new(4));
+        assert_eq!(a.table("t").unwrap().rows, b.table("t").unwrap().rows);
+        let nulls = a.table("t").unwrap().rows.iter().flatten().filter(|d| d.is_null()).count();
+        assert!(nulls > 0, "expected some NULLs at p=0.2 over 100 cells");
+        assert!(nulls < 100, "expected some survivors at p=0.2");
+        // Base untouched.
+        assert!(base.table("t").unwrap().rows.iter().flatten().all(|d| !d.is_null()));
+    }
+
+    #[test]
+    fn shuffle_preserves_row_multiset() {
+        let base = db();
+        let s = shuffle_rows(&base, &mut TestRng::new(8));
+        let mut a: Vec<String> = base.table("t").unwrap().rows.iter().map(|r| format!("{r:?}")).collect();
+        let mut b: Vec<String> = s.table("t").unwrap().rows.iter().map(|r| format!("{r:?}")).collect();
+        assert_ne!(a, b, "shuffle with 50 rows should move something");
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,592 @@
+//! Seeded random query generation over generated benchmark databases.
+//!
+//! Produces ASTs (not strings) that resolve against a [`GeneratedDb`]'s
+//! schema, drawing literals from the populated data so predicates are
+//! selective rather than vacuous. Coverage is deliberately wider than the
+//! benchmark's gold-query generator (`gar_benchmarks::query_gen`): deeper
+//! `IN`-subquery nesting, `BETWEEN`, scalar-subquery comparisons, chained
+//! compounds, `DISTINCT`, and multi-key `ORDER BY` all appear, because the
+//! point here is to stress the parser/printer/executors, not to imitate
+//! SPIDER's gold distribution.
+//!
+//! All randomness flows through [`TestRng`], so a query is a pure function
+//! of one `u64` in every build environment.
+
+use crate::rng::TestRng;
+use gar_benchmarks::GeneratedDb;
+use gar_engine::Datum;
+use gar_schema::{ColType, Schema};
+use gar_sql::ast::*;
+
+/// A (table, column, type) coordinate usable as a predicate or projection
+/// target.
+#[derive(Debug, Clone)]
+struct ColAt {
+    table: String,
+    column: String,
+    ty: ColType,
+}
+
+fn columns_of(schema: &Schema, tables: &[String]) -> Vec<ColAt> {
+    let mut out = Vec::new();
+    for tname in tables {
+        if let Some(t) = schema.table(tname) {
+            for c in &t.columns {
+                out.push(ColAt {
+                    table: t.name.clone(),
+                    column: c.name.clone(),
+                    ty: c.ty,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn qref(c: &ColAt) -> ColumnRef {
+    ColumnRef {
+        table: Some(c.table.clone()),
+        column: c.column.clone(),
+    }
+}
+
+/// Choose 1–3 FK-connected tables and the join conditions linking them.
+fn gen_from(schema: &Schema, rng: &mut TestRng) -> FromClause {
+    let names: Vec<String> = schema.tables.iter().map(|t| t.name.clone()).collect();
+    let mut tables = vec![names[rng.below(names.len())].clone()];
+    let mut conds = Vec::new();
+    while tables.len() < 3 && rng.chance(0.45) {
+        // An FK edge touching the current set on exactly one side.
+        let candidates: Vec<&gar_schema::ForeignKey> = schema
+            .foreign_keys
+            .iter()
+            .filter(|fk| {
+                tables.contains(&fk.from_table) != tables.contains(&fk.to_table)
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let fk = candidates[rng.below(candidates.len())];
+        let (acc, new) = if tables.contains(&fk.from_table) {
+            (
+                ColumnRef {
+                    table: Some(fk.from_table.clone()),
+                    column: fk.from_column.clone(),
+                },
+                ColumnRef {
+                    table: Some(fk.to_table.clone()),
+                    column: fk.to_column.clone(),
+                },
+            )
+        } else {
+            (
+                ColumnRef {
+                    table: Some(fk.to_table.clone()),
+                    column: fk.to_column.clone(),
+                },
+                ColumnRef {
+                    table: Some(fk.from_table.clone()),
+                    column: fk.from_column.clone(),
+                },
+            )
+        };
+        let new_table = new.table.clone().expect("qualified");
+        tables.push(new_table);
+        conds.push(JoinCond {
+            left: acc,
+            right: new,
+        });
+    }
+    FromClause { tables, conds }
+}
+
+/// A literal sampled from the column's populated values (so predicates hit
+/// real rows about half the time), falling back to a constant when the
+/// column is empty.
+fn gen_literal(db: &GeneratedDb, c: &ColAt, rng: &mut TestRng) -> Literal {
+    let values = db.column_values(&c.table, &c.column);
+    if values.is_empty() {
+        return match c.ty {
+            ColType::Int => Literal::Int(1),
+            ColType::Float => Literal::Float(1.0),
+            ColType::Text => Literal::Str("x".to_string()),
+        };
+    }
+    match values[rng.below(values.len())].clone() {
+        Datum::Int(v) => Literal::Int(v),
+        Datum::Float(v) => Literal::Float(v),
+        Datum::Text(s) => Literal::Str(s),
+        Datum::Null => Literal::Int(0),
+    }
+}
+
+/// A `LIKE` pattern built from a real value of the column: a word or
+/// prefix wrapped in `%`.
+fn gen_like_pattern(db: &GeneratedDb, c: &ColAt, rng: &mut TestRng) -> String {
+    let base = match gen_literal(db, c, rng) {
+        Literal::Str(s) => s,
+        _ => "x".to_string(),
+    };
+    let words: Vec<&str> = base.split_whitespace().collect();
+    let frag = if words.is_empty() {
+        "x"
+    } else {
+        words[rng.below(words.len())]
+    };
+    let frag: String = frag.chars().take(1 + rng.below(6)).collect();
+    let frag = if frag.is_empty() { "x".to_string() } else { frag };
+    match rng.below(3) {
+        0 => format!("%{frag}%"),
+        1 => format!("{frag}%"),
+        _ => format!("%{frag}"),
+    }
+}
+
+/// The FK partner of a column, in either direction, if any. Used to build
+/// `IN`-subqueries whose value domains actually overlap.
+fn fk_partner(schema: &Schema, c: &ColAt) -> Option<ColAt> {
+    for fk in &schema.foreign_keys {
+        if fk.from_table == c.table && fk.from_column == c.column {
+            let t = schema.table(&fk.to_table)?;
+            let col = t.column(&fk.to_column)?;
+            return Some(ColAt {
+                table: fk.to_table.clone(),
+                column: fk.to_column.clone(),
+                ty: col.ty,
+            });
+        }
+        if fk.to_table == c.table && fk.to_column == c.column {
+            let t = schema.table(&fk.from_table)?;
+            let col = t.column(&fk.from_column)?;
+            return Some(ColAt {
+                table: fk.from_table.clone(),
+                column: fk.from_column.clone(),
+                ty: col.ty,
+            });
+        }
+    }
+    None
+}
+
+/// A membership subquery `SELECT partner FROM partner_table [WHERE ...]`,
+/// nesting further `IN`-subqueries up to `depth`.
+fn gen_in_subquery(
+    db: &GeneratedDb,
+    partner: &ColAt,
+    depth: usize,
+    rng: &mut TestRng,
+) -> Query {
+    let mut sub = Query::simple(partner.table.clone(), vec![ColExpr::plain(qref(partner))]);
+    if depth > 0 || rng.chance(0.6) {
+        let cols = columns_of(&db.schema, &sub.from.tables);
+        if !cols.is_empty() {
+            sub.where_ = Some(gen_condition(db, &cols, depth, rng, 2));
+        }
+    }
+    sub
+}
+
+/// A scalar aggregate subquery over a numeric column, e.g.
+/// `(SELECT AVG(t.x) FROM t)` — always exactly one output row, so it is
+/// safe under row shuffling.
+fn gen_scalar_subquery(db: &GeneratedDb, rng: &mut TestRng) -> Option<(Query, ColType)> {
+    let all: Vec<ColAt> = db
+        .schema
+        .tables
+        .iter()
+        .flat_map(|t| {
+            t.columns.iter().filter_map(|c| {
+                c.ty.is_numeric().then(|| ColAt {
+                    table: t.name.clone(),
+                    column: c.name.clone(),
+                    ty: c.ty,
+                })
+            })
+        })
+        .collect();
+    if all.is_empty() {
+        return None;
+    }
+    let target = all[rng.below(all.len())].clone();
+    let agg = *rng.pick(&[AggFunc::Avg, AggFunc::Min, AggFunc::Max, AggFunc::Sum]);
+    let q = Query::simple(
+        target.table.clone(),
+        vec![ColExpr::agg(agg, qref(&target))],
+    );
+    Some((q, target.ty))
+}
+
+/// One predicate over the available columns. `depth` bounds subquery
+/// nesting; aggregates only appear when `having` is set (the predicate is
+/// for a `HAVING` clause).
+fn gen_predicate(
+    db: &GeneratedDb,
+    cols: &[ColAt],
+    depth: usize,
+    rng: &mut TestRng,
+    having: bool,
+) -> Predicate {
+    if having {
+        // HAVING: aggregate threshold, most often COUNT(*).
+        let lhs = if rng.chance(0.7) {
+            ColExpr::count_star()
+        } else {
+            let numeric: Vec<&ColAt> = cols.iter().filter(|c| c.ty.is_numeric()).collect();
+            match numeric.is_empty() {
+                true => ColExpr::count_star(),
+                false => {
+                    let c = numeric[rng.below(numeric.len())];
+                    ColExpr::agg(*rng.pick(&[AggFunc::Avg, AggFunc::Sum]), qref(c))
+                }
+            }
+        };
+        let op = *rng.pick(&[CmpOp::Ge, CmpOp::Gt, CmpOp::Le, CmpOp::Eq]);
+        let rhs = if lhs.agg == Some(AggFunc::Count) {
+            Operand::Lit(Literal::Int(1 + rng.below(3) as i64))
+        } else {
+            Operand::Lit(Literal::Float((rng.below(100) as f64) + 0.5))
+        };
+        return Predicate {
+            lhs,
+            op,
+            rhs,
+            rhs2: None,
+        };
+    }
+
+    let c = cols[rng.below(cols.len())].clone();
+    let lhs = ColExpr::plain(qref(&c));
+
+    // Subquery forms, when depth remains.
+    if depth > 0 && rng.chance(0.35) {
+        if let Some(partner) = fk_partner(&db.schema, &c) {
+            let op = if rng.chance(0.7) { CmpOp::In } else { CmpOp::NotIn };
+            let sub = gen_in_subquery(db, &partner, depth - 1, rng);
+            return Predicate {
+                lhs,
+                op,
+                rhs: Operand::Subquery(Box::new(sub)),
+                rhs2: None,
+            };
+        }
+        if c.ty.is_numeric() {
+            if let Some((sub, _)) = gen_scalar_subquery(db, rng) {
+                let op = *rng.pick(&[CmpOp::Gt, CmpOp::Lt, CmpOp::Ge, CmpOp::Le]);
+                return Predicate {
+                    lhs,
+                    op,
+                    rhs: Operand::Subquery(Box::new(sub)),
+                    rhs2: None,
+                };
+            }
+        }
+    }
+
+    match c.ty {
+        ColType::Int | ColType::Float => {
+            if rng.chance(0.18) {
+                // BETWEEN lo AND hi, bounds ordered.
+                let a = gen_literal(db, &c, rng);
+                let b = gen_literal(db, &c, rng);
+                let (lo, hi) = order_bounds(a, b);
+                Predicate {
+                    lhs,
+                    op: CmpOp::Between,
+                    rhs: Operand::Lit(lo),
+                    rhs2: Some(Operand::Lit(hi)),
+                }
+            } else {
+                let op = *rng.pick(&[
+                    CmpOp::Eq,
+                    CmpOp::Ne,
+                    CmpOp::Lt,
+                    CmpOp::Le,
+                    CmpOp::Gt,
+                    CmpOp::Ge,
+                ]);
+                Predicate {
+                    lhs,
+                    op,
+                    rhs: Operand::Lit(gen_literal(db, &c, rng)),
+                    rhs2: None,
+                }
+            }
+        }
+        ColType::Text => {
+            if rng.chance(0.3) {
+                let op = if rng.chance(0.75) {
+                    CmpOp::Like
+                } else {
+                    CmpOp::NotLike
+                };
+                Predicate {
+                    lhs,
+                    op,
+                    rhs: Operand::Lit(Literal::Str(gen_like_pattern(db, &c, rng))),
+                    rhs2: None,
+                }
+            } else {
+                let op = if rng.chance(0.7) { CmpOp::Eq } else { CmpOp::Ne };
+                Predicate {
+                    lhs,
+                    op,
+                    rhs: Operand::Lit(gen_literal(db, &c, rng)),
+                    rhs2: None,
+                }
+            }
+        }
+    }
+}
+
+fn order_bounds(a: Literal, b: Literal) -> (Literal, Literal) {
+    let val = |l: &Literal| match l {
+        Literal::Int(v) => *v as f64,
+        Literal::Float(v) => *v,
+        _ => 0.0,
+    };
+    if val(&a) <= val(&b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A flat condition chain of `max_preds` or fewer predicates with random
+/// `AND`/`OR` connectives.
+fn gen_condition(
+    db: &GeneratedDb,
+    cols: &[ColAt],
+    depth: usize,
+    rng: &mut TestRng,
+    max_preds: usize,
+) -> Condition {
+    let n = 1 + rng.below(max_preds);
+    let mut preds = Vec::with_capacity(n);
+    let mut conns = Vec::new();
+    for i in 0..n {
+        preds.push(gen_predicate(db, cols, depth, rng, false));
+        if i + 1 < n {
+            conns.push(if rng.chance(0.6) {
+                BoolConn::And
+            } else {
+                BoolConn::Or
+            });
+        }
+    }
+    Condition { preds, conns }
+}
+
+/// Generate one random query over `db`, fully qualified and resolvable
+/// against its schema. Subqueries nest up to depth 2 below the root.
+pub fn gen_query(db: &GeneratedDb, rng: &mut TestRng) -> Query {
+    let from = gen_from(&db.schema, rng);
+    let cols = columns_of(&db.schema, &from.tables);
+    assert!(!cols.is_empty(), "schema table without columns");
+
+    let grouped = rng.chance(0.3);
+    let depth = rng.range(1, 3);
+
+    let mut q = Query {
+        select: SelectClause {
+            distinct: false,
+            items: Vec::new(),
+        },
+        from,
+        where_: None,
+        group_by: Vec::new(),
+        having: None,
+        order_by: None,
+        limit: None,
+        compound: None,
+    };
+
+    if grouped {
+        let key = cols[rng.below(cols.len())].clone();
+        let numeric: Vec<&ColAt> = cols.iter().filter(|c| c.ty.is_numeric()).collect();
+        let agg_item = if numeric.is_empty() || rng.chance(0.4) {
+            ColExpr::count_star()
+        } else {
+            let c = numeric[rng.below(numeric.len())];
+            let agg = *rng.pick(&[
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+            ]);
+            let mut item = ColExpr::agg(agg, qref(c));
+            item.distinct = agg == AggFunc::Count && rng.chance(0.3);
+            item
+        };
+        q.select.items = vec![ColExpr::plain(qref(&key)), agg_item.clone()];
+        q.group_by = vec![qref(&key)];
+        if rng.chance(0.4) {
+            q.having = Some(Condition::single(gen_predicate(db, &cols, 0, rng, true)));
+        }
+        if rng.chance(0.5) {
+            let expr = if rng.chance(0.5) {
+                agg_item
+            } else {
+                ColExpr::plain(qref(&key))
+            };
+            q.order_by = Some(OrderClause {
+                items: vec![OrderItem {
+                    expr,
+                    dir: if rng.chance(0.5) {
+                        OrderDir::Asc
+                    } else {
+                        OrderDir::Desc
+                    },
+                }],
+            });
+            if rng.chance(0.5) {
+                q.limit = Some(1 + rng.below(5) as u64);
+            }
+        }
+    } else {
+        // Plain projection of 1–3 columns (or a rare star).
+        if q.from.tables.len() == 1 && rng.chance(0.07) {
+            q.select.items = vec![ColExpr::plain(ColumnRef::star())];
+        } else {
+            let n = 1 + rng.below(3);
+            let mut picked = Vec::new();
+            for _ in 0..n {
+                let c = cols[rng.below(cols.len())].clone();
+                let r = qref(&c);
+                if !picked.contains(&r) {
+                    picked.push(r);
+                }
+            }
+            q.select.items = picked.into_iter().map(ColExpr::plain).collect();
+            q.select.distinct = rng.chance(0.2);
+        }
+
+        if rng.chance(0.75) {
+            q.where_ = Some(gen_condition(db, &cols, depth, rng, 3));
+        }
+
+        if rng.chance(0.4) && !q.select.items[0].col.is_star() {
+            let n_keys = 1 + rng.below(q.select.items.len().min(2));
+            let mut items = Vec::new();
+            for i in 0..n_keys {
+                items.push(OrderItem {
+                    expr: q.select.items[i].clone(),
+                    dir: if rng.chance(0.5) {
+                        OrderDir::Asc
+                    } else {
+                        OrderDir::Desc
+                    },
+                });
+            }
+            q.order_by = Some(OrderClause { items });
+            if rng.chance(0.4) {
+                q.limit = Some(1 + rng.below(8) as u64);
+            }
+        }
+
+        // Compound arm(s): same projection over the same tables with a
+        // different filter, so arity and types line up.
+        if q.limit.is_none()
+            && !q.select.items[0].col.is_star()
+            && q.order_by.is_none()
+            && rng.chance(0.18)
+        {
+            let op = *rng.pick(&[SetOp::Union, SetOp::Intersect, SetOp::Except]);
+            let mut rhs = Query {
+                select: q.select.clone(),
+                from: q.from.clone(),
+                where_: Some(gen_condition(db, &cols, 0, rng, 2)),
+                group_by: Vec::new(),
+                having: None,
+                order_by: None,
+                limit: None,
+                compound: None,
+            };
+            if rng.chance(0.25) {
+                let op2 = *rng.pick(&[SetOp::Union, SetOp::Intersect, SetOp::Except]);
+                let arm3 = Query {
+                    select: q.select.clone(),
+                    from: q.from.clone(),
+                    where_: Some(gen_condition(db, &cols, 0, rng, 1)),
+                    group_by: Vec::new(),
+                    having: None,
+                    order_by: None,
+                    limit: None,
+                    compound: None,
+                };
+                rhs.compound = Some((op2, Box::new(arm3)));
+            }
+            q.compound = Some((op, Box::new(rhs)));
+        }
+    }
+
+    q
+}
+
+/// Generate `n` queries from one seed stream.
+pub fn gen_queries(db: &GeneratedDb, n: usize, rng: &mut TestRng) -> Vec<Query> {
+    (0..n).map(|_| gen_query(db, rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_schema::resolve_query;
+
+    fn test_db(seed: u64) -> GeneratedDb {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        gar_benchmarks::generate_db(&gar_benchmarks::vocab::THEMES[0], 0, &mut rng)
+    }
+
+    #[test]
+    fn generated_queries_resolve_against_schema() {
+        let db = test_db(1);
+        let mut rng = TestRng::new(5);
+        for q in gen_queries(&db, 120, &mut rng) {
+            resolve_query(&db.schema, &q)
+                .unwrap_or_else(|e| panic!("unresolvable query {}: {e:?}", gar_sql::to_sql(&q)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let db = test_db(2);
+        let a = gen_queries(&db, 40, &mut TestRng::new(77));
+        let b = gen_queries(&db, 40, &mut TestRng::new(77));
+        assert_eq!(a, b);
+        let c = gen_queries(&db, 40, &mut TestRng::new(78));
+        assert_ne!(a, c, "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn generator_covers_the_wide_surface() {
+        let db = test_db(3);
+        let mut rng = TestRng::new(9);
+        let qs = gen_queries(&db, 400, &mut rng);
+        let any = |f: &dyn Fn(&Query) -> bool| qs.iter().any(|q| f(q));
+        assert!(any(&|q| q.compound.is_some()), "no compound generated");
+        assert!(any(&|q| !q.group_by.is_empty()), "no GROUP BY generated");
+        assert!(any(&|q| q.having.is_some()), "no HAVING generated");
+        assert!(any(&|q| q.order_by.is_some()), "no ORDER BY generated");
+        assert!(any(&|q| q.limit.is_some()), "no LIMIT generated");
+        assert!(any(&|q| q.select.distinct), "no DISTINCT generated");
+        assert!(
+            any(&|q| q
+                .where_
+                .as_ref()
+                .is_some_and(|c| c.preds.iter().any(|p| p.op == CmpOp::Between))),
+            "no BETWEEN generated"
+        );
+        assert!(
+            any(&|q| q
+                .where_
+                .as_ref()
+                .is_some_and(|c| c.preds.iter().any(|p| p.rhs.is_subquery()))),
+            "no subquery generated"
+        );
+        assert!(any(&|q| q.from.has_join()), "no join generated");
+    }
+}

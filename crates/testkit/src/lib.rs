@@ -1,0 +1,51 @@
+//! # gar-testkit — differential & metamorphic correctness harness
+//!
+//! The paper's contract is behavioural (who wins, by what factor — GAR
+//! §V), so every perf or scale change to this workspace must prove it
+//! changed *nothing* semantically. This crate is that proof, in four
+//! layers:
+//!
+//! 1. **Seeded generators** ([`gen`]) — random SQL ASTs over the benchmark
+//!    themes' vocab, wider than the gold-query generator (deep
+//!    `IN`-nesting, `BETWEEN`, scalar subqueries, chained compounds).
+//! 2. **Substrate invariants** ([`check`]) — print→parse→print fixpoint,
+//!    mask/unmask round-trip, normalize/fingerprint stability, and
+//!    differential execution of the optimized executor against the naive
+//!    reference interpreter (`gar_engine::execute_naive`).
+//! 3. **Fault injection** ([`fault`]) — seeded NULL injection and row
+//!    shuffling, because populated benchmark databases contain neither
+//!    NULLs nor interesting physical orders.
+//! 4. **Pipeline invariants** ([`pipeline`]) — generalizer output is well
+//!    formed, dialect rendering is deterministic, retrieval top-k is
+//!    insertion-order invariant, and `translate_batch` ≡ sequential
+//!    `translate`.
+//!
+//! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
+//! `rand` dependency for harness decisions), so **every failure replays
+//! from one `u64`**: a [`differential::Divergence`] carries its
+//! `case_seed`, and [`differential::replay_case`] re-runs exactly that
+//! case.
+//!
+//! ```
+//! use gar_testkit::differential::{run_differential, DiffConfig};
+//!
+//! let report = run_differential(&DiffConfig {
+//!     dbs: 1,
+//!     queries_per_db: 5,
+//!     ..DiffConfig::default()
+//! });
+//! assert!(report.is_clean(), "{}", report.summary());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod differential;
+pub mod fault;
+pub mod gen;
+pub mod pipeline;
+pub mod rng;
+
+pub use differential::{run_differential, DiffConfig, DiffReport, Divergence};
+pub use gen::{gen_queries, gen_query};
+pub use rng::{derive_seed, TestRng};

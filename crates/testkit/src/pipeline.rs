@@ -1,0 +1,311 @@
+//! Pipeline-level metamorphic invariants.
+//!
+//! These checks cover the stages above the parser/executor substrate:
+//!
+//! - **Generalizer output is well formed** — every recomposed query prints
+//!   to parseable canonical SQL, resolves against the schema, renders a
+//!   dialect expression, and executes (or is masked); and generalization
+//!   is deterministic in its seed.
+//! - **Dialect rendering is deterministic** — two independently built
+//!   [`DialectBuilder`]s agree on every query, twice.
+//! - **Retrieval top-k is invariant under candidate permutation** — a
+//!   [`FlatIndex`] returns the same (id, score) set no matter the
+//!   insertion order of its vectors.
+//!
+//! The fourth pipeline invariant, `translate_batch` ≡ sequential
+//! `translate`, needs a trained system and lives in this module's test
+//! suite (see `translate_batch_matches_sequential_translate`).
+
+use crate::rng::TestRng;
+use gar_benchmarks::GeneratedDb;
+use gar_dialect::DialectBuilder;
+use gar_engine::{execute, ExecError};
+use gar_generalize::{Generalizer, GeneralizerConfig};
+use gar_schema::resolve_query;
+use gar_sql::ast::Query;
+use gar_sql::{parse, to_sql};
+use gar_vecindex::FlatIndex;
+
+/// Statistics from a generalizer well-formedness check.
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Queries in the generalized pool.
+    pub pool_size: usize,
+    /// Pool queries that executed to a result set.
+    pub executed: usize,
+    /// Pool queries skipped as masked (execute after value instantiation).
+    pub masked: usize,
+}
+
+/// Check every query in a generalized pool: print/parse round-trip,
+/// schema resolution, deterministic dialect rendering, and execution.
+/// Also reruns generalization with the same seed and demands an identical
+/// pool. Returns pool statistics, or the list of violations.
+pub fn check_generalized_pool(
+    db: &GeneratedDb,
+    samples: &[Query],
+    target_size: usize,
+    seed: u64,
+) -> Result<PoolStats, Vec<String>> {
+    let cfg = GeneralizerConfig {
+        target_size,
+        seed,
+        ..GeneralizerConfig::default()
+    };
+    let pool = Generalizer::new(&db.schema, cfg.clone()).generalize(samples);
+    let pool2 = Generalizer::new(&db.schema, cfg).generalize(samples);
+
+    let mut violations = Vec::new();
+    if pool.queries != pool2.queries {
+        violations.push(format!(
+            "generalization not deterministic: {} vs {} queries (or ordering differs)",
+            pool.queries.len(),
+            pool2.queries.len()
+        ));
+    }
+
+    let builder_a = DialectBuilder::new(&db.schema, &db.annotations);
+    let builder_b = DialectBuilder::new(&db.schema, &db.annotations);
+    let mut stats = PoolStats {
+        pool_size: pool.queries.len(),
+        ..PoolStats::default()
+    };
+
+    for q in &pool.queries {
+        let sql = to_sql(q);
+        match parse(&sql) {
+            Ok(back) => {
+                if to_sql(&back) != sql {
+                    violations.push(format!("pool query not a print fixpoint: {sql}"));
+                }
+            }
+            Err(e) => {
+                violations.push(format!("pool query fails to re-parse: {e:?} [{sql}]"));
+                continue;
+            }
+        }
+        if let Err(e) = resolve_query(&db.schema, q) {
+            violations.push(format!("pool query does not resolve: {e:?} [{sql}]"));
+            continue;
+        }
+        let d1 = builder_a.render(q);
+        let d2 = builder_b.render(q);
+        if d1 != d2 || d1 != builder_a.render(q) {
+            violations.push(format!("dialect rendering not deterministic for {sql}"));
+        }
+        if d1.trim().is_empty() {
+            violations.push(format!("empty dialect expression for {sql}"));
+        }
+        match execute(&db.database, q) {
+            Ok(_) => stats.executed += 1,
+            Err(ExecError::MaskedValue) => stats.masked += 1,
+            Err(e) => violations.push(format!("pool query fails to execute: {e:?} [{sql}]")),
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Dialect rendering determinism over an arbitrary query list (fresh
+/// builders, rendered twice each).
+pub fn check_dialect_determinism(db: &GeneratedDb, queries: &[Query]) -> Result<(), Vec<String>> {
+    let a = DialectBuilder::new(&db.schema, &db.annotations);
+    let b = DialectBuilder::new(&db.schema, &db.annotations);
+    let violations: Vec<String> = queries
+        .iter()
+        .filter_map(|q| {
+            let r1 = a.render(q);
+            let r2 = b.render(q);
+            let r3 = a.render(q);
+            (r1 != r2 || r1 != r3).then(|| format!("nondeterministic render for {}", to_sql(q)))
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Retrieval permutation invariance: build one [`FlatIndex`] in id order
+/// and one over the same vectors in a shuffled insertion order; both must
+/// return identical (id, score-bits) top-k sets for every probe.
+pub fn check_retrieval_permutation_invariance(
+    seed: u64,
+    n: usize,
+    dim: usize,
+    k: usize,
+    probes: usize,
+) -> Result<(), String> {
+    let mut rng = TestRng::new(seed);
+    let vectors: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.signed_unit()).collect())
+        .collect();
+
+    let mut in_order = FlatIndex::new(dim);
+    for (id, v) in vectors.iter().enumerate() {
+        in_order.add(id, v);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut permuted = FlatIndex::new(dim);
+    for &id in &order {
+        permuted.add(id, &vectors[id]);
+    }
+
+    for p in 0..probes {
+        let q: Vec<f32> = (0..dim).map(|_| rng.signed_unit()).collect();
+        let mut a: Vec<(usize, u32)> = in_order
+            .search(&q, k)
+            .into_iter()
+            .map(|h| (h.id, h.score.to_bits()))
+            .collect();
+        let mut b: Vec<(usize, u32)> = permuted
+            .search(&q, k)
+            .into_iter()
+            .map(|h| (h.id, h.score.to_bits()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        if a != b {
+            return Err(format!(
+                "top-{k} differs under insertion permutation on probe {p}: {a:?} vs {b:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_queries;
+    use gar_benchmarks::vocab::THEMES;
+    use gar_benchmarks::{curate_annotations, generate_db, spider_sim, SpiderSimConfig};
+    use gar_core::{GarConfig, GarSystem, PrepareConfig};
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pipeline_db(theme_idx: usize, seed: u64) -> GeneratedDb {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = generate_db(&THEMES[theme_idx % THEMES.len()], 0, &mut rng);
+        curate_annotations(&mut db);
+        db
+    }
+
+    #[test]
+    fn generalizer_pool_is_wellformed_and_deterministic() {
+        let db = pipeline_db(1, 11);
+        let samples = gen_queries(&db, 16, &mut TestRng::new(21));
+        let stats = check_generalized_pool(&db, &samples, 250, 7)
+            .unwrap_or_else(|v| panic!("pool violations:\n  {}", v.join("\n  ")));
+        assert!(stats.pool_size >= samples.len(), "pool shrank below samples");
+        assert!(
+            stats.executed + stats.masked == stats.pool_size,
+            "every pool query must execute or be masked: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn dialect_rendering_is_deterministic_on_generated_queries() {
+        let db = pipeline_db(2, 13);
+        let queries = gen_queries(&db, 60, &mut TestRng::new(33));
+        check_dialect_determinism(&db, &queries)
+            .unwrap_or_else(|v| panic!("dialect violations:\n  {}", v.join("\n  ")));
+    }
+
+    #[test]
+    fn retrieval_topk_invariant_under_insertion_permutation() {
+        check_retrieval_permutation_invariance(5, 80, 24, 10, 8).unwrap();
+    }
+
+    /// Small end-to-end config for the batch-equivalence invariant.
+    fn small_config() -> GarConfig {
+        GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 300,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 200,
+            k: 30,
+            negatives: 4,
+            rerank_list_size: 12,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 512,
+                    ..FeatureConfig::default()
+                },
+                hidden: 32,
+                embed: 16,
+                epochs: 2,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 16,
+                hidden: 24,
+                epochs: 3,
+                ..RerankConfig::default()
+            },
+            use_rerank: true,
+            threads: 2,
+            seed: 5,
+            ..GarConfig::default()
+        }
+    }
+
+    #[test]
+    fn translate_batch_matches_sequential_translate() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 3,
+            val_dbs: 1,
+            queries_per_db: 12,
+            seed: 31,
+        });
+        let (system, _) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+        let eval = bench.eval_split();
+        let db_name = &eval[0].db;
+        let db = bench.db(db_name).expect("eval db");
+        let gold: Vec<_> = eval
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        let prepared = system.prepare_eval_db(db, &gold);
+
+        let nls: Vec<String> = eval
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .take(8)
+            .map(|e| e.nl.clone())
+            .collect();
+        assert!(!nls.is_empty());
+
+        let batch = system.translate_batch(db, &prepared, &nls);
+        for (nl, from_batch) in nls.iter().zip(&batch) {
+            let single = system.translate(db, &prepared, nl);
+            assert_eq!(
+                single.retrieved, from_batch.retrieved,
+                "stage-1 retrieval differs for {nl:?}"
+            );
+            assert_eq!(
+                single.ranked.len(),
+                from_batch.ranked.len(),
+                "candidate count differs for {nl:?}"
+            );
+            for (a, b) in single.ranked.iter().zip(&from_batch.ranked) {
+                assert_eq!(a.entry, b.entry, "ranked entry differs for {nl:?}");
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "score not bit-identical for {nl:?}"
+                );
+                assert_eq!(a.sql, b.sql, "instantiated SQL differs for {nl:?}");
+            }
+        }
+    }
+}

@@ -9,13 +9,21 @@
 # surface the workspace uses), runs their unit-test suites, and runs the
 # batched-retrieval throughput measurement.
 #
-# Covered crates: gar-sql, gar-schema, gar-engine, gar-generalize,
-# gar-dialect, gar-nl, gar-benchmarks, gar-vecindex, gar-ltr, gar-core,
-# gar-baselines (compile only), gar-experiments' eval loop (compile only)
-# and its bench_batch bench (smoke-run against a criterion shim).
+# Covered: the unit-test suites of every library crate (gar-sql,
+# gar-schema, gar-engine, gar-generalize, gar-dialect, gar-nl,
+# gar-benchmarks, gar-vecindex, gar-ltr, gar-baselines, gar-core and
+# gar-testkit — whose suite includes the 240-case differential sweep of
+# the optimized executor against the naive reference interpreter), the
+# two workspace integration suites (tests/pipeline_integration.rs,
+# tests/substrate_integration.rs), the gar-experiments eval loop
+# (compile only), its bench_batch bench (smoke-run against a criterion
+# shim), and the batched-retrieval throughput measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
 # on a networked machine.
+#
+# A per-suite PASS/FAIL summary is printed at the end; the script exits
+# non-zero if any suite fails.
 #
 # Usage: scripts/offline_check.sh [--bench-rounds N]
 
@@ -93,22 +101,70 @@ CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}"
   --extern gar_vecindex=libgar_vecindex.rlib)
 lib gar_core core "${CORE_EXTERNS[@]}"
 
-# --- 3. unit-test suites --------------------------------------------------
-say "building + running gar-vecindex unit tests"
-"$RUSTC" "${FLAGS[@]}" --test --crate-name gar_vecindex \
-  "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}" -o vecindex_tests
-./vecindex_tests --test-threads=1
+TESTKIT_EXTERNS=("${CORE_EXTERNS[@]}"
+  --extern gar_baselines=libgar_baselines.rlib
+  --extern gar_core=libgar_core.rlib)
+lib gar_testkit testkit "${TESTKIT_EXTERNS[@]}"
 
-say "building + running gar-ltr unit tests"
-"$RUSTC" "${FLAGS[@]}" --test --crate-name gar_ltr \
-  "$REPO/crates/ltr/src/lib.rs" "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" \
-  --extern bytes=libbytes.rlib -o ltr_tests
-./ltr_tests --test-threads=1
+say "compiling gar (facade crate)"
+"$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name gar \
+  "$REPO/src/lib.rs" "${TESTKIT_EXTERNS[@]}" -o libgar.rlib
 
-say "building + running gar-core unit tests"
-"$RUSTC" "${FLAGS[@]}" --test --crate-name gar_core \
-  "$REPO/crates/core/src/lib.rs" "${CORE_EXTERNS[@]}" -o core_tests
-./core_tests --test-threads=1
+# --- 3. test suites -------------------------------------------------------
+# suite <name> <src> [--extern ...] — build a #[test] binary and run it,
+# recording the outcome for the end-of-run summary. A failing suite does
+# not stop the remaining suites.
+SUMMARY=()
+FAILED=0
+suite() {
+  local name="$1" src="$2"
+  shift 2
+  say "building + running $name tests"
+  local status=fail result="build error"
+  if "$RUSTC" "${FLAGS[@]}" --test --crate-name "$name" "$src" "$@" \
+    -o "${name}_suite" 2>"${name}_suite.log"; then
+    if "./${name}_suite" --test-threads=1 >"${name}_suite.log" 2>&1; then
+      status=pass
+    fi
+    result="$(grep -o '[0-9]* passed; [0-9]* failed' "${name}_suite.log" | tail -1 || true)"
+    result="${result:-no test summary}"
+  fi
+  if [[ "$status" == pass ]]; then
+    SUMMARY+=("PASS  $name  ($result)")
+  else
+    cat "${name}_suite.log"
+    SUMMARY+=("FAIL  $name  ($result)")
+    FAILED=1
+  fi
+}
+
+suite gar_sql "$REPO/crates/sqlparse/src/lib.rs" "${SERDE[@]}"
+suite gar_schema "$REPO/crates/schema/src/lib.rs" "${SQL[@]}" "${SERDE[@]}"
+suite gar_engine "$REPO/crates/engine/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${SERDE[@]}"
+suite gar_generalize "$REPO/crates/generalize/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}"
+suite gar_dialect "$REPO/crates/dialect/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}"
+suite gar_nl "$REPO/crates/nlgen/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}"
+suite gar_benchmarks "$REPO/crates/benchmarks/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" \
+  "${RAND[@]}" "${SERDE[@]}" \
+  --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
+suite gar_vecindex "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}"
+suite gar_ltr "$REPO/crates/ltr/src/lib.rs" "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" \
+  --extern bytes=libbytes.rlib
+suite gar_baselines "$REPO/crates/baselines/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" \
+  --extern gar_benchmarks=libgar_benchmarks.rlib \
+  --extern gar_ltr=libgar_ltr.rlib \
+  --extern gar_nl=libgar_nl.rlib \
+  --extern gar_engine=libgar_engine.rlib
+suite gar_core "$REPO/crates/core/src/lib.rs" "${CORE_EXTERNS[@]}"
+# The gar-testkit suite includes the acceptance sweep: ≥200 seeded queries
+# through parser round-trip, mask/normalize invariants, and differential
+# execution (optimized vs naive reference, base + shuffled + NULL-injected),
+# plus the translate_batch ≡ translate and retrieval-permutation checks.
+suite gar_testkit "$REPO/crates/testkit/src/lib.rs" "${TESTKIT_EXTERNS[@]}"
+suite pipeline_integration "$REPO/tests/pipeline_integration.rs" \
+  --extern gar=libgar.rlib "${RAND[@]}"
+suite substrate_integration "$REPO/tests/substrate_integration.rs" \
+  --extern gar=libgar.rlib "${RAND[@]}"
 
 # --- 4. experiment-harness eval loop + bench_batch ------------------------
 say "compile-checking the gar-experiments eval loop (context.rs)"
@@ -136,4 +192,13 @@ say "building + running the batched-retrieval throughput measurement"
   "$REPO/scripts/offline/vecindex_bench.rs" "${RAND[@]}" -o vecindex_bench
 ./vecindex_bench "$BENCH_ROUNDS"
 
+# --- 6. summary -----------------------------------------------------------
+say "suite summary:"
+for line in "${SUMMARY[@]}"; do
+  echo "  $line"
+done
+if [[ "$FAILED" -ne 0 ]]; then
+  say "FAILED"
+  exit 1
+fi
 say "OK"
