@@ -106,7 +106,7 @@ pub fn rank_tables(
             )
         })
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 
@@ -135,7 +135,7 @@ pub fn rank_columns(
             }
         }
     }
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out
 }
 

@@ -43,11 +43,7 @@ fn search_naive(idx: &FlatIndex, query: &[f32], k: usize) -> Vec<(usize, f32)> {
     impl Ord for Entry {
         // Min-heap on score so the root is the current worst hit.
         fn cmp(&self, other: &Self) -> Ordering {
-            other
-                .0
-                .partial_cmp(&self.0)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| self.1.cmp(&other.1))
+            other.0.total_cmp(&self.0).then_with(|| self.1.cmp(&other.1))
         }
     }
     let mut q = query.to_vec();
@@ -69,7 +65,7 @@ fn search_naive(idx: &FlatIndex, query: &[f32], k: usize) -> Vec<(usize, f32)> {
         }
     }
     let mut out: Vec<(usize, f32)> = heap.into_iter().map(|e| (e.1, e.0)).collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+    out.sort_by(|a, b| b.1.total_cmp(&a.1));
     out
 }
 

@@ -176,7 +176,7 @@ fn record_from(
 
     // Per-stage timings already measured inside translate_batch; stage 1
     // is the batch-amortized share.
-    let latency_us = tr.timing_us.0 + tr.timing_us.1 + tr.timing_us.2;
+    let latency_us = tr.timings.total_us() as u128;
 
     let exact = tr.top1().map(|t| exact_match(t, &ex.sql)).unwrap_or(false);
     let exec = tr
@@ -419,6 +419,39 @@ pub fn train_gar(cfg: &ExpConfig, suite: &Suite, seed_shift: u64) -> GarSystem {
     let gar_cfg = cfg.gar_config(seed_shift);
     let (gar, _) = GarSystem::train(&suite.spider.dbs, &suite.spider.train, gar_cfg);
     gar
+}
+
+/// The `metrics` experiment target: a small end-to-end pass whose only
+/// purpose is to exercise every observable pipeline stage — train, prepare,
+/// one batched evaluation, and a handful of single translations — so the
+/// registry snapshot written to `results/METRICS_metrics.json` contains all
+/// five stage histograms, the training loss series, and the candidate
+/// counters.
+pub fn metrics_workout(cfg: &ExpConfig) {
+    let suite = Suite::build(cfg);
+    let gar = train_gar(cfg, &suite, 0x0b5);
+    let records = evaluate_gar(&gar, &suite.spider, &suite.spider.dev);
+    let mut singles = 0usize;
+    for ex in suite.spider.dev.iter().take(5) {
+        let Some(db) = suite.spider.db(&ex.db) else { continue };
+        let gold: Vec<Query> = suite
+            .spider
+            .dev
+            .iter()
+            .filter(|e| e.db == ex.db)
+            .map(|e| e.sql.clone())
+            .collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        let tr = gar.translate(db, &prepared, &ex.nl);
+        singles += 1;
+        let _ = tr.timings.total_us();
+    }
+    println!(
+        "metrics workout: {} batched + {singles} single translations, \
+         exact accuracy {:.3}",
+        records.len(),
+        overall(&records)
+    );
 }
 
 /// Run GAR-J-style analysis (Table 9) over a split by preparing every

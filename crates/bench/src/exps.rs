@@ -673,7 +673,7 @@ pub fn fig12(lab: &mut Lab) {
     let mut rows = Vec::new();
     let mut j = serde_json::Map::new();
     for (label, bucket) in labels.iter().zip(buckets.iter_mut()) {
-        bucket.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        bucket.sort_by(|a, b| a.total_cmp(b));
         let q = |p: f64| -> f64 {
             if bucket.is_empty() {
                 return 0.0;

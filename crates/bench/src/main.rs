@@ -22,7 +22,7 @@ const EXPERIMENTS: &[&str] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: gar-exp [--fast] [--gen-size N] [--repeats N] [--seed N] <experiment>...\n\
-         experiments: {} | all",
+         experiments: {} | metrics | all",
         EXPERIMENTS.join(" | ")
     );
     std::process::exit(2);
@@ -66,7 +66,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "all" => targets.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
-            "probe" | "probeq" => targets.push(arg.clone()),
+            "probe" | "probeq" | "metrics" => targets.push(arg.clone()),
             other if EXPERIMENTS.contains(&other) => targets.push(other.to_string()),
             _ => usage(),
         }
@@ -77,9 +77,14 @@ fn main() {
     targets.dedup();
 
     let started = std::time::Instant::now();
+    let metrics_cfg = cfg.clone();
     let mut lab = Lab::new(cfg);
     let mut fig17_done = false;
     for t in &targets {
+        // Per-target metrics isolation: zero the global registry, run the
+        // experiment, then snapshot what it recorded.
+        gar_obs::global().reset();
+        let mut ran = true;
         match t.as_str() {
             "table1" => exps::table1(&mut lab),
             "table2" => exps::table2(&mut lab),
@@ -94,6 +99,8 @@ fn main() {
                 if !fig17_done {
                     exps::fig1_fig7(&mut lab);
                     fig17_done = true;
+                } else {
+                    ran = false;
                 }
             }
             "fig9" => exps::fig9(&mut lab),
@@ -102,7 +109,11 @@ fn main() {
             "fig12" => exps::fig12(&mut lab),
             "probe" => exps::probe(&mut lab),
             "probeq" => exps::probeq(&mut lab),
+            "metrics" => context::metrics_workout(&metrics_cfg),
             _ => unreachable!("validated above"),
+        }
+        if ran {
+            report::emit_metrics(t);
         }
     }
     eprintln!(

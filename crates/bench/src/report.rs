@@ -25,6 +25,17 @@ pub fn emit(id: &str, text: &str, json: Value) {
     );
 }
 
+/// Snapshot the global metrics registry into `METRICS_<id>.json` next to
+/// the experiment's other artifacts, and echo the per-stage percentile
+/// table to stdout.
+pub fn emit_metrics(id: &str) {
+    let snap = gar_obs::global().snapshot();
+    let dir = results_dir();
+    let _ = fs::write(dir.join(format!("METRICS_{id}.json")), snap.to_json());
+    println!("---- metrics: {id} ----");
+    println!("{}", snap.percentile_table());
+}
+
 /// Format a ratio as the paper does (three decimals).
 pub fn fmt3(x: f64) -> String {
     format!("{x:.3}")

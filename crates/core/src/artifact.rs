@@ -151,6 +151,13 @@ pub fn prepared_from_bytes(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
     }
     let n = buf.get_u32_le() as usize;
     let dim = buf.get_u32_le() as usize;
+    // Every entry needs at least two 4-byte string length prefixes plus
+    // `dim` floats; bound the claimed count by the bytes actually present
+    // before reserving, so a corrupt header cannot trigger a huge
+    // allocation.
+    if n > 0 && buf.remaining() / (8 + dim * 4).max(1) < n {
+        return Err(ArtifactError::Corrupt);
+    }
     let mut entries = Vec::with_capacity(n);
     let mut embeds = Vec::with_capacity(n);
     let mut index = FlatIndex::new(dim);
@@ -269,5 +276,21 @@ mod tests {
         assert!(system_from_bytes(&bytes).is_err());
         assert!(system_from_bytes(&[1, 2, 3]).is_err());
         assert!(prepared_from_bytes(&system_to_bytes(&gar)).is_err());
+    }
+
+    #[test]
+    fn oversized_prepared_header_is_rejected_without_allocating() {
+        // Forge a kind-4 artifact whose header claims u32::MAX entries with
+        // a huge dim; decoding must fail fast instead of reserving memory.
+        let mut buf = bytes::BytesMut::new();
+        gar_ltr::persist::write_header(&mut buf, 4);
+        buf.put_u32_le(2); // db_name length
+        buf.put_slice(b"db");
+        buf.put_u32_le(u32::MAX); // entry count
+        buf.put_u32_le(u32::MAX); // dim
+        assert!(matches!(
+            prepared_from_bytes(&buf.to_vec()),
+            Err(ArtifactError::Corrupt)
+        ));
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod analysis;
 pub mod artifact;
+pub mod metrics;
 pub mod postprocess;
 pub mod prepare;
 pub mod system;
@@ -32,6 +33,7 @@ pub use analysis::{analyze, ErrorAnalysis};
 pub use artifact::{
     prepared_from_bytes, prepared_to_bytes, system_from_bytes, system_to_bytes, ArtifactError,
 };
+pub use metrics::StageTimings;
 pub use postprocess::{extract_nl_values, filter_candidates, instantiate, NlValue};
 pub use prepare::{eval_samples_from_gold, pool_covers, prepare, DialectEntry, PrepareConfig};
 pub use system::{

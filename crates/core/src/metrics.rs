@@ -1,0 +1,100 @@
+//! Pipeline observability: the typed per-stage timing report and the
+//! interned [`gar_obs`] handles the translation path records into.
+//!
+//! Every stage of [`GarSystem::translate`](crate::GarSystem::translate) and
+//! [`GarSystem::translate_batch`](crate::GarSystem::translate_batch) feeds
+//! the same global registry ([`gar_obs::global`]), under these names:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `stage.encode_us` | histogram | NL query encoding (per query) |
+//! | `stage.retrieve_us` | histogram | top-k vector search (per query) |
+//! | `stage.filter_us` | histogram | value post-processing filter |
+//! | `stage.rerank_us` | histogram | candidate scoring (either stage-3 path) |
+//! | `stage.instantiate_us` | histogram | value instantiation + final sort |
+//! | `prepare.pool_size` | histogram | candidate-pool size per prepared db |
+//! | `candidates.retrieved` | counter | hits returned by stage 1 |
+//! | `candidates.filtered` | counter | candidates dropped by the value filter |
+//! | `candidates.demoted_unfilled` | counter | ranked candidates demoted for unfilled slots |
+//! | `translate.total` | counter | translations finished |
+//! | `translate.empty_result` | counter | translations with no ranked candidate |
+//! | `translate.rerank_disabled` | counter | translations on the retrieval-only path |
+//!
+//! Batched translation records the *amortized per-query* encode and
+//! retrieve latencies — one histogram sample per question, so single and
+//! batched runs report through the identical set of series.
+
+use gar_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Per-stage latencies of one translation, in microseconds.
+///
+/// Replaces the old anonymous `timing_us` tuple: the same struct is
+/// produced by [`GarSystem::translate`](crate::GarSystem::translate) and
+/// [`GarSystem::translate_batch`](crate::GarSystem::translate_batch) (the
+/// batched path reports batch-amortized per-query encode/retrieve), so
+/// downstream reporting never needs to know which path ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// NL query encoding.
+    pub encode_us: u64,
+    /// Top-k vector search.
+    pub retrieve_us: u64,
+    /// Value post-processing filter.
+    pub filter_us: u64,
+    /// Candidate scoring (re-ranker, or retrieval-score fallback).
+    pub rerank_us: u64,
+    /// Value instantiation and the final tiered sort.
+    pub instantiate_us: u64,
+}
+
+impl StageTimings {
+    /// End-to-end latency: the sum of all five stages.
+    pub fn total_us(&self) -> u64 {
+        self.encode_us
+            + self.retrieve_us
+            + self.filter_us
+            + self.rerank_us
+            + self.instantiate_us
+    }
+}
+
+/// Interned handles for every pipeline metric; resolved from the global
+/// registry once and cached for the process lifetime. [`gar_obs::Registry::reset`]
+/// zeroes metrics in place, so cached handles survive a reset.
+pub(crate) struct PipelineMetrics {
+    pub encode: Arc<Histogram>,
+    pub retrieve: Arc<Histogram>,
+    pub filter: Arc<Histogram>,
+    pub rerank: Arc<Histogram>,
+    pub instantiate: Arc<Histogram>,
+    pub pool_size: Arc<Histogram>,
+    pub retrieved: Arc<Counter>,
+    pub filtered: Arc<Counter>,
+    pub demoted_unfilled: Arc<Counter>,
+    pub total: Arc<Counter>,
+    pub empty_result: Arc<Counter>,
+    pub rerank_disabled: Arc<Counter>,
+}
+
+/// The process-wide pipeline metric handles.
+pub(crate) fn metrics() -> &'static PipelineMetrics {
+    static METRICS: OnceLock<PipelineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = gar_obs::global();
+        PipelineMetrics {
+            encode: r.histogram("stage.encode_us"),
+            retrieve: r.histogram("stage.retrieve_us"),
+            filter: r.histogram("stage.filter_us"),
+            rerank: r.histogram("stage.rerank_us"),
+            instantiate: r.histogram("stage.instantiate_us"),
+            pool_size: r.histogram("prepare.pool_size"),
+            retrieved: r.counter("candidates.retrieved"),
+            filtered: r.counter("candidates.filtered"),
+            demoted_unfilled: r.counter("candidates.demoted_unfilled"),
+            total: r.counter("translate.total"),
+            empty_result: r.counter("translate.empty_result"),
+            rerank_disabled: r.counter("translate.rerank_disabled"),
+        }
+    })
+}

@@ -102,8 +102,10 @@ fn columns_containing(db: &GeneratedDb, value: &Datum) -> Vec<(String, String)> 
 
 /// The paper's candidate filter: for every *text* value mentioned in the NL
 /// query, the candidate must reference one of the columns that contain the
-/// value. Returns the surviving candidate indices; if nothing survives, the
-/// original order is returned (defensive fallback).
+/// value. Returns the surviving candidate indices — possibly empty when
+/// every candidate misses a value column; the pipeline reports such
+/// translations as empty results (`translate.empty_result`) rather than
+/// ranking candidates that are known to contradict the question.
 pub fn filter_candidates(
     candidates: &[usize],
     sqls: &[&Query],
@@ -116,7 +118,7 @@ pub fn filter_candidates(
     if constraints.is_empty() {
         return candidates.to_vec();
     }
-    let surviving: Vec<usize> = candidates
+    candidates
         .iter()
         .enumerate()
         .filter(|(i, _)| {
@@ -129,12 +131,7 @@ pub fn filter_candidates(
             })
         })
         .map(|(_, id)| *id)
-        .collect();
-    if surviving.is_empty() {
-        candidates.to_vec()
-    } else {
-        surviving
-    }
+        .collect()
 }
 
 /// Fill a masked candidate's placeholders with NL-extracted values. Each
@@ -304,7 +301,7 @@ mod tests {
     }
 
     #[test]
-    fn filter_falls_back_when_everything_dies() {
+    fn filter_returns_empty_when_everything_dies() {
         let d = db();
         let city_vals = d.column_values("student", "city");
         let Some(Datum::Text(city)) = city_vals.first().cloned() else {
@@ -313,6 +310,6 @@ mod tests {
         let q = parse("SELECT student.age FROM student").unwrap();
         let vals = extract_nl_values(&format!("students from {city}"), &d);
         let kept = filter_candidates(&[0], &[&q], &vals);
-        assert_eq!(kept, vec![0]);
+        assert!(kept.is_empty(), "contradicting candidate survived: {kept:?}");
     }
 }

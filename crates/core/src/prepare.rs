@@ -66,7 +66,7 @@ pub fn prepare(db: &GeneratedDb, samples: &[Query], cfg: &PrepareConfig) -> Vec<
     };
     let builder = DialectBuilder::new(&db.schema, annotations);
 
-    generalized
+    let entries: Vec<DialectEntry> = generalized
         .queries
         .into_iter()
         .map(|sql| {
@@ -77,7 +77,9 @@ pub fn prepare(db: &GeneratedDb, samples: &[Query], cfg: &PrepareConfig) -> Vec<
             };
             DialectEntry { sql, dialect }
         })
-        .collect()
+        .collect();
+    crate::metrics::metrics().pool_size.record(entries.len() as u64);
+    entries
 }
 
 /// The evaluation-protocol sample construction (Section V-A3): generalize

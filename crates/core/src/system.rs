@@ -1,6 +1,7 @@
 //! The GAR system: training, per-database preparation, and two-stage
 //! translation (Fig. 2 / Fig. 3 of the paper).
 
+use crate::metrics::{metrics, StageTimings};
 use crate::postprocess::{extract_nl_values, filter_candidates, instantiate};
 use crate::prepare::{eval_samples_from_gold, prepare, DialectEntry, PrepareConfig};
 use gar_benchmarks::{Example, GeneratedDb};
@@ -8,8 +9,9 @@ use gar_ltr::{
     pair_features, similarity_score, RankList, RerankConfig, RerankModel, RetrievalConfig,
     RetrievalModel, ScoreScratch, Triple,
 };
+use gar_obs::StageTimer;
 use gar_sql::{exact_match, mask_values, Query};
-use gar_vecindex::FlatIndex;
+use gar_vecindex::{nan_last_desc, FlatIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -102,9 +104,9 @@ pub struct Translation {
     pub ranked: Vec<RankedCandidate>,
     /// Entry indices returned by the first-stage retrieval (top-k).
     pub retrieved: Vec<usize>,
-    /// Stage latencies in microseconds: (encode+retrieve, post-filter,
-    /// re-rank).
-    pub timing_us: (u128, u128, u128),
+    /// Per-stage latencies; identical shape for the single and batched
+    /// paths (the batch reports amortized per-query encode/retrieve).
+    pub timings: StageTimings,
 }
 
 impl Translation {
@@ -283,12 +285,14 @@ impl GarSystem {
 
     /// Translate an NL question over a prepared database.
     pub fn translate(&self, db: &GeneratedDb, prepared: &PreparedDb, nl: &str) -> Translation {
-        // Stage 1: encode + retrieve top-k.
+        // Stage 1: encode, then retrieve top-k.
         let t0 = Instant::now();
         let q_emb = self.retrieval.encode(nl);
+        let encode_us = t0.elapsed().as_micros() as u64;
+        let t1 = Instant::now();
         let hits = prepared.index.search(&q_emb, self.config.k);
-        let retrieve_us = t0.elapsed().as_micros();
-        self.finish_translation(db, prepared, nl, &q_emb, hits, retrieve_us)
+        let retrieve_us = t1.elapsed().as_micros() as u64;
+        self.finish_translation(db, prepared, nl, &q_emb, hits, encode_us, retrieve_us)
     }
 
     /// Translate a batch of NL questions over one prepared database,
@@ -296,8 +300,9 @@ impl GarSystem {
     /// over all questions, one [`FlatIndex::search_batch_threads`] over all
     /// query embeddings, then the filter + re-rank stages fan out over the
     /// same worker pool. Results are identical to calling
-    /// [`GarSystem::translate`] per question; `timing_us.0` reports the
-    /// batch-amortized per-query stage-1 latency.
+    /// [`GarSystem::translate`] per question; `timings.encode_us` and
+    /// `timings.retrieve_us` report the batch-amortized per-query stage-1
+    /// latencies.
     pub fn translate_batch(
         &self,
         db: &GeneratedDb,
@@ -312,10 +317,12 @@ impl GarSystem {
         // Stage 1, batched across all questions.
         let t0 = Instant::now();
         let q_embs = self.retrieval.encode_batch(nls, threads);
+        let encode_us = (t0.elapsed().as_micros() / nls.len() as u128) as u64;
+        let t1 = Instant::now();
         let mut all_hits = prepared
             .index
             .search_batch_threads(&q_embs, self.config.k, threads);
-        let retrieve_us = t0.elapsed().as_micros() / nls.len() as u128;
+        let retrieve_us = (t1.elapsed().as_micros() / nls.len() as u128) as u64;
 
         // Stages 2 + 3, chunk-balanced over scoped workers.
         let mut out: Vec<Option<Translation>> = (0..nls.len()).map(|_| None).collect();
@@ -323,7 +330,7 @@ impl GarSystem {
             for (i, slot) in out.iter_mut().enumerate() {
                 let hits = std::mem::take(&mut all_hits[i]);
                 *slot = Some(self.finish_translation(
-                    db, prepared, &nls[i], &q_embs[i], hits, retrieve_us,
+                    db, prepared, &nls[i], &q_embs[i], hits, encode_us, retrieve_us,
                 ));
             }
         } else {
@@ -345,7 +352,7 @@ impl GarSystem {
                         for (i, slot) in slot.iter_mut().enumerate() {
                             let h = std::mem::take(&mut hits[i]);
                             *slot = Some(self.finish_translation(
-                                db, prepared, &nls[i], &q_embs[i], h, retrieve_us,
+                                db, prepared, &nls[i], &q_embs[i], h, encode_us, retrieve_us,
                             ));
                         }
                     });
@@ -359,7 +366,10 @@ impl GarSystem {
 
     /// Stages 2 + 3 of translation (value filter, re-rank, instantiate),
     /// shared by the single-question and batched paths so both produce
-    /// identical rankings.
+    /// identical rankings and identical metrics. The caller passes its
+    /// already-measured stage-1 latencies; this method records every stage
+    /// into the global registry and returns them as [`StageTimings`].
+    #[allow(clippy::too_many_arguments)]
     fn finish_translation(
         &self,
         db: &GeneratedDb,
@@ -367,19 +377,26 @@ impl GarSystem {
         nl: &str,
         q_emb: &[f32],
         hits: Vec<gar_vecindex::Hit>,
-        retrieve_us: u128,
+        encode_us: u64,
+        retrieve_us: u64,
     ) -> Translation {
+        let m = metrics();
+        m.encode.record(encode_us);
+        m.retrieve.record(retrieve_us);
+
         let retrieved: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        m.retrieved.add(retrieved.len() as u64);
 
         // Stage 2: value post-processing filter.
-        let t1 = Instant::now();
+        let filter_timer = StageTimer::start(&m.filter);
         let nl_values = extract_nl_values(nl, db);
         let sqls: Vec<&Query> = retrieved.iter().map(|&i| &prepared.entries[i].sql).collect();
         let filtered = filter_candidates(&retrieved, &sqls, &nl_values);
-        let filter_us = t1.elapsed().as_micros();
+        let filter_us = filter_timer.stop();
+        m.filtered.add((retrieved.len() - filtered.len()) as u64);
 
         // Stage 3: re-rank (or keep retrieval order).
-        let t2 = Instant::now();
+        let rerank_timer = StageTimer::start(&m.rerank);
         let scored: Vec<(usize, f32)> = if self.config.use_rerank {
             let mut scratch = ScoreScratch::default();
             filtered
@@ -396,6 +413,7 @@ impl GarSystem {
                 .collect()
         } else {
             // Retrieval scores, preserved from the hits.
+            m.rerank_disabled.inc();
             filtered
                 .iter()
                 .map(|&id| {
@@ -408,34 +426,46 @@ impl GarSystem {
                 })
                 .collect()
         };
+        let rerank_us = rerank_timer.stop();
+
         // Instantiate values; candidates whose placeholders stayed
         // unfilled demand values the question never mentioned, so they are
         // demoted below fully-instantiated candidates (the re-ranker score
         // orders within each tier).
+        let instantiate_timer = StageTimer::start(&m.instantiate);
+        let mut demoted = 0u64;
         let mut with_unfilled: Vec<(usize, RankedCandidate)> = scored
             .into_iter()
             .map(|(id, score)| {
                 let sql = instantiate(&prepared.entries[id].sql, db, &nl_values);
                 let unfilled = gar_sql::masked_count(&sql);
+                demoted += u64::from(unfilled > 0);
                 (unfilled, RankedCandidate { entry: id, sql, score })
             })
             .collect();
-        with_unfilled.sort_by(|(ua, a), (ub, b)| {
-            ua.cmp(ub).then_with(|| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-        });
+        with_unfilled
+            .sort_by(|(ua, a), (ub, b)| ua.cmp(ub).then_with(|| nan_last_desc(a.score, b.score)));
         let mut ranked: Vec<RankedCandidate> =
             with_unfilled.into_iter().map(|(_, c)| c).collect();
         ranked.truncate(10);
-        let rerank_us = t2.elapsed().as_micros();
+        let instantiate_us = instantiate_timer.stop();
+        m.demoted_unfilled.add(demoted);
+
+        m.total.inc();
+        if ranked.is_empty() {
+            m.empty_result.inc();
+        }
 
         Translation {
             ranked,
             retrieved,
-            timing_us: (retrieve_us, filter_us, rerank_us),
+            timings: StageTimings {
+                encode_us,
+                retrieve_us,
+                filter_us,
+                rerank_us,
+                instantiate_us,
+            },
         }
     }
 }
@@ -542,6 +572,161 @@ mod tests {
         // Scores are sorted descending.
         for w in tr.ranked.windows(2) {
             assert!(w[0].score >= w[1].score);
+        }
+        // The typed stage report sums to the end-to-end latency.
+        let t = tr.timings;
+        assert_eq!(
+            t.total_us(),
+            t.encode_us + t.retrieve_us + t.filter_us + t.rerank_us + t.instantiate_us
+        );
+    }
+
+    #[test]
+    fn stage_histograms_and_counters_populate_after_translate() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 26,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+
+        // The registry is global and tests run in one process, so assert
+        // monotone growth rather than absolute values (never reset here).
+        let before = gar_obs::global().snapshot();
+        let translated = gar.translate(db, &prepared, &bench.dev[0].nl);
+        let after = gar_obs::global().snapshot();
+
+        for stage in [
+            "stage.encode_us",
+            "stage.retrieve_us",
+            "stage.filter_us",
+            "stage.rerank_us",
+            "stage.instantiate_us",
+        ] {
+            let was = before.histogram(stage).map(|h| h.count).unwrap_or(0);
+            let now = after.histogram(stage).expect(stage).count;
+            assert!(now >= was + 1, "{stage}: {was} -> {now}");
+        }
+        let was = before.counter("translate.total").unwrap_or(0);
+        assert!(after.counter("translate.total").unwrap() >= was + 1);
+        let was = before.counter("candidates.retrieved").unwrap_or(0);
+        assert!(
+            after.counter("candidates.retrieved").unwrap()
+                >= was + translated.retrieved.len() as u64
+        );
+        assert!(after.histogram("prepare.pool_size").unwrap().count >= 1);
+        // Training pushed per-epoch loss series through gar-ltr.
+        let losses = after
+            .series
+            .iter()
+            .find(|(n, _)| n == "train.retrieval.epoch_loss")
+            .map(|(_, v)| v.len())
+            .unwrap_or(0);
+        assert!(losses >= 1, "retrieval loss series empty");
+        // The JSON snapshot carries every stage histogram for METRICS_*.json.
+        let json = after.to_json();
+        for stage in ["stage.encode_us", "stage.retrieve_us", "stage.filter_us"] {
+            assert!(json.contains(stage), "snapshot JSON misses {stage}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_and_k_zero_translate_to_empty_not_panic() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 27,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+
+        // Empty generalization pool: no entries, no index content.
+        let empty = PreparedDb {
+            db_name: db.schema.name.clone(),
+            entries: Vec::new(),
+            embeds: Vec::new(),
+            index: FlatIndex::new(gar.retrieval.embed_dim()),
+        };
+        let before = gar_obs::global()
+            .snapshot()
+            .counter("translate.empty_result")
+            .unwrap_or(0);
+        let tr = gar.translate(db, &empty, &bench.dev[0].nl);
+        assert!(tr.ranked.is_empty());
+        assert!(tr.retrieved.is_empty());
+        assert!(tr.top1().is_none());
+        let after = gar_obs::global()
+            .snapshot()
+            .counter("translate.empty_result")
+            .unwrap();
+        assert!(after >= before + 1, "empty_result not bumped: {before} -> {after}");
+
+        // Batch over the empty pool, and the analyze loop, stay panic-free.
+        let nls: Vec<String> = bench.dev.iter().map(|e| e.nl.clone()).take(3).collect();
+        for b in gar.translate_batch(db, &empty, &nls) {
+            assert!(b.ranked.is_empty());
+        }
+        let examples: Vec<&Example> = bench.dev.iter().filter(|e| &e.db == db_name).collect();
+        let report = crate::analyze(&gar, db, &empty, &examples);
+        assert_eq!(report.total, examples.len());
+        assert_eq!(report.data_prep_miss, examples.len());
+
+        // k = 0: retrieval returns nothing, translation degrades the same way.
+        let mut k0 = gar.clone();
+        k0.config.k = 0;
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = k0.prepare_eval_db(db, &gold);
+        let tr = k0.translate(db, &prepared, &bench.dev[0].nl);
+        assert!(tr.ranked.is_empty());
+        assert!(tr.retrieved.is_empty());
+        let report = crate::analyze(&k0, db, &prepared, &examples);
+        assert_eq!(report.correct, 0);
+        assert_eq!(report.total, examples.len());
+    }
+
+    #[test]
+    fn translate_batch_degenerate_shapes_match_sequential() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 28,
+        });
+        let mut cfg = tiny_config();
+        cfg.threads = 4;
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        let pool: Vec<String> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.nl.clone())
+            .collect();
+
+        // Batch sizes 0, 1, and threads + 1: no zero-size chunk may panic
+        // and every slot must be filled identically to the sequential path.
+        for n in [0usize, 1, 5] {
+            let nls: Vec<String> = pool.iter().take(n).cloned().collect();
+            let batch = gar.translate_batch(db, &prepared, &nls);
+            assert_eq!(batch.len(), nls.len());
+            for (nl, b) in nls.iter().zip(&batch) {
+                let s = gar.translate(db, &prepared, nl);
+                assert_eq!(b.retrieved, s.retrieved);
+                for (bc, sc) in b.ranked.iter().zip(&s.ranked) {
+                    assert_eq!(bc.entry, sc.entry);
+                    assert_eq!(bc.score.to_bits(), sc.score.to_bits());
+                }
+            }
         }
     }
 

@@ -53,12 +53,14 @@ pub fn read_linear(buf: &mut Bytes) -> Result<Linear, PersistError> {
     }
     let input = buf.get_u32_le() as usize;
     let output = buf.get_u32_le() as usize;
+    // Shape check first: it bounds `input * output`, so the byte-count
+    // arithmetic below cannot overflow on hostile headers.
+    if input == 0 || output == 0 || input * output > 1 << 28 {
+        return Err(PersistError::BadShape);
+    }
     let need = (input * output + output) * 4;
     if buf.remaining() < need {
         return Err(PersistError::Truncated);
-    }
-    if input == 0 || output == 0 || input * output > 1 << 28 {
-        return Err(PersistError::BadShape);
     }
     let mut w = Vec::with_capacity(input * output);
     for _ in 0..input * output {

@@ -179,6 +179,10 @@ impl RerankModel {
         let mut rng = seeded_rng(self.config.seed ^ 0xabcd);
         let mut best_loss = f32::INFINITY;
         let mut stale = 0usize;
+        let loss_series = gar_obs::global().series("train.rerank.epoch_loss");
+        gar_obs::global()
+            .gauge("train.rerank.lists")
+            .set(usable.len() as u64);
 
         for _epoch in 0..self.config.epochs {
             for i in (1..order.len()).rev() {
@@ -191,7 +195,9 @@ impl RerankModel {
                 let lr = sched.next_lr();
                 epoch_loss += self.train_list(list, &cfg, lr, &mut adam1, &mut adam2) as f64;
             }
-            let mean = (epoch_loss / usable.len() as f64) as f32;
+            let mean = epoch_loss / usable.len() as f64;
+            loss_series.push(mean);
+            let mean = mean as f32;
             report.epoch_losses.push(mean);
 
             // Reduce-on-plateau (absolute improvement threshold).

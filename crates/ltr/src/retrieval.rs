@@ -218,6 +218,10 @@ impl RetrievalModel {
 
         let mut order: Vec<usize> = (0..feats.len()).collect();
         let mut rng = seeded_rng(self.config.seed ^ 0x5eed);
+        let loss_series = gar_obs::global().series("train.retrieval.epoch_loss");
+        gar_obs::global()
+            .gauge("train.retrieval.triples")
+            .set(triples.len() as u64);
 
         for _epoch in 0..self.config.epochs {
             // Fisher-Yates shuffle for stochasticity.
@@ -254,9 +258,9 @@ impl RetrievalModel {
                 g1.zero();
                 g2.zero();
             }
-            report
-                .epoch_losses
-                .push((epoch_loss / feats.len() as f64) as f32);
+            let mean_loss = epoch_loss / feats.len() as f64;
+            loss_series.push(mean_loss);
+            report.epoch_losses.push(mean_loss as f32);
         }
         report
     }

@@ -1,0 +1,288 @@
+//! Fixed-bucket, log-spaced latency histogram.
+//!
+//! Values (microseconds in this workspace, but any `u64`) are binned into
+//! a *log-linear* layout: 16 exact single-value buckets for `0..16`, then
+//! 16 sub-buckets per power-of-two octave up to `u64::MAX`. That keeps the
+//! table small (976 fixed buckets, one `AtomicU64` each — no allocation or
+//! locking on the record path) while bounding the relative quantization
+//! error of any percentile readout at 1/16 = 6.25%; values below 16 are
+//! exact. Percentiles are read out as the inclusive lower bound of the
+//! bucket holding the target order statistic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (4 significant bits kept → ≤ 6.25% error).
+const SUB: usize = 16;
+/// Values below this get exact single-value buckets.
+const LINEAR: usize = 16;
+/// Total bucket count covering the full `u64` range.
+const BUCKETS: usize = LINEAR + (64 - 4) * SUB;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR as u64 {
+        v as usize
+    } else {
+        // exp >= 4 because v >= 16.
+        let exp = 63 - v.leading_zeros() as usize;
+        (exp - 3) * SUB + ((v >> (exp - 4)) & (SUB as u64 - 1)) as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket — the value percentiles report.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < LINEAR {
+        idx as u64
+    } else {
+        let exp = idx / SUB + 3;
+        let sub = (idx % SUB) as u64;
+        (1u64 << exp).saturating_add(sub << (exp - 4))
+    }
+}
+
+/// A thread-safe latency histogram with log-spaced fixed buckets.
+///
+/// All operations are lock-free atomic increments, so a `Histogram` handle
+/// can be shared freely across `std::thread::scope` workers.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("Histogram")
+            .field("count", &s.count)
+            .field("p50", &s.p50)
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in whole microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Zero every bucket and the min/max/sum accumulators in place
+    /// (existing handles stay valid).
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time summary with exact-bucket percentiles.
+    pub fn stats(&self) -> HistStats {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let (min, max) = if count == 0 {
+            (0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        HistStats {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: percentile(&counts, count, 0.50),
+            p95: percentile(&counts, count, 0.95),
+            p99: percentile(&counts, count, 0.99),
+        }
+    }
+}
+
+fn percentile(counts: &[u64], total: u64, p: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((p * total as f64).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum >= target {
+            return bucket_floor(i);
+        }
+    }
+    bucket_floor(BUCKETS - 1)
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistStats {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Median (bucket lower bound, ≤ 6.25% below the true value).
+    pub p50: u64,
+    /// 95th percentile (bucket lower bound).
+    pub p95: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
+}
+
+impl HistStats {
+    /// Arithmetic mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_tight() {
+        // Floors invert the index map, and indices are monotone in value.
+        let samples: Vec<u64> = (0..2048)
+            .chain((11..63).map(|e| (1u64 << e) - 1))
+            .chain((11..63).map(|e| 1u64 << e))
+            .chain((11..63).map(|e| (1u64 << e) + 12345))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        let mut prev_idx = 0usize;
+        let mut prev_v = 0u64;
+        for &v in &samples {
+            let idx = bucket_index(v);
+            assert!(idx < BUCKETS, "index out of range for {v}");
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "floor {floor} above value {v}");
+            // ≤ 1/16 relative quantization error above the linear range.
+            if v >= LINEAR as u64 {
+                assert!(v - floor <= v / SUB as u64, "bucket too wide at {v}");
+            } else {
+                assert_eq!(floor, v, "linear range must be exact");
+            }
+            if v >= prev_v {
+                assert!(idx >= prev_idx, "indices not monotone at {v}");
+            }
+            prev_idx = idx;
+            prev_v = v;
+        }
+    }
+
+    #[test]
+    fn small_value_percentiles_are_exact() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let s = h.stats();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p95, 10);
+        assert_eq!(s.p99, 10);
+        assert!((s.mean() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_value_percentiles_stay_within_bucket_error() {
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(1000 + i); // uniform on [1000, 2000)
+        }
+        let s = h.stats();
+        for (p, got) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+            let exact = 1000 + (1000.0f64 * p).ceil() as u64 - 1;
+            assert!(got <= exact, "p{p} floor {got} above exact {exact}");
+            assert!(
+                exact - got <= exact / 16 + 1,
+                "p{p} off by more than a bucket: {got} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.stats();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        let s = h.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.stats().count, 4000);
+    }
+}

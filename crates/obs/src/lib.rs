@@ -1,0 +1,62 @@
+//! # gar-obs — pipeline observability for the GAR workspace
+//!
+//! GAR's evaluation is an efficiency story (retrieval + re-rank latency
+//! versus seq2seq decoding, paper §V), so the serving pipeline must be
+//! measurable per stage and per percentile on every run. This crate is
+//! the measurement substrate: dependency-free, lock-free on the record
+//! path, and safe under `std::thread::scope` workers.
+//!
+//! - [`Counter`] / [`Gauge`] / [`Series`] — monotone event counts,
+//!   set-point values, appended observation series (per-epoch losses);
+//! - [`Histogram`] — fixed-bucket log-spaced latency histogram with
+//!   p50/p95/p99 readout (16 sub-buckets per octave: ≤ 6.25% error,
+//!   exact below 16);
+//! - [`StageTimer`] — RAII guard recording elapsed microseconds;
+//! - [`Registry`] — named interning, in-place [`Registry::reset`], and
+//!   [`Snapshot`] rendering to JSON (`results/METRICS_<exp>.json`) or an
+//!   aligned percentile table.
+//!
+//! The process-wide [`global`] registry is what the pipeline crates record
+//! into; metric names are catalogued in DESIGN.md § Observability.
+//!
+//! ```
+//! use gar_obs::{Registry, StageTimer};
+//!
+//! let reg = Registry::new();
+//! let hist = reg.histogram("stage.encode_us");
+//! let timer = StageTimer::start(&hist);
+//! // ... do the work ...
+//! let _us = timer.stop();
+//! assert_eq!(reg.snapshot().histogram("stage.encode_us").unwrap().count, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metric;
+pub mod registry;
+pub mod timer;
+
+pub use hist::{HistStats, Histogram};
+pub use metric::{Counter, Gauge, Series};
+pub use registry::{Registry, Snapshot};
+pub use timer::StageTimer;
+
+static GLOBAL: Registry = Registry::new();
+
+/// The process-wide registry the pipeline records into.
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("obs.selftest");
+        global().counter("obs.selftest").add(2);
+        assert!(a.get() >= 2, "handles must alias the same metric");
+    }
+}

@@ -1,0 +1,162 @@
+//! Scalar metrics: monotone counters, set-point gauges, and appended
+//! value series. All handles are cheap `Arc`s registered in a
+//! [`crate::Registry`] and safe to share across `std::thread::scope`
+//! workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Zero the counter in place (existing handles stay valid).
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge holding the most recently set value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replace the value.
+    pub fn set(&self, v: u64) {
+        self.v.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    /// Zero the gauge in place.
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An appended series of observations (e.g. per-epoch training losses).
+#[derive(Debug, Default)]
+pub struct Series {
+    v: Mutex<Vec<f64>>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new() -> Series {
+        Series::default()
+    }
+
+    /// Append one observation.
+    pub fn push(&self, v: f64) {
+        self.lock().push(v);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// A copy of the observations in insertion order.
+    pub fn values(&self) -> Vec<f64> {
+        self.lock().clone()
+    }
+
+    /// Clear the series in place.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<f64>> {
+        self.v.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_resets() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn series_preserves_order() {
+        let s = Series::new();
+        s.push(0.9);
+        s.push(0.4);
+        assert_eq!(s.values(), vec![0.9, 0.4]);
+        assert_eq!(s.len(), 2);
+        s.reset();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn counter_is_safe_under_scoped_threads() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = &c;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

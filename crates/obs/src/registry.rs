@@ -1,0 +1,360 @@
+//! The metric registry: named handles, point-in-time snapshots, and the
+//! JSON / text renderings the experiment harness emits.
+
+use crate::hist::{HistStats, Histogram};
+use crate::metric::{Counter, Gauge, Series};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A thread-safe registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram`/`series` intern by name: the first call
+/// creates the metric, later calls return the same `Arc`. Handles are
+/// plain atomics (or a mutexed vec for series), so they can be cached in
+/// `static`s and hammered from `std::thread::scope` workers without
+/// touching the registry lock again. [`Registry::reset`] zeroes every
+/// metric *in place*, so cached handles survive a reset — which is what
+/// lets the bench binary reset between experiments while the pipeline
+/// keeps recording through its interned handles.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    series: Mutex<BTreeMap<String, Arc<Series>>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Registry {
+    /// An empty registry (const, so it can back a `static`).
+    pub const fn new() -> Registry {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            lock(&self.gauges)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Get or create the series `name`.
+    pub fn series(&self, name: &str) -> Arc<Series> {
+        Arc::clone(
+            lock(&self.series)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Series::new())),
+        )
+    }
+
+    /// Zero every registered metric in place. Names stay registered and
+    /// previously returned handles keep recording into the same metrics.
+    pub fn reset(&self) {
+        for c in lock(&self.counters).values() {
+            c.reset();
+        }
+        for g in lock(&self.gauges).values() {
+            g.reset();
+        }
+        for h in lock(&self.histograms).values() {
+            h.reset();
+        }
+        for s in lock(&self.series).values() {
+            s.reset();
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.stats()))
+                .collect(),
+            series: lock(&self.series)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.values()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistStats)>,
+    /// Series contents by name.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl Snapshot {
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistStats> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Render the snapshot as a JSON object (hand-rolled — this crate is
+    /// dependency-free). Keys are sorted; the layout is documented in
+    /// DESIGN.md § Observability.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{}\": {v}", json_escape(k)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{}\": {v}", json_escape(k)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean()),
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        out.push_str("\n  },\n  \"series\": {");
+        for (i, (k, vs)) in self.series.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let vals: Vec<String> = vs.iter().map(|&v| json_f64(v)).collect();
+            out.push_str(&format!(
+                "{sep}\n    \"{}\": [{}]",
+                json_escape(k),
+                vals.join(", ")
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Render the histograms as an aligned percentile table (one row per
+    /// histogram: count, p50/p95/p99, max, mean).
+    pub fn percentile_table(&self) -> String {
+        let header = ["histogram", "count", "p50", "p95", "p99", "max", "mean"];
+        let rows: Vec<[String; 7]> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                [
+                    k.clone(),
+                    h.count.to_string(),
+                    h.p50.to_string(),
+                    h.p95.to_string(),
+                    h.p99.to_string(),
+                    h.max.to_string(),
+                    format!("{:.1}", h.mean()),
+                ]
+            })
+            .collect();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, h) in header.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+        }
+        out.push('\n');
+        for w in &widths {
+            out.push_str(&"-".repeat(*w));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_returns_the_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reset_keeps_handles_recording() {
+        let r = Registry::new();
+        let c = r.counter("events");
+        let h = r.histogram("lat");
+        c.add(3);
+        h.record(10);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        h.record(20);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("events"), Some(1));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
+        assert_eq!(snap.histogram("lat").unwrap().p50, 20);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b").inc();
+        r.counter("a").add(2);
+        r.gauge("g").set(5);
+        r.series("s").push(0.25);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(snap.gauges, vec![("g".to_string(), 5)]);
+        assert_eq!(snap.series, vec![("s".to_string(), vec![0.25])]);
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let r = Registry::new();
+        r.counter("translate.total").add(2);
+        r.gauge("pool").set(300);
+        r.histogram("stage.encode_us").record(120);
+        r.series("loss").push(0.5);
+        r.series("loss").push(f64::NAN);
+        let json = r.snapshot().to_json();
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"series\"",
+            "\"translate.total\": 2",
+            "\"pool\": 300",
+            "\"stage.encode_us\": {\"count\": 1",
+            "\"p50\": 120",
+            "[0.5, null]",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets and no bare NaN (would break parsers).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn percentile_table_lists_every_histogram() {
+        let r = Registry::new();
+        r.histogram("stage.encode_us").record(10);
+        r.histogram("stage.rerank_us").record(400);
+        let table = r.snapshot().percentile_table();
+        assert!(table.contains("stage.encode_us"));
+        assert!(table.contains("stage.rerank_us"));
+        assert!(table.contains("p95"));
+    }
+
+    #[test]
+    fn registry_works_under_scoped_threads() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let r = &r;
+                scope.spawn(move || {
+                    let c = r.counter("shared");
+                    let h = r.histogram("lat");
+                    for i in 0..250u64 {
+                        c.inc();
+                        h.record(t * 250 + i);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared"), Some(1000));
+        assert_eq!(snap.histogram("lat").unwrap().count, 1000);
+    }
+}

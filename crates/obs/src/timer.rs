@@ -1,0 +1,88 @@
+//! RAII stage timing: start a [`StageTimer`] against a histogram handle
+//! and the elapsed microseconds are recorded when the guard is stopped or
+//! dropped — so early returns and panics still account their time.
+
+use crate::hist::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An RAII guard that records elapsed microseconds into a [`Histogram`].
+///
+/// [`StageTimer::stop`] records and returns the elapsed value (feeding
+/// both the histogram and any per-call timing struct from the *same*
+/// measurement); dropping an un-stopped timer records on drop.
+#[derive(Debug)]
+pub struct StageTimer {
+    hist: Arc<Histogram>,
+    start: Instant,
+    armed: bool,
+}
+
+impl StageTimer {
+    /// Start timing against `hist`.
+    pub fn start(hist: &Arc<Histogram>) -> StageTimer {
+        StageTimer {
+            hist: Arc::clone(hist),
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Stop the timer, record the elapsed whole microseconds into the
+    /// histogram, and return them.
+    pub fn stop(mut self) -> u64 {
+        self.armed = false;
+        let us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.hist.record(us);
+        us
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_records_once_and_returns_micros() {
+        let h = Arc::new(Histogram::new());
+        let t = StageTimer::start(&h);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let us = t.stop();
+        assert!(us >= 1000, "slept 2ms but measured {us}us");
+        let s = h.stats();
+        assert_eq!(s.count, 1, "stop must not double-record via drop");
+        assert_eq!(s.max, us);
+    }
+
+    #[test]
+    fn drop_records_when_not_stopped() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _t = StageTimer::start(&h);
+        }
+        assert_eq!(h.stats().count, 1);
+    }
+
+    #[test]
+    fn timers_nest_across_threads() {
+        let h = Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let h = &h;
+                scope.spawn(move || {
+                    let t = StageTimer::start(h);
+                    t.stop();
+                });
+            }
+        });
+        assert_eq!(h.stats().count, 3);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The paper's contract is behavioural (who wins, by what factor — GAR
 //! §V), so every perf or scale change to this workspace must prove it
-//! changed *nothing* semantically. This crate is that proof, in four
+//! changed *nothing* semantically. This crate is that proof, in five
 //! layers:
 //!
 //! 1. **Seeded generators** ([`gen`]) — random SQL ASTs over the benchmark
@@ -17,8 +17,11 @@
 //!    NULLs nor interesting physical orders.
 //! 4. **Pipeline invariants** ([`pipeline`]) — generalizer output is well
 //!    formed, dialect rendering is deterministic, retrieval top-k is
-//!    insertion-order invariant, and `translate_batch` ≡ sequential
-//!    `translate`.
+//!    insertion-order invariant, NaN-polluted indices never disturb finite
+//!    candidates, and `translate_batch` ≡ sequential `translate`.
+//! 5. **Codec robustness** ([`persist`]) — every strict prefix of a valid
+//!    artifact decodes to an error (truncation fuzz), as do corrupted
+//!    magic bytes and hostile shape headers.
 //!
 //! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
 //! `rand` dependency for harness decisions), so **every failure replays
@@ -43,6 +46,7 @@ pub mod check;
 pub mod differential;
 pub mod fault;
 pub mod gen;
+pub mod persist;
 pub mod pipeline;
 pub mod rng;
 

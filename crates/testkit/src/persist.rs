@@ -1,0 +1,185 @@
+//! Artifact-codec robustness: truncation fuzz and hostile headers.
+//!
+//! The persistence layer (`gar-ltr`'s length-prefixed codec and
+//! `gar-core`'s artifact formats built on it) must treat every malformed
+//! input as an `Err`, never a panic, a bogus success, or an unbounded
+//! allocation. These checks feed a valid artifact through every truncation
+//! boundary and through forged headers.
+
+use crate::rng::TestRng;
+
+/// Byte boundaries below this are all tried; above it, boundaries are
+/// sampled (large artifacts would make an exhaustive sweep quadratic in
+/// decode cost).
+const EXHAUSTIVE_PREFIX: usize = 4096;
+
+/// Decode every strict prefix of `bytes` and demand an error each time.
+///
+/// Every byte boundary up to 4 KiB is tried exhaustively; for longer
+/// payloads, `samples` additional boundaries are drawn from `seed`
+/// (replayable). A decode that *panics* fails the calling test on its own;
+/// a decode that *succeeds* on a strict prefix is reported here.
+pub fn check_prefixes_reject<T, E>(
+    bytes: &[u8],
+    seed: u64,
+    samples: usize,
+    decode: impl Fn(&[u8]) -> Result<T, E>,
+) -> Result<(), String> {
+    let mut cuts: Vec<usize> = (0..bytes.len().min(EXHAUSTIVE_PREFIX)).collect();
+    if bytes.len() > EXHAUSTIVE_PREFIX {
+        let mut rng = TestRng::new(seed);
+        cuts.extend((0..samples).map(|_| rng.range(EXHAUSTIVE_PREFIX, bytes.len())));
+    }
+    for cut in cuts {
+        if decode(&bytes[..cut]).is_ok() {
+            return Err(format!(
+                "strict prefix of {cut}/{} bytes decoded successfully",
+                bytes.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Flip one byte at `pos` and demand the decode rejects the mutant. Only
+/// meaningful for positions the format *must* validate (the magic and kind
+/// bytes) — flipping payload bytes may legitimately still decode.
+pub fn check_corrupted_byte_rejects<T, E>(
+    bytes: &[u8],
+    pos: usize,
+    decode: impl Fn(&[u8]) -> Result<T, E>,
+) -> Result<(), String> {
+    if pos >= bytes.len() {
+        return Err(format!("corruption offset {pos} outside {}-byte artifact", bytes.len()));
+    }
+    let mut mutant = bytes.to_vec();
+    mutant[pos] ^= 0xFF;
+    match decode(&mutant) {
+        Ok(_) => Err(format!("artifact with corrupted byte {pos} still decoded")),
+        Err(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::{BufMut, BytesMut};
+    use gar_core::{
+        prepared_from_bytes, prepared_to_bytes, system_from_bytes, system_to_bytes, GarConfig,
+        GarSystem, PrepareConfig,
+    };
+    use gar_ltr::persist::{read_linear, write_header, PersistError};
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+    use std::sync::OnceLock;
+
+    /// One tiny trained system + prepared db, encoded once and shared by
+    /// every fuzz test (training dominates the cost).
+    fn artifacts() -> &'static (Vec<u8>, Vec<u8>) {
+        static ARTIFACTS: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+        ARTIFACTS.get_or_init(|| {
+            let bench = gar_benchmarks::spider_sim(gar_benchmarks::SpiderSimConfig {
+                train_dbs: 2,
+                val_dbs: 1,
+                queries_per_db: 12,
+                seed: 77,
+            });
+            let config = GarConfig {
+                prepare: PrepareConfig {
+                    gen_size: 120,
+                    ..PrepareConfig::default()
+                },
+                train_gen_size: 90,
+                retrieval: RetrievalConfig {
+                    features: FeatureConfig {
+                        dim: 256,
+                        ..FeatureConfig::default()
+                    },
+                    hidden: 16,
+                    embed: 8,
+                    epochs: 1,
+                    ..RetrievalConfig::default()
+                },
+                rerank: RerankConfig {
+                    embed: 8,
+                    hidden: 12,
+                    epochs: 1,
+                    ..RerankConfig::default()
+                },
+                ..GarConfig::default()
+            };
+            let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+            let db = bench.db(&bench.dev[0].db).expect("dev db");
+            let gold: Vec<gar_sql::Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+            let prepared = gar.prepare_eval_db(db, &gold);
+            (system_to_bytes(&gar), prepared_to_bytes(&prepared))
+        })
+    }
+
+    #[test]
+    fn every_system_prefix_is_rejected() {
+        let (sys, _) = artifacts();
+        assert!(sys.len() > 64, "artifact suspiciously small");
+        check_prefixes_reject(sys, 0xfade, 512, |b| system_from_bytes(b)).unwrap();
+    }
+
+    #[test]
+    fn every_prepared_prefix_is_rejected() {
+        let (_, prep) = artifacts();
+        assert!(prep.len() > 64, "artifact suspiciously small");
+        check_prefixes_reject(prep, 0xbeef, 512, |b| prepared_from_bytes(b)).unwrap();
+    }
+
+    #[test]
+    fn corrupted_magic_is_rejected() {
+        let (sys, prep) = artifacts();
+        for pos in 0..4 {
+            check_corrupted_byte_rejects(sys, pos, |b| system_from_bytes(b)).unwrap();
+            check_corrupted_byte_rejects(prep, pos, |b| prepared_from_bytes(b)).unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_linear_shape_header_is_bad_shape_not_overflow() {
+        // A forged layer header claiming u32::MAX × u32::MAX weights used
+        // to overflow the byte-count arithmetic before the shape guard ran.
+        for (input, output) in [
+            (u32::MAX, u32::MAX),
+            (u32::MAX, 1),
+            (1, u32::MAX),
+            ((1u32 << 28) + 1, 2),
+        ] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(input);
+            buf.put_u32_le(output);
+            let mut bytes = buf.freeze();
+            assert!(
+                matches!(read_linear(&mut bytes), Err(PersistError::BadShape)),
+                "({input}, {output}) not rejected as BadShape"
+            );
+        }
+        // Zero dimensions are equally hostile.
+        for (input, output) in [(0u32, 4u32), (4, 0)] {
+            let mut buf = BytesMut::new();
+            buf.put_u32_le(input);
+            buf.put_u32_le(output);
+            let mut bytes = buf.freeze();
+            assert!(matches!(
+                read_linear(&mut bytes),
+                Err(PersistError::BadShape)
+            ));
+        }
+    }
+
+    #[test]
+    fn oversized_prepared_count_is_rejected_fast() {
+        // Kind-4 artifact whose header claims u32::MAX entries: must fail
+        // on the size check, not attempt a giant reservation.
+        let mut buf = BytesMut::new();
+        write_header(&mut buf, 4);
+        buf.put_u32_le(1);
+        buf.put_slice(b"x");
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(64);
+        assert!(prepared_from_bytes(&buf.to_vec()).is_err());
+    }
+}

@@ -24,7 +24,7 @@ use gar_generalize::{Generalizer, GeneralizerConfig};
 use gar_schema::resolve_query;
 use gar_sql::ast::Query;
 use gar_sql::{parse, to_sql};
-use gar_vecindex::FlatIndex;
+use gar_vecindex::{FlatIndex, IvfConfig, IvfIndex};
 
 /// Statistics from a generalizer well-formedness check.
 #[derive(Debug, Clone, Default)]
@@ -180,6 +180,92 @@ pub fn check_retrieval_permutation_invariance(
     Ok(())
 }
 
+/// NaN-score isolation: polluting an index with NaN vectors must leave the
+/// ranking of finite candidates untouched.
+///
+/// - **Flat**: top-k admission rejects NaN scores outright, so a polluted
+///   index must return results bit-identical to a clean one.
+/// - **IVF**: merged cell lists can carry NaN-scored hits; they must sort
+///   strictly after every finite hit, and the finite prefix must keep its
+///   descending relative order.
+pub fn check_nan_score_isolation(
+    seed: u64,
+    n: usize,
+    dim: usize,
+    k: usize,
+    probes: usize,
+) -> Result<(), String> {
+    let mut rng = TestRng::new(seed);
+    let vectors: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.signed_unit()).collect())
+        .collect();
+
+    let mut clean = FlatIndex::new(dim);
+    let mut polluted = FlatIndex::new(dim);
+    for (id, v) in vectors.iter().enumerate() {
+        clean.add(id, v);
+        polluted.add(id, v);
+    }
+    let nan_vec = vec![f32::NAN; dim];
+    for j in 0..4 {
+        polluted.add(n + j, &nan_vec);
+    }
+
+    let mut ivf = IvfIndex::new(
+        dim,
+        IvfConfig {
+            nlist: 4,
+            nprobe: 4,
+            ..IvfConfig::default()
+        },
+    );
+    ivf.train(&vectors);
+    for (id, v) in vectors.iter().enumerate() {
+        ivf.add(id, v);
+    }
+    for j in 0..4 {
+        ivf.add(n + j, &nan_vec);
+    }
+
+    for p in 0..probes {
+        let q: Vec<f32> = (0..dim).map(|_| rng.signed_unit()).collect();
+
+        let want: Vec<(usize, u32)> = clean
+            .search(&q, k)
+            .into_iter()
+            .map(|h| (h.id, h.score.to_bits()))
+            .collect();
+        let got: Vec<(usize, u32)> = polluted
+            .search(&q, k)
+            .into_iter()
+            .map(|h| (h.id, h.score.to_bits()))
+            .collect();
+        if want != got {
+            return Err(format!(
+                "flat: NaN pollution changed top-{k} on probe {p}: {want:?} vs {got:?}"
+            ));
+        }
+
+        let hits = ivf.search(&q, n + 8);
+        let first_nan = hits
+            .iter()
+            .position(|h| h.score.is_nan())
+            .unwrap_or(hits.len());
+        if hits[first_nan..].iter().any(|h| !h.score.is_nan()) {
+            return Err(format!("ivf: finite hit sorted after a NaN hit on probe {p}"));
+        }
+        if hits[..first_nan]
+            .windows(2)
+            .any(|w| w[0].score < w[1].score)
+        {
+            return Err(format!(
+                "ivf: finite prefix lost descending order under NaN pollution on probe {p}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +308,11 @@ mod tests {
     #[test]
     fn retrieval_topk_invariant_under_insertion_permutation() {
         check_retrieval_permutation_invariance(5, 80, 24, 10, 8).unwrap();
+    }
+
+    #[test]
+    fn nan_scores_stay_isolated_from_finite_candidates() {
+        check_nan_score_isolation(17, 90, 16, 12, 6).unwrap();
     }
 
     /// Small end-to-end config for the batch-equivalence invariant.

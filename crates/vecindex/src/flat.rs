@@ -98,15 +98,27 @@ fn dot_qblock(cand: &[f32], qcat: &[f32], dim: usize, out: &mut [f32; QBLOCK]) {
     }
 }
 
-/// The search total order: higher score first, earlier insertion position
-/// breaking ties. A strict total order over distinct positions, so the
-/// top-k set (and its sorted order) is unique — which is what makes the
-/// batched and sharded paths bit-identical to the sequential one.
+/// NaN-safe descending score order: higher score first, every NaN after
+/// every non-NaN, NaN payloads ordered by [`f32::total_cmp`]. On non-NaN
+/// inputs this agrees with `partial_cmp` exactly, but it is a *total*
+/// order, so one NaN score (a corrupt vector, a poisoned dot product)
+/// demotes that single candidate instead of handing `sort_by` an
+/// inconsistent comparator that can scramble the whole ranking.
+#[inline]
+pub fn nan_last_desc(a: f32, b: f32) -> Ordering {
+    a.is_nan()
+        .cmp(&b.is_nan())
+        .then_with(|| b.total_cmp(&a))
+}
+
+/// The search total order: higher score first (NaN last), earlier
+/// insertion position breaking ties. A strict total order over distinct
+/// positions, so the top-k set (and its sorted order) is unique — which is
+/// what makes the batched and sharded paths bit-identical to the
+/// sequential one.
 #[inline]
 fn rank(a: &(f32, usize), b: &(f32, usize)) -> Ordering {
-    b.0.partial_cmp(&a.0)
-        .unwrap_or(Ordering::Equal)
-        .then_with(|| a.1.cmp(&b.1))
+    nan_last_desc(a.0, b.0).then_with(|| a.1.cmp(&b.1))
 }
 
 /// Reusable top-k accumulator over `(score, position)` pairs.
@@ -704,6 +716,78 @@ mod tests {
         for (h, e) in hits.iter().zip(&expect) {
             assert_eq!(h.id, e.1);
         }
+    }
+
+    #[test]
+    fn nan_last_desc_orders_nan_after_every_finite_score() {
+        use std::cmp::Ordering;
+        assert_eq!(nan_last_desc(2.0, 1.0), Ordering::Less); // higher score first
+        assert_eq!(nan_last_desc(1.0, 2.0), Ordering::Greater);
+        assert_eq!(nan_last_desc(1.0, 1.0), Ordering::Equal);
+        assert_eq!(nan_last_desc(f32::NAN, 1.0), Ordering::Greater);
+        assert_eq!(nan_last_desc(1.0, f32::NAN), Ordering::Less);
+        assert_eq!(nan_last_desc(f32::NAN, f32::NAN), Ordering::Equal);
+        assert_eq!(nan_last_desc(f32::NEG_INFINITY, f32::NAN), Ordering::Less);
+        let mut scores = [0.5f32, f32::NAN, 2.0, -1.0, f32::NAN, 0.0];
+        scores.sort_by(|a, b| nan_last_desc(*a, *b));
+        assert_eq!(&scores[..4], &[2.0, 0.5, 0.0, -1.0]);
+        assert!(scores[4].is_nan() && scores[5].is_nan());
+    }
+
+    #[test]
+    fn nan_vectors_never_displace_finite_hits() {
+        // A NaN candidate scores NaN against every query; top-k admission
+        // (`s > thr`) must reject it, so results match a NaN-free index.
+        let corpus = random_corpus(64, 8, 17);
+        let mut clean = FlatIndex::new(8);
+        let mut polluted = FlatIndex::new(8);
+        for (i, v) in corpus.iter().enumerate() {
+            clean.add(i, v);
+            polluted.add(i, v);
+        }
+        for j in 0..4 {
+            polluted.add(1000 + j, &[f32::NAN; 8]);
+        }
+        let q = &corpus[3];
+        for k in [1, 5, 64, 100] {
+            let want = clean.search(q, k);
+            let got = polluted.search(q, k);
+            assert_eq!(want.len(), got.len());
+            for (w, g) in want.iter().zip(&got) {
+                assert_eq!(w.id, g.id);
+                assert_eq!(w.score.to_bits(), g.score.to_bits());
+                assert!(!g.score.is_nan());
+            }
+        }
+    }
+
+    #[test]
+    fn search_batch_threads_handles_degenerate_shapes() {
+        let corpus = random_corpus(40, 4, 3);
+        let mut idx = FlatIndex::new(4);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        // Empty query slice: nothing to do, no worker may panic.
+        for threads in [1, 4, 9] {
+            assert!(idx.search_batch_threads(&[], 5, threads).is_empty());
+        }
+        // One query with far more threads than queries or shards.
+        let q = vec![corpus[0].clone()];
+        for threads in [1, 2, 16] {
+            let batch = idx.search_batch_threads(&q, 5, threads);
+            assert_eq!(batch.len(), 1);
+            let seq = idx.search(&q[0], 5);
+            assert_eq!(batch[0].len(), seq.len());
+            for (x, y) in seq.iter().zip(&batch[0]) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+        // k = 0 across thread counts: empty hit lists, correct arity.
+        let batch = idx.search_batch_threads(&q, 0, 8);
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].is_empty());
     }
 
     #[test]

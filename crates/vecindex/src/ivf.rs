@@ -6,10 +6,9 @@
 //! first-stage retrieval "efficient similarity search" over the large
 //! dialect set.
 
-use crate::flat::{dot, normalize, partition, Hit};
+use crate::flat::{dot, nan_last_desc, normalize, partition, Hit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::cmp::Ordering;
 
 /// Reusable per-worker scratch for IVF searches: the normalized query, the
 /// centroid ranking, and the probed-candidate buffer all keep their
@@ -227,7 +226,7 @@ impl IvfIndex {
             .extend((0..self.nlist()).map(|c| (c, dot(self.centroid(c), q))));
         scratch
             .cell_scores
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+            .sort_by(|a, b| nan_last_desc(a.1, b.1));
 
         scratch.hits.clear();
         for &(c, _) in scratch.cell_scores.iter().take(self.config.nprobe.max(1)) {
@@ -240,7 +239,7 @@ impl IvfIndex {
         }
         scratch
             .hits
-            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+            .sort_by(|a, b| nan_last_desc(a.score, b.score));
         scratch.hits.iter().take(k).copied().collect()
     }
 }
@@ -411,6 +410,43 @@ mod tests {
                     assert_eq!(x.score.to_bits(), y.score.to_bits());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn nan_candidates_sort_after_finite_hits() {
+        // Unlike the flat index (whose top-k admission drops NaN scores),
+        // IVF merges per-cell lists and can carry NaN-scored entries; the
+        // total-order sort must keep every finite hit ahead of them.
+        let corpus = random_corpus(120, 8, 9);
+        let mut ivf = IvfIndex::new(
+            8,
+            IvfConfig {
+                nlist: 4,
+                nprobe: 4,
+                ..IvfConfig::default()
+            },
+        );
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        for j in 0..3 {
+            ivf.add(900 + j, &[f32::NAN; 8]);
+        }
+        let hits = ivf.search(&corpus[7], 123);
+        let first_nan = hits
+            .iter()
+            .position(|h| h.score.is_nan())
+            .unwrap_or(hits.len());
+        for h in &hits[..first_nan] {
+            assert!(!h.score.is_nan());
+        }
+        for h in &hits[first_nan..] {
+            assert!(h.score.is_nan(), "finite hit sorted after a NaN hit");
+        }
+        for w in hits[..first_nan].windows(2) {
+            assert!(w[0].score >= w[1].score);
         }
     }
 

@@ -29,5 +29,5 @@
 pub mod flat;
 pub mod ivf;
 
-pub use flat::{dot, normalize, FlatIndex, Hit};
+pub use flat::{dot, nan_last_desc, normalize, FlatIndex, Hit};
 pub use ivf::{IvfConfig, IvfIndex};

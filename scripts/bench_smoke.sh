@@ -4,6 +4,11 @@
 # and the batched search path without a full bench run. `bench_batch` also
 # rewrites results/BENCH_retrieval.json with the measured throughput.
 #
+# After the benches, runs the `gar-exp metrics` workout and asserts the
+# emitted results/METRICS_metrics.json parses and carries all five
+# per-stage latency histograms (encode, retrieve, filter, rerank,
+# instantiate).
+#
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
@@ -14,3 +19,32 @@ for bench in bench_retrieval bench_batch; do
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
 done
+
+echo "== metrics workout =="
+cargo run --release -p gar-experiments --bin gar-exp -- --fast metrics
+
+METRICS="${GAR_RESULTS_DIR:-results}/METRICS_metrics.json"
+[[ -f "$METRICS" ]] || { echo "missing $METRICS" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$METRICS" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+hists = snap["histograms"]
+stages = [f"stage.{s}_us" for s in
+          ("encode", "retrieve", "filter", "rerank", "instantiate")]
+missing = [s for s in stages if s not in hists]
+assert not missing, f"missing stage histograms: {missing}"
+for s in stages:
+    assert hists[s]["count"] > 0, f"{s} recorded no samples"
+    for q in ("p50", "p95", "p99"):
+        assert q in hists[s], f"{s} lacks {q}"
+print(f"[bench_smoke] {sys.argv[1]} OK: "
+      + ", ".join(f"{s}={hists[s]['count']}" for s in stages))
+PY
+else
+  for s in encode retrieve filter rerank instantiate; do
+    grep -q "\"stage\\.${s}_us\"" "$METRICS" \
+      || { echo "missing stage.${s}_us in $METRICS" >&2; exit 1; }
+  done
+  echo "[bench_smoke] $METRICS OK (grep check; python3 unavailable)"
+fi

@@ -30,6 +30,8 @@ if registry_reachable; then
   cargo build --release
   cargo test -q
   say "tier-1 OK"
+  say "running bench smoke + metrics-snapshot validation"
+  "$REPO/scripts/bench_smoke.sh"
 else
   say "registry unreachable — falling back to scripts/offline_check.sh"
   "$REPO/scripts/offline_check.sh"

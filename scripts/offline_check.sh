@@ -11,8 +11,8 @@
 #
 # Covered: the unit-test suites of every library crate (gar-sql,
 # gar-schema, gar-engine, gar-generalize, gar-dialect, gar-nl,
-# gar-benchmarks, gar-vecindex, gar-ltr, gar-baselines, gar-core and
-# gar-testkit — whose suite includes the 240-case differential sweep of
+# gar-benchmarks, gar-vecindex, gar-obs, gar-ltr, gar-baselines, gar-core
+# and gar-testkit — whose suite includes the 240-case differential sweep of
 # the optimized executor against the naive reference interpreter), the
 # two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
@@ -83,14 +83,16 @@ lib gar_nl nlgen "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}"
 lib gar_benchmarks benchmarks "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" \
   --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
 lib gar_vecindex vecindex "${RAND[@]}"
-lib gar_ltr ltr "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" --extern bytes=libbytes.rlib
+lib gar_obs obs
+OBS=(--extern gar_obs=libgar_obs.rlib)
+lib gar_ltr ltr "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" --extern bytes=libbytes.rlib
 lib gar_baselines baselines "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" \
   --extern gar_benchmarks=libgar_benchmarks.rlib \
   --extern gar_ltr=libgar_ltr.rlib \
   --extern gar_nl=libgar_nl.rlib \
   --extern gar_engine=libgar_engine.rlib
 
-CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}"
+CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}"
   --extern bytes=libbytes.rlib
   --extern gar_engine=libgar_engine.rlib
   --extern gar_generalize=libgar_generalize.rlib
@@ -148,7 +150,8 @@ suite gar_benchmarks "$REPO/crates/benchmarks/src/lib.rs" "${SQL[@]}" "${SCHEMA[
   "${RAND[@]}" "${SERDE[@]}" \
   --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
 suite gar_vecindex "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}"
-suite gar_ltr "$REPO/crates/ltr/src/lib.rs" "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" \
+suite gar_obs "$REPO/crates/obs/src/lib.rs"
+suite gar_ltr "$REPO/crates/ltr/src/lib.rs" "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" \
   --extern bytes=libbytes.rlib
 suite gar_baselines "$REPO/crates/baselines/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" \
   --extern gar_benchmarks=libgar_benchmarks.rlib \

@@ -18,6 +18,7 @@
 //! - [`dialect`] — SQL-to-NL dialect builder ([`gar_dialect`])
 //! - [`ltr`] — learning-to-rank models ([`gar_ltr`])
 //! - [`vecindex`] — vector similarity search ([`gar_vecindex`])
+//! - [`obs`] — pipeline metrics and stage timers ([`gar_obs`])
 //! - [`nl`] — NL utterance generation for benchmarks ([`gar_nl`])
 //! - [`benchmarks`] — benchmark suites and metrics ([`gar_benchmarks`])
 //! - [`baselines`] — baseline NL2SQL systems ([`gar_baselines`])
@@ -31,6 +32,7 @@ pub use gar_engine as engine;
 pub use gar_generalize as generalize;
 pub use gar_ltr as ltr;
 pub use gar_nl as nl;
+pub use gar_obs as obs;
 pub use gar_schema as schema;
 pub use gar_sql as sql;
 pub use gar_vecindex as vecindex;
