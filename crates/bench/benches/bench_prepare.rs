@@ -1,0 +1,208 @@
+//! Offline preparation: the acceptance workload for the staged-parallel
+//! prepare + content-addressed cache optimization. Three arms over one
+//! database with a 2,000-candidate pool:
+//!
+//! - `sequential` — `prepare_with_samples_t(.., 1)`: the pre-optimization
+//!   single-threaded generalize → render → encode → index pipeline;
+//! - `parallel4`  — the same pipeline with a 4-thread budget for the
+//!   render/encode/index stages (bit-identical output);
+//! - `cache_hit`  — a warm [`PrepareCache`] lookup decoding the stored
+//!   artifact instead of running the pipeline.
+//!
+//! Besides the Criterion report, a manual timing pass writes
+//! `results/BENCH_prepare.json` (honoring `GAR_RESULTS_DIR`) with the
+//! median cold sequential / cold parallel / warm wall-clock, the per-stage
+//! `prep.*_us` medians, and the two speedup ratios the optimization is
+//! accepted on (parallel ≥ 2× sequential, warm ≥ 10× cold).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gar_benchmarks::{spider_sim, SpiderSimConfig};
+use gar_core::{GarConfig, GarSystem, PrepareCache, PrepareConfig, SampleProtocol};
+use gar_ltr::{FeatureConfig, RerankConfig, RerankModel, RetrievalConfig, RetrievalModel};
+use gar_sql::Query;
+use std::time::Instant;
+
+const POOL: usize = 2_000;
+const THREADS: usize = 4;
+
+/// The system under test. The encoder weights are untouched by prepare
+/// timing (encoding cost is identical trained or not), so the bench skips
+/// training and builds the models directly at a realistic size.
+fn system() -> GarSystem {
+    let config = GarConfig {
+        prepare: PrepareConfig {
+            gen_size: POOL,
+            ..PrepareConfig::default()
+        },
+        retrieval: RetrievalConfig {
+            features: FeatureConfig {
+                dim: 2048,
+                ..FeatureConfig::default()
+            },
+            hidden: 192,
+            embed: 64,
+            ..RetrievalConfig::default()
+        },
+        rerank: RerankConfig {
+            embed: 64,
+            ..RerankConfig::default()
+        },
+        threads: THREADS,
+        ..GarConfig::default()
+    };
+    GarSystem {
+        retrieval: RetrievalModel::new(config.retrieval.clone()),
+        rerank: RerankModel::new(config.rerank.clone()),
+        config,
+    }
+}
+
+fn workload() -> (gar_benchmarks::Benchmark, Vec<Query>) {
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 1,
+        val_dbs: 1,
+        queries_per_db: 140,
+        seed: 19,
+    });
+    let db_name = bench.dev[0].db.clone();
+    let samples: Vec<Query> = bench
+        .dev
+        .iter()
+        .filter(|e| e.db == db_name)
+        .map(|e| e.sql.clone())
+        .collect();
+    (bench, samples)
+}
+
+fn scratch_cache() -> PrepareCache {
+    let dir = std::env::temp_dir().join(format!("gar-bench-prepare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    PrepareCache::new(dir).expect("cache dir")
+}
+
+fn median_ms(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Manual timing pass: medians over repeated runs, per-stage histogram
+/// medians, and the acceptance ratios, written to `BENCH_prepare.json`.
+fn emit_prepare_json(
+    gar: &GarSystem,
+    db: &gar_benchmarks::GeneratedDb,
+    samples: &[Query],
+    cache: &PrepareCache,
+    key: u64,
+) {
+    let rounds = 3usize;
+    let time = |threads: usize| {
+        let mut ms = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t = Instant::now();
+            std::hint::black_box(gar.prepare_with_samples_t(db, samples, threads));
+            ms.push(t.elapsed().as_secs_f64() * 1e3);
+        }
+        median_ms(ms)
+    };
+    let cold_seq_ms = time(1);
+    let cold_par_ms = time(THREADS);
+
+    let warm_rounds = 10usize;
+    let mut warm = Vec::with_capacity(warm_rounds);
+    for _ in 0..warm_rounds {
+        let t = Instant::now();
+        let hit = cache.load(key, &db.schema.name).expect("warm lookup missed");
+        std::hint::black_box(hit);
+        warm.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let warm_ms = median_ms(warm);
+
+    let snap = gar_obs::global().snapshot();
+    let stage_p50 = |name: &str| snap.histogram(name).map(|h| h.p50).unwrap_or(0);
+
+    // The thread fan-out can only buy wall-clock on a multi-core host;
+    // record the core count so single-core CI readings of
+    // `speedup_parallel_vs_sequential` ≈ 1 are interpretable.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = serde_json::json!({
+        "bench": format!("prepare_{POOL}_pool"),
+        "pool": POOL,
+        "threads": THREADS,
+        "cores": cores,
+        "rounds": rounds,
+        "cold_sequential_ms": cold_seq_ms,
+        "cold_parallel_ms": cold_par_ms,
+        "warm_cache_hit_ms": warm_ms,
+        "speedup_parallel_vs_sequential": cold_seq_ms / cold_par_ms,
+        "speedup_warm_vs_cold": cold_par_ms / warm_ms,
+        "stage_generalize_p50_us": stage_p50("prep.generalize_us"),
+        "stage_render_p50_us": stage_p50("prep.render_us"),
+        "stage_encode_p50_us": stage_p50("prep.encode_us"),
+        "stage_index_p50_us": stage_p50("prep.index_us"),
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_prepare.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_prepare] wrote {}", path.display());
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let gar = system();
+    let (bench, samples) = workload();
+    let db = bench.db(&bench.dev[0].db).expect("dev db");
+
+    // Correctness ties before timing: the parallel pipeline and the cache
+    // round-trip must both be bit-identical to the sequential cold prepare.
+    let seq = gar.prepare_with_samples_t(db, &samples, 1);
+    assert!(
+        seq.entries.len() >= POOL / 2,
+        "pool stalled at {} of {POOL}",
+        seq.entries.len()
+    );
+    let par = gar.prepare_with_samples_t(db, &samples, THREADS);
+    assert_eq!(seq.entries.len(), par.entries.len());
+    for (a, b) in seq.entries.iter().zip(&par.entries) {
+        assert_eq!(gar_sql::to_sql(&a.sql), gar_sql::to_sql(&b.sql));
+        assert_eq!(a.dialect, b.dialect);
+    }
+    for (a, b) in seq.embeds.iter().zip(&par.embeds) {
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    let cache = scratch_cache();
+    let key = PrepareCache::key(&gar, db, &samples, SampleProtocol::Explicit);
+    assert!(cache.store(key, &seq), "cache store failed");
+    let warm = cache.load(key, &db.schema.name).expect("stored entry");
+    assert_eq!(warm.entries.len(), seq.entries.len());
+    for (a, b) in seq.embeds.iter().zip(&warm.embeds) {
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+    let probe = gar.retrieval.encode("Find everything ordered by the first column.");
+    for (x, y) in seq.index.search(&probe, 10).iter().zip(&warm.index.search(&probe, 10)) {
+        assert!(x.id == y.id && x.score.to_bits() == y.score.to_bits());
+    }
+
+    let mut group = c.benchmark_group(format!("prepare_{POOL}_pool"));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(POOL as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| std::hint::black_box(gar.prepare_with_samples_t(db, &samples, 1)))
+    });
+    group.bench_function("parallel4", |b| {
+        b.iter(|| std::hint::black_box(gar.prepare_with_samples_t(db, &samples, THREADS)))
+    });
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| std::hint::black_box(cache.load(key, &db.schema.name).expect("warm miss")))
+    });
+    group.finish();
+
+    emit_prepare_json(&gar, db, &samples, &cache, key);
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+criterion_group!(benches, bench_prepare);
+criterion_main!(benches);

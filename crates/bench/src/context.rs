@@ -6,7 +6,10 @@ use gar_benchmarks::{
     execution_match, geo_sim, mt_teql_sim, qben_sim, spider_sim, Benchmark, Example,
     GeoSimConfig, MtTeqlConfig, QbenSimConfig, SpiderSimConfig, Tally,
 };
-use gar_core::{analyze, ErrorAnalysis, GarConfig, GarSystem, PrepareConfig, PreparedDb, Translation};
+use gar_core::{
+    analyze, par_map, ErrorAnalysis, GarConfig, GarSystem, PoolIndex, PrepareCache, PrepareConfig,
+    PreparedDb, Translation,
+};
 use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
 use gar_sql::{classify, clause_types, exact_match, ClauseType, Difficulty, Query};
 use std::collections::{BTreeMap, HashMap};
@@ -121,9 +124,37 @@ pub struct EvalRecord {
     pub latency_us: u128,
 }
 
+/// The content-addressed prepare cache, when `GAR_PREPARE_CACHE` opts in:
+/// `1`/`on` caches under `$GAR_RESULTS_DIR/cache` (default
+/// `results/cache`), any other non-empty value is used as the cache
+/// directory itself, and unset/`0`/`off` disables caching.
+pub fn prepare_cache() -> Option<PrepareCache> {
+    let v = std::env::var("GAR_PREPARE_CACHE").ok()?;
+    if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") {
+        return None;
+    }
+    let dir = if v == "1" || v.eq_ignore_ascii_case("on") {
+        let results = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+        std::path::Path::new(&results).join("cache")
+    } else {
+        std::path::PathBuf::from(v)
+    };
+    PrepareCache::new(dir).ok()
+}
+
+/// Split `threads` between a fan-out over `jobs` databases (outer) and
+/// each job's internal prepare stages (inner).
+fn thread_split(threads: usize, jobs: usize) -> (usize, usize) {
+    let outer = threads.clamp(1, jobs.max(1));
+    (outer, (threads / outer).max(1))
+}
+
 /// Evaluate a trained GAR over a split, preparing each database under the
-/// paper's protocol (gold-derived samples with gold ruled out). Returns the
-/// per-example records.
+/// paper's protocol (gold-derived samples with gold ruled out). Databases
+/// prepare concurrently on a bounded worker pool (and through the
+/// [`prepare_cache`] when enabled); translation then runs per database with
+/// the full thread budget. Returns the per-example records in database
+/// order, identical to the sequential loop.
 pub fn evaluate_gar(
     gar: &GarSystem,
     bench: &Benchmark,
@@ -133,12 +164,20 @@ pub fn evaluate_gar(
     for ex in split {
         by_db.entry(ex.db.as_str()).or_default().push(ex);
     }
-    let mut records = Vec::with_capacity(split.len());
-    for (db_name, exs) in by_db {
-        let Some(db) = bench.db(db_name) else { continue };
+    let cache = prepare_cache();
+    let jobs: Vec<(&gar_benchmarks::GeneratedDb, Vec<&Example>)> = by_db
+        .into_iter()
+        .filter_map(|(db_name, exs)| Some((bench.db(db_name)?, exs)))
+        .collect();
+    let (outer, inner) = thread_split(gar.config.threads, jobs.len());
+    let prepared = par_map(jobs, outer, |(db, exs)| {
         let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
-        let prepared = gar.prepare_eval_db(db, &gold);
-        records.extend(eval_db_batch(gar, db, &prepared, &exs));
+        let p = gar.prepare_eval_db_cached(db, &gold, inner, cache.as_ref());
+        (db, p, exs)
+    });
+    let mut records = Vec::with_capacity(split.len());
+    for (db, prepared, exs) in &prepared {
+        records.extend(eval_db_batch(gar, db, prepared, exs));
     }
     records
 }
@@ -153,26 +192,24 @@ fn eval_db_batch(
 ) -> Vec<EvalRecord> {
     let nls: Vec<String> = exs.iter().map(|e| e.nl.clone()).collect();
     let translations = gar.translate_batch(db, prepared, &nls);
+    // One fingerprint-hash index answers every example's gold-id probe
+    // instead of an O(pool) scan per example.
+    let pool = PoolIndex::build(&prepared.entries);
     exs.iter()
         .zip(translations)
-        .map(|(ex, tr)| record_from(db, prepared, ex, tr))
+        .map(|(ex, tr)| record_from(db, prepared, &pool, ex, tr))
         .collect()
 }
 
 fn record_from(
     db: &gar_benchmarks::GeneratedDb,
     prepared: &PreparedDb,
+    pool: &PoolIndex,
     ex: &Example,
     tr: Translation,
 ) -> EvalRecord {
     let gold_masked = gar_sql::mask_values(&ex.sql);
-    let gold_ids: Vec<usize> = prepared
-        .entries
-        .iter()
-        .enumerate()
-        .filter(|(_, e)| exact_match(&e.sql, &gold_masked))
-        .map(|(i, _)| i)
-        .collect();
+    let gold_ids = pool.gold_ids(&prepared.entries, &gold_masked);
 
     // Per-stage timings already measured inside translate_batch; stage 1
     // is the batch-amortized share.
@@ -212,22 +249,30 @@ pub fn evaluate_gar_with_samples(
     for ex in split {
         by_db.entry(ex.db.as_str()).or_default().push(ex);
     }
-    let mut records = Vec::with_capacity(split.len());
-    for (db_name, exs) in by_db {
-        let Some(db) = bench.db(db_name) else { continue };
+    let cache = prepare_cache();
+    let jobs: Vec<(&str, &gar_benchmarks::GeneratedDb, Vec<&Example>)> = by_db
+        .into_iter()
+        .filter_map(|(db_name, exs)| Some((db_name, bench.db(db_name)?, exs)))
+        .collect();
+    let (outer, inner) = thread_split(gar.config.threads, jobs.len());
+    let prepared = par_map(jobs, outer, |(db_name, db, exs)| {
         let samples: Vec<Query> = bench
             .samples
             .iter()
             .filter(|e| e.db == db_name)
             .map(|e| e.sql.clone())
             .collect();
-        let prepared = if samples.is_empty() {
+        let p = if samples.is_empty() {
             let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
-            gar.prepare_eval_db(db, &gold)
+            gar.prepare_eval_db_cached(db, &gold, inner, cache.as_ref())
         } else {
-            gar.prepare_with_samples(db, &samples)
+            gar.prepare_with_samples_cached(db, &samples, inner, cache.as_ref())
         };
-        records.extend(eval_db_batch(gar, db, &prepared, &exs));
+        (db, p, exs)
+    });
+    let mut records = Vec::with_capacity(split.len());
+    for (db, prepared, exs) in &prepared {
+        records.extend(eval_db_batch(gar, db, prepared, exs));
     }
     records
 }
@@ -466,22 +511,30 @@ pub fn analyze_split(
     for ex in split {
         by_db.entry(ex.db.as_str()).or_default().push(ex);
     }
-    let mut out = ErrorAnalysis::default();
-    for (db_name, exs) in by_db {
-        let Some(db) = bench.db(db_name) else { continue };
-        let prepared = if use_curated_samples && !bench.samples.is_empty() {
+    let cache = prepare_cache();
+    let jobs: Vec<(&str, &gar_benchmarks::GeneratedDb, Vec<&Example>)> = by_db
+        .into_iter()
+        .filter_map(|(db_name, exs)| Some((db_name, bench.db(db_name)?, exs)))
+        .collect();
+    let (outer, inner) = thread_split(gar.config.threads, jobs.len());
+    let prepared = par_map(jobs, outer, |(db_name, db, exs)| {
+        let p = if use_curated_samples && !bench.samples.is_empty() {
             let samples: Vec<Query> = bench
                 .samples
                 .iter()
                 .filter(|e| e.db == db_name)
                 .map(|e| e.sql.clone())
                 .collect();
-            gar.prepare_with_samples(db, &samples)
+            gar.prepare_with_samples_cached(db, &samples, inner, cache.as_ref())
         } else {
             let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
-            gar.prepare_eval_db(db, &gold)
+            gar.prepare_eval_db_cached(db, &gold, inner, cache.as_ref())
         };
-        out.merge(&analyze(gar, db, &prepared, &exs));
+        (db, p, exs)
+    });
+    let mut out = ErrorAnalysis::default();
+    for (db, prepared, exs) in &prepared {
+        out.merge(&analyze(gar, db, prepared, exs));
     }
     out
 }

@@ -8,6 +8,7 @@
 //!   model did not put it in the top-k;
 //! - **re-ranking miss** — the gold was retrieved but not ranked first.
 
+use crate::prepare::PoolIndex;
 use crate::system::{GarSystem, PreparedDb};
 use gar_benchmarks::{Example, GeneratedDb};
 use gar_sql::{exact_match, mask_values};
@@ -55,18 +56,15 @@ pub fn analyze(
     examples: &[&Example],
 ) -> ErrorAnalysis {
     let mut out = ErrorAnalysis::default();
-    // Pool check first; everything that survives is translated in one batch.
+    // Pool check first (one fingerprint-hash index instead of an O(pool)
+    // scan per example); everything that survives is translated in one
+    // batch.
+    let pool = PoolIndex::build(&prepared.entries);
     let mut pending: Vec<(&Example, Vec<usize>)> = Vec::with_capacity(examples.len());
     for ex in examples {
         out.total += 1;
         let gold = mask_values(&ex.sql);
-        let gold_ids: Vec<usize> = prepared
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| exact_match(&e.sql, &gold))
-            .map(|(i, _)| i)
-            .collect();
+        let gold_ids = pool.gold_ids(&prepared.entries, &gold);
         if gold_ids.is_empty() {
             out.data_prep_miss += 1;
         } else {

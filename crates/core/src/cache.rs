@@ -1,0 +1,368 @@
+//! Content-addressed cache of prepared databases.
+//!
+//! The offline phase (generalize → render → encode → index) is a pure
+//! function of (database schema + annotations, sample-query set, prepare
+//! configuration, retrieval model). [`PrepareCache`] exploits that: each
+//! [`PreparedDb`](crate::PreparedDb) is stored under a 64-bit FNV-1a key
+//! over exactly those inputs, serialized through the existing
+//! [`prepared_to_bytes`]/[`prepared_from_bytes`] artifact codec into one
+//! `<key>.gar` file per pool. A warm experiment re-run with an unchanged
+//! (db, samples, config, model) quadruple skips the whole offline phase
+//! and decodes the artifact instead.
+//!
+//! Properties:
+//!
+//! - **Content-addressed** — the key covers every input that can change
+//!   the prepared pool, *including* a hash of the serialized retrieval
+//!   model (embeddings depend on the trained weights) and the sample
+//!   protocol (explicit samples vs. the eval-gold derivation run different
+//!   generalizer configurations on the same query list). Thread counts are
+//!   deliberately excluded: parallel prepare is bit-identical to
+//!   sequential, so `threads=1` and `threads=8` share a cache entry.
+//! - **Crash-safe** — artifacts are written to a temp file and atomically
+//!   renamed into place; readers never observe a half-written entry.
+//! - **Self-healing** — a corrupt or truncated entry fails decoding, is
+//!   deleted, and reported as a miss; the caller falls back to a cold
+//!   prepare and re-stores a good artifact.
+//! - **Size-capped** — after each store, entries are evicted
+//!   oldest-modification-first until the directory is back under the
+//!   configured byte budget.
+//!
+//! Hits and misses are counted in the global registry as `prep.cache_hit`
+//! and `prep.cache_miss`.
+
+use crate::artifact::{prepared_from_bytes, prepared_to_bytes};
+use crate::prepare::PrepareConfig;
+use crate::system::{GarSystem, PreparedDb};
+use gar_benchmarks::GeneratedDb;
+use gar_sql::{fingerprint_hash, normalize, Query};
+use std::path::{Path, PathBuf};
+
+/// Default cache budget: 256 MiB of prepared-pool artifacts.
+pub const DEFAULT_CACHE_CAPACITY: u64 = 256 * 1024 * 1024;
+
+/// How the sample set handed to the cache key was constructed. The same
+/// query list produces *different* pools under the two protocols (the
+/// eval-gold path runs a second generalizer pass and rules the gold out),
+/// so the protocol is part of the cache identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleProtocol {
+    /// The queries are the sample set, used directly (deployment path).
+    Explicit,
+    /// The queries are gold queries; samples are derived per Section V-A3.
+    EvalGold,
+}
+
+impl SampleProtocol {
+    fn tag(self) -> u8 {
+        match self {
+            SampleProtocol::Explicit => 0,
+            SampleProtocol::EvalGold => 1,
+        }
+    }
+}
+
+/// Streaming FNV-1a 64 over byte chunks.
+#[derive(Debug, Clone, Copy)]
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(&(s.len() as u64).to_le_bytes());
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// A directory of content-addressed [`PreparedDb`] artifacts.
+#[derive(Debug, Clone)]
+pub struct PrepareCache {
+    dir: PathBuf,
+    capacity: u64,
+}
+
+impl PrepareCache {
+    /// Open (creating if needed) a cache directory with the
+    /// [`DEFAULT_CACHE_CAPACITY`] byte budget.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        Self::with_capacity(dir, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Open (creating if needed) a cache directory with an explicit byte
+    /// budget. A `capacity` of 0 disables eviction (unbounded).
+    pub fn with_capacity(dir: impl Into<PathBuf>, capacity: u64) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(PrepareCache { dir, capacity })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Compute the content key for preparing `db` from `queries` under
+    /// `protocol` with this system's prepare configuration and retrieval
+    /// model. Query fingerprints are hashed *in order* (sample order feeds
+    /// the generalizer's seeded walk) and are value-insensitive, matching
+    /// what the pool actually depends on.
+    pub fn key(
+        gar: &GarSystem,
+        db: &GeneratedDb,
+        queries: &[Query],
+        protocol: SampleProtocol,
+    ) -> u64 {
+        let mut h = Fnv64::new();
+        h.bytes(b"gar-prep-cache-v1");
+        h.bytes(&[protocol.tag()]);
+        hash_schema(&mut h, db);
+        let cfg = &gar.config.prepare;
+        hash_config(&mut h, cfg);
+        if cfg.use_annotations {
+            hash_annotations(&mut h, db);
+        }
+        h.u64(queries.len() as u64);
+        for q in queries {
+            h.u64(fingerprint_hash(&normalize(q)));
+        }
+        // The embeddings depend on the trained retrieval weights; hash the
+        // serialized model so a retrain can never serve stale vectors.
+        let mut mh = Fnv64::new();
+        mh.bytes(&gar.retrieval.to_bytes());
+        h.u64(mh.0);
+        h.0
+    }
+
+    /// Load the prepared db stored under `key`, if present and intact.
+    /// `expect_db` guards against key-collision absurdities: an artifact
+    /// for a different database is treated as corrupt. Corrupt entries are
+    /// deleted so the next run re-stores them. Records `prep.cache_hit` /
+    /// `prep.cache_miss`.
+    pub fn load(&self, key: u64, expect_db: &str) -> Option<PreparedDb> {
+        let m = crate::metrics::metrics();
+        let path = self.path(key);
+        let Ok(bytes) = std::fs::read(&path) else {
+            m.cache_miss.inc();
+            return None;
+        };
+        match prepared_from_bytes(&bytes) {
+            Ok(p) if p.db_name == expect_db => {
+                m.cache_hit.inc();
+                Some(p)
+            }
+            _ => {
+                // Truncated write, bit rot, or a foreign artifact: drop the
+                // entry and fall back to a cold prepare.
+                let _ = std::fs::remove_file(&path);
+                m.cache_miss.inc();
+                None
+            }
+        }
+    }
+
+    /// Store a prepared db under `key` (write-temp-then-rename, so
+    /// concurrent readers never see a partial artifact), then evict
+    /// oldest-first down to the byte budget. Best-effort: I/O errors
+    /// return `false` and leave the cache unchanged.
+    pub fn store(&self, key: u64, prepared: &PreparedDb) -> bool {
+        let bytes = prepared_to_bytes(prepared);
+        let tmp = self
+            .dir
+            .join(format!(".tmp-{key:016x}-{}", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        let ok = std::fs::rename(&tmp, self.path(key)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        self.evict();
+        ok
+    }
+
+    /// Number of committed entries currently in the cache directory.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// `true` when the cache directory holds no committed entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.gar"))
+    }
+
+    fn entries(&self) -> Vec<(PathBuf, u64, std::time::SystemTime)> {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        rd.flatten()
+            .filter_map(|e| {
+                let path = e.path();
+                if path.extension().and_then(|x| x.to_str()) != Some("gar") {
+                    return None;
+                }
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                Some((path, meta.len(), mtime))
+            })
+            .collect()
+    }
+
+    fn evict(&self) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries();
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        if total <= self.capacity {
+            return;
+        }
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        for (path, len, _) in entries {
+            if total <= self.capacity {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+            }
+        }
+    }
+}
+
+fn hash_schema(h: &mut Fnv64, db: &GeneratedDb) {
+    let s = &db.schema;
+    h.str(&s.name);
+    h.u64(s.tables.len() as u64);
+    for t in &s.tables {
+        h.str(&t.name);
+        h.str(&t.nl_name);
+        h.u64(t.columns.len() as u64);
+        for c in &t.columns {
+            h.str(&c.name);
+            h.str(&format!("{:?}", c.ty));
+            h.str(&c.nl_name);
+        }
+        for k in &t.primary_key {
+            h.str(k);
+        }
+    }
+    h.u64(s.foreign_keys.len() as u64);
+    for fk in &s.foreign_keys {
+        h.str(&fk.from_table);
+        h.str(&fk.from_column);
+        h.str(&fk.to_table);
+        h.str(&fk.to_column);
+    }
+}
+
+fn hash_config(h: &mut Fnv64, cfg: &PrepareConfig) {
+    h.u64(cfg.gen_size as u64);
+    h.bytes(&[
+        u8::from(cfg.use_dialects),
+        u8::from(cfg.use_annotations),
+        u8::from(cfg.rules.join_rule),
+        u8::from(cfg.rules.syntactic_restriction),
+        u8::from(cfg.rules.frequency_preservation),
+        u8::from(cfg.rules.subquery_preservation),
+    ]);
+    h.u64(cfg.seed);
+    // cfg.threads intentionally absent: it never changes the output.
+}
+
+fn hash_annotations(h: &mut Fnv64, db: &GeneratedDb) {
+    // AnnotationSet iterates in hash-map order; sort for a stable digest.
+    let mut rows: Vec<String> = db
+        .annotations
+        .iter()
+        .map(|a| {
+            format!(
+                "{}|{}|{}={}|{}|{}",
+                a.tables.0, a.tables.1, a.condition.0, a.condition.1, a.description, a.table_key
+            )
+        })
+        .collect();
+    rows.sort_unstable();
+    h.u64(rows.len() as u64);
+    for r in &rows {
+        h.str(r);
+    }
+}
+
+/// A unique scratch directory per test invocation (no wall-clock use:
+/// pid + counter is enough to avoid collisions between test runs).
+#[cfg(test)]
+pub(crate) fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static SEQ: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "gar-cache-test-{}-{}-{tag}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_keeps_directory_under_budget() {
+        let dir = scratch_dir("evict");
+        // 1 KiB budget; entries of ~400 bytes each force eviction.
+        let cache = PrepareCache::with_capacity(&dir, 1024).unwrap();
+        for i in 0..6u64 {
+            let path = cache.path(i);
+            std::fs::write(&path, vec![0u8; 400]).unwrap();
+            // Spread mtimes so oldest-first ordering is well-defined even
+            // on filesystems with coarse timestamps.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        cache.evict();
+        let total: u64 = cache.entries().iter().map(|(_, len, _)| len).sum();
+        assert!(total <= 1024, "evict left {total} bytes");
+        assert!(!cache.is_empty(), "evict removed everything");
+        // The newest entries survive.
+        assert!(cache.path(5).exists());
+        assert!(!cache.path(0).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_of_missing_key_is_a_miss() {
+        let dir = scratch_dir("miss");
+        let cache = PrepareCache::new(&dir).unwrap();
+        assert!(cache.load(0xdead_beef, "any").is_none());
+        assert!(cache.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_capacity_disables_eviction() {
+        let dir = scratch_dir("nocap");
+        let cache = PrepareCache::with_capacity(&dir, 0).unwrap();
+        for i in 0..4u64 {
+            std::fs::write(cache.path(i), vec![0u8; 512]).unwrap();
+        }
+        cache.evict();
+        assert_eq!(cache.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -14,7 +14,11 @@
 //!    (`gar-vecindex`), apply value post-processing ([`postprocess`]), and
 //!    re-rank to produce the final SQL;
 //! 4. **Error attribution** ([`analysis`]) — Table 9's per-stage miss
-//!    accounting.
+//!    accounting;
+//! 5. **Offline acceleration** — the preparation pipeline is staged
+//!    (generalize → render → encode → index) with the parallel stages
+//!    fanned out over [`par_map`] workers, and whole prepared pools are
+//!    memoized in a content-addressed [`PrepareCache`].
 //!
 //! GAR-J is the same pipeline with `prepare.use_annotations = true`, which
 //! routes the database's join annotations into the dialect builder
@@ -24,7 +28,9 @@
 
 pub mod analysis;
 pub mod artifact;
+pub mod cache;
 pub mod metrics;
+pub mod par;
 pub mod postprocess;
 pub mod prepare;
 pub mod system;
@@ -33,9 +39,13 @@ pub use analysis::{analyze, ErrorAnalysis};
 pub use artifact::{
     prepared_from_bytes, prepared_to_bytes, system_from_bytes, system_to_bytes, ArtifactError,
 };
+pub use cache::{PrepareCache, SampleProtocol, DEFAULT_CACHE_CAPACITY};
 pub use metrics::StageTimings;
+pub use par::par_map;
 pub use postprocess::{extract_nl_values, filter_candidates, instantiate, NlValue};
-pub use prepare::{eval_samples_from_gold, pool_covers, prepare, DialectEntry, PrepareConfig};
+pub use prepare::{
+    eval_samples_from_gold, pool_covers, prepare, DialectEntry, PoolIndex, PrepareConfig,
+};
 pub use system::{
     GarConfig, GarSystem, GarTrainReport, PreparedDb, RankedCandidate, Translation,
 };

@@ -13,6 +13,12 @@
 //! | `stage.rerank_us` | histogram | candidate scoring (either stage-3 path) |
 //! | `stage.instantiate_us` | histogram | value instantiation + final sort |
 //! | `prepare.pool_size` | histogram | candidate-pool size per prepared db |
+//! | `prep.generalize_us` | histogram | offline generalization per prepared db |
+//! | `prep.render_us` | histogram | offline dialect rendering per prepared db |
+//! | `prep.encode_us` | histogram | offline pool embedding per prepared db |
+//! | `prep.index_us` | histogram | offline index construction per prepared db |
+//! | `prep.cache_hit` | counter | prepared dbs served from the [`PrepareCache`](crate::PrepareCache) |
+//! | `prep.cache_miss` | counter | cache lookups that fell back to a cold prepare |
 //! | `candidates.retrieved` | counter | hits returned by stage 1 |
 //! | `candidates.filtered` | counter | candidates dropped by the value filter |
 //! | `candidates.demoted_unfilled` | counter | ranked candidates demoted for unfilled slots |
@@ -69,6 +75,12 @@ pub(crate) struct PipelineMetrics {
     pub rerank: Arc<Histogram>,
     pub instantiate: Arc<Histogram>,
     pub pool_size: Arc<Histogram>,
+    pub prep_generalize: Arc<Histogram>,
+    pub prep_render: Arc<Histogram>,
+    pub prep_encode: Arc<Histogram>,
+    pub prep_index: Arc<Histogram>,
+    pub cache_hit: Arc<Counter>,
+    pub cache_miss: Arc<Counter>,
     pub retrieved: Arc<Counter>,
     pub filtered: Arc<Counter>,
     pub demoted_unfilled: Arc<Counter>,
@@ -89,6 +101,12 @@ pub(crate) fn metrics() -> &'static PipelineMetrics {
             rerank: r.histogram("stage.rerank_us"),
             instantiate: r.histogram("stage.instantiate_us"),
             pool_size: r.histogram("prepare.pool_size"),
+            prep_generalize: r.histogram("prep.generalize_us"),
+            prep_render: r.histogram("prep.render_us"),
+            prep_encode: r.histogram("prep.encode_us"),
+            prep_index: r.histogram("prep.index_us"),
+            cache_hit: r.counter("prep.cache_hit"),
+            cache_miss: r.counter("prep.cache_miss"),
             retrieved: r.counter("candidates.retrieved"),
             filtered: r.counter("candidates.filtered"),
             demoted_unfilled: r.counter("candidates.demoted_unfilled"),

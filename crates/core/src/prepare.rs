@@ -4,12 +4,22 @@
 //! into a large component-similar query set (step 1), then render every
 //! query into a dialect expression (step 2). The output is the candidate
 //! pool the two-stage ranker searches at translation time.
+//!
+//! The phase is staged — generalize → render (→ encode → index, in
+//! [`GarSystem`](crate::GarSystem)) — with each stage recorded into its own
+//! `prep.*_us` histogram. Generalization is inherently sequential (a seeded
+//! recomposition walk), but rendering is a pure per-query function, so it
+//! fans out over [`par_map`](crate::par_map) workers when
+//! [`PrepareConfig::threads`] > 1; the output is bit-identical to the
+//! sequential order for any thread count.
 
 use gar_benchmarks::GeneratedDb;
 use gar_dialect::DialectBuilder;
 use gar_generalize::{Generalizer, GeneralizerConfig, RuleSet};
+use gar_obs::StageTimer;
 use gar_schema::AnnotationSet;
-use gar_sql::{exact_match, fingerprint, normalize, Query};
+use gar_sql::{exact_match, fingerprint_hash, mask_values, normalize, Query};
+use std::collections::HashMap;
 
 /// One candidate: a (masked) SQL query and its dialect expression.
 #[derive(Debug, Clone)]
@@ -34,6 +44,11 @@ pub struct PrepareConfig {
     pub rules: RuleSet,
     /// Generalizer seed.
     pub seed: u64,
+    /// Worker threads for the render stage (1 = sequential). Not part of
+    /// the prepared pool's identity: every thread count produces
+    /// bit-identical output, so the [`PrepareCache`](crate::PrepareCache)
+    /// key deliberately excludes it.
+    pub threads: usize,
 }
 
 impl Default for PrepareConfig {
@@ -44,19 +59,23 @@ impl Default for PrepareConfig {
             use_annotations: false,
             rules: RuleSet::default(),
             seed: 41,
+            threads: 1,
         }
     }
 }
 
 /// Generalize sample queries and render dialect expressions.
 pub fn prepare(db: &GeneratedDb, samples: &[Query], cfg: &PrepareConfig) -> Vec<DialectEntry> {
+    let m = crate::metrics::metrics();
     let gen_cfg = GeneralizerConfig {
         target_size: cfg.gen_size,
         seed: cfg.seed,
         rules: cfg.rules,
         ..GeneralizerConfig::default()
     };
+    let gen_timer = StageTimer::start(&m.prep_generalize);
     let generalized = Generalizer::new(&db.schema, gen_cfg).generalize(samples);
+    gen_timer.stop();
 
     let empty = AnnotationSet::empty();
     let annotations = if cfg.use_annotations {
@@ -66,19 +85,19 @@ pub fn prepare(db: &GeneratedDb, samples: &[Query], cfg: &PrepareConfig) -> Vec<
     };
     let builder = DialectBuilder::new(&db.schema, annotations);
 
-    let entries: Vec<DialectEntry> = generalized
-        .queries
-        .into_iter()
-        .map(|sql| {
-            let dialect = if cfg.use_dialects {
-                builder.render(&sql)
-            } else {
-                gar_sql::to_sql(&sql)
-            };
-            DialectEntry { sql, dialect }
-        })
-        .collect();
-    crate::metrics::metrics().pool_size.record(entries.len() as u64);
+    // Rendering is a pure per-query function over a shared builder, so the
+    // chunked fan-out preserves entry order and bytes exactly.
+    let render_timer = StageTimer::start(&m.prep_render);
+    let entries: Vec<DialectEntry> = crate::par::par_map(generalized.queries, cfg.threads, |sql| {
+        let dialect = if cfg.use_dialects {
+            builder.render(&sql)
+        } else {
+            gar_sql::to_sql(&sql)
+        };
+        DialectEntry { sql, dialect }
+    });
+    render_timer.stop();
+    m.pool_size.record(entries.len() as u64);
     entries
 }
 
@@ -99,22 +118,83 @@ pub fn eval_samples_from_gold(
         ..GeneralizerConfig::default()
     };
     let generalized = Generalizer::new(&db.schema, gen_cfg).generalize(gold);
-    let gold_fps: std::collections::HashSet<String> = gold
+    // u64 fingerprint hashes, not fingerprint strings: a collision can
+    // only drop one extra candidate from the sample set, never leak a gold
+    // query into it (equal normalized forms always hash equal).
+    let gold_fps: std::collections::HashSet<u64> = gold
         .iter()
-        .map(|g| fingerprint(&normalize(&gar_sql::mask_values(g))))
+        .map(|g| fingerprint_hash(&normalize(&mask_values(g))))
         .collect();
     generalized
         .queries
         .into_iter()
-        .filter(|q| !gold_fps.contains(&fingerprint(&normalize(q))))
+        .filter(|q| !gold_fps.contains(&fingerprint_hash(&normalize(q))))
         .collect()
 }
 
 /// `true` if the candidate pool contains the gold query (exact set match on
 /// the masked forms) — the complement of the paper's *Data Preparation Miss*.
+///
+/// This is the one-shot form (O(pool) per call); callers probing many gold
+/// queries against the same pool should build a [`PoolIndex`] once and use
+/// [`PoolIndex::covers`].
 pub fn pool_covers(entries: &[DialectEntry], gold: &Query) -> bool {
-    let masked = gar_sql::mask_values(gold);
+    let masked = mask_values(gold);
     entries.iter().any(|e| exact_match(&e.sql, &masked))
+}
+
+/// A fingerprint-hash inverted index over a candidate pool: one u64 hash
+/// per entry, mapping to the entry positions that share it. Gold-query
+/// lookups narrow by hash and then *verify* with [`exact_match`], so a
+/// hash collision can never produce a false positive — the answers are
+/// identical to a full linear scan at O(1) expected probes instead of
+/// O(pool) per gold query.
+#[derive(Debug, Clone, Default)]
+pub struct PoolIndex {
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl PoolIndex {
+    /// Index a candidate pool by normalized-fingerprint hash.
+    pub fn build(entries: &[DialectEntry]) -> Self {
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::with_capacity(entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            map.entry(fingerprint_hash(&normalize(&e.sql)))
+                .or_default()
+                .push(i as u32);
+        }
+        PoolIndex { map }
+    }
+
+    /// All entry positions whose masked SQL exactly matches `masked`, in
+    /// ascending order — the same positions a linear `exact_match` scan of
+    /// `entries` would report. `entries` must be the pool this index was
+    /// built from.
+    pub fn gold_ids(&self, entries: &[DialectEntry], masked: &Query) -> Vec<usize> {
+        let Some(bucket) = self.map.get(&fingerprint_hash(&normalize(masked))) else {
+            return Vec::new();
+        };
+        bucket
+            .iter()
+            .map(|&i| i as usize)
+            .filter(|&i| exact_match(&entries[i].sql, masked))
+            .collect()
+    }
+
+    /// The first (lowest-position) entry exactly matching `masked`, if any.
+    pub fn first_match(&self, entries: &[DialectEntry], masked: &Query) -> Option<usize> {
+        self.map
+            .get(&fingerprint_hash(&normalize(masked)))?
+            .iter()
+            .map(|&i| i as usize)
+            .find(|&i| exact_match(&entries[i].sql, masked))
+    }
+
+    /// [`pool_covers`] through the index: `true` if the pool contains the
+    /// gold query under exact set match of the masked forms.
+    pub fn covers(&self, entries: &[DialectEntry], gold: &Query) -> bool {
+        self.first_match(entries, &mask_values(gold)).is_some()
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +231,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_render_is_bit_identical_to_sequential() {
+        let db = db();
+        let ss = samples(&db);
+        let base = PrepareConfig {
+            gen_size: 350,
+            ..PrepareConfig::default()
+        };
+        let seq = prepare(&db, &ss, &base);
+        for threads in [2usize, 3, 8] {
+            let par = prepare(&db, &ss, &PrepareConfig { threads, ..base.clone() });
+            assert_eq!(par.len(), seq.len(), "threads={threads}");
+            for (a, b) in seq.iter().zip(&par) {
+                assert!(exact_match(&a.sql, &b.sql));
+                assert_eq!(gar_sql::to_sql(&a.sql), gar_sql::to_sql(&b.sql));
+                assert_eq!(a.dialect, b.dialect);
+            }
+        }
+    }
+
+    #[test]
     fn without_dialects_entries_are_sql_text() {
         let db = db();
         let ss = samples(&db);
@@ -173,7 +273,7 @@ mod tests {
         let ss = eval_samples_from_gold(&db, &gold, &cfg);
         assert!(!ss.is_empty());
         for g in &gold {
-            let masked = gar_sql::mask_values(g);
+            let masked = mask_values(g);
             assert!(
                 !ss.iter().any(|s| exact_match(s, &masked)),
                 "gold leaked into samples"
@@ -194,7 +294,8 @@ mod tests {
         };
         let ss = eval_samples_from_gold(&db, &gold, &cfg);
         let entries = prepare(&db, &ss, &cfg);
-        let covered = gold.iter().filter(|g| pool_covers(&entries, g)).count();
+        let pool = PoolIndex::build(&entries);
+        let covered = gold.iter().filter(|g| pool.covers(&entries, g)).count();
         assert!(
             covered * 10 >= gold.len() * 6,
             "only {covered}/{} gold recovered",
@@ -207,11 +308,49 @@ mod tests {
         let db = db();
         let q = parse("SELECT student.name FROM student WHERE student.age > 25").unwrap();
         let entries = vec![DialectEntry {
-            sql: gar_sql::mask_values(&q),
+            sql: mask_values(&q),
             dialect: "d".into(),
         }];
         let gold = parse("SELECT student.name FROM student WHERE student.age > 99").unwrap();
         assert!(pool_covers(&entries, &gold));
+        let pool = PoolIndex::build(&entries);
+        assert!(pool.covers(&entries, &gold));
         let _ = db;
+    }
+
+    #[test]
+    fn pool_index_agrees_with_linear_scan() {
+        let db = db();
+        let gold = samples(&db);
+        let cfg = PrepareConfig {
+            gen_size: 500,
+            ..PrepareConfig::default()
+        };
+        let entries = prepare(&db, &gold, &cfg);
+        let pool = PoolIndex::build(&entries);
+        for g in &gold {
+            let masked = mask_values(g);
+            let want: Vec<usize> = entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| exact_match(&e.sql, &masked))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(pool.gold_ids(&entries, &masked), want);
+            assert_eq!(pool.first_match(&entries, &masked), want.first().copied());
+            assert_eq!(pool.covers(&entries, g), pool_covers(&entries, g));
+        }
+        // A query no pool could contain.
+        let absent = parse(
+            "SELECT student.name FROM student WHERE student.age > 1 \
+             AND student.age < 2 AND student.name = 'zz_absent'",
+        );
+        if let Ok(q) = absent {
+            let masked = mask_values(&q);
+            assert_eq!(
+                pool.gold_ids(&entries, &masked).is_empty(),
+                !pool_covers(&entries, &q)
+            );
+        }
     }
 }

@@ -1,9 +1,10 @@
 //! The GAR system: training, per-database preparation, and two-stage
 //! translation (Fig. 2 / Fig. 3 of the paper).
 
+use crate::cache::{PrepareCache, SampleProtocol};
 use crate::metrics::{metrics, StageTimings};
 use crate::postprocess::{extract_nl_values, filter_candidates, instantiate};
-use crate::prepare::{eval_samples_from_gold, prepare, DialectEntry, PrepareConfig};
+use crate::prepare::{eval_samples_from_gold, prepare, DialectEntry, PoolIndex, PrepareConfig};
 use gar_benchmarks::{Example, GeneratedDb};
 use gar_ltr::{
     pair_features, similarity_score, RankList, RerankConfig, RerankModel, RetrievalConfig,
@@ -145,30 +146,44 @@ impl GarSystem {
         }
 
         // Data preparation per training database: the gold queries are the
-        // sample set (Section II-B).
-        let mut prepared: BTreeMap<&str, Vec<DialectEntry>> = BTreeMap::new();
+        // sample set (Section II-B). Databases are independent, so they
+        // prepare concurrently on a bounded pool; leftover threads go to
+        // each job's render stage. The fan-out preserves per-db output
+        // exactly, and the training RNG is untouched by prepare, so the
+        // triples below are bit-identical to the sequential path.
+        let jobs: Vec<(&str, &GeneratedDb, Vec<Query>)> = by_db
+            .iter()
+            .filter_map(|(db_name, exs)| {
+                let db = dbs.iter().find(|d| d.schema.name == *db_name)?;
+                let samples: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+                Some((*db_name, db, samples))
+            })
+            .collect();
+        let outer = config.threads.clamp(1, jobs.len().max(1));
         let prep_cfg = PrepareConfig {
             gen_size: config.train_gen_size,
+            threads: (config.threads / outer).max(1),
             ..config.prepare.clone()
         };
-        for (db_name, exs) in &by_db {
-            let Some(db) = dbs.iter().find(|d| d.schema.name == *db_name) else {
-                continue;
-            };
-            let samples: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
-            prepared.insert(db_name, prepare(db, &samples, &prep_cfg));
-        }
+        let prepared: BTreeMap<&str, (Vec<DialectEntry>, PoolIndex)> =
+            crate::par::par_map(jobs, outer, |(db_name, db, samples)| {
+                let entries = prepare(db, &samples, &prep_cfg);
+                let pool = PoolIndex::build(&entries);
+                (db_name, (entries, pool))
+            })
+            .into_iter()
+            .collect();
 
         // Retrieval triples.
         let mut triples = Vec::new();
         for (db_name, exs) in &by_db {
-            let Some(entries) = prepared.get(db_name) else {
+            let Some((entries, pool)) = prepared.get(db_name) else {
                 continue;
             };
             for ex in exs {
                 let gold = mask_values(&ex.sql);
                 // Positive: the dialect generated from the gold query.
-                if let Some(e) = entries.iter().find(|e| exact_match(&e.sql, &gold)) {
+                if let Some(e) = pool.first_match(entries, &gold).map(|i| &entries[i]) {
                     triples.push(Triple {
                         query: ex.nl.clone(),
                         dialect: e.dialect.clone(),
@@ -199,22 +214,21 @@ impl GarSystem {
         // the *trained* retrieval model (Section III-C2).
         let mut lists = Vec::new();
         for (db_name, exs) in &by_db {
-            let Some(entries) = prepared.get(db_name) else {
+            let Some((entries, pool)) = prepared.get(db_name) else {
                 continue;
             };
             let texts: Vec<String> = entries.iter().map(|e| e.dialect.clone()).collect();
             let embeds = retrieval.encode_batch(&texts, config.threads);
             let mut index = FlatIndex::new(retrieval.embed_dim());
-            for (i, e) in embeds.iter().enumerate() {
-                index.add(i, e);
-            }
+            let ids: Vec<usize> = (0..embeds.len()).collect();
+            index.add_batch(&ids, &embeds, config.threads);
             for ex in exs {
                 let gold = mask_values(&ex.sql);
                 let q_emb = retrieval.encode(&ex.nl);
                 let hits = index.search(&q_emb, config.rerank_list_size);
                 let mut ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
                 // Guarantee the positive is present in the list.
-                let gold_id = entries.iter().position(|e| exact_match(&e.sql, &gold));
+                let gold_id = pool.first_match(entries, &gold);
                 if let Some(g) = gold_id {
                     if !ids.contains(&g) {
                         if !ids.is_empty() {
@@ -261,26 +275,99 @@ impl GarSystem {
     /// (Section V-A3): generalize the gold set, rule the gold queries out,
     /// use the remainder as samples, then run normal data preparation.
     pub fn prepare_eval_db(&self, db: &GeneratedDb, gold: &[Query]) -> PreparedDb {
+        self.prepare_eval_db_t(db, gold, self.config.threads)
+    }
+
+    /// [`GarSystem::prepare_eval_db`] with an explicit thread budget for
+    /// the prepare stages (output is bit-identical for any value).
+    pub fn prepare_eval_db_t(&self, db: &GeneratedDb, gold: &[Query], threads: usize) -> PreparedDb {
         let samples = eval_samples_from_gold(db, gold, &self.config.prepare);
-        self.prepare_with_samples(db, &samples)
+        self.prepare_with_samples_t(db, &samples, threads)
+    }
+
+    /// [`GarSystem::prepare_eval_db`] through a content-addressed
+    /// [`PrepareCache`]: on a hit the whole offline phase (generalize →
+    /// render → encode → index) is skipped and the pool is decoded from the
+    /// artifact — bit-identical entries, embeddings, and index. `None`
+    /// degrades to the uncached path. The key covers the gold set *before*
+    /// sample derivation, so the derivation itself is also skipped on hits.
+    pub fn prepare_eval_db_cached(
+        &self,
+        db: &GeneratedDb,
+        gold: &[Query],
+        threads: usize,
+        cache: Option<&PrepareCache>,
+    ) -> PreparedDb {
+        let Some(cache) = cache else {
+            return self.prepare_eval_db_t(db, gold, threads);
+        };
+        let key = PrepareCache::key(self, db, gold, SampleProtocol::EvalGold);
+        if let Some(p) = cache.load(key, &db.schema.name) {
+            return p;
+        }
+        let p = self.prepare_eval_db_t(db, gold, threads);
+        cache.store(key, &p);
+        p
     }
 
     /// Prepare a database from an explicit sample-query set (the deployment
     /// path, and QBEN's curated sample split).
     pub fn prepare_with_samples(&self, db: &GeneratedDb, samples: &[Query]) -> PreparedDb {
-        let entries = prepare(db, samples, &self.config.prepare);
+        self.prepare_with_samples_t(db, samples, self.config.threads)
+    }
+
+    /// [`GarSystem::prepare_with_samples`] with an explicit thread budget.
+    /// The stages run in order — generalize (sequential), render, encode,
+    /// index — with render/encode/index fanned out over `threads` scoped
+    /// workers and timed into the `prep.*_us` histograms; the prepared pool
+    /// is bit-identical for every thread count.
+    pub fn prepare_with_samples_t(
+        &self,
+        db: &GeneratedDb,
+        samples: &[Query],
+        threads: usize,
+    ) -> PreparedDb {
+        let m = metrics();
+        let entries = prepare(db, samples, &PrepareConfig {
+            threads,
+            ..self.config.prepare.clone()
+        });
         let texts: Vec<String> = entries.iter().map(|e| e.dialect.clone()).collect();
-        let embeds = self.retrieval.encode_batch(&texts, self.config.threads);
+        let encode_timer = StageTimer::start(&m.prep_encode);
+        let embeds = self.retrieval.encode_batch(&texts, threads);
+        encode_timer.stop();
+        let index_timer = StageTimer::start(&m.prep_index);
         let mut index = FlatIndex::new(self.retrieval.embed_dim());
-        for (i, e) in embeds.iter().enumerate() {
-            index.add(i, e);
-        }
+        let ids: Vec<usize> = (0..embeds.len()).collect();
+        index.add_batch(&ids, &embeds, threads);
+        index_timer.stop();
         PreparedDb {
             db_name: db.schema.name.clone(),
             entries,
             embeds,
             index,
         }
+    }
+
+    /// [`GarSystem::prepare_with_samples`] through a content-addressed
+    /// [`PrepareCache`]; `None` degrades to the uncached path.
+    pub fn prepare_with_samples_cached(
+        &self,
+        db: &GeneratedDb,
+        samples: &[Query],
+        threads: usize,
+        cache: Option<&PrepareCache>,
+    ) -> PreparedDb {
+        let Some(cache) = cache else {
+            return self.prepare_with_samples_t(db, samples, threads);
+        };
+        let key = PrepareCache::key(self, db, samples, SampleProtocol::Explicit);
+        if let Some(p) = cache.load(key, &db.schema.name) {
+            return p;
+        }
+        let p = self.prepare_with_samples_t(db, samples, threads);
+        cache.store(key, &p);
+        p
     }
 
     /// Translate an NL question over a prepared database.
@@ -768,6 +855,140 @@ mod tests {
         }
 
         assert!(gar.translate_batch(db, &prepared, &[]).is_empty());
+    }
+
+    #[test]
+    fn prepare_is_bit_identical_across_thread_counts() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 31,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        let seq = gar.prepare_eval_db_t(db, &gold, 1);
+        let probe = gar.retrieval.encode(&bench.dev[0].nl);
+        for threads in [2usize, 5, 16] {
+            let par = gar.prepare_eval_db_t(db, &gold, threads);
+            assert_eq!(par.entries.len(), seq.entries.len(), "threads={threads}");
+            for (a, b) in seq.entries.iter().zip(&par.entries) {
+                assert_eq!(gar_sql::to_sql(&a.sql), gar_sql::to_sql(&b.sql));
+                assert_eq!(a.dialect, b.dialect);
+            }
+            for (a, b) in seq.embeds.iter().zip(&par.embeds) {
+                let eq = a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(eq, "embeds diverged at threads={threads}");
+            }
+            let (hs, hp) = (seq.index.search(&probe, 10), par.index.search(&probe, 10));
+            assert_eq!(hs.len(), hp.len());
+            for (s, p) in hs.iter().zip(&hp) {
+                assert_eq!(s.id, p.id);
+                assert_eq!(s.score.to_bits(), p.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn train_is_deterministic_across_thread_counts() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 12,
+            seed: 33,
+        });
+        let mut c1 = tiny_config();
+        c1.threads = 1;
+        let mut c8 = tiny_config();
+        c8.threads = 8;
+        let (g1, r1) = GarSystem::train(&bench.dbs, &bench.train, c1);
+        let (g8, r8) = GarSystem::train(&bench.dbs, &bench.train, c8);
+        // The concurrent per-db prepare must leave the training signal — and
+        // therefore the serialized models — byte-identical.
+        assert_eq!(r1.retrieval_triples, r8.retrieval_triples);
+        assert_eq!(r1.rerank_lists, r8.rerank_lists);
+        assert_eq!(g1.retrieval.to_bytes(), g8.retrieval.to_bytes());
+        assert_eq!(g1.rerank.to_bytes(), g8.rerank.to_bytes());
+    }
+
+    #[test]
+    fn cached_prepare_round_trips_bit_identical() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 35,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        let dir = crate::cache::scratch_dir("roundtrip");
+        let cache = PrepareCache::new(&dir).unwrap();
+
+        let before = gar_obs::global().snapshot();
+        let cold = gar.prepare_eval_db_cached(db, &gold, 4, Some(&cache));
+        assert_eq!(cache.len(), 1, "cold prepare did not store an artifact");
+        let warm = gar.prepare_eval_db_cached(db, &gold, 4, Some(&cache));
+        let after = gar_obs::global().snapshot();
+        let hits = |s: &gar_obs::Snapshot, n: &str| s.counter(n).unwrap_or(0);
+        assert!(hits(&after, "prep.cache_hit") >= hits(&before, "prep.cache_hit") + 1);
+        assert!(hits(&after, "prep.cache_miss") >= hits(&before, "prep.cache_miss") + 1);
+
+        // The decoded pool is bit-identical to the cold one: entries,
+        // embeddings, and index answers.
+        assert_eq!(warm.db_name, cold.db_name);
+        assert_eq!(warm.entries.len(), cold.entries.len());
+        for (a, b) in cold.entries.iter().zip(&warm.entries) {
+            assert_eq!(gar_sql::to_sql(&a.sql), gar_sql::to_sql(&b.sql));
+            assert_eq!(a.dialect, b.dialect);
+        }
+        for (a, b) in cold.embeds.iter().zip(&warm.embeds) {
+            assert_eq!(a.len(), b.len());
+            let eq = a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(eq, "cached embeddings diverged");
+        }
+        for ex in bench.dev.iter().filter(|e| &e.db == db_name).take(5) {
+            let q = gar.retrieval.encode(&ex.nl);
+            let (hc, hw) = (cold.index.search(&q, 10), warm.index.search(&q, 10));
+            assert_eq!(hc.len(), hw.len());
+            for (c, w) in hc.iter().zip(&hw) {
+                assert_eq!(c.id, w.id);
+                assert_eq!(c.score.to_bits(), w.score.to_bits());
+            }
+            // And the full translation pipeline agrees end to end.
+            let (tc, tw) = (
+                gar.translate(db, &cold, &ex.nl),
+                gar.translate(db, &warm, &ex.nl),
+            );
+            assert_eq!(tc.retrieved, tw.retrieved);
+            for (a, b) in tc.ranked.iter().zip(&tw.ranked) {
+                assert_eq!(a.entry, b.entry);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+
+        // A different gold set keys differently (no false hit).
+        let fewer: Vec<Query> = gold.iter().take(gold.len() - 1).cloned().collect();
+        let k1 = PrepareCache::key(&gar, db, &gold, SampleProtocol::EvalGold);
+        let k2 = PrepareCache::key(&gar, db, &fewer, SampleProtocol::EvalGold);
+        assert_ne!(k1, k2);
+        // Protocol is part of the identity too.
+        let k3 = PrepareCache::key(&gar, db, &gold, SampleProtocol::Explicit);
+        assert_ne!(k1, k3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

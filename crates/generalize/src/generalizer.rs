@@ -9,7 +9,7 @@
 use crate::component::{get_component, present_types, set_component, ComponentType};
 use crate::rules::{semantic_check, JoinCatalog, RuleSet, SubqueryCatalog, SyntacticLimits};
 use gar_schema::{resolve_query, Schema};
-use gar_sql::{fingerprint, mask_values, normalize, Query};
+use gar_sql::{fingerprint_hash, mask_values, normalize, Query};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -113,12 +113,16 @@ impl<'a> Generalizer<'a> {
         let mut stats = GeneralizeStats::default();
 
         // Masked, schema-valid sample trees.
+        // Dedup keys are 64-bit fingerprint hashes (not the fingerprint
+        // strings): one u64 per candidate instead of a heap allocation on
+        // the hot accept/reject path. A hash collision can only drop a
+        // novel candidate, never admit a duplicate.
         let mut pool: Vec<Query> = Vec::with_capacity(samples.len());
-        let mut seen: HashSet<String> = HashSet::new();
+        let mut seen: HashSet<u64> = HashSet::new();
         for s in samples {
             let masked = mask_values(s);
             if let Ok(resolved) = resolve_query(self.schema, &masked) {
-                let fp = fingerprint(&normalize(&resolved));
+                let fp = fingerprint_hash(&normalize(&resolved));
                 if seen.insert(fp) {
                     pool.push(resolved);
                 }
@@ -131,7 +135,7 @@ impl<'a> Generalizer<'a> {
         if self.config.schema_augmentation {
             for seed_q in crate::augment::schema_components(self.schema) {
                 if let Ok(resolved) = resolve_query(self.schema, &seed_q) {
-                    let fp = fingerprint(&normalize(&resolved));
+                    let fp = fingerprint_hash(&normalize(&resolved));
                     if seen.insert(fp) {
                         pool.push(resolved);
                     }
@@ -213,7 +217,7 @@ impl<'a> Generalizer<'a> {
                     &subquery_catalog,
                     &mut stats,
                 ) {
-                    let fp = fingerprint(&normalize(&valid));
+                    let fp = fingerprint_hash(&normalize(&valid));
                     if seen.insert(fp) {
                         pool.push(valid);
                         stats.accepted += 1;
@@ -294,7 +298,7 @@ fn weighted_pick(
 mod tests {
     use super::*;
     use gar_schema::SchemaBuilder;
-    use gar_sql::{exact_match, parse, to_sql};
+    use gar_sql::{exact_match, fingerprint, parse, to_sql};
 
     fn hr_schema() -> Schema {
         SchemaBuilder::new("hr")

@@ -60,6 +60,6 @@ pub use ast::{
 pub use difficulty::{classify, clause_types, ClauseType, Difficulty};
 pub use error::ParseError;
 pub use mask::{collect_values, mask_in_place, mask_values, masked_count, unmask_values};
-pub use normalize::{exact_match, fingerprint, normalize, NormalizedQuery};
+pub use normalize::{exact_match, fingerprint, fingerprint_hash, normalize, NormalizedQuery};
 pub use parser::parse;
 pub use printer::to_sql;

@@ -134,29 +134,60 @@ pub fn normalize(q: &Query) -> NormalizedQuery {
 }
 
 /// A stable string fingerprint of a normalized query; equal fingerprints
-/// iff the normalized forms are equal. Used for deduplication in the
-/// generalizer and for subquery operand comparison.
+/// iff the normalized forms are equal. Used for subquery operand
+/// comparison and anywhere the full canonical text is wanted.
 pub fn fingerprint(n: &NormalizedQuery) -> String {
     let mut s = String::with_capacity(128);
     fingerprint_into(n, &mut s);
     s
 }
 
-fn fingerprint_into(n: &NormalizedQuery, s: &mut String) {
+/// A stable 64-bit fingerprint hash: FNV-1a over the exact byte stream
+/// [`fingerprint`] would produce, without materializing the string. Equal
+/// normalized forms always hash equal; distinct forms collide with
+/// probability ~n²/2⁶⁵, negligible at pool scale, so dedup sets can key on
+/// the `u64` instead of allocating a `String` per candidate. Callers that
+/// need *exactness* (not just dedup) must confirm with [`exact_match`].
+pub fn fingerprint_hash(n: &NormalizedQuery) -> u64 {
+    let mut h = Fnv64::default();
+    fingerprint_into(n, &mut h);
+    h.0
+}
+
+/// Streaming FNV-1a 64 sink for [`std::fmt::Write`] output.
+struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::fmt::Write for Fnv64 {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+fn fingerprint_into<W: std::fmt::Write>(n: &NormalizedQuery, s: &mut W) {
     use std::fmt::Write;
     let _ = write!(s, "d{}|S[", u8::from(n.distinct));
     for c in &n.select {
         let _ = write!(s, "{:?},{},{};", c.agg, u8::from(c.distinct), c.col);
     }
-    s.push_str("]T[");
+    let _ = s.write_str("]T[");
     for t in &n.tables {
         let _ = write!(s, "{t};");
     }
-    s.push_str("]J[");
+    let _ = s.write_str("]J[");
     for (a, b) in &n.joins {
         let _ = write!(s, "{a}={b};");
     }
-    s.push_str("]W[");
+    let _ = s.write_str("]W[");
     for p in &n.where_preds {
         let _ = write!(s, "{:?}{}{};", p.lhs, p.op, p.rhs);
     }
@@ -164,11 +195,11 @@ fn fingerprint_into(n: &NormalizedQuery, s: &mut String) {
     for g in &n.group_by {
         let _ = write!(s, "{g};");
     }
-    s.push_str("]H[");
+    let _ = s.write_str("]H[");
     for p in &n.having_preds {
         let _ = write!(s, "{:?}{}{};", p.lhs, p.op, p.rhs);
     }
-    s.push_str("]O[");
+    let _ = s.write_str("]O[");
     for (c, d) in &n.order_by {
         let _ = write!(s, "{:?},{};", c, d.as_str());
     }
@@ -176,7 +207,7 @@ fn fingerprint_into(n: &NormalizedQuery, s: &mut String) {
     if let Some((op, rhs)) = &n.compound {
         let _ = write!(s, "C{}(", op.as_str());
         fingerprint_into(rhs, s);
-        s.push(')');
+        let _ = s.write_char(')');
     }
 }
 
@@ -306,6 +337,43 @@ mod tests {
         let c = normalize(&parse("SELECT t.a FROM t WHERE t.b > 1").unwrap());
         assert_eq!(fingerprint(&a), fingerprint(&b));
         assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_hash_agrees_with_string_fingerprint() {
+        // The hash is FNV-1a over the exact fingerprint byte stream, so
+        // equal strings ⇒ equal hashes and (on these distinct structures)
+        // distinct strings ⇒ distinct hashes.
+        let queries = [
+            "SELECT t.a FROM t WHERE t.b = 1",
+            "SELECT t.a FROM t WHERE t.b = 99", // value-masked: same as above
+            "SELECT t.a FROM t WHERE t.b > 1",
+            "SELECT t.a, t.b FROM t",
+            "SELECT t.b, t.a FROM t", // projection set: same as above
+            "SELECT DISTINCT t.a FROM t",
+            "SELECT t.a FROM t WHERE t.b IN (SELECT u.b FROM u)",
+            "SELECT t.a FROM t UNION SELECT u.a FROM u",
+            "SELECT t.a FROM t ORDER BY t.a DESC LIMIT 3",
+        ];
+        for a in &queries {
+            for b in &queries {
+                let na = normalize(&parse(a).unwrap());
+                let nb = normalize(&parse(b).unwrap());
+                assert_eq!(
+                    fingerprint(&na) == fingerprint(&nb),
+                    fingerprint_hash(&na) == fingerprint_hash(&nb),
+                    "hash/string fingerprint disagree for {a} vs {b}"
+                );
+            }
+        }
+        // Reference check: the hash really is FNV-1a of the string bytes.
+        let n = normalize(&parse(queries[0]).unwrap());
+        let mut want = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in fingerprint(&n).as_bytes() {
+            want ^= u64::from(byte);
+            want = want.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(fingerprint_hash(&n), want);
     }
 
     #[test]

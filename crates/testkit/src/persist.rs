@@ -170,6 +170,84 @@ mod tests {
         }
     }
 
+    /// A fresh scratch dir per test invocation (pid-unique; no wall clock).
+    fn scratch_cache_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gar-testkit-cache-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn corrupted_cache_entries_fall_back_to_cold_prepare() {
+        use gar_core::{PrepareCache, SampleProtocol};
+
+        // Re-train the tiny system (artifacts() only keeps the bytes).
+        let bench = gar_benchmarks::spider_sim(gar_benchmarks::SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 12,
+            seed: 77,
+        });
+        let mut gar = system_from_bytes(&artifacts().0).expect("system artifact");
+        // The artifact restores training-only knobs as defaults; shrink the
+        // pool so each post-corruption cold rebuild stays cheap.
+        gar.config.prepare.gen_size = 150;
+        let db = bench.db(&bench.dev[0].db).expect("dev db");
+        let gold: Vec<gar_sql::Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+
+        let dir = scratch_cache_dir("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = PrepareCache::new(&dir).unwrap();
+        let key = PrepareCache::key(&gar, db, &gold, SampleProtocol::EvalGold);
+        let cold = gar.prepare_eval_db_cached(db, &gold, 2, Some(&cache));
+        assert_eq!(cache.len(), 1, "cold run did not populate the cache");
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().and_then(|x| x.to_str()) == Some("gar"))
+            .expect("cache entry on disk");
+        let good = std::fs::read(&entry).unwrap();
+
+        // Truncation at several boundaries, a flipped magic byte, flipped
+        // payload bytes, and an empty file: every corruption must decode as
+        // a miss, be evicted, and rebuild a pool identical to the cold one.
+        let mut mutants: Vec<Vec<u8>> = vec![Vec::new(), good[..4].to_vec(), {
+            let mut m = good.clone();
+            m[0] ^= 0xFF;
+            m
+        }];
+        for cut in [good.len() / 3, good.len() / 2, good.len() - 1] {
+            mutants.push(good[..cut].to_vec());
+        }
+        for mutant in mutants {
+            std::fs::write(&entry, &mutant).unwrap();
+            let rebuilt = gar.prepare_eval_db_cached(db, &gold, 2, Some(&cache));
+            assert_eq!(rebuilt.entries.len(), cold.entries.len());
+            for (a, b) in cold.entries.iter().zip(&rebuilt.entries) {
+                assert_eq!(gar_sql::to_sql(&a.sql), gar_sql::to_sql(&b.sql));
+                assert_eq!(a.dialect, b.dialect);
+            }
+            for (a, b) in cold.embeds.iter().zip(&rebuilt.embeds) {
+                assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
+            // The fallback re-stored a valid artifact over the corpse.
+            let healed = std::fs::read(cache.dir().join(format!("{key:016x}.gar"))).unwrap();
+            assert_eq!(healed, good, "cache did not heal after corruption");
+        }
+
+        // Damage deep in the payload may still decode (the codec carries no
+        // checksum, so float bit rot is out of scope); the guarantee is
+        // structural: whatever the flipped byte hits — a length prefix, SQL
+        // text, or a float — the lookup either heals or serves a pool of
+        // the right shape, and never panics.
+        let mut deep = good.clone();
+        let pos = good.len() / 2;
+        deep[pos] ^= 0xFF;
+        std::fs::write(&entry, &deep).unwrap();
+        let rebuilt = gar.prepare_eval_db_cached(db, &gold, 2, Some(&cache));
+        assert_eq!(rebuilt.entries.len(), cold.entries.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     #[test]
     fn oversized_prepared_count_is_rejected_fast() {
         // Kind-4 artifact whose header claims u32::MAX entries: must fail

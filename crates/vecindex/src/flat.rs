@@ -343,6 +343,50 @@ impl FlatIndex {
         self.ids.push(id);
     }
 
+    /// Append a batch of vectors, id `ids[i]` for `vecs[i]`, parallelizing
+    /// the copy + L2-normalization across `threads` scoped workers. The
+    /// store is grown once up front and each worker owns a disjoint range
+    /// of rows; per-row normalization is the exact operation [`FlatIndex::add`]
+    /// performs, so the resulting index is bit-identical to adding the
+    /// vectors sequentially in order, for any thread count. Panics on
+    /// dimension or length mismatch (construction errors).
+    pub fn add_batch(&mut self, ids: &[usize], vecs: &[Vec<f32>], threads: usize) {
+        assert_eq!(ids.len(), vecs.len(), "ids/vectors length mismatch");
+        for v in vecs {
+            assert_eq!(v.len(), self.dim, "dimension mismatch");
+        }
+        self.ids.extend_from_slice(ids);
+        if self.dim == 0 || vecs.is_empty() {
+            return;
+        }
+        let dim = self.dim;
+        let start = self.data.len();
+        self.data.resize(start + vecs.len() * dim, 0.0);
+        let rows = &mut self.data[start..];
+        let threads = threads.clamp(1, vecs.len());
+        if threads == 1 {
+            for (row, v) in rows.chunks_mut(dim).zip(vecs) {
+                row.copy_from_slice(v);
+                normalize(row);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            let mut rest = rows;
+            for range in partition(vecs.len(), threads) {
+                let (chunk, tail) = rest.split_at_mut(range.len() * dim);
+                rest = tail;
+                let vs = &vecs[range];
+                scope.spawn(move || {
+                    for (row, v) in chunk.chunks_mut(dim).zip(vs) {
+                        row.copy_from_slice(v);
+                        normalize(row);
+                    }
+                });
+            }
+        });
+    }
+
     /// Retrieve the normalized vector stored at insertion position `pos`.
     pub fn vector(&self, pos: usize) -> &[f32] {
         &self.data[pos * self.dim..(pos + 1) * self.dim]
@@ -788,6 +832,60 @@ mod tests {
         let batch = idx.search_batch_threads(&q, 0, 8);
         assert_eq!(batch.len(), 1);
         assert!(batch[0].is_empty());
+    }
+
+    #[test]
+    fn add_batch_is_bit_identical_to_sequential_add() {
+        let corpus = random_corpus(531, 19, 11); // odd count exercises chunk tails
+        let ids: Vec<usize> = (0..corpus.len()).map(|i| i * 7).collect();
+        let mut seq = FlatIndex::new(19);
+        for (id, v) in ids.iter().zip(&corpus) {
+            seq.add(*id, v);
+        }
+        for threads in [1usize, 2, 4, 9] {
+            let mut par = FlatIndex::new(19);
+            par.add_batch(&ids, &corpus, threads);
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.ids, seq.ids);
+            for pos in 0..seq.len() {
+                for (a, b) in seq.vector(pos).iter().zip(par.vector(pos)) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            // Search through the batch-built index agrees bitwise too.
+            for q in corpus.iter().take(5) {
+                let a = seq.search(q, 13);
+                let b = par.search(q, 13);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_batch_handles_degenerate_shapes() {
+        // Empty batch, single vector, more threads than vectors, and
+        // appending after sequential adds all stay consistent.
+        let mut idx = FlatIndex::new(3);
+        idx.add_batch(&[], &[], 4);
+        assert!(idx.is_empty());
+        idx.add(5, &[1.0, 0.0, 0.0]);
+        let tail = vec![vec![0.0, 2.0, 0.0], vec![0.0, 0.0, 4.0]];
+        idx.add_batch(&[6, 7], &tail, 16);
+        assert_eq!(idx.len(), 3);
+        let hits = idx.search(&[0.0, 1.0, 0.0], 1);
+        assert_eq!(hits[0].id, 6);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_batch_checks_id_arity() {
+        let mut idx = FlatIndex::new(2);
+        idx.add_batch(&[1], &[vec![1.0, 0.0], vec![0.0, 1.0]], 2);
     }
 
     #[test]

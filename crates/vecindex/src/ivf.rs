@@ -149,6 +149,59 @@ impl IvfIndex {
         self.cells[c].push((id, x));
     }
 
+    /// Add a batch of vectors, id `ids[i]` for `vecs[i]`, parallelizing
+    /// the normalize + nearest-centroid assignment across `threads` scoped
+    /// workers. Assignment is a pure per-vector function of the trained
+    /// centroids, and the assigned vectors are inserted into their cells
+    /// sequentially in input order afterwards, so the resulting index is
+    /// bit-identical to calling [`IvfIndex::add`] per pair in order, for
+    /// any thread count. Panics if untrained or on shape mismatch.
+    pub fn add_batch(&mut self, ids: &[usize], vecs: &[Vec<f32>], threads: usize) {
+        assert!(self.trained, "IvfIndex::add before train");
+        assert_eq!(ids.len(), vecs.len(), "ids/vectors length mismatch");
+        for v in vecs {
+            assert_eq!(v.len(), self.dim, "dimension mismatch");
+        }
+        if vecs.is_empty() {
+            return;
+        }
+        let cents: Vec<&[f32]> = (0..self.nlist()).map(|c| self.centroid(c)).collect();
+        let assign = |v: &Vec<f32>| {
+            let mut x = v.clone();
+            normalize(&mut x);
+            let c = nearest_centroid_slices(&cents, &x);
+            (c, x)
+        };
+        let threads = threads.clamp(1, vecs.len());
+        let assigned: Vec<(usize, Vec<f32>)> = if threads == 1 {
+            vecs.iter().map(assign).collect()
+        } else {
+            let mut slots: Vec<Option<(usize, Vec<f32>)>> = vec![None; vecs.len()];
+            std::thread::scope(|scope| {
+                let assign = &assign;
+                let mut rest = slots.as_mut_slice();
+                for range in partition(vecs.len(), threads) {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let vs = &vecs[range];
+                    scope.spawn(move || {
+                        for (slot, v) in chunk.iter_mut().zip(vs) {
+                            *slot = Some(assign(v));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("add_batch worker skipped a slot"))
+                .collect()
+        };
+        drop(cents);
+        for (id, (c, x)) in ids.iter().zip(assigned) {
+            self.cells[c].push((*id, x));
+        }
+    }
+
     /// Top-k approximate search over the `nprobe` nearest cells. `k = 0`
     /// returns an empty vec without allocating; `k > len` returns every
     /// probed hit sorted.
@@ -448,6 +501,53 @@ mod tests {
         for w in hits[..first_nan].windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    #[test]
+    fn add_batch_is_bit_identical_to_sequential_add() {
+        let corpus = random_corpus(317, 16, 12);
+        let ids: Vec<usize> = (0..corpus.len()).map(|i| i + 100).collect();
+        let cfg = IvfConfig {
+            nlist: 8,
+            nprobe: 3,
+            ..IvfConfig::default()
+        };
+        let mut seq = IvfIndex::new(16, cfg);
+        seq.train(&corpus);
+        for (id, v) in ids.iter().zip(&corpus) {
+            seq.add(*id, v);
+        }
+        for threads in [1usize, 3, 8] {
+            let mut par = IvfIndex::new(16, cfg);
+            par.train(&corpus);
+            par.add_batch(&ids, &corpus, threads);
+            assert_eq!(par.len(), seq.len());
+            // Cell contents must match exactly: same ids, same vector bits,
+            // same within-cell insertion order.
+            for (a, b) in seq.cells.iter().zip(&par.cells) {
+                assert_eq!(a.len(), b.len());
+                for ((ia, va), (ib, vb)) in a.iter().zip(b) {
+                    assert_eq!(ia, ib);
+                    for (x, y) in va.iter().zip(vb) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+            for q in corpus.iter().take(5) {
+                let a = seq.search(q, 10);
+                let b = par.search(q, 10);
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.id, y.id);
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+        // Degenerate batch shapes.
+        let mut par = IvfIndex::new(16, cfg);
+        par.train(&corpus);
+        par.add_batch(&[], &[], 4);
+        assert!(par.is_empty());
     }
 
     #[test]

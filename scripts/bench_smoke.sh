@@ -2,19 +2,23 @@
 # Quick smoke pass over the retrieval-path Criterion benches: 1-second
 # measurement windows, enough to catch regressions in the blocked kernels
 # and the batched search path without a full bench run. `bench_batch` also
-# rewrites results/BENCH_retrieval.json with the measured throughput.
+# rewrites results/BENCH_retrieval.json with the measured throughput, and
+# `bench_prepare` rewrites results/BENCH_prepare.json with the offline
+# preparation cold/parallel/warm wall-clock and per-stage medians.
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
 # per-stage latency histograms (encode, retrieve, filter, rerank,
-# instantiate).
+# instantiate), then validates BENCH_prepare.json (warm cache hits must be
+# ≥10× faster than cold prepare everywhere; the ≥2× parallel-vs-sequential
+# bar additionally applies on multi-core hosts).
 #
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch; do
+for bench in bench_retrieval bench_batch bench_prepare; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -47,4 +51,37 @@ else
       || { echo "missing stage.${s}_us in $METRICS" >&2; exit 1; }
   done
   echo "[bench_smoke] $METRICS OK (grep check; python3 unavailable)"
+fi
+
+PREPARE="${GAR_RESULTS_DIR:-results}/BENCH_prepare.json"
+[[ -f "$PREPARE" ]] || { echo "missing $PREPARE" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$PREPARE" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("cold_sequential_ms", "cold_parallel_ms", "warm_cache_hit_ms",
+          "speedup_parallel_vs_sequential", "speedup_warm_vs_cold",
+          "stage_generalize_p50_us", "stage_render_p50_us",
+          "stage_encode_p50_us", "stage_index_p50_us", "cores"):
+    assert k in r, f"missing {k} in BENCH_prepare.json"
+assert r["warm_cache_hit_ms"] > 0 and r["cold_parallel_ms"] > 0
+assert r["speedup_warm_vs_cold"] >= 10, (
+    f"cache hit only {r['speedup_warm_vs_cold']:.1f}x faster than cold prepare")
+if r["cores"] >= 2:
+    assert r["speedup_parallel_vs_sequential"] >= 2, (
+        f"parallel prepare only {r['speedup_parallel_vs_sequential']:.2f}x "
+        f"on a {r['cores']}-core host")
+else:
+    print(f"[bench_smoke] single-core host: parallel speedup "
+          f"{r['speedup_parallel_vs_sequential']:.2f}x recorded, 2x bar waived")
+print(f"[bench_smoke] {sys.argv[1]} OK: cold {r['cold_parallel_ms']:.0f}ms, "
+      f"warm {r['warm_cache_hit_ms']:.1f}ms "
+      f"({r['speedup_warm_vs_cold']:.1f}x)")
+PY
+else
+  for k in cold_sequential_ms cold_parallel_ms warm_cache_hit_ms speedup_warm_vs_cold; do
+    grep -q "\"$k\"" "$PREPARE" \
+      || { echo "missing $k in $PREPARE" >&2; exit 1; }
+  done
+  echo "[bench_smoke] $PREPARE OK (grep check; python3 unavailable)"
 fi

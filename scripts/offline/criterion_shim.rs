@@ -39,6 +39,16 @@ impl BenchmarkGroup {
     /// Record the group's throughput unit (ignored).
     pub fn throughput(&mut self, _t: Throughput) {}
 
+    /// Set the statistical sample count (ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the measurement wall-clock budget (ignored by the shim).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
     /// Define and smoke-run one benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
         eprintln!("[criterion-shim] {}/{id}", self.name);

@@ -16,8 +16,9 @@
 # the optimized executor against the naive reference interpreter), the
 # two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
-# (compile only), its bench_batch bench (smoke-run against a criterion
-# shim), and the batched-retrieval throughput measurement.
+# (compile only), its bench_batch and bench_prepare benches (smoke-run
+# against a criterion shim), and the batched-retrieval throughput
+# measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
 # on a networked machine.
@@ -188,6 +189,15 @@ say "building + smoke-running bench_batch against the criterion shim"
   --extern serde_json=libserde_json.rlib \
   -o bench_batch
 GAR_RESULTS_DIR="$BUILD/results" ./bench_batch
+
+say "building + smoke-running bench_prepare against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_prepare \
+  "$REPO/crates/bench/benches/bench_prepare.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_prepare
+GAR_RESULTS_DIR="$BUILD/results" ./bench_prepare
 
 # --- 5. batched retrieval throughput -------------------------------------
 say "building + running the batched-retrieval throughput measurement"
