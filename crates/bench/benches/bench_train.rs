@@ -1,0 +1,545 @@
+//! Ranker training: the acceptance workload for the deterministic
+//! data-parallel trainer optimization. Three arms per trainer:
+//!
+//! - `baseline`  — a faithful in-bench reimplementation of the
+//!   pre-optimization algorithm: row-major sparse kernels strided by the
+//!   feature dimension, naive sequential dot products, fresh `Vec`
+//!   allocations for every activation/gradient buffer, separate
+//!   zero → accumulate → scale → step optimizer sweeps, and (for the
+//!   re-ranker) one Adam step per list;
+//! - `scratch`   — `train_t(.., 1)`: fused column-major/blocked kernels
+//!   with per-worker reusable scratch, single-threaded;
+//! - `parallel4` — `train_t(.., 4)`: the same path with the macro-batch
+//!   gradient-block fan-out (bit-identical output, asserted before
+//!   timing).
+//!
+//! Besides the Criterion report, a manual timing pass writes
+//! `results/BENCH_train.json` (honoring `GAR_RESULTS_DIR`) with median
+//! training throughput (items/s) per arm and the two speedup ratios the
+//! optimization is accepted on: scratch ≥ 1.5× baseline always, and
+//! parallel ≥ 2× scratch on multi-core hosts (`cores` is recorded so
+//! single-core readings ≈ 1 are interpretable).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gar_ltr::nn::{
+    relu_backward, relu_forward, seeded_rng, tanh_backward, tanh_forward, AdamConfig, AdamState,
+    Linear, LinearGrad, LrSchedule,
+};
+use gar_ltr::rerank::EXTRA_FEATURES;
+use gar_ltr::{
+    hash_features, FeatureConfig, RankList, RerankConfig, RerankModel, RetrievalConfig,
+    RetrievalModel, SparseVec, Triple,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::time::Instant;
+
+const THREADS: usize = 4;
+const N_TRIPLES: usize = 480;
+const N_LISTS: usize = 160;
+const LIST_ITEMS: usize = 8;
+
+fn retrieval_config() -> RetrievalConfig {
+    RetrievalConfig {
+        features: FeatureConfig {
+            dim: 2048,
+            ..FeatureConfig::default()
+        },
+        hidden: 192,
+        embed: 64,
+        epochs: 2,
+        ..RetrievalConfig::default()
+    }
+}
+
+fn rerank_config() -> RerankConfig {
+    RerankConfig {
+        embed: 64,
+        hidden: 96,
+        epochs: 2,
+        ..RerankConfig::default()
+    }
+}
+
+const WORDS: &[&str] = &[
+    "name", "employee", "city", "salary", "count", "average", "department", "oldest", "flights",
+    "airport", "singer", "country", "order", "results", "descending", "return", "find", "number",
+    "top", "age",
+];
+
+fn synth_text(rng: &mut StdRng, words: usize) -> String {
+    (0..words)
+        .map(|_| WORDS[rng.random_range(0..WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn synth_triples(n: usize, seed: u64) -> Vec<Triple> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            let q_words = rng.random_range(5..10);
+            let d_words = rng.random_range(12..20);
+            let q = synth_text(&mut rng, q_words);
+            let d = synth_text(&mut rng, d_words);
+            Triple {
+                query: q,
+                dialect: d,
+                score: rng.random_range(0.0..1.0),
+            }
+        })
+        .collect()
+}
+
+fn synth_lists(n: usize, embed: usize, seed: u64) -> Vec<RankList> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            let q: Vec<f32> = (0..embed).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let mut list = RankList::default();
+            for i in 0..LIST_ITEMS {
+                let relevant = i == 0;
+                let d: Vec<f32> = if relevant {
+                    q.iter().map(|x| x + rng.random_range(-0.1..0.1)).collect()
+                } else {
+                    (0..embed).map(|_| rng.random_range(-1.0..1.0)).collect()
+                };
+                let mut f = Vec::with_capacity(4 * embed + EXTRA_FEATURES);
+                f.extend_from_slice(&q);
+                f.extend_from_slice(&d);
+                f.extend(q.iter().zip(&d).map(|(a, b)| a * b));
+                f.extend(q.iter().zip(&d).map(|(a, b)| (a - b).abs()));
+                let overlap = if relevant { 0.9 } else { rng.random_range(0.0..0.3) };
+                f.extend(std::iter::repeat_n(overlap, EXTRA_FEATURES));
+                list.items.push(f);
+                list.labels.push(relevant);
+            }
+            debug_assert!(list.has_positive());
+            list
+        })
+        .collect()
+}
+
+/// Naive sequential dot: the pre-optimization dense kernel (one
+/// accumulator, full FP dependency chain — does not vectorize).
+fn naive_forward(layer: &Linear, x: &[f32]) -> Vec<f32> {
+    let mut y = Vec::with_capacity(layer.output);
+    for o in 0..layer.output {
+        let row = &layer.w[o * layer.input..(o + 1) * layer.input];
+        let mut acc = layer.b[o];
+        for (w, xv) in row.iter().zip(x) {
+            acc += w * xv;
+        }
+        y.push(acc);
+    }
+    y
+}
+
+fn scale_grad(g: &mut LinearGrad, s: f32) {
+    for v in g.w.iter_mut() {
+        *v *= s;
+    }
+    for v in g.b.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// The pre-optimization retrieval trainer: row-major sparse layer (every
+/// nonzero strides the weight matrix by the feature dimension), fresh
+/// activation and gradient buffers per triple/step, separate scale + step
+/// optimizer passes.
+struct BaselineRetrieval {
+    cfg: RetrievalConfig,
+    l1: Linear,
+    l2: Linear,
+}
+
+impl BaselineRetrieval {
+    fn new(cfg: RetrievalConfig) -> Self {
+        let mut rng = seeded_rng(cfg.seed);
+        let l1 = Linear::new(cfg.features.dim, cfg.hidden, &mut rng);
+        let l2 = Linear::new(cfg.hidden, cfg.embed, &mut rng);
+        BaselineRetrieval { cfg, l1, l2 }
+    }
+
+    fn train(&mut self, triples: &[Triple]) -> f64 {
+        let adam_cfg = AdamConfig {
+            lr: self.cfg.lr,
+            ..AdamConfig::default()
+        };
+        let batch = self.cfg.batch.max(1);
+        let total_steps = (self.cfg.epochs * triples.len().div_ceil(batch)) as u64;
+        let mut sched = LrSchedule::new(
+            self.cfg.lr,
+            ((total_steps as f32) * self.cfg.warmup_frac) as u64,
+        );
+        let mut adam1 = AdamState::zeros(&self.l1);
+        let mut adam2 = AdamState::zeros(&self.l2);
+        let feats: Vec<(SparseVec, SparseVec, f32)> = triples
+            .iter()
+            .map(|t| {
+                (
+                    hash_features(&t.query, &self.cfg.features),
+                    hash_features(&t.dialect, &self.cfg.features),
+                    t.score,
+                )
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..feats.len()).collect();
+        let mut rng = seeded_rng(self.cfg.seed ^ 0x5eed);
+        let mut last = 0.0f64;
+        for _ in 0..self.cfg.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f64;
+            for chunk in order.chunks(batch) {
+                let mut g1 = LinearGrad::zeros(&self.l1);
+                let mut g2 = LinearGrad::zeros(&self.l2);
+                for &idx in chunk {
+                    let (fq, fd, target) = &feats[idx];
+                    epoch_loss += self.backward_triple(fq, fd, *target, &mut g1, &mut g2) as f64;
+                }
+                let lr = sched.next_lr();
+                let scale = 1.0 / chunk.len() as f32;
+                scale_grad(&mut g1, scale);
+                scale_grad(&mut g2, scale);
+                adam1.step(&mut self.l1, &g1, &adam_cfg, lr);
+                adam2.step(&mut self.l2, &g2, &adam_cfg, lr);
+            }
+            last = epoch_loss / feats.len() as f64;
+        }
+        last
+    }
+
+    fn backward_triple(
+        &self,
+        fq: &SparseVec,
+        fd: &SparseVec,
+        target: f32,
+        g1: &mut LinearGrad,
+        g2: &mut LinearGrad,
+    ) -> f32 {
+        let mut hq = Vec::new();
+        self.l1.forward_sparse(fq, &mut hq);
+        tanh_forward(&mut hq);
+        let eq = naive_forward(&self.l2, &hq);
+        let mut hd = Vec::new();
+        self.l1.forward_sparse(fd, &mut hd);
+        tanh_forward(&mut hd);
+        let ed = naive_forward(&self.l2, &hd);
+
+        let dot: f32 = eq.iter().zip(&ed).map(|(a, b)| a * b).sum();
+        let nq: f32 = eq.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let nd: f32 = ed.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let cos = dot / (nq * nd);
+        let diff = cos - target;
+        let loss = diff * diff;
+        let dcos = 2.0 * diff;
+
+        let deq: Vec<f32> = eq
+            .iter()
+            .zip(&ed)
+            .map(|(eq, ed)| dcos * (ed / (nq * nd) - cos * eq / (nq * nq)))
+            .collect();
+        let ded: Vec<f32> = eq
+            .iter()
+            .zip(&ed)
+            .map(|(eq, ed)| dcos * (eq / (nq * nd) - cos * ed / (nd * nd)))
+            .collect();
+
+        let mut dh = vec![0.0f32; self.cfg.hidden];
+        g2.backward(&self.l2, &hq, &deq, Some(&mut dh));
+        tanh_backward(&hq, &mut dh);
+        g1.backward_sparse(&self.l1, fq, &dh);
+
+        let mut dh = vec![0.0f32; self.cfg.hidden];
+        g2.backward(&self.l2, &hd, &ded, Some(&mut dh));
+        tanh_backward(&hd, &mut dh);
+        g1.backward_sparse(&self.l1, fd, &dh);
+
+        loss
+    }
+}
+
+/// The pre-optimization re-ranker trainer: one Adam step per list,
+/// per-item `Vec` allocations for every activation, naive dense kernels,
+/// and the old hardcoded `total_steps / 10` warmup.
+struct BaselineRerank {
+    cfg: RerankConfig,
+    l1: Linear,
+    l2: Linear,
+}
+
+impl BaselineRerank {
+    fn new(cfg: RerankConfig) -> Self {
+        let input = 4 * cfg.embed + EXTRA_FEATURES;
+        let mut rng = seeded_rng(cfg.seed);
+        let l1 = Linear::new(input, cfg.hidden, &mut rng);
+        let l2 = Linear::new(cfg.hidden, 1, &mut rng);
+        BaselineRerank { cfg, l1, l2 }
+    }
+
+    fn train(&mut self, lists: &[RankList]) -> f64 {
+        let usable: Vec<&RankList> = lists.iter().filter(|l| l.has_positive()).collect();
+        if usable.is_empty() {
+            return 0.0;
+        }
+        let adam_cfg = AdamConfig {
+            lr: self.cfg.lr,
+            ..AdamConfig::default()
+        };
+        let total_steps = (self.cfg.epochs * usable.len()) as u64;
+        let mut sched = LrSchedule::new(self.cfg.lr, total_steps / 10);
+        let mut adam1 = AdamState::zeros(&self.l1);
+        let mut adam2 = AdamState::zeros(&self.l2);
+        let mut order: Vec<usize> = (0..usable.len()).collect();
+        let mut rng = seeded_rng(self.cfg.seed ^ 0xabcd);
+        let mut best_loss = f32::INFINITY;
+        let mut stale = 0usize;
+        let mut last = 0.0f64;
+        for _ in 0..self.cfg.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0f64;
+            for &li in &order {
+                let mut g1 = LinearGrad::zeros(&self.l1);
+                let mut g2 = LinearGrad::zeros(&self.l2);
+                epoch_loss += self.train_list(usable[li], &mut g1, &mut g2) as f64;
+                let lr = sched.next_lr();
+                adam1.step(&mut self.l1, &g1, &adam_cfg, lr);
+                adam2.step(&mut self.l2, &g2, &adam_cfg, lr);
+            }
+            let mean = (epoch_loss / usable.len() as f64) as f32;
+            last = mean as f64;
+            if mean < best_loss - 1e-4 {
+                best_loss = mean;
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= self.cfg.plateau_patience {
+                    sched.reduce();
+                    stale = 0;
+                }
+            }
+        }
+        last
+    }
+
+    fn train_list(&self, list: &RankList, g1: &mut LinearGrad, g2: &mut LinearGrad) -> f32 {
+        let mut hiddens: Vec<Vec<f32>> = Vec::new();
+        let mut scores: Vec<f32> = Vec::new();
+        for f in &list.items {
+            let mut h = naive_forward(&self.l1, f);
+            relu_forward(&mut h);
+            let out = naive_forward(&self.l2, &h);
+            scores.push(out[0]);
+            hiddens.push(h);
+        }
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|v| (v - max).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
+        let pos: f32 = list.labels.iter().filter(|&&l| l).count() as f32;
+        let targets: Vec<f32> = list
+            .labels
+            .iter()
+            .map(|&l| if l { 1.0 / pos } else { 0.0 })
+            .collect();
+        let loss: f32 = targets
+            .iter()
+            .zip(&probs)
+            .filter(|(t, _)| **t > 0.0)
+            .map(|(t, p)| -t * p.max(1e-9).ln())
+            .sum();
+        for i in 0..list.items.len() {
+            let dscore = probs[i] - targets[i];
+            if dscore == 0.0 {
+                continue;
+            }
+            let dy = [dscore];
+            let mut dh = vec![0.0f32; self.cfg.hidden];
+            g2.backward(&self.l2, &hiddens[i], &dy, Some(&mut dh));
+            relu_backward(&hiddens[i], &mut dh);
+            g1.backward(&self.l1, &list.items[i], &dh, None);
+        }
+        loss
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// Manual timing pass: median throughput per arm over repeated full
+/// training runs, written to `BENCH_train.json`.
+fn emit_train_json(triples: &[Triple], lists: &[RankList]) {
+    let rounds = 3usize;
+
+    let time_retrieval = |arm: &dyn Fn() -> ()| {
+        let mut secs = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t = Instant::now();
+            arm();
+            secs.push(t.elapsed().as_secs_f64());
+        }
+        let work = (retrieval_config().epochs * triples.len()) as f64;
+        work / median(secs)
+    };
+    let retrieval_baseline_qps = time_retrieval(&|| {
+        let mut m = BaselineRetrieval::new(retrieval_config());
+        std::hint::black_box(m.train(triples));
+    });
+    let retrieval_scratch_qps = time_retrieval(&|| {
+        let mut m = RetrievalModel::new(retrieval_config());
+        std::hint::black_box(m.train_t(triples, 1));
+    });
+    let retrieval_parallel_qps = time_retrieval(&|| {
+        let mut m = RetrievalModel::new(retrieval_config());
+        std::hint::black_box(m.train_t(triples, THREADS));
+    });
+
+    let time_rerank = |arm: &dyn Fn() -> ()| {
+        let mut secs = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let t = Instant::now();
+            arm();
+            secs.push(t.elapsed().as_secs_f64());
+        }
+        let work = (rerank_config().epochs * lists.len()) as f64;
+        work / median(secs)
+    };
+    let rerank_baseline_qps = time_rerank(&|| {
+        let mut m = BaselineRerank::new(rerank_config());
+        std::hint::black_box(m.train(lists));
+    });
+    let rerank_scratch_qps = time_rerank(&|| {
+        let mut m = RerankModel::new(rerank_config());
+        std::hint::black_box(m.train_t(lists, 1));
+    });
+    let rerank_parallel_qps = time_rerank(&|| {
+        let mut m = RerankModel::new(rerank_config());
+        std::hint::black_box(m.train_t(lists, THREADS));
+    });
+
+    let r_ret = retrieval_scratch_qps / retrieval_baseline_qps;
+    let r_rer = rerank_scratch_qps / rerank_baseline_qps;
+    let speedup_scratch_vs_baseline = (r_ret * r_rer).sqrt();
+    let p_ret = retrieval_parallel_qps / retrieval_scratch_qps;
+    let p_rer = rerank_parallel_qps / rerank_scratch_qps;
+    let speedup_parallel_vs_scratch = (p_ret * p_rer).sqrt();
+
+    // The macro-batch fan-out can only buy wall-clock on a multi-core
+    // host; record the core count so single-core CI readings of
+    // `speedup_parallel_vs_scratch` ≈ 1 are interpretable.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = serde_json::json!({
+        "bench": "train_rankers",
+        "triples": triples.len(),
+        "lists": lists.len(),
+        "threads": THREADS,
+        "cores": cores,
+        "rounds": rounds,
+        "retrieval_baseline_qps": retrieval_baseline_qps,
+        "retrieval_scratch_qps": retrieval_scratch_qps,
+        "retrieval_parallel_qps": retrieval_parallel_qps,
+        "rerank_baseline_qps": rerank_baseline_qps,
+        "rerank_scratch_qps": rerank_scratch_qps,
+        "rerank_parallel_qps": rerank_parallel_qps,
+        "speedup_scratch_vs_baseline": speedup_scratch_vs_baseline,
+        "speedup_parallel_vs_scratch": speedup_parallel_vs_scratch,
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_train.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_train] wrote {}", path.display());
+}
+
+fn bench_train(c: &mut Criterion) {
+    let triples = synth_triples(N_TRIPLES, 41);
+    let lists = synth_lists(N_LISTS, rerank_config().embed, 43);
+
+    // Correctness ties before timing: the parallel trainer must be
+    // bit-identical to the single-threaded one for both models.
+    {
+        let mut seq = RetrievalModel::new(retrieval_config());
+        let seq_report = seq.train_t(&triples, 1);
+        let mut par = RetrievalModel::new(retrieval_config());
+        let par_report = par.train_t(&triples, THREADS);
+        assert_eq!(seq.to_bytes(), par.to_bytes(), "retrieval weights diverge");
+        for (a, b) in seq_report.epoch_losses.iter().zip(&par_report.epoch_losses) {
+            assert_eq!(a.to_bits(), b.to_bits(), "retrieval losses diverge");
+        }
+        let mut seq = RerankModel::new(rerank_config());
+        let seq_report = seq.train_t(&lists, 1);
+        let mut par = RerankModel::new(rerank_config());
+        let par_report = par.train_t(&lists, THREADS);
+        assert_eq!(seq.to_bytes(), par.to_bytes(), "rerank weights diverge");
+        for (a, b) in seq_report.epoch_losses.iter().zip(&par_report.epoch_losses) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rerank losses diverge");
+        }
+    }
+
+    let mut group = c.benchmark_group("train_retrieval");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        (retrieval_config().epochs * triples.len()) as u64,
+    ));
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut m = BaselineRetrieval::new(retrieval_config());
+            std::hint::black_box(m.train(&triples));
+        })
+    });
+    group.bench_function("scratch", |b| {
+        b.iter(|| {
+            let mut m = RetrievalModel::new(retrieval_config());
+            std::hint::black_box(m.train_t(&triples, 1));
+        })
+    });
+    group.bench_function("parallel4", |b| {
+        b.iter(|| {
+            let mut m = RetrievalModel::new(retrieval_config());
+            std::hint::black_box(m.train_t(&triples, THREADS));
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("train_rerank");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        (rerank_config().epochs * lists.len()) as u64,
+    ));
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let mut m = BaselineRerank::new(rerank_config());
+            std::hint::black_box(m.train(&lists));
+        })
+    });
+    group.bench_function("scratch", |b| {
+        b.iter(|| {
+            let mut m = RerankModel::new(rerank_config());
+            std::hint::black_box(m.train_t(&lists, 1));
+        })
+    });
+    group.bench_function("parallel4", |b| {
+        b.iter(|| {
+            let mut m = RerankModel::new(rerank_config());
+            std::hint::black_box(m.train_t(&lists, THREADS));
+        })
+    });
+    group.finish();
+
+    emit_train_json(&triples, &lists);
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

@@ -142,12 +142,7 @@ pub fn prepare_cache() -> Option<PrepareCache> {
     PrepareCache::new(dir).ok()
 }
 
-/// Split `threads` between a fan-out over `jobs` databases (outer) and
-/// each job's internal prepare stages (inner).
-fn thread_split(threads: usize, jobs: usize) -> (usize, usize) {
-    let outer = threads.clamp(1, jobs.max(1));
-    (outer, (threads / outer).max(1))
-}
+use gar_core::thread_split;
 
 /// Evaluate a trained GAR over a split, preparing each database under the
 /// paper's protocol (gold-derived samples with gold ruled out). Databases

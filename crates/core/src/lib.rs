@@ -41,7 +41,7 @@ pub use artifact::{
 };
 pub use cache::{PrepareCache, SampleProtocol, DEFAULT_CACHE_CAPACITY};
 pub use metrics::StageTimings;
-pub use par::par_map;
+pub use par::{par_map, par_shard_mut, thread_split};
 pub use postprocess::{extract_nl_values, filter_candidates, instantiate, NlValue};
 pub use prepare::{
     eval_samples_from_gold, pool_covers, prepare, DialectEntry, PoolIndex, PrepareConfig,

@@ -19,6 +19,11 @@
 //! | `prep.index_us` | histogram | offline index construction per prepared db |
 //! | `prep.cache_hit` | counter | prepared dbs served from the [`PrepareCache`](crate::PrepareCache) |
 //! | `prep.cache_miss` | counter | cache lookups that fell back to a cold prepare |
+//! | `train.retrieval_us` | histogram | whole retrieval-trainer wall time per `train_t` call |
+//! | `train.rerank_us` | histogram | whole re-ranker-trainer wall time per `train_t` call |
+//! | `train.grad_reduce_us` | histogram | fused block-gradient reduce + Adam step, per macro-batch |
+//! | `train.retrieval.epoch_loss` | series | mean retrieval loss per epoch |
+//! | `train.rerank.epoch_loss` | series | mean re-ranker loss per epoch |
 //! | `candidates.retrieved` | counter | hits returned by stage 1 |
 //! | `candidates.filtered` | counter | candidates dropped by the value filter |
 //! | `candidates.demoted_unfilled` | counter | ranked candidates demoted for unfilled slots |

@@ -1,68 +1,9 @@
-//! Order-preserving bounded parallel map over owned work items.
+//! Re-export of the shared parallel substrate ([`gar_par`]).
 //!
-//! The offline-preparation pipeline fans out twice: across databases (one
-//! prepare job per database) and within a database (chunk-parallel dialect
-//! rendering). Both reuse this helper: items are split into at most
-//! `threads` contiguous chunks of near-equal size and mapped on
-//! [`std::thread::scope`] workers, with each result written back into the
-//! slot of its input — so the output order is exactly the input order and
-//! the result is identical to a sequential `map` whenever `f` is a pure
-//! function of its item, regardless of the thread count.
+//! The helpers originally lived here; they were hoisted into the
+//! dependency-free `gar-par` micro-crate so `gar-ltr`'s data-parallel
+//! trainers can use the same order-preserving fan-out without a dependency
+//! cycle through this crate. Existing `gar_core::par_map` /
+//! `gar_core::par::par_map` callers keep working unchanged.
 
-/// Map `f` over `items` on up to `threads` scoped worker threads,
-/// preserving input order. `threads <= 1` (or a single item) runs inline
-/// with no thread spawned. Panics in `f` propagate to the caller.
-pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    let threads = threads.clamp(1, n.max(1));
-    if threads == 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut rest_out = slots.as_mut_slice();
-        let mut rest_in = items.as_mut_slice();
-        let base = n / threads;
-        let extra = n % threads;
-        for w in 0..threads {
-            let size = base + usize::from(w < extra);
-            let (out, tail_out) = rest_out.split_at_mut(size);
-            let (input, tail_in) = rest_in.split_at_mut(size);
-            rest_out = tail_out;
-            rest_in = tail_in;
-            scope.spawn(move || {
-                for (slot, item) in out.iter_mut().zip(input.iter_mut()) {
-                    *slot = Some(f(item.take().expect("par_map item taken twice")));
-                }
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|r| r.expect("par_map worker skipped a slot"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order_for_any_thread_count() {
-        let items: Vec<usize> = (0..37).collect();
-        let want: Vec<usize> = items.iter().map(|x| x * x).collect();
-        for threads in [0usize, 1, 2, 5, 64] {
-            let got = par_map(items.clone(), threads, |x| x * x);
-            assert_eq!(got, want, "threads={threads}");
-        }
-        assert!(par_map(Vec::<usize>::new(), 4, |x: usize| x).is_empty());
-        assert_eq!(par_map(vec![9usize], 8, |x| x + 1), vec![10]);
-    }
-}
+pub use gar_par::{par_map, par_shard_mut, partition, thread_split};

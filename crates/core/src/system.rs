@@ -7,8 +7,8 @@ use crate::postprocess::{extract_nl_values, filter_candidates, instantiate};
 use crate::prepare::{eval_samples_from_gold, prepare, DialectEntry, PoolIndex, PrepareConfig};
 use gar_benchmarks::{Example, GeneratedDb};
 use gar_ltr::{
-    pair_features, similarity_score, RankList, RerankConfig, RerankModel, RetrievalConfig,
-    RetrievalModel, ScoreScratch, Triple,
+    pair_features, pair_features_into, similarity_score, RankList, RerankConfig, RerankModel,
+    RetrievalConfig, RetrievalModel, ScoreScratch, Triple,
 };
 use gar_obs::StageTimer;
 use gar_sql::{exact_match, mask_values, Query};
@@ -159,10 +159,10 @@ impl GarSystem {
                 Some((*db_name, db, samples))
             })
             .collect();
-        let outer = config.threads.clamp(1, jobs.len().max(1));
+        let (outer, inner) = crate::par::thread_split(config.threads, jobs.len());
         let prep_cfg = PrepareConfig {
             gen_size: config.train_gen_size,
-            threads: (config.threads / outer).max(1),
+            threads: inner,
             ..config.prepare.clone()
         };
         let prepared: BTreeMap<&str, (Vec<DialectEntry>, PoolIndex)> =
@@ -208,7 +208,7 @@ impl GarSystem {
         }
         report.retrieval_triples = triples.len();
         let mut retrieval = RetrievalModel::new(config.retrieval.clone());
-        report.retrieval_losses = retrieval.train(&triples).epoch_losses;
+        report.retrieval_losses = retrieval.train_t(&triples, config.threads).epoch_losses;
 
         // Re-ranker lists: retrieve top candidates per training query with
         // the *trained* retrieval model (Section III-C2).
@@ -217,7 +217,7 @@ impl GarSystem {
             let Some((entries, pool)) = prepared.get(db_name) else {
                 continue;
             };
-            let texts: Vec<String> = entries.iter().map(|e| e.dialect.clone()).collect();
+            let texts: Vec<&str> = entries.iter().map(|e| e.dialect.as_str()).collect();
             let embeds = retrieval.encode_batch(&texts, config.threads);
             let mut index = FlatIndex::new(retrieval.embed_dim());
             let ids: Vec<usize> = (0..embeds.len()).collect();
@@ -259,7 +259,7 @@ impl GarSystem {
             embed: config.retrieval.embed,
             ..config.rerank.clone()
         });
-        report.rerank_losses = rerank.train(&lists).epoch_losses;
+        report.rerank_losses = rerank.train_t(&lists, config.threads).epoch_losses;
 
         (
             GarSystem {
@@ -332,7 +332,7 @@ impl GarSystem {
             threads,
             ..self.config.prepare.clone()
         });
-        let texts: Vec<String> = entries.iter().map(|e| e.dialect.clone()).collect();
+        let texts: Vec<&str> = entries.iter().map(|e| e.dialect.as_str()).collect();
         let encode_timer = StageTimer::start(&m.prep_encode);
         let embeds = self.retrieval.encode_batch(&texts, threads);
         encode_timer.stop();
@@ -485,17 +485,21 @@ impl GarSystem {
         // Stage 3: re-rank (or keep retrieval order).
         let rerank_timer = StageTimer::start(&m.rerank);
         let scored: Vec<(usize, f32)> = if self.config.use_rerank {
+            // Flat scratch-backed scoring: one reused feature buffer + one
+            // forward scratch across all candidates of the list.
             let mut scratch = ScoreScratch::default();
+            let mut feat: Vec<f32> = Vec::new();
             filtered
                 .iter()
                 .map(|&id| {
-                    let f = pair_features(
+                    pair_features_into(
                         q_emb,
                         &prepared.embeds[id],
                         nl,
                         &prepared.entries[id].dialect,
+                        &mut feat,
                     );
-                    (id, self.rerank.score_with(&f, &mut scratch))
+                    (id, self.rerank.score_with(&feat, &mut scratch))
                 })
                 .collect()
         } else {

@@ -28,8 +28,13 @@ pub mod retrieval;
 pub mod similarity;
 
 pub use features::{hash_features, overlap_features, tokenize, FeatureConfig, SparseVec};
-pub use rerank::{pair_features, RankList, RerankConfig, RerankModel, RerankReport, ScoreScratch};
-pub use retrieval::{EncodeScratch, RetrievalConfig, RetrievalModel, TrainReport, Triple};
+pub use rerank::{
+    pair_features, pair_features_into, ListScratch, RankList, RerankConfig, RerankModel,
+    RerankReport, ScoreScratch,
+};
+pub use retrieval::{
+    EncodeScratch, RetrievalConfig, RetrievalModel, TrainReport, TrainScratch, Triple,
+};
 pub use similarity::{similarity_score, similarity_score_with, Punishments};
 
 #[cfg(test)]

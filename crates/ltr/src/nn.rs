@@ -11,9 +11,14 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::features::SparseVec;
+use gar_vecindex::dot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Below this weight count the fused Adam reduce runs inline: the loop is
+/// memory-bound and too short to amortize a scoped-thread spawn.
+const PAR_ADAM_MIN: usize = 1 << 14;
 
 /// A dense linear layer `y = W x + b` with `W: out × in` (row-major).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,22 +48,33 @@ impl Linear {
         }
     }
 
-    /// Dense forward pass.
+    /// Dense forward pass. The inner dot is the blocked 8-lane kernel from
+    /// `gar-vecindex` (independent accumulator lanes break the sequential
+    /// FP dependency chain so the loop vectorizes).
     pub fn forward(&self, x: &[f32], y: &mut Vec<f32>) {
         debug_assert_eq!(x.len(), self.input);
         y.clear();
         y.reserve(self.output);
         for o in 0..self.output {
             let row = &self.w[o * self.input..(o + 1) * self.input];
-            let mut s = self.b[o];
-            for i in 0..self.input {
-                s += row[i] * x[i];
-            }
-            y.push(s);
+            y.push(self.b[o] + dot(row, x));
         }
     }
 
-    /// Sparse forward pass (first layer over hashed features).
+    /// Dense forward pass into a pre-sized slice (for flat, per-list
+    /// scratch buffers that hold many activations back to back).
+    pub fn forward_slice(&self, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.input);
+        debug_assert_eq!(y.len(), self.output);
+        for o in 0..self.output {
+            let row = &self.w[o * self.input..(o + 1) * self.input];
+            y[o] = self.b[o] + dot(row, x);
+        }
+    }
+
+    /// Sparse forward pass over the row-major layout. Strided by `input`
+    /// per nonzero — kept as the reference kernel (and for gradient
+    /// checks); the hot path uses [`SparseLinear`]'s column-major layout.
     pub fn forward_sparse(&self, x: &SparseVec, y: &mut Vec<f32>) {
         y.clear();
         y.extend_from_slice(&self.b);
@@ -68,6 +84,90 @@ impl Linear {
             for o in 0..self.output {
                 y[o] += self.w[o * self.input + i] * v;
             }
+        }
+    }
+}
+
+/// A linear layer specialized for sparse inputs, stored *input-major*
+/// (column-major relative to [`Linear`]): `w[i * output + o]`. Each
+/// nonzero input then touches one contiguous `output`-length column —
+/// a vectorizable axpy — instead of `output` cache lines strided by
+/// `input`. The per-output accumulation order over nonzeros is identical
+/// to the row-major kernel, so outputs are bit-identical to
+/// [`Linear::forward_sparse`] on the transposed weights.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseLinear {
+    /// Input dimension (hashed feature space).
+    pub input: usize,
+    /// Output dimension.
+    pub output: usize,
+    /// Weights, input-major (`input` columns of `output`).
+    pub w: Vec<f32>,
+    /// Bias.
+    pub b: Vec<f32>,
+}
+
+impl SparseLinear {
+    /// Xavier-initialized layer. Draws `input * output` samples from `rng`
+    /// exactly like [`Linear::new`] (same stream length, different layout).
+    pub fn new(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0f32 / (input + output) as f32).sqrt();
+        let w = (0..input * output)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        SparseLinear {
+            input,
+            output,
+            w,
+            b: vec![0.0; output],
+        }
+    }
+
+    /// Sparse forward pass: one contiguous axpy per nonzero.
+    pub fn forward_sparse(&self, x: &SparseVec, y: &mut Vec<f32>) {
+        y.clear();
+        y.extend_from_slice(&self.b);
+        for (&idx, &v) in x.indices.iter().zip(&x.values) {
+            let i = idx as usize;
+            debug_assert!(i < self.input);
+            let col = &self.w[i * self.output..(i + 1) * self.output];
+            for (yo, &w) in y.iter_mut().zip(col) {
+                *yo += w * v;
+            }
+        }
+    }
+
+    /// Transpose into the row-major [`Linear`] layout (for the stable
+    /// on-disk format). Exact: pure element moves, no arithmetic.
+    pub fn to_row_major(&self) -> Linear {
+        let mut w = vec![0.0f32; self.w.len()];
+        for i in 0..self.input {
+            for o in 0..self.output {
+                w[o * self.input + i] = self.w[i * self.output + o];
+            }
+        }
+        Linear {
+            input: self.input,
+            output: self.output,
+            w,
+            b: self.b.clone(),
+        }
+    }
+
+    /// Build from a row-major [`Linear`] (inverse of
+    /// [`SparseLinear::to_row_major`]; exact round-trip).
+    pub fn from_row_major(layer: &Linear) -> Self {
+        let mut w = vec![0.0f32; layer.w.len()];
+        for o in 0..layer.output {
+            for i in 0..layer.input {
+                w[i * layer.output + o] = layer.w[o * layer.input + i];
+            }
+        }
+        SparseLinear {
+            input: layer.input,
+            output: layer.output,
+            w,
+            b: layer.b.clone(),
         }
     }
 }
@@ -84,9 +184,15 @@ pub struct LinearGrad {
 impl LinearGrad {
     /// Zeroed gradients matching a layer's shape.
     pub fn zeros(layer: &Linear) -> Self {
+        LinearGrad::with_dims(layer.w.len(), layer.b.len())
+    }
+
+    /// Zeroed gradients for raw weight/bias lengths (shared by [`Linear`]
+    /// and [`SparseLinear`]; the gradient mirrors the layer's layout).
+    pub fn with_dims(wlen: usize, blen: usize) -> Self {
         LinearGrad {
-            w: vec![0.0; layer.w.len()],
-            b: vec![0.0; layer.b.len()],
+            w: vec![0.0; wlen],
+            b: vec![0.0; blen],
         }
     }
 
@@ -148,6 +254,57 @@ impl LinearGrad {
             }
         }
     }
+
+    /// Accumulate gradients for a sparse input against a column-major
+    /// [`SparseLinear`]: one contiguous axpy per nonzero (the gradient
+    /// buffer mirrors the layer's input-major layout).
+    pub fn backward_sparse_col(&mut self, layer: &SparseLinear, x: &SparseVec, dy: &[f32]) {
+        debug_assert_eq!(dy.len(), layer.output);
+        for (gb, &g) in self.b.iter_mut().zip(dy) {
+            *gb += g;
+        }
+        for (&idx, &v) in x.indices.iter().zip(&x.values) {
+            let i = idx as usize;
+            let col = &mut self.w[i * layer.output..(i + 1) * layer.output];
+            for (gw, &g) in col.iter_mut().zip(dy) {
+                *gw += g * v;
+            }
+        }
+    }
+}
+
+/// One fixed block of a macro-batch: partial gradients for a two-layer
+/// model plus the block's summed loss. Trainers partition each macro-batch
+/// into blocks of a *constant* size (independent of the thread count),
+/// accumulate each block sequentially in item order, and reduce the block
+/// partials in block-index order — so the gradient sum is computed by the
+/// exact same floating-point tree for any thread count.
+#[derive(Debug, Clone)]
+pub struct GradBlock {
+    /// Partial gradient for the first layer.
+    pub g1: LinearGrad,
+    /// Partial gradient for the second layer.
+    pub g2: LinearGrad,
+    /// Sum of the block's per-item losses.
+    pub loss: f64,
+}
+
+impl GradBlock {
+    /// Zeroed block for the given layer dimensions.
+    pub fn new(w1: usize, b1: usize, w2: usize, b2: usize) -> Self {
+        GradBlock {
+            g1: LinearGrad::with_dims(w1, b1),
+            g2: LinearGrad::with_dims(w2, b2),
+            loss: 0.0,
+        }
+    }
+
+    /// Reset gradients and loss to zero (buffers are reused across steps).
+    pub fn reset(&mut self) {
+        self.g1.zero();
+        self.g2.zero();
+        self.loss = 0.0;
+    }
 }
 
 /// Adam state for one layer.
@@ -187,11 +344,17 @@ impl Default for AdamConfig {
 impl AdamState {
     /// Zeroed state for a layer.
     pub fn zeros(layer: &Linear) -> Self {
+        AdamState::with_dims(layer.w.len(), layer.b.len())
+    }
+
+    /// Zeroed state for raw weight/bias lengths (shared by [`Linear`] and
+    /// [`SparseLinear`]).
+    pub fn with_dims(wlen: usize, blen: usize) -> Self {
         AdamState {
-            m_w: vec![0.0; layer.w.len()],
-            v_w: vec![0.0; layer.w.len()],
-            m_b: vec![0.0; layer.b.len()],
-            v_b: vec![0.0; layer.b.len()],
+            m_w: vec![0.0; wlen],
+            v_w: vec![0.0; wlen],
+            m_b: vec![0.0; blen],
+            v_b: vec![0.0; blen],
             t: 0,
         }
     }
@@ -215,6 +378,139 @@ impl AdamState {
             let vhat = self.v_b[i] / bc2;
             layer.b[i] -= lr * mhat / (vhat.sqrt() + cfg.eps);
         }
+    }
+
+    /// Fused block-gradient reduce + Adam step: for every weight, sum the
+    /// block partials *in block-index order*, scale, and apply the Adam
+    /// update — one pass over the parameters instead of separate
+    /// zero / accumulate / scale / step sweeps with a full-size staging
+    /// gradient.
+    ///
+    /// Determinism contract: the per-weight reduce order is fixed by the
+    /// block order, and the update is elementwise (no cross-weight
+    /// reduction), so sharding the weight range across `threads` workers
+    /// yields bit-identical parameters for any thread count.
+    ///
+    /// `pick` selects this layer's partial out of each [`GradBlock`]
+    /// (`|b| &b.g1` or `|b| &b.g2`); `w`/`b` are the layer's parameter
+    /// slices (row- or column-major — the update is layout-agnostic as
+    /// long as the gradients mirror the layout).
+    #[allow(clippy::too_many_arguments)]
+    pub fn step_blocks<F>(
+        &mut self,
+        w: &mut [f32],
+        b: &mut [f32],
+        blocks: &[GradBlock],
+        pick: F,
+        scale: f32,
+        cfg: &AdamConfig,
+        lr: f32,
+        threads: usize,
+    ) where
+        F: Fn(&GradBlock) -> &LinearGrad + Sync,
+    {
+        debug_assert_eq!(w.len(), self.m_w.len());
+        debug_assert_eq!(b.len(), self.m_b.len());
+        debug_assert!(blocks.iter().all(|blk| pick(blk).w.len() == w.len()));
+        self.t += 1;
+        let bc1 = 1.0 - cfg.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - cfg.beta2.powi(self.t as i32);
+        let nthreads = if w.len() >= PAR_ADAM_MIN {
+            threads.clamp(1, w.len())
+        } else {
+            1
+        };
+        if nthreads <= 1 {
+            let gs: Vec<&[f32]> = blocks.iter().map(|blk| pick(blk).w.as_slice()).collect();
+            adam_fused_chunk(&mut self.m_w, &mut self.v_w, w, &gs, scale, cfg, lr, bc1, bc2);
+        } else {
+            let pick = &pick;
+            std::thread::scope(|scope| {
+                let mut rest_m = self.m_w.as_mut_slice();
+                let mut rest_v = self.v_w.as_mut_slice();
+                let mut rest_w = w;
+                for range in gar_par::partition(rest_w.len(), nthreads) {
+                    let (m, tm) = rest_m.split_at_mut(range.len());
+                    let (v, tv) = rest_v.split_at_mut(range.len());
+                    let (wc, tw) = rest_w.split_at_mut(range.len());
+                    rest_m = tm;
+                    rest_v = tv;
+                    rest_w = tw;
+                    scope.spawn(move || {
+                        let gs: Vec<&[f32]> = blocks
+                            .iter()
+                            .map(|blk| &pick(blk).w[range.start..range.end])
+                            .collect();
+                        adam_fused_chunk(m, v, wc, &gs, scale, cfg, lr, bc1, bc2);
+                    });
+                }
+            });
+        }
+        // Bias: a few dozen entries — always inline, same fixed order.
+        for i in 0..b.len() {
+            let mut g = 0.0f32;
+            for blk in blocks {
+                g += pick(blk).b[i];
+            }
+            g *= scale;
+            self.m_b[i] = cfg.beta1 * self.m_b[i] + (1.0 - cfg.beta1) * g;
+            self.v_b[i] = cfg.beta2 * self.v_b[i] + (1.0 - cfg.beta2) * g * g;
+            let mhat = self.m_b[i] / bc1;
+            let vhat = self.v_b[i] / bc2;
+            b[i] -= lr * mhat / (vhat.sqrt() + cfg.eps);
+        }
+    }
+}
+
+/// Reduce+Adam tile width. One stack-resident accumulator tile turns both
+/// stages into fixed-trip elementwise loops the compiler can vectorize; a
+/// straight per-weight loop over a slice-of-slices stays scalar (gathered
+/// loads, bounds checks, serial sqrt/div) and measures ~6× slower.
+const ADAM_TILE: usize = 128;
+
+/// One fused reduce+Adam pass over a contiguous weight range: `gs` holds
+/// each block's gradient slice for the same range, summed in slice order.
+///
+/// Tiling does not change the math: each weight's partial sum still starts
+/// at `0.0` and adds the blocks in index order, then the elementwise Adam
+/// update runs per weight — the same operation order as the scalar loop,
+/// so outputs are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn adam_fused_chunk(
+    m: &mut [f32],
+    v: &mut [f32],
+    w: &mut [f32],
+    gs: &[&[f32]],
+    scale: f32,
+    cfg: &AdamConfig,
+    lr: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    let mut acc = [0.0f32; ADAM_TILE];
+    let n = w.len();
+    let mut start = 0;
+    while start < n {
+        let len = ADAM_TILE.min(n - start);
+        let acc = &mut acc[..len];
+        acc.fill(0.0);
+        for gw in gs {
+            for (a, g) in acc.iter_mut().zip(&gw[start..start + len]) {
+                *a += *g;
+            }
+        }
+        let mt = &mut m[start..start + len];
+        let vt = &mut v[start..start + len];
+        let wt = &mut w[start..start + len];
+        for i in 0..len {
+            let g = acc[i] * scale;
+            mt[i] = cfg.beta1 * mt[i] + (1.0 - cfg.beta1) * g;
+            vt[i] = cfg.beta2 * vt[i] + (1.0 - cfg.beta2) * g * g;
+            let mhat = mt[i] / bc1;
+            let vhat = vt[i] / bc2;
+            wt[i] -= lr * mhat / (vhat.sqrt() + cfg.eps);
+        }
+        start += len;
     }
 }
 
@@ -325,6 +621,152 @@ mod tests {
         layer.forward_sparse(&sparse, &mut y2);
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sparse_linear_matches_row_major_bitwise() {
+        let mut rng = seeded_rng(7);
+        let layer = Linear::new(256, 24, &mut rng);
+        let col = SparseLinear::from_row_major(&layer);
+        // Exact transpose round-trip.
+        let back = col.to_row_major();
+        assert_eq!(layer.w, back.w);
+        assert_eq!(layer.b, back.b);
+        let cfg = FeatureConfig {
+            dim: 256,
+            ..FeatureConfig::default()
+        };
+        for text in ["find the name of employee", "count rows where age > 3"] {
+            let sparse = hash_features(text, &cfg);
+            let mut y_row = Vec::new();
+            let mut y_col = Vec::new();
+            layer.forward_sparse(&sparse, &mut y_row);
+            col.forward_sparse(&sparse, &mut y_col);
+            assert_eq!(y_row.len(), y_col.len());
+            for (a, b) in y_row.iter().zip(&y_col) {
+                // Same per-output accumulation order over nonzeros →
+                // bit-identical, not just close.
+                assert_eq!(a.to_bits(), b.to_bits(), "{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backward_col_matches_row_major() {
+        let mut rng = seeded_rng(8);
+        let layer = Linear::new(128, 16, &mut rng);
+        let col = SparseLinear::from_row_major(&layer);
+        let cfg = FeatureConfig {
+            dim: 128,
+            ..FeatureConfig::default()
+        };
+        let x = hash_features("select the average salary by department", &cfg);
+        let dy: Vec<f32> = (0..16).map(|i| 0.25 * (i as f32 - 7.5)).collect();
+        let mut g_row = LinearGrad::zeros(&layer);
+        g_row.backward_sparse(&layer, &x, &dy);
+        let mut g_col = LinearGrad::with_dims(col.w.len(), col.b.len());
+        g_col.backward_sparse_col(&col, &x, &dy);
+        assert_eq!(g_row.b, g_col.b);
+        for o in 0..16 {
+            for i in 0..128 {
+                let a = g_row.w[o * 128 + i];
+                let b = g_col.w[i * 16 + o];
+                assert_eq!(a.to_bits(), b.to_bits(), "o={o} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_blocks_equals_sequential_accumulation() {
+        // Gradient-accumulation equivalence: reducing block partials in
+        // fixed order + one fused Adam step must equal accumulating the
+        // whole macro-batch into a single gradient and calling the plain
+        // sequential `step`. Integer-valued gradients make every partial
+        // sum exact, so the comparison is bitwise.
+        let mut rng = seeded_rng(9);
+        let make = |rng: &mut StdRng| Linear::new(40, 6, rng);
+        let mut seq_layer = make(&mut rng);
+        let fused_layer = seq_layer.clone();
+        let cfg = AdamConfig::default();
+
+        let mut blocks: Vec<GradBlock> = (0..3)
+            .map(|_| GradBlock::new(seq_layer.w.len(), seq_layer.b.len(), 1, 1))
+            .collect();
+        let mut rng2 = seeded_rng(10);
+        for blk in &mut blocks {
+            for g in blk.g1.w.iter_mut() {
+                *g = rng2.random_range(-8i32..8) as f32;
+            }
+            for g in blk.g1.b.iter_mut() {
+                *g = rng2.random_range(-8i32..8) as f32;
+            }
+        }
+        // Sequential arm: flat accumulation in the same item order.
+        let mut total = LinearGrad::zeros(&seq_layer);
+        for blk in &blocks {
+            for (t, g) in total.w.iter_mut().zip(&blk.g1.w) {
+                *t += g;
+            }
+            for (t, g) in total.b.iter_mut().zip(&blk.g1.b) {
+                *t += g;
+            }
+        }
+        let scale = 0.25f32;
+        for v in total.w.iter_mut() {
+            *v *= scale;
+        }
+        for v in total.b.iter_mut() {
+            *v *= scale;
+        }
+        let mut seq_adam = AdamState::zeros(&seq_layer);
+        seq_adam.step(&mut seq_layer, &total, &cfg, cfg.lr);
+
+        for threads in [1usize, 2, 4, 8] {
+            let mut layer = fused_layer.clone();
+            let mut adam = AdamState::zeros(&layer);
+            let (mut w, mut b) = (layer.w.clone(), layer.b.clone());
+            adam.step_blocks(&mut w, &mut b, &blocks, |blk| &blk.g1, scale, &cfg, cfg.lr, threads);
+            layer.w = w;
+            layer.b = b;
+            for (a, x) in seq_layer.w.iter().zip(&layer.w) {
+                assert_eq!(a.to_bits(), x.to_bits(), "threads={threads}");
+            }
+            for (a, x) in seq_layer.b.iter().zip(&layer.b) {
+                assert_eq!(a.to_bits(), x.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_blocks_is_bit_identical_across_thread_counts_at_scale() {
+        // Above PAR_ADAM_MIN the weight range is sharded across workers;
+        // the update is elementwise so any partition must agree bitwise.
+        let wlen = PAR_ADAM_MIN + 37;
+        let mut rng = seeded_rng(11);
+        let base_w: Vec<f32> = (0..wlen).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let base_b: Vec<f32> = (0..4).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let mut blocks: Vec<GradBlock> = (0..2).map(|_| GradBlock::new(wlen, 4, 1, 1)).collect();
+        for blk in &mut blocks {
+            for g in blk.g1.w.iter_mut() {
+                *g = rng.random_range(-1.0f32..1.0);
+            }
+        }
+        let cfg = AdamConfig::default();
+        let run = |threads: usize| {
+            let mut w = base_w.clone();
+            let mut b = base_b.clone();
+            let mut adam = AdamState::with_dims(wlen, 4);
+            for _ in 0..3 {
+                adam.step_blocks(&mut w, &mut b, &blocks, |blk| &blk.g1, 0.5, &cfg, 1e-3, threads);
+            }
+            (w, b)
+        };
+        let (w1, b1) = run(1);
+        for threads in [2usize, 4, 8] {
+            let (w, b) = run(threads);
+            assert!(w1.iter().zip(&w).all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert!(b1.iter().zip(&b).all(|(a, b)| a.to_bits() == b.to_bits()));
         }
     }
 

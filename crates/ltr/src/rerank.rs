@@ -12,10 +12,17 @@
 
 use crate::features::overlap_features;
 use crate::nn::{
-    relu_backward, relu_forward, seeded_rng, AdamConfig, AdamState, Linear, LinearGrad,
-    LrSchedule,
+    relu_backward, relu_forward, seeded_rng, AdamConfig, AdamState, GradBlock, Linear,
+    LinearGrad, LrSchedule,
 };
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Lists per gradient block — a constant independent of the thread count,
+/// so the gradient summation tree (sequential within a block, block-index
+/// order across blocks) is fixed for any parallelism. See
+/// [`GradBlock`].
+const LIST_BLOCK: usize = 2;
 
 /// Re-ranker hyper-parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -28,6 +35,13 @@ pub struct RerankConfig {
     pub epochs: usize,
     /// Base learning rate.
     pub lr: f32,
+    /// Warmup fraction of total optimizer steps (paper: 10%; previously
+    /// hardcoded as `total_steps / 10`, inconsistent with the retrieval
+    /// trainer's knob).
+    pub warmup_frac: f32,
+    /// Lists per macro-batch: gradients are averaged over this many lists
+    /// per Adam step (the old trainer stepped once per list).
+    pub macro_batch: usize,
     /// Reduce-on-plateau patience, in epochs (paper: "reduces the learning
     /// rate by a factor of 0.5 once learning stagnates").
     pub plateau_patience: usize,
@@ -42,6 +56,8 @@ impl Default for RerankConfig {
             hidden: 64,
             epochs: 8,
             lr: 2e-3,
+            warmup_frac: 0.1,
+            macro_batch: 8,
             plateau_patience: 2,
             seed: 23,
         }
@@ -59,8 +75,24 @@ pub fn pair_features(
     q_text: &str,
     d_text: &str,
 ) -> Vec<f32> {
-    debug_assert_eq!(q_emb.len(), d_emb.len());
     let mut f = Vec::with_capacity(4 * q_emb.len() + EXTRA_FEATURES);
+    pair_features_into(q_emb, d_emb, q_text, d_text, &mut f);
+    f
+}
+
+/// [`pair_features`] into a caller-held buffer — the allocation-free path
+/// for scoring many candidates against one query (the buffer is cleared
+/// and refilled; capacity is reused once warm).
+pub fn pair_features_into(
+    q_emb: &[f32],
+    d_emb: &[f32],
+    q_text: &str,
+    d_text: &str,
+    f: &mut Vec<f32>,
+) {
+    debug_assert_eq!(q_emb.len(), d_emb.len());
+    f.clear();
+    f.reserve(4 * q_emb.len() + EXTRA_FEATURES);
     f.extend_from_slice(q_emb);
     f.extend_from_slice(d_emb);
     f.extend(q_emb.iter().zip(d_emb).map(|(a, b)| a * b));
@@ -74,7 +106,6 @@ pub fn pair_features(
     } else {
         0.0
     });
-    f
 }
 
 /// One training list: the k candidate pair-feature vectors for a single NL
@@ -111,6 +142,20 @@ pub struct RerankReport {
 pub struct ScoreScratch {
     h: Vec<f32>,
     out: Vec<f32>,
+}
+
+/// Reusable forward+backward buffers for one training worker: a flat
+/// `n × hidden` activation matrix plus the softmax/target/backprop
+/// vectors. Warm after the first list: `backward_list` then runs without
+/// allocating.
+#[derive(Debug, Default)]
+pub struct ListScratch {
+    /// Flat row-major activations, one `hidden`-row per candidate.
+    hiddens: Vec<f32>,
+    scores: Vec<f32>,
+    probs: Vec<f32>,
+    targets: Vec<f32>,
+    dh: Vec<f32>,
 }
 
 /// The pair-interaction listwise re-ranker.
@@ -153,36 +198,78 @@ impl RerankModel {
 
     /// Score a whole candidate list with one reused scratch.
     pub fn score_list(&self, items: &[Vec<f32>]) -> Vec<f32> {
-        let mut scratch = ScoreScratch::default();
-        items
-            .iter()
-            .map(|f| self.score_with(f, &mut scratch))
-            .collect()
+        let mut out = Vec::with_capacity(items.len());
+        self.score_list_with(items, &mut ScoreScratch::default(), &mut out);
+        out
+    }
+
+    /// [`RerankModel::score_list`] into caller-held buffers — the flat
+    /// scratch-backed path the re-rank stage uses: no per-call `Vec`
+    /// allocations once `scratch` and `out` are warm.
+    pub fn score_list_with(
+        &self,
+        items: &[Vec<f32>],
+        scratch: &mut ScoreScratch,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        out.extend(items.iter().map(|f| self.score_with(f, scratch)));
     }
 
     /// Train with the ListNet listwise objective over query-grouped lists.
+    /// Sequential convenience wrapper around [`RerankModel::train_t`].
     pub fn train(&mut self, lists: &[RankList]) -> RerankReport {
+        self.train_t(lists, 1)
+    }
+
+    /// Train on up to `threads` worker threads. Each macro-batch of
+    /// [`RerankConfig::macro_batch`] lists is split into fixed
+    /// [`LIST_BLOCK`]-sized gradient blocks fanned over workers (one
+    /// reused [`ListScratch`] per worker) and reduced in block-index
+    /// order, so trained weights are bit-identical for any thread count.
+    ///
+    /// Macro-batch semantics: gradients are *averaged* over the lists of a
+    /// macro-batch and applied in one Adam step, where the old trainer
+    /// stepped once per list. Warmup counts macro-batch steps
+    /// (`epochs × ⌈lists / macro_batch⌉`).
+    pub fn train_t(&mut self, lists: &[RankList], threads: usize) -> RerankReport {
         let mut report = RerankReport::default();
         let usable: Vec<&RankList> = lists.iter().filter(|l| l.has_positive()).collect();
         if usable.is_empty() {
             return report;
         }
+        let train_start = Instant::now();
         let cfg = AdamConfig {
             lr: self.config.lr,
             ..AdamConfig::default()
         };
-        let total_steps = (self.config.epochs * usable.len()) as u64;
-        let mut sched = LrSchedule::new(self.config.lr, total_steps / 10);
+        let macro_batch = self.config.macro_batch.max(1);
+        let total_steps = (self.config.epochs * usable.len().div_ceil(macro_batch)) as u64;
+        let mut sched = LrSchedule::new(
+            self.config.lr,
+            ((total_steps as f32) * self.config.warmup_frac) as u64,
+        );
         let mut adam1 = AdamState::zeros(&self.l1);
         let mut adam2 = AdamState::zeros(&self.l2);
+        // Persistent block buffers, reused across every step of every epoch.
+        let mut blocks: Vec<GradBlock> = (0..macro_batch.div_ceil(LIST_BLOCK))
+            .map(|_| {
+                GradBlock::new(
+                    self.l1.w.len(),
+                    self.l1.b.len(),
+                    self.l2.w.len(),
+                    self.l2.b.len(),
+                )
+            })
+            .collect();
         let mut order: Vec<usize> = (0..usable.len()).collect();
         let mut rng = seeded_rng(self.config.seed ^ 0xabcd);
         let mut best_loss = f32::INFINITY;
         let mut stale = 0usize;
-        let loss_series = gar_obs::global().series("train.rerank.epoch_loss");
-        gar_obs::global()
-            .gauge("train.rerank.lists")
-            .set(usable.len() as u64);
+        let obs = gar_obs::global();
+        let loss_series = obs.series("train.rerank.epoch_loss");
+        let reduce_hist = obs.histogram("train.grad_reduce_us");
+        obs.gauge("train.rerank.lists").set(usable.len() as u64);
 
         for _epoch in 0..self.config.epochs {
             for i in (1..order.len()).rev() {
@@ -190,10 +277,52 @@ impl RerankModel {
                 order.swap(i, j);
             }
             let mut epoch_loss = 0.0f64;
-            for &li in &order {
-                let list = usable[li];
+            for chunk in order.chunks(macro_batch) {
+                let nb = chunk.len().div_ceil(LIST_BLOCK);
+                let model = &*self;
+                let usable = &usable;
+                gar_par::par_shard_mut(
+                    &mut blocks[..nb],
+                    threads,
+                    ListScratch::default,
+                    |scratch, j, blk| {
+                        blk.reset();
+                        let lo = j * LIST_BLOCK;
+                        let hi = (lo + LIST_BLOCK).min(chunk.len());
+                        for &li in &chunk[lo..hi] {
+                            let loss =
+                                model.backward_list(usable[li], scratch, &mut blk.g1, &mut blk.g2);
+                            blk.loss += loss as f64;
+                        }
+                    },
+                );
+                for blk in &blocks[..nb] {
+                    epoch_loss += blk.loss;
+                }
                 let lr = sched.next_lr();
-                epoch_loss += self.train_list(list, &cfg, lr, &mut adam1, &mut adam2) as f64;
+                let scale = 1.0 / chunk.len() as f32;
+                let reduce_start = Instant::now();
+                adam1.step_blocks(
+                    &mut self.l1.w,
+                    &mut self.l1.b,
+                    &blocks[..nb],
+                    |blk| &blk.g1,
+                    scale,
+                    &cfg,
+                    lr,
+                    threads,
+                );
+                adam2.step_blocks(
+                    &mut self.l2.w,
+                    &mut self.l2.b,
+                    &blocks[..nb],
+                    |blk| &blk.g2,
+                    scale,
+                    &cfg,
+                    lr,
+                    threads,
+                );
+                reduce_hist.record(reduce_start.elapsed().as_micros() as u64);
             }
             let mean = epoch_loss / usable.len() as f64;
             loss_series.push(mean);
@@ -213,69 +342,78 @@ impl RerankModel {
             }
             report.lr_reductions = sched.reductions();
         }
+        obs.histogram("train.rerank_us")
+            .record(train_start.elapsed().as_micros() as u64);
         report
     }
 
-    /// One ListNet step over a list; returns the list loss.
-    fn train_list(
-        &mut self,
+    /// Forward + backward for one list (ListNet); returns the list loss.
+    /// Gradients are accumulated into `g1`/`g2`; all intermediates live in
+    /// `scratch` (flat activation matrix — no per-item allocation).
+    fn backward_list(
+        &self,
         list: &RankList,
-        cfg: &AdamConfig,
-        lr: f32,
-        adam1: &mut AdamState,
-        adam2: &mut AdamState,
+        s: &mut ListScratch,
+        g1: &mut LinearGrad,
+        g2: &mut LinearGrad,
     ) -> f32 {
         let n = list.items.len();
-        // Forward all items, keeping activations for backprop.
-        let mut hiddens: Vec<Vec<f32>> = Vec::with_capacity(n);
-        let mut scores: Vec<f32> = Vec::with_capacity(n);
-        for f in &list.items {
-            let mut h = Vec::new();
-            self.l1.forward(f, &mut h);
-            relu_forward(&mut h);
-            let mut out = Vec::new();
-            self.l2.forward(&h, &mut out);
-            scores.push(out[0]);
-            hiddens.push(h);
+        let hidden = self.config.hidden;
+        // Forward all items into one flat activation matrix.
+        s.hiddens.clear();
+        s.hiddens.resize(n * hidden, 0.0);
+        s.scores.clear();
+        let mut out = [0.0f32];
+        for (i, f) in list.items.iter().enumerate() {
+            let h = &mut s.hiddens[i * hidden..(i + 1) * hidden];
+            self.l1.forward_slice(f, h);
+            relu_forward(h);
+            self.l2.forward_slice(h, &mut out);
+            s.scores.push(out[0]);
         }
 
         // Softmax over scores (stable).
-        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
-        let z: f32 = exps.iter().sum();
-        let probs: Vec<f32> = exps.iter().map(|e| e / z).collect();
+        let max = s.scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        s.probs.clear();
+        s.probs.extend(s.scores.iter().map(|v| (v - max).exp()));
+        let z: f32 = s.probs.iter().sum();
+        for p in s.probs.iter_mut() {
+            *p /= z;
+        }
 
         // Target distribution: labels normalized.
         let pos: f32 = list.labels.iter().filter(|&&l| l).count() as f32;
-        let targets: Vec<f32> = list
-            .labels
-            .iter()
-            .map(|&l| if l { 1.0 / pos } else { 0.0 })
-            .collect();
+        s.targets.clear();
+        s.targets.extend(
+            list.labels
+                .iter()
+                .map(|&l| if l { 1.0 / pos } else { 0.0 }),
+        );
 
         // Loss = -Σ t log p ; dL/dscore_i = p_i - t_i.
-        let loss: f32 = targets
+        let loss: f32 = s
+            .targets
             .iter()
-            .zip(&probs)
+            .zip(&s.probs)
             .filter(|(t, _)| **t > 0.0)
             .map(|(t, p)| -t * p.max(1e-9).ln())
             .sum();
 
-        let mut g1 = LinearGrad::zeros(&self.l1);
-        let mut g2 = LinearGrad::zeros(&self.l2);
         for i in 0..n {
-            let dscore = probs[i] - targets[i];
+            let dscore = s.probs[i] - s.targets[i];
             if dscore == 0.0 {
                 continue;
             }
             let dy = [dscore];
-            let mut dh = vec![0.0f32; self.config.hidden];
-            g2.backward(&self.l2, &hiddens[i], &dy, Some(&mut dh));
-            relu_backward(&hiddens[i], &mut dh);
-            g1.backward(&self.l1, &list.items[i], &dh, None);
+            // `dh` is zero-filled each item: `LinearGrad::backward`
+            // accumulates into it.
+            s.dh.clear();
+            s.dh.resize(hidden, 0.0);
+            let h = &s.hiddens[i * hidden..(i + 1) * hidden];
+            g2.backward(&self.l2, h, &dy, Some(&mut s.dh));
+            relu_backward(h, &mut s.dh);
+            g1.backward(&self.l1, &list.items[i], &s.dh, None);
         }
-        adam1.step(&mut self.l1, &g1, cfg, lr);
-        adam2.step(&mut self.l2, &g2, cfg, lr);
         loss
     }
 }
@@ -377,6 +515,86 @@ mod tests {
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
         assert!(last < first * 0.7, "first {first} last {last}");
+    }
+
+    #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // Same seed + same lists → identical epoch losses and serialized
+        // weights for threads ∈ {1,2,4,8}: fixed-size gradient blocks,
+        // fixed-order reduce.
+        let lists = synthetic_lists(13, 5);
+        let config = RerankConfig {
+            epochs: 6,
+            ..small_config()
+        };
+        let mut base = RerankModel::new(config.clone());
+        let base_report = base.train_t(&lists, 1);
+        let base_bytes = base.to_bytes();
+        assert!(!base_report.epoch_losses.is_empty());
+        for threads in [2usize, 4, 8] {
+            let mut m = RerankModel::new(config.clone());
+            let report = m.train_t(&lists, threads);
+            for (a, b) in base_report.epoch_losses.iter().zip(&report.epoch_losses) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            assert_eq!(report.lr_reductions, base_report.lr_reductions);
+            assert_eq!(base_bytes, m.to_bytes(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn warmup_uses_config_fraction() {
+        // warmup_frac = 0 must start at the full base lr (no ramp): with a
+        // plateau-free single epoch the first step's update magnitude
+        // differs from a warmup_frac = 0.9 run.
+        let lists = synthetic_lists(12, 11);
+        // macro_batch 1 keeps one optimizer step per list, so a single
+        // epoch has enough steps for the warmup ramp to matter.
+        let mut no_warm = RerankModel::new(RerankConfig {
+            epochs: 1,
+            warmup_frac: 0.0,
+            macro_batch: 1,
+            ..small_config()
+        });
+        let mut long_warm = RerankModel::new(RerankConfig {
+            epochs: 1,
+            warmup_frac: 0.9,
+            macro_batch: 1,
+            ..small_config()
+        });
+        no_warm.train(&lists);
+        long_warm.train(&lists);
+        // Same init, same data, different effective lr ⇒ different weights.
+        assert_ne!(no_warm.to_bytes(), long_warm.to_bytes());
+    }
+
+    #[test]
+    fn pair_features_into_matches_allocating_path() {
+        let q = vec![0.4f32, -0.2, 0.9, 0.0, 0.1, -0.5, 0.3, 0.7];
+        let d = vec![0.1f32, 0.2, -0.9, 0.4, 0.0, -0.1, 0.6, 0.2];
+        let want = pair_features(&q, &d, "count the singers", "Find the number of singer.");
+        let mut buf = vec![42.0f32; 3]; // stale contents must be cleared
+        pair_features_into(&q, &d, "count the singers", "Find the number of singer.", &mut buf);
+        assert_eq!(want.len(), buf.len());
+        for (a, b) in want.iter().zip(&buf) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn score_list_with_reuses_buffers_and_matches() {
+        let m = RerankModel::new(small_config());
+        let lists = synthetic_lists(2, 21);
+        let mut scratch = ScoreScratch::default();
+        let mut out = Vec::new();
+        for list in &lists {
+            m.score_list_with(&list.items, &mut scratch, &mut out);
+            let want = m.score_list(&list.items);
+            assert_eq!(out.len(), want.len());
+            for (a, b) in want.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

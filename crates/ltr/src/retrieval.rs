@@ -7,13 +7,28 @@
 //! similarity score of the training triple. At inference, all dialect
 //! expressions are encoded once and served from a vector index; the NL
 //! query is encoded and its nearest neighbours retrieved.
+//!
+//! Training is data-parallel and allocation-free in the inner loop: each
+//! minibatch is split into fixed-size [`GradBlock`]s fanned over
+//! `gar_par::par_shard_mut` workers (one reused [`TrainScratch`] per
+//! worker), and the block partials are reduced in block-index order by the
+//! fused [`AdamState::step_blocks`] — so trained weights are bit-identical
+//! for any thread count (see DESIGN.md §9).
 
 use crate::features::{hash_features, FeatureConfig, SparseVec};
 use crate::nn::{
-    seeded_rng, tanh_backward, tanh_forward, AdamConfig, AdamState, Linear, LinearGrad,
-    LrSchedule,
+    seeded_rng, tanh_backward, tanh_forward, AdamConfig, AdamState, GradBlock, Linear,
+    LinearGrad, LrSchedule, SparseLinear,
 };
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Triples per gradient block. A *constant* independent of the thread
+/// count: each block is accumulated sequentially in item order and blocks
+/// are reduced in index order, fixing the floating-point summation tree.
+/// At the default minibatch of 32 this yields 4 blocks — enough fan-out
+/// for the forward+backward pass without drowning the reduce in partials.
+const GRAD_BLOCK: usize = 8;
 
 /// One training triple `(query text, dialect text, similarity score)`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,7 +52,7 @@ pub struct RetrievalConfig {
     pub embed: usize,
     /// Training epochs.
     pub epochs: usize,
-    /// Minibatch size.
+    /// Minibatch size (one Adam step per minibatch).
     pub batch: usize,
     /// Base learning rate (Adam).
     pub lr: f32,
@@ -74,13 +89,8 @@ pub struct TrainReport {
 pub struct RetrievalModel {
     /// Hyper-parameters (kept for encoding consistency).
     pub config: RetrievalConfig,
-    l1: Linear,
+    l1: SparseLinear,
     l2: Linear,
-}
-
-struct Tower {
-    h: Vec<f32>,
-    e: Vec<f32>,
 }
 
 /// Reusable forward-pass buffers for repeated encodes. One scratch per
@@ -91,11 +101,24 @@ pub struct EncodeScratch {
     h: Vec<f32>,
 }
 
+/// Reusable forward+backward buffers for one training worker. Warm after
+/// the first triple: `backward_triple` then runs without allocating.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    hq: Vec<f32>,
+    eq: Vec<f32>,
+    hd: Vec<f32>,
+    ed: Vec<f32>,
+    deq: Vec<f32>,
+    ded: Vec<f32>,
+    dh: Vec<f32>,
+}
+
 impl RetrievalModel {
     /// A freshly initialized (untrained) model.
     pub fn new(config: RetrievalConfig) -> Self {
         let mut rng = seeded_rng(config.seed);
-        let l1 = Linear::new(config.features.dim, config.hidden, &mut rng);
+        let l1 = SparseLinear::new(config.features.dim, config.hidden, &mut rng);
         let l2 = Linear::new(config.hidden, config.embed, &mut rng);
         RetrievalModel { config, l1, l2 }
     }
@@ -103,15 +126,6 @@ impl RetrievalModel {
     /// Embedding dimension.
     pub fn embed_dim(&self) -> usize {
         self.config.embed
-    }
-
-    fn forward(&self, x: &SparseVec) -> Tower {
-        let mut h = Vec::new();
-        self.l1.forward_sparse(x, &mut h);
-        tanh_forward(&mut h);
-        let mut e = Vec::new();
-        self.l2.forward(&h, &mut e);
-        Tower { h, e }
     }
 
     /// Encode a text into an (unnormalized) embedding.
@@ -131,41 +145,19 @@ impl RetrievalModel {
     }
 
     /// Encode many texts in parallel across `threads` scoped workers, each
-    /// with its own reused [`EncodeScratch`]. The thread count is clamped
-    /// to `1..=texts.len()` (0 runs sequentially; more workers than texts
-    /// would leave some idle), and texts are chunk-balanced so worker
-    /// loads differ by at most one text.
-    pub fn encode_batch(&self, texts: &[String], threads: usize) -> Vec<Vec<f32>> {
-        if texts.is_empty() {
-            return Vec::new();
-        }
-        let threads = threads.clamp(1, texts.len());
+    /// with its own reused [`EncodeScratch`]. Accepts any string-like slice
+    /// (`&[String]`, `&[&str]`, ...) so callers need not clone text into
+    /// owned `String`s. The thread count is clamped to `1..=texts.len()`
+    /// (0 runs sequentially; more workers than texts would leave some
+    /// idle), and texts are chunk-balanced so worker loads differ by at
+    /// most one text.
+    pub fn encode_batch<S>(&self, texts: &[S], threads: usize) -> Vec<Vec<f32>>
+    where
+        S: AsRef<str> + Sync,
+    {
         let mut out: Vec<Vec<f32>> = vec![Vec::new(); texts.len()];
-        if threads == 1 {
-            let mut scratch = EncodeScratch::default();
-            for (o, t) in out.iter_mut().zip(texts) {
-                self.encode_into(t, &mut scratch, o);
-            }
-            return out;
-        }
-        let base = texts.len() / threads;
-        let extra = texts.len() % threads;
-        std::thread::scope(|scope| {
-            let mut rest_out = &mut out[..];
-            let mut rest_texts = texts;
-            for w in 0..threads {
-                let size = base + usize::from(w < extra);
-                let (slot, tail_out) = rest_out.split_at_mut(size);
-                let (input, tail_texts) = rest_texts.split_at(size);
-                rest_out = tail_out;
-                rest_texts = tail_texts;
-                scope.spawn(move || {
-                    let mut scratch = EncodeScratch::default();
-                    for (o, t) in slot.iter_mut().zip(input) {
-                        self.encode_into(t, &mut scratch, o);
-                    }
-                });
-            }
+        gar_par::par_shard_mut(&mut out, threads, EncodeScratch::default, |scratch, i, slot| {
+            self.encode_into(texts[i].as_ref(), scratch, slot);
         });
         out
     }
@@ -183,45 +175,63 @@ impl RetrievalModel {
     }
 
     /// Train with cosine-score regression over the triples (SBERT
-    /// objective), Adam with linear warmup.
+    /// objective), Adam with linear warmup. Sequential convenience wrapper
+    /// around [`RetrievalModel::train_t`].
     pub fn train(&mut self, triples: &[Triple]) -> TrainReport {
+        self.train_t(triples, 1)
+    }
+
+    /// Train on up to `threads` worker threads. Bit-identical to the
+    /// sequential path for any thread count: featurization and the
+    /// forward+backward fan-out are order-preserving, and gradients are
+    /// reduced in fixed block order (see [`GradBlock`]).
+    pub fn train_t(&mut self, triples: &[Triple], threads: usize) -> TrainReport {
         let mut report = TrainReport::default();
         if triples.is_empty() {
             return report;
         }
+        let train_start = Instant::now();
         let cfg = AdamConfig {
             lr: self.config.lr,
             ..AdamConfig::default()
         };
-        let total_steps =
-            (self.config.epochs * triples.len().div_ceil(self.config.batch)) as u64;
+        let batch = self.config.batch.max(1);
+        let total_steps = (self.config.epochs * triples.len().div_ceil(batch)) as u64;
         let mut sched = LrSchedule::new(
             self.config.lr,
             ((total_steps as f32) * self.config.warmup_frac) as u64,
         );
-        let mut adam1 = AdamState::zeros(&self.l1);
+        let mut adam1 = AdamState::with_dims(self.l1.w.len(), self.l1.b.len());
         let mut adam2 = AdamState::zeros(&self.l2);
-        let mut g1 = LinearGrad::zeros(&self.l1);
-        let mut g2 = LinearGrad::zeros(&self.l2);
 
-        // Pre-featurize once.
-        let feats: Vec<(SparseVec, SparseVec, f32)> = triples
-            .iter()
-            .map(|t| {
+        // Pre-featurize once, fanned out (pure per-triple, order-preserving).
+        let feats: Vec<(SparseVec, SparseVec, f32)> =
+            gar_par::par_map(triples.iter().collect(), threads, |t| {
                 (
                     hash_features(&t.query, &self.config.features),
                     hash_features(&t.dialect, &self.config.features),
                     t.score,
+                )
+            });
+
+        // Persistent block buffers, reused across every step of every epoch.
+        let mut blocks: Vec<GradBlock> = (0..batch.div_ceil(GRAD_BLOCK))
+            .map(|_| {
+                GradBlock::new(
+                    self.l1.w.len(),
+                    self.l1.b.len(),
+                    self.l2.w.len(),
+                    self.l2.b.len(),
                 )
             })
             .collect();
 
         let mut order: Vec<usize> = (0..feats.len()).collect();
         let mut rng = seeded_rng(self.config.seed ^ 0x5eed);
-        let loss_series = gar_obs::global().series("train.retrieval.epoch_loss");
-        gar_obs::global()
-            .gauge("train.retrieval.triples")
-            .set(triples.len() as u64);
+        let obs = gar_obs::global();
+        let loss_series = obs.series("train.retrieval.epoch_loss");
+        let reduce_hist = obs.histogram("train.grad_reduce_us");
+        obs.gauge("train.retrieval.triples").set(triples.len() as u64);
 
         for _epoch in 0..self.config.epochs {
             // Fisher-Yates shuffle for stochasticity.
@@ -230,94 +240,133 @@ impl RetrievalModel {
                 order.swap(i, j);
             }
             let mut epoch_loss = 0.0f64;
-            let mut in_batch = 0usize;
-            g1.zero();
-            g2.zero();
 
-            for &idx in &order {
-                let (fq, fd, target) = &feats[idx];
-                epoch_loss += self.backward_triple(fq, fd, *target, &mut g1, &mut g2) as f64;
-                in_batch += 1;
-                if in_batch == self.config.batch {
-                    let lr = sched.next_lr();
-                    scale_grad(&mut g1, 1.0 / in_batch as f32);
-                    scale_grad(&mut g2, 1.0 / in_batch as f32);
-                    adam1.step(&mut self.l1, &g1, &cfg, lr);
-                    adam2.step(&mut self.l2, &g2, &cfg, lr);
-                    g1.zero();
-                    g2.zero();
-                    in_batch = 0;
+            for chunk in order.chunks(batch) {
+                let nb = chunk.len().div_ceil(GRAD_BLOCK);
+                let model = &*self;
+                gar_par::par_shard_mut(
+                    &mut blocks[..nb],
+                    threads,
+                    TrainScratch::default,
+                    |scratch, j, blk| {
+                        blk.reset();
+                        let lo = j * GRAD_BLOCK;
+                        let hi = (lo + GRAD_BLOCK).min(chunk.len());
+                        for &idx in &chunk[lo..hi] {
+                            let (fq, fd, target) = &feats[idx];
+                            let loss = model.backward_triple(
+                                fq,
+                                fd,
+                                *target,
+                                scratch,
+                                &mut blk.g1,
+                                &mut blk.g2,
+                            );
+                            blk.loss += loss as f64;
+                        }
+                    },
+                );
+                for blk in &blocks[..nb] {
+                    epoch_loss += blk.loss;
                 }
-            }
-            if in_batch > 0 {
                 let lr = sched.next_lr();
-                scale_grad(&mut g1, 1.0 / in_batch as f32);
-                scale_grad(&mut g2, 1.0 / in_batch as f32);
-                adam1.step(&mut self.l1, &g1, &cfg, lr);
-                adam2.step(&mut self.l2, &g2, &cfg, lr);
-                g1.zero();
-                g2.zero();
+                let scale = 1.0 / chunk.len() as f32;
+                let reduce_start = Instant::now();
+                adam1.step_blocks(
+                    &mut self.l1.w,
+                    &mut self.l1.b,
+                    &blocks[..nb],
+                    |blk| &blk.g1,
+                    scale,
+                    &cfg,
+                    lr,
+                    threads,
+                );
+                adam2.step_blocks(
+                    &mut self.l2.w,
+                    &mut self.l2.b,
+                    &blocks[..nb],
+                    |blk| &blk.g2,
+                    scale,
+                    &cfg,
+                    lr,
+                    threads,
+                );
+                reduce_hist.record(reduce_start.elapsed().as_micros() as u64);
             }
             let mean_loss = epoch_loss / feats.len() as f64;
             loss_series.push(mean_loss);
             report.epoch_losses.push(mean_loss as f32);
         }
+        obs.histogram("train.retrieval_us")
+            .record(train_start.elapsed().as_micros() as u64);
         report
     }
 
     /// Forward + backward for one triple; returns the loss. Gradients are
-    /// accumulated into `g1`/`g2` for both towers (shared weights).
+    /// accumulated into `g1`/`g2` for both towers (shared weights); all
+    /// intermediate buffers live in `scratch`.
     fn backward_triple(
         &self,
         fq: &SparseVec,
         fd: &SparseVec,
         target: f32,
+        s: &mut TrainScratch,
         g1: &mut LinearGrad,
         g2: &mut LinearGrad,
     ) -> f32 {
-        let tq = self.forward(fq);
-        let td = self.forward(fd);
+        self.l1.forward_sparse(fq, &mut s.hq);
+        tanh_forward(&mut s.hq);
+        self.l2.forward(&s.hq, &mut s.eq);
+        self.l1.forward_sparse(fd, &mut s.hd);
+        tanh_forward(&mut s.hd);
+        self.l2.forward(&s.hd, &mut s.ed);
 
-        let dot: f32 = tq.e.iter().zip(&td.e).map(|(a, b)| a * b).sum();
-        let nq: f32 = tq.e.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
-        let nd: f32 = td.e.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let dot: f32 = s.eq.iter().zip(&s.ed).map(|(a, b)| a * b).sum();
+        let nq: f32 = s.eq.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+        let nd: f32 = s.ed.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
         let cos = dot / (nq * nd);
         let diff = cos - target;
         let loss = diff * diff;
         let dcos = 2.0 * diff;
 
         // d cos / d eq = ed/(nq nd) - cos * eq / nq^2  (and symmetric).
-        let deq: Vec<f32> = tq
-            .e
-            .iter()
-            .zip(&td.e)
-            .map(|(eq, ed)| dcos * (ed / (nq * nd) - cos * eq / (nq * nq)))
-            .collect();
-        let ded: Vec<f32> = tq
-            .e
-            .iter()
-            .zip(&td.e)
-            .map(|(eq, ed)| dcos * (eq / (nq * nd) - cos * ed / (nd * nd)))
-            .collect();
+        s.deq.clear();
+        s.deq.extend(
+            s.eq.iter()
+                .zip(&s.ed)
+                .map(|(eq, ed)| dcos * (ed / (nq * nd) - cos * eq / (nq * nq))),
+        );
+        s.ded.clear();
+        s.ded.extend(
+            s.eq.iter()
+                .zip(&s.ed)
+                .map(|(eq, ed)| dcos * (eq / (nq * nd) - cos * ed / (nd * nd))),
+        );
 
-        // Backprop tower q.
-        let mut dh = vec![0.0f32; self.config.hidden];
-        g2.backward(&self.l2, &tq.h, &deq, Some(&mut dh));
-        tanh_backward(&tq.h, &mut dh);
-        g1.backward_sparse(&self.l1, fq, &dh);
+        // Backprop tower q. `dh` is zero-filled each time because
+        // `LinearGrad::backward` accumulates into it.
+        s.dh.clear();
+        s.dh.resize(self.config.hidden, 0.0);
+        g2.backward(&self.l2, &s.hq, &s.deq, Some(&mut s.dh));
+        tanh_backward(&s.hq, &mut s.dh);
+        g1.backward_sparse_col(&self.l1, fq, &s.dh);
 
         // Backprop tower d.
-        let mut dh = vec![0.0f32; self.config.hidden];
-        g2.backward(&self.l2, &td.h, &ded, Some(&mut dh));
-        tanh_backward(&td.h, &mut dh);
-        g1.backward_sparse(&self.l1, fd, &dh);
+        s.dh.clear();
+        s.dh.resize(self.config.hidden, 0.0);
+        g2.backward(&self.l2, &s.hd, &s.ded, Some(&mut s.dh));
+        tanh_backward(&s.hd, &mut s.dh);
+        g1.backward_sparse_col(&self.l1, fd, &s.dh);
 
         loss
     }
 }
 
 impl RetrievalModel {
-    /// Serialize to the compact binary artifact format.
+    /// Serialize to the compact binary artifact format. The first layer is
+    /// stored column-major in memory but written row-major (an exact
+    /// transpose), keeping the on-disk format unchanged.
     pub fn to_bytes(&self) -> Vec<u8> {
         use bytes::BufMut;
         let mut buf = bytes::BytesMut::new();
@@ -327,7 +376,7 @@ impl RetrievalModel {
         buf.put_u8(u8::from(self.config.features.char_trigrams));
         buf.put_u32_le(self.config.hidden as u32);
         buf.put_u32_le(self.config.embed as u32);
-        crate::persist::write_linear(&mut buf, &self.l1);
+        crate::persist::write_linear(&mut buf, &self.l1.to_row_major());
         crate::persist::write_linear(&mut buf, &self.l2);
         buf.to_vec()
     }
@@ -347,7 +396,7 @@ impl RetrievalModel {
         let char_trigrams = buf.get_u8() != 0;
         let hidden = buf.get_u32_le() as usize;
         let embed = buf.get_u32_le() as usize;
-        let l1 = crate::persist::read_linear(&mut buf)?;
+        let l1 = SparseLinear::from_row_major(&crate::persist::read_linear(&mut buf)?);
         let l2 = crate::persist::read_linear(&mut buf)?;
         if l1.input != dim || l1.output != hidden || l2.input != hidden || l2.output != embed {
             return Err(crate::persist::PersistError::BadShape);
@@ -367,11 +416,6 @@ impl RetrievalModel {
             l2,
         })
     }
-}
-
-fn scale_grad(g: &mut LinearGrad, s: f32) {
-    g.w.iter_mut().for_each(|v| *v *= s);
-    g.b.iter_mut().for_each(|v| *v *= s);
 }
 
 #[cfg(test)]
@@ -433,6 +477,30 @@ mod tests {
     }
 
     #[test]
+    fn training_is_bit_identical_across_thread_counts() {
+        // The tentpole determinism contract: same seed + same triples must
+        // yield identical epoch losses and identical serialized weights
+        // for any thread count, because gradients are accumulated in fixed
+        // blocks and reduced in block-index order.
+        let triples = toy_triples();
+        let config = RetrievalConfig {
+            epochs: 5,
+            ..small_config()
+        };
+        let mut base = RetrievalModel::new(config.clone());
+        let base_report = base.train_t(&triples, 1);
+        let base_bytes = base.to_bytes();
+        for threads in [2usize, 4, 8] {
+            let mut m = RetrievalModel::new(config.clone());
+            let report = m.train_t(&triples, threads);
+            for (a, b) in base_report.epoch_losses.iter().zip(&report.epoch_losses) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            assert_eq!(base_bytes, m.to_bytes(), "threads={threads}");
+        }
+    }
+
+    #[test]
     fn trained_model_ranks_matching_dialect_first() {
         let mut m = RetrievalModel::new(small_config());
         let triples = toy_triples();
@@ -464,6 +532,9 @@ mod tests {
         for (t, b) in texts.iter().zip(&batch) {
             assert_eq!(&m.encode(t), b);
         }
+        // Borrowed strs hit the same path without cloning.
+        let refs: Vec<&str> = texts.iter().map(|t| t.as_str()).collect();
+        assert_eq!(m.encode_batch(&refs, 3), batch);
     }
 
     #[test]
@@ -480,7 +551,7 @@ mod tests {
                 assert_eq!(&m.encode(t), b, "threads = {threads}");
             }
         }
-        assert!(m.encode_batch(&[], 0).is_empty());
+        assert!(m.encode_batch::<String>(&[], 0).is_empty());
     }
 
     #[test]

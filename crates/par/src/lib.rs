@@ -1,0 +1,212 @@
+//! Shared parallel substrate: order-preserving scoped-thread fan-out.
+//!
+//! Both ends of the pipeline fan work out over [`std::thread::scope`]: the
+//! offline preparation stage (across databases and across render chunks)
+//! and, since the data-parallel trainer rework, the two learning-to-rank
+//! trainers (across fixed gradient blocks of a macro-batch). Hoisting the
+//! helpers into this dependency-free micro-crate lets `gar-ltr` use them
+//! without a cycle through `gar-core` (which depends on `gar-ltr`).
+//!
+//! Every helper here preserves a determinism contract: work is split into
+//! *contiguous, thread-count-independent* item ranges and results land in
+//! the slot of their input, so for a pure `f` the outcome is bit-identical
+//! to the sequential loop for any thread count.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Split `0..len` into at most `parts` contiguous near-equal ranges (the
+/// first `len % parts` ranges get one extra item). Returns fewer ranges
+/// when `len < parts`; empty when `len == 0`.
+pub fn partition(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for w in 0..parts {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Budget `threads` across `jobs` outer work items: returns
+/// `(outer, inner)` where `outer` jobs run concurrently and each receives
+/// an `inner`-thread budget for its own nested fan-out. `outer * inner`
+/// never exceeds `max(threads, 1)`.
+pub fn thread_split(threads: usize, jobs: usize) -> (usize, usize) {
+    let outer = threads.clamp(1, jobs.max(1));
+    let inner = (threads / outer).max(1);
+    (outer, inner)
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// preserving input order. `threads <= 1` (or a single item) runs inline
+/// with no thread spawned. Panics in `f` propagate to the caller.
+pub fn par_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut items: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest_out = slots.as_mut_slice();
+        let mut rest_in = items.as_mut_slice();
+        for range in partition(n, threads) {
+            let size = range.len();
+            let (out, tail_out) = rest_out.split_at_mut(size);
+            let (input, tail_in) = rest_in.split_at_mut(size);
+            rest_out = tail_out;
+            rest_in = tail_in;
+            scope.spawn(move || {
+                for (slot, item) in out.iter_mut().zip(input.iter_mut()) {
+                    *slot = Some(f(item.take().expect("par_map item taken twice")));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("par_map worker skipped a slot"))
+        .collect()
+}
+
+/// Mutate `items` in place on up to `threads` scoped workers, each with
+/// its own worker-local state built once by `init` (a scratch buffer, a
+/// per-worker accumulator, ...). `f` receives the state, the item's global
+/// index, and the item. Items are split into contiguous chunks, so as with
+/// [`par_map`] the result is identical to the sequential loop whenever `f`
+/// depends only on its own item and state. `threads <= 1` runs inline.
+pub fn par_shard_mut<T, S, I, F>(items: &mut [T], threads: usize, init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        let mut state = init();
+        for (i, item) in items.iter_mut().enumerate() {
+            f(&mut state, i, item);
+        }
+        return;
+    }
+    let init = &init;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = items;
+        for range in partition(n, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let start = range.start;
+            scope.spawn(move || {
+                let mut state = init();
+                for (off, item) in chunk.iter_mut().enumerate() {
+                    f(&mut state, start + off, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..37).collect();
+        let want: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [0usize, 1, 2, 5, 64] {
+            let got = par_map(items.clone(), threads, |x| x * x);
+            assert_eq!(got, want, "threads={threads}");
+        }
+        assert!(par_map(Vec::<usize>::new(), 4, |x: usize| x).is_empty());
+        assert_eq!(par_map(vec![9usize], 8, |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn partition_covers_contiguously() {
+        for (len, parts) in [(0usize, 4usize), (1, 4), (7, 3), (8, 8), (37, 5), (5, 1)] {
+            let ranges = partition(len, parts);
+            assert!(ranges.len() <= parts.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "len={len} parts={parts}");
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, len, "len={len} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn thread_split_budgets_within_total() {
+        assert_eq!(thread_split(8, 2), (2, 4));
+        assert_eq!(thread_split(4, 8), (4, 1));
+        assert_eq!(thread_split(0, 3), (1, 1));
+        assert_eq!(thread_split(6, 0), (1, 6));
+        for threads in 0..10usize {
+            for jobs in 0..10usize {
+                let (outer, inner) = thread_split(threads, jobs);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(outer * inner <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn par_shard_mut_matches_sequential_for_any_thread_count() {
+        let base: Vec<u64> = (0..53).map(|i| i * 7 + 1).collect();
+        let mut want = base.clone();
+        // Sequential reference: each slot becomes item + index.
+        for (i, v) in want.iter_mut().enumerate() {
+            *v += i as u64;
+        }
+        for threads in [0usize, 1, 2, 3, 8, 64] {
+            let mut got = base.clone();
+            par_shard_mut(&mut got, threads, || 0u64, |_s, i, v| *v += i as u64);
+            assert_eq!(got, want, "threads={threads}");
+        }
+        let mut empty: Vec<u64> = Vec::new();
+        par_shard_mut(&mut empty, 4, || (), |_, _, _| unreachable!());
+    }
+
+    #[test]
+    fn par_shard_mut_builds_one_state_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let mut items = vec![0u32; 16];
+        par_shard_mut(
+            &mut items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<u32>::new()
+            },
+            |scratch, i, v| {
+                scratch.push(i as u32);
+                *v = scratch.len() as u32;
+            },
+        );
+        assert_eq!(inits.load(Ordering::SeqCst), 4);
+        // Each worker's chunk sees its own growing scratch: 16/4 = 4 items
+        // per worker, so the pattern is 1,2,3,4 repeated.
+        assert_eq!(items[..8], [1, 2, 3, 4, 1, 2, 3, 4]);
+    }
+}

@@ -18,7 +18,8 @@
 //! 4. **Pipeline invariants** ([`pipeline`]) — generalizer output is well
 //!    formed, dialect rendering is deterministic, retrieval top-k is
 //!    insertion-order invariant, NaN-polluted indices never disturb finite
-//!    candidates, and `translate_batch` ≡ sequential `translate`.
+//!    candidates, end-to-end training is bit-deterministic in the thread
+//!    knob, and `translate_batch` ≡ sequential `translate`.
 //! 5. **Codec robustness** ([`persist`]) — every strict prefix of a valid
 //!    artifact decodes to an error (truncation fuzz), as do corrupted
 //!    magic bytes and hostile shape headers.

@@ -12,12 +12,17 @@
 //!   [`FlatIndex`] returns the same (id, score) set no matter the
 //!   insertion order of its vectors.
 //!
-//! The fourth pipeline invariant, `translate_batch` ≡ sequential
+//! - **Training is deterministic in the thread knob** — end-to-end
+//!   [`GarSystem::train`] produces bit-identical models and epoch losses
+//!   for any `threads` setting ([`check_train_determinism`]).
+//!
+//! The fifth pipeline invariant, `translate_batch` ≡ sequential
 //! `translate`, needs a trained system and lives in this module's test
 //! suite (see `translate_batch_matches_sequential_translate`).
 
 use crate::rng::TestRng;
-use gar_benchmarks::GeneratedDb;
+use gar_benchmarks::{Example, GeneratedDb};
+use gar_core::{GarConfig, GarSystem};
 use gar_dialect::DialectBuilder;
 use gar_engine::{execute, ExecError};
 use gar_generalize::{Generalizer, GeneralizerConfig};
@@ -266,6 +271,70 @@ pub fn check_nan_score_isolation(
     Ok(())
 }
 
+/// Check that end-to-end [`GarSystem::train`] is deterministic in the
+/// `threads` knob: for every thread count in `thread_counts`, training must
+/// produce bit-identical serialized retrieval and re-rank models and
+/// bit-identical per-epoch losses compared to a single-threaded run of the
+/// same config.
+///
+/// This is the pipeline-level face of the trainer determinism contract
+/// (DESIGN.md §9): macro-batch gradients are accumulated in fixed-size
+/// blocks and reduced in block-index order, so the summation tree — and
+/// therefore every float — is independent of how blocks were distributed
+/// over workers.
+pub fn check_train_determinism(
+    dbs: &[GeneratedDb],
+    train: &[Example],
+    config: &GarConfig,
+    thread_counts: &[usize],
+) -> Result<(), Vec<String>> {
+    let mut base_cfg = config.clone();
+    base_cfg.threads = 1;
+    let (base_sys, base_report) = GarSystem::train(dbs, train, base_cfg);
+    let base_retrieval = base_sys.retrieval.to_bytes();
+    let base_rerank = base_sys.rerank.to_bytes();
+
+    let bits = |ls: &[f32]| ls.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+    let base_retrieval_losses = bits(&base_report.retrieval_losses);
+    let base_rerank_losses = bits(&base_report.rerank_losses);
+
+    let mut violations = Vec::new();
+    for &threads in thread_counts {
+        let mut cfg = config.clone();
+        cfg.threads = threads;
+        let (sys, report) = GarSystem::train(dbs, train, cfg);
+        if bits(&report.retrieval_losses) != base_retrieval_losses {
+            violations.push(format!(
+                "threads={threads}: retrieval epoch losses diverge from single-threaded run \
+                 ({:?} vs {:?})",
+                report.retrieval_losses, base_report.retrieval_losses
+            ));
+        }
+        if bits(&report.rerank_losses) != base_rerank_losses {
+            violations.push(format!(
+                "threads={threads}: rerank epoch losses diverge from single-threaded run \
+                 ({:?} vs {:?})",
+                report.rerank_losses, base_report.rerank_losses
+            ));
+        }
+        if sys.retrieval.to_bytes() != base_retrieval {
+            violations.push(format!(
+                "threads={threads}: serialized retrieval model differs from single-threaded run"
+            ));
+        }
+        if sys.rerank.to_bytes() != base_rerank {
+            violations.push(format!(
+                "threads={threads}: serialized rerank model differs from single-threaded run"
+            ));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +416,18 @@ mod tests {
             seed: 5,
             ..GarConfig::default()
         }
+    }
+
+    #[test]
+    fn end_to_end_training_is_deterministic_across_thread_counts() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 10,
+            seed: 47,
+        });
+        check_train_determinism(&bench.dbs, &bench.train, &small_config(), &[2, 4])
+            .unwrap_or_else(|v| panic!("train determinism violations:\n  {}", v.join("\n  ")));
     }
 
     #[test]

@@ -2,23 +2,29 @@
 # Quick smoke pass over the retrieval-path Criterion benches: 1-second
 # measurement windows, enough to catch regressions in the blocked kernels
 # and the batched search path without a full bench run. `bench_batch` also
-# rewrites results/BENCH_retrieval.json with the measured throughput, and
+# rewrites results/BENCH_retrieval.json with the measured throughput,
 # `bench_prepare` rewrites results/BENCH_prepare.json with the offline
-# preparation cold/parallel/warm wall-clock and per-stage medians.
+# preparation cold/parallel/warm wall-clock and per-stage medians, and
+# `bench_train` rewrites results/BENCH_train.json with ranker-training
+# throughput for the baseline / scratch-reuse / parallel arms.
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
 # per-stage latency histograms (encode, retrieve, filter, rerank,
-# instantiate), then validates BENCH_prepare.json (warm cache hits must be
-# ≥10× faster than cold prepare everywhere; the ≥2× parallel-vs-sequential
-# bar additionally applies on multi-core hosts).
+# instantiate) plus the three training histograms (train.retrieval_us,
+# train.rerank_us, train.grad_reduce_us), then validates
+# BENCH_prepare.json (warm cache hits must be ≥10× faster than cold
+# prepare everywhere; the ≥2× parallel-vs-sequential bar additionally
+# applies on multi-core hosts) and BENCH_train.json (scratch-reuse must be
+# ≥1.5× baseline everywhere; the ≥2× parallel-vs-scratch bar additionally
+# applies on multi-core hosts).
 #
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch bench_prepare; do
+for bench in bench_retrieval bench_batch bench_prepare bench_train; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -36,6 +42,7 @@ snap = json.load(open(sys.argv[1]))
 hists = snap["histograms"]
 stages = [f"stage.{s}_us" for s in
           ("encode", "retrieve", "filter", "rerank", "instantiate")]
+stages += ["train.retrieval_us", "train.rerank_us", "train.grad_reduce_us"]
 missing = [s for s in stages if s not in hists]
 assert not missing, f"missing stage histograms: {missing}"
 for s in stages:
@@ -49,6 +56,10 @@ else
   for s in encode retrieve filter rerank instantiate; do
     grep -q "\"stage\\.${s}_us\"" "$METRICS" \
       || { echo "missing stage.${s}_us in $METRICS" >&2; exit 1; }
+  done
+  for s in train.retrieval_us train.rerank_us train.grad_reduce_us; do
+    grep -q "\"${s//./\\.}\"" "$METRICS" \
+      || { echo "missing $s in $METRICS" >&2; exit 1; }
   done
   echo "[bench_smoke] $METRICS OK (grep check; python3 unavailable)"
 fi
@@ -84,4 +95,42 @@ else
       || { echo "missing $k in $PREPARE" >&2; exit 1; }
   done
   echo "[bench_smoke] $PREPARE OK (grep check; python3 unavailable)"
+fi
+
+TRAIN="${GAR_RESULTS_DIR:-results}/BENCH_train.json"
+[[ -f "$TRAIN" ]] || { echo "missing $TRAIN" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRAIN" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("retrieval_baseline_qps", "retrieval_scratch_qps",
+          "retrieval_parallel_qps", "rerank_baseline_qps",
+          "rerank_scratch_qps", "rerank_parallel_qps",
+          "speedup_scratch_vs_baseline", "speedup_parallel_vs_scratch",
+          "cores", "threads"):
+    assert k in r, f"missing {k} in BENCH_train.json"
+for k in ("retrieval_baseline_qps", "retrieval_scratch_qps",
+          "rerank_baseline_qps", "rerank_scratch_qps"):
+    assert r[k] > 0, f"{k} must be positive"
+assert r["speedup_scratch_vs_baseline"] >= 1.5, (
+    f"scratch-reuse trainer only {r['speedup_scratch_vs_baseline']:.2f}x "
+    f"over the baseline (need >= 1.5x)")
+if r["cores"] >= 2:
+    assert r["speedup_parallel_vs_scratch"] >= 2, (
+        f"parallel trainer only {r['speedup_parallel_vs_scratch']:.2f}x "
+        f"on a {r['cores']}-core host")
+else:
+    print(f"[bench_smoke] single-core host: parallel trainer speedup "
+          f"{r['speedup_parallel_vs_scratch']:.2f}x recorded, 2x bar waived")
+print(f"[bench_smoke] {sys.argv[1]} OK: retrieval "
+      f"{r['retrieval_scratch_qps']:.0f} triples/s "
+      f"({r['speedup_scratch_vs_baseline']:.1f}x baseline geomean), "
+      f"rerank {r['rerank_scratch_qps']:.0f} lists/s")
+PY
+else
+  for k in retrieval_scratch_qps rerank_scratch_qps speedup_scratch_vs_baseline; do
+    grep -q "\"$k\"" "$TRAIN" \
+      || { echo "missing $k in $TRAIN" >&2; exit 1; }
+  done
+  echo "[bench_smoke] $TRAIN OK (grep check; python3 unavailable)"
 fi

@@ -11,14 +11,14 @@
 #
 # Covered: the unit-test suites of every library crate (gar-sql,
 # gar-schema, gar-engine, gar-generalize, gar-dialect, gar-nl,
-# gar-benchmarks, gar-vecindex, gar-obs, gar-ltr, gar-baselines, gar-core
-# and gar-testkit — whose suite includes the 240-case differential sweep of
-# the optimized executor against the naive reference interpreter), the
-# two workspace integration suites (tests/pipeline_integration.rs,
+# gar-benchmarks, gar-vecindex, gar-obs, gar-par, gar-ltr, gar-baselines,
+# gar-core and gar-testkit — whose suite includes the 240-case differential
+# sweep of the optimized executor against the naive reference interpreter),
+# the two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
-# (compile only), its bench_batch and bench_prepare benches (smoke-run
-# against a criterion shim), and the batched-retrieval throughput
-# measurement.
+# (compile only), its bench_batch, bench_prepare and bench_train benches
+# (smoke-run against a criterion shim), and the batched-retrieval
+# throughput measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
 # on a networked machine.
@@ -85,15 +85,20 @@ lib gar_benchmarks benchmarks "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@
   --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
 lib gar_vecindex vecindex "${RAND[@]}"
 lib gar_obs obs
+lib gar_par par
 OBS=(--extern gar_obs=libgar_obs.rlib)
-lib gar_ltr ltr "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" --extern bytes=libbytes.rlib
+PAR=(--extern gar_par=libgar_par.rlib)
+LTR_EXTERNS=("${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" "${PAR[@]}"
+  --extern bytes=libbytes.rlib
+  --extern gar_vecindex=libgar_vecindex.rlib)
+lib gar_ltr ltr "${LTR_EXTERNS[@]}"
 lib gar_baselines baselines "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" \
   --extern gar_benchmarks=libgar_benchmarks.rlib \
   --extern gar_ltr=libgar_ltr.rlib \
   --extern gar_nl=libgar_nl.rlib \
   --extern gar_engine=libgar_engine.rlib
 
-CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}"
+CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" "${PAR[@]}"
   --extern bytes=libbytes.rlib
   --extern gar_engine=libgar_engine.rlib
   --extern gar_generalize=libgar_generalize.rlib
@@ -152,8 +157,8 @@ suite gar_benchmarks "$REPO/crates/benchmarks/src/lib.rs" "${SQL[@]}" "${SCHEMA[
   --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
 suite gar_vecindex "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}"
 suite gar_obs "$REPO/crates/obs/src/lib.rs"
-suite gar_ltr "$REPO/crates/ltr/src/lib.rs" "${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" \
-  --extern bytes=libbytes.rlib
+suite gar_par "$REPO/crates/par/src/lib.rs"
+suite gar_ltr "$REPO/crates/ltr/src/lib.rs" "${LTR_EXTERNS[@]}"
 suite gar_baselines "$REPO/crates/baselines/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" \
   --extern gar_benchmarks=libgar_benchmarks.rlib \
   --extern gar_ltr=libgar_ltr.rlib \
@@ -198,6 +203,16 @@ say "building + smoke-running bench_prepare against the criterion shim"
   --extern serde_json=libserde_json.rlib \
   -o bench_prepare
 GAR_RESULTS_DIR="$BUILD/results" ./bench_prepare
+
+say "building + smoke-running bench_train against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_train \
+  "$REPO/crates/bench/benches/bench_train.rs" "${RAND[@]}" "${SERDE[@]}" \
+  --extern bytes=libbytes.rlib \
+  --extern gar_ltr=libgar_ltr.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_train
+GAR_RESULTS_DIR="$BUILD/results" ./bench_train
 
 # --- 5. batched retrieval throughput -------------------------------------
 say "building + running the batched-retrieval throughput measurement"
