@@ -1,0 +1,196 @@
+//! Quantized retrieval: exact f32 scan vs int8 scan + f32 rescore, on a
+//! 4,000-candidate flat index (dim 64, k = 100, rescore factor 4). Four
+//! Criterion arms:
+//!
+//! - `exact`        — per-query [`FlatIndex::search`] (f32 scan);
+//! - `int8_rescore` — per-query [`FlatIndex::search_quantized`];
+//! - `exact_batch` / `int8_batch` — the sharded batched paths.
+//!
+//! Besides the Criterion report, a manual timing pass writes
+//! `results/BENCH_quant.json` (honoring `GAR_RESULTS_DIR`) with the
+//! measured throughputs, the per-vector scan traffic (f32 vs int8 bytes),
+//! top-k recall, and whether every rescored top-1 was bit-identical to
+//! exact search — the acceptance numbers for the quantized index layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gar_vecindex::FlatIndex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const N: usize = 4_000;
+const DIM: usize = 64;
+const K: usize = 100;
+const BATCH: usize = 64;
+const RESCORE: usize = 4;
+
+fn random_vecs(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+struct QuantQuality {
+    recall: f64,
+    top1_identical: bool,
+}
+
+/// Compare quantized against exact answers over the query batch.
+fn measure_quality(exact: &FlatIndex, quant: &FlatIndex, queries: &[Vec<f32>]) -> QuantQuality {
+    let mut recall_sum = 0.0f64;
+    let mut top1_identical = true;
+    for q in queries {
+        let he = exact.search(q, K);
+        let hq = quant.search_quantized(q, K, RESCORE);
+        assert_eq!(he.len(), hq.len());
+        if he.is_empty() {
+            continue;
+        }
+        // Rescoring reports exact f32 scores, so an identical top-1 means
+        // bit-equal score (ids may tie).
+        top1_identical &= he[0].score.to_bits() == hq[0].score.to_bits();
+        let want: std::collections::HashSet<usize> = he.iter().map(|h| h.id).collect();
+        let got = hq.iter().filter(|h| want.contains(&h.id)).count();
+        recall_sum += got as f64 / he.len() as f64;
+    }
+    QuantQuality {
+        recall: recall_sum / queries.len() as f64,
+        top1_identical,
+    }
+}
+
+/// Manual timing pass; writes `BENCH_quant.json` under the results dir.
+fn emit_quant_json(
+    exact: &FlatIndex,
+    quant: &FlatIndex,
+    queries: &[Vec<f32>],
+    quality: &QuantQuality,
+    cores: usize,
+) {
+    let rounds = 30usize;
+    let mut sink = 0usize;
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            sink += exact.search(q, K).len();
+        }
+    }
+    let exact_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            sink += quant.search_quantized(q, K, RESCORE).len();
+        }
+    }
+    let quant_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        sink += exact
+            .search_batch_threads(queries, K, cores)
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>();
+    }
+    let exact_batch_s = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        sink += quant
+            .search_batch_quantized_threads(queries, K, RESCORE, cores)
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>();
+    }
+    let quant_batch_s = t.elapsed().as_secs_f64();
+    assert!(sink > 0);
+
+    let nq = (rounds * queries.len()) as f64;
+    // Scan traffic per candidate vector: 4 bytes/dim exact, 1 byte/dim
+    // quantized (the f32 copy is touched only for the rescored survivors).
+    let bytes_f32 = (DIM * 4) as f64;
+    let bytes_i8 = DIM as f64;
+    let json = serde_json::json!({
+        "bench": format!("quant_flat_{N}x{DIM}_k{K}_r{RESCORE}"),
+        "queries": nq,
+        "cores": cores,
+        "exact_qps": nq / exact_s,
+        "quant_qps": nq / quant_s,
+        "scan_speedup": exact_s / quant_s,
+        "exact_batch_qps": nq / exact_batch_s,
+        "quant_batch_qps": nq / quant_batch_s,
+        "batch_speedup": exact_batch_s / quant_batch_s,
+        "bytes_per_vector_f32": bytes_f32,
+        "bytes_per_vector_int8": bytes_i8,
+        "memory_reduction": bytes_f32 / bytes_i8,
+        "recall_at_k": quality.recall,
+        "top1_identical": quality.top1_identical,
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_quant.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_quant] wrote {}", path.display());
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(29);
+    let corpus = random_vecs(&mut rng, N, DIM);
+    let queries = random_vecs(&mut rng, BATCH, DIM);
+    let ids: Vec<usize> = (0..N).collect();
+    let mut exact = FlatIndex::new(DIM);
+    exact.add_batch(&ids, &corpus, 2);
+    let mut quant = FlatIndex::quantized(DIM);
+    quant.add_batch(&ids, &corpus, 2);
+
+    // Quality gate before timing: the acceptance bars are hard errors here
+    // so a regression fails the bench run, not just the JSON validation.
+    let quality = measure_quality(&exact, &quant, &queries);
+    assert!(
+        quality.top1_identical,
+        "quantized top-1 diverged from exact search"
+    );
+    assert!(
+        quality.recall >= 0.95,
+        "quantized recall {} below the 0.95 floor",
+        quality.recall
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group(format!("quant_flat_{N}x{DIM}_k{K}"));
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(exact.search(q, K));
+            }
+        })
+    });
+    group.bench_function("int8_rescore", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(quant.search_quantized(q, K, RESCORE));
+            }
+        })
+    });
+    group.bench_function("exact_batch", |b| {
+        b.iter(|| std::hint::black_box(exact.search_batch_threads(&queries, K, cores)))
+    });
+    group.bench_function("int8_batch", |b| {
+        b.iter(|| {
+            std::hint::black_box(quant.search_batch_quantized_threads(&queries, K, RESCORE, cores))
+        })
+    });
+    group.finish();
+
+    emit_quant_json(&exact, &quant, &queries, &quality, cores);
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

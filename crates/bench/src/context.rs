@@ -91,6 +91,8 @@ impl ExpConfig {
                 ..RerankConfig::default()
             },
             use_rerank: true,
+            quantize: false,
+            rescore_factor: 4,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),

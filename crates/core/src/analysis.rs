@@ -71,7 +71,7 @@ pub fn analyze(
             pending.push((*ex, gold_ids));
         }
     }
-    let nls: Vec<String> = pending.iter().map(|(ex, _)| ex.nl.clone()).collect();
+    let nls: Vec<&str> = pending.iter().map(|(ex, _)| ex.nl.as_str()).collect();
     let translations = gar.translate_batch(db, prepared, &nls);
     for ((ex, gold_ids), tr) in pending.iter().zip(&translations) {
         let top_ok = tr

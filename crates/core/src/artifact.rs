@@ -129,6 +129,10 @@ pub fn prepared_to_bytes(p: &PreparedDb) -> Vec<u8> {
     buf.put_u32_le(p.entries.len() as u32);
     let dim = p.embeds.first().map(Vec::len).unwrap_or(0);
     buf.put_u32_le(dim as u32);
+    // Quantization flag: int8 codes are re-derived from the f32 embeddings
+    // on decode (quantization is deterministic), so only the switch is
+    // stored, not the codes.
+    buf.put_u8(u8::from(p.index.is_quantized()));
     for (e, emb) in p.entries.iter().zip(&p.embeds) {
         put_str(&mut buf, &gar_sql::to_sql(&e.sql));
         put_str(&mut buf, &e.dialect);
@@ -146,11 +150,12 @@ pub fn prepared_from_bytes(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
         return Err(PersistError::BadMagic.into());
     }
     let db_name = get_str(&mut buf)?;
-    if buf.remaining() < 8 {
+    if buf.remaining() < 9 {
         return Err(ArtifactError::Corrupt);
     }
     let n = buf.get_u32_le() as usize;
     let dim = buf.get_u32_le() as usize;
+    let quantized = buf.get_u8() != 0;
     // Every entry needs at least two 4-byte string length prefixes plus
     // `dim` floats; bound the claimed count by the bytes actually present
     // before reserving, so a corrupt header cannot trigger a huge
@@ -160,7 +165,11 @@ pub fn prepared_from_bytes(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
     }
     let mut entries = Vec::with_capacity(n);
     let mut embeds = Vec::with_capacity(n);
-    let mut index = FlatIndex::new(dim);
+    let mut index = if quantized {
+        FlatIndex::quantized(dim)
+    } else {
+        FlatIndex::new(dim)
+    };
     for i in 0..n {
         let sql_text = get_str(&mut buf)?;
         let sql = gar_sql::parse(&sql_text).map_err(|_| ArtifactError::BadSql(sql_text))?;

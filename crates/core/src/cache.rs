@@ -27,9 +27,18 @@
 //! - **Size-capped** — after each store, entries are evicted
 //!   oldest-modification-first until the directory is back under the
 //!   configured byte budget.
+//! - **Delta-aware** — each entry carries a `<key>.meta` sidecar recording
+//!   its base identity (everything except the samples) and the ordered
+//!   sample fingerprints. On an exact miss, the explicit-sample path looks
+//!   for a cached pool with the same base and an overlapping sample set and
+//!   patches it incrementally (retire + extend, O(Δ) encodes) instead of
+//!   re-preparing the whole pool. Patched pools are *not* stored under the
+//!   new exact key, so an exact hit always means "bit-identical to a cold
+//!   prepare".
 //!
 //! Hits and misses are counted in the global registry as `prep.cache_hit`
-//! and `prep.cache_miss`.
+//! and `prep.cache_miss`; delta patches additionally count
+//! `prep.cache_delta`.
 
 use crate::artifact::{prepared_from_bytes, prepared_to_bytes};
 use crate::prepare::PrepareConfig;
@@ -115,6 +124,35 @@ impl PrepareCache {
         &self.dir
     }
 
+    /// The sample-independent half of the cache identity: database schema
+    /// (+ annotations when used), prepare configuration, quantization
+    /// switch, retrieval model, and sample protocol. Two cache entries with
+    /// the same base key differ only in their sample sets, which makes them
+    /// candidates for delta patching (see [`PrepareCache::find_delta_base`]).
+    pub fn base_key(gar: &GarSystem, db: &GeneratedDb, protocol: SampleProtocol) -> u64 {
+        let mut h = Fnv64::new();
+        // v2: the kind-4 artifact gained a quantized-index flag byte and
+        // the key layout moved the model hash ahead of the samples.
+        h.bytes(b"gar-prep-cache-v2");
+        h.bytes(&[protocol.tag()]);
+        hash_schema(&mut h, db);
+        let cfg = &gar.config.prepare;
+        hash_config(&mut h, cfg);
+        // The quantization switch changes the stored index bytes;
+        // `rescore_factor` deliberately does not (it is a search-time
+        // over-retrieval knob, not part of the prepared pool).
+        h.bytes(&[u8::from(gar.config.quantize)]);
+        if cfg.use_annotations {
+            hash_annotations(&mut h, db);
+        }
+        // The embeddings depend on the trained retrieval weights; hash the
+        // serialized model so a retrain can never serve stale vectors.
+        let mut mh = Fnv64::new();
+        mh.bytes(&gar.retrieval.to_bytes());
+        h.u64(mh.0);
+        h.0
+    }
+
     /// Compute the content key for preparing `db` from `queries` under
     /// `protocol` with this system's prepare configuration and retrieval
     /// model. Query fingerprints are hashed *in order* (sample order feeds
@@ -127,24 +165,21 @@ impl PrepareCache {
         protocol: SampleProtocol,
     ) -> u64 {
         let mut h = Fnv64::new();
-        h.bytes(b"gar-prep-cache-v1");
-        h.bytes(&[protocol.tag()]);
-        hash_schema(&mut h, db);
-        let cfg = &gar.config.prepare;
-        hash_config(&mut h, cfg);
-        if cfg.use_annotations {
-            hash_annotations(&mut h, db);
-        }
+        h.u64(Self::base_key(gar, db, protocol));
         h.u64(queries.len() as u64);
         for q in queries {
             h.u64(fingerprint_hash(&normalize(q)));
         }
-        // The embeddings depend on the trained retrieval weights; hash the
-        // serialized model so a retrain can never serve stale vectors.
-        let mut mh = Fnv64::new();
-        mh.bytes(&gar.retrieval.to_bytes());
-        h.u64(mh.0);
         h.0
+    }
+
+    /// The value-insensitive per-sample fingerprints the cache identifies a
+    /// sample set by — the same hashes [`PrepareCache::key`] folds in.
+    pub fn sample_fingerprints(queries: &[Query]) -> Vec<u64> {
+        queries
+            .iter()
+            .map(|q| fingerprint_hash(&normalize(q)))
+            .collect()
     }
 
     /// Load the prepared db stored under `key`, if present and intact.
@@ -166,8 +201,9 @@ impl PrepareCache {
             }
             _ => {
                 // Truncated write, bit rot, or a foreign artifact: drop the
-                // entry and fall back to a cold prepare.
+                // entry (and its sidecar) and fall back to a cold prepare.
                 let _ = std::fs::remove_file(&path);
+                let _ = std::fs::remove_file(self.meta_path(key));
                 m.cache_miss.inc();
                 None
             }
@@ -195,6 +231,73 @@ impl PrepareCache {
         ok
     }
 
+    /// Write the delta sidecar for a stored entry: the base identity plus
+    /// the ordered sample fingerprints the pool was prepared from. The
+    /// sidecar is what lets a later run with an overlapping sample set find
+    /// this entry and patch it instead of cold-preparing (see
+    /// [`PrepareCache::find_delta_base`]). Best-effort, atomic like
+    /// [`PrepareCache::store`].
+    pub fn store_meta(&self, key: u64, base: u64, fingerprints: &[u64]) -> bool {
+        let mut text = String::with_capacity(32 + fingerprints.len() * 17);
+        text.push_str("gar-prep-meta-v2\n");
+        text.push_str(&format!("{base:016x}\n"));
+        for fp in fingerprints {
+            text.push_str(&format!("{fp:016x}\n"));
+        }
+        let tmp = self
+            .dir
+            .join(format!(".tmpm-{key:016x}-{}", std::process::id()));
+        if std::fs::write(&tmp, text.as_bytes()).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        let ok = std::fs::rename(&tmp, self.meta_path(key)).is_ok();
+        if !ok {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        ok
+    }
+
+    /// Scan the sidecars for the cached entry with the same base identity
+    /// whose sample set is closest to `fingerprints` (smallest symmetric
+    /// difference, ties broken by lower key for determinism). Only entries
+    /// whose patch is strictly cheaper than a cold prepare qualify: the
+    /// symmetric difference must be smaller than the new sample count.
+    /// Returns the winning entry's key and its stored fingerprints.
+    pub fn find_delta_base(&self, base: u64, fingerprints: &[u64]) -> Option<(u64, Vec<u64>)> {
+        use std::collections::HashSet;
+        let want: HashSet<u64> = fingerprints.iter().copied().collect();
+        let mut best: Option<(usize, u64, Vec<u64>)> = None;
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return None;
+        };
+        for e in rd.flatten() {
+            let path = e.path();
+            if path.extension().and_then(|x| x.to_str()) != Some("meta") {
+                continue;
+            }
+            let Some((key, meta_base, fps)) = read_meta(&path) else {
+                continue;
+            };
+            if meta_base != base || !self.path(key).exists() {
+                continue;
+            }
+            let have: HashSet<u64> = fps.iter().copied().collect();
+            let diff = want.symmetric_difference(&have).count();
+            if diff >= fingerprints.len().max(1) {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bd, bk, _)) => diff < *bd || (diff == *bd && key < *bk),
+            };
+            if better {
+                best = Some((diff, key, fps));
+            }
+        }
+        best.map(|(_, key, fps)| (key, fps))
+    }
+
     /// Number of committed entries currently in the cache directory.
     pub fn len(&self) -> usize {
         self.entries().len()
@@ -207,6 +310,10 @@ impl PrepareCache {
 
     fn path(&self, key: u64) -> PathBuf {
         self.dir.join(format!("{key:016x}.gar"))
+    }
+
+    fn meta_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.meta"))
     }
 
     fn entries(&self) -> Vec<(PathBuf, u64, std::time::SystemTime)> {
@@ -242,9 +349,33 @@ impl PrepareCache {
             }
             if std::fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(len);
+                // An orphan sidecar would advertise a base that no longer
+                // decodes; drop it with the artifact.
+                let _ = std::fs::remove_file(path.with_extension("meta"));
             }
         }
     }
+}
+
+/// Parse a `<key>.meta` sidecar: returns (key, base, fingerprints), or
+/// `None` for anything malformed (wrong tag, bad hex, foreign file name).
+fn read_meta(path: &Path) -> Option<(u64, u64, Vec<u64>)> {
+    let stem = path.file_stem()?.to_str()?;
+    let key = u64::from_str_radix(stem, 16).ok()?;
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != "gar-prep-meta-v2" {
+        return None;
+    }
+    let base = u64::from_str_radix(lines.next()?, 16).ok()?;
+    let mut fps = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        fps.push(u64::from_str_radix(line, 16).ok()?);
+    }
+    Some((key, base, fps))
 }
 
 fn hash_schema(h: &mut Fnv64, db: &GeneratedDb) {

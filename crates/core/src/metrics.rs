@@ -19,6 +19,10 @@
 //! | `prep.index_us` | histogram | offline index construction per prepared db |
 //! | `prep.cache_hit` | counter | prepared dbs served from the [`PrepareCache`](crate::PrepareCache) |
 //! | `prep.cache_miss` | counter | cache lookups that fell back to a cold prepare |
+//! | `prep.cache_delta` | counter | prepared dbs served by delta-patching a cached base pool |
+//! | `index.scan_us` | histogram | int8 candidate scan of a quantized search (gar-vecindex) |
+//! | `index.rescore_us` | histogram | exact f32 rescore pass of a quantized search (gar-vecindex) |
+//! | `index.compactions` | counter | physical index compactions after tombstone build-up (gar-vecindex) |
 //! | `train.retrieval_us` | histogram | whole retrieval-trainer wall time per `train_t` call |
 //! | `train.rerank_us` | histogram | whole re-ranker-trainer wall time per `train_t` call |
 //! | `train.grad_reduce_us` | histogram | fused block-gradient reduce + Adam step, per macro-batch |
@@ -86,6 +90,7 @@ pub(crate) struct PipelineMetrics {
     pub prep_index: Arc<Histogram>,
     pub cache_hit: Arc<Counter>,
     pub cache_miss: Arc<Counter>,
+    pub cache_delta: Arc<Counter>,
     pub retrieved: Arc<Counter>,
     pub filtered: Arc<Counter>,
     pub demoted_unfilled: Arc<Counter>,
@@ -112,6 +117,7 @@ pub(crate) fn metrics() -> &'static PipelineMetrics {
             prep_index: r.histogram("prep.index_us"),
             cache_hit: r.counter("prep.cache_hit"),
             cache_miss: r.counter("prep.cache_miss"),
+            cache_delta: r.counter("prep.cache_delta"),
             retrieved: r.counter("candidates.retrieved"),
             filtered: r.counter("candidates.filtered"),
             demoted_unfilled: r.counter("candidates.demoted_unfilled"),

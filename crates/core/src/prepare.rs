@@ -195,6 +195,19 @@ impl PoolIndex {
     pub fn covers(&self, entries: &[DialectEntry], gold: &Query) -> bool {
         self.first_match(entries, &mask_values(gold)).is_some()
     }
+
+    /// All entry positions whose normalized-fingerprint hash equals `hash`,
+    /// in ascending order. Unlike [`PoolIndex::gold_ids`] there is no
+    /// `exact_match` verification (callers such as the delta cache only
+    /// hold hashes, not queries): a u64 collision can at worst retire one
+    /// extra candidate from the pool, never resurrect one — the same
+    /// tolerance [`eval_samples_from_gold`] documents.
+    pub fn ids_for_hash(&self, hash: u64) -> Vec<usize> {
+        self.map
+            .get(&hash)
+            .map(|b| b.iter().map(|&i| i as usize).collect())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]

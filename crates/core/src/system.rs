@@ -39,6 +39,15 @@ pub struct GarConfig {
     pub rerank: RerankConfig,
     /// Apply the second-stage re-ranker (Table 8 ablation switch).
     pub use_rerank: bool,
+    /// Build int8-quantized prepared indices: the candidate scan runs over
+    /// int8 codes (4× less memory traffic) and the top `rescore_factor * k`
+    /// survivors are re-scored against the f32 vectors, so reported scores
+    /// stay exact.
+    pub quantize: bool,
+    /// Over-retrieval factor for quantized search: the int8 scan keeps
+    /// `rescore_factor * k` candidates before exact f32 rescoring. Values
+    /// below 1 behave as 1. Ignored unless `quantize` is set.
+    pub rescore_factor: usize,
     /// Worker threads for batch encoding.
     pub threads: usize,
     /// Master seed.
@@ -56,6 +65,8 @@ impl Default for GarConfig {
             retrieval: RetrievalConfig::default(),
             rerank: RerankConfig::default(),
             use_rerank: true,
+            quantize: false,
+            rescore_factor: 4,
             threads: 4,
             seed: 2023,
         }
@@ -337,7 +348,11 @@ impl GarSystem {
         let embeds = self.retrieval.encode_batch(&texts, threads);
         encode_timer.stop();
         let index_timer = StageTimer::start(&m.prep_index);
-        let mut index = FlatIndex::new(self.retrieval.embed_dim());
+        let mut index = if self.config.quantize {
+            FlatIndex::quantized(self.retrieval.embed_dim())
+        } else {
+            FlatIndex::new(self.retrieval.embed_dim())
+        };
         let ids: Vec<usize> = (0..embeds.len()).collect();
         index.add_batch(&ids, &embeds, threads);
         index_timer.stop();
@@ -351,6 +366,12 @@ impl GarSystem {
 
     /// [`GarSystem::prepare_with_samples`] through a content-addressed
     /// [`PrepareCache`]; `None` degrades to the uncached path.
+    ///
+    /// Lookup order: exact hit (bit-identical decode of a cold prepare) →
+    /// delta patch (a cached pool with the same base identity and an
+    /// overlapping sample set is retired/extended in place, encoding only
+    /// the new entries) → cold prepare. Delta-patched pools are *not*
+    /// stored under the exact key, so exact hits stay bit-identical.
     pub fn prepare_with_samples_cached(
         &self,
         db: &GeneratedDb,
@@ -365,9 +386,124 @@ impl GarSystem {
         if let Some(p) = cache.load(key, &db.schema.name) {
             return p;
         }
+        if let Some(p) = self.prepare_delta_from_cache(db, samples, threads, cache) {
+            return p;
+        }
         let p = self.prepare_with_samples_t(db, samples, threads);
-        cache.store(key, &p);
+        if cache.store(key, &p) {
+            let base = PrepareCache::base_key(self, db, SampleProtocol::Explicit);
+            cache.store_meta(key, base, &PrepareCache::sample_fingerprints(samples));
+        }
         p
+    }
+
+    /// The delta leg of [`GarSystem::prepare_with_samples_cached`]: find a
+    /// cached pool with the same base identity whose sample set is close to
+    /// `samples`, then patch it — tombstone the entries of retired samples
+    /// and append entries generalized from the added ones. Only the Δ
+    /// entries are encoded. The patched pool is a valid candidate pool for
+    /// `samples` but is not byte-identical to a cold prepare (the
+    /// generalizer walks the full sample set), so it is never stored under
+    /// the exact key. Counts `prep.cache_delta` on success.
+    fn prepare_delta_from_cache(
+        &self,
+        db: &GeneratedDb,
+        samples: &[Query],
+        threads: usize,
+        cache: &PrepareCache,
+    ) -> Option<PreparedDb> {
+        use std::collections::HashSet;
+        let base = PrepareCache::base_key(self, db, SampleProtocol::Explicit);
+        let fps = PrepareCache::sample_fingerprints(samples);
+        let (base_key, base_fps) = cache.find_delta_base(base, &fps)?;
+        let mut p = cache.load(base_key, &db.schema.name)?;
+        let base_set: HashSet<u64> = base_fps.iter().copied().collect();
+        let cur_set: HashSet<u64> = fps.iter().copied().collect();
+        let removed: Vec<u64> = base_fps
+            .iter()
+            .filter(|fp| !cur_set.contains(fp))
+            .copied()
+            .collect();
+        if !removed.is_empty() {
+            let pool = PoolIndex::build(&p.entries);
+            let mut ids: Vec<usize> = removed
+                .iter()
+                .flat_map(|&h| pool.ids_for_hash(h))
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            p.index.remove_batch(&ids);
+        }
+        let added: Vec<Query> = samples
+            .iter()
+            .zip(&fps)
+            .filter(|(_, fp)| !base_set.contains(fp))
+            .map(|(q, _)| q.clone())
+            .collect();
+        if !added.is_empty() {
+            self.extend_prepared(db, &mut p, &added, threads);
+        }
+        metrics().cache_delta.inc();
+        Some(p)
+    }
+
+    /// Incrementally extend a prepared database with new sample queries:
+    /// generalize and render only the new samples, drop everything the pool
+    /// already contains (fingerprint dedup), then encode and index the
+    /// genuinely new entries. Existing entries, embeddings, and entry ids
+    /// are untouched — the pool only grows, and the encode cost is O(new
+    /// entries), never a full re-encode. Returns the number of entries
+    /// appended.
+    pub fn extend_prepared(
+        &self,
+        db: &GeneratedDb,
+        prepared: &mut PreparedDb,
+        new_samples: &[Query],
+        threads: usize,
+    ) -> usize {
+        let m = metrics();
+        let fresh = prepare(db, new_samples, &PrepareConfig {
+            threads,
+            ..self.config.prepare.clone()
+        });
+        let pool = PoolIndex::build(&prepared.entries);
+        let new_entries: Vec<DialectEntry> = fresh
+            .into_iter()
+            .filter(|e| pool.first_match(&prepared.entries, &e.sql).is_none())
+            .collect();
+        if new_entries.is_empty() {
+            return 0;
+        }
+        let texts: Vec<&str> = new_entries.iter().map(|e| e.dialect.as_str()).collect();
+        let encode_timer = StageTimer::start(&m.prep_encode);
+        let embeds = self.retrieval.encode_batch(&texts, threads);
+        encode_timer.stop();
+        let index_timer = StageTimer::start(&m.prep_index);
+        let first = prepared.entries.len();
+        let ids: Vec<usize> = (first..first + embeds.len()).collect();
+        prepared.index.add_batch(&ids, &embeds, threads);
+        index_timer.stop();
+        prepared.entries.extend(new_entries);
+        prepared.embeds.extend(embeds);
+        prepared.entries.len() - first
+    }
+
+    /// Retire sample queries from a prepared database: every pool entry
+    /// whose masked SQL matches a retired sample is tombstoned in the
+    /// index, so no search path returns it again. Entries and embeddings
+    /// are kept in place (entry ids are positions into them and stay
+    /// valid); the index reclaims the dead rows automatically once
+    /// tombstones cross its compaction threshold. Returns the number of
+    /// entries retired.
+    pub fn retire_samples(&self, prepared: &mut PreparedDb, retired: &[Query]) -> usize {
+        let pool = PoolIndex::build(&prepared.entries);
+        let mut ids: Vec<usize> = retired
+            .iter()
+            .flat_map(|q| pool.gold_ids(&prepared.entries, &mask_values(q)))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prepared.index.remove_batch(&ids)
     }
 
     /// Translate an NL question over a prepared database.
@@ -377,7 +513,13 @@ impl GarSystem {
         let q_emb = self.retrieval.encode(nl);
         let encode_us = t0.elapsed().as_micros() as u64;
         let t1 = Instant::now();
-        let hits = prepared.index.search(&q_emb, self.config.k);
+        let hits = if prepared.index.is_quantized() {
+            prepared
+                .index
+                .search_quantized(&q_emb, self.config.k, self.config.rescore_factor)
+        } else {
+            prepared.index.search(&q_emb, self.config.k)
+        };
         let retrieve_us = t1.elapsed().as_micros() as u64;
         self.finish_translation(db, prepared, nl, &q_emb, hits, encode_us, retrieve_us)
     }
@@ -390,11 +532,11 @@ impl GarSystem {
     /// [`GarSystem::translate`] per question; `timings.encode_us` and
     /// `timings.retrieve_us` report the batch-amortized per-query stage-1
     /// latencies.
-    pub fn translate_batch(
+    pub fn translate_batch<S: AsRef<str> + Sync>(
         &self,
         db: &GeneratedDb,
         prepared: &PreparedDb,
-        nls: &[String],
+        nls: &[S],
     ) -> Vec<Translation> {
         if nls.is_empty() {
             return Vec::new();
@@ -406,9 +548,18 @@ impl GarSystem {
         let q_embs = self.retrieval.encode_batch(nls, threads);
         let encode_us = (t0.elapsed().as_micros() / nls.len() as u128) as u64;
         let t1 = Instant::now();
-        let mut all_hits = prepared
-            .index
-            .search_batch_threads(&q_embs, self.config.k, threads);
+        let mut all_hits = if prepared.index.is_quantized() {
+            prepared.index.search_batch_quantized_threads(
+                &q_embs,
+                self.config.k,
+                self.config.rescore_factor,
+                threads,
+            )
+        } else {
+            prepared
+                .index
+                .search_batch_threads(&q_embs, self.config.k, threads)
+        };
         let retrieve_us = (t1.elapsed().as_micros() / nls.len() as u128) as u64;
 
         // Stages 2 + 3, chunk-balanced over scoped workers.
@@ -417,7 +568,13 @@ impl GarSystem {
             for (i, slot) in out.iter_mut().enumerate() {
                 let hits = std::mem::take(&mut all_hits[i]);
                 *slot = Some(self.finish_translation(
-                    db, prepared, &nls[i], &q_embs[i], hits, encode_us, retrieve_us,
+                    db,
+                    prepared,
+                    nls[i].as_ref(),
+                    &q_embs[i],
+                    hits,
+                    encode_us,
+                    retrieve_us,
                 ));
             }
         } else {
@@ -439,7 +596,13 @@ impl GarSystem {
                         for (i, slot) in slot.iter_mut().enumerate() {
                             let h = std::mem::take(&mut hits[i]);
                             *slot = Some(self.finish_translation(
-                                db, prepared, &nls[i], &q_embs[i], h, encode_us, retrieve_us,
+                                db,
+                                prepared,
+                                nls[i].as_ref(),
+                                &q_embs[i],
+                                h,
+                                encode_us,
+                                retrieve_us,
                             ));
                         }
                     });
@@ -595,6 +758,8 @@ mod tests {
                 ..RerankConfig::default()
             },
             use_rerank: true,
+            quantize: false,
+            rescore_factor: 4,
             threads: 4,
             seed: 5,
         }
@@ -858,7 +1023,7 @@ mod tests {
             }
         }
 
-        assert!(gar.translate_batch(db, &prepared, &[]).is_empty());
+        assert!(gar.translate_batch::<String>(db, &prepared, &[]).is_empty());
     }
 
     #[test]
@@ -992,6 +1157,212 @@ mod tests {
         // Protocol is part of the identity too.
         let k3 = PrepareCache::key(&gar, db, &gold, SampleProtocol::Explicit);
         assert_ne!(k1, k3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quantized_prepare_serves_exact_scores_and_roundtrips() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 36,
+        });
+        let mut cfg = tiny_config();
+        cfg.quantize = true;
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        assert!(prepared.index.is_quantized());
+
+        // An exact twin over the same embeddings: quantized retrieval
+        // rescores with true f32 dots, so its reported scores are exact and
+        // its top-1 agrees with exact search (bit-for-bit score).
+        let mut exact = FlatIndex::new(gar.retrieval.embed_dim());
+        let ids: Vec<usize> = (0..prepared.embeds.len()).collect();
+        exact.add_batch(&ids, &prepared.embeds, 2);
+        for ex in bench.dev.iter().filter(|e| &e.db == db_name).take(5) {
+            let q = gar.retrieval.encode(&ex.nl);
+            let hq = prepared
+                .index
+                .search_quantized(&q, 10, gar.config.rescore_factor);
+            let he = exact.search(&q, 10);
+            assert_eq!(hq[0].score.to_bits(), he[0].score.to_bits());
+            assert!(hq.iter().any(|h| h.id == he[0].id));
+        }
+
+        // The quantized batch path stays bit-identical to sequential.
+        let nls: Vec<String> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.nl.clone())
+            .take(6)
+            .collect();
+        let batch = gar.translate_batch(db, &prepared, &nls);
+        for (nl, b) in nls.iter().zip(&batch) {
+            let s = gar.translate(db, &prepared, nl);
+            assert_eq!(b.retrieved, s.retrieved);
+            for (bc, sc) in b.ranked.iter().zip(&s.ranked) {
+                assert_eq!(bc.entry, sc.entry);
+                assert_eq!(bc.score.to_bits(), sc.score.to_bits());
+            }
+        }
+
+        // The artifact codec preserves the quantization switch.
+        let back = crate::artifact::prepared_from_bytes(&crate::artifact::prepared_to_bytes(
+            &prepared,
+        ))
+        .expect("decodes");
+        assert!(back.index.is_quantized());
+        let q = gar.retrieval.encode(&bench.dev[0].nl);
+        let (a, b) = (
+            prepared.index.search_quantized(&q, 10, 4),
+            back.index.search_quantized(&q, 10, 4),
+        );
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn extend_and_retire_update_prepared_pool_in_place() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 38,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let samples: Vec<Query> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        assert!(samples.len() >= 4, "need a few samples");
+        let split = samples.len() - 2;
+
+        let mut prepared = gar.prepare_with_samples(db, &samples[..split]);
+        let before_len = prepared.entries.len();
+        let before_dialects: Vec<String> =
+            prepared.entries.iter().take(8).map(|e| e.dialect.clone()).collect();
+
+        // Extend with the held-out samples: the pool only grows, existing
+        // entries and ids stay put, embeds stay parallel to entries.
+        let added = gar.extend_prepared(db, &mut prepared, &samples[split..], 2);
+        assert!(added > 0, "extension appended nothing");
+        assert_eq!(prepared.entries.len(), before_len + added);
+        assert_eq!(prepared.embeds.len(), prepared.entries.len());
+        assert_eq!(prepared.index.live_len(), prepared.entries.len());
+        for (a, b) in before_dialects.iter().zip(&prepared.entries) {
+            assert_eq!(a, &b.dialect, "existing entry moved");
+        }
+        let pool = PoolIndex::build(&prepared.entries);
+        for s in &samples[split..] {
+            assert!(pool.covers(&prepared.entries, s), "extension missed a sample");
+        }
+        // Extending again with the same samples is a no-op (dedup).
+        assert_eq!(gar.extend_prepared(db, &mut prepared, &samples[split..], 2), 0);
+
+        // Retire one sample: its entries are tombstoned, never searched.
+        let victim = &samples[0];
+        let doomed = pool.gold_ids(&prepared.entries, &mask_values(victim));
+        assert!(!doomed.is_empty(), "pool does not cover the victim");
+        let retired = gar.retire_samples(&mut prepared, std::slice::from_ref(victim));
+        assert_eq!(retired, doomed.len());
+        assert_eq!(prepared.index.tombstones(), retired);
+        for ex in bench.dev.iter().filter(|e| &e.db == db_name).take(6) {
+            let tr = gar.translate(db, &prepared, &ex.nl);
+            for id in &tr.retrieved {
+                assert!(!doomed.contains(id), "retired entry {id} retrieved");
+            }
+        }
+        // Retiring the same sample again finds nothing new.
+        assert_eq!(gar.retire_samples(&mut prepared, std::slice::from_ref(victim)), 0);
+    }
+
+    #[test]
+    fn delta_cache_patches_overlapping_sample_sets_without_reencode() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 39,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let samples: Vec<Query> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.sql.clone())
+            .collect();
+        assert!(samples.len() >= 4);
+        let dir = crate::cache::scratch_dir("delta");
+        let cache = PrepareCache::new(&dir).unwrap();
+        let snap = || gar_obs::global().snapshot();
+        let counter = |s: &gar_obs::Snapshot, n: &str| s.counter(n).unwrap_or(0);
+        let encodes =
+            |s: &gar_obs::Snapshot| s.histogram("prep.encode_us").map(|h| h.count).unwrap_or(0);
+
+        // Cold prepare of the base sample set stores artifact + sidecar.
+        let base_samples = &samples[..samples.len() - 1];
+        let cold = gar.prepare_with_samples_cached(db, base_samples, 2, Some(&cache));
+        assert_eq!(cache.len(), 1);
+
+        // Shrink by one sample: exact miss, but the base pool is patched by
+        // tombstoning alone — the encode stage must not run at all.
+        let fewer = &samples[..samples.len() - 2];
+        let before = snap();
+        let patched = gar.prepare_with_samples_cached(db, fewer, 2, Some(&cache));
+        let after = snap();
+        assert!(
+            counter(&after, "prep.cache_delta") >= counter(&before, "prep.cache_delta") + 1,
+            "delta path not taken on shrink"
+        );
+        assert_eq!(encodes(&after), encodes(&before), "shrink patch re-encoded the pool");
+        assert_eq!(patched.entries.len(), cold.entries.len());
+        let retired_sample = &samples[samples.len() - 2];
+        let doomed = PoolIndex::build(&patched.entries)
+            .gold_ids(&patched.entries, &mask_values(retired_sample));
+        assert!(patched.index.tombstones() >= doomed.len());
+        for ex in bench.dev.iter().filter(|e| &e.db == db_name).take(5) {
+            let tr = gar.translate(db, &patched, &ex.nl);
+            for id in &tr.retrieved {
+                assert!(!doomed.contains(id), "retired entry {id} retrieved after patch");
+            }
+        }
+        // Patched pools are not stored under the new exact key.
+        assert_eq!(cache.len(), 1, "delta result leaked into the cache");
+
+        // Grow by one sample: the base is patched by extension; only the
+        // delta entries are encoded (at most one encode_batch call), and
+        // the patched pool covers the added sample.
+        let before = snap();
+        let grown = gar.prepare_with_samples_cached(db, &samples, 2, Some(&cache));
+        let after = snap();
+        assert!(
+            counter(&after, "prep.cache_delta") >= counter(&before, "prep.cache_delta") + 1,
+            "delta path not taken on grow"
+        );
+        assert!(
+            encodes(&after) <= encodes(&before) + 1,
+            "grow patch ran more than the delta encode"
+        );
+        assert!(grown.entries.len() >= cold.entries.len());
+        let pool = PoolIndex::build(&grown.entries);
+        assert!(
+            pool.covers(&grown.entries, &samples[samples.len() - 1]),
+            "extension missed the added sample"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -23,6 +23,11 @@
 //! 5. **Codec robustness** ([`persist`]) — every strict prefix of a valid
 //!    artifact decodes to an error (truncation fuzz), as do corrupted
 //!    magic bytes and hostile shape headers.
+//! 6. **Quantized-index invariants** ([`quant`]) — int8 search rescored
+//!    in f32 keeps an identical top-1 and ≥ 0.95 top-k recall against
+//!    exact search, tombstoned ids never resurface and compaction is
+//!    bit-identical to a fresh build, and sharded batches stay bit-equal
+//!    to sequential for every thread count.
 //!
 //! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
 //! `rand` dependency for harness decisions), so **every failure replays
@@ -49,6 +54,7 @@ pub mod fault;
 pub mod gen;
 pub mod persist;
 pub mod pipeline;
+pub mod quant;
 pub mod rng;
 
 pub use differential::{run_differential, DiffConfig, DiffReport, Divergence};

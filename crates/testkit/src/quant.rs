@@ -1,0 +1,334 @@
+//! Quantized-index invariants: recall, tombstones, and shard identity.
+//!
+//! The int8 index layer (PR 6) trades scan bandwidth for a two-pass
+//! search; these harnesses pin down what the trade is allowed to cost:
+//!
+//! - **Recall** ([`check_quantized_recall`]) — over seeded pools, the
+//!   top-1 after f32 rescoring must be *identical* to exact search
+//!   (bit-equal score), and top-k recall must stay above a floor
+//!   (acceptance: ≥ 0.95).
+//! - **Tombstones & compaction** ([`check_tombstone_invariants`]) — no
+//!   search path may ever return a removed id; physical compaction must
+//!   be bit-identical to a fresh build of the survivors; and the index
+//!   must keep accepting adds after removals.
+//! - **Shard identity** ([`check_sharded_bit_identity`]) — batched search
+//!   (exact and quantized) is bit-identical to the sequential path for
+//!   every thread count.
+//!
+//! All pools are generated from [`TestRng`] seeds, so any failure replays
+//! from one `u64`.
+
+use crate::rng::TestRng;
+use gar_vecindex::FlatIndex;
+
+/// Shape of a seeded recall sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantRecallConfig {
+    /// Vectors in the pool.
+    pub pool: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Queries per seed.
+    pub queries: usize,
+    /// Top-k depth compared between exact and quantized search.
+    pub k: usize,
+    /// Over-retrieval factor for the quantized scan.
+    pub rescore_factor: usize,
+    /// Pool/query seed.
+    pub seed: u64,
+}
+
+impl Default for QuantRecallConfig {
+    fn default() -> Self {
+        QuantRecallConfig {
+            pool: 1200,
+            dim: 32,
+            queries: 24,
+            k: 20,
+            rescore_factor: 4,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+/// Outcome of a [`check_quantized_recall`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct QuantRecallStats {
+    /// Queries evaluated.
+    pub queries: usize,
+    /// Queries whose quantized top-1 carried the exact top-1 score
+    /// (bit-equal after f32 rescoring).
+    pub top1_identical: usize,
+    /// Mean top-k recall against exact search, in `[0, 1]`.
+    pub recall: f64,
+}
+
+fn seeded_vectors(rng: &mut TestRng, n: usize, dim: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.signed_unit()).collect())
+        .collect()
+}
+
+fn build_pair(vectors: &[Vec<f32>], dim: usize) -> (FlatIndex, FlatIndex) {
+    let mut exact = FlatIndex::new(dim);
+    let mut quant = FlatIndex::quantized(dim);
+    let ids: Vec<usize> = (0..vectors.len()).collect();
+    exact.add_batch(&ids, vectors, 2);
+    quant.add_batch(&ids, vectors, 2);
+    (exact, quant)
+}
+
+/// Compare quantized search (int8 scan + f32 rescore) against exact search
+/// over a seeded pool. A query violates the harness when its quantized
+/// top-1 score is not bit-equal to the exact top-1 score — rescoring uses
+/// the same f32 kernel as exact search, so ties aside, losing the true
+/// top-1 to the approximate cut is the only way to differ, and that is
+/// exactly what the rescore margin must prevent.
+pub fn check_quantized_recall(cfg: &QuantRecallConfig) -> Result<QuantRecallStats, Vec<String>> {
+    let mut rng = TestRng::new(cfg.seed);
+    let vectors = seeded_vectors(&mut rng, cfg.pool, cfg.dim);
+    let queries = seeded_vectors(&mut rng, cfg.queries, cfg.dim);
+    let (exact, quant) = build_pair(&vectors, cfg.dim);
+
+    let mut violations = Vec::new();
+    let mut stats = QuantRecallStats {
+        queries: cfg.queries,
+        ..QuantRecallStats::default()
+    };
+    let mut recall_sum = 0.0f64;
+    for (qi, q) in queries.iter().enumerate() {
+        let he = exact.search(q, cfg.k);
+        let hq = quant.search_quantized(q, cfg.k, cfg.rescore_factor);
+        if he.len() != hq.len() {
+            violations.push(format!(
+                "query {qi}: exact returned {} hits, quantized {}",
+                he.len(),
+                hq.len()
+            ));
+            continue;
+        }
+        if he.is_empty() {
+            continue;
+        }
+        if he[0].score.to_bits() == hq[0].score.to_bits() {
+            stats.top1_identical += 1;
+        } else {
+            violations.push(format!(
+                "query {qi}: top-1 diverged (exact {} vs quantized {})",
+                he[0].score, hq[0].score
+            ));
+        }
+        // Reported quantized scores must be exact dots, not int8 estimates.
+        for h in &hq {
+            let truth = gar_vecindex::dot(q_normalized(q).as_slice(), exact_vector(&exact, h.id));
+            if h.score.to_bits() != truth.to_bits() {
+                violations.push(format!(
+                    "query {qi}: quantized hit {} reports an inexact score",
+                    h.id
+                ));
+                break;
+            }
+        }
+        let want: std::collections::HashSet<usize> = he.iter().map(|h| h.id).collect();
+        let got = hq.iter().filter(|h| want.contains(&h.id)).count();
+        recall_sum += got as f64 / he.len() as f64;
+    }
+    stats.recall = if cfg.queries == 0 {
+        1.0
+    } else {
+        recall_sum / cfg.queries as f64
+    };
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+fn q_normalized(q: &[f32]) -> Vec<f32> {
+    let mut v = q.to_vec();
+    gar_vecindex::normalize(&mut v);
+    v
+}
+
+fn exact_vector(idx: &FlatIndex, id: usize) -> &[f32] {
+    // Ids are insertion positions in these seeded pools (no removals).
+    idx.vector(id)
+}
+
+/// Remove a seeded subset of a quantized pool and verify the tombstone
+/// contract: removed ids never come back from any search path, a physical
+/// [`FlatIndex::compact`] answers bit-identically to a fresh build of the
+/// survivors, and the index keeps accepting (and returning) new vectors
+/// after removals.
+pub fn check_tombstone_invariants(
+    pool: usize,
+    dim: usize,
+    seed: u64,
+) -> Result<(), Vec<String>> {
+    let mut rng = TestRng::new(seed);
+    let vectors = seeded_vectors(&mut rng, pool, dim);
+    let queries = seeded_vectors(&mut rng, 8, dim);
+    let (_, mut quant) = build_pair(&vectors, dim);
+
+    let mut removed: Vec<usize> = (0..pool).filter(|_| rng.chance(0.12)).collect();
+    if removed.is_empty() {
+        removed.push(rng.below(pool));
+    }
+    let gone: std::collections::HashSet<usize> = removed.iter().copied().collect();
+    quant.remove_batch(&removed);
+
+    let mut violations = Vec::new();
+    let k = (pool / 4).max(8);
+    for (qi, q) in queries.iter().enumerate() {
+        for (path, hits) in [
+            ("search", quant.search(q, k)),
+            ("search_quantized", quant.search_quantized(q, k, 3)),
+        ] {
+            for h in hits {
+                if gone.contains(&h.id) {
+                    violations.push(format!("query {qi}: {path} returned removed id {}", h.id));
+                }
+            }
+        }
+    }
+
+    // Compaction ≡ fresh build of the survivors, bit for bit.
+    let mut compacted = quant.clone();
+    compacted.compact();
+    let mut fresh = FlatIndex::quantized(dim);
+    let survivors: Vec<usize> = (0..pool).filter(|i| !gone.contains(i)).collect();
+    let kept: Vec<Vec<f32>> = survivors.iter().map(|&i| vectors[i].clone()).collect();
+    fresh.add_batch(&survivors, &kept, 2);
+    for (qi, q) in queries.iter().enumerate() {
+        let (a, b) = (
+            compacted.search_quantized(q, k, 3),
+            fresh.search_quantized(q, k, 3),
+        );
+        if a.len() != b.len()
+            || a.iter().zip(&b).any(|(x, y)| {
+                x.id != y.id || x.score.to_bits() != y.score.to_bits()
+            })
+        {
+            violations.push(format!("query {qi}: compacted != fresh build"));
+        }
+    }
+
+    // Incremental add after removal: the new vector is findable.
+    let probe: Vec<f32> = (0..dim).map(|_| rng.signed_unit()).collect();
+    compacted.add(pool + 1, &probe);
+    if !compacted
+        .search_quantized(&probe, 1, 3)
+        .iter()
+        .any(|h| h.id == pool + 1)
+    {
+        violations.push("vector added after compaction is not retrievable".into());
+    }
+
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Batched search must be bit-identical to the sequential path for every
+/// thread count, on both the exact and the quantized index.
+pub fn check_sharded_bit_identity(
+    pool: usize,
+    dim: usize,
+    k: usize,
+    seed: u64,
+    threads: &[usize],
+) -> Result<(), Vec<String>> {
+    let mut rng = TestRng::new(seed);
+    let vectors = seeded_vectors(&mut rng, pool, dim);
+    let queries = seeded_vectors(&mut rng, 16, dim);
+    let (exact, quant) = build_pair(&vectors, dim);
+
+    let mut violations = Vec::new();
+    let seq_exact: Vec<_> = queries.iter().map(|q| exact.search(q, k)).collect();
+    let seq_quant: Vec<_> = queries
+        .iter()
+        .map(|q| quant.search_quantized(q, k, 4))
+        .collect();
+    for &t in threads {
+        let be = exact.search_batch_threads(&queries, k, t);
+        let bq = quant.search_batch_quantized_threads(&queries, k, 4, t);
+        for (label, seq, batch) in [("exact", &seq_exact, &be), ("quantized", &seq_quant, &bq)] {
+            for (qi, (s, b)) in seq.iter().zip(batch).enumerate() {
+                let same = s.len() == b.len()
+                    && s.iter()
+                        .zip(b)
+                        .all(|(x, y)| x.id == y.id && x.score.to_bits() == y.score.to_bits());
+                if !same {
+                    violations.push(format!(
+                        "{label} batch diverged from sequential at threads={t}, query {qi}"
+                    ));
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_sweep_holds_the_acceptance_bar() {
+        // Several independent seeds: top-1 identical on every query, and
+        // mean top-k recall at or above the 0.95 acceptance floor.
+        for seed in [0xC0DEu64, 7, 314159] {
+            let cfg = QuantRecallConfig {
+                seed,
+                ..QuantRecallConfig::default()
+            };
+            let stats = check_quantized_recall(&cfg).unwrap_or_else(|v| {
+                panic!("seed {seed:#x}: {}", v.join("; "));
+            });
+            assert_eq!(stats.top1_identical, stats.queries, "seed {seed:#x}");
+            assert!(
+                stats.recall >= 0.95,
+                "seed {seed:#x}: recall {} below floor",
+                stats.recall
+            );
+        }
+    }
+
+    #[test]
+    fn tombstone_invariants_hold_across_seeds() {
+        for seed in [1u64, 42, 0xBEEF] {
+            check_tombstone_invariants(700, 24, seed)
+                .unwrap_or_else(|v| panic!("seed {seed:#x}: {}", v.join("; ")));
+        }
+    }
+
+    #[test]
+    fn sharded_search_is_bit_identical_for_any_thread_count() {
+        check_sharded_bit_identity(900, 16, 25, 0xF00D, &[1, 2, 3, 5, 9])
+            .unwrap_or_else(|v| panic!("{}", v.join("; ")));
+    }
+
+    #[test]
+    fn degenerate_shapes_stay_clean() {
+        // k larger than the pool, tiny pools, rescore_factor 0 (treated
+        // as 1): no panics, exact agreement maintained.
+        let cfg = QuantRecallConfig {
+            pool: 6,
+            dim: 8,
+            queries: 4,
+            k: 50,
+            rescore_factor: 0,
+            seed: 99,
+        };
+        let stats = check_quantized_recall(&cfg).unwrap_or_else(|v| panic!("{}", v.join("; ")));
+        assert_eq!(stats.top1_identical, stats.queries);
+        assert!(stats.recall >= 0.95);
+    }
+}

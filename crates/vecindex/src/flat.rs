@@ -13,7 +13,11 @@
 // explicit lane indices keep the blocked shape visible to the vectorizer.
 #![allow(clippy::needless_range_loop)]
 
+use crate::index_metrics;
+use crate::quant::{score_tile_i8, score_tile_i8_q1, QuantParams};
+use gar_obs::StageTimer;
 use std::cmp::Ordering;
+use std::collections::HashSet;
 use std::ops::Range;
 
 /// A scored search hit.
@@ -38,7 +42,7 @@ pub fn normalize(v: &mut [f32]) {
 /// Number of queries scanned together per candidate in the batched kernel.
 /// Four queries x 8 lanes of `f32` accumulators fit comfortably in vector
 /// registers; wider blocks spill and run slower.
-const QBLOCK: usize = 4;
+pub(crate) const QBLOCK: usize = 4;
 
 /// Candidates per scoring tile. A tile's score rows (`QBLOCK * TILE * 4`
 /// bytes) stay L1-resident between the scoring and selection passes.
@@ -46,6 +50,26 @@ const TILE: usize = 512;
 
 /// Minimum candidates per worker shard before the batched search fans out.
 const MIN_SHARD: usize = 256;
+
+/// Tombstone fraction that triggers automatic compaction on remove:
+/// compact once `dead_count * COMPACT_DEN >= len`. A quarter of the store
+/// dead costs at most ~33% extra scan work, while compacting is a full
+/// store rewrite — compacting much earlier would thrash on churny
+/// workloads, much later leaves the scan reading mostly garbage.
+const COMPACT_DEN: usize = 4;
+
+/// Write `NEG_INFINITY` over score-row slots whose candidate is
+/// tombstoned. Top-k admission is strict (`s > thr` with `thr` starting at
+/// `NEG_INFINITY`), so a masked candidate can never be admitted — even
+/// when `k` exceeds the live count.
+#[inline]
+fn mask_dead_row(dead: &[bool], c0: usize, row: &mut [f32]) {
+    for (j, slot) in row.iter_mut().enumerate() {
+        if dead[c0 + j] {
+            *slot = f32::NEG_INFINITY;
+        }
+    }
+}
 
 /// Blocked dot product: 8-wide chunks with independent accumulator lanes
 /// (breaks the sequential FP dependency chain so the loop vectorizes),
@@ -217,11 +241,31 @@ pub(crate) fn partition(len: usize, parts: usize) -> Vec<Range<usize>> {
 /// Exact cosine-similarity index. Vectors are normalized on insertion, so
 /// search is a dot product scan with top-k partial selection — the role
 /// Faiss's `IndexFlatIP` plays in the paper's pipeline.
+///
+/// Two optional layers sit on top of the f32 store:
+///
+/// - **Int8 quantization** ([`FlatIndex::quantized`]): an i8 sidecar copy
+///   of every row. [`FlatIndex::search_quantized`] scans the sidecar (4×
+///   less memory bandwidth), keeps the top `rescore_factor * k`
+///   candidates by approximate score, then rescores the survivors with
+///   the exact f32 [`dot`] — reported scores are always exact.
+/// - **Tombstones** ([`FlatIndex::remove`]): removal marks rows dead
+///   instead of rewriting the store; dead rows are masked out of every
+///   search and physically dropped by [`FlatIndex::compact`], which runs
+///   automatically once a quarter of the store is dead.
 #[derive(Debug, Clone, Default)]
 pub struct FlatIndex {
     dim: usize,
     data: Vec<f32>,
     ids: Vec<usize>,
+    /// Int8 sidecar of `data` (`quantize_one` per component); empty unless
+    /// `quantized`.
+    qdata: Vec<i8>,
+    quantized: bool,
+    qparams: QuantParams,
+    /// Tombstone flags, one per stored row (`true` = removed).
+    dead: Vec<bool>,
+    dead_count: usize,
 }
 
 /// Score one candidate tile against a single query. `#[inline(never)]`
@@ -313,14 +357,59 @@ impl FlatIndex {
     pub fn new(dim: usize) -> Self {
         FlatIndex {
             dim,
-            data: Vec::new(),
-            ids: Vec::new(),
+            ..FlatIndex::default()
         }
     }
 
-    /// Number of stored vectors.
+    /// An empty int8-quantized index for vectors of dimension `dim`:
+    /// every added row also gets an i8 sidecar copy for the bandwidth-
+    /// reduced [`FlatIndex::search_quantized`] scan. Stored vectors are
+    /// L2-normalized, so the fixed unit-range [`QuantParams`] apply and
+    /// incremental adds never force requantization.
+    pub fn quantized(dim: usize) -> Self {
+        FlatIndex {
+            dim,
+            quantized: true,
+            qparams: QuantParams::unit(),
+            ..FlatIndex::default()
+        }
+    }
+
+    /// `true` when the index carries the int8 sidecar.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// The scalar-quantization parameters of the sidecar.
+    pub fn quant_params(&self) -> QuantParams {
+        self.qparams
+    }
+
+    /// Retrofit the int8 sidecar onto an existing unquantized index
+    /// (quantizes every stored row once). No-op when already quantized.
+    pub fn enable_quantization(&mut self) {
+        if self.quantized {
+            return;
+        }
+        self.quantized = true;
+        self.qparams = QuantParams::unit();
+        let p = self.qparams;
+        self.qdata = self.data.iter().map(|&x| p.quantize_one(x)).collect();
+    }
+
+    /// Number of stored rows, live and tombstoned (the scan bound).
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.ids.len() - self.dead_count
+    }
+
+    /// Number of tombstoned rows awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.dead_count
     }
 
     /// `true` when empty.
@@ -334,13 +423,25 @@ impl FlatIndex {
     }
 
     /// Add a vector under a caller-assigned id. The vector is copied and
-    /// L2-normalized. Panics on dimension mismatch (construction error).
+    /// L2-normalized (and quantized into the i8 sidecar on quantized
+    /// indices). Panics on dimension mismatch (construction error).
     pub fn add(&mut self, id: usize, v: &[f32]) {
-        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        assert_eq!(
+            v.len(),
+            self.dim,
+            "dimension mismatch: index expects {}-d vectors, got {}-d",
+            self.dim,
+            v.len()
+        );
         let start = self.data.len();
         self.data.extend_from_slice(v);
         normalize(&mut self.data[start..]);
+        if self.quantized {
+            self.qparams
+                .quantize_append(&self.data[start..], &mut self.qdata);
+        }
         self.ids.push(id);
+        self.dead.push(false);
     }
 
     /// Append a batch of vectors, id `ids[i]` for `vecs[i]`, parallelizing
@@ -353,9 +454,16 @@ impl FlatIndex {
     pub fn add_batch(&mut self, ids: &[usize], vecs: &[Vec<f32>], threads: usize) {
         assert_eq!(ids.len(), vecs.len(), "ids/vectors length mismatch");
         for v in vecs {
-            assert_eq!(v.len(), self.dim, "dimension mismatch");
+            assert_eq!(
+                v.len(),
+                self.dim,
+                "dimension mismatch: index expects {}-d vectors, got {}-d",
+                self.dim,
+                v.len()
+            );
         }
         self.ids.extend_from_slice(ids);
+        self.dead.resize(self.ids.len(), false);
         if self.dim == 0 || vecs.is_empty() {
             return;
         }
@@ -369,27 +477,152 @@ impl FlatIndex {
                 row.copy_from_slice(v);
                 normalize(row);
             }
-            return;
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest = rows;
+                for range in partition(vecs.len(), threads) {
+                    let (chunk, tail) = rest.split_at_mut(range.len() * dim);
+                    rest = tail;
+                    let vs = &vecs[range];
+                    scope.spawn(move || {
+                        for (row, v) in chunk.chunks_mut(dim).zip(vs) {
+                            row.copy_from_slice(v);
+                            normalize(row);
+                        }
+                    });
+                }
+            });
         }
-        std::thread::scope(|scope| {
-            let mut rest = rows;
-            for range in partition(vecs.len(), threads) {
-                let (chunk, tail) = rest.split_at_mut(range.len() * dim);
-                rest = tail;
-                let vs = &vecs[range];
-                scope.spawn(move || {
-                    for (row, v) in chunk.chunks_mut(dim).zip(vs) {
-                        row.copy_from_slice(v);
-                        normalize(row);
+        if self.quantized {
+            // Quantization is element-wise and deterministic, so the
+            // sharded pass below is bit-identical to sequential for any
+            // thread count (same guarantee as the normalization pass).
+            let p = self.qparams;
+            let qstart = self.qdata.len();
+            self.qdata.resize(qstart + vecs.len() * dim, 0);
+            let src = &self.data[start..];
+            let qdst = &mut self.qdata[qstart..];
+            if threads == 1 {
+                for (o, &x) in qdst.iter_mut().zip(src) {
+                    *o = p.quantize_one(x);
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    let mut rest = qdst;
+                    let mut off = 0;
+                    for range in partition(vecs.len(), threads) {
+                        let span = range.len() * dim;
+                        let (chunk, tail) = rest.split_at_mut(span);
+                        rest = tail;
+                        let s = &src[off..off + span];
+                        off += span;
+                        scope.spawn(move || {
+                            for (o, &x) in chunk.iter_mut().zip(s) {
+                                *o = p.quantize_one(x);
+                            }
+                        });
                     }
                 });
             }
-        });
+        }
     }
 
-    /// Retrieve the normalized vector stored at insertion position `pos`.
+    /// Retrieve the normalized vector stored at insertion position `pos`
+    /// (not id — positions are 0-based insertion order and shift on
+    /// [`FlatIndex::compact`]). Tombstoned rows remain addressable until
+    /// compaction. Panics with a descriptive message when `pos` is out of
+    /// bounds instead of slicing at a garbage offset.
     pub fn vector(&self, pos: usize) -> &[f32] {
+        assert!(
+            pos < self.ids.len(),
+            "vector position {pos} out of bounds: index holds {} rows",
+            self.ids.len()
+        );
         &self.data[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    /// Tombstone every live row stored under `id`. The row stops being
+    /// returned by every search immediately; the backing memory is
+    /// reclaimed by [`FlatIndex::compact`], which triggers automatically
+    /// once a quarter of the store is dead. Returns `true` when at least
+    /// one row was removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        let mut removed = false;
+        for pos in 0..self.ids.len() {
+            if self.ids[pos] == id && !self.dead[pos] {
+                self.dead[pos] = true;
+                self.dead_count += 1;
+                removed = true;
+            }
+        }
+        if removed {
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    /// Tombstone every live row whose id is in `ids`; one scan over the
+    /// store regardless of how many ids are removed. Returns the number of
+    /// rows tombstoned.
+    pub fn remove_batch(&mut self, ids: &[usize]) -> usize {
+        let kill: HashSet<usize> = ids.iter().copied().collect();
+        let mut removed = 0;
+        for pos in 0..self.ids.len() {
+            if !self.dead[pos] && kill.contains(&self.ids[pos]) {
+                self.dead[pos] = true;
+                self.dead_count += 1;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.dead_count > 0 && self.dead_count * COMPACT_DEN >= self.ids.len() {
+            self.compact();
+        }
+    }
+
+    /// Physically drop tombstoned rows, preserving the insertion order of
+    /// the survivors. Rows are bit-copied, so a compacted index is
+    /// bit-identical (data, sidecar, ids, search results) to one freshly
+    /// built from only the live vectors. Positions shift; ids do not.
+    /// Returns the number of rows reclaimed.
+    pub fn compact(&mut self) -> usize {
+        if self.dead_count == 0 {
+            return 0;
+        }
+        let dim = self.dim;
+        let mut w = 0;
+        for r in 0..self.ids.len() {
+            if self.dead[r] {
+                continue;
+            }
+            if w != r {
+                self.ids[w] = self.ids[r];
+                if dim > 0 {
+                    self.data.copy_within(r * dim..(r + 1) * dim, w * dim);
+                    if self.quantized {
+                        self.qdata.copy_within(r * dim..(r + 1) * dim, w * dim);
+                    }
+                }
+            }
+            w += 1;
+        }
+        let removed = self.ids.len() - w;
+        self.ids.truncate(w);
+        self.data.truncate(w * dim);
+        if self.quantized {
+            self.qdata.truncate(w * dim);
+        }
+        self.dead.clear();
+        self.dead.resize(w, false);
+        self.dead_count = 0;
+        index_metrics().compactions.inc();
+        removed
     }
 
     /// Top-k cosine search. The query is normalized internally. Results are
@@ -397,7 +630,7 @@ impl FlatIndex {
     /// an empty vec without allocating; `k > len` returns all hits sorted.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
         assert_eq!(query.len(), self.dim, "dimension mismatch");
-        if k == 0 || self.is_empty() {
+        if k == 0 || self.live_len() == 0 {
             return Vec::new();
         }
         let mut q = query.to_vec();
@@ -409,6 +642,9 @@ impl FlatIndex {
         while c0 < n {
             let tile = TILE.min(n - c0);
             score_tile_q1(&self.data, self.dim, c0, &q, &mut row[..tile]);
+            if self.dead_count > 0 {
+                mask_dead_row(&self.dead, c0, &mut row[..tile]);
+            }
             topk.offer_row(&row[..tile], c0);
             c0 += tile;
         }
@@ -417,14 +653,93 @@ impl FlatIndex {
         self.hits_from(scored)
     }
 
+    /// Two-pass quantized top-k search: scan the int8 sidecar (a quarter
+    /// of the f32 scan's memory traffic) for the top `rescore_factor * k`
+    /// candidates under the approximate integer score, then rescore those
+    /// survivors with the exact f32 [`dot`] and return the best `k`.
+    /// Reported scores are therefore always exact; ranking differs from
+    /// [`FlatIndex::search`] only when a true top-k vector fails to
+    /// survive the approximate cut (on seeded pools the rescored top-1 is
+    /// identical to exact search — see the `gar-testkit` recall harness).
+    /// Panics when the index was not built quantized.
+    pub fn search_quantized(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        assert!(
+            self.quantized,
+            "search_quantized on an unquantized FlatIndex"
+        );
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.live_len() == 0 {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut qq = Vec::with_capacity(self.dim);
+        self.qparams.quantize_append(&q, &mut qq);
+
+        let m = index_metrics();
+        let r = k.saturating_mul(rescore_factor.max(1));
+        let scan_t = StageTimer::start(&m.scan_us);
+        let n = self.len();
+        let mut row = vec![0.0f32; TILE.min(n)];
+        let mut topk = TopK::new(r);
+        let mut c0 = 0;
+        while c0 < n {
+            let tile = TILE.min(n - c0);
+            score_tile_i8_q1(&self.qdata, self.dim, c0, &qq, &mut row[..tile]);
+            if self.dead_count > 0 {
+                mask_dead_row(&self.dead, c0, &mut row[..tile]);
+            }
+            topk.offer_row(&row[..tile], c0);
+            c0 += tile;
+        }
+        let mut approx = Vec::new();
+        topk.finish_into(&mut approx);
+        scan_t.stop();
+
+        let rescore_t = StageTimer::start(&m.rescore_us);
+        let hits = self.rescore(&q, approx, k);
+        rescore_t.stop();
+        hits
+    }
+
+    /// Exact-rescore the approximate survivors: replace each approximate
+    /// score with the f32 [`dot`] against the stored row (the identical
+    /// kernel the exact search uses), re-rank under the search total
+    /// order, and keep the best `k`.
+    fn rescore(&self, q: &[f32], approx: Vec<(f32, usize)>, k: usize) -> Vec<Hit> {
+        let exact: Vec<(f32, usize)> = approx
+            .into_iter()
+            .map(|(_, pos)| (dot(q, self.vector(pos)), pos))
+            .collect();
+        let mut hits = self.hits_from(exact);
+        hits.truncate(k);
+        hits
+    }
+
     /// Batched top-k cosine search: one result list per query, each
     /// bit-identical in ids and ordering to [`FlatIndex::search`] on the
     /// same query. Worker count defaults to the available parallelism.
-    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+    /// Queries are anything slice-like (`Vec<f32>`, `&[f32]`, arrays), so
+    /// callers holding borrowed embeddings need not clone them.
+    pub fn search_batch<V: AsRef<[f32]>>(&self, queries: &[V], k: usize) -> Vec<Vec<Hit>> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         self.search_batch_threads(queries, k, threads)
+    }
+
+    /// Batched [`FlatIndex::search_quantized`] with the default worker
+    /// count; bit-identical to the sequential quantized search per query.
+    pub fn search_batch_quantized<V: AsRef<[f32]>>(
+        &self,
+        queries: &[V],
+        k: usize,
+        rescore_factor: usize,
+    ) -> Vec<Vec<Hit>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_batch_quantized_threads(queries, k, rescore_factor, threads)
     }
 
     /// [`FlatIndex::search_batch`] with an explicit worker count. The vector
@@ -433,19 +748,19 @@ impl FlatIndex {
     /// reused top-k scratch, and the per-shard partial top-ks are merged
     /// under the same total order the sequential search uses, so results
     /// are exact regardless of the shard count.
-    pub fn search_batch_threads(
+    pub fn search_batch_threads<V: AsRef<[f32]>>(
         &self,
-        queries: &[Vec<f32>],
+        queries: &[V],
         k: usize,
         threads: usize,
     ) -> Vec<Vec<Hit>> {
         for q in queries {
-            assert_eq!(q.len(), self.dim, "dimension mismatch");
+            assert_eq!(q.as_ref().len(), self.dim, "dimension mismatch");
         }
         if queries.is_empty() {
             return Vec::new();
         }
-        if k == 0 || self.is_empty() {
+        if k == 0 || self.live_len() == 0 {
             return vec![Vec::new(); queries.len()];
         }
 
@@ -453,7 +768,7 @@ impl FlatIndex {
         let mut qbuf = Vec::with_capacity(queries.len() * self.dim);
         for q in queries {
             let start = qbuf.len();
-            qbuf.extend_from_slice(q);
+            qbuf.extend_from_slice(q.as_ref());
             normalize(&mut qbuf[start..]);
         }
 
@@ -502,6 +817,99 @@ impl FlatIndex {
             .collect()
     }
 
+    /// [`FlatIndex::search_batch_quantized`] with an explicit worker
+    /// count. The int8 sidecar is sharded into contiguous ranges across
+    /// scoped threads exactly like the f32 batch path; each worker keeps a
+    /// per-shard top `rescore_factor * k` by approximate score, shards are
+    /// merged under the search total order, and only the merged survivors
+    /// are f32-rescored. Integer accumulation makes the approximate scores
+    /// exactly equal on every path, so results are bit-identical to
+    /// [`FlatIndex::search_quantized`] for any thread count.
+    pub fn search_batch_quantized_threads<V: AsRef<[f32]>>(
+        &self,
+        queries: &[V],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        assert!(
+            self.quantized,
+            "search_batch_quantized on an unquantized FlatIndex"
+        );
+        for q in queries {
+            assert_eq!(q.as_ref().len(), self.dim, "dimension mismatch");
+        }
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        if k == 0 || self.live_len() == 0 {
+            return vec![Vec::new(); queries.len()];
+        }
+
+        // Normalize every query once, then quantize the normalized copy —
+        // the identical preprocessing `search_quantized` applies.
+        let mut qbuf = Vec::with_capacity(queries.len() * self.dim);
+        for q in queries {
+            let start = qbuf.len();
+            qbuf.extend_from_slice(q.as_ref());
+            normalize(&mut qbuf[start..]);
+        }
+        let mut qqbuf = Vec::with_capacity(qbuf.len());
+        self.qparams.quantize_append(&qbuf, &mut qqbuf);
+
+        let m = index_metrics();
+        let r = k.saturating_mul(rescore_factor.max(1));
+        let n = self.len();
+        let nq = queries.len();
+        let want = threads.clamp(1, n.div_ceil(MIN_SHARD).max(1));
+        let shards = partition(n, want);
+
+        let scan_t = StageTimer::start(&m.scan_us);
+        let per_shard: Vec<Vec<Vec<(f32, usize)>>> = if shards.len() == 1 {
+            let mut partials: Vec<Vec<(f32, usize)>> = vec![Vec::new(); nq];
+            self.scan_shard_i8(&qqbuf, 0..n, r, &mut partials);
+            vec![partials]
+        } else {
+            let qqbuf = &qqbuf;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter()
+                    .map(|range| {
+                        let range = range.clone();
+                        scope.spawn(move || {
+                            let mut partials: Vec<Vec<(f32, usize)>> = vec![Vec::new(); nq];
+                            self.scan_shard_i8(qqbuf, range, r, &mut partials);
+                            partials
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("search_batch_quantized worker panicked"))
+                    .collect()
+            })
+        };
+        scan_t.stop();
+
+        // Merge the per-shard approximate top-rs, keep the global top r
+        // under the (score desc, pos asc) total order, then rescore only
+        // those survivors exactly.
+        let rescore_t = StageTimer::start(&m.rescore_us);
+        let out = (0..nq)
+            .map(|qi| {
+                let mut merged: Vec<(f32, usize)> = Vec::new();
+                for shard in &per_shard {
+                    merged.extend_from_slice(&shard[qi]);
+                }
+                merged.sort_unstable_by(rank);
+                merged.truncate(r);
+                self.rescore(&qbuf[qi * self.dim..(qi + 1) * self.dim], merged, k)
+            })
+            .collect();
+        rescore_t.stop();
+        out
+    }
+
     /// Scan one contiguous candidate range for every query in `qbuf`
     /// (normalized, `dim`-strided), writing per-query partial top-ks.
     /// Queries are processed [`QBLOCK`] at a time so each candidate tile
@@ -528,6 +936,9 @@ impl FlatIndex {
                 let tile = TILE.min(range.end - c0);
                 score_tile_qblock(&self.data, dim, c0, tile, qcat, &mut rows[..QBLOCK * tile]);
                 for (t, topk) in topks.iter_mut().enumerate() {
+                    if self.dead_count > 0 {
+                        mask_dead_row(&self.dead, c0, &mut rows[t * tile..(t + 1) * tile]);
+                    }
                     topk.offer_row(&rows[t * tile..(t + 1) * tile], c0);
                 }
                 c0 += tile;
@@ -545,6 +956,64 @@ impl FlatIndex {
             while c0 < range.end {
                 let tile = TILE.min(range.end - c0);
                 score_tile_q1(&self.data, dim, c0, q, &mut rows[..tile]);
+                if self.dead_count > 0 {
+                    mask_dead_row(&self.dead, c0, &mut rows[..tile]);
+                }
+                topk.offer_row(&rows[..tile], c0);
+                c0 += tile;
+            }
+            topk.finish_into(&mut out[qi]);
+            qi += 1;
+        }
+    }
+
+    /// Int8 twin of [`FlatIndex::scan_shard`]: scan one contiguous range
+    /// of the quantized sidecar for every quantized query in `qqbuf`
+    /// (`dim`-strided), writing per-query partial top-rs of *approximate*
+    /// scores. Same [`QBLOCK`]-query blocking, tiling, dead-masking, and
+    /// selection machinery; only the kernels read i8.
+    fn scan_shard_i8(
+        &self,
+        qqbuf: &[i8],
+        range: Range<usize>,
+        r: usize,
+        out: &mut [Vec<(f32, usize)>],
+    ) {
+        let dim = self.dim;
+        let nq = out.len();
+        let span = range.len();
+        let mut topks: Vec<TopK> = (0..QBLOCK).map(|_| TopK::new(r)).collect();
+        let mut rows = vec![0.0f32; QBLOCK * TILE.min(span)];
+        let mut qi = 0;
+        while qi + QBLOCK <= nq {
+            let qcat = &qqbuf[qi * dim..(qi + QBLOCK) * dim];
+            let mut c0 = range.start;
+            while c0 < range.end {
+                let tile = TILE.min(range.end - c0);
+                score_tile_i8(&self.qdata, dim, c0, tile, qcat, &mut rows[..QBLOCK * tile]);
+                for (t, topk) in topks.iter_mut().enumerate() {
+                    if self.dead_count > 0 {
+                        mask_dead_row(&self.dead, c0, &mut rows[t * tile..(t + 1) * tile]);
+                    }
+                    topk.offer_row(&rows[t * tile..(t + 1) * tile], c0);
+                }
+                c0 += tile;
+            }
+            for (j, t) in topks.iter_mut().enumerate() {
+                t.finish_into(&mut out[qi + j]);
+            }
+            qi += QBLOCK;
+        }
+        let topk = &mut topks[0];
+        while qi < nq {
+            let q = &qqbuf[qi * dim..(qi + 1) * dim];
+            let mut c0 = range.start;
+            while c0 < range.end {
+                let tile = TILE.min(range.end - c0);
+                score_tile_i8_q1(&self.qdata, dim, c0, q, &mut rows[..tile]);
+                if self.dead_count > 0 {
+                    mask_dead_row(&self.dead, c0, &mut rows[..tile]);
+                }
                 topk.offer_row(&rows[..tile], c0);
                 c0 += tile;
             }
@@ -737,7 +1206,7 @@ mod tests {
     #[test]
     fn search_batch_on_empty_inputs() {
         let idx = FlatIndex::new(4);
-        assert!(idx.search_batch(&[], 5).is_empty());
+        assert!(idx.search_batch::<Vec<f32>>(&[], 5).is_empty());
         let batch = idx.search_batch(&[vec![1.0, 0.0, 0.0, 0.0]], 5);
         assert_eq!(batch, vec![Vec::new()]);
     }
@@ -814,7 +1283,7 @@ mod tests {
         }
         // Empty query slice: nothing to do, no worker may panic.
         for threads in [1, 4, 9] {
-            assert!(idx.search_batch_threads(&[], 5, threads).is_empty());
+            assert!(idx.search_batch_threads::<Vec<f32>>(&[], 5, threads).is_empty());
         }
         // One query with far more threads than queries or shards.
         let q = vec![corpus[0].clone()];
@@ -886,6 +1355,187 @@ mod tests {
     fn add_batch_checks_id_arity() {
         let mut idx = FlatIndex::new(2);
         idx.add_batch(&[1], &[vec![1.0, 0.0], vec![0.0, 1.0]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector position 2 out of bounds")]
+    fn vector_position_is_bounds_checked() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(9, &[1.0, 0.0]);
+        idx.add(8, &[0.0, 1.0]);
+        let _ = idx.vector(2);
+    }
+
+    #[test]
+    fn search_batch_accepts_borrowed_queries() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(1, &[1.0, 0.0]);
+        idx.add(2, &[0.0, 1.0]);
+        let q: &[f32] = &[1.0, 0.1];
+        let batch = idx.search_batch(&[q], 1);
+        assert_eq!(batch[0][0].id, 1);
+    }
+
+    #[test]
+    fn quantized_search_scores_are_exact_and_top1_matches() {
+        let corpus = random_corpus(800, 16, 41);
+        let mut exact = FlatIndex::new(16);
+        let mut quant = FlatIndex::quantized(16);
+        for (i, v) in corpus.iter().enumerate() {
+            exact.add(i, v);
+            quant.add(i, v);
+        }
+        let queries = random_corpus(12, 16, 42);
+        for q in &queries {
+            let want = exact.search(q, 10);
+            let got = quant.search_quantized(q, 10, 4);
+            assert_eq!(want[0].id, got[0].id, "rescored top-1 must match exact");
+            assert_eq!(want[0].score.to_bits(), got[0].score.to_bits());
+            // Every reported score is an exact f32 dot for that id.
+            for h in &got {
+                let e = want.iter().find(|w| w.id == h.id);
+                if let Some(e) = e {
+                    assert_eq!(e.score.to_bits(), h.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_batch_is_bit_identical_for_any_thread_count() {
+        let corpus = random_corpus(TILE + 300, 8, 51);
+        let mut idx = FlatIndex::quantized(8);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        let queries = random_corpus(9, 8, 52);
+        let seq: Vec<Vec<Hit>> = queries
+            .iter()
+            .map(|q| idx.search_quantized(q, 7, 3))
+            .collect();
+        for threads in [1usize, 2, 4, 9] {
+            let batch = idx.search_batch_quantized_threads(&queries, 7, 3, threads);
+            assert_eq!(batch.len(), seq.len());
+            for (a, b) in seq.iter().zip(&batch) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.id, y.id, "threads={threads}");
+                    assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enable_quantization_matches_quantized_construction() {
+        let corpus = random_corpus(100, 8, 61);
+        let mut built = FlatIndex::quantized(8);
+        let mut retro = FlatIndex::new(8);
+        for (i, v) in corpus.iter().enumerate() {
+            built.add(i, v);
+            retro.add(i, v);
+        }
+        retro.enable_quantization();
+        assert_eq!(built.qdata, retro.qdata);
+        let q = &corpus[7];
+        let a = built.search_quantized(q, 5, 4);
+        let b = retro.search_quantized(q, 5, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn removed_ids_never_come_back_from_any_search_path() {
+        let corpus = random_corpus(600, 8, 71);
+        let mut idx = FlatIndex::quantized(8);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        // Remove the exact top hits for query 0 and a spread of others;
+        // stay below the auto-compaction threshold so tombstones persist.
+        let q = &corpus[0];
+        let doomed: Vec<usize> = idx.search(q, 3).iter().map(|h| h.id).collect();
+        assert_eq!(idx.remove_batch(&doomed), 3);
+        let extra = (0..600).find(|i| !doomed.contains(i)).unwrap();
+        assert!(idx.remove(extra));
+        assert!(!idx.remove(extra), "second removal of the same id is a no-op");
+        assert_eq!(idx.tombstones(), 4);
+        assert_eq!(idx.live_len(), 596);
+        let banned: HashSet<usize> = doomed.iter().copied().chain([extra]).collect();
+        for hits in [
+            idx.search(q, 50),
+            idx.search_quantized(q, 50, 4),
+            idx.search_batch_threads(&[q.clone()], 50, 4).remove(0),
+            idx.search_batch_quantized_threads(&[q.clone()], 50, 4, 4)
+                .remove(0),
+        ] {
+            assert_eq!(hits.len(), 50);
+            for h in &hits {
+                assert!(!banned.contains(&h.id), "removed id {} returned", h.id);
+            }
+        }
+        // k beyond the live count: only live rows come back.
+        let all = idx.search(q, 1000);
+        assert_eq!(all.len(), 596);
+    }
+
+    #[test]
+    fn compaction_is_bit_identical_to_fresh_build() {
+        let corpus = random_corpus(120, 8, 81);
+        let mut idx = FlatIndex::quantized(8);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        let kill: Vec<usize> = (0..120).filter(|i| i % 7 == 0).collect();
+        idx.remove_batch(&kill);
+        idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+
+        let mut fresh = FlatIndex::quantized(8);
+        for (i, v) in corpus.iter().enumerate() {
+            if i % 7 != 0 {
+                fresh.add(i, v);
+            }
+        }
+        assert_eq!(idx.ids, fresh.ids);
+        assert_eq!(idx.qdata, fresh.qdata);
+        assert_eq!(idx.data.len(), fresh.data.len());
+        for (a, b) in idx.data.iter().zip(&fresh.data) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let q = &corpus[3];
+        let a = idx.search_quantized(q, 9, 4);
+        let b = fresh.search_quantized(q, 9, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_removal_triggers_automatic_compaction() {
+        let corpus = random_corpus(100, 4, 91);
+        let mut idx = FlatIndex::quantized(4);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        let kill: Vec<usize> = (0..25).collect();
+        idx.remove_batch(&kill);
+        // 25 dead of 100 hits the 1/4 threshold: compaction ran.
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.len(), 75);
+        assert_eq!(idx.live_len(), 75);
+    }
+
+    #[test]
+    fn incremental_add_after_remove_is_searchable() {
+        let corpus = random_corpus(50, 4, 101);
+        let mut idx = FlatIndex::quantized(4);
+        for (i, v) in corpus.iter().enumerate() {
+            idx.add(i, v);
+        }
+        idx.remove(3);
+        idx.add(1000, &corpus[3]); // same vector, new id
+        let hits = idx.search_quantized(&corpus[3], 1, 4);
+        assert_eq!(hits[0].id, 1000);
+        let hits = idx.search(&corpus[3], 1);
+        assert_eq!(hits[0].id, 1000);
     }
 
     #[test]

@@ -7,17 +7,87 @@
 //! dialect set.
 
 use crate::flat::{dot, nan_last_desc, normalize, partition, Hit};
+use crate::index_metrics;
+use crate::quant::{dot_i8, QuantParams};
+use gar_obs::StageTimer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
 
 /// Reusable per-worker scratch for IVF searches: the normalized query, the
-/// centroid ranking, and the probed-candidate buffer all keep their
+/// centroid ranking, and the probed-candidate buffers all keep their
 /// capacity across queries, so a batched probe allocates only its outputs.
 #[derive(Debug, Default)]
 struct IvfScratch {
     q: Vec<f32>,
+    /// Quantized copy of the normalized query (quantized searches only).
+    qq: Vec<i8>,
     cell_scores: Vec<(usize, f32)>,
     hits: Vec<Hit>,
+    /// Approximate-pass survivors: `(approx_score, cell, row)`.
+    approx: Vec<(f32, usize, usize)>,
+}
+
+/// One inverted list: ids plus contiguous `dim`-strided normalized rows,
+/// an int8 sidecar (quantized indices only), and tombstone flags. The
+/// contiguous layout replaces the old per-entry `Vec<f32>` so a probe
+/// streams one allocation per cell instead of chasing a pointer per row.
+#[derive(Debug, Clone, Default)]
+struct Cell {
+    ids: Vec<usize>,
+    data: Vec<f32>,
+    qdata: Vec<i8>,
+    dead: Vec<bool>,
+}
+
+impl Cell {
+    fn row<'a>(&'a self, i: usize, dim: usize) -> &'a [f32] {
+        &self.data[i * dim..(i + 1) * dim]
+    }
+
+    fn qrow<'a>(&'a self, i: usize, dim: usize) -> &'a [i8] {
+        &self.qdata[i * dim..(i + 1) * dim]
+    }
+
+    /// Append a normalized row, quantizing into the sidecar when asked.
+    fn push(&mut self, id: usize, x: &[f32], quantize: Option<QuantParams>) {
+        self.ids.push(id);
+        self.data.extend_from_slice(x);
+        if let Some(p) = quantize {
+            p.quantize_append(x, &mut self.qdata);
+        }
+        self.dead.push(false);
+    }
+
+    /// Drop tombstoned rows in place, preserving survivor order
+    /// (bit-copies only). Returns the number of rows reclaimed.
+    fn compact(&mut self, dim: usize, quantized: bool) -> usize {
+        let mut w = 0;
+        for r in 0..self.ids.len() {
+            if self.dead[r] {
+                continue;
+            }
+            if w != r {
+                self.ids[w] = self.ids[r];
+                if dim > 0 {
+                    self.data.copy_within(r * dim..(r + 1) * dim, w * dim);
+                    if quantized {
+                        self.qdata.copy_within(r * dim..(r + 1) * dim, w * dim);
+                    }
+                }
+            }
+            w += 1;
+        }
+        let removed = self.ids.len() - w;
+        self.ids.truncate(w);
+        self.data.truncate(w * dim);
+        if quantized {
+            self.qdata.truncate(w * dim);
+        }
+        self.dead.clear();
+        self.dead.resize(w, false);
+        removed
+    }
 }
 
 /// IVF index configuration.
@@ -44,15 +114,21 @@ impl Default for IvfConfig {
     }
 }
 
-/// Approximate cosine index with a k-means coarse quantizer.
+/// Approximate cosine index with a k-means coarse quantizer. Supports the
+/// same optional layers as [`crate::FlatIndex`]: an int8 sidecar per cell
+/// with f32 rescoring of the approximate survivors
+/// ([`IvfIndex::search_quantized`]), and tombstoned removal with automatic
+/// compaction ([`IvfIndex::remove`]).
 #[derive(Debug, Clone)]
 pub struct IvfIndex {
     dim: usize,
     config: IvfConfig,
     centroids: Vec<f32>,
-    // Per cell: (id, normalized vector) pairs flattened.
-    cells: Vec<Vec<(usize, Vec<f32>)>>,
+    cells: Vec<Cell>,
     trained: bool,
+    quantized: bool,
+    qparams: QuantParams,
+    dead_count: usize,
 }
 
 impl IvfIndex {
@@ -64,12 +140,39 @@ impl IvfIndex {
             centroids: Vec::new(),
             cells: Vec::new(),
             trained: false,
+            quantized: false,
+            qparams: QuantParams::unit(),
+            dead_count: 0,
         }
     }
 
-    /// Number of stored vectors.
+    /// An untrained int8-quantized index: every added row also gets an i8
+    /// sidecar copy in its cell for [`IvfIndex::search_quantized`].
+    pub fn quantized(dim: usize, config: IvfConfig) -> Self {
+        IvfIndex {
+            quantized: true,
+            ..IvfIndex::new(dim, config)
+        }
+    }
+
+    /// `true` when cells carry the int8 sidecar.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// Number of stored rows, live and tombstoned.
     pub fn len(&self) -> usize {
-        self.cells.iter().map(Vec::len).sum()
+        self.cells.iter().map(|c| c.ids.len()).sum()
+    }
+
+    /// Number of live (non-tombstoned) rows.
+    pub fn live_len(&self) -> usize {
+        self.len() - self.dead_count
+    }
+
+    /// Number of tombstoned rows awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.dead_count
     }
 
     /// `true` when no vectors are stored.
@@ -125,7 +228,8 @@ impl IvfIndex {
         }
 
         self.centroids = centroids.concat();
-        self.cells = vec![Vec::new(); nlist];
+        self.cells = vec![Cell::default(); nlist];
+        self.dead_count = 0;
         self.trained = true;
     }
 
@@ -141,12 +245,19 @@ impl IvfIndex {
     /// API misuse, matching Faiss behaviour.
     pub fn add(&mut self, id: usize, v: &[f32]) {
         assert!(self.trained, "IvfIndex::add before train");
-        assert_eq!(v.len(), self.dim, "dimension mismatch");
+        assert_eq!(
+            v.len(),
+            self.dim,
+            "dimension mismatch: index expects {}-d vectors, got {}-d",
+            self.dim,
+            v.len()
+        );
         let mut x = v.to_vec();
         normalize(&mut x);
         let cents: Vec<&[f32]> = (0..self.nlist()).map(|c| self.centroid(c)).collect();
         let c = nearest_centroid_slices(&cents, &x);
-        self.cells[c].push((id, x));
+        let quantize = self.quantized.then_some(self.qparams);
+        self.cells[c].push(id, &x, quantize);
     }
 
     /// Add a batch of vectors, id `ids[i]` for `vecs[i]`, parallelizing
@@ -160,7 +271,13 @@ impl IvfIndex {
         assert!(self.trained, "IvfIndex::add before train");
         assert_eq!(ids.len(), vecs.len(), "ids/vectors length mismatch");
         for v in vecs {
-            assert_eq!(v.len(), self.dim, "dimension mismatch");
+            assert_eq!(
+                v.len(),
+                self.dim,
+                "dimension mismatch: index expects {}-d vectors, got {}-d",
+                self.dim,
+                v.len()
+            );
         }
         if vecs.is_empty() {
             return;
@@ -197,9 +314,76 @@ impl IvfIndex {
                 .collect()
         };
         drop(cents);
+        let quantize = self.quantized.then_some(self.qparams);
         for (id, (c, x)) in ids.iter().zip(assigned) {
-            self.cells[c].push((*id, x));
+            self.cells[c].push(*id, &x, quantize);
         }
+    }
+
+    /// Tombstone every live row stored under `id`; compaction of the cell
+    /// lists triggers automatically once a quarter of the stored rows are
+    /// dead. Returns `true` when at least one row was removed.
+    pub fn remove(&mut self, id: usize) -> bool {
+        let mut removed = false;
+        for cell in &mut self.cells {
+            for pos in 0..cell.ids.len() {
+                if cell.ids[pos] == id && !cell.dead[pos] {
+                    cell.dead[pos] = true;
+                    self.dead_count += 1;
+                    removed = true;
+                }
+            }
+        }
+        if removed {
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    /// Tombstone every live row whose id is in `ids`; one scan over the
+    /// cell lists regardless of how many ids are removed. Returns the
+    /// number of rows tombstoned.
+    pub fn remove_batch(&mut self, ids: &[usize]) -> usize {
+        let kill: HashSet<usize> = ids.iter().copied().collect();
+        let mut removed = 0;
+        for cell in &mut self.cells {
+            for pos in 0..cell.ids.len() {
+                if !cell.dead[pos] && kill.contains(&cell.ids[pos]) {
+                    cell.dead[pos] = true;
+                    self.dead_count += 1;
+                    removed += 1;
+                }
+            }
+        }
+        if removed > 0 {
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.dead_count > 0 && self.dead_count * 4 >= self.len() {
+            self.compact();
+        }
+    }
+
+    /// Physically drop tombstoned rows from every cell, preserving the
+    /// within-cell insertion order of the survivors (bit-copies only, so a
+    /// compacted index is bit-identical to one freshly built from the live
+    /// vectors in the same order). Returns the number of rows reclaimed.
+    pub fn compact(&mut self) -> usize {
+        if self.dead_count == 0 {
+            return 0;
+        }
+        let (dim, quantized) = (self.dim, self.quantized);
+        let removed: usize = self
+            .cells
+            .iter_mut()
+            .map(|c| c.compact(dim, quantized))
+            .sum();
+        self.dead_count = 0;
+        index_metrics().compactions.inc();
+        removed
     }
 
     /// Top-k approximate search over the `nprobe` nearest cells. `k = 0`
@@ -209,39 +393,97 @@ impl IvfIndex {
         self.search_with(query, k, &mut IvfScratch::default())
     }
 
+    /// Two-pass quantized top-k search: probe the `nprobe` nearest cells
+    /// scanning only the int8 sidecars, keep the top `rescore_factor * k`
+    /// candidates by approximate score, then rescore those survivors with
+    /// the exact f32 [`dot`] and return the best `k`. Reported scores are
+    /// always exact. Panics when the index was not built quantized.
+    pub fn search_quantized(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        self.search_quantized_with(query, k, rescore_factor, &mut IvfScratch::default())
+    }
+
     /// Batched top-k approximate search: one result list per query, each
     /// bit-identical in ids and ordering to [`IvfIndex::search`] on the
     /// same query. Worker count defaults to the available parallelism.
-    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<Hit>> {
+    /// Queries are anything slice-like, so callers holding borrowed
+    /// embeddings need not clone them.
+    pub fn search_batch<V: AsRef<[f32]> + Sync>(&self, queries: &[V], k: usize) -> Vec<Vec<Hit>> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         self.search_batch_threads(queries, k, threads)
     }
 
+    /// Batched [`IvfIndex::search_quantized`] with the default worker
+    /// count; bit-identical to the sequential quantized search per query.
+    pub fn search_batch_quantized<V: AsRef<[f32]> + Sync>(
+        &self,
+        queries: &[V],
+        k: usize,
+        rescore_factor: usize,
+    ) -> Vec<Vec<Hit>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.search_batch_quantized_threads(queries, k, rescore_factor, threads)
+    }
+
     /// [`IvfIndex::search_batch`] with an explicit worker count. Queries are
     /// chunk-balanced across scoped worker threads; each worker probes with
     /// its own reused [`IvfScratch`], so results are independent of the
     /// worker count by construction.
-    pub fn search_batch_threads(
+    pub fn search_batch_threads<V: AsRef<[f32]> + Sync>(
         &self,
-        queries: &[Vec<f32>],
+        queries: &[V],
         k: usize,
         threads: usize,
     ) -> Vec<Vec<Hit>> {
+        self.batch_dispatch(queries, threads, k == 0, |q, scratch| {
+            self.search_with(q, k, scratch)
+        })
+    }
+
+    /// [`IvfIndex::search_batch_quantized`] with an explicit worker count.
+    /// Same chunk-balanced fan-out as the exact batch path; per-query work
+    /// is the sequential quantized probe, so results are bit-identical for
+    /// any thread count by construction.
+    pub fn search_batch_quantized_threads<V: AsRef<[f32]> + Sync>(
+        &self,
+        queries: &[V],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        assert!(
+            self.quantized,
+            "search_batch_quantized on an unquantized IvfIndex"
+        );
+        self.batch_dispatch(queries, threads, k == 0, |q, scratch| {
+            self.search_quantized_with(q, k, rescore_factor, scratch)
+        })
+    }
+
+    /// Shared batched fan-out: chunk-balance queries across scoped worker
+    /// threads, each running `per_query` with its own reused scratch.
+    fn batch_dispatch<V, F>(&self, queries: &[V], threads: usize, trivial: bool, per_query: F) -> Vec<Vec<Hit>>
+    where
+        V: AsRef<[f32]> + Sync,
+        F: Fn(&[f32], &mut IvfScratch) -> Vec<Hit> + Sync,
+    {
         assert!(self.trained, "IvfIndex::search before train");
         if queries.is_empty() {
             return Vec::new();
         }
         let mut out: Vec<Vec<Hit>> = vec![Vec::new(); queries.len()];
         let threads = threads.clamp(1, queries.len());
-        if threads == 1 || k == 0 {
+        if threads == 1 || trivial {
             let mut scratch = IvfScratch::default();
             for (slot, q) in out.iter_mut().zip(queries) {
-                *slot = self.search_with(q, k, &mut scratch);
+                *slot = per_query(q.as_ref(), &mut scratch);
             }
             return out;
         }
+        let per_query = &per_query;
         std::thread::scope(|scope| {
             let mut out_rest = out.as_mut_slice();
             let mut q_rest = queries;
@@ -253,7 +495,7 @@ impl IvfIndex {
                 scope.spawn(move || {
                     let mut scratch = IvfScratch::default();
                     for (slot, q) in slots.iter_mut().zip(qs) {
-                        *slot = self.search_with(q, k, &mut scratch);
+                        *slot = per_query(q.as_ref(), &mut scratch);
                     }
                 });
             }
@@ -261,18 +503,13 @@ impl IvfIndex {
         out
     }
 
-    fn search_with(&self, query: &[f32], k: usize, scratch: &mut IvfScratch) -> Vec<Hit> {
-        assert!(self.trained, "IvfIndex::search before train");
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        if k == 0 || self.is_empty() {
-            return Vec::new();
-        }
+    /// Normalize the query into scratch and rank cells by centroid
+    /// similarity (shared head of the exact and quantized probes).
+    fn rank_cells(&self, query: &[f32], scratch: &mut IvfScratch) {
         scratch.q.clear();
         scratch.q.extend_from_slice(query);
         normalize(&mut scratch.q);
         let q = &scratch.q;
-
-        // Rank cells by centroid similarity.
         scratch.cell_scores.clear();
         scratch
             .cell_scores
@@ -280,13 +517,27 @@ impl IvfIndex {
         scratch
             .cell_scores
             .sort_by(|a, b| nan_last_desc(a.1, b.1));
+    }
+
+    fn search_with(&self, query: &[f32], k: usize, scratch: &mut IvfScratch) -> Vec<Hit> {
+        assert!(self.trained, "IvfIndex::search before train");
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.live_len() == 0 {
+            return Vec::new();
+        }
+        self.rank_cells(query, scratch);
+        let q = &scratch.q;
 
         scratch.hits.clear();
         for &(c, _) in scratch.cell_scores.iter().take(self.config.nprobe.max(1)) {
-            for (id, v) in &self.cells[c] {
+            let cell = &self.cells[c];
+            for pos in 0..cell.ids.len() {
+                if cell.dead[pos] {
+                    continue;
+                }
                 scratch.hits.push(Hit {
-                    id: *id,
-                    score: dot(v, q),
+                    id: cell.ids[pos],
+                    score: dot(cell.row(pos, self.dim), q),
                 });
             }
         }
@@ -294,6 +545,68 @@ impl IvfIndex {
             .hits
             .sort_by(|a, b| nan_last_desc(a.score, b.score));
         scratch.hits.iter().take(k).copied().collect()
+    }
+
+    /// The quantized probe: approximate i8 scores over the probed cells'
+    /// sidecars, stable-sorted (ties keep deterministic probe order),
+    /// truncated to `rescore_factor * k` survivors, then exact f32
+    /// rescoring of only those rows. The per-query work is sequential and
+    /// deterministic, which is what makes the batched fan-out bit-identical
+    /// for any thread count.
+    fn search_quantized_with(
+        &self,
+        query: &[f32],
+        k: usize,
+        rescore_factor: usize,
+        scratch: &mut IvfScratch,
+    ) -> Vec<Hit> {
+        assert!(self.trained, "IvfIndex::search before train");
+        assert!(
+            self.quantized,
+            "search_quantized on an unquantized IvfIndex"
+        );
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.live_len() == 0 {
+            return Vec::new();
+        }
+        self.rank_cells(query, scratch);
+        scratch.qq.clear();
+        self.qparams.quantize_append(&scratch.q, &mut scratch.qq);
+        let (q, qq) = (&scratch.q, &scratch.qq);
+
+        let m = index_metrics();
+        let r = k.saturating_mul(rescore_factor.max(1));
+        let scan_t = StageTimer::start(&m.scan_us);
+        scratch.approx.clear();
+        for &(c, _) in scratch.cell_scores.iter().take(self.config.nprobe.max(1)) {
+            let cell = &self.cells[c];
+            for pos in 0..cell.ids.len() {
+                if cell.dead[pos] {
+                    continue;
+                }
+                let s = dot_i8(cell.qrow(pos, self.dim), qq) as f32;
+                scratch.approx.push((s, c, pos));
+            }
+        }
+        scratch.approx.sort_by(|a, b| nan_last_desc(a.0, b.0));
+        scratch.approx.truncate(r);
+        scan_t.stop();
+
+        let rescore_t = StageTimer::start(&m.rescore_us);
+        scratch.hits.clear();
+        for &(_, c, pos) in scratch.approx.iter() {
+            let cell = &self.cells[c];
+            scratch.hits.push(Hit {
+                id: cell.ids[pos],
+                score: dot(cell.row(pos, self.dim), q),
+            });
+        }
+        scratch
+            .hits
+            .sort_by(|a, b| nan_last_desc(a.score, b.score));
+        let out = scratch.hits.iter().take(k).copied().collect();
+        rescore_t.stop();
+        out
     }
 }
 
@@ -525,12 +838,10 @@ mod tests {
             // Cell contents must match exactly: same ids, same vector bits,
             // same within-cell insertion order.
             for (a, b) in seq.cells.iter().zip(&par.cells) {
-                assert_eq!(a.len(), b.len());
-                for ((ia, va), (ib, vb)) in a.iter().zip(b) {
-                    assert_eq!(ia, ib);
-                    for (x, y) in va.iter().zip(vb) {
-                        assert_eq!(x.to_bits(), y.to_bits());
-                    }
+                assert_eq!(a.ids, b.ids);
+                assert_eq!(a.data.len(), b.data.len());
+                for (x, y) in a.data.iter().zip(&b.data) {
+                    assert_eq!(x.to_bits(), y.to_bits());
                 }
             }
             for q in corpus.iter().take(5) {
@@ -548,6 +859,119 @@ mod tests {
         par.train(&corpus);
         par.add_batch(&[], &[], 4);
         assert!(par.is_empty());
+    }
+
+    #[test]
+    fn quantized_probe_matches_exact_probe_top1() {
+        let corpus = random_corpus(500, 16, 21);
+        let cfg = IvfConfig {
+            nlist: 8,
+            nprobe: 8, // probe everything: approximation comes only from i8
+            ..IvfConfig::default()
+        };
+        let mut exact = IvfIndex::new(16, cfg);
+        let mut quant = IvfIndex::quantized(16, cfg);
+        exact.train(&corpus);
+        quant.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            exact.add(i, v);
+            quant.add(i, v);
+        }
+        for q in corpus.iter().take(10) {
+            let a = exact.search(q, 5);
+            let b = quant.search_quantized(q, 5, 4);
+            assert_eq!(a[0].id, b[0].id, "rescored top-1 must match exact");
+            assert_eq!(a[0].score.to_bits(), b[0].score.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantized_batch_is_bit_identical_for_any_thread_count() {
+        let corpus = random_corpus(400, 8, 22);
+        let cfg = IvfConfig {
+            nlist: 8,
+            nprobe: 4,
+            ..IvfConfig::default()
+        };
+        let mut ivf = IvfIndex::quantized(8, cfg);
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let queries: Vec<Vec<f32>> = corpus[..11].to_vec();
+        let seq: Vec<Vec<Hit>> = queries
+            .iter()
+            .map(|q| ivf.search_quantized(q, 7, 3))
+            .collect();
+        for threads in [1usize, 2, 5, 8] {
+            let batch = ivf.search_batch_quantized_threads(&queries, 7, 3, threads);
+            assert_eq!(batch.len(), seq.len());
+            for (a, b) in seq.iter().zip(&batch) {
+                assert_eq!(a, b, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn removed_ids_stay_gone_and_compaction_matches_fresh_build() {
+        let corpus = random_corpus(200, 8, 23);
+        let cfg = IvfConfig {
+            nlist: 4,
+            nprobe: 4,
+            ..IvfConfig::default()
+        };
+        let mut ivf = IvfIndex::quantized(8, cfg);
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let kill: Vec<usize> = (0..200).filter(|i| i % 11 == 0).collect();
+        assert_eq!(ivf.remove_batch(&kill), kill.len());
+        assert_eq!(ivf.live_len(), 200 - kill.len());
+        for q in corpus.iter().take(5) {
+            for hits in [ivf.search(q, 50), ivf.search_quantized(q, 50, 4)] {
+                for h in &hits {
+                    assert!(h.id % 11 != 0, "removed id {} returned", h.id);
+                }
+            }
+        }
+
+        ivf.compact();
+        assert_eq!(ivf.tombstones(), 0);
+        let mut fresh = IvfIndex::quantized(8, cfg);
+        fresh.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            if i % 11 != 0 {
+                fresh.add(i, v);
+            }
+        }
+        for (a, b) in ivf.cells.iter().zip(&fresh.cells) {
+            assert_eq!(a.ids, b.ids);
+            assert_eq!(a.qdata, b.qdata);
+            for (x, y) in a.data.iter().zip(&b.data) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let q = &corpus[2];
+        assert_eq!(ivf.search(q, 9), fresh.search(q, 9));
+        assert_eq!(
+            ivf.search_quantized(q, 9, 4),
+            fresh.search_quantized(q, 9, 4)
+        );
+    }
+
+    #[test]
+    fn heavy_removal_triggers_automatic_compaction() {
+        let corpus = random_corpus(100, 4, 24);
+        let mut ivf = IvfIndex::quantized(4, IvfConfig::default());
+        ivf.train(&corpus);
+        for (i, v) in corpus.iter().enumerate() {
+            ivf.add(i, v);
+        }
+        let kill: Vec<usize> = (0..30).collect();
+        ivf.remove_batch(&kill);
+        assert_eq!(ivf.tombstones(), 0, "30% dead must have compacted");
+        assert_eq!(ivf.len(), 70);
     }
 
     #[test]

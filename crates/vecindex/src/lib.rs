@@ -28,6 +28,35 @@
 
 pub mod flat;
 pub mod ivf;
+pub mod quant;
 
 pub use flat::{dot, nan_last_desc, normalize, FlatIndex, Hit};
 pub use ivf::{IvfConfig, IvfIndex};
+pub use quant::QuantParams;
+
+use gar_obs::{Counter, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Interned [`gar_obs`] handles for the index-level metrics (catalogued in
+/// DESIGN.md § Observability): `index.scan_us` and `index.rescore_us`
+/// histograms around the two passes of quantized search, and the
+/// `index.compactions` counter incremented per physical compaction.
+pub(crate) struct IndexMetrics {
+    pub(crate) scan_us: Arc<Histogram>,
+    pub(crate) rescore_us: Arc<Histogram>,
+    pub(crate) compactions: Arc<Counter>,
+}
+
+/// The process-wide index metric handles, resolved once. The registry's
+/// in-place reset keeps cached handles valid for the process lifetime.
+pub(crate) fn index_metrics() -> &'static IndexMetrics {
+    static METRICS: OnceLock<IndexMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = gar_obs::global();
+        IndexMetrics {
+            scan_us: r.histogram("index.scan_us"),
+            rescore_us: r.histogram("index.rescore_us"),
+            compactions: r.counter("index.compactions"),
+        }
+    })
+}

@@ -1,0 +1,335 @@
+//! Int8 scalar quantization for the vector indices.
+//!
+//! Stored vectors are L2-normalized, so every component lies in `[-1, 1]`
+//! and a *fixed* symmetric step of `1/127` loses no range: `q = round(x *
+//! 127)` round-trips to within half a step and — crucially for the
+//! incremental index — never needs recalibration when vectors are added or
+//! removed. [`QuantParams`] still carries an explicit `(scale, offset)`
+//! pair so a per-shard calibrated variant can slot in later without a
+//! format change.
+//!
+//! The scan kernels mirror the f32 machinery in [`crate::flat`] exactly:
+//! 8-wide blocked dot products with independent accumulator lanes (i32
+//! accumulation is exact, so every path — scalar, blocked, query-blocked,
+//! const-dim specialized — produces the *identical* integer), a
+//! [`QBLOCK`]-query tile scorer, and const-dim monomorphizations for the
+//! embedding widths the system configures. Integer scores are handed to
+//! the shared top-k selector as `f32`; every i8×i8 dot is bounded by
+//! `dim * 127²`, far below 2²⁴, so the conversion is value-exact and the
+//! approximate ranking is deterministic on every path.
+//!
+//! Quantized search is a two-pass scheme: scan the i8 store (4× less
+//! memory bandwidth than f32) for the top `rescore_factor * k` candidates
+//! under the approximate integer score, then rescore only those survivors
+//! with the exact f32 [`dot`](crate::flat::dot) — the final ranking over
+//! the survivors is exact, and in practice (seeded-pool harness in
+//! `gar-testkit`) the rescored top-1 is bit-identical to a full f32 scan.
+
+use crate::flat::QBLOCK;
+
+/// Largest quantized magnitude (symmetric int8: `-127..=127`; -128 unused
+/// so negation stays in range).
+pub const QMAX: i32 = 127;
+
+/// Scalar-quantization parameters: `x ≈ q * scale + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Reconstruction step per quantized unit.
+    pub scale: f32,
+    /// Reconstruction offset (0 for the symmetric unit-range scheme).
+    pub offset: f32,
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        QuantParams::unit()
+    }
+}
+
+impl QuantParams {
+    /// Parameters for L2-normalized input: symmetric over `[-1, 1]`.
+    pub fn unit() -> Self {
+        QuantParams {
+            scale: 1.0 / QMAX as f32,
+            offset: 0.0,
+        }
+    }
+
+    /// Quantize one component. Out-of-range values saturate; NaN maps to 0
+    /// (a NaN candidate then scores ~0 in the approximate scan and is
+    /// rejected by the exact rescore, instead of poisoning the kernel).
+    #[inline]
+    pub fn quantize_one(self, x: f32) -> i8 {
+        let q = (x - self.offset) / self.scale;
+        if q.is_nan() {
+            return 0;
+        }
+        q.round().clamp(-(QMAX as f32), QMAX as f32) as i8
+    }
+
+    /// Quantize a vector, appending to `out` (callers pre-size or reuse).
+    pub fn quantize_append(self, v: &[f32], out: &mut Vec<i8>) {
+        out.extend(v.iter().map(|&x| self.quantize_one(x)));
+    }
+
+    /// Quantize a vector into an exact-size slice.
+    pub fn quantize_slice(self, v: &[f32], out: &mut [i8]) {
+        debug_assert_eq!(v.len(), out.len());
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o = self.quantize_one(x);
+        }
+    }
+
+    /// Reconstruct one component.
+    #[inline]
+    pub fn dequantize_one(self, q: i8) -> f32 {
+        q as f32 * self.scale + self.offset
+    }
+}
+
+/// Blocked int8 dot product with i32 accumulation: 8-wide chunks with
+/// independent accumulator lanes, scalar tail. Integer accumulation is
+/// exact, so (unlike the f32 kernels) *any* evaluation order produces the
+/// same result — the blocking exists purely for the vectorizer.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0i32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for j in 0..8 {
+            acc[j] += x[j] as i32 * y[j] as i32;
+        }
+    }
+    let mut s: i32 = acc.iter().sum();
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += *x as i32 * *y as i32;
+    }
+    s
+}
+
+/// One int8 candidate against [`QBLOCK`] quantized queries at once
+/// (`qcat` holds the queries concatenated, `dim`-strided). `inline(always)`
+/// for the same reason as the f32 twin: the tile scorer relies on the
+/// query chunks being hoisted into registers across candidates.
+#[inline(always)]
+fn dot_i8_qblock(cand: &[i8], qcat: &[i8], dim: usize, out: &mut [i32; QBLOCK]) {
+    let blocks = dim - dim % 8;
+    let mut acc = [[0i32; 8]; QBLOCK];
+    let mut i = 0;
+    while i < blocks {
+        let cb: &[i8; 8] = cand[i..i + 8].try_into().unwrap();
+        for (t, a) in acc.iter_mut().enumerate() {
+            let qb: &[i8; 8] = qcat[t * dim + i..t * dim + i + 8].try_into().unwrap();
+            for j in 0..8 {
+                a[j] += cb[j] as i32 * qb[j] as i32;
+            }
+        }
+        i += 8;
+    }
+    for (t, (o, a)) in out.iter_mut().zip(&acc).enumerate() {
+        let mut s: i32 = a.iter().sum();
+        for j in blocks..dim {
+            s += cand[j] as i32 * qcat[t * dim + j] as i32;
+        }
+        *o = s;
+    }
+}
+
+/// Score one int8 candidate tile against [`QBLOCK`] concatenated quantized
+/// queries, writing one f32 score row per query (`rows` is `tile`-strided).
+/// The i32 → f32 conversion is value-exact (|dot| ≤ dim·127² < 2²⁴ for
+/// every configured dimension), so downstream selection sees the integer
+/// ranking unchanged.
+#[inline(always)]
+fn score_tile_i8_impl(
+    data: &[i8],
+    dim: usize,
+    c0: usize,
+    tile: usize,
+    qcat: &[i8],
+    rows: &mut [f32],
+) {
+    let mut s = [0i32; QBLOCK];
+    for ci in 0..tile {
+        let c = c0 + ci;
+        dot_i8_qblock(&data[c * dim..(c + 1) * dim], qcat, dim, &mut s);
+        for t in 0..QBLOCK {
+            rows[t * tile + ci] = s[t] as f32;
+        }
+    }
+}
+
+/// Monomorphized int8 tile scorer for a compile-time dimension (constant
+/// trip count → fully unrolled inner dot, query block in registers).
+#[inline(never)]
+fn score_tile_i8_d<const D: usize>(
+    data: &[i8],
+    c0: usize,
+    tile: usize,
+    qcat: &[i8],
+    rows: &mut [f32],
+) {
+    score_tile_i8_impl(data, D, c0, tile, qcat, rows);
+}
+
+/// Fallback int8 tile scorer for uncommon dimensions.
+#[inline(never)]
+fn score_tile_i8_dyn(
+    data: &[i8],
+    dim: usize,
+    c0: usize,
+    tile: usize,
+    qcat: &[i8],
+    rows: &mut [f32],
+) {
+    score_tile_i8_impl(data, dim, c0, tile, qcat, rows);
+}
+
+/// Dispatch to a monomorphized int8 scorer for the dimensions the system
+/// configures. Integer accumulation means every path is exactly equal, not
+/// just bit-identical-by-construction.
+pub(crate) fn score_tile_i8(
+    data: &[i8],
+    dim: usize,
+    c0: usize,
+    tile: usize,
+    qcat: &[i8],
+    rows: &mut [f32],
+) {
+    match dim {
+        8 => score_tile_i8_d::<8>(data, c0, tile, qcat, rows),
+        16 => score_tile_i8_d::<16>(data, c0, tile, qcat, rows),
+        32 => score_tile_i8_d::<32>(data, c0, tile, qcat, rows),
+        64 => score_tile_i8_d::<64>(data, c0, tile, qcat, rows),
+        128 => score_tile_i8_d::<128>(data, c0, tile, qcat, rows),
+        _ => score_tile_i8_dyn(data, dim, c0, tile, qcat, rows),
+    }
+}
+
+/// Score one int8 candidate tile against a single quantized query.
+#[inline(never)]
+pub(crate) fn score_tile_i8_q1(
+    data: &[i8],
+    dim: usize,
+    c0: usize,
+    q: &[i8],
+    row: &mut [f32],
+) {
+    for (ci, slot) in row.iter_mut().enumerate() {
+        let c = c0 + ci;
+        *slot = dot_i8(q, &data[c * dim..(c + 1) * dim]) as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_vec(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(97);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantize_round_trips_within_half_a_step() {
+        let p = QuantParams::unit();
+        for &x in &[-1.0f32, -0.5, -0.013, 0.0, 0.013, 0.5, 0.9999, 1.0] {
+            let q = p.quantize_one(x);
+            let back = p.dequantize_one(q);
+            assert!(
+                (back - x).abs() <= p.scale / 2.0 + 1e-7,
+                "{x} -> {q} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_saturates_and_maps_nan_to_zero() {
+        let p = QuantParams::unit();
+        assert_eq!(p.quantize_one(10.0), 127);
+        assert_eq!(p.quantize_one(-10.0), -127);
+        assert_eq!(p.quantize_one(f32::INFINITY), 127);
+        assert_eq!(p.quantize_one(f32::NEG_INFINITY), -127);
+        assert_eq!(p.quantize_one(f32::NAN), 0);
+    }
+
+    #[test]
+    fn blocked_i8_dot_matches_naive() {
+        for len in [0usize, 1, 7, 8, 9, 19, 64, 65] {
+            let a: Vec<i8> = lcg_vec(len, 3).iter().map(|x| (x * 127.0) as i8).collect();
+            let b: Vec<i8> = lcg_vec(len, 4).iter().map(|x| (x * 127.0) as i8).collect();
+            let naive: i32 = a.iter().zip(&b).map(|(x, y)| *x as i32 * *y as i32).sum();
+            assert_eq!(dot_i8(&a, &b), naive, "len={len}");
+        }
+    }
+
+    #[test]
+    fn qblock_i8_dot_equals_scalar_dot() {
+        for dim in [5usize, 8, 19, 64] {
+            let cand: Vec<i8> = lcg_vec(dim, 9).iter().map(|x| (x * 127.0) as i8).collect();
+            let qcat: Vec<i8> = lcg_vec(QBLOCK * dim, 10)
+                .iter()
+                .map(|x| (x * 127.0) as i8)
+                .collect();
+            let mut out = [0i32; QBLOCK];
+            dot_i8_qblock(&cand, &qcat, dim, &mut out);
+            for t in 0..QBLOCK {
+                assert_eq!(out[t], dot_i8(&cand, &qcat[t * dim..(t + 1) * dim]));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_scorer_paths_agree_exactly() {
+        // Const-dim specializations, the dynamic fallback, and the
+        // single-query scorer all produce the identical integers.
+        for dim in [8usize, 19, 64] {
+            let n = 70;
+            let data: Vec<i8> = lcg_vec(n * dim, 21).iter().map(|x| (x * 127.0) as i8).collect();
+            let qcat: Vec<i8> = lcg_vec(QBLOCK * dim, 22)
+                .iter()
+                .map(|x| (x * 127.0) as i8)
+                .collect();
+            let tile = n;
+            let mut rows = vec![0.0f32; QBLOCK * tile];
+            score_tile_i8(&data, dim, 0, tile, &qcat, &mut rows);
+            let mut dyn_rows = vec![0.0f32; QBLOCK * tile];
+            score_tile_i8_dyn(&data, dim, 0, tile, &qcat, &mut dyn_rows);
+            assert_eq!(rows, dyn_rows);
+            for t in 0..QBLOCK {
+                let mut row = vec![0.0f32; tile];
+                score_tile_i8_q1(&data, dim, 0, &qcat[t * dim..(t + 1) * dim], &mut row);
+                assert_eq!(&rows[t * tile..(t + 1) * tile], &row[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_dot_approximates_f32_dot() {
+        let p = QuantParams::unit();
+        let dim = 64;
+        let mut a = lcg_vec(dim, 31);
+        let mut b = lcg_vec(dim, 32);
+        crate::flat::normalize(&mut a);
+        crate::flat::normalize(&mut b);
+        let exact = crate::flat::dot(&a, &b);
+        let mut qa = Vec::new();
+        let mut qb = Vec::new();
+        p.quantize_append(&a, &mut qa);
+        p.quantize_append(&b, &mut qb);
+        let approx = dot_i8(&qa, &qb) as f32 * p.scale * p.scale;
+        assert!(
+            (approx - exact).abs() < 0.05,
+            "approx {approx} vs exact {exact}"
+        );
+    }
+}

@@ -6,7 +6,9 @@
 # `bench_prepare` rewrites results/BENCH_prepare.json with the offline
 # preparation cold/parallel/warm wall-clock and per-stage medians, and
 # `bench_train` rewrites results/BENCH_train.json with ranker-training
-# throughput for the baseline / scratch-reuse / parallel arms.
+# throughput for the baseline / scratch-reuse / parallel arms, and
+# `bench_quant` rewrites results/BENCH_quant.json with exact-vs-int8
+# retrieval throughput, per-vector scan traffic, and recall.
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
@@ -15,16 +17,19 @@
 # train.rerank_us, train.grad_reduce_us), then validates
 # BENCH_prepare.json (warm cache hits must be ≥10× faster than cold
 # prepare everywhere; the ≥2× parallel-vs-sequential bar additionally
-# applies on multi-core hosts) and BENCH_train.json (scratch-reuse must be
+# applies on multi-core hosts), BENCH_train.json (scratch-reuse must be
 # ≥1.5× baseline everywhere; the ≥2× parallel-vs-scratch bar additionally
-# applies on multi-core hosts).
+# applies on multi-core hosts), and BENCH_quant.json (either a ≥2× int8
+# scan speedup or the ≥3.5× per-vector scan-traffic reduction, plus
+# rescored top-1 identity and ≥0.95 top-k recall; the batch bars are
+# informational on single-core hosts).
 #
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch bench_prepare bench_train; do
+for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -133,4 +138,41 @@ else
       || { echo "missing $k in $TRAIN" >&2; exit 1; }
   done
   echo "[bench_smoke] $TRAIN OK (grep check; python3 unavailable)"
+fi
+
+QUANT="${GAR_RESULTS_DIR:-results}/BENCH_quant.json"
+[[ -f "$QUANT" ]] || { echo "missing $QUANT" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$QUANT" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("exact_qps", "quant_qps", "scan_speedup",
+          "exact_batch_qps", "quant_batch_qps", "batch_speedup",
+          "bytes_per_vector_f32", "bytes_per_vector_int8",
+          "memory_reduction", "recall_at_k", "top1_identical", "cores"):
+    assert k in r, f"missing {k} in BENCH_quant.json"
+assert r["exact_qps"] > 0 and r["quant_qps"] > 0
+assert r["scan_speedup"] >= 2 or r["memory_reduction"] >= 3.5, (
+    f"int8 index buys neither a 2x scan speedup "
+    f"({r['scan_speedup']:.2f}x) nor a 3.5x scan-traffic reduction "
+    f"({r['memory_reduction']:.1f}x)")
+assert r["top1_identical"] is True, "rescored top-1 diverged from exact"
+assert r["recall_at_k"] >= 0.95, (
+    f"quantized recall {r['recall_at_k']:.3f} below the 0.95 floor")
+if r["cores"] < 2:
+    print(f"[bench_smoke] single-core host: batch speedup "
+          f"{r['batch_speedup']:.2f}x recorded, informational only")
+print(f"[bench_smoke] {sys.argv[1]} OK: int8 scan "
+      f"{r['scan_speedup']:.2f}x exact, "
+      f"{r['memory_reduction']:.1f}x less scan traffic, "
+      f"recall {r['recall_at_k']:.3f}")
+PY
+else
+  for k in exact_qps quant_qps scan_speedup memory_reduction recall_at_k; do
+    grep -q "\"$k\"" "$QUANT" \
+      || { echo "missing $k in $QUANT" >&2; exit 1; }
+  done
+  grep -q '"top1_identical": true' "$QUANT" \
+    || { echo "top1_identical not true in $QUANT" >&2; exit 1; }
+  echo "[bench_smoke] $QUANT OK (grep check; python3 unavailable)"
 fi

@@ -5,6 +5,8 @@
 /// A JSON value.
 #[derive(Debug, Clone)]
 pub enum Value {
+    /// Boolean.
+    Bool(bool),
     /// Number (everything numeric is carried as f64).
     Num(f64),
     /// String.
@@ -24,6 +26,12 @@ macro_rules! from_num {
 }
 from_num!(f32, f64, u32, u64, i32, i64, usize);
 
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
 impl From<&str> for Value {
     fn from(v: &str) -> Value {
         Value::Str(v.to_string())
@@ -38,6 +46,7 @@ impl From<String> for Value {
 
 fn render(v: &Value, indent: usize, out: &mut String) {
     match v {
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Num(n) => {
             if n.fract() == 0.0 && n.abs() < 1e15 {
                 out.push_str(&format!("{:.1}", n));

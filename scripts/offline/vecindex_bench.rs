@@ -3,12 +3,10 @@
 //! vs `search_batch` on the acceptance workload (2,000-candidate flat
 //! index, dim 64, k = 100, 64-query batches). Prints a JSON object
 //! compatible with `results/BENCH_retrieval.json`. Built by
-//! `scripts/offline_check.sh`.
+//! `scripts/offline_check.sh` against the compiled gar-vecindex rlib.
 
-#[path = "../../crates/vecindex/src/flat.rs"]
-pub mod flat;
-
-use flat::FlatIndex;
+use gar_vecindex::flat;
+use gar_vecindex::FlatIndex;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;

@@ -16,9 +16,9 @@
 # sweep of the optimized executor against the naive reference interpreter),
 # the two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
-# (compile only), its bench_batch, bench_prepare and bench_train benches
-# (smoke-run against a criterion shim), and the batched-retrieval
-# throughput measurement.
+# (compile only), its bench_batch, bench_prepare, bench_train and
+# bench_quant benches (smoke-run against a criterion shim), and the
+# batched-retrieval throughput measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
 # on a networked machine.
@@ -83,10 +83,10 @@ lib gar_dialect dialect "${SQL[@]}" "${SCHEMA[@]}"
 lib gar_nl nlgen "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}"
 lib gar_benchmarks benchmarks "${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" \
   --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
-lib gar_vecindex vecindex "${RAND[@]}"
 lib gar_obs obs
-lib gar_par par
 OBS=(--extern gar_obs=libgar_obs.rlib)
+lib gar_vecindex vecindex "${RAND[@]}" "${OBS[@]}"
+lib gar_par par
 PAR=(--extern gar_par=libgar_par.rlib)
 LTR_EXTERNS=("${SQL[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" "${PAR[@]}"
   --extern bytes=libbytes.rlib
@@ -155,7 +155,7 @@ suite gar_nl "$REPO/crates/nlgen/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" "${RAND[
 suite gar_benchmarks "$REPO/crates/benchmarks/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]}" \
   "${RAND[@]}" "${SERDE[@]}" \
   --extern gar_engine=libgar_engine.rlib --extern gar_nl=libgar_nl.rlib
-suite gar_vecindex "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}"
+suite gar_vecindex "$REPO/crates/vecindex/src/lib.rs" "${RAND[@]}" "${OBS[@]}"
 suite gar_obs "$REPO/crates/obs/src/lib.rs"
 suite gar_par "$REPO/crates/par/src/lib.rs"
 suite gar_ltr "$REPO/crates/ltr/src/lib.rs" "${LTR_EXTERNS[@]}"
@@ -214,10 +214,20 @@ say "building + smoke-running bench_train against the criterion shim"
   -o bench_train
 GAR_RESULTS_DIR="$BUILD/results" ./bench_train
 
+say "building + smoke-running bench_quant against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_quant \
+  "$REPO/crates/bench/benches/bench_quant.rs" "${RAND[@]}" "${OBS[@]}" \
+  --extern gar_vecindex=libgar_vecindex.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_quant
+GAR_RESULTS_DIR="$BUILD/results" ./bench_quant
+
 # --- 5. batched retrieval throughput -------------------------------------
 say "building + running the batched-retrieval throughput measurement"
 "$RUSTC" "${FLAGS[@]}" --crate-name vecindex_bench \
-  "$REPO/scripts/offline/vecindex_bench.rs" "${RAND[@]}" -o vecindex_bench
+  "$REPO/scripts/offline/vecindex_bench.rs" "${RAND[@]}" "${OBS[@]}" \
+  --extern gar_vecindex=libgar_vecindex.rlib -o vecindex_bench
 ./vecindex_bench "$BENCH_ROUNDS"
 
 # --- 6. summary -----------------------------------------------------------
