@@ -987,6 +987,42 @@ mod tests {
     }
 
     #[test]
+    fn translate_batch_empty_slice_short_circuits_before_any_machinery() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 29,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db = bench.db(&bench.dev[0].db).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+
+        // The serving batcher never emits empty micro-batches, but the
+        // engine boundary still guards the shape: an empty slice returns
+        // an empty vec WITHOUT spinning up workers or touching a single
+        // translate metric — translate.total and the stage histograms
+        // must be byte-for-byte unmoved.
+        let before = gar_obs::global().snapshot();
+        let out = gar.translate_batch::<String>(db, &prepared, &[]);
+        assert!(out.is_empty());
+        let after = gar_obs::global().snapshot();
+        assert_eq!(
+            before.counter("translate.total"),
+            after.counter("translate.total"),
+            "empty batch bumped translate.total"
+        );
+        for stage in ["stage.encode_us", "stage.retrieve_us", "stage.rerank_us"] {
+            assert_eq!(
+                before.histogram(stage).map(|h| h.count),
+                after.histogram(stage).map(|h| h.count),
+                "empty batch recorded into {stage}"
+            );
+        }
+    }
+
+    #[test]
     fn translate_batch_matches_sequential_translate() {
         let bench = spider_sim(SpiderSimConfig {
             train_dbs: 2,

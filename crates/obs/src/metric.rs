@@ -56,6 +56,13 @@ impl Gauge {
         self.v.store(v, Ordering::Relaxed);
     }
 
+    /// Raise the value to `v` if `v` is larger; otherwise leave it. An
+    /// atomic high-watermark update, safe under concurrent setters (used
+    /// for e.g. peak queue depth).
+    pub fn set_max(&self, v: u64) {
+        self.v.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.v.load(Ordering::Relaxed)
@@ -129,6 +136,18 @@ mod tests {
         g.set(7);
         g.set(3);
         assert_eq!(g.get(), 3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_watermark() {
+        let g = Gauge::new();
+        g.set_max(5);
+        g.set_max(2); // lower: ignored
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
         g.reset();
         assert_eq!(g.get(), 0);
     }

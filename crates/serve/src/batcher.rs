@@ -1,0 +1,346 @@
+//! The dynamic micro-batcher: a pure, clock-free state machine.
+//!
+//! Requests are admitted with an explicit arrival timestamp and pulled out
+//! as single-workspace [`MicroBatch`]es when either trigger fires:
+//!
+//! - **size** — some workspace has `max_batch` requests pending;
+//! - **deadline** — the oldest pending request has waited `max_wait_us`.
+//!
+//! Time never comes from a system clock: every transition takes `now_us`
+//! as an argument, so the same type is driven by the real [`Server`]
+//! workers (wall-clock microseconds) and by gar-testkit's seeded *virtual*
+//! clock, where whole arrival traces replay deterministically from one
+//! `u64`. Keeping the state machine pure is what makes the concurrency
+//! layer testable: the threaded server adds only locking and timing around
+//! transitions that are themselves exactly reproducible.
+//!
+//! [`Server`]: crate::Server
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The two micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush a workspace's pending requests once this many have gathered.
+    /// Values below 1 behave as 1 (every request flushes alone).
+    pub max_batch: usize,
+    /// Flush the oldest pending request's workspace once it has waited
+    /// this long, even if the batch is still small. 0 means "flush on the
+    /// next poll" — batching is effectively disabled.
+    pub max_wait_us: u64,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait_us: 2_000,
+        }
+    }
+}
+
+impl BatchPolicy {
+    fn cap(&self) -> usize {
+        self.max_batch.max(1)
+    }
+}
+
+/// What made a [`MicroBatch`] flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// A workspace reached `max_batch` pending requests.
+    Size,
+    /// The oldest pending request hit `max_wait_us`.
+    Deadline,
+    /// Shutdown drain: flushed regardless of either trigger.
+    Drain,
+}
+
+/// One admitted request, waiting in the batcher.
+#[derive(Debug, Clone)]
+pub struct Pending<T> {
+    /// Caller-assigned request id (the server uses a global sequence).
+    pub id: u64,
+    /// Workspace (database) the request targets; batches never mix
+    /// workspaces because the translation path is per-database.
+    pub workspace: Arc<str>,
+    /// Admission timestamp, in the caller's clock domain (µs).
+    pub arrival_us: u64,
+    /// Caller payload (the server stores the NL text and response channel).
+    pub payload: T,
+}
+
+/// A flushed single-workspace batch, in arrival order.
+#[derive(Debug)]
+pub struct MicroBatch<T> {
+    /// The workspace every request in the batch targets.
+    pub workspace: Arc<str>,
+    /// The batched requests, oldest first.
+    pub requests: Vec<Pending<T>>,
+    /// Which trigger flushed the batch.
+    pub trigger: FlushTrigger,
+}
+
+/// The micro-batching state machine. See the module docs for the contract;
+/// all methods are O(pending) or better and never block.
+#[derive(Debug)]
+pub struct Batcher<T> {
+    policy: BatchPolicy,
+    queue: VecDeque<Pending<T>>,
+}
+
+impl<T> Batcher<T> {
+    /// An empty batcher under `policy`.
+    pub fn new(policy: BatchPolicy) -> Batcher<T> {
+        Batcher {
+            policy,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// The policy this batcher flushes under.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of pending (admitted, not yet flushed) requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Admit one request at time `now_us`. Admission is unconditional —
+    /// the *caller* owns admission control (the server rejects before
+    /// calling this when the queue is at depth).
+    pub fn admit(&mut self, workspace: Arc<str>, id: u64, payload: T, now_us: u64) {
+        self.queue.push_back(Pending {
+            id,
+            workspace,
+            arrival_us: now_us,
+            payload,
+        });
+    }
+
+    /// The deadline at which [`Batcher::poll`] is next guaranteed to flush:
+    /// the oldest pending arrival plus `max_wait_us`. `None` when empty.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.queue
+            .front()
+            .map(|p| p.arrival_us.saturating_add(self.policy.max_wait_us))
+    }
+
+    /// Flush one micro-batch if a trigger has fired by `now_us`.
+    ///
+    /// Size first: the first workspace — in oldest-pending order — with
+    /// `max_batch` requests gathered flushes immediately. Otherwise, if the
+    /// globally oldest pending request has waited `max_wait_us`, its
+    /// workspace flushes with whatever it has. Both picks depend only on
+    /// the admitted sequence and `now_us`, never on wall time, so a
+    /// scripted trace always produces the same batches.
+    ///
+    /// Because the deadline always tracks the *global* head, no pending
+    /// request ever waits more than `max_wait_us` between polls: heads
+    /// flush oldest-first, and every request becomes the head no later
+    /// than its own deadline.
+    pub fn poll(&mut self, now_us: u64) -> Option<MicroBatch<T>> {
+        let head_deadline = self.next_deadline()?;
+        // Size trigger: count per workspace in first-seen (= oldest) order.
+        let mut counts: Vec<(&Arc<str>, usize)> = Vec::new();
+        for p in &self.queue {
+            match counts.iter_mut().find(|(w, _)| **w == p.workspace) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((&p.workspace, 1)),
+            }
+        }
+        if let Some((ws, _)) = counts.iter().find(|(_, c)| *c >= self.policy.cap()) {
+            let ws = Arc::clone(ws);
+            return Some(self.extract(ws, FlushTrigger::Size));
+        }
+        if now_us >= head_deadline {
+            let ws = Arc::clone(&self.queue.front().expect("non-empty").workspace);
+            return Some(self.extract(ws, FlushTrigger::Deadline));
+        }
+        None
+    }
+
+    /// Flush the oldest pending request's workspace unconditionally
+    /// (shutdown drain). `None` when empty.
+    pub fn flush_head(&mut self) -> Option<MicroBatch<T>> {
+        let ws = Arc::clone(&self.queue.front()?.workspace);
+        Some(self.extract(ws, FlushTrigger::Drain))
+    }
+
+    /// Pull up to `max_batch` requests of `workspace`, preserving arrival
+    /// order among them and among everything left behind.
+    fn extract(&mut self, workspace: Arc<str>, trigger: FlushTrigger) -> MicroBatch<T> {
+        let cap = self.policy.cap();
+        let mut requests = Vec::new();
+        let mut rest = VecDeque::with_capacity(self.queue.len());
+        for p in self.queue.drain(..) {
+            if requests.len() < cap && p.workspace == workspace {
+                requests.push(p);
+            } else {
+                rest.push_back(p);
+            }
+        }
+        self.queue = rest;
+        MicroBatch {
+            workspace,
+            requests,
+            trigger,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    fn policy(max_batch: usize, max_wait_us: u64) -> BatchPolicy {
+        BatchPolicy {
+            max_batch,
+            max_wait_us,
+        }
+    }
+
+    #[test]
+    fn empty_batcher_never_flushes() {
+        let mut b: Batcher<()> = Batcher::new(BatchPolicy::default());
+        assert!(b.is_empty());
+        assert_eq!(b.next_deadline(), None);
+        assert!(b.poll(u64::MAX).is_none());
+        assert!(b.flush_head().is_none());
+    }
+
+    #[test]
+    fn size_trigger_flushes_exactly_max_batch_in_arrival_order() {
+        let mut b = Batcher::new(policy(3, 1_000_000));
+        for i in 0..5u64 {
+            b.admit(ws("a"), i, i, i);
+        }
+        // Well before any deadline: the size trigger fires alone.
+        let batch = b.poll(10).expect("size trigger");
+        assert_eq!(batch.trigger, FlushTrigger::Size);
+        assert_eq!(
+            batch.requests.iter().map(|p| p.id).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(b.len(), 2);
+        // The remaining two are below max_batch and below deadline.
+        assert!(b.poll(10).is_none());
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_a_small_batch() {
+        let mut b = Batcher::new(policy(8, 100));
+        b.admit(ws("a"), 0, (), 50);
+        b.admit(ws("a"), 1, (), 60);
+        assert_eq!(b.next_deadline(), Some(150));
+        assert!(b.poll(149).is_none());
+        let batch = b.poll(150).expect("deadline trigger");
+        assert_eq!(batch.trigger, FlushTrigger::Deadline);
+        assert_eq!(batch.requests.len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn batches_never_mix_workspaces() {
+        let mut b = Batcher::new(policy(4, 100));
+        // Interleaved arrivals: a b a b a — "a" reaches nothing, deadline
+        // flushes only the "a" requests, in order, leaving "b" intact.
+        for (i, w) in ["a", "b", "a", "b", "a"].iter().enumerate() {
+            b.admit(ws(w), i as u64, (), i as u64);
+        }
+        let batch = b.poll(100).expect("deadline on head");
+        assert_eq!(&*batch.workspace, "a");
+        assert_eq!(
+            batch.requests.iter().map(|p| p.id).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
+        assert_eq!(b.len(), 2);
+        let batch = b.poll(101).expect("b's head is now past deadline");
+        assert_eq!(&*batch.workspace, "b");
+        assert_eq!(
+            batch.requests.iter().map(|p| p.id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn size_trigger_prefers_the_workspace_with_the_oldest_member() {
+        let mut b = Batcher::new(policy(2, 1_000_000));
+        b.admit(ws("a"), 0, (), 0);
+        b.admit(ws("b"), 1, (), 1);
+        b.admit(ws("b"), 2, (), 2);
+        b.admit(ws("a"), 3, (), 3);
+        // Both workspaces now hold 2 = max_batch; "a" has the older head.
+        let batch = b.poll(4).expect("size trigger");
+        assert_eq!(&*batch.workspace, "a");
+        assert_eq!(
+            batch.requests.iter().map(|p| p.id).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+    }
+
+    #[test]
+    fn full_workspace_flushes_by_size_even_behind_a_younger_head() {
+        let mut b = Batcher::new(policy(2, 1_000_000));
+        // Head workspace "a" has one pending; "b" fills to max_batch. The
+        // size trigger must not be blocked by the FIFO head.
+        b.admit(ws("a"), 0, (), 0);
+        b.admit(ws("b"), 1, (), 1);
+        b.admit(ws("b"), 2, (), 2);
+        let batch = b.poll(3).expect("b is full");
+        assert_eq!(&*batch.workspace, "b");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn max_batch_one_and_zero_wait_degenerate_to_immediate_singles() {
+        let mut b = Batcher::new(policy(1, 0));
+        b.admit(ws("a"), 0, (), 7);
+        b.admit(ws("b"), 1, (), 7);
+        let first = b.poll(7).expect("immediate");
+        assert_eq!(first.requests.len(), 1);
+        assert_eq!(first.requests[0].id, 0);
+        let second = b.poll(7).expect("immediate");
+        assert_eq!(second.requests[0].id, 1);
+        assert!(b.is_empty());
+
+        // max_batch = 0 is clamped to 1, not a flush-nothing loop.
+        let mut z = Batcher::new(policy(0, 0));
+        z.admit(ws("a"), 0, (), 0);
+        assert_eq!(z.poll(0).expect("clamped to 1").requests.len(), 1);
+    }
+
+    #[test]
+    fn flush_head_drains_regardless_of_triggers() {
+        let mut b = Batcher::new(policy(8, 1_000_000));
+        b.admit(ws("a"), 0, (), 0);
+        b.admit(ws("b"), 1, (), 1);
+        let first = b.flush_head().expect("drain");
+        assert_eq!(first.trigger, FlushTrigger::Drain);
+        assert_eq!(&*first.workspace, "a");
+        let second = b.flush_head().expect("drain");
+        assert_eq!(&*second.workspace, "b");
+        assert!(b.flush_head().is_none());
+    }
+
+    #[test]
+    fn deadline_saturates_instead_of_overflowing() {
+        let mut b = Batcher::new(policy(8, u64::MAX));
+        b.admit(ws("a"), 0, (), 5);
+        assert_eq!(b.next_deadline(), Some(u64::MAX));
+        assert!(b.poll(u64::MAX - 1).is_none());
+        assert!(b.poll(u64::MAX).is_some());
+    }
+}

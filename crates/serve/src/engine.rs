@@ -1,0 +1,141 @@
+//! The batch-execution boundary between the server runtime and the GAR
+//! pipeline.
+//!
+//! Workers hand a flushed micro-batch to a [`BatchEngine`]; the production
+//! implementation is [`GarEngine`], which resolves the workspace to a
+//! prepared database and calls
+//! [`GarSystem::translate_batch`](gar_core::GarSystem::translate_batch).
+//! Keeping the boundary a trait is what makes the concurrency layer
+//! testable in isolation: the serve test suite drives the same worker code
+//! with mock engines that echo, block, or panic on cue.
+
+use crate::error::ServeError;
+use gar_benchmarks::GeneratedDb;
+use gar_core::{GarSystem, PreparedDb, Translation};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Executes one single-workspace micro-batch. Implementations must be
+/// shareable across worker threads (`Send + Sync`) and, on success, return
+/// **exactly one output per input, in input order** — the server pairs
+/// outputs with response channels positionally and fails the whole batch
+/// if the lengths disagree.
+pub trait BatchEngine: Send + Sync + 'static {
+    /// Per-request output (the GAR engine produces a [`Translation`]).
+    type Output: Send + 'static;
+
+    /// Run every request of one batch against `workspace`.
+    fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<Self::Output>, ServeError>;
+}
+
+/// One hosted workspace: a database and its prepared candidate pool. Both
+/// are behind `Arc`s — prepared state is strictly read-only at serve time
+/// and shared by every worker without copies.
+#[derive(Debug, Clone)]
+pub struct GarWorkspace {
+    /// The database (schema, annotations, rows for value extraction).
+    pub db: Arc<GeneratedDb>,
+    /// The prepared candidate pool + embeddings + index.
+    pub prepared: Arc<PreparedDb>,
+}
+
+/// The production engine: a trained [`GarSystem`] plus a registry of
+/// prepared workspaces, all read-only and shared across workers.
+#[derive(Debug, Clone)]
+pub struct GarEngine {
+    system: Arc<GarSystem>,
+    workspaces: BTreeMap<String, GarWorkspace>,
+}
+
+impl GarEngine {
+    /// An engine hosting no workspaces yet.
+    pub fn new(system: Arc<GarSystem>) -> GarEngine {
+        GarEngine {
+            system,
+            workspaces: BTreeMap::new(),
+        }
+    }
+
+    /// The shared trained system.
+    pub fn system(&self) -> &Arc<GarSystem> {
+        &self.system
+    }
+
+    /// Host a prepared database under its schema name. Replaces any
+    /// workspace already registered under that name and returns the name.
+    pub fn add_workspace(&mut self, db: Arc<GeneratedDb>, prepared: Arc<PreparedDb>) -> String {
+        let name = db.schema.name.clone();
+        self.workspaces
+            .insert(name.clone(), GarWorkspace { db, prepared });
+        name
+    }
+
+    /// A hosted workspace, by name.
+    pub fn workspace(&self, name: &str) -> Option<&GarWorkspace> {
+        self.workspaces.get(name)
+    }
+
+    /// Names of every hosted workspace, in sorted order.
+    pub fn workspace_names(&self) -> Vec<&str> {
+        self.workspaces.keys().map(String::as_str).collect()
+    }
+}
+
+impl BatchEngine for GarEngine {
+    type Output = Translation;
+
+    /// Translate the batch over the named workspace. The empty slice
+    /// short-circuits to `vec![]` before the workspace lookup or any
+    /// batcher/translation machinery — a degenerate batch can never fail
+    /// or spin up workers (mirrors `translate_batch`'s own short-circuit).
+    fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<Translation>, ServeError> {
+        if nls.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ws = self
+            .workspaces
+            .get(workspace)
+            .ok_or_else(|| ServeError::UnknownWorkspace(workspace.to_string()))?;
+        Ok(self.system.translate_batch(&ws.db, &ws.prepared, nls))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_core::GarConfig;
+    use gar_ltr::{RerankConfig, RerankModel, RetrievalModel};
+
+    /// An untrained system: the degenerate-path tests never translate, so
+    /// freshly initialized models are enough and cost no training time.
+    fn untrained_system() -> Arc<GarSystem> {
+        let config = GarConfig::default();
+        let retrieval = RetrievalModel::new(config.retrieval.clone());
+        let rerank = RerankModel::new(RerankConfig {
+            embed: config.retrieval.embed,
+            ..config.rerank.clone()
+        });
+        Arc::new(GarSystem {
+            config,
+            retrieval,
+            rerank,
+        })
+    }
+
+    #[test]
+    fn empty_batch_short_circuits_before_workspace_lookup() {
+        let engine = GarEngine::new(untrained_system());
+        // No workspace named "nope" is hosted — but an empty batch must
+        // return an empty vec, not UnknownWorkspace.
+        assert_eq!(engine.run_batch("nope", &[]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_workspace_is_a_typed_error() {
+        let engine = GarEngine::new(untrained_system());
+        let err = engine
+            .run_batch("nope", &["list all sites".to_string()])
+            .unwrap_err();
+        assert_eq!(err, ServeError::UnknownWorkspace("nope".to_string()));
+    }
+}

@@ -1,0 +1,50 @@
+//! The typed serving error surface.
+
+/// Everything that can go wrong between `submit` and a response.
+///
+/// Admission control is the load-bearing case: a full queue returns
+/// [`ServeError::Rejected`] *synchronously* from `submit`, so overload
+/// turns into typed backpressure the caller can retry or shed — never
+/// unbounded queue growth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded request queue is at depth; the request was not
+    /// admitted. Carries the depth observed at rejection time.
+    Rejected {
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The request named a workspace the engine does not host.
+    UnknownWorkspace(String),
+    /// The worker processing this request's batch panicked; the panic was
+    /// contained (counted in `serve.worker_panics`) and the worker kept
+    /// serving, but this batch produced no output.
+    WorkerPanicked,
+    /// The engine broke its contract (e.g. returned a different number of
+    /// outputs than requests); the batch was failed rather than mis-paired.
+    Internal(String),
+    /// The response channel closed without a response — only reachable if
+    /// the server was torn down without its drain (e.g. the process is
+    /// aborting); graceful [`Server::shutdown`](crate::Server::shutdown)
+    /// always answers first.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { depth } => {
+                write!(f, "request rejected: queue at depth {depth}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::UnknownWorkspace(ws) => write!(f, "unknown workspace {ws:?}"),
+            ServeError::WorkerPanicked => write!(f, "worker panicked while serving the batch"),
+            ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
+            ServeError::Disconnected => write!(f, "response channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

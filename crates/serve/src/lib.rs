@@ -1,0 +1,35 @@
+//! gar-serve: the online serving layer for GAR NL→SQL translation.
+//!
+//! The offline pipeline (prepare → retrieve → rerank) is batch-friendly by
+//! construction; this crate turns it into a long-lived service without
+//! giving that up. Requests arrive one at a time from many clients, but the
+//! engine runs them as micro-batches:
+//!
+//! - [`Batcher`] — a **pure state machine** (no clocks, no threads) that
+//!   coalesces admitted requests into single-workspace [`MicroBatch`]es,
+//!   flushing on a size trigger (`max_batch` pending for one workspace) or
+//!   a deadline trigger (the oldest request has waited `max_wait_us`).
+//!   Time is an explicit argument, so the same transitions run under the
+//!   server's wall clock and under gar-testkit's seeded virtual clock.
+//! - [`BatchEngine`] — the execution boundary. [`GarEngine`] is the
+//!   production implementation over `Arc<GarSystem>` + prepared
+//!   workspaces; tests substitute mock engines that echo, block, or panic.
+//! - [`Server`] — worker threads pulling from the shared batcher behind a
+//!   bounded queue: admission control ([`ServeError::Rejected`]),
+//!   deadline-aware idle waiting, contained worker panics, and a graceful
+//!   [`Server::shutdown`] that answers every admitted request.
+//!
+//! Observability lands in the global [`gar_obs`] registry under `serve.*`
+//! (queue/batch/e2e histograms, rejection and panic counters, queue-depth
+//! high-watermark) — see the table in the crate's `metrics` module.
+
+mod batcher;
+mod engine;
+mod error;
+mod metrics;
+mod server;
+
+pub use batcher::{BatchPolicy, Batcher, FlushTrigger, MicroBatch, Pending};
+pub use engine::{BatchEngine, GarEngine, GarWorkspace};
+pub use error::ServeError;
+pub use server::{ResponseHandle, ServeConfig, ServeResponse, Server};

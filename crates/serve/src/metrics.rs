@@ -1,0 +1,52 @@
+//! Serving-layer observability, recorded into the global [`gar_obs`]
+//! registry alongside the pipeline's `stage.*` metrics:
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `serve.queue_us` | histogram | admission → batch pull, per request |
+//! | `serve.batch_size` | histogram | requests per flushed micro-batch |
+//! | `serve.e2e_us` | histogram | admission → response, per request |
+//! | `serve.rejected` | counter | submissions refused by admission control |
+//! | `serve.completed` | counter | requests answered successfully |
+//! | `serve.batches` | counter | micro-batches executed |
+//! | `serve.worker_panics` | counter | engine panics contained by a worker |
+//! | `serve.queue_peak` | gauge | high-watermark queue depth since reset |
+//!
+//! `serve.e2e_us` minus `serve.queue_us` is the engine's share, which the
+//! pipeline's own `stage.*` histograms further decompose — that is the
+//! budget a future validator gate gets measured against.
+
+use gar_obs::{Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+/// Interned handles for the serving metrics; resolved once per process.
+/// [`gar_obs::Registry::reset`] zeroes metrics in place, so cached handles
+/// survive a reset.
+pub(crate) struct ServeMetrics {
+    pub queue_us: Arc<Histogram>,
+    pub batch_size: Arc<Histogram>,
+    pub e2e_us: Arc<Histogram>,
+    pub rejected: Arc<Counter>,
+    pub completed: Arc<Counter>,
+    pub batches: Arc<Counter>,
+    pub worker_panics: Arc<Counter>,
+    pub queue_peak: Arc<Gauge>,
+}
+
+/// The process-wide serving metric handles.
+pub(crate) fn metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = gar_obs::global();
+        ServeMetrics {
+            queue_us: r.histogram("serve.queue_us"),
+            batch_size: r.histogram("serve.batch_size"),
+            e2e_us: r.histogram("serve.e2e_us"),
+            rejected: r.counter("serve.rejected"),
+            completed: r.counter("serve.completed"),
+            batches: r.counter("serve.batches"),
+            worker_panics: r.counter("serve.worker_panics"),
+            queue_peak: r.gauge("serve.queue_peak"),
+        }
+    })
+}

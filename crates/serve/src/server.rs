@@ -1,0 +1,596 @@
+//! The threaded serving runtime: worker threads pulling micro-batches
+//! from a bounded request queue.
+//!
+//! Concurrency layout:
+//!
+//! - **One shared [`Batcher`]** behind a `Mutex`, doubling as the bounded
+//!   MPMC request queue — producers (`submit`) push under the lock,
+//!   workers pull flushed batches under the lock, and a `Condvar` wakes
+//!   workers on arrivals. Engine execution always happens *outside* the
+//!   lock, so the queue is never held across a translation.
+//! - **Admission control** — `submit` rejects with
+//!   [`ServeError::Rejected`] once `queue_depth` requests are pending;
+//!   overload is typed backpressure, never unbounded memory growth.
+//! - **Deadline waiting** — an idle worker sleeps on the condvar until
+//!   the batcher's next deadline, so deadline-triggered flushes fire
+//!   without a polling loop.
+//! - **Panic containment** — the engine call is wrapped in
+//!   `catch_unwind`; a panicking batch answers every caller with
+//!   [`ServeError::WorkerPanicked`], bumps `serve.worker_panics`, and the
+//!   worker keeps serving. The lock is never held across the engine, so a
+//!   contained panic cannot poison the queue.
+//! - **Graceful drain** — [`Server::shutdown`] stops admissions, then
+//!   workers flush every pending request (deadlines waived) before
+//!   exiting; when `shutdown` returns, every admitted request has been
+//!   answered.
+
+use crate::batcher::{Batcher, MicroBatch, Pending};
+use crate::error::ServeError;
+use crate::metrics::metrics;
+use crate::{BatchEngine, BatchPolicy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving-runtime knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads pulling micro-batches. Values below 1 behave as 1.
+    pub workers: usize,
+    /// Micro-batch size trigger (see [`BatchPolicy::max_batch`]).
+    pub max_batch: usize,
+    /// Micro-batch deadline trigger (see [`BatchPolicy::max_wait_us`]).
+    pub max_wait_us: u64,
+    /// Bounded queue depth: pending requests beyond this are rejected at
+    /// `submit` with [`ServeError::Rejected`]. Values below 1 behave as 1.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_wait_us: 2_000,
+            queue_depth: 256,
+        }
+    }
+}
+
+/// One answered request, with its serving-side latency decomposition.
+#[derive(Debug, Clone)]
+pub struct ServeResponse<T> {
+    /// The engine's output for this request.
+    pub output: T,
+    /// Time from admission to batch pull (µs) — the batching cost.
+    pub queue_us: u64,
+    /// Size of the micro-batch this request rode in.
+    pub batch_size: usize,
+    /// Time from admission to response (µs).
+    pub e2e_us: u64,
+}
+
+/// The caller's handle to one in-flight request.
+#[derive(Debug)]
+pub struct ResponseHandle<T> {
+    rx: Receiver<Result<ServeResponse<T>, ServeError>>,
+}
+
+impl<T> ResponseHandle<T> {
+    /// Block until the response arrives. Never blocks forever under normal
+    /// operation: workers answer every admitted request, including through
+    /// shutdown drain and contained panics.
+    pub fn wait(self) -> Result<ServeResponse<T>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Non-blocking probe; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<ServeResponse<T>, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Worker-side payload: the request text plus its response channel.
+struct Job<T> {
+    nl: String,
+    tx: SyncSender<Result<ServeResponse<T>, ServeError>>,
+}
+
+struct State<T> {
+    batcher: Batcher<Job<T>>,
+    shutdown: bool,
+}
+
+struct Shared<E: BatchEngine> {
+    engine: E,
+    config: ServeConfig,
+    state: Mutex<State<E::Output>>,
+    work: Condvar,
+    epoch: Instant,
+    next_id: AtomicU64,
+}
+
+impl<E: BatchEngine> Shared<E> {
+    /// Microseconds since server start (the serving clock domain).
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Lock the queue state; a poisoned lock is taken over rather than
+    /// propagated so one buggy transition cannot wedge every producer.
+    fn lock_state(&self) -> MutexGuard<'_, State<E::Output>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A long-lived serving instance: `workers` threads micro-batching
+/// requests against a shared read-only [`BatchEngine`].
+pub struct Server<E: BatchEngine> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<E: BatchEngine> Server<E> {
+    /// Start the worker threads and begin accepting requests.
+    pub fn start(engine: E, config: ServeConfig) -> Server<E> {
+        let config = ServeConfig {
+            workers: config.workers.max(1),
+            max_batch: config.max_batch.max(1),
+            queue_depth: config.queue_depth.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            engine,
+            config,
+            state: Mutex::new(State {
+                batcher: Batcher::new(BatchPolicy {
+                    max_batch: config.max_batch,
+                    max_wait_us: config.max_wait_us,
+                }),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("gar-serve-{w}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// The configuration the server is running under (after clamping).
+    pub fn config(&self) -> ServeConfig {
+        self.shared.config
+    }
+
+    /// Pending (admitted, unexecuted) requests right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock_state().batcher.len()
+    }
+
+    /// Submit one request. Returns a handle to wait on, or rejects
+    /// synchronously: [`ServeError::Rejected`] when the queue is at depth
+    /// (admission control), [`ServeError::ShuttingDown`] after
+    /// [`Server::shutdown`] began.
+    pub fn submit(
+        &self,
+        workspace: &str,
+        nl: impl Into<String>,
+    ) -> Result<ResponseHandle<E::Output>, ServeError> {
+        let m = metrics();
+        let mut st = self.shared.lock_state();
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = st.batcher.len();
+        if depth >= self.shared.config.queue_depth {
+            m.rejected.inc();
+            return Err(ServeError::Rejected { depth });
+        }
+        let (tx, rx) = sync_channel(1);
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = self.shared.now_us();
+        st.batcher
+            .admit(Arc::from(workspace), id, Job { nl: nl.into(), tx }, now);
+        m.queue_peak.set_max(depth as u64 + 1);
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Stop admitting, drain every pending request, and join the workers.
+    /// When this returns, every admitted request has received its
+    /// response. Idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.lock_state();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<E: BatchEngine> Drop for Server<E> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: pull a flushed micro-batch (sleeping until the batcher's
+/// deadline when idle), run it through the engine outside the lock, and
+/// answer every request in it.
+fn worker_loop<E: BatchEngine>(shared: Arc<Shared<E>>) {
+    loop {
+        let batch = {
+            let mut st = shared.lock_state();
+            loop {
+                if let Some(b) = st.batcher.poll(shared.now_us()) {
+                    // More work may already be flushable (e.g. two full
+                    // workspaces); hand it to an idle peer.
+                    if !st.batcher.is_empty() {
+                        shared.work.notify_one();
+                    }
+                    break Some(b);
+                }
+                if st.shutdown {
+                    // Drain: flush regardless of size/deadline triggers.
+                    match st.batcher.flush_head() {
+                        Some(b) => {
+                            if !st.batcher.is_empty() {
+                                shared.work.notify_one();
+                            }
+                            break Some(b);
+                        }
+                        None => break None,
+                    }
+                }
+                match st.batcher.next_deadline() {
+                    // Empty queue: sleep until an arrival or shutdown.
+                    None => st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner()),
+                    // Pending but untriggered: sleep until the deadline.
+                    Some(deadline) => {
+                        let now = shared.now_us();
+                        if deadline <= now {
+                            continue;
+                        }
+                        let wait = Duration::from_micros(deadline - now);
+                        st = shared
+                            .work
+                            .wait_timeout(st, wait)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
+            }
+        };
+        match batch {
+            Some(b) => process_batch(&shared, b),
+            // Shutdown with an empty queue: this worker is done.
+            None => return,
+        }
+    }
+}
+
+/// Execute one micro-batch and answer each of its requests. Runs with the
+/// queue lock released; an engine panic is contained here.
+fn process_batch<E: BatchEngine>(shared: &Shared<E>, batch: MicroBatch<Job<E::Output>>) {
+    let m = metrics();
+    let pulled = shared.now_us();
+    let size = batch.requests.len();
+    m.batches.inc();
+    m.batch_size.record(size as u64);
+    for p in &batch.requests {
+        m.queue_us.record(pulled.saturating_sub(p.arrival_us));
+    }
+
+    let nls: Vec<String> = batch.requests.iter().map(|p| p.payload.nl.clone()).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        shared.engine.run_batch(&batch.workspace, &nls)
+    }));
+
+    let answer_err = |requests: Vec<Pending<Job<E::Output>>>, err: ServeError| {
+        for p in requests {
+            let _ = p.payload.tx.try_send(Err(err.clone()));
+        }
+    };
+    match result {
+        Ok(Ok(outputs)) => {
+            if outputs.len() != size {
+                let msg = format!("engine returned {} outputs for {size} requests", outputs.len());
+                answer_err(batch.requests, ServeError::Internal(msg));
+                return;
+            }
+            for (p, output) in batch.requests.into_iter().zip(outputs) {
+                let e2e_us = shared.now_us().saturating_sub(p.arrival_us);
+                m.e2e_us.record(e2e_us);
+                m.completed.inc();
+                let _ = p.payload.tx.try_send(Ok(ServeResponse {
+                    output,
+                    queue_us: pulled.saturating_sub(p.arrival_us),
+                    batch_size: size,
+                    e2e_us,
+                }));
+            }
+        }
+        Ok(Err(err)) => answer_err(batch.requests, err),
+        Err(_panic) => {
+            m.worker_panics.inc();
+            answer_err(batch.requests, ServeError::WorkerPanicked);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Echoes "<workspace>:<nl>" per request; fails workspace "missing".
+    struct EchoEngine;
+
+    impl BatchEngine for EchoEngine {
+        type Output = String;
+        fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<String>, ServeError> {
+            if workspace == "missing" {
+                return Err(ServeError::UnknownWorkspace(workspace.to_string()));
+            }
+            Ok(nls.iter().map(|nl| format!("{workspace}:{nl}")).collect())
+        }
+    }
+
+    /// Panics on any request containing "poison"; echoes otherwise.
+    struct PoisonEngine;
+
+    impl BatchEngine for PoisonEngine {
+        type Output = String;
+        fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<String>, ServeError> {
+            assert!(
+                !nls.iter().any(|nl| nl.contains("poison")),
+                "poisoned batch"
+            );
+            Ok(nls.iter().map(|nl| format!("{workspace}:{nl}")).collect())
+        }
+    }
+
+    /// Blocks every batch on a shared gate, counting entries — lets a test
+    /// wedge the (single) worker deterministically and fill the queue.
+    struct GateEngine {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+        entered: Arc<AtomicUsize>,
+    }
+
+    impl GateEngine {
+        fn new() -> (GateEngine, Arc<(Mutex<bool>, Condvar)>, Arc<AtomicUsize>) {
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            let entered = Arc::new(AtomicUsize::new(0));
+            (
+                GateEngine {
+                    gate: Arc::clone(&gate),
+                    entered: Arc::clone(&entered),
+                },
+                gate,
+                entered,
+            )
+        }
+    }
+
+    impl BatchEngine for GateEngine {
+        type Output = usize;
+        fn run_batch(&self, _workspace: &str, nls: &[String]) -> Result<Vec<usize>, ServeError> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            Ok((0..nls.len()).collect())
+        }
+    }
+
+    fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    fn counter(name: &str) -> u64 {
+        gar_obs::global().snapshot().counter(name).unwrap_or(0)
+    }
+
+    #[test]
+    fn every_submitted_request_gets_exactly_one_response() {
+        let mut server = Server::start(
+            EchoEngine,
+            ServeConfig {
+                workers: 2,
+                max_batch: 4,
+                max_wait_us: 200,
+                queue_depth: 64,
+            },
+        );
+        let handles: Vec<_> = (0..24)
+            .map(|i| {
+                let ws = if i % 3 == 0 { "alpha" } else { "beta" };
+                (i, ws, server.submit(ws, format!("q{i}")).expect("admitted"))
+            })
+            .collect();
+        for (i, ws, h) in handles {
+            let r = h.wait().expect("served");
+            assert_eq!(r.output, format!("{ws}:q{i}"));
+            assert!(r.batch_size >= 1 && r.batch_size <= 4);
+            assert!(r.e2e_us >= r.queue_us);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn engine_errors_reach_every_caller_in_the_batch() {
+        let server = Server::start(
+            EchoEngine,
+            ServeConfig {
+                max_wait_us: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let h = server.submit("missing", "q").expect("admitted");
+        assert_eq!(
+            h.wait().unwrap_err(),
+            ServeError::UnknownWorkspace("missing".to_string())
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_every_admitted_request() {
+        let mut server = Server::start(
+            EchoEngine,
+            ServeConfig {
+                workers: 2,
+                max_batch: 8,
+                // A long deadline: pending requests at shutdown are only
+                // answered if the drain waives it.
+                max_wait_us: 60_000_000,
+                queue_depth: 128,
+            },
+        );
+        let handles: Vec<_> = (0..30)
+            .map(|i| server.submit("ws", format!("q{i}")).expect("admitted"))
+            .collect();
+        server.shutdown();
+        // After shutdown returns: every handle resolves, no new admissions.
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait().expect("drained").output, format!("ws:q{i}"));
+        }
+        assert_eq!(
+            server.submit("ws", "late").unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn worker_panic_is_contained_counted_and_does_not_wedge_the_queue() {
+        let before = counter("serve.worker_panics");
+        // One worker and immediate flush: the poisoned request rides alone
+        // and the same worker must survive to serve the follow-ups.
+        let mut server = Server::start(
+            PoisonEngine,
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait_us: 0,
+                queue_depth: 64,
+            },
+        );
+        // Keep the panic quiet: the hook is restored before asserting.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoned = server.submit("ws", "poison pill").expect("admitted");
+        let err = poisoned.wait().unwrap_err();
+        std::panic::set_hook(prev_hook);
+        assert_eq!(err, ServeError::WorkerPanicked);
+        assert!(counter("serve.worker_panics") >= before + 1);
+        // The worker keeps serving after the contained panic.
+        for i in 0..5 {
+            let h = server.submit("ws", format!("after{i}")).expect("admitted");
+            assert_eq!(h.wait().expect("still serving").output, format!("ws:after{i}"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let before = counter("serve.rejected");
+        let (engine, gate, entered) = GateEngine::new();
+        let depth = 6usize;
+        let mut server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                max_batch: 2,
+                max_wait_us: 0,
+                queue_depth: depth,
+            },
+        );
+        // Wedge the single worker inside the engine with one request...
+        let first = server.submit("ws", "head").expect("admitted");
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // ...then fill the queue to its bound...
+        let held: Vec<_> = (0..depth)
+            .map(|i| server.submit("ws", format!("fill{i}")).expect("under depth"))
+            .collect();
+        // ...and the next submission must reject synchronously, carrying
+        // the observed depth, without blocking the caller.
+        match server.submit("ws", "overflow") {
+            Err(ServeError::Rejected { depth: d }) => assert_eq!(d, depth),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        assert!(counter("serve.rejected") >= before + 1);
+        // Backpressure clears once the worker drains: everything admitted
+        // before the rejection still completes.
+        open_gate(&gate);
+        assert!(first.wait().is_ok());
+        for h in held {
+            assert!(h.wait().is_ok());
+        }
+        server.shutdown();
+        let peak = gar_obs::global().snapshot();
+        assert!(
+            peak.counter("serve.completed").unwrap_or(0) >= (depth + 1) as u64,
+            "completed counter did not cover the drained queue"
+        );
+    }
+
+    #[test]
+    fn deadline_flush_fires_without_reaching_max_batch() {
+        let mut server = Server::start(
+            EchoEngine,
+            ServeConfig {
+                workers: 1,
+                max_batch: 1_000, // size trigger can never fire
+                max_wait_us: 1_000,
+                queue_depth: 64,
+            },
+        );
+        let h = server.submit("ws", "lonely").expect("admitted");
+        // The single pending request must be flushed by its deadline.
+        let r = h.wait().expect("deadline flush");
+        assert_eq!(r.output, "ws:lonely");
+        assert_eq!(r.batch_size, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_metrics_populate() {
+        let snap = |n: &str| counter(n);
+        let completed0 = snap("serve.completed");
+        let batches0 = snap("serve.batches");
+        let mut server = Server::start(EchoEngine, ServeConfig::default());
+        let hs: Vec<_> = (0..6)
+            .map(|i| server.submit("ws", format!("q{i}")).expect("admitted"))
+            .collect();
+        for h in hs {
+            h.wait().expect("served");
+        }
+        server.shutdown();
+        let after = gar_obs::global().snapshot();
+        assert!(after.counter("serve.completed").unwrap() >= completed0 + 6);
+        assert!(after.counter("serve.batches").unwrap() >= batches0 + 1);
+        for h in ["serve.queue_us", "serve.batch_size", "serve.e2e_us"] {
+            assert!(after.histogram(h).expect(h).count >= 1, "{h} empty");
+        }
+    }
+}

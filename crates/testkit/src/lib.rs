@@ -28,6 +28,12 @@
 //!    exact search, tombstoned ids never resurface and compaction is
 //!    bit-identical to a fresh build, and sharded batches stay bit-equal
 //!    to sequential for every thread count.
+//! 7. **Serving determinism** ([`serve`]) — seeded arrival traces drive
+//!    the micro-batcher under a virtual clock: every admitted request is
+//!    flushed exactly once within its deadline, batches never mix
+//!    workspaces, the flushed schedule translates bit-identically to
+//!    sequential `translate`, and the threaded server returns identical
+//!    payloads for 1/2/4 workers.
 //!
 //! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
 //! `rand` dependency for harness decisions), so **every failure replays
@@ -56,6 +62,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod quant;
 pub mod rng;
+pub mod serve;
 
 pub use differential::{run_differential, DiffConfig, DiffReport, Divergence};
 pub use gen::{gen_queries, gen_query};

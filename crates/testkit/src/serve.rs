@@ -1,0 +1,692 @@
+//! Serving-layer determinism harness: seeded arrival traces through the
+//! micro-batcher under a virtual clock.
+//!
+//! The serving runtime (`gar-serve`) is threads + timing wrapped around a
+//! **pure** batching state machine — [`Batcher`] takes `now_us` as an
+//! explicit argument. This module exploits that purity: it generates a
+//! scripted arrival trace from one seed ([`gen_trace`]), drives the batcher
+//! with a *virtual* clock that jumps between arrivals and deadlines
+//! ([`run_trace`]), and checks the serving contract on the resulting batch
+//! schedule:
+//!
+//! - **Conservation** ([`check_batch_conservation`]) — every admitted
+//!   request lands in exactly one flushed batch (none lost, none
+//!   duplicated), batches never mix workspaces or exceed `max_batch`,
+//!   per-workspace arrival order is preserved, size-triggered batches are
+//!   exactly full, deadline-triggered batches flush at precisely their
+//!   head's deadline, and no request ever waits longer than `max_wait_us`.
+//! - **Deadline liveness** ([`check_deadline_flush`]) — when the size
+//!   trigger can never fire (`max_batch` > total requests), every batch
+//!   still flushes, by deadline, at its exact deadline tick.
+//! - **Bit-identity** ([`check_serve_bit_identity`]) — translating each
+//!   scheduled micro-batch through [`GarSystem::translate_batch`] yields
+//!   results bit-identical (entries, score bits, instantiated SQL) to
+//!   sequential [`GarSystem::translate`] of the same questions, for every
+//!   batch composition the trace produces.
+//!
+//! Everything derives from one `u64`: a failing sweep seed replays in
+//! isolation with [`replay_case`], matching the differential layer's
+//! replay contract.
+
+use crate::rng::TestRng;
+use gar_benchmarks::GeneratedDb;
+use gar_core::{GarSystem, PreparedDb, Translation};
+use gar_serve::{BatchPolicy, Batcher, FlushTrigger};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Shape of one seeded arrival trace.
+#[derive(Debug, Clone)]
+pub struct ServeTraceConfig {
+    /// Total requests in the trace.
+    pub requests: usize,
+    /// Number of distinct workspaces requests are spread over.
+    pub workspaces: usize,
+    /// Batcher size trigger.
+    pub max_batch: usize,
+    /// Batcher deadline trigger (µs, virtual).
+    pub max_wait_us: u64,
+    /// Maximum inter-arrival gap (µs, virtual); gaps are uniform in
+    /// `[0, max_gap_us]`, so bursts and lulls both occur.
+    pub max_gap_us: u64,
+    /// Seed for the whole trace (arrival times + workspace choices).
+    pub seed: u64,
+}
+
+impl Default for ServeTraceConfig {
+    fn default() -> Self {
+        ServeTraceConfig {
+            requests: 40,
+            workspaces: 3,
+            max_batch: 4,
+            max_wait_us: 500,
+            max_gap_us: 300,
+            seed: 0,
+        }
+    }
+}
+
+/// One scripted arrival: request `id` for `workspace` at virtual time
+/// `at_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual arrival time (µs), nondecreasing along the trace.
+    pub at_us: u64,
+    /// Workspace index in `[0, workspaces)`.
+    pub workspace: usize,
+    /// Request id (the trace position).
+    pub id: u64,
+}
+
+/// One batch the virtual-clock run flushed.
+#[derive(Debug, Clone)]
+pub struct TraceBatch {
+    /// Workspace index every request in the batch targets.
+    pub workspace: usize,
+    /// Request ids, in arrival order.
+    pub ids: Vec<u64>,
+    /// Which trigger flushed it.
+    pub trigger: FlushTrigger,
+    /// Virtual time of the flush (µs).
+    pub flushed_at_us: u64,
+}
+
+/// Statistics from a conservation check, for sweep-level assertions.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Batches flushed.
+    pub batches: usize,
+    /// Batches flushed by the size trigger.
+    pub size_flushes: usize,
+    /// Batches flushed by the deadline trigger.
+    pub deadline_flushes: usize,
+    /// Requests scheduled (== the trace length when conservation holds).
+    pub requests: usize,
+}
+
+/// Generate a seeded arrival trace: seeded inter-arrival gaps in
+/// `[0, max_gap_us]` and seeded workspace picks. Deterministic in
+/// `cfg.seed`.
+pub fn gen_trace(cfg: &ServeTraceConfig) -> Vec<TraceEvent> {
+    let mut rng = TestRng::new(cfg.seed);
+    let mut at_us = 0u64;
+    (0..cfg.requests as u64)
+        .map(|id| {
+            at_us += rng.below(cfg.max_gap_us as usize + 1) as u64;
+            TraceEvent {
+                at_us,
+                workspace: rng.below(cfg.workspaces.max(1)),
+                id,
+            }
+        })
+        .collect()
+}
+
+/// Drive a [`Batcher`] through `trace` under a virtual clock and return
+/// the flushed schedule.
+///
+/// The clock starts at the first arrival and only ever jumps to the next
+/// *interesting* instant — the earlier of the next scripted arrival and
+/// the batcher's next deadline — so the run is exact (flushes happen at
+/// precisely their trigger time) and instantaneous (no sleeping). At each
+/// instant, due arrivals are admitted first, then the batcher is polled to
+/// quiescence; the trailing drain mirrors server shutdown and is tagged
+/// [`FlushTrigger::Drain`].
+pub fn run_trace(trace: &[TraceEvent], policy: BatchPolicy) -> Vec<TraceBatch> {
+    let names: Vec<Arc<str>> = (0..)
+        .take(trace.iter().map(|e| e.workspace + 1).max().unwrap_or(0))
+        .map(|w| Arc::from(format!("ws{w}")))
+        .collect();
+    let mut batcher: Batcher<usize> = Batcher::new(policy);
+    let mut batches = Vec::new();
+    let mut next = 0usize; // next unadmitted trace event
+    let mut clock = match trace.first() {
+        Some(e) => e.at_us,
+        None => return batches,
+    };
+    loop {
+        // Admit everything due, then flush everything triggered — in that
+        // order, so an arrival and the flush it completes share one tick.
+        while next < trace.len() && trace[next].at_us <= clock {
+            let e = trace[next];
+            batcher.admit(Arc::clone(&names[e.workspace]), e.id, e.workspace, clock.max(e.at_us));
+            next += 1;
+        }
+        while let Some(b) = batcher.poll(clock) {
+            batches.push(TraceBatch {
+                workspace: b.requests.first().map(|p| p.payload).unwrap_or(0),
+                ids: b.requests.iter().map(|p| p.id).collect(),
+                trigger: b.trigger,
+                flushed_at_us: clock,
+            });
+        }
+        // Jump to the next interesting instant.
+        let arrival = (next < trace.len()).then(|| trace[next].at_us);
+        let deadline = batcher.next_deadline();
+        clock = match (arrival, deadline) {
+            (Some(a), Some(d)) => a.min(d),
+            (Some(a), None) => a,
+            (None, Some(d)) => d,
+            // No arrivals left, nothing pending: the trace is served.
+            (None, None) => break,
+        };
+    }
+    // Shutdown drain (unreachable for finite max_wait_us, but keeps the
+    // schedule total for any policy, e.g. max_wait_us = u64::MAX).
+    while let Some(b) = batcher.flush_head() {
+        batches.push(TraceBatch {
+            workspace: b.requests.first().map(|p| p.payload).unwrap_or(0),
+            ids: b.requests.iter().map(|p| p.id).collect(),
+            trigger: b.trigger,
+            flushed_at_us: clock,
+        });
+    }
+    batches
+}
+
+/// Run `cfg`'s trace and check the full batching contract (see the module
+/// docs). Returns schedule statistics, or every violation found.
+pub fn check_batch_conservation(cfg: &ServeTraceConfig) -> Result<TraceStats, Vec<String>> {
+    let trace = gen_trace(cfg);
+    let policy = BatchPolicy {
+        max_batch: cfg.max_batch,
+        max_wait_us: cfg.max_wait_us,
+    };
+    let batches = run_trace(&trace, policy);
+    let cap = cfg.max_batch.max(1);
+    let arrival: HashMap<u64, &TraceEvent> = trace.iter().map(|e| (e.id, e)).collect();
+
+    let mut violations = Vec::new();
+    let mut seen: HashMap<u64, usize> = HashMap::new();
+    let mut per_ws_order: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut stats = TraceStats {
+        batches: batches.len(),
+        requests: trace.len(),
+        ..TraceStats::default()
+    };
+
+    for (bi, b) in batches.iter().enumerate() {
+        if b.ids.is_empty() {
+            violations.push(format!("batch {bi}: empty"));
+            continue;
+        }
+        if b.ids.len() > cap {
+            violations.push(format!("batch {bi}: {} ids > max_batch {cap}", b.ids.len()));
+        }
+        match b.trigger {
+            FlushTrigger::Size => {
+                stats.size_flushes += 1;
+                if b.ids.len() != cap {
+                    violations.push(format!(
+                        "batch {bi}: size-triggered but holds {} != max_batch {cap}",
+                        b.ids.len()
+                    ));
+                }
+            }
+            FlushTrigger::Deadline => {
+                stats.deadline_flushes += 1;
+                // A deadline flush fires at exactly the *global* head's
+                // deadline; the batch's own head is that global head
+                // (heads flush oldest-first), so its arrival anchors it.
+                let head = arrival[&b.ids[0]].at_us;
+                let due = head.saturating_add(cfg.max_wait_us);
+                if b.flushed_at_us != due {
+                    violations.push(format!(
+                        "batch {bi}: deadline flush at {} but head {} was due at {due}",
+                        b.flushed_at_us, head
+                    ));
+                }
+            }
+            FlushTrigger::Drain => {
+                violations.push(format!(
+                    "batch {bi}: drain-flushed under a finite deadline policy"
+                ));
+            }
+        }
+        for &id in &b.ids {
+            *seen.entry(id).or_insert(0) += 1;
+            let e = match arrival.get(&id) {
+                Some(e) => e,
+                None => {
+                    violations.push(format!("batch {bi}: unknown id {id}"));
+                    continue;
+                }
+            };
+            if e.workspace != b.workspace {
+                violations.push(format!(
+                    "batch {bi}: id {id} of ws{} flushed in a ws{} batch",
+                    e.workspace, b.workspace
+                ));
+            }
+            let waited = b.flushed_at_us.saturating_sub(e.at_us);
+            if waited > cfg.max_wait_us {
+                violations.push(format!(
+                    "batch {bi}: id {id} waited {waited}µs > max_wait {}µs",
+                    cfg.max_wait_us
+                ));
+            }
+            per_ws_order.entry(b.workspace).or_default().push(id);
+        }
+    }
+
+    // Exactly-once: every admitted id in exactly one batch.
+    for e in &trace {
+        match seen.get(&e.id).copied().unwrap_or(0) {
+            1 => {}
+            0 => violations.push(format!("id {} lost (never flushed)", e.id)),
+            n => violations.push(format!("id {} duplicated ({n} flushes)", e.id)),
+        }
+    }
+    // Per-workspace FIFO: concatenated batch ids match arrival order.
+    for (ws, got) in &per_ws_order {
+        let want: Vec<u64> = trace
+            .iter()
+            .filter(|e| e.workspace == *ws)
+            .map(|e| e.id)
+            .collect();
+        if got != &want {
+            violations.push(format!("ws{ws}: order {got:?} != arrival order {want:?}"));
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Deadline liveness: with `max_batch` raised above the trace length the
+/// size trigger can never fire, yet every request must still be served —
+/// every flush deadline-triggered, at its exact due time.
+pub fn check_deadline_flush(cfg: &ServeTraceConfig) -> Result<TraceStats, Vec<String>> {
+    let cfg = ServeTraceConfig {
+        max_batch: cfg.requests + 1,
+        ..cfg.clone()
+    };
+    let stats = check_batch_conservation(&cfg)?;
+    if stats.size_flushes > 0 {
+        return Err(vec![format!(
+            "size trigger fired {} times with max_batch {} > {} requests",
+            stats.size_flushes, cfg.max_batch, cfg.requests
+        )]);
+    }
+    if stats.deadline_flushes != stats.batches {
+        return Err(vec![format!(
+            "{} of {} batches not deadline-triggered",
+            stats.batches - stats.deadline_flushes,
+            stats.batches
+        )]);
+    }
+    Ok(stats)
+}
+
+/// Re-run exactly one sweep case: `cfg` with its seed replaced by
+/// `seed`. A failing seed from any sweep reproduces its violations here.
+pub fn replay_case(seed: u64, cfg: &ServeTraceConfig) -> Result<TraceStats, Vec<String>> {
+    check_batch_conservation(&ServeTraceConfig {
+        seed,
+        ..cfg.clone()
+    })
+}
+
+/// One hosted workspace for the bit-identity check: a prepared database
+/// plus the NL question pool its requests draw from (request `id` asks
+/// `nls[id % nls.len()]`).
+pub struct ServeHost<'a> {
+    /// The database.
+    pub db: &'a GeneratedDb,
+    /// Its prepared candidate pool.
+    pub prepared: &'a PreparedDb,
+    /// Question pool for this workspace; must be non-empty.
+    pub nls: Vec<String>,
+}
+
+/// Check that serving a trace's micro-batch schedule through
+/// [`GarSystem::translate_batch`] is bit-identical to sequential
+/// [`GarSystem::translate`]: for every batch the trace flushes, each
+/// request's retrieved set, ranked entries, score bits, and instantiated
+/// SQL must equal the sequential reference for the same question.
+///
+/// Sequential references are computed once per distinct (workspace,
+/// question) pair and repeated batch compositions are verified once, so
+/// sweeping many seeds stays cheap while still covering every composition
+/// the traces produce. `cfg.workspaces` is overridden to `hosts.len()`.
+pub fn check_serve_bit_identity(
+    system: &GarSystem,
+    hosts: &[ServeHost<'_>],
+    cfg: &ServeTraceConfig,
+) -> Result<TraceStats, Vec<String>> {
+    assert!(!hosts.is_empty(), "bit-identity needs at least one host");
+    let cfg = ServeTraceConfig {
+        workspaces: hosts.len(),
+        ..cfg.clone()
+    };
+    // The schedule itself must already satisfy conservation.
+    let stats = check_batch_conservation(&cfg)?;
+    let trace = gen_trace(&cfg);
+    let batches = run_trace(
+        &trace,
+        BatchPolicy {
+            max_batch: cfg.max_batch,
+            max_wait_us: cfg.max_wait_us,
+        },
+    );
+
+    let nl_of = |ws: usize, id: u64| -> &str {
+        let pool = &hosts[ws].nls;
+        &pool[(id as usize) % pool.len()]
+    };
+    let mut sequential: HashMap<(usize, usize), Translation> = HashMap::new();
+    let mut verified: std::collections::HashSet<(usize, Vec<usize>)> =
+        std::collections::HashSet::new();
+    let mut violations = Vec::new();
+
+    for b in &batches {
+        let ws = b.workspace;
+        let host = &hosts[ws];
+        let nl_idxs: Vec<usize> = b
+            .ids
+            .iter()
+            .map(|&id| (id as usize) % host.nls.len())
+            .collect();
+        if !verified.insert((ws, nl_idxs.clone())) {
+            continue; // composition already proven bit-identical
+        }
+        let nls: Vec<String> = b.ids.iter().map(|&id| nl_of(ws, id).to_string()).collect();
+        let batch = system.translate_batch(host.db, host.prepared, &nls);
+        if batch.len() != nls.len() {
+            violations.push(format!(
+                "ws{ws} batch {:?}: {} translations for {} questions",
+                b.ids,
+                batch.len(),
+                nls.len()
+            ));
+            continue;
+        }
+        for (slot, (&nl_idx, got)) in nl_idxs.iter().zip(&batch).enumerate() {
+            let want = sequential
+                .entry((ws, nl_idx))
+                .or_insert_with(|| system.translate(host.db, host.prepared, &host.nls[nl_idx]));
+            let label = format!("ws{ws} q{nl_idx} (batch {:?} slot {slot})", b.ids);
+            if got.retrieved != want.retrieved {
+                violations.push(format!("{label}: retrieved set differs from sequential"));
+                continue;
+            }
+            if got.ranked.len() != want.ranked.len() {
+                violations.push(format!(
+                    "{label}: {} ranked candidates vs {} sequential",
+                    got.ranked.len(),
+                    want.ranked.len()
+                ));
+                continue;
+            }
+            for (g, w) in got.ranked.iter().zip(&want.ranked) {
+                if g.entry != w.entry {
+                    violations.push(format!("{label}: ranked entry differs"));
+                } else if g.score.to_bits() != w.score.to_bits() {
+                    violations.push(format!(
+                        "{label}: score {} not bit-identical to {}",
+                        g.score, w.score
+                    ));
+                } else if g.sql != w.sql {
+                    violations.push(format!("{label}: instantiated SQL differs"));
+                }
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_seed;
+    use gar_benchmarks::{spider_sim, SpiderSimConfig};
+    use gar_core::GarConfig;
+    use gar_core::PrepareConfig;
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+    use gar_serve::{GarEngine, ServeConfig, Server};
+
+    /// Sweep of ≥100 seeded traces, each with seed-varied policy knobs, so
+    /// size-heavy, deadline-heavy, and single-workspace schedules all
+    /// occur. Any failure names the one seed that replays it.
+    #[test]
+    fn conservation_holds_across_120_seeded_traces() {
+        let mut size_flushes = 0usize;
+        let mut deadline_flushes = 0usize;
+        for case in 0..120u64 {
+            let seed = derive_seed(0xC0FFEE, case);
+            let cfg = ServeTraceConfig {
+                requests: 20 + (seed % 41) as usize,
+                workspaces: 1 + (seed % 4) as usize,
+                max_batch: 1 + (seed % 6) as usize,
+                max_wait_us: 50 + seed % 900,
+                max_gap_us: seed % 400,
+                seed,
+            };
+            let stats = replay_case(seed, &cfg).unwrap_or_else(|v| {
+                panic!(
+                    "trace seed {seed:#x} violates conservation \
+                     (replay_case({seed:#x}, ..)):\n  {}",
+                    v.join("\n  ")
+                )
+            });
+            assert_eq!(stats.requests, cfg.requests);
+            size_flushes += stats.size_flushes;
+            deadline_flushes += stats.deadline_flushes;
+        }
+        // The sweep must actually exercise both triggers.
+        assert!(size_flushes > 0, "no size-triggered flush in 120 traces");
+        assert!(deadline_flushes > 0, "no deadline flush in 120 traces");
+    }
+
+    #[test]
+    fn deadline_flush_serves_everything_when_size_never_triggers() {
+        for case in 0..20u64 {
+            let seed = derive_seed(0xDEAD11, case);
+            let cfg = ServeTraceConfig {
+                requests: 15,
+                max_gap_us: 120,
+                max_wait_us: 200,
+                seed,
+                ..ServeTraceConfig::default()
+            };
+            let stats = check_deadline_flush(&cfg).unwrap_or_else(|v| {
+                panic!("seed {seed:#x}:\n  {}", v.join("\n  "))
+            });
+            assert!(stats.batches >= 1);
+        }
+    }
+
+    /// Small end-to-end config (mirrors the pipeline module's).
+    fn small_config() -> GarConfig {
+        GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 300,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 200,
+            k: 30,
+            negatives: 4,
+            rerank_list_size: 12,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 512,
+                    ..FeatureConfig::default()
+                },
+                hidden: 32,
+                embed: 16,
+                epochs: 2,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 16,
+                hidden: 24,
+                epochs: 3,
+                ..RerankConfig::default()
+            },
+            use_rerank: true,
+            threads: 2,
+            seed: 5,
+            ..GarConfig::default()
+        }
+    }
+
+    /// Train one small system and prepare `n` dev databases as hosts.
+    fn trained_hosts(
+        n: usize,
+    ) -> (
+        GarSystem,
+        Vec<(gar_benchmarks::GeneratedDb, PreparedDb, Vec<String>)>,
+    ) {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: n,
+            queries_per_db: 12,
+            seed: 61,
+        });
+        let (system, _) = GarSystem::train(&bench.dbs, &bench.train, small_config());
+        let eval = bench.eval_split();
+        let mut names: Vec<String> = eval.iter().map(|e| e.db.clone()).collect();
+        names.dedup();
+        let hosts = names
+            .into_iter()
+            .take(n)
+            .map(|name| {
+                let db = bench.db(&name).expect("eval db").clone();
+                let gold: Vec<_> = eval
+                    .iter()
+                    .filter(|e| e.db == name)
+                    .map(|e| e.sql.clone())
+                    .collect();
+                let prepared = system.prepare_eval_db(&db, &gold);
+                let nls: Vec<String> = eval
+                    .iter()
+                    .filter(|e| e.db == name)
+                    .take(6)
+                    .map(|e| e.nl.clone())
+                    .collect();
+                assert!(!nls.is_empty(), "no questions for {name}");
+                (db, prepared, nls)
+            })
+            .collect();
+        (system, hosts)
+    }
+
+    /// ≥100 seeded traces through the real translation engine: every batch
+    /// composition the schedules produce must be bit-identical to
+    /// sequential translation. (Repeated compositions are verified once —
+    /// see check_serve_bit_identity — so the sweep stays fast.)
+    #[test]
+    fn serve_batches_bit_identical_to_sequential_across_100_traces() {
+        let (system, hosts) = trained_hosts(2);
+        let hosts: Vec<ServeHost<'_>> = hosts
+            .iter()
+            .map(|(db, prepared, nls)| ServeHost {
+                db,
+                prepared,
+                nls: nls.clone(),
+            })
+            .collect();
+        for case in 0..100u64 {
+            let seed = derive_seed(0xB17B17, case);
+            let cfg = ServeTraceConfig {
+                requests: 10,
+                max_batch: 1 + (seed % 4) as usize,
+                max_wait_us: 50 + seed % 400,
+                max_gap_us: seed % 250,
+                seed,
+                ..ServeTraceConfig::default()
+            };
+            check_serve_bit_identity(&system, &hosts, &cfg).unwrap_or_else(|v| {
+                panic!(
+                    "trace seed {seed:#x} broke serve bit-identity:\n  {}",
+                    v.join("\n  ")
+                )
+            });
+        }
+    }
+
+    /// The real threaded server: one fixed request sequence served with 1,
+    /// 2, and 4 workers must produce byte-identical result payloads per
+    /// request — worker count is a throughput knob, never a semantics knob.
+    #[test]
+    fn thread_sweep_server_payloads_identical_for_1_2_4_workers() {
+        let (system, hosts) = trained_hosts(2);
+        let system = std::sync::Arc::new(system);
+        let mut engine = GarEngine::new(std::sync::Arc::clone(&system));
+        let mut requests: Vec<(String, String)> = Vec::new(); // (workspace, nl)
+        for (db, prepared, nls) in &hosts {
+            let name = engine.add_workspace(
+                std::sync::Arc::new(db.clone()),
+                std::sync::Arc::new(prepared.clone()),
+            );
+            for nl in nls.iter().take(5) {
+                requests.push((name.clone(), nl.clone()));
+            }
+        }
+        let mut rng = TestRng::new(0x5EED);
+        rng.shuffle(&mut requests);
+
+        let serve_all = |workers: usize| -> Vec<Translation> {
+            let mut server = Server::start(
+                engine.clone(),
+                ServeConfig {
+                    workers,
+                    max_batch: 3,
+                    max_wait_us: 300,
+                    queue_depth: 128,
+                },
+            );
+            let handles: Vec<_> = requests
+                .iter()
+                .map(|(ws, nl)| server.submit(ws, nl.clone()).expect("admitted"))
+                .collect();
+            let out = handles
+                .into_iter()
+                .map(|h| h.wait().expect("served").output)
+                .collect();
+            server.shutdown();
+            out
+        };
+
+        let base = serve_all(1);
+        for workers in [2usize, 4] {
+            let got = serve_all(workers);
+            assert_eq!(got.len(), base.len());
+            for (i, (g, w)) in got.iter().zip(&base).enumerate() {
+                let (ws, nl) = &requests[i];
+                assert_eq!(
+                    g.retrieved, w.retrieved,
+                    "workers={workers}: retrieved differs for {ws}/{nl:?}"
+                );
+                assert_eq!(g.ranked.len(), w.ranked.len());
+                for (a, b) in g.ranked.iter().zip(&w.ranked) {
+                    assert_eq!(a.entry, b.entry, "workers={workers}: entry for {nl:?}");
+                    assert_eq!(
+                        a.score.to_bits(),
+                        b.score.to_bits(),
+                        "workers={workers}: score bits for {nl:?}"
+                    );
+                    assert_eq!(a.sql, b.sql, "workers={workers}: SQL for {nl:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_a_sweep_case_exactly() {
+        let cfg = ServeTraceConfig::default();
+        let a = check_batch_conservation(&ServeTraceConfig { seed: 99, ..cfg.clone() }).unwrap();
+        let b = replay_case(99, &cfg).unwrap();
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.size_flushes, b.size_flushes);
+        assert_eq!(a.deadline_flushes, b.deadline_flushes);
+    }
+}

@@ -8,7 +8,10 @@
 # `bench_train` rewrites results/BENCH_train.json with ranker-training
 # throughput for the baseline / scratch-reuse / parallel arms, and
 # `bench_quant` rewrites results/BENCH_quant.json with exact-vs-int8
-# retrieval throughput, per-vector scan traffic, and recall.
+# retrieval throughput, per-vector scan traffic, and recall, and
+# `bench_serve` rewrites results/BENCH_serve.json with the serving layer's
+# sustained qps and p50/p95/p99 end-to-end latency under Zipf-skewed
+# multi-database load.
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
@@ -22,14 +25,17 @@
 # applies on multi-core hosts), and BENCH_quant.json (either a ≥2× int8
 # scan speedup or the ≥3.5× per-vector scan-traffic reduction, plus
 # rescored top-1 identity and ≥0.95 top-k recall; the batch bars are
-# informational on single-core hosts).
+# informational on single-core hosts), and BENCH_serve.json (positive
+# sustained qps, p50 ≤ p95 ≤ p99 tail ordering, a sane mean batch size;
+# the ≥1.2× multi-worker speedup bar additionally applies on multi-core
+# hosts).
 #
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant; do
+for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -175,4 +181,43 @@ else
   grep -q '"top1_identical": true' "$QUANT" \
     || { echo "top1_identical not true in $QUANT" >&2; exit 1; }
   echo "[bench_smoke] $QUANT OK (grep check; python3 unavailable)"
+fi
+
+SERVE="${GAR_RESULTS_DIR:-results}/BENCH_serve.json"
+[[ -f "$SERVE" ]] || { echo "missing $SERVE" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SERVE" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("sustained_qps", "single_worker_qps", "multi_worker_qps",
+          "speedup_multi_vs_single", "p50_us", "p95_us", "p99_us",
+          "batch_size_mean", "max_batch", "workspaces", "zipf_s",
+          "requests", "rejected_retries", "cores"):
+    assert k in r, f"missing {k} in BENCH_serve.json"
+assert r["sustained_qps"] > 0, "sustained qps must be positive"
+assert r["requests"] > 0, "serving bench ran zero requests"
+assert 0 < r["p50_us"] <= r["p95_us"] <= r["p99_us"], (
+    f"latency tail out of order: p50 {r['p50_us']} p95 {r['p95_us']} "
+    f"p99 {r['p99_us']}")
+assert 1 <= r["batch_size_mean"] <= r["max_batch"], (
+    f"mean batch size {r['batch_size_mean']:.2f} outside "
+    f"[1, {r['max_batch']}]")
+if r["cores"] >= 2:
+    assert r["speedup_multi_vs_single"] >= 1.2, (
+        f"{r['multi_workers']:.0f} workers only "
+        f"{r['speedup_multi_vs_single']:.2f}x over 1 worker on a "
+        f"{r['cores']:.0f}-core host")
+else:
+    print(f"[bench_smoke] single-core host: multi-worker speedup "
+          f"{r['speedup_multi_vs_single']:.2f}x recorded, 1.2x bar waived")
+print(f"[bench_smoke] {sys.argv[1]} OK: {r['sustained_qps']:.0f} qps "
+      f"sustained, p50 {r['p50_us']/1e3:.1f}ms / p99 {r['p99_us']/1e3:.1f}ms, "
+      f"mean batch {r['batch_size_mean']:.2f}")
+PY
+else
+  for k in sustained_qps single_worker_qps multi_worker_qps p50_us p95_us p99_us; do
+    grep -q "\"$k\"" "$SERVE" \
+      || { echo "missing $k in $SERVE" >&2; exit 1; }
+  done
+  echo "[bench_smoke] $SERVE OK (grep check; python3 unavailable)"
 fi

@@ -12,12 +12,13 @@
 # Covered: the unit-test suites of every library crate (gar-sql,
 # gar-schema, gar-engine, gar-generalize, gar-dialect, gar-nl,
 # gar-benchmarks, gar-vecindex, gar-obs, gar-par, gar-ltr, gar-baselines,
-# gar-core and gar-testkit — whose suite includes the 240-case differential
-# sweep of the optimized executor against the naive reference interpreter),
+# gar-core, gar-serve and gar-testkit — whose suite includes the 240-case
+# differential sweep of the optimized executor against the naive reference
+# interpreter plus the seeded serving-trace harness),
 # the two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
-# (compile only), its bench_batch, bench_prepare, bench_train and
-# bench_quant benches (smoke-run against a criterion shim), and the
+# (compile only), its bench_batch, bench_prepare, bench_train, bench_quant
+# and bench_serve benches (smoke-run against a criterion shim), and the
 # batched-retrieval throughput measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
@@ -108,10 +109,12 @@ CORE_EXTERNS=("${SQL[@]}" "${SCHEMA[@]}" "${RAND[@]}" "${SERDE[@]}" "${OBS[@]}" 
   --extern gar_ltr=libgar_ltr.rlib
   --extern gar_vecindex=libgar_vecindex.rlib)
 lib gar_core core "${CORE_EXTERNS[@]}"
+lib gar_serve serve "${CORE_EXTERNS[@]}" --extern gar_core=libgar_core.rlib
 
 TESTKIT_EXTERNS=("${CORE_EXTERNS[@]}"
   --extern gar_baselines=libgar_baselines.rlib
-  --extern gar_core=libgar_core.rlib)
+  --extern gar_core=libgar_core.rlib
+  --extern gar_serve=libgar_serve.rlib)
 lib gar_testkit testkit "${TESTKIT_EXTERNS[@]}"
 
 say "compiling gar (facade crate)"
@@ -165,6 +168,8 @@ suite gar_baselines "$REPO/crates/baselines/src/lib.rs" "${SQL[@]}" "${SCHEMA[@]
   --extern gar_nl=libgar_nl.rlib \
   --extern gar_engine=libgar_engine.rlib
 suite gar_core "$REPO/crates/core/src/lib.rs" "${CORE_EXTERNS[@]}"
+suite gar_serve "$REPO/crates/serve/src/lib.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib
 # The gar-testkit suite includes the acceptance sweep: ≥200 seeded queries
 # through parser round-trip, mask/normalize invariants, and differential
 # execution (optimized vs naive reference, base + shuffled + NULL-injected),
@@ -222,6 +227,16 @@ say "building + smoke-running bench_quant against the criterion shim"
   --extern serde_json=libserde_json.rlib \
   -o bench_quant
 GAR_RESULTS_DIR="$BUILD/results" ./bench_quant
+
+say "building + smoke-running bench_serve against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_serve \
+  "$REPO/crates/bench/benches/bench_serve.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib \
+  --extern gar_serve=libgar_serve.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_serve
+GAR_RESULTS_DIR="$BUILD/results" ./bench_serve
 
 # --- 5. batched retrieval throughput -------------------------------------
 say "building + running the batched-retrieval throughput measurement"

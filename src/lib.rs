@@ -23,6 +23,7 @@
 //! - [`benchmarks`] — benchmark suites and metrics ([`gar_benchmarks`])
 //! - [`baselines`] — baseline NL2SQL systems ([`gar_baselines`])
 //! - [`core`] — the GAR pipeline itself ([`gar_core`])
+//! - [`serve`] — online micro-batching serving layer ([`gar_serve`])
 
 pub use gar_baselines as baselines;
 pub use gar_benchmarks as benchmarks;
@@ -34,5 +35,6 @@ pub use gar_ltr as ltr;
 pub use gar_nl as nl;
 pub use gar_obs as obs;
 pub use gar_schema as schema;
+pub use gar_serve as serve;
 pub use gar_sql as sql;
 pub use gar_vecindex as vecindex;
