@@ -1,0 +1,270 @@
+//! Execution-guided re-ranking: what the post-rerank candidate gate
+//! (static validation + execution demotion, `gar_core::validate`) costs
+//! and buys on the clean suites.
+//!
+//! One small system is trained on `spider_sim` and evaluated twice per
+//! question — gate off and gate on — over two suites: the `spider_sim`
+//! dev split (pool prepared from gold) and the `qben_sim` test split
+//! (pool prepared from the curated sample split, the paper's QBEN
+//! protocol, using the spider-trained model). The report is the top-1
+//! *execution-accuracy* delta plus the per-query latency cost, written to
+//! `results/BENCH_exec_rank.json` (honoring `GAR_RESULTS_DIR`).
+//!
+//! On clean suites every pool candidate is well formed, so the gate's
+//! value is bounded: the validator rejects ~nothing and the demotion
+//! stage only reorders genuine outliers. The acceptance bar is therefore
+//! "never worse" (delta ≥ 0 per suite) at a bounded latency cost — the
+//! gate earns its keep on hostile candidate pools, which the testkit
+//! layer exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gar_benchmarks::{
+    execution_match, qben_sim, spider_sim, Benchmark, Example, QbenSimConfig, SpiderSimConfig,
+};
+use gar_core::{GarConfig, GarSystem, PrepareConfig, PreparedDb};
+use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+use gar_sql::Query;
+use std::time::Instant;
+
+const EXEC_RERANK_K: usize = 10;
+const EXEC_ROW_BUDGET: usize = 512;
+
+/// Small but complete config: real retrieval + re-rank, gate off (the
+/// gated system is a clone with the gate switched on).
+fn bench_config() -> GarConfig {
+    GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 300,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 200,
+        k: 30,
+        negatives: 4,
+        rerank_list_size: 12,
+        retrieval: RetrievalConfig {
+            features: FeatureConfig {
+                dim: 512,
+                ..FeatureConfig::default()
+            },
+            hidden: 32,
+            embed: 16,
+            epochs: 2,
+            ..RetrievalConfig::default()
+        },
+        rerank: RerankConfig {
+            embed: 16,
+            hidden: 24,
+            epochs: 3,
+            ..RerankConfig::default()
+        },
+        use_rerank: true,
+        threads: 1,
+        seed: 13,
+        ..GarConfig::default()
+    }
+}
+
+struct SuiteEval {
+    name: &'static str,
+    queries: usize,
+    correct_ungated: usize,
+    correct_gated: usize,
+    lat_ungated_us: Vec<u64>,
+    lat_gated_us: Vec<u64>,
+}
+
+impl SuiteEval {
+    fn acc_ungated(&self) -> f64 {
+        self.correct_ungated as f64 / self.queries.max(1) as f64
+    }
+    fn acc_gated(&self) -> f64 {
+        self.correct_gated as f64 / self.queries.max(1) as f64
+    }
+}
+
+/// Prepare every evaluation database of `split` once: from the curated
+/// sample split when the benchmark ships one (QBEN protocol), otherwise
+/// from the split's gold queries.
+fn prepare_dbs<'b>(
+    system: &GarSystem,
+    bench: &'b Benchmark,
+    split: &'b [Example],
+) -> Vec<(&'b gar_benchmarks::GeneratedDb, PreparedDb, Vec<&'b Example>)> {
+    let mut by_db: std::collections::BTreeMap<&str, Vec<&Example>> =
+        std::collections::BTreeMap::new();
+    for ex in split {
+        by_db.entry(ex.db.as_str()).or_default().push(ex);
+    }
+    by_db
+        .into_iter()
+        .filter_map(|(name, exs)| {
+            let db = bench.db(name)?;
+            let samples: Vec<Query> = bench
+                .samples
+                .iter()
+                .filter(|e| e.db == name)
+                .map(|e| e.sql.clone())
+                .collect();
+            let prepared = if samples.is_empty() {
+                let gold: Vec<Query> = exs.iter().map(|e| e.sql.clone()).collect();
+                system.prepare_eval_db(db, &gold)
+            } else {
+                system.prepare_with_samples(db, &samples)
+            };
+            Some((db, prepared, exs))
+        })
+        .collect()
+}
+
+/// Translate every question of `split` twice — `base` (gate off) and
+/// `gated` — and score top-1 execution accuracy against the full database.
+fn eval_suite(
+    name: &'static str,
+    base: &GarSystem,
+    gated: &GarSystem,
+    bench: &Benchmark,
+    split: &[Example],
+) -> SuiteEval {
+    let mut out = SuiteEval {
+        name,
+        queries: 0,
+        correct_ungated: 0,
+        correct_gated: 0,
+        lat_ungated_us: Vec::new(),
+        lat_gated_us: Vec::new(),
+    };
+    for (db, prepared, exs) in prepare_dbs(base, bench, split) {
+        for ex in exs {
+            out.queries += 1;
+            let t = Instant::now();
+            let off = base.translate(db, &prepared, &ex.nl);
+            out.lat_ungated_us.push(t.elapsed().as_micros() as u64);
+            let t = Instant::now();
+            let on = gated.translate(db, &prepared, &ex.nl);
+            out.lat_gated_us.push(t.elapsed().as_micros() as u64);
+            if let Some(top) = off.top1() {
+                if execution_match(&db.database, top, &ex.sql) {
+                    out.correct_ungated += 1;
+                }
+            }
+            if let Some(top) = on.top1() {
+                if execution_match(&db.database, top, &ex.sql) {
+                    out.correct_gated += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Exact percentile over the collected sample (nearest-rank on the sorted
+/// latencies).
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn suite_json(s: &SuiteEval) -> serde_json::Value {
+    let mut off = s.lat_ungated_us.clone();
+    let mut on = s.lat_gated_us.clone();
+    off.sort_unstable();
+    on.sort_unstable();
+    let p95_off = pct(&off, 0.95);
+    let p95_on = pct(&on, 0.95);
+    serde_json::json!({
+        "queries": s.queries,
+        "exec_acc_ungated": s.acc_ungated(),
+        "exec_acc_gated": s.acc_gated(),
+        "exec_acc_delta": s.acc_gated() - s.acc_ungated(),
+        "p50_ungated_us": pct(&off, 0.50),
+        "p95_ungated_us": p95_off,
+        "p50_gated_us": pct(&on, 0.50),
+        "p95_gated_us": p95_on,
+        "latency_cost_p95_us": p95_on as i64 - p95_off as i64,
+    })
+}
+
+fn emit_exec_rank_json(spider: &SuiteEval, qben: &SuiteEval) {
+    let min_delta = (spider.acc_gated() - spider.acc_ungated())
+        .min(qben.acc_gated() - qben.acc_ungated());
+    let spider_v = suite_json(spider);
+    let qben_v = suite_json(qben);
+    let suites = serde_json::json!({
+        "spider_sim": spider_v,
+        "qben_sim": qben_v,
+    });
+    let json = serde_json::json!({
+        "bench": format!("exec_rank_gate_k{EXEC_RERANK_K}_rows{EXEC_ROW_BUDGET}"),
+        "validate": true,
+        "exec_rerank_k": EXEC_RERANK_K,
+        "exec_row_budget": EXEC_ROW_BUDGET,
+        "min_exec_acc_delta": min_delta,
+        "suites": suites,
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_exec_rank.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_exec_rank] wrote {}", path.display());
+}
+
+fn bench_exec_rank(c: &mut Criterion) {
+    let spider = spider_sim(SpiderSimConfig {
+        train_dbs: 2,
+        val_dbs: 1,
+        queries_per_db: 14,
+        seed: 41,
+    });
+    let qben = qben_sim(QbenSimConfig {
+        samples: 60,
+        test: 30,
+        seed: 41,
+    });
+    let (base, _) = GarSystem::train(&spider.dbs, &spider.train, bench_config());
+    let mut gated = base.clone();
+    gated.config.validate = true;
+    gated.config.exec_rerank_k = EXEC_RERANK_K;
+    gated.config.exec_row_budget = EXEC_ROW_BUDGET;
+
+    // Criterion arm: steady-state gated vs ungated translation of one
+    // dev question (pool prepared once outside the loop).
+    let db = spider.db(&spider.dev[0].db).expect("dev db");
+    let gold: Vec<Query> = spider
+        .dev
+        .iter()
+        .filter(|e| e.db == spider.dev[0].db)
+        .map(|e| e.sql.clone())
+        .collect();
+    let prepared = base.prepare_eval_db(db, &gold);
+    let nl = &spider.dev[0].nl;
+    let mut group = c.benchmark_group("exec_rank_gate");
+    group.bench_function("translate_ungated", |b| {
+        b.iter(|| std::hint::black_box(base.translate(db, &prepared, nl)))
+    });
+    group.bench_function("translate_gated", |b| {
+        b.iter(|| std::hint::black_box(gated.translate(db, &prepared, nl)))
+    });
+    group.finish();
+
+    // Manual pass: both suites, full splits, accuracy + latency report.
+    let s_spider = eval_suite("spider_sim", &base, &gated, &spider, &spider.dev);
+    let s_qben = eval_suite("qben_sim", &base, &gated, &qben, &qben.test);
+    for s in [&s_spider, &s_qben] {
+        eprintln!(
+            "[bench_exec_rank] {}: {} queries, acc {:.3} -> {:.3}",
+            s.name,
+            s.queries,
+            s.acc_ungated(),
+            s.acc_gated()
+        );
+        assert!(s.queries > 0, "suite {} evaluated no queries", s.name);
+    }
+    emit_exec_rank_json(&s_spider, &s_qben);
+}
+
+criterion_group!(benches, bench_exec_rank);
+criterion_main!(benches);

@@ -93,6 +93,9 @@ impl ExpConfig {
             use_rerank: true,
             quantize: false,
             rescore_factor: 4,
+            validate: false,
+            exec_rerank_k: 0,
+            exec_row_budget: 512,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),

@@ -34,6 +34,7 @@ pub mod par;
 pub mod postprocess;
 pub mod prepare;
 pub mod system;
+pub mod validate;
 
 pub use analysis::{analyze, ErrorAnalysis};
 pub use artifact::{
@@ -49,3 +50,4 @@ pub use prepare::{
 pub use system::{
     GarConfig, GarSystem, GarTrainReport, PreparedDb, RankedCandidate, Translation,
 };
+pub use validate::{exec_tiers, sample_database, validate_static, ValidationError};

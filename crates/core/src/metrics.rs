@@ -12,6 +12,8 @@
 //! | `stage.filter_us` | histogram | value post-processing filter |
 //! | `stage.rerank_us` | histogram | candidate scoring (either stage-3 path) |
 //! | `stage.instantiate_us` | histogram | value instantiation + final sort |
+//! | `stage.validate_us` | histogram | static candidate validation (gate, when enabled) |
+//! | `stage.exec_rerank_us` | histogram | execution-guided demotion (gate, when enabled) |
 //! | `prepare.pool_size` | histogram | candidate-pool size per prepared db |
 //! | `prep.generalize_us` | histogram | offline generalization per prepared db |
 //! | `prep.render_us` | histogram | offline dialect rendering per prepared db |
@@ -31,6 +33,9 @@
 //! | `candidates.retrieved` | counter | hits returned by stage 1 |
 //! | `candidates.filtered` | counter | candidates dropped by the value filter |
 //! | `candidates.demoted_unfilled` | counter | ranked candidates demoted for unfilled slots |
+//! | `validate.rejected` | counter | candidates dropped by the static validator gate |
+//! | `validate.all_rejected` | counter | translations where the gate rejected everything and fell back to the ungated ranking |
+//! | `exec.demoted` | counter | candidates demoted by execution-guided re-ranking |
 //! | `translate.total` | counter | translations finished |
 //! | `translate.empty_result` | counter | translations with no ranked candidate |
 //! | `translate.rerank_disabled` | counter | translations on the retrieval-only path |
@@ -61,16 +66,22 @@ pub struct StageTimings {
     pub rerank_us: u64,
     /// Value instantiation and the final tiered sort.
     pub instantiate_us: u64,
+    /// Static candidate validation (zero when the gate is disabled).
+    pub validate_us: u64,
+    /// Execution-guided demotion (zero when the gate is disabled).
+    pub exec_rerank_us: u64,
 }
 
 impl StageTimings {
-    /// End-to-end latency: the sum of all five stages.
+    /// End-to-end latency: the sum of all stages.
     pub fn total_us(&self) -> u64 {
         self.encode_us
             + self.retrieve_us
             + self.filter_us
             + self.rerank_us
             + self.instantiate_us
+            + self.validate_us
+            + self.exec_rerank_us
     }
 }
 
@@ -83,6 +94,8 @@ pub(crate) struct PipelineMetrics {
     pub filter: Arc<Histogram>,
     pub rerank: Arc<Histogram>,
     pub instantiate: Arc<Histogram>,
+    pub validate: Arc<Histogram>,
+    pub exec_rerank: Arc<Histogram>,
     pub pool_size: Arc<Histogram>,
     pub prep_generalize: Arc<Histogram>,
     pub prep_render: Arc<Histogram>,
@@ -94,6 +107,9 @@ pub(crate) struct PipelineMetrics {
     pub retrieved: Arc<Counter>,
     pub filtered: Arc<Counter>,
     pub demoted_unfilled: Arc<Counter>,
+    pub validate_rejected: Arc<Counter>,
+    pub validate_all_rejected: Arc<Counter>,
+    pub exec_demoted: Arc<Counter>,
     pub total: Arc<Counter>,
     pub empty_result: Arc<Counter>,
     pub rerank_disabled: Arc<Counter>,
@@ -110,6 +126,8 @@ pub(crate) fn metrics() -> &'static PipelineMetrics {
             filter: r.histogram("stage.filter_us"),
             rerank: r.histogram("stage.rerank_us"),
             instantiate: r.histogram("stage.instantiate_us"),
+            validate: r.histogram("stage.validate_us"),
+            exec_rerank: r.histogram("stage.exec_rerank_us"),
             pool_size: r.histogram("prepare.pool_size"),
             prep_generalize: r.histogram("prep.generalize_us"),
             prep_render: r.histogram("prep.render_us"),
@@ -121,6 +139,9 @@ pub(crate) fn metrics() -> &'static PipelineMetrics {
             retrieved: r.counter("candidates.retrieved"),
             filtered: r.counter("candidates.filtered"),
             demoted_unfilled: r.counter("candidates.demoted_unfilled"),
+            validate_rejected: r.counter("validate.rejected"),
+            validate_all_rejected: r.counter("validate.all_rejected"),
+            exec_demoted: r.counter("exec.demoted"),
             total: r.counter("translate.total"),
             empty_result: r.counter("translate.empty_result"),
             rerank_disabled: r.counter("translate.rerank_disabled"),

@@ -48,6 +48,20 @@ pub struct GarConfig {
     /// `rescore_factor * k` candidates before exact f32 rescoring. Values
     /// below 1 behave as 1. Ignored unless `quantize` is set.
     pub rescore_factor: usize,
+    /// Statically validate ranked candidates against the workspace schema
+    /// (post-rerank gate, [`crate::validate`]): candidates that cannot
+    /// execute are dropped. If every candidate is rejected the ungated
+    /// ranking is kept (counted via `validate.all_rejected`).
+    pub validate: bool,
+    /// Execution-guided demotion: run the top `exec_rerank_k` instantiated
+    /// candidates through `gar-engine` on a row-sampled copy of the
+    /// database and demote candidates that error or return degenerate
+    /// results. `0` disables the stage.
+    pub exec_rerank_k: usize,
+    /// Rows kept per table in the sampled execution database (prefix
+    /// sample; generous by default so small benchmark tables execute in
+    /// full).
+    pub exec_row_budget: usize,
     /// Worker threads for batch encoding.
     pub threads: usize,
     /// Master seed.
@@ -67,6 +81,9 @@ impl Default for GarConfig {
             use_rerank: true,
             quantize: false,
             rescore_factor: 4,
+            validate: false,
+            exec_rerank_k: 0,
+            exec_row_budget: 512,
             threads: 4,
             seed: 2023,
         }
@@ -701,9 +718,58 @@ impl GarSystem {
             .sort_by(|(ua, a), (ub, b)| ua.cmp(ub).then_with(|| nan_last_desc(a.score, b.score)));
         let mut ranked: Vec<RankedCandidate> =
             with_unfilled.into_iter().map(|(_, c)| c).collect();
-        ranked.truncate(10);
         let instantiate_us = instantiate_timer.stop();
         m.demoted_unfilled.add(demoted);
+
+        // Post-rerank candidate gate (crate::validate): a pure function of
+        // (schema, database, config, candidates), so the single and batched
+        // paths stay bit-identical.
+        let mut validate_us = 0u64;
+        if self.config.validate && !ranked.is_empty() {
+            let validate_timer = StageTimer::start(&m.validate);
+            let keep: Vec<bool> = ranked
+                .iter()
+                .map(|c| crate::validate::validate_static(&db.schema, &c.sql).is_ok())
+                .collect();
+            let rejected = keep.iter().filter(|k| !**k).count();
+            if rejected == ranked.len() {
+                // Everything rejected: fall back to the ungated ranking
+                // rather than answering with nothing.
+                m.validate_all_rejected.inc();
+            } else if rejected > 0 {
+                let mut it = keep.into_iter();
+                ranked.retain(|_| it.next().unwrap());
+            }
+            m.validate_rejected.add(rejected as u64);
+            validate_us = validate_timer.stop();
+        }
+        ranked.truncate(10);
+
+        let mut exec_rerank_us = 0u64;
+        if self.config.exec_rerank_k > 0 && !ranked.is_empty() {
+            let exec_timer = StageTimer::start(&m.exec_rerank);
+            let sampled = crate::validate::sample_database(
+                &db.database,
+                self.config.exec_row_budget.max(1),
+            );
+            let sqls: Vec<&Query> = ranked.iter().map(|c| &c.sql).collect();
+            let tiers = crate::validate::exec_tiers(
+                &sampled,
+                &sqls,
+                self.config.exec_rerank_k,
+                crate::validate::EXEC_STEP_BUDGET,
+            );
+            let exec_demoted = tiers.iter().filter(|t| **t > 0).count();
+            if exec_demoted > 0 {
+                let mut keyed: Vec<(u8, RankedCandidate)> =
+                    tiers.into_iter().zip(ranked.drain(..)).collect();
+                // Stable: within a tier the existing order is preserved.
+                keyed.sort_by_key(|(t, _)| *t);
+                ranked = keyed.into_iter().map(|(_, c)| c).collect();
+            }
+            m.exec_demoted.add(exec_demoted as u64);
+            exec_rerank_us = exec_timer.stop();
+        }
 
         m.total.inc();
         if ranked.is_empty() {
@@ -719,6 +785,8 @@ impl GarSystem {
                 filter_us,
                 rerank_us,
                 instantiate_us,
+                validate_us,
+                exec_rerank_us,
             },
         }
     }
@@ -760,6 +828,9 @@ mod tests {
             use_rerank: true,
             quantize: false,
             rescore_factor: 4,
+            validate: false,
+            exec_rerank_k: 0,
+            exec_row_budget: 512,
             threads: 4,
             seed: 5,
         }
@@ -833,8 +904,17 @@ mod tests {
         let t = tr.timings;
         assert_eq!(
             t.total_us(),
-            t.encode_us + t.retrieve_us + t.filter_us + t.rerank_us + t.instantiate_us
+            t.encode_us
+                + t.retrieve_us
+                + t.filter_us
+                + t.rerank_us
+                + t.instantiate_us
+                + t.validate_us
+                + t.exec_rerank_us
         );
+        // The gate is off in tiny_config, so its stages cost nothing.
+        assert_eq!(t.validate_us, 0);
+        assert_eq!(t.exec_rerank_us, 0);
     }
 
     #[test]
@@ -1400,6 +1480,147 @@ mod tests {
             "extension missed the added sample"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gate_on_translate_batch_matches_sequential_bit_identically() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 24,
+        });
+        let mut cfg = tiny_config();
+        cfg.threads = 3;
+        cfg.validate = true;
+        cfg.exec_rerank_k = 5;
+        cfg.exec_row_budget = 64;
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+
+        let nls: Vec<String> = bench
+            .dev
+            .iter()
+            .filter(|e| &e.db == db_name)
+            .map(|e| e.nl.clone())
+            .take(9)
+            .collect();
+        assert!(nls.len() > 4, "need a multi-chunk batch");
+        let batch = gar.translate_batch(db, &prepared, &nls);
+        for (nl, b) in nls.iter().zip(&batch) {
+            let s = gar.translate(db, &prepared, nl);
+            assert_eq!(b.retrieved, s.retrieved, "retrieval diverged for {nl:?}");
+            assert_eq!(b.ranked.len(), s.ranked.len());
+            for (bc, sc) in b.ranked.iter().zip(&s.ranked) {
+                assert_eq!(bc.entry, sc.entry, "gated ranking diverged for {nl:?}");
+                assert_eq!(bc.score.to_bits(), sc.score.to_bits());
+                assert!(exact_match(&bc.sql, &sc.sql));
+            }
+        }
+    }
+
+    #[test]
+    fn all_rejected_candidates_fall_back_to_ungated_ranking() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 25,
+        });
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, tiny_config());
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let mut prepared = gar.prepare_eval_db(db, &gold);
+        // Poison every pool entry so the validator must reject the whole
+        // ranked list (the table cannot resolve).
+        let ghost = gar_sql::parse("SELECT ghost.x FROM ghost").unwrap();
+        for e in &mut prepared.entries {
+            e.sql = ghost.clone();
+        }
+
+        let base = gar.translate(db, &prepared, &bench.dev[0].nl);
+        assert!(!base.ranked.is_empty());
+
+        let mut gated = gar.clone();
+        gated.config.validate = true;
+        let before = gar_obs::global().snapshot().counter("validate.all_rejected");
+        let tr = gated.translate(db, &prepared, &bench.dev[0].nl);
+        let after = gar_obs::global().snapshot().counter("validate.all_rejected");
+
+        // Fallback: the ungated ranking survives, and the event is counted.
+        assert_eq!(
+            after.unwrap_or(0),
+            before.unwrap_or(0) + 1,
+            "all-rejected fallback not counted"
+        );
+        assert_eq!(tr.ranked.len(), base.ranked.len());
+        for (g, b) in tr.ranked.iter().zip(&base.ranked) {
+            assert_eq!(g.entry, b.entry);
+            assert_eq!(g.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn gate_survives_empty_pools_k0_and_masked_exec_candidates() {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 16,
+            seed: 27,
+        });
+        let mut cfg = tiny_config();
+        cfg.validate = true;
+        cfg.exec_rerank_k = 10;
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+        let db_name = &bench.dev[0].db;
+        let db = bench.db(db_name).unwrap();
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+
+        // k = 0: no candidates ever reach the gate — must not panic.
+        let mut k0 = gar.clone();
+        k0.config.k = 0;
+        let prepared = k0.prepare_eval_db(db, &gold);
+        let tr = k0.translate(db, &prepared, &bench.dev[0].nl);
+        assert!(tr.ranked.is_empty());
+        assert_eq!(tr.timings.validate_us, 0);
+        assert_eq!(tr.timings.exec_rerank_us, 0);
+
+        // Empty pool: same guarantee via the prepared side.
+        let empty = PreparedDb {
+            db_name: prepared.db_name.clone(),
+            entries: Vec::new(),
+            embeds: Vec::new(),
+            index: FlatIndex::new(gar.retrieval.embed_dim()),
+        };
+        let tr = gar.translate(db, &empty, &bench.dev[0].nl);
+        assert!(tr.ranked.is_empty());
+
+        // Masked candidates reaching the exec stage are skipped, never an
+        // error: poison the pool with a never-fillable masked literal and
+        // an NL that mentions no values.
+        let mut masked_pool = gar.prepare_eval_db(db, &gold);
+        let masked = gold
+            .iter()
+            .map(mask_values)
+            .find(|m| gar_sql::masked_count(m) > 0)
+            .expect("no gold query carries a literal");
+        for e in &mut masked_pool.entries {
+            e.sql = masked.clone();
+        }
+        let tr = gar.translate(db, &masked_pool, "list everything please");
+        // Unfilled slots rank, validate (masked = unknown type), and are
+        // skipped by the exec stage — order must be untouched.
+        assert!(!tr.ranked.is_empty());
+        for c in &tr.ranked {
+            assert!(gar_sql::masked_count(&c.sql) > 0);
+        }
+        for w in tr.ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "exec stage reordered skipped candidates");
+        }
     }
 
     #[test]

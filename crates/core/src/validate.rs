@@ -1,0 +1,504 @@
+//! Post-rerank candidate gate (DESIGN.md §12).
+//!
+//! Two independent checks applied to the ranked candidate list:
+//!
+//! 1. **Static validation** ([`validate_static`]) — a candidate must
+//!    resolve against the workspace schema and satisfy the engine's
+//!    well-formedness rules (no aggregates in row context, no bare `*`
+//!    in a grouped select, type-compatible predicates, text `LIKE`
+//!    patterns, subquery-backed `IN`). Candidates that fail can never
+//!    execute, so ranking them is pure noise.
+//! 2. **Execution-guided demotion** ([`exec_tiers`]) — the top-k
+//!    instantiated candidates are run through `gar-engine` on a
+//!    row-sampled copy of the database ([`sample_database`]) under an
+//!    explicit step budget ([`EXEC_STEP_BUDGET`]). Candidates that
+//!    error are demoted below ones that execute; candidates whose
+//!    result is degenerate (the lone empty result among executed
+//!    siblings, or an all-NULL projection) sit in between.
+//!
+//! Both checks are pure functions of `(schema, database, query)`, so the
+//! gate produces bit-identical rankings in `translate` and
+//! `translate_batch`.
+
+use gar_engine::{execute, Database, ExecError, TableData};
+use gar_schema::{resolve_query, ColType, Schema};
+use gar_sql::ast::{AggFunc, CmpOp, ColExpr, ColumnRef, Literal, Operand, Query};
+
+/// Why a candidate failed static validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A table or column does not resolve against the schema.
+    Unresolved(String),
+    /// An aggregate appears in a per-row context (a `WHERE` predicate).
+    AggregateInWhere,
+    /// A non-`COUNT` aggregate applied to `*`.
+    NonCountStarAggregate(AggFunc),
+    /// Bare `*` in a grouped/aggregated select list.
+    BareStarInGroupedSelect,
+    /// `SUM`/`AVG` over a text column.
+    NumericAggregateOnText(String),
+    /// A comparison whose operands can never share a comparable type
+    /// (one side text, the other numeric — always UNKNOWN).
+    TypeMismatch(String),
+    /// `LIKE` with a pattern that is statically non-text.
+    NonTextLikePattern,
+    /// `IN`/`NOT IN` whose right-hand side is not a subquery.
+    InNeedsSubquery,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Unresolved(s) => write!(f, "unresolved: {s}"),
+            ValidationError::AggregateInWhere => write!(f, "aggregate in WHERE"),
+            ValidationError::NonCountStarAggregate(a) => write!(f, "{a}(*) is not executable"),
+            ValidationError::BareStarInGroupedSelect => write!(f, "bare * in grouped select"),
+            ValidationError::NumericAggregateOnText(c) => {
+                write!(f, "numeric aggregate over text column {c}")
+            }
+            ValidationError::TypeMismatch(s) => write!(f, "type mismatch: {s}"),
+            ValidationError::NonTextLikePattern => write!(f, "LIKE needs a text pattern"),
+            ValidationError::InNeedsSubquery => write!(f, "IN needs a subquery"),
+        }
+    }
+}
+
+/// Check one candidate against the schema: every table/column must
+/// resolve, and the query must satisfy the engine's static
+/// well-formedness rules. `Ok(())` means the engine will not reject the
+/// query for a reason knowable without data (it may still hit a
+/// masked literal at runtime — that is the instantiation tier's job).
+pub fn validate_static(schema: &Schema, q: &Query) -> Result<(), ValidationError> {
+    let resolved = resolve_query(schema, q)
+        .map_err(|e| ValidationError::Unresolved(format!("{e:?}")))?;
+    check_query(schema, &resolved)
+}
+
+fn check_query(schema: &Schema, q: &Query) -> Result<(), ValidationError> {
+    // Mirror the engine's grouping decision: grouped iff GROUP BY is
+    // non-empty or any select/order item is aggregated.
+    let grouped = !q.group_by.is_empty()
+        || q.select.items.iter().any(ColExpr::is_aggregated)
+        || q.order_by
+            .as_ref()
+            .map(|ob| ob.items.iter().any(|i| i.expr.is_aggregated()))
+            .unwrap_or(false);
+    for item in &q.select.items {
+        if grouped && item.col.is_star() && item.agg.is_none() {
+            return Err(ValidationError::BareStarInGroupedSelect);
+        }
+        colexpr_type(schema, item)?;
+    }
+    if let Some(ob) = &q.order_by {
+        for item in &ob.items {
+            colexpr_type(schema, &item.expr)?;
+        }
+    }
+    for (cond, row_ctx) in q
+        .where_
+        .iter()
+        .map(|c| (c, true))
+        .chain(q.having.iter().map(|c| (c, false)))
+    {
+        for p in &cond.preds {
+            if row_ctx
+                && (p.lhs.agg.is_some()
+                    || matches!(&p.rhs, Operand::Col(c) if c.agg.is_some())
+                    || matches!(&p.rhs2, Some(Operand::Col(c)) if c.agg.is_some()))
+            {
+                return Err(ValidationError::AggregateInWhere);
+            }
+            let lhs_ty = colexpr_type(schema, &p.lhs)?;
+            match p.op {
+                CmpOp::Like | CmpOp::NotLike => {
+                    // The engine needs a text (or NULL) pattern at
+                    // runtime; a statically numeric pattern always errors.
+                    if operand_type(schema, &p.rhs)? == Some(ColType::Int)
+                        || operand_type(schema, &p.rhs)? == Some(ColType::Float)
+                    {
+                        return Err(ValidationError::NonTextLikePattern);
+                    }
+                }
+                CmpOp::In | CmpOp::NotIn => {
+                    // A masked slot may still be rewritten by
+                    // instantiation; any other literal can never become
+                    // the set the engine requires.
+                    if matches!(&p.rhs, Operand::Lit(l) if !l.is_masked()) {
+                        return Err(ValidationError::InNeedsSubquery);
+                    }
+                }
+                _ => {
+                    check_compat(lhs_ty, operand_type(schema, &p.rhs)?, p)?;
+                    if let Some(rhs2) = &p.rhs2 {
+                        check_compat(lhs_ty, operand_type(schema, rhs2)?, p)?;
+                    }
+                }
+            }
+            for op in std::iter::once(&p.rhs).chain(p.rhs2.iter()) {
+                if let Operand::Subquery(sq) = op {
+                    check_query(schema, sq)?;
+                }
+            }
+        }
+    }
+    if let Some((_, rhs)) = &q.compound {
+        check_query(schema, rhs)?;
+    }
+    Ok(())
+}
+
+/// Both types known and on opposite sides of the text/numeric divide:
+/// the comparison is UNKNOWN for every row, so the predicate can never
+/// hold and the candidate is statically dead.
+fn check_compat(
+    lhs: Option<ColType>,
+    rhs: Option<ColType>,
+    p: &gar_sql::ast::Predicate,
+) -> Result<(), ValidationError> {
+    if let (Some(a), Some(b)) = (lhs, rhs) {
+        if a.is_numeric() != b.is_numeric() {
+            return Err(ValidationError::TypeMismatch(format!(
+                "{} {} {:?}/{:?}",
+                p.lhs, p.op, a, b
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn col_type(schema: &Schema, c: &ColumnRef) -> Option<ColType> {
+    let t = c.table.as_deref()?;
+    schema.column(t, &c.column).map(|col| col.ty)
+}
+
+/// Static result type of a select/predicate expression, if knowable.
+/// Also enforces aggregate well-formedness (`SUM`/`AVG` need a numeric
+/// column, only `COUNT` accepts `*`).
+fn colexpr_type(schema: &Schema, ce: &ColExpr) -> Result<Option<ColType>, ValidationError> {
+    match ce.agg {
+        None => Ok(if ce.col.is_star() { None } else { col_type(schema, &ce.col) }),
+        Some(AggFunc::Count) => Ok(Some(ColType::Int)),
+        Some(agg) => {
+            if ce.col.is_star() {
+                return Err(ValidationError::NonCountStarAggregate(agg));
+            }
+            let ty = col_type(schema, &ce.col);
+            if matches!(agg, AggFunc::Sum | AggFunc::Avg) {
+                if ty == Some(ColType::Text) {
+                    return Err(ValidationError::NumericAggregateOnText(ce.col.to_string()));
+                }
+                Ok(Some(ColType::Float))
+            } else {
+                Ok(ty)
+            }
+        }
+    }
+}
+
+fn operand_type(schema: &Schema, op: &Operand) -> Result<Option<ColType>, ValidationError> {
+    match op {
+        Operand::Lit(Literal::Int(_)) => Ok(Some(ColType::Int)),
+        Operand::Lit(Literal::Float(_)) => Ok(Some(ColType::Float)),
+        Operand::Lit(Literal::Str(_)) => Ok(Some(ColType::Text)),
+        Operand::Lit(Literal::Masked) => Ok(None),
+        Operand::Col(c) => colexpr_type(schema, c),
+        Operand::Subquery(sq) => match sq.select.items.first() {
+            Some(item) => colexpr_type(schema, item),
+            None => Ok(None),
+        },
+    }
+}
+
+/// Default nested-loop step budget for execution-guided demotion: a
+/// candidate whose FROM-product on the sampled database exceeds this is
+/// skipped (kept at its ranked position), never executed.
+pub const EXEC_STEP_BUDGET: u64 = 4_000_000;
+
+/// Deterministic row-sampled copy of `db`: the first `row_budget` rows
+/// of every table, in stored order. A prefix (rather than a seeded
+/// shuffle) keeps the gate a pure function of the database so single
+/// and batched translation stay bit-identical.
+pub fn sample_database(db: &Database, row_budget: usize) -> Database {
+    let tables = db
+        .tables
+        .iter()
+        .map(|(name, t)| {
+            (
+                name.clone(),
+                TableData {
+                    name: t.name.clone(),
+                    columns: t.columns.clone(),
+                    rows: t.rows.iter().take(row_budget).cloned().collect(),
+                },
+            )
+        })
+        .collect();
+    Database { schema: db.schema.clone(), tables }
+}
+
+/// Upper bound on nested-loop work for `q` against `db`: the product of
+/// the FROM-table row counts (min 1), summed over the query, its
+/// subqueries, and compound arms. Saturating; unknown tables count 1
+/// (execution will fail fast anyway).
+pub fn estimated_steps(db: &Database, q: &Query) -> u64 {
+    let mut total: u64 = q.from.tables.iter().fold(1u64, |acc, t| {
+        let n = db.tables.get(t).map(|t| t.rows.len() as u64).unwrap_or(1);
+        acc.saturating_mul(n.max(1))
+    });
+    for sq in q.subqueries() {
+        total = total.saturating_add(estimated_steps(db, sq));
+    }
+    total
+}
+
+/// Execution tier of a candidate: lower ranks higher.
+/// `0` — executed with a non-degenerate result, or not executed at all
+/// (beyond k, masked, or over the step budget);
+/// `1` — degenerate result: the *unique* empty result among executed
+/// siblings (gold queries legitimately return empty sets, and when they
+/// do their near-miss variants usually do too — only a lone empty
+/// outlier is a demotion signal), or all rows entirely NULL;
+/// `2` — execution error.
+pub type ExecTier = u8;
+
+/// Assign execution tiers to `candidates` by running the first `k`
+/// through the engine on `db` (normally a [`sample_database`] copy).
+/// Candidates with masked literals or an [`estimated_steps`] above
+/// `step_budget` are skipped — tier 0, never an error. The returned
+/// vector is aligned with `candidates`; entries past `k` are tier 0.
+pub fn exec_tiers(db: &Database, candidates: &[&Query], k: usize, step_budget: u64) -> Vec<ExecTier> {
+    enum Outcome {
+        Skipped,
+        Error,
+        Rows { n: usize, all_null: bool },
+    }
+    let k = k.min(candidates.len());
+    let outcomes: Vec<Outcome> = candidates[..k]
+        .iter()
+        .map(|q| {
+            if gar_sql::masked_count(q) > 0 || estimated_steps(db, q) > step_budget {
+                return Outcome::Skipped;
+            }
+            match execute(db, q) {
+                Ok(rs) => Outcome::Rows {
+                    n: rs.rows.len(),
+                    all_null: !rs.rows.is_empty()
+                        && rs.rows.iter().all(|r| r.iter().all(|d| d.is_null())),
+                },
+                Err(ExecError::MaskedValue) => Outcome::Skipped,
+                Err(_) => Outcome::Error,
+            }
+        })
+        .collect();
+    let empties = outcomes
+        .iter()
+        .filter(|o| matches!(o, Outcome::Rows { n: 0, .. }))
+        .count();
+    let nonempties = outcomes
+        .iter()
+        .filter(|o| matches!(o, Outcome::Rows { n, .. } if *n > 0))
+        .count();
+    let lone_empty = empties == 1 && nonempties >= 1;
+    let mut tiers = vec![0u8; candidates.len()];
+    for (t, o) in tiers.iter_mut().zip(outcomes.iter()) {
+        *t = match o {
+            Outcome::Skipped => 0,
+            Outcome::Error => 2,
+            Outcome::Rows { n: 0, .. } if lone_empty => 1,
+            Outcome::Rows { n: 0, .. } => 0,
+            Outcome::Rows { all_null: true, .. } => 1,
+            Outcome::Rows { .. } => 0,
+        };
+    }
+    tiers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_engine::Datum;
+    use gar_schema::SchemaBuilder;
+    use gar_sql::parse;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new("toy")
+            .table("emp", |t| {
+                t.col_int("id").col_text("name").col_float("salary")
+            })
+            .table("dept", |t| t.col_int("id").col_text("title"))
+            .build()
+    }
+
+    fn db() -> Database {
+        let mut db = Database::empty(schema());
+        db.insert("emp", vec![Datum::Int(1), Datum::from("ann"), Datum::Float(10.0)]);
+        db.insert("emp", vec![Datum::Int(2), Datum::from("bob"), Datum::Float(20.0)]);
+        db.insert("emp", vec![Datum::Int(3), Datum::Null, Datum::Float(30.0)]);
+        db.insert("dept", vec![Datum::Int(1), Datum::from("eng")]);
+        db
+    }
+
+    fn q(sql: &str) -> Query {
+        parse(sql).expect(sql)
+    }
+
+    #[test]
+    fn accepts_well_formed_queries() {
+        let s = schema();
+        for sql in [
+            "SELECT emp.name FROM emp WHERE emp.salary > 15",
+            "SELECT COUNT(*) FROM emp",
+            "SELECT dept.title, COUNT(*) FROM emp JOIN dept ON emp.id = dept.id GROUP BY dept.title",
+            "SELECT emp.name FROM emp WHERE emp.name LIKE 'a%'",
+            "SELECT emp.name FROM emp WHERE emp.id IN (SELECT dept.id FROM dept)",
+            "SELECT emp.name FROM emp WHERE emp.salary > (SELECT AVG(emp.salary) FROM emp)",
+        ] {
+            assert_eq!(validate_static(&s, &q(sql)), Ok(()), "{sql}");
+        }
+    }
+
+    #[test]
+    fn rejects_unresolved_tables_and_columns() {
+        let s = schema();
+        for sql in [
+            "SELECT ghost.x FROM ghost",
+            "SELECT emp.ghost FROM emp",
+            "SELECT emp.name FROM emp WHERE emp.id IN (SELECT ghost.x FROM ghost)",
+        ] {
+            assert!(
+                matches!(validate_static(&s, &q(sql)), Err(ValidationError::Unresolved(_))),
+                "{sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_engine_well_formedness_violations() {
+        let s = schema();
+        assert_eq!(
+            validate_static(&s, &q("SELECT emp.name FROM emp WHERE COUNT(emp.id) > 1")),
+            Err(ValidationError::AggregateInWhere)
+        );
+        assert_eq!(
+            validate_static(&s, &q("SELECT *, COUNT(*) FROM emp")),
+            Err(ValidationError::BareStarInGroupedSelect)
+        );
+        assert_eq!(
+            validate_static(&s, &q("SELECT SUM(emp.name) FROM emp")),
+            Err(ValidationError::NumericAggregateOnText("emp.name".into()))
+        );
+        assert_eq!(
+            validate_static(&s, &q("SELECT emp.name FROM emp WHERE emp.name LIKE 7")),
+            Err(ValidationError::NonTextLikePattern)
+        );
+    }
+
+    #[test]
+    fn rejects_statically_dead_type_mismatches() {
+        let s = schema();
+        assert!(matches!(
+            validate_static(&s, &q("SELECT emp.id FROM emp WHERE emp.name > 5")),
+            Err(ValidationError::TypeMismatch(_))
+        ));
+        assert!(matches!(
+            validate_static(&s, &q("SELECT emp.id FROM emp WHERE emp.salary = 'x'")),
+            Err(ValidationError::TypeMismatch(_))
+        ));
+        // Masked literals are unknown, not mismatched — instantiation
+        // may still fill them with a compatible value.
+        let mut masked = q("SELECT emp.id FROM emp WHERE emp.salary = 'x'");
+        masked.where_.as_mut().unwrap().preds[0].rhs = Operand::Lit(Literal::Masked);
+        assert_eq!(validate_static(&s, &masked), Ok(()));
+    }
+
+    #[test]
+    fn validation_agrees_with_the_engine_on_accepted_queries() {
+        // Soundness spot-check: everything the validator accepts here
+        // must execute (the converse — rejected queries erroring — is
+        // pinned by the rejection tests above).
+        let d = db();
+        for sql in [
+            "SELECT emp.name FROM emp WHERE emp.salary > 15",
+            "SELECT dept.title, COUNT(*) FROM emp JOIN dept ON emp.id = dept.id GROUP BY dept.title",
+            "SELECT emp.name FROM emp WHERE emp.id IN (SELECT dept.id FROM dept)",
+        ] {
+            let query = q(sql);
+            assert_eq!(validate_static(&d.schema, &query), Ok(()), "{sql}");
+            assert!(execute(&d, &query).is_ok(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn sample_database_takes_a_prefix_and_is_deterministic() {
+        let d = db();
+        let s1 = sample_database(&d, 2);
+        let s2 = sample_database(&d, 2);
+        assert_eq!(s1.tables["emp"].rows, d.tables["emp"].rows[..2].to_vec());
+        assert_eq!(s1.tables["emp"].rows, s2.tables["emp"].rows);
+        assert_eq!(s1.tables["dept"].rows.len(), 1);
+        let all = sample_database(&d, 100);
+        assert_eq!(all.tables["emp"].rows, d.tables["emp"].rows);
+    }
+
+    #[test]
+    fn estimated_steps_multiplies_from_and_sums_subqueries() {
+        let d = db();
+        assert_eq!(estimated_steps(&d, &q("SELECT emp.id FROM emp")), 3);
+        assert_eq!(estimated_steps(&d, &q("SELECT emp.id FROM emp JOIN dept ON emp.id = dept.id")), 3);
+        assert_eq!(
+            estimated_steps(
+                &d,
+                &q("SELECT emp.id FROM emp WHERE emp.id IN (SELECT dept.id FROM dept)")
+            ),
+            4
+        );
+    }
+
+    #[test]
+    fn exec_tiers_orders_ok_degenerate_error() {
+        let d = db();
+        let ok = q("SELECT emp.name FROM emp");
+        let empty = q("SELECT emp.name FROM emp WHERE emp.salary > 1000");
+        let err = q("SELECT ghost.x FROM ghost");
+        let all_null = q("SELECT emp.name FROM emp WHERE emp.id = 3");
+        let cands = [&ok, &empty, &err, &all_null];
+        let tiers = exec_tiers(&d, &cands, 4, EXEC_STEP_BUDGET);
+        assert_eq!(tiers, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn exec_tiers_skips_masked_budget_blown_and_beyond_k() {
+        let d = db();
+        let mut masked = q("SELECT emp.name FROM emp WHERE emp.id = 1");
+        masked.where_.as_mut().unwrap().preds[0].rhs = Operand::Lit(Literal::Masked);
+        let err = q("SELECT ghost.x FROM ghost");
+        let cands = [&masked, &err, &err];
+        // Masked is skipped (tier 0), the error is tier 2, the third
+        // candidate is beyond k and untouched.
+        assert_eq!(exec_tiers(&d, &cands, 2, EXEC_STEP_BUDGET), vec![0, 2, 0]);
+        // A zero step budget skips everything.
+        assert_eq!(exec_tiers(&d, &cands, 3, 0), vec![0, 0, 0]);
+        // Empty candidate list never panics.
+        assert_eq!(exec_tiers(&d, &[], 5, EXEC_STEP_BUDGET), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn empty_results_are_degenerate_only_as_the_lone_outlier() {
+        let d = db();
+        let ok = q("SELECT emp.name FROM emp");
+        let empty = q("SELECT emp.name FROM emp WHERE emp.salary > 1000");
+        // Every executed candidate empty: nothing to demote against.
+        assert_eq!(exec_tiers(&d, &[&empty, &empty], 2, EXEC_STEP_BUDGET), vec![0, 0]);
+        // Two empties among a non-empty sibling: still not outliers —
+        // gold queries legitimately return empty sets in company.
+        assert_eq!(
+            exec_tiers(&d, &[&ok, &empty, &empty], 3, EXEC_STEP_BUDGET),
+            vec![0, 0, 0]
+        );
+        // A lone empty against non-empty siblings is demoted.
+        assert_eq!(
+            exec_tiers(&d, &[&ok, &empty, &ok], 3, EXEC_STEP_BUDGET),
+            vec![0, 1, 0]
+        );
+    }
+}

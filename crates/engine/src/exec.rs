@@ -40,6 +40,20 @@ impl fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Effective row count of a `LIMIT` value. The AST stores the limit as
+/// `u64` and the parser rejects negative literals, so any value in the
+/// i64-negative range can only be a negative count smuggled in through a
+/// wrapping `as u64` cast — without this clamp it would wrap again through
+/// `as usize` into a no-op huge truncate. Both executors treat such values
+/// as `LIMIT 0`.
+pub(crate) fn clamp_limit(l: u64) -> usize {
+    if l > i64::MAX as u64 {
+        0
+    } else {
+        usize::try_from(l).unwrap_or(usize::MAX)
+    }
+}
+
 /// Execute a query against a database.
 pub fn execute(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
     let mut result = execute_core(db, q)?;
@@ -396,6 +410,10 @@ fn eval_predicate(
         CmpOp::Like | CmpOp::NotLike => {
             let pattern = match &rhs {
                 EvaluatedOperand::Value(Datum::Text(s)) => s.clone(),
+                // A NULL pattern (a scalar subquery over zero rows) makes
+                // the predicate UNKNOWN — not matched for LIKE *and* for
+                // NOT LIKE, so both filter the row out.
+                EvaluatedOperand::Value(Datum::Null) => return Ok(false),
                 _ => return Err(ExecError::Unsupported("LIKE needs text pattern".into())),
             };
             let v = match &lhs {
@@ -572,21 +590,23 @@ fn execute_core(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
         let dirs: Vec<OrderDir> = ob.items.iter().map(|i| i.dir).collect();
         units.sort_by(|(_, ka), (_, kb)| {
             for (j, dir) in dirs.iter().enumerate() {
+                // Direction reverses only comparable keys; NULLs sort
+                // first regardless of ASC/DESC (the documented contract —
+                // reversing the NULL fallback would flip them to last
+                // under DESC).
                 let ord = match ka[j].sql_cmp(&kb[j]) {
-                    Some(o) => o,
-                    None => {
-                        // NULLs sort first, stably.
-                        match (ka[j].is_null(), kb[j].is_null()) {
-                            (true, false) => Ordering::Less,
-                            (false, true) => Ordering::Greater,
-                            _ => Ordering::Equal,
+                    Some(o) => {
+                        if *dir == OrderDir::Desc {
+                            o.reverse()
+                        } else {
+                            o
                         }
                     }
-                };
-                let ord = if *dir == OrderDir::Desc {
-                    ord.reverse()
-                } else {
-                    ord
+                    None => match (ka[j].is_null(), kb[j].is_null()) {
+                        (true, false) => Ordering::Less,
+                        (false, true) => Ordering::Greater,
+                        _ => Ordering::Equal,
+                    },
                 };
                 if ord != Ordering::Equal {
                     return ord;
@@ -598,7 +618,7 @@ fn execute_core(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
 
     // LIMIT.
     if let Some(l) = q.limit {
-        units.truncate(l as usize);
+        units.truncate(clamp_limit(l));
     }
 
     let columns = if q.select.items.len() == 1 && q.select.items[0].col.is_star() {

@@ -337,9 +337,15 @@ mod null_semantics_tests {
     /// Both executors, asserted equal; returns the optimized result.
     fn both(db: &Database, sql: &str) -> ResultSet {
         let q = parse(sql).unwrap();
-        let fast = execute(db, &q).unwrap();
-        let slow = execute_naive(db, &q).unwrap();
-        assert_eq!(fast, slow, "executors diverged on {sql}");
+        both_q(db, &q)
+    }
+
+    /// [`both`] over an already-built AST (for shapes the parser rejects,
+    /// e.g. wrapped-negative limits or subquery LIKE patterns).
+    fn both_q(db: &Database, q: &gar_sql::ast::Query) -> ResultSet {
+        let fast = execute(db, q).unwrap();
+        let slow = execute_naive(db, q).unwrap();
+        assert_eq!(fast, slow, "executors diverged on {}", gar_sql::to_sql(q));
         fast
     }
 
@@ -456,19 +462,84 @@ mod null_semantics_tests {
                 vec![Datum::Int(14)],
             ]
         );
-        // Descending keeps ties stable too — reversal of key order, not of
-        // the tied run.
+        // Descending reverses only the comparable keys: NULLs stay first
+        // (the NULLs-first contract is direction-independent) and the tied
+        // 1.0 run keeps its insertion order.
         let rs = both(&db, "SELECT t.a FROM t ORDER BY t.x DESC");
         assert_eq!(
             rs.rows,
             vec![
+                vec![Datum::Int(11)],
                 vec![Datum::Int(10)],
                 vec![Datum::Int(12)],
                 vec![Datum::Int(14)],
                 vec![Datum::Int(13)],
-                vec![Datum::Int(11)],
             ]
         );
+    }
+
+    #[test]
+    fn order_by_desc_keeps_nulls_first_on_every_key() {
+        let mut db = empty_db();
+        db.insert("t", vec![Datum::Int(1), Datum::from("a"), Datum::Float(2.0)]);
+        db.insert("t", vec![Datum::Int(2), Datum::Null, Datum::Null]);
+        db.insert("t", vec![Datum::Int(3), Datum::from("b"), Datum::Float(1.0)]);
+        // Both key directions: the NULL row leads under ASC and DESC alike.
+        for sql in [
+            "SELECT t.a FROM t ORDER BY t.x ASC",
+            "SELECT t.a FROM t ORDER BY t.x DESC",
+            "SELECT t.a FROM t ORDER BY t.b DESC, t.x DESC",
+        ] {
+            let rs = both(&db, sql);
+            assert_eq!(rs.rows[0], vec![Datum::Int(2)], "NULL row not first for {sql}");
+        }
+        // The comparable tail still reverses under DESC.
+        let rs = both(&db, "SELECT t.a FROM t ORDER BY t.x DESC");
+        assert_eq!(
+            rs.rows,
+            vec![vec![Datum::Int(2)], vec![Datum::Int(1)], vec![Datum::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn wrapped_negative_limit_truncates_to_zero_rows() {
+        let mut db = empty_db();
+        for i in 0..4 {
+            db.insert("t", vec![Datum::Int(i), Datum::from("v"), Datum::Float(1.0)]);
+        }
+        // The parser rejects negative LIMIT literals, so a negative count
+        // can only arrive as an i64 → u64 wrap. Both executors must treat
+        // the whole wrapped range as LIMIT 0 — before the clamp it was a
+        // u64::MAX truncate, i.e. no limit at all.
+        for neg in [-1i64, -3, i64::MIN] {
+            let mut q = parse("SELECT t.a FROM t").unwrap();
+            q.limit = Some(neg as u64);
+            let rs = both_q(&db, &q);
+            assert!(rs.rows.is_empty(), "LIMIT {neg} returned {} rows", rs.rows.len());
+        }
+        // Sanity: an in-range limit still truncates normally.
+        let mut q = parse("SELECT t.a FROM t").unwrap();
+        q.limit = Some(2);
+        assert_eq!(both_q(&db, &q).rows.len(), 2);
+    }
+
+    #[test]
+    fn like_with_null_pattern_matches_nothing() {
+        use gar_sql::ast::Operand;
+        let mut db = empty_db();
+        db.insert("t", vec![Datum::Int(1), Datum::from("abc"), Datum::Float(1.0)]);
+        db.insert("t", vec![Datum::Int(2), Datum::Null, Datum::Float(2.0)]);
+        // A scalar subquery over zero rows evaluates to NULL; as a LIKE
+        // pattern that makes the predicate UNKNOWN. Before the fix both
+        // executors raised Unsupported("LIKE needs text pattern").
+        let empty_scalar = parse("SELECT t.b FROM t WHERE t.a > 100").unwrap();
+        for op in ["LIKE", "NOT LIKE"] {
+            let mut q = parse(&format!("SELECT t.a FROM t WHERE t.b {op} 'x'")).unwrap();
+            q.where_.as_mut().unwrap().preds[0].rhs =
+                Operand::Subquery(Box::new(empty_scalar.clone()));
+            let rs = both_q(&db, &q);
+            assert!(rs.rows.is_empty(), "t.b {op} NULL matched {} rows", rs.rows.len());
+        }
     }
 
     #[test]

@@ -336,6 +336,9 @@ fn predicate_holds(
                 }
                 other => match operand_value(db, ws, scope, other)? {
                     Datum::Text(s) => s,
+                    // NULL pattern (scalar subquery over zero rows):
+                    // UNKNOWN, so neither LIKE nor NOT LIKE matches.
+                    Datum::Null => return Ok(false),
                     _ => {
                         return Err(ExecError::Unsupported("LIKE needs text pattern".into()))
                     }
@@ -417,15 +420,22 @@ fn condition_holds(
 /// rule.
 fn order_cmp(a: &[Datum], b: &[Datum], dirs: &[OrderDir]) -> Ordering {
     for (j, dir) in dirs.iter().enumerate() {
+        // Direction applies to comparable keys only: NULLs stay first
+        // under both ASC and DESC (the NULLs-first contract above).
         let ord = match a[j].sql_cmp(&b[j]) {
-            Some(o) => o,
+            Some(o) => {
+                if *dir == OrderDir::Desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
             None => match (a[j].is_null(), b[j].is_null()) {
                 (true, false) => Ordering::Less,
                 (false, true) => Ordering::Greater,
                 _ => Ordering::Equal,
             },
         };
-        let ord = if *dir == OrderDir::Desc { ord.reverse() } else { ord };
         if ord != Ordering::Equal {
             return ord;
         }
@@ -541,7 +551,7 @@ fn naive_core(db: &Database, q: &Query) -> Result<ResultSet, ExecError> {
     }
 
     if let Some(l) = q.limit {
-        units.truncate(l as usize);
+        units.truncate(crate::exec::clamp_limit(l));
     }
 
     let columns = if q.select.items.len() == 1 && q.select.items[0].col.is_star() {

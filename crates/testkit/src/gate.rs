@@ -1,0 +1,260 @@
+//! Candidate-gate invariants (the post-rerank validator + execution
+//! demotion stage of `gar-core`, [`gar_core::validate`]).
+//!
+//! Three guarantees, all replayable from a single `u64`:
+//!
+//! 1. **The gate never hurts the gold candidate on clean suites**
+//!    ([`check_gate_preserves_gold`]) — for every evaluation question,
+//!    the gold candidate's rank with the gate enabled is at least as
+//!    good as without it, and gold is never dropped from the list.
+//!    Benchmark pools are well formed by construction, so a gate that
+//!    rejects or demotes gold is misfiring.
+//! 2. **Sampled execution is still differential-clean**
+//!    ([`check_sampled_exec_differential`]) — the row-sampled databases
+//!    the exec stage runs on ([`gar_core::sample_database`]) must not
+//!    open a gap between the optimized executor and the naive reference
+//!    interpreter: same results or same errors, query for query.
+//! 3. **Replay** ([`replay_gate_case`]) — any failing sampled-exec case
+//!    re-runs in isolation from `(master_seed, db_index, case_index)`.
+
+use crate::differential::{case_seed, sweep_db};
+use crate::rng::TestRng;
+use gar_benchmarks::{spider_sim, SpiderSimConfig};
+use gar_core::{sample_database, GarConfig, GarSystem};
+use gar_engine::{execute, execute_naive};
+use gar_sql::{exact_match, to_sql};
+
+/// Statistics from a gold-preservation sweep.
+#[derive(Debug, Clone, Default)]
+pub struct GateSweepStats {
+    /// Evaluation questions translated (gate off + gate on).
+    pub queries: usize,
+    /// Questions where the gold candidate was in the ungated top-10.
+    pub gold_ranked: usize,
+    /// Questions where the gate strictly improved the gold rank.
+    pub gold_improved: usize,
+}
+
+fn sweep_config() -> GarConfig {
+    GarConfig {
+        train_gen_size: 200,
+        k: 30,
+        negatives: 4,
+        rerank_list_size: 12,
+        threads: 2,
+        ..GarConfig::default()
+    }
+}
+
+/// Rank of the gold query in a ranked candidate list, if present.
+fn gold_rank(ranked: &[gar_core::RankedCandidate], gold: &gar_sql::Query) -> Option<usize> {
+    ranked.iter().position(|c| exact_match(&c.sql, gold))
+}
+
+/// Train a small system on a seeded `spider_sim` benchmark and translate
+/// every evaluation question twice — gate off and gate on (static
+/// validation + execution demotion over the full top-10). The gate must
+/// never drop the gold candidate from the ranked list and never worsen
+/// its rank. Returns sweep statistics, or the list of violations.
+pub fn check_gate_preserves_gold(master_seed: u64) -> Result<GateSweepStats, Vec<String>> {
+    let mut rng = TestRng::new(master_seed);
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 2,
+        val_dbs: 1,
+        queries_per_db: 14,
+        seed: rng.next_u64(),
+    });
+    let (retrieval, rerank) = gar_ltr_small();
+    let mut cfg = sweep_config();
+    cfg.retrieval = retrieval;
+    cfg.rerank = rerank;
+    cfg.prepare.gen_size = 300;
+    cfg.seed = rng.next_u64();
+    let (base, _) = GarSystem::train(&bench.dbs, &bench.train, cfg);
+
+    let mut gated = base.clone();
+    gated.config.validate = true;
+    gated.config.exec_rerank_k = 10;
+    gated.config.exec_row_budget = 4096;
+
+    // Prepare each evaluation database once, over its gold queries.
+    let mut prepared: std::collections::BTreeMap<&str, gar_core::PreparedDb> =
+        std::collections::BTreeMap::new();
+    for ex in &bench.dev {
+        if prepared.contains_key(ex.db.as_str()) {
+            continue;
+        }
+        let db = bench.db(&ex.db).expect("dev example references unknown db");
+        let gold: Vec<gar_sql::Query> = bench
+            .dev
+            .iter()
+            .filter(|e| e.db == ex.db)
+            .map(|e| e.sql.clone())
+            .collect();
+        prepared.insert(ex.db.as_str(), base.prepare_eval_db(db, &gold));
+    }
+
+    let mut stats = GateSweepStats::default();
+    let mut violations = Vec::new();
+    for ex in &bench.dev {
+        let db = bench.db(&ex.db).expect("dev example references unknown db");
+        let prepared = &prepared[ex.db.as_str()];
+        let off = base.translate(db, prepared, &ex.nl);
+        let on = gated.translate(db, prepared, &ex.nl);
+        stats.queries += 1;
+
+        let r_off = gold_rank(&off.ranked, &ex.sql);
+        let r_on = gold_rank(&on.ranked, &ex.sql);
+        match (r_off, r_on) {
+            (Some(_), None) => violations.push(format!(
+                "gate dropped gold for {:?} [{}]",
+                ex.nl,
+                to_sql(&ex.sql)
+            )),
+            (Some(a), Some(b)) => {
+                stats.gold_ranked += 1;
+                if b > a {
+                    violations.push(format!(
+                        "gate demoted gold from rank {a} to {b} for {:?} [{}]",
+                        ex.nl,
+                        to_sql(&ex.sql)
+                    ));
+                } else if b < a {
+                    stats.gold_improved += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Small model hyper-parameters shared with the pipeline layer's config.
+fn gar_ltr_small() -> (gar_ltr::RetrievalConfig, gar_ltr::RerankConfig) {
+    (
+        gar_ltr::RetrievalConfig {
+            features: gar_ltr::FeatureConfig {
+                dim: 512,
+                ..gar_ltr::FeatureConfig::default()
+            },
+            hidden: 32,
+            embed: 16,
+            epochs: 2,
+            ..gar_ltr::RetrievalConfig::default()
+        },
+        gar_ltr::RerankConfig {
+            embed: 16,
+            hidden: 24,
+            epochs: 3,
+            ..gar_ltr::RerankConfig::default()
+        },
+    )
+}
+
+/// Run one sampled-execution differential case: generate the query for
+/// `(master_seed, db_index, case_index)`, execute it on a `row_budget`
+/// sample of the sweep database through both engines, and demand the
+/// same outcome. Returns the violation, if any.
+pub fn replay_gate_case(
+    master_seed: u64,
+    db_index: usize,
+    case_index: usize,
+    row_budget: usize,
+) -> Option<String> {
+    let db = sweep_db(master_seed, db_index);
+    let seed = case_seed(master_seed, db_index, case_index);
+    let mut rng = TestRng::new(seed);
+    let q = crate::gen::gen_query(&db, &mut rng);
+    let sampled = sample_database(&db.database, row_budget);
+    let sql = to_sql(&q);
+    match (execute(&sampled, &q), execute_naive(&sampled, &q)) {
+        (Ok(a), Ok(b)) => {
+            let ordered = q.order_by.is_some();
+            if a.matches(&b, ordered) {
+                None
+            } else {
+                Some(format!(
+                    "sampled exec diverged for {sql}: {} vs {} rows (seed {seed:#x})",
+                    a.rows.len(),
+                    b.rows.len()
+                ))
+            }
+        }
+        (Err(_), Err(_)) => None,
+        (a, b) => Some(format!(
+            "sampled exec outcome diverged for {sql}: optimized {:?} vs naive {:?} (seed {seed:#x})",
+            a.map(|r| r.rows.len()),
+            b.map(|r| r.rows.len())
+        )),
+    }
+}
+
+/// The sampled-execution differential sweep: `dbs × queries_per_db`
+/// seeded queries, each executed on a row-sampled database copy through
+/// both engines. Returns the number of clean cases, or every violation.
+pub fn check_sampled_exec_differential(
+    master_seed: u64,
+    dbs: usize,
+    queries_per_db: usize,
+    row_budget: usize,
+) -> Result<usize, Vec<String>> {
+    let mut clean = 0usize;
+    let mut violations = Vec::new();
+    for db_index in 0..dbs {
+        for case_index in 0..queries_per_db {
+            match replay_gate_case(master_seed, db_index, case_index, row_budget) {
+                None => clean += 1,
+                Some(v) => violations.push(format!("db {db_index} case {case_index}: {v}")),
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(clean)
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_never_demotes_gold_on_a_clean_suite() {
+        let stats = check_gate_preserves_gold(71).unwrap_or_else(|v| {
+            panic!("gate violated gold preservation:\n{}", v.join("\n"))
+        });
+        assert!(stats.queries >= 10, "sweep too small: {} queries", stats.queries);
+        assert!(
+            stats.gold_ranked * 2 >= stats.queries,
+            "gold rarely ranked at all ({}/{}) — sweep not meaningful",
+            stats.gold_ranked,
+            stats.queries
+        );
+    }
+
+    #[test]
+    fn sampled_exec_differential_is_clean() {
+        // 3 dbs × 25 queries, at two row budgets (a tiny sample exercises
+        // empty-table and empty-result paths; a large one is ≈ the full db).
+        for budget in [3usize, 512] {
+            let clean = check_sampled_exec_differential(2024, 3, 25, budget)
+                .unwrap_or_else(|v| panic!("budget {budget}:\n{}", v.join("\n")));
+            assert_eq!(clean, 75);
+        }
+    }
+
+    #[test]
+    fn gate_case_replays_deterministically() {
+        for case in 0..10 {
+            let a = replay_gate_case(97, 1, case, 4);
+            let b = replay_gate_case(97, 1, case, 4);
+            assert_eq!(a, b, "case {case} not a pure function of its seed");
+        }
+    }
+}

@@ -34,6 +34,11 @@
 //!    workspaces, the flushed schedule translates bit-identically to
 //!    sequential `translate`, and the threaded server returns identical
 //!    payloads for 1/2/4 workers.
+//! 8. **Candidate-gate invariants** ([`gate`]) — the post-rerank
+//!    validator + execution-demotion gate never drops or demotes the
+//!    gold candidate on clean suites, and the row-sampled databases the
+//!    exec stage runs on stay differential-clean between the optimized
+//!    executor and the naive reference (replayable per case).
 //!
 //! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
 //! `rand` dependency for harness decisions), so **every failure replays
@@ -57,6 +62,7 @@
 pub mod check;
 pub mod differential;
 pub mod fault;
+pub mod gate;
 pub mod gen;
 pub mod persist;
 pub mod pipeline;

@@ -11,7 +11,10 @@
 # retrieval throughput, per-vector scan traffic, and recall, and
 # `bench_serve` rewrites results/BENCH_serve.json with the serving layer's
 # sustained qps and p50/p95/p99 end-to-end latency under Zipf-skewed
-# multi-database load.
+# multi-database load, and `bench_exec_rank` rewrites
+# results/BENCH_exec_rank.json with the top-1 execution-accuracy delta and
+# per-query latency cost of the post-rerank candidate gate on
+# spider_sim/qben_sim.
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
@@ -28,14 +31,16 @@
 # informational on single-core hosts), and BENCH_serve.json (positive
 # sustained qps, p50 ≤ p95 ≤ p99 tail ordering, a sane mean batch size;
 # the ≥1.2× multi-worker speedup bar additionally applies on multi-core
-# hosts).
+# hosts), and BENCH_exec_rank.json (gated execution accuracy never below
+# ungated on the clean suites — delta >= 0 per suite — with the p50/p95
+# latency of both modes recorded).
 #
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve; do
+for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve bench_exec_rank; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -220,4 +225,44 @@ else
       || { echo "missing $k in $SERVE" >&2; exit 1; }
   done
   echo "[bench_smoke] $SERVE OK (grep check; python3 unavailable)"
+fi
+
+EXECRANK="${GAR_RESULTS_DIR:-results}/BENCH_exec_rank.json"
+[[ -f "$EXECRANK" ]] || { echo "missing $EXECRANK" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$EXECRANK" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("validate", "exec_rerank_k", "exec_row_budget",
+          "min_exec_acc_delta", "suites"):
+    assert k in r, f"missing {k} in BENCH_exec_rank.json"
+assert r["validate"] is True and r["exec_rerank_k"] > 0
+suites = r["suites"]
+for name in ("spider_sim", "qben_sim"):
+    assert name in suites, f"missing suite {name}"
+    s = suites[name]
+    for k in ("queries", "exec_acc_ungated", "exec_acc_gated",
+              "exec_acc_delta", "p50_ungated_us", "p95_ungated_us",
+              "p50_gated_us", "p95_gated_us", "latency_cost_p95_us"):
+        assert k in s, f"suite {name} missing {k}"
+    assert s["queries"] > 0, f"suite {name} evaluated no queries"
+    assert s["exec_acc_delta"] >= 0, (
+        f"gate hurt accuracy on {name}: "
+        f"{s['exec_acc_ungated']:.3f} -> {s['exec_acc_gated']:.3f}")
+    assert s["p95_gated_us"] > 0 and s["p95_ungated_us"] > 0
+assert r["min_exec_acc_delta"] >= 0, (
+    f"min delta {r['min_exec_acc_delta']:.3f} below zero")
+print(f"[bench_smoke] {sys.argv[1]} OK: "
+      + ", ".join(
+          f"{n} acc {suites[n]['exec_acc_ungated']:.3f}->"
+          f"{suites[n]['exec_acc_gated']:.3f} "
+          f"(+{suites[n]['latency_cost_p95_us']/1e3:.1f}ms p95)"
+          for n in ("spider_sim", "qben_sim")))
+PY
+else
+  for k in min_exec_acc_delta exec_acc_ungated exec_acc_gated latency_cost_p95_us; do
+    grep -q "\"$k\"" "$EXECRANK" \
+      || { echo "missing $k in $EXECRANK" >&2; exit 1; }
+  done
+  echo "[bench_smoke] $EXECRANK OK (grep check; python3 unavailable)"
 fi

@@ -17,9 +17,9 @@
 # interpreter plus the seeded serving-trace harness),
 # the two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
-# (compile only), its bench_batch, bench_prepare, bench_train, bench_quant
-# and bench_serve benches (smoke-run against a criterion shim), and the
-# batched-retrieval throughput measurement.
+# (compile only), its bench_batch, bench_prepare, bench_train, bench_quant,
+# bench_serve and bench_exec_rank benches (smoke-run against a criterion
+# shim), and the batched-retrieval throughput measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
 # on a networked machine.
@@ -237,6 +237,15 @@ say "building + smoke-running bench_serve against the criterion shim"
   --extern serde_json=libserde_json.rlib \
   -o bench_serve
 GAR_RESULTS_DIR="$BUILD/results" ./bench_serve
+
+say "building + smoke-running bench_exec_rank against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_exec_rank \
+  "$REPO/crates/bench/benches/bench_exec_rank.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_exec_rank
+GAR_RESULTS_DIR="$BUILD/results" ./bench_exec_rank
 
 # --- 5. batched retrieval throughput -------------------------------------
 say "building + running the batched-retrieval throughput measurement"
