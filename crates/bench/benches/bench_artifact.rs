@@ -1,0 +1,289 @@
+//! Cold-start and hot-swap cost of the v3 zero-copy artifact path.
+//!
+//! Two questions, both answered against the *same* on-disk v3 artifact:
+//!
+//! 1. **Cold start** — how long until a freshly hosted workspace can
+//!    serve? The owned path reads the file and fully decodes it
+//!    (re-parsing every pooled SQL expression, copying every embedding);
+//!    the mapped path opens a [`PreparedView`] that borrows vectors and
+//!    index rows straight from the mapping and defers SQL parsing to
+//!    first use. The acceptance bar is view-open ≥ 3× faster.
+//! 2. **Swap latency** — with reader threads translating flat out
+//!    through a [`TenantRegistry`], how long does an atomic publication
+//!    take? (It should be O(1) pointer work, microseconds, regardless of
+//!    pool size or load.)
+//!
+//! The manual pass also pins semantics: every probe question is
+//! translated over the owned decode and over the mapped view, and the
+//! emitted `bit_identical` flag is true only if retrieved ids, ranked
+//! entries, score bits, and final SQL all agree. Writes
+//! `results/BENCH_artifact.json` (honoring `GAR_RESULTS_DIR`);
+//! `scripts/bench_smoke.sh` validates the shape, the 3× bar, and the
+//! bit-identity flag.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gar_benchmarks::{spider_sim, SpiderSimConfig};
+use gar_core::{
+    prepared_from_bytes, prepared_to_bytes, GarConfig, GarSystem, GateConfig, PrepareConfig,
+    PreparedPool, PreparedView, TenantRegistry, WorkspaceState,
+};
+use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const COLD_REPS: usize = 12;
+const SWAPS: usize = 40;
+
+fn bench_config() -> GarConfig {
+    GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 300,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 200,
+        k: 30,
+        negatives: 4,
+        rerank_list_size: 12,
+        retrieval: RetrievalConfig {
+            features: FeatureConfig {
+                dim: 512,
+                ..FeatureConfig::default()
+            },
+            hidden: 32,
+            embed: 16,
+            epochs: 2,
+            ..RetrievalConfig::default()
+        },
+        rerank: RerankConfig {
+            embed: 16,
+            hidden: 24,
+            epochs: 3,
+            ..RerankConfig::default()
+        },
+        use_rerank: true,
+        threads: 1,
+        seed: 71,
+        ..GarConfig::default()
+    }
+}
+
+struct Fixture {
+    system: Arc<GarSystem>,
+    db: Arc<gar_benchmarks::GeneratedDb>,
+    prepared: gar_core::PreparedDb,
+    probes: Vec<String>,
+    path: std::path::PathBuf,
+    artifact_bytes: usize,
+}
+
+/// Train a small system, prepare one dev workspace, and persist its v3
+/// artifact to a scratch file that both cold-start arms load.
+fn build_fixture() -> Fixture {
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 2,
+        val_dbs: 1,
+        queries_per_db: 10,
+        seed: 71,
+    });
+    let (system, _) = GarSystem::train(&bench.dbs, &bench.train, bench_config());
+    let system = Arc::new(system);
+    let eval = bench.eval_split();
+    let name = eval[0].db.clone();
+    let db = Arc::new(bench.db(&name).expect("eval db").clone());
+    let gold: Vec<_> = eval
+        .iter()
+        .filter(|e| e.db == name)
+        .map(|e| e.sql.clone())
+        .collect();
+    let prepared = system.prepare_eval_db(&db, &gold);
+    let probes: Vec<String> = eval
+        .iter()
+        .filter(|e| e.db == name)
+        .map(|e| e.nl.clone())
+        .collect();
+    assert!(!probes.is_empty(), "workspace has no questions");
+    let bytes = prepared_to_bytes(&prepared);
+    let path = std::env::temp_dir().join(format!(
+        "gar-bench-artifact-{}.garz",
+        std::process::id()
+    ));
+    std::fs::write(&path, &bytes).expect("write artifact");
+    Fixture {
+        system,
+        db,
+        prepared,
+        probes,
+        path,
+        artifact_bytes: bytes.len(),
+    }
+}
+
+/// Mean wall time of `f` over `reps` runs, in microseconds.
+fn mean_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut total = 0u128;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        total += t0.elapsed().as_micros();
+    }
+    total as f64 / reps as f64
+}
+
+/// Translate every probe on both paths and compare bit-exactly.
+fn check_bit_identity(fx: &Fixture, pool: &PreparedPool) -> bool {
+    for nl in &fx.probes {
+        let a = fx.system.translate(&fx.db, &fx.prepared, nl);
+        let b = fx.system.translate(&fx.db, pool, nl);
+        if a.retrieved != b.retrieved || a.ranked.len() != b.ranked.len() {
+            return false;
+        }
+        for (x, y) in a.ranked.iter().zip(&b.ranked) {
+            if x.entry != y.entry
+                || x.score.to_bits() != y.score.to_bits()
+                || x.sql != y.sql
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+struct SwapResult {
+    p50_us: u64,
+    max_us: u64,
+    translations_during: u64,
+}
+
+/// Publish `SWAPS` alternating generations while reader threads translate
+/// flat out; measure each `publish` call's latency.
+fn measure_swaps(fx: &Fixture) -> SwapResult {
+    let registry = Arc::new(TenantRegistry::new(Arc::clone(&fx.system)));
+    let gate = GateConfig::from(&fx.system.config);
+    let id = fx.db.schema.name.clone();
+    // Two prebuilt generations to alternate between: the owned pool and
+    // the mapped view of the same artifact.
+    let states = [
+        WorkspaceState {
+            schema_version: 0,
+            db: Arc::clone(&fx.db),
+            pool: Arc::new(PreparedPool::Owned(fx.prepared.clone())),
+            gate,
+        },
+        WorkspaceState {
+            schema_version: 1,
+            db: Arc::clone(&fx.db),
+            pool: Arc::new(PreparedPool::load(&fx.path).expect("mapped pool")),
+            gate,
+        },
+    ];
+    registry.publish(&id, states[0].clone());
+
+    let stop = AtomicBool::new(false);
+    let served = AtomicU64::new(0);
+    let readers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(2);
+    let mut swap_us: Vec<u64> = Vec::with_capacity(SWAPS);
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let registry = &registry;
+            let stop = &stop;
+            let served = &served;
+            let fx = &fx;
+            let id = id.as_str();
+            scope.spawn(move || {
+                let mut i = r;
+                while !stop.load(Ordering::Acquire) {
+                    let snap = registry.resolve(id).expect("registered");
+                    let nl = &fx.probes[i % fx.probes.len()];
+                    std::hint::black_box(fx.system.translate_with_gate(
+                        &snap.state.db,
+                        &snap.state.pool,
+                        nl,
+                        &snap.state.gate,
+                    ));
+                    served.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        for s in 0..SWAPS {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+            let state = states[(s + 1) % 2].clone();
+            let t0 = Instant::now();
+            registry.publish(&id, state);
+            swap_us.push(t0.elapsed().as_micros() as u64);
+        }
+        stop.store(true, Ordering::Release);
+    });
+    swap_us.sort_unstable();
+    SwapResult {
+        p50_us: swap_us[swap_us.len() / 2],
+        max_us: *swap_us.last().expect("at least one swap"),
+        translations_during: served.load(Ordering::Relaxed),
+    }
+}
+
+fn bench_artifact(c: &mut Criterion) {
+    let fx = build_fixture();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Criterion arm: the steady-state view-open cost.
+    let mut group = c.benchmark_group("artifact_coldstart");
+    group.bench_function("view_open", |b| {
+        b.iter(|| std::hint::black_box(PreparedView::open(&fx.path).expect("view")))
+    });
+    group.bench_function("owned_decode", |b| {
+        b.iter(|| {
+            let bytes = std::fs::read(&fx.path).expect("read");
+            std::hint::black_box(prepared_from_bytes(&bytes).expect("decode"))
+        })
+    });
+    group.finish();
+
+    // Manual pass: mean cold-start on both paths over the same file.
+    let owned_us = mean_us(COLD_REPS, || {
+        let bytes = std::fs::read(&fx.path).expect("read");
+        prepared_from_bytes(&bytes).expect("decode")
+    });
+    let view_us = mean_us(COLD_REPS, || PreparedView::open(&fx.path).expect("view"));
+    let speedup = owned_us / view_us.max(1e-9);
+
+    let pool = PreparedPool::load(&fx.path).expect("pool");
+    let mapped = pool.is_mapped();
+    let bit_identical = check_bit_identity(&fx, &pool);
+    let swaps = measure_swaps(&fx);
+
+    let json = serde_json::json!({
+        "bench": format!("artifact_v3_{}e_{}d", fx.prepared.entries.len(), fx.prepared.index.dim()),
+        "cores": cores,
+        "entries": fx.prepared.entries.len(),
+        "dim": fx.prepared.index.dim(),
+        "artifact_bytes": fx.artifact_bytes,
+        "cold_reps": COLD_REPS,
+        "owned_decode_us": owned_us,
+        "view_open_us": view_us,
+        "coldstart_speedup": speedup,
+        "mapped": mapped,
+        "bit_identical": bit_identical,
+        "swaps": SWAPS,
+        "swap_p50_us": swaps.p50_us,
+        "swap_max_us": swaps.max_us,
+        "translations_during_swaps": swaps.translations_during,
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_artifact.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_artifact] wrote {}", path.display());
+    let _ = std::fs::remove_file(&fx.path);
+}
+
+criterion_group!(benches, bench_artifact);
+criterion_main!(benches);

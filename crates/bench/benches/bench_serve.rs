@@ -80,7 +80,7 @@ fn build_engine() -> (GarEngine, Vec<(String, Vec<String>)>) {
     });
     let (system, _) = GarSystem::train(&bench.dbs, &bench.train, bench_config());
     let system = Arc::new(system);
-    let mut engine = GarEngine::new(Arc::clone(&system));
+    let engine = GarEngine::new(Arc::clone(&system));
     let eval = bench.eval_split();
     let mut names: Vec<String> = eval.iter().map(|e| e.db.clone()).collect();
     names.dedup();

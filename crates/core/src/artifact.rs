@@ -6,15 +6,37 @@
 //! [`PreparedDb`] per database, and serves translations from the loaded
 //! artifacts.
 //!
-//! The format reuses `gar-ltr`'s length-prefixed little-endian layout
-//! (magic `GAR1`); kind 3 = system, kind 4 = prepared database.
+//! Two on-disk generations coexist:
+//!
+//! - **v2 (legacy)** reuses `gar-ltr`'s length-prefixed little-endian
+//!   layout (magic `GAR1`); kind 3 = system, kind 4 = prepared database.
+//!   Decoding copies everything through `Vec`s and re-parses every SQL
+//!   string, so loading costs O(pool bytes).
+//! - **v3 (zero-copy, magic `GARZ`)** lays the same payload out in
+//!   page-aligned sections — entry metadata, raw embeddings, normalized
+//!   index rows, the int8 sidecar, model blobs — with a fixed section
+//!   table, so a memory-mapped file ([`crate::mmap::ArtifactMap`]) can be
+//!   used *in place*: [`PreparedView`]/[`ModelView`] borrow straight from
+//!   the mapping, and loading costs O(pages touched).
+//!
+//! Encoders emit v3 whenever the pool is in canonical layout (entry ids ==
+//! positions, no tombstones) and fall back to the v2 writer otherwise;
+//! decoders sniff the magic and accept both, so every v2 artifact written
+//! by earlier releases keeps loading. [`PreparedPool::from_map`] prefers
+//! the borrowed view and falls back to the owned decode on legacy,
+//! misaligned, or foreign-endian input.
 
+use crate::mmap::ArtifactMap;
 use crate::prepare::DialectEntry;
 use crate::system::{GarConfig, GarSystem, PreparedDb};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gar_ltr::persist::{read_header, write_header, PersistError};
 use gar_ltr::{RerankModel, RetrievalModel};
-use gar_vecindex::FlatIndex;
+use gar_sql::Query;
+use gar_vecindex::{FlatIndex, FlatView};
+use std::ops::Range;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 /// Errors from decoding a core artifact.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +47,12 @@ pub enum ArtifactError {
     BadSql(String),
     /// Malformed UTF-8 or layout.
     Corrupt,
+    /// Filesystem error while opening or mapping an artifact file.
+    Io(String),
+    /// The artifact cannot be served zero-copy on this target — legacy v2
+    /// format, a misaligned section, or a big-endian host. Callers fall
+    /// back to the owned decode, which handles all three.
+    Misaligned,
 }
 
 impl From<PersistError> for ArtifactError {
@@ -39,11 +67,156 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::Persist(e) => write!(f, "artifact codec: {e}"),
             ArtifactError::BadSql(s) => write!(f, "stored SQL does not parse: {s}"),
             ArtifactError::Corrupt => write!(f, "corrupt artifact"),
+            ArtifactError::Io(e) => write!(f, "artifact io: {e}"),
+            ArtifactError::Misaligned => {
+                write!(f, "artifact not viewable zero-copy on this target")
+            }
         }
     }
 }
 
 impl std::error::Error for ArtifactError {}
+
+// ---------------------------------------------------------------------------
+// v3 zero-copy layout
+// ---------------------------------------------------------------------------
+//
+// byte 0   magic  b"GARZ"
+// byte 4   u32    version (= 3)
+// byte 8   u32    kind (3 = system, 4 = prepared)
+// byte 12  u32    flags (prepared: bit0 quantized; system: bit0 use_rerank)
+// byte 16  u64    n   (prepared: entry count; system: config.k)
+// byte 24  u64    dim (prepared: embedding width; system: 0)
+// byte 32  4 × (u64 offset, u64 length)   section table
+// byte 96  u32    name length + name bytes (prepared: db name; system: "")
+//
+// Prepared sections: 0 = entry metadata (per entry: u32 sql len + sql
+// bytes, u32 dialect len + dialect bytes; byte-oriented, follows the name
+// unaligned), 1 = raw embeddings (n × dim f32 LE, page-aligned), 2 =
+// normalized index rows (the exact bytes of `FlatIndex::raw_data`,
+// page-aligned), 3 = int8 sidecar (n × dim codes when quantized, else
+// empty). System sections: 0 = retrieval model blob, 1 = re-ranker blob,
+// 2/3 empty. All integers and floats little-endian.
+
+const V3_MAGIC: [u8; 4] = *b"GARZ";
+const V3_VERSION: u32 = 3;
+const V3_KIND_SYSTEM: u32 = 3;
+const V3_KIND_PREPARED: u32 = 4;
+const V3_HEADER_LEN: usize = 96;
+
+use crate::mmap::PAGE;
+
+/// `true` when `data` opens with the v3 zero-copy magic (`GARZ`).
+pub fn is_v3(data: &[u8]) -> bool {
+    data.len() >= 4 && data[..4] == V3_MAGIC
+}
+
+fn write_u32_at(out: &mut [u8], off: usize, v: u32) {
+    out[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn write_u64_at(out: &mut [u8], off: usize, v: u64) {
+    out[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32_at(data: &[u8], off: usize) -> Result<u32, ArtifactError> {
+    data.get(off..off + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(ArtifactError::Corrupt)
+}
+
+fn read_u64_at(data: &[u8], off: usize) -> Result<u64, ArtifactError> {
+    data.get(off..off + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(ArtifactError::Corrupt)
+}
+
+/// Zero-pad `out` to the next page boundary so the section that follows
+/// starts page-aligned both in the file and in a page-aligned mapping.
+fn pad_to_page(out: &mut Vec<u8>) {
+    let rem = out.len() % PAGE;
+    if rem != 0 {
+        out.resize(out.len() + (PAGE - rem), 0);
+    }
+}
+
+/// Parsed v3 fixed header: every range is bounds-checked against the
+/// buffer before this struct exists, so downstream slicing cannot panic.
+struct V3Header {
+    kind: u32,
+    flags: u32,
+    n: usize,
+    dim: usize,
+    name: Range<usize>,
+    sections: [Range<usize>; 4],
+}
+
+impl V3Header {
+    fn parse(data: &[u8]) -> Result<V3Header, ArtifactError> {
+        if !is_v3(data) || read_u32_at(data, 4)? != V3_VERSION {
+            return Err(ArtifactError::Corrupt);
+        }
+        let kind = read_u32_at(data, 8)?;
+        let flags = read_u32_at(data, 12)?;
+        let n = usize::try_from(read_u64_at(data, 16)?).map_err(|_| ArtifactError::Corrupt)?;
+        let dim = usize::try_from(read_u64_at(data, 24)?).map_err(|_| ArtifactError::Corrupt)?;
+        let mut sections = [0..0, 0..0, 0..0, 0..0];
+        for (s, range) in sections.iter_mut().enumerate() {
+            let off = usize::try_from(read_u64_at(data, 32 + 16 * s)?)
+                .map_err(|_| ArtifactError::Corrupt)?;
+            let len = usize::try_from(read_u64_at(data, 40 + 16 * s)?)
+                .map_err(|_| ArtifactError::Corrupt)?;
+            let end = off.checked_add(len).ok_or(ArtifactError::Corrupt)?;
+            if end > data.len() {
+                return Err(ArtifactError::Corrupt);
+            }
+            *range = off..end;
+        }
+        let name_len = read_u32_at(data, V3_HEADER_LEN)? as usize;
+        let name_start = V3_HEADER_LEN + 4;
+        let name_end = name_start.checked_add(name_len).ok_or(ArtifactError::Corrupt)?;
+        if name_end > data.len() {
+            return Err(ArtifactError::Corrupt);
+        }
+        Ok(V3Header {
+            kind,
+            flags,
+            n,
+            dim,
+            name: name_start..name_end,
+            sections,
+        })
+    }
+}
+
+/// Start a v3 buffer: fixed header (section table zeroed, patched by the
+/// caller) followed by the length-prefixed name.
+fn v3_header(kind: u32, flags: u32, n: u64, dim: u64, name: &str) -> Vec<u8> {
+    let mut out = vec![0u8; V3_HEADER_LEN];
+    out[..4].copy_from_slice(&V3_MAGIC);
+    write_u32_at(&mut out, 4, V3_VERSION);
+    write_u32_at(&mut out, 8, kind);
+    write_u32_at(&mut out, 12, flags);
+    write_u64_at(&mut out, 16, n);
+    write_u64_at(&mut out, 24, dim);
+    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out
+}
+
+fn patch_section_table(out: &mut [u8], sections: &[(usize, usize); 4]) {
+    for (s, (off, len)) in sections.iter().enumerate() {
+        write_u64_at(out, 32 + 16 * s, *off as u64);
+        write_u64_at(out, 40 + 16 * s, *len as u64);
+    }
+}
+
+fn f32s_from_le(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -63,8 +236,36 @@ fn get_str(buf: &mut Bytes) -> Result<String, ArtifactError> {
 }
 
 /// Serialize a trained system (both models + the inference-relevant
-/// configuration switches).
+/// configuration switches) in the v3 zero-copy layout: section 0 holds
+/// the retrieval model blob, section 1 (page-aligned) the re-ranker blob,
+/// so a [`ModelView`] over the mapped file can hand either blob out
+/// without copying the other.
 pub fn system_to_bytes(sys: &GarSystem) -> Vec<u8> {
+    let mut out = v3_header(
+        V3_KIND_SYSTEM,
+        u32::from(sys.config.use_rerank),
+        sys.config.k as u64,
+        0,
+        "",
+    );
+    let mut sections = [(0usize, 0usize); 4];
+    let off = out.len();
+    out.extend_from_slice(&sys.retrieval.to_bytes());
+    sections[0] = (off, out.len() - off);
+    pad_to_page(&mut out);
+    let off = out.len();
+    out.extend_from_slice(&sys.rerank.to_bytes());
+    sections[1] = (off, out.len() - off);
+    sections[2] = (out.len(), 0);
+    sections[3] = (out.len(), 0);
+    patch_section_table(&mut out, &sections);
+    out
+}
+
+/// Serialize a trained system in the legacy v2 (`GAR1`) layout — kept so
+/// migration tests and older readers stay exercised. New code should use
+/// [`system_to_bytes`].
+pub fn system_to_bytes_legacy(sys: &GarSystem) -> Vec<u8> {
     let mut buf = BytesMut::new();
     write_header(&mut buf, 3);
     buf.put_u8(u8::from(sys.config.use_rerank));
@@ -78,24 +279,16 @@ pub fn system_to_bytes(sys: &GarSystem) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Deserialize a trained system. Training-only configuration fields come
-/// back as defaults; everything the online path needs is restored.
-pub fn system_from_bytes(data: &[u8]) -> Result<GarSystem, ArtifactError> {
-    let mut buf = Bytes::copy_from_slice(data);
-    if read_header(&mut buf)? != 3 {
-        return Err(PersistError::BadMagic.into());
-    }
-    if buf.remaining() < 5 {
-        return Err(ArtifactError::Corrupt);
-    }
-    let use_rerank = buf.get_u8() != 0;
-    let k = buf.get_u32_le() as usize;
-
-    let n = checked_len(&mut buf)?;
-    let retrieval = RetrievalModel::from_bytes(&buf.copy_to_bytes(n))?;
-    let n = checked_len(&mut buf)?;
-    let rerank = RerankModel::from_bytes(&buf.copy_to_bytes(n))?;
-
+/// Restore a [`GarSystem`] from the two model blobs plus the persisted
+/// switches — the shared tail of every system decode path.
+fn system_from_parts(
+    use_rerank: bool,
+    k: usize,
+    retrieval: &[u8],
+    rerank: &[u8],
+) -> Result<GarSystem, ArtifactError> {
+    let retrieval = RetrievalModel::from_bytes(retrieval)?;
+    let rerank = RerankModel::from_bytes(rerank)?;
     let mut config = GarConfig {
         use_rerank,
         k,
@@ -110,6 +303,115 @@ pub fn system_from_bytes(data: &[u8]) -> Result<GarSystem, ArtifactError> {
     })
 }
 
+fn system_from_v3(data: &[u8]) -> Result<GarSystem, ArtifactError> {
+    let h = V3Header::parse(data)?;
+    if h.kind != V3_KIND_SYSTEM {
+        return Err(ArtifactError::Corrupt);
+    }
+    system_from_parts(
+        h.flags & 1 != 0,
+        h.n,
+        &data[h.sections[0].clone()],
+        &data[h.sections[1].clone()],
+    )
+}
+
+/// Deserialize a trained system (v3 or legacy v2, sniffed by magic).
+/// Training-only configuration fields come back as defaults; everything
+/// the online path needs is restored.
+pub fn system_from_bytes(data: &[u8]) -> Result<GarSystem, ArtifactError> {
+    if is_v3(data) {
+        return system_from_v3(data);
+    }
+    let mut buf = Bytes::copy_from_slice(data);
+    if read_header(&mut buf)? != 3 {
+        return Err(PersistError::BadMagic.into());
+    }
+    if buf.remaining() < 5 {
+        return Err(ArtifactError::Corrupt);
+    }
+    let use_rerank = buf.get_u8() != 0;
+    let k = buf.get_u32_le() as usize;
+
+    let n = checked_len(&mut buf)?;
+    let retrieval = buf.copy_to_bytes(n);
+    let n = checked_len(&mut buf)?;
+    let rerank = buf.copy_to_bytes(n);
+    system_from_parts(use_rerank, k, &retrieval, &rerank)
+}
+
+/// A zero-copy view over a v3 system artifact: the two model blobs are
+/// borrowed straight from the mapping, so inspecting one model (or
+/// handing the bytes to a loader) never copies the other. Model structs
+/// themselves own their weights, so [`ModelView::to_system`] is the owned
+/// decode — the view's win is section access and cheap open.
+#[derive(Debug)]
+pub struct ModelView {
+    map: Arc<ArtifactMap>,
+    use_rerank: bool,
+    k: usize,
+    retrieval: Range<usize>,
+    rerank: Range<usize>,
+}
+
+impl ModelView {
+    /// Map `path` and build a view over it. Legacy v2 files report
+    /// [`ArtifactError::Misaligned`]; fall back to [`system_from_bytes`].
+    pub fn open(path: &Path) -> Result<ModelView, ArtifactError> {
+        let map = ArtifactMap::open(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+        Self::from_map(Arc::new(map))
+    }
+
+    /// Build a view over an already-loaded map (shared, so several views
+    /// and a registry can hold the same mapping).
+    pub fn from_map(map: Arc<ArtifactMap>) -> Result<ModelView, ArtifactError> {
+        if !is_v3(&map) {
+            return Err(ArtifactError::Misaligned);
+        }
+        let h = V3Header::parse(&map)?;
+        if h.kind != V3_KIND_SYSTEM {
+            return Err(ArtifactError::Corrupt);
+        }
+        Ok(ModelView {
+            use_rerank: h.flags & 1 != 0,
+            k: h.n,
+            retrieval: h.sections[0].clone(),
+            rerank: h.sections[1].clone(),
+            map,
+        })
+    }
+
+    /// The persisted `use_rerank` switch.
+    pub fn use_rerank(&self) -> bool {
+        self.use_rerank
+    }
+
+    /// The persisted retrieval threshold k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The retrieval-model blob, borrowed from the mapping.
+    pub fn retrieval_bytes(&self) -> &[u8] {
+        &self.map.bytes()[self.retrieval.clone()]
+    }
+
+    /// The re-ranker blob, borrowed from the mapping.
+    pub fn rerank_bytes(&self) -> &[u8] {
+        &self.map.bytes()[self.rerank.clone()]
+    }
+
+    /// Decode the full owned [`GarSystem`] from the viewed sections.
+    pub fn to_system(&self) -> Result<GarSystem, ArtifactError> {
+        system_from_parts(
+            self.use_rerank,
+            self.k,
+            self.retrieval_bytes(),
+            self.rerank_bytes(),
+        )
+    }
+}
+
 fn checked_len(buf: &mut Bytes) -> Result<usize, ArtifactError> {
     if buf.remaining() < 4 {
         return Err(ArtifactError::Corrupt);
@@ -121,8 +423,89 @@ fn checked_len(buf: &mut Bytes) -> Result<usize, ArtifactError> {
     Ok(n)
 }
 
+/// `true` when the pool is in the canonical layout the v3 zero-copy
+/// format can represent: entry ids are positions (no tombstones, no
+/// compaction drift) and entries/embeddings/index rows are parallel.
+fn pool_is_canonical(p: &PreparedDb) -> bool {
+    let dim = p.index.dim();
+    p.index.ids_are_positions()
+        && p.index.len() == p.entries.len()
+        && p.embeds.len() == p.entries.len()
+        && p.embeds.iter().all(|e| e.len() == dim)
+}
+
 /// Serialize a prepared database (candidate SQL + dialects + embeddings).
+/// Canonical pools — which is every cold-prepared or cache-loaded pool —
+/// are written in the v3 zero-copy layout; pools with tombstones or
+/// compaction drift fall back to the legacy v2 writer, whose decode
+/// rebuilds the index from scratch.
 pub fn prepared_to_bytes(p: &PreparedDb) -> Vec<u8> {
+    if pool_is_canonical(p) {
+        prepared_to_bytes_v3(p)
+    } else {
+        prepared_to_bytes_legacy(p)
+    }
+}
+
+fn prepared_to_bytes_v3(p: &PreparedDb) -> Vec<u8> {
+    let n = p.entries.len();
+    let dim = p.index.dim();
+    let quantized = p.index.is_quantized();
+    let mut out = v3_header(
+        V3_KIND_PREPARED,
+        u32::from(quantized),
+        n as u64,
+        dim as u64,
+        &p.db_name,
+    );
+    let mut sections = [(0usize, 0usize); 4];
+
+    // Section 0: entry metadata, byte-oriented, directly after the name.
+    let off = out.len();
+    for e in &p.entries {
+        let sql = gar_sql::to_sql(&e.sql);
+        out.extend_from_slice(&(sql.len() as u32).to_le_bytes());
+        out.extend_from_slice(sql.as_bytes());
+        out.extend_from_slice(&(e.dialect.len() as u32).to_le_bytes());
+        out.extend_from_slice(e.dialect.as_bytes());
+    }
+    sections[0] = (off, out.len() - off);
+
+    // Section 1: raw (unnormalized) embeddings, page-aligned.
+    pad_to_page(&mut out);
+    let off = out.len();
+    for emb in &p.embeds {
+        for &v in emb {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    sections[1] = (off, out.len() - off);
+
+    // Section 2: the index's normalized rows, byte-exact, page-aligned —
+    // FlatView scans over these bits match FlatIndex scans over the pool.
+    pad_to_page(&mut out);
+    let off = out.len();
+    for &v in p.index.raw_data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    sections[2] = (off, out.len() - off);
+
+    // Section 3: the int8 sidecar, byte-exact, page-aligned.
+    pad_to_page(&mut out);
+    let off = out.len();
+    if quantized {
+        out.extend(p.index.raw_qdata().iter().map(|&c| c as u8));
+    }
+    sections[3] = (off, out.len() - off);
+
+    patch_section_table(&mut out, &sections);
+    out
+}
+
+/// Serialize a prepared database in the legacy v2 (`GAR1`) layout — the
+/// fallback for non-canonical pools, kept public so migration coverage
+/// can exercise old readers. New code should use [`prepared_to_bytes`].
+pub fn prepared_to_bytes_legacy(p: &PreparedDb) -> Vec<u8> {
     let mut buf = BytesMut::new();
     write_header(&mut buf, 4);
     put_str(&mut buf, &p.db_name);
@@ -143,8 +526,115 @@ pub fn prepared_to_bytes(p: &PreparedDb) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Deserialize a prepared database, rebuilding the vector index.
+/// Walk the v3 entry-metadata section, yielding byte ranges (relative to
+/// `base`) of each entry's SQL and dialect strings, UTF-8 validated.
+fn v3_meta_spans(
+    meta: &[u8],
+    base: usize,
+    n: usize,
+) -> Result<Vec<(Range<usize>, Range<usize>)>, ArtifactError> {
+    // Every entry costs at least two 4-byte length prefixes, so a header
+    // claiming more entries than the section could hold is corrupt — and
+    // this bound also keeps the reservation below honest.
+    if n > meta.len() / 8 {
+        return Err(ArtifactError::Corrupt);
+    }
+    fn take(
+        meta: &[u8],
+        base: usize,
+        pos: &mut usize,
+    ) -> Result<Range<usize>, ArtifactError> {
+        let len = read_u32_at(meta, *pos)? as usize;
+        let start = *pos + 4;
+        let end = start.checked_add(len).ok_or(ArtifactError::Corrupt)?;
+        let bytes = meta.get(start..end).ok_or(ArtifactError::Corrupt)?;
+        std::str::from_utf8(bytes).map_err(|_| ArtifactError::Corrupt)?;
+        *pos = end;
+        Ok(base + start..base + end)
+    }
+    let mut spans = Vec::with_capacity(n);
+    let mut pos = 0usize;
+    for _ in 0..n {
+        let sql = take(meta, base, &mut pos)?;
+        let dialect = take(meta, base, &mut pos)?;
+        spans.push((sql, dialect));
+    }
+    if pos != meta.len() {
+        return Err(ArtifactError::Corrupt);
+    }
+    Ok(spans)
+}
+
+/// Validate the v3 prepared header's cross-section invariants and return
+/// (header, quantized).
+fn v3_prepared_header(data: &[u8]) -> Result<(V3Header, bool), ArtifactError> {
+    let h = V3Header::parse(data)?;
+    if h.kind != V3_KIND_PREPARED {
+        return Err(ArtifactError::Corrupt);
+    }
+    let quantized = h.flags & 1 != 0;
+    let vec_bytes = h
+        .n
+        .checked_mul(h.dim)
+        .and_then(|x| x.checked_mul(4))
+        .ok_or(ArtifactError::Corrupt)?;
+    if h.sections[1].len() != vec_bytes
+        || h.sections[2].len() != vec_bytes
+        || h.sections[3].len() != if quantized { vec_bytes / 4 } else { 0 }
+    {
+        return Err(ArtifactError::Corrupt);
+    }
+    Ok((h, quantized))
+}
+
+fn prepared_from_v3(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
+    let (h, quantized) = v3_prepared_header(data)?;
+    let db_name = std::str::from_utf8(&data[h.name.clone()])
+        .map_err(|_| ArtifactError::Corrupt)?
+        .to_string();
+    let meta = &data[h.sections[0].clone()];
+    let spans = v3_meta_spans(meta, h.sections[0].start, h.n)?;
+    let mut entries = Vec::with_capacity(h.n);
+    for (sql_span, dialect_span) in spans {
+        // Spans are validated UTF-8 over in-bounds bytes.
+        let sql_text = std::str::from_utf8(&data[sql_span]).unwrap();
+        let sql =
+            gar_sql::parse(sql_text).map_err(|_| ArtifactError::BadSql(sql_text.to_string()))?;
+        let dialect = std::str::from_utf8(&data[dialect_span]).unwrap().to_string();
+        entries.push(DialectEntry { sql, dialect });
+    }
+    let embeds: Vec<Vec<f32>> = if h.dim == 0 {
+        (0..h.n).map(|_| Vec::new()).collect()
+    } else {
+        f32s_from_le(&data[h.sections[1].clone()])
+            .chunks_exact(h.dim)
+            .map(|c| c.to_vec())
+            .collect()
+    };
+    let rows = f32s_from_le(&data[h.sections[2].clone()]);
+    let codes = quantized.then(|| {
+        data[h.sections[3].clone()]
+            .iter()
+            .map(|&b| b as i8)
+            .collect()
+    });
+    let index = FlatIndex::from_normalized_parts(h.dim, h.n, rows, codes);
+    Ok(PreparedDb {
+        db_name,
+        entries,
+        embeds,
+        index,
+    })
+}
+
+/// Deserialize a prepared database (v3 or legacy v2, sniffed by magic)
+/// into a fully owned [`PreparedDb`], rebuilding the vector index. This
+/// is the copying path; [`PreparedPool::from_map`] serves v3 files
+/// zero-copy instead.
 pub fn prepared_from_bytes(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
+    if is_v3(data) {
+        return prepared_from_v3(data);
+    }
     let mut buf = Bytes::copy_from_slice(data);
     if read_header(&mut buf)? != 4 {
         return Err(PersistError::BadMagic.into());
@@ -193,6 +683,326 @@ pub fn prepared_from_bytes(data: &[u8]) -> Result<PreparedDb, ArtifactError> {
     })
 }
 
+/// A zero-copy view over a v3 prepared-pool artifact: embeddings, index
+/// rows, and the int8 sidecar are *borrowed* from the page-aligned
+/// mapping (loading costs O(pages touched), not O(pool bytes)); entry
+/// metadata is span-indexed with SQL re-parsed lazily on first access.
+/// Searches run through [`FlatView`] — the exact kernels of the owned
+/// index over the exact bytes it serialized — so translations over a view
+/// are bit-identical to the owned-decode path.
+///
+/// Construction validates the full layout: header, section table, span
+/// framing, UTF-8 of every string, section alignment, and host
+/// endianness. Misaligned or legacy input reports
+/// [`ArtifactError::Misaligned`] so callers ([`PreparedPool::from_map`])
+/// can fall back to the owned decode.
+#[derive(Debug)]
+pub struct PreparedView {
+    map: Arc<ArtifactMap>,
+    db_name: String,
+    n: usize,
+    dim: usize,
+    quantized: bool,
+    /// Per entry: (SQL span, dialect span), absolute into the map.
+    spans: Vec<(Range<usize>, Range<usize>)>,
+    /// Lazily parsed SQL, one slot per entry.
+    sqls: Vec<OnceLock<Query>>,
+    embeds: Range<usize>,
+    rows: Range<usize>,
+    codes: Range<usize>,
+}
+
+impl PreparedView {
+    /// Map `path` and build a view over it.
+    pub fn open(path: &Path) -> Result<PreparedView, ArtifactError> {
+        let map = ArtifactMap::open(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+        Self::from_map(Arc::new(map))
+    }
+
+    /// Build a view over an already-loaded map (shared; a registry can
+    /// hold the same mapping behind several views).
+    pub fn from_map(map: Arc<ArtifactMap>) -> Result<PreparedView, ArtifactError> {
+        if !is_v3(&map) || cfg!(target_endian = "big") {
+            // Legacy layout, or a host whose native f32 layout does not
+            // match the little-endian file: not viewable in place.
+            return Err(ArtifactError::Misaligned);
+        }
+        let data = map.bytes();
+        let (h, quantized) = v3_prepared_header(data)?;
+        let base = data.as_ptr() as usize;
+        for s in [&h.sections[1], &h.sections[2]] {
+            if (base + s.start) % std::mem::align_of::<f32>() != 0 {
+                return Err(ArtifactError::Misaligned);
+            }
+        }
+        let db_name = std::str::from_utf8(&data[h.name.clone()])
+            .map_err(|_| ArtifactError::Corrupt)?
+            .to_string();
+        let meta = &data[h.sections[0].clone()];
+        let spans = v3_meta_spans(meta, h.sections[0].start, h.n)?;
+        Ok(PreparedView {
+            db_name,
+            n: h.n,
+            dim: h.dim,
+            quantized,
+            sqls: (0..h.n).map(|_| OnceLock::new()).collect(),
+            spans,
+            embeds: h.sections[1].clone(),
+            rows: h.sections[2].clone(),
+            codes: h.sections[3].clone(),
+            map,
+        })
+    }
+
+    /// Database id the pool was prepared for.
+    pub fn db_name(&self) -> &str {
+        &self.db_name
+    }
+
+    /// Number of pool entries.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for an empty pool.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` when the pool carries the int8 sidecar.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// `true` when the backing buffer is a real file mapping (as opposed
+    /// to the aligned-read fallback).
+    pub fn is_mmapped(&self) -> bool {
+        self.map.is_mmapped()
+    }
+
+    /// The masked SQL text of entry `i`, borrowed from the mapping.
+    pub fn sql_text(&self, i: usize) -> &str {
+        // SAFETY: spans were bounds- and UTF-8-validated at construction,
+        // and the mapping is immutable.
+        unsafe { std::str::from_utf8_unchecked(&self.map.bytes()[self.spans[i].0.clone()]) }
+    }
+
+    /// The parsed masked SQL of entry `i`, parsed on first access and
+    /// cached.
+    ///
+    /// Framing and UTF-8 are validated at construction, and artifacts
+    /// written by [`prepared_to_bytes`] store `gar_sql::to_sql` output,
+    /// which re-parses by round-trip invariant — so the deferred parse
+    /// only panics on a hand-corrupted artifact body.
+    pub fn sql(&self, i: usize) -> &Query {
+        self.sqls[i].get_or_init(|| {
+            gar_sql::parse(self.sql_text(i)).expect("stored pool SQL does not re-parse")
+        })
+    }
+
+    /// The dialect text of entry `i`, borrowed from the mapping.
+    pub fn dialect(&self, i: usize) -> &str {
+        // SAFETY: as in `sql_text`.
+        unsafe { std::str::from_utf8_unchecked(&self.map.bytes()[self.spans[i].1.clone()]) }
+    }
+
+    fn f32_section(&self, r: &Range<usize>) -> &[f32] {
+        let b = &self.map.bytes()[r.clone()];
+        // SAFETY: the range is in bounds, 4-aligned (checked at
+        // construction), a multiple of 4 long (header invariant), the host
+        // is little-endian (checked), and any bit pattern is a valid f32.
+        unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<f32>(), b.len() / 4) }
+    }
+
+    /// The raw (unnormalized) embedding of entry `i`, borrowed from the
+    /// mapping.
+    pub fn embed(&self, i: usize) -> &[f32] {
+        assert!(i < self.n, "embed index out of bounds");
+        &self.f32_section(&self.embeds)[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// A borrowed flat index over the pool's normalized rows (plus the
+    /// int8 sidecar when quantized) — bit-identical search results to the
+    /// owned [`FlatIndex`] the artifact was written from.
+    pub fn searcher(&self) -> FlatView<'_> {
+        let v = FlatView::new(self.dim, self.n, self.f32_section(&self.rows));
+        if self.quantized {
+            let b = &self.map.bytes()[self.codes.clone()];
+            // SAFETY: i8 and u8 have identical layout and alignment.
+            let codes = unsafe { std::slice::from_raw_parts(b.as_ptr().cast::<i8>(), b.len()) };
+            v.with_codes(codes)
+        } else {
+            v
+        }
+    }
+}
+
+/// A loaded prepared pool, whichever way it loaded: `Mapped` borrows from
+/// a v3 mapping ([`PreparedView`]); `Owned` holds the fully decoded
+/// [`PreparedDb`] (legacy files, misaligned input, or big-endian hosts).
+/// Both implement [`crate::CandidatePool`], so the translation path never
+/// needs to know which it got.
+#[derive(Debug)]
+pub enum PreparedPool {
+    /// Fully decoded, heap-owned pool.
+    Owned(PreparedDb),
+    /// Zero-copy view over a page-aligned artifact map.
+    Mapped(PreparedView),
+}
+
+impl PreparedPool {
+    /// Load a prepared-pool artifact from disk, preferring the zero-copy
+    /// view and falling back to the owned decode where a view cannot
+    /// serve ([`ArtifactError::Misaligned`]).
+    pub fn load(path: &Path) -> Result<PreparedPool, ArtifactError> {
+        let map = ArtifactMap::open(path).map_err(|e| ArtifactError::Io(e.to_string()))?;
+        Self::from_map(Arc::new(map))
+    }
+
+    /// As [`PreparedPool::load`], over an already-loaded map.
+    pub fn from_map(map: Arc<ArtifactMap>) -> Result<PreparedPool, ArtifactError> {
+        match PreparedView::from_map(Arc::clone(&map)) {
+            Ok(v) => Ok(PreparedPool::Mapped(v)),
+            Err(ArtifactError::Misaligned) => {
+                prepared_from_bytes(map.bytes()).map(PreparedPool::Owned)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Database id the pool was prepared for.
+    pub fn db_name(&self) -> &str {
+        match self {
+            PreparedPool::Owned(p) => &p.db_name,
+            PreparedPool::Mapped(v) => v.db_name(),
+        }
+    }
+
+    /// Number of pool entries.
+    pub fn len(&self) -> usize {
+        match self {
+            PreparedPool::Owned(p) => p.entries.len(),
+            PreparedPool::Mapped(v) => v.len(),
+        }
+    }
+
+    /// `true` for an empty pool.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when serving zero-copy from a mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, PreparedPool::Mapped(_))
+    }
+}
+
+use crate::system::CandidatePool;
+use gar_vecindex::Hit;
+
+impl CandidatePool for PreparedView {
+    fn db_name(&self) -> &str {
+        self.db_name()
+    }
+    fn pool_len(&self) -> usize {
+        self.n
+    }
+    fn sql(&self, i: usize) -> &Query {
+        PreparedView::sql(self, i)
+    }
+    fn dialect(&self, i: usize) -> &str {
+        PreparedView::dialect(self, i)
+    }
+    fn embed(&self, i: usize) -> &[f32] {
+        PreparedView::embed(self, i)
+    }
+    fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+    fn search(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        let s = self.searcher();
+        if self.quantized {
+            s.search_quantized(query, k, rescore_factor)
+        } else {
+            s.search(query, k)
+        }
+    }
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        let s = self.searcher();
+        if self.quantized {
+            s.search_batch_quantized_threads(queries, k, rescore_factor, threads)
+        } else {
+            s.search_batch_threads(queries, k, threads)
+        }
+    }
+}
+
+impl CandidatePool for PreparedPool {
+    fn db_name(&self) -> &str {
+        PreparedPool::db_name(self)
+    }
+    fn pool_len(&self) -> usize {
+        self.len()
+    }
+    fn sql(&self, i: usize) -> &Query {
+        match self {
+            PreparedPool::Owned(p) => CandidatePool::sql(p, i),
+            PreparedPool::Mapped(v) => PreparedView::sql(v, i),
+        }
+    }
+    fn dialect(&self, i: usize) -> &str {
+        match self {
+            PreparedPool::Owned(p) => CandidatePool::dialect(p, i),
+            PreparedPool::Mapped(v) => PreparedView::dialect(v, i),
+        }
+    }
+    fn embed(&self, i: usize) -> &[f32] {
+        match self {
+            PreparedPool::Owned(p) => CandidatePool::embed(p, i),
+            PreparedPool::Mapped(v) => PreparedView::embed(v, i),
+        }
+    }
+    fn is_quantized(&self) -> bool {
+        match self {
+            PreparedPool::Owned(p) => CandidatePool::is_quantized(p),
+            PreparedPool::Mapped(v) => v.is_quantized(),
+        }
+    }
+    fn search(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        match self {
+            PreparedPool::Owned(p) => CandidatePool::search(p, query, k, rescore_factor),
+            PreparedPool::Mapped(v) => CandidatePool::search(v, query, k, rescore_factor),
+        }
+    }
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        match self {
+            PreparedPool::Owned(p) => {
+                CandidatePool::search_batch(p, queries, k, rescore_factor, threads)
+            }
+            PreparedPool::Mapped(v) => {
+                CandidatePool::search_batch(v, queries, k, rescore_factor, threads)
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,7 +1011,14 @@ mod tests {
     use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
     use gar_sql::exact_match;
 
-    fn tiny_system() -> (GarSystem, gar_benchmarks::Benchmark) {
+    /// One shared trained fixture — artifact tests only read from it, and
+    /// training it once keeps the suite fast.
+    fn tiny_system() -> &'static (GarSystem, gar_benchmarks::Benchmark) {
+        static FIX: OnceLock<(GarSystem, gar_benchmarks::Benchmark)> = OnceLock::new();
+        FIX.get_or_init(tiny_system_uncached)
+    }
+
+    fn tiny_system_uncached() -> (GarSystem, gar_benchmarks::Benchmark) {
         let bench = spider_sim(SpiderSimConfig {
             train_dbs: 2,
             val_dbs: 1,
@@ -239,7 +1056,7 @@ mod tests {
     #[test]
     fn system_roundtrip_preserves_translation_behaviour() {
         let (gar, bench) = tiny_system();
-        let back = system_from_bytes(&system_to_bytes(&gar)).expect("decodes");
+        let back = system_from_bytes(&system_to_bytes(gar)).expect("decodes");
 
         let db = bench.db(&bench.dev[0].db).expect("dev db");
         let gold: Vec<gar_sql::Query> =
@@ -280,11 +1097,11 @@ mod tests {
     #[test]
     fn corrupt_artifacts_are_rejected() {
         let (gar, _) = tiny_system();
-        let mut bytes = system_to_bytes(&gar);
+        let mut bytes = system_to_bytes(gar);
         bytes.truncate(bytes.len() / 2);
         assert!(system_from_bytes(&bytes).is_err());
         assert!(system_from_bytes(&[1, 2, 3]).is_err());
-        assert!(prepared_from_bytes(&system_to_bytes(&gar)).is_err());
+        assert!(prepared_from_bytes(&system_to_bytes(gar)).is_err());
     }
 
     #[test]
@@ -301,5 +1118,188 @@ mod tests {
             prepared_from_bytes(&buf.to_vec()),
             Err(ArtifactError::Corrupt)
         ));
+    }
+
+    fn tiny_prepared() -> (&'static GarSystem, &'static gar_benchmarks::Benchmark, PreparedDb) {
+        let (gar, bench) = tiny_system();
+        let db = bench.db(&bench.dev[0].db).expect("dev db");
+        let gold: Vec<gar_sql::Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let prepared = gar.prepare_eval_db(db, &gold);
+        (gar, bench, prepared)
+    }
+
+    #[test]
+    fn canonical_pools_encode_v3_and_legacy_still_decodes() {
+        let (_, _, prepared) = tiny_prepared();
+        let v3 = prepared_to_bytes(&prepared);
+        assert!(is_v3(&v3), "canonical pool should take the v3 writer");
+        let legacy = prepared_to_bytes_legacy(&prepared);
+        assert!(!is_v3(&legacy));
+        let a = prepared_from_bytes(&v3).expect("v3 decodes");
+        let b = prepared_from_bytes(&legacy).expect("legacy decodes");
+        assert_eq!(a.db_name, b.db_name);
+        assert_eq!(a.embeds, b.embeds);
+        assert_eq!(a.entries.len(), prepared.entries.len());
+        for (x, y) in a.entries.iter().zip(&prepared.entries) {
+            assert!(exact_match(&x.sql, &y.sql));
+            assert_eq!(x.dialect, y.dialect);
+        }
+        // The v3 decode restores the index byte-exactly (no re-normalize,
+        // no re-quantize); the legacy decode rebuilds it by insertion.
+        assert_eq!(a.index.raw_data(), prepared.index.raw_data());
+    }
+
+    #[test]
+    fn prepared_view_borrows_the_exact_pool() {
+        let (_, _, prepared) = tiny_prepared();
+        let bytes = prepared_to_bytes(&prepared);
+        let view = PreparedView::from_map(Arc::new(crate::mmap::ArtifactMap::from_bytes(&bytes)))
+            .expect("viewable");
+        assert_eq!(view.db_name(), prepared.db_name);
+        assert_eq!(view.len(), prepared.entries.len());
+        assert_eq!(view.dim(), prepared.index.dim());
+        assert!(!view.is_quantized());
+        for i in 0..view.len() {
+            assert_eq!(view.sql_text(i), gar_sql::to_sql(&prepared.entries[i].sql));
+            assert!(exact_match(view.sql(i), &prepared.entries[i].sql));
+            assert_eq!(view.dialect(i), prepared.entries[i].dialect);
+            assert_eq!(view.embed(i), &prepared.embeds[i][..]);
+        }
+        for q in prepared.embeds.iter().take(5) {
+            let a = prepared.index.search(q, 10);
+            let b = view.searcher().search(q, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn translations_over_a_mapped_view_are_bit_identical() {
+        let (gar, bench, prepared) = tiny_prepared();
+        let db = bench.db(&bench.dev[0].db).expect("dev db");
+        let dir = crate::cache::scratch_dir("artifact-v3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.garz");
+        std::fs::write(&path, prepared_to_bytes(&prepared)).unwrap();
+        let pool = PreparedPool::load(&path).expect("loads");
+        assert!(pool.is_mapped(), "v3 file should serve zero-copy");
+        for ex in &bench.dev {
+            let a = gar.translate(db, &prepared, &ex.nl);
+            let b = gar.translate(db, &pool, &ex.nl);
+            assert_eq!(a.retrieved, b.retrieved);
+            assert_eq!(a.ranked.len(), b.ranked.len());
+            for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                assert_eq!(x.entry, y.entry);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+                assert!(exact_match(&x.sql, &y.sql));
+            }
+        }
+        drop(pool);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quantized_pools_roundtrip_and_view_bit_identically() {
+        let (_, _, mut prepared) = tiny_prepared();
+        prepared.index.enable_quantization();
+        let bytes = prepared_to_bytes(&prepared);
+        assert!(is_v3(&bytes));
+        let back = prepared_from_bytes(&bytes).expect("decodes");
+        assert!(back.index.is_quantized());
+        assert_eq!(back.index.raw_qdata(), prepared.index.raw_qdata());
+        let view = PreparedView::from_map(Arc::new(crate::mmap::ArtifactMap::from_bytes(&bytes)))
+            .expect("viewable");
+        assert!(view.is_quantized());
+        for q in prepared.embeds.iter().take(5) {
+            let a = prepared.index.search_quantized(q, 10, 4);
+            let b = view.searcher().search_quantized(q, 10, 4);
+            let c = back.index.search_quantized(q, 10, 4);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+            for (x, y) in a.iter().zip(&c) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_pools_fall_back_to_the_legacy_writer() {
+        let (_, _, mut prepared) = tiny_prepared();
+        assert!(prepared.index.ids_are_positions());
+        prepared.index.remove(0);
+        assert!(!prepared.index.ids_are_positions());
+        let bytes = prepared_to_bytes(&prepared);
+        assert!(!is_v3(&bytes), "non-canonical pool must use the v2 writer");
+        assert!(prepared_from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn corrupt_v3_artifacts_are_rejected() {
+        let (_, _, prepared) = tiny_prepared();
+        let bytes = prepared_to_bytes(&prepared);
+        // Truncation anywhere in the sections is caught by the table check.
+        let mut cut = bytes.clone();
+        cut.truncate(cut.len() / 2);
+        assert!(prepared_from_bytes(&cut).is_err());
+        // A header claiming an absurd entry count fails fast, no big alloc.
+        let mut huge = bytes.clone();
+        write_u64_at(&mut huge, 16, u64::MAX / 8);
+        assert!(matches!(
+            prepared_from_bytes(&huge),
+            Err(ArtifactError::Corrupt)
+        ));
+        // A section reaching past the file is caught at header parse.
+        let mut oob = bytes.clone();
+        write_u64_at(&mut oob, 40, u64::MAX / 2);
+        assert!(matches!(
+            prepared_from_bytes(&oob),
+            Err(ArtifactError::Corrupt)
+        ));
+        // The same bytes are rejected by the view constructor too.
+        assert!(
+            PreparedView::from_map(Arc::new(crate::mmap::ArtifactMap::from_bytes(&cut))).is_err()
+        );
+    }
+
+    #[test]
+    fn model_view_serves_blobs_and_legacy_falls_back() {
+        let (gar, _) = tiny_system();
+        let v3 = system_to_bytes(gar);
+        assert!(is_v3(&v3));
+        let view = ModelView::from_map(Arc::new(crate::mmap::ArtifactMap::from_bytes(&v3)))
+            .expect("viewable");
+        assert_eq!(view.k(), gar.config.k);
+        assert_eq!(view.use_rerank(), gar.config.use_rerank);
+        assert_eq!(view.retrieval_bytes(), &gar.retrieval.to_bytes()[..]);
+        assert_eq!(view.rerank_bytes(), &gar.rerank.to_bytes()[..]);
+        let sys = view.to_system().expect("decodes");
+        assert_eq!(sys.config.k, gar.config.k);
+
+        let legacy = system_to_bytes_legacy(gar);
+        assert!(!is_v3(&legacy));
+        assert!(system_from_bytes(&legacy).is_ok(), "v2 reader kept");
+        assert!(matches!(
+            ModelView::from_map(Arc::new(crate::mmap::ArtifactMap::from_bytes(&legacy))),
+            Err(ArtifactError::Misaligned)
+        ));
+    }
+
+    #[test]
+    fn prepared_pool_falls_back_to_owned_for_legacy_bytes() {
+        let (_, _, prepared) = tiny_prepared();
+        let legacy = prepared_to_bytes_legacy(&prepared);
+        let pool =
+            PreparedPool::from_map(Arc::new(crate::mmap::ArtifactMap::from_bytes(&legacy)))
+                .expect("fallback decodes");
+        assert!(!pool.is_mapped());
+        assert_eq!(pool.db_name(), prepared.db_name);
+        assert_eq!(pool.len(), prepared.entries.len());
     }
 }

@@ -131,9 +131,11 @@ impl PrepareCache {
     /// candidates for delta patching (see [`PrepareCache::find_delta_base`]).
     pub fn base_key(gar: &GarSystem, db: &GeneratedDb, protocol: SampleProtocol) -> u64 {
         let mut h = Fnv64::new();
-        // v2: the kind-4 artifact gained a quantized-index flag byte and
-        // the key layout moved the model hash ahead of the samples.
-        h.bytes(b"gar-prep-cache-v2");
+        // v3: stored artifacts moved to the zero-copy page-aligned layout
+        // (magic GARZ); the tag bump keeps v2-keyed entries from aliasing.
+        // (v2 had added the quantized-index flag byte and moved the model
+        // hash ahead of the samples.)
+        h.bytes(b"gar-prep-cache-v3");
         h.bytes(&[protocol.tag()]);
         hash_schema(&mut h, db);
         let cfg = &gar.config.prepare;
@@ -185,8 +187,10 @@ impl PrepareCache {
     /// Load the prepared db stored under `key`, if present and intact.
     /// `expect_db` guards against key-collision absurdities: an artifact
     /// for a different database is treated as corrupt. Corrupt entries are
-    /// deleted so the next run re-stores them. Records `prep.cache_hit` /
-    /// `prep.cache_miss`.
+    /// deleted so the next run re-stores them. A hit refreshes the entry's
+    /// modification time, so [`PrepareCache::evict`]'s oldest-first order
+    /// is true LRU rather than oldest-store-first. Records
+    /// `prep.cache_hit` / `prep.cache_miss`.
     pub fn load(&self, key: u64, expect_db: &str) -> Option<PreparedDb> {
         let m = crate::metrics::metrics();
         let path = self.path(key);
@@ -197,6 +201,7 @@ impl PrepareCache {
         match prepared_from_bytes(&bytes) {
             Ok(p) if p.db_name == expect_db => {
                 m.cache_hit.inc();
+                Self::touch(&path);
                 Some(p)
             }
             _ => {
@@ -210,10 +215,20 @@ impl PrepareCache {
         }
     }
 
+    /// Best-effort access-time refresh backing the LRU eviction order:
+    /// hits bump the artifact's modification time to "now". Failure (e.g.
+    /// a read-only cache directory) is ignored — eviction then degrades to
+    /// store-order for that entry, which is the pre-LRU behaviour.
+    fn touch(path: &Path) {
+        if let Ok(f) = std::fs::OpenOptions::new().write(true).open(path) {
+            let _ = f.set_modified(std::time::SystemTime::now());
+        }
+    }
+
     /// Store a prepared db under `key` (write-temp-then-rename, so
     /// concurrent readers never see a partial artifact), then evict
-    /// oldest-first down to the byte budget. Best-effort: I/O errors
-    /// return `false` and leave the cache unchanged.
+    /// least-recently-used-first down to the byte budget. Best-effort: I/O
+    /// errors return `false` and leave the cache unchanged.
     pub fn store(&self, key: u64, prepared: &PreparedDb) -> bool {
         let bytes = prepared_to_bytes(prepared);
         let tmp = self
@@ -473,6 +488,33 @@ mod tests {
         // The newest entries survive.
         assert!(cache.path(5).exists());
         assert!(!cache.path(0).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_hits_refresh_lru_order() {
+        let dir = scratch_dir("lru");
+        // Budget fits two page-aligned empty-pool artifacts (4 KiB each).
+        let cache = PrepareCache::with_capacity(&dir, 9 * 1024).unwrap();
+        let pool = |name: &str| PreparedDb {
+            db_name: name.to_string(),
+            entries: Vec::new(),
+            embeds: Vec::new(),
+            index: gar_vecindex::FlatIndex::new(4),
+        };
+        assert!(cache.store(1, &pool("a")));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(cache.store(2, &pool("b")));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // A hit on the oldest entry refreshes it past key 2.
+        assert!(cache.load(1, "a").is_some());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // A third entry busts the budget; the LRU victim must now be 2
+        // (stored later than 1, but not accessed since).
+        assert!(cache.store(3, &pool("c")));
+        assert!(cache.path(1).exists(), "recently-hit entry was evicted");
+        assert!(!cache.path(2).exists(), "LRU victim survived eviction");
+        assert!(cache.path(3).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -30,24 +30,30 @@ pub mod analysis;
 pub mod artifact;
 pub mod cache;
 pub mod metrics;
+pub mod mmap;
 pub mod par;
 pub mod postprocess;
 pub mod prepare;
 pub mod system;
+pub mod tenants;
 pub mod validate;
 
 pub use analysis::{analyze, ErrorAnalysis};
 pub use artifact::{
     prepared_from_bytes, prepared_to_bytes, system_from_bytes, system_to_bytes, ArtifactError,
+    ModelView, PreparedPool, PreparedView,
 };
 pub use cache::{PrepareCache, SampleProtocol, DEFAULT_CACHE_CAPACITY};
 pub use metrics::StageTimings;
+pub use mmap::ArtifactMap;
 pub use par::{par_map, par_shard_mut, thread_split};
 pub use postprocess::{extract_nl_values, filter_candidates, instantiate, NlValue};
 pub use prepare::{
     eval_samples_from_gold, pool_covers, prepare, DialectEntry, PoolIndex, PrepareConfig,
 };
 pub use system::{
-    GarConfig, GarSystem, GarTrainReport, PreparedDb, RankedCandidate, Translation,
+    CandidatePool, GarConfig, GarSystem, GarTrainReport, GateConfig, PreparedDb, RankedCandidate,
+    Translation,
 };
+pub use tenants::{TenantRegistry, TenantSnapshot, WorkspaceState};
 pub use validate::{exec_tiers, sample_database, validate_static, ValidationError};

@@ -39,6 +39,9 @@
 //! | `translate.total` | counter | translations finished |
 //! | `translate.empty_result` | counter | translations with no ranked candidate |
 //! | `translate.rerank_disabled` | counter | translations on the retrieval-only path |
+//! | `artifact.mmap_bytes` | counter | bytes served through memory-mapped artifact views |
+//! | `tenant.swap` | counter | atomic workspace publications through the [`TenantRegistry`](crate::TenantRegistry) |
+//! | `tenant.reprepare_us` | histogram | wall time of a tenant re-prepare (schema/sample change) |
 //!
 //! Batched translation records the *amortized per-query* encode and
 //! retrieve latencies — one histogram sample per question, so single and
@@ -113,6 +116,9 @@ pub(crate) struct PipelineMetrics {
     pub total: Arc<Counter>,
     pub empty_result: Arc<Counter>,
     pub rerank_disabled: Arc<Counter>,
+    pub mmap_bytes: Arc<Counter>,
+    pub tenant_swap: Arc<Counter>,
+    pub tenant_reprepare: Arc<Histogram>,
 }
 
 /// The process-wide pipeline metric handles.
@@ -145,6 +151,9 @@ pub(crate) fn metrics() -> &'static PipelineMetrics {
             total: r.counter("translate.total"),
             empty_result: r.counter("translate.empty_result"),
             rerank_disabled: r.counter("translate.rerank_disabled"),
+            mmap_bytes: r.counter("artifact.mmap_bytes"),
+            tenant_swap: r.counter("tenant.swap"),
+            tenant_reprepare: r.histogram("tenant.reprepare_us"),
         }
     })
 }

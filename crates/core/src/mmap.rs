@@ -1,0 +1,258 @@
+//! Read-only memory mapping for artifact files, dependency-free.
+//!
+//! Zero-copy artifact views ([`crate::artifact::PreparedView`]) borrow
+//! their sections straight out of an [`ArtifactMap`]. On Unix the map is a
+//! real `mmap(PROT_READ, MAP_PRIVATE)` — loading a pool costs O(pages
+//! touched), and untouched sections (a cold tenant's int8 sidecar, the
+//! tail of a large pool) never leave the page cache. The libc calls are
+//! declared directly (`std` already links libc on these targets), so no
+//! new dependency is pulled in.
+//!
+//! Everywhere else — and whenever the syscall fails — the file is read
+//! into a page-aligned heap buffer instead. Both representations expose
+//! the identical `&[u8]` with page alignment, so the artifact layer's
+//! section alignment checks behave the same on either path; only the
+//! loading cost differs.
+
+use std::io;
+use std::path::Path;
+use std::ptr::NonNull;
+
+/// Section alignment of zero-copy artifacts: one 4 KiB page. Page
+/// alignment of the mapping base plus page-aligned section offsets give
+/// every section at least this alignment, comfortably above the 4-byte
+/// requirement of the `f32` reinterpret casts.
+pub const PAGE: usize = 4096;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    /// `mmap`'s error return (`MAP_FAILED`).
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// An immutable byte buffer backing a loaded artifact: a read-only file
+/// mapping when the platform provides one, a page-aligned heap copy
+/// otherwise. The base address is page-aligned in both cases.
+#[derive(Debug)]
+pub struct ArtifactMap {
+    ptr: NonNull<u8>,
+    len: usize,
+    /// `true`: `munmap` on drop; `false`: heap buffer to deallocate.
+    mapped: bool,
+}
+
+// The buffer is immutable for the map's whole lifetime and owned
+// exclusively by it, so sharing references across threads is safe.
+unsafe impl Send for ArtifactMap {}
+unsafe impl Sync for ArtifactMap {}
+
+impl ArtifactMap {
+    /// Map `path` read-only, falling back to a page-aligned read when
+    /// mapping is unavailable. Records the mapped byte count in the
+    /// `artifact.mmap_bytes` counter on the mmap path.
+    pub fn open(path: &Path) -> io::Result<ArtifactMap> {
+        #[cfg(unix)]
+        {
+            match Self::open_mmap(path) {
+                Ok(map) => {
+                    crate::metrics::metrics().mmap_bytes.add(map.len as u64);
+                    return Ok(map);
+                }
+                Err(_) => { /* fall through to the aligned read */ }
+            }
+        }
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(&bytes))
+    }
+
+    /// A map over a copy of `data` in a page-aligned heap buffer — the
+    /// fallback loading path, also handy for building views over
+    /// in-memory artifacts in tests.
+    pub fn from_bytes(data: &[u8]) -> ArtifactMap {
+        if data.is_empty() {
+            return ArtifactMap {
+                ptr: NonNull::dangling(),
+                len: 0,
+                mapped: false,
+            };
+        }
+        let layout = std::alloc::Layout::from_size_align(data.len(), PAGE)
+            .expect("artifact size overflows the aligned layout");
+        // SAFETY: layout has non-zero size; allocation failure aborts via
+        // handle_alloc_error; the copy writes exactly `len` bytes into the
+        // fresh buffer.
+        let ptr = unsafe {
+            let p = std::alloc::alloc(layout);
+            if p.is_null() {
+                std::alloc::handle_alloc_error(layout);
+            }
+            std::ptr::copy_nonoverlapping(data.as_ptr(), p, data.len());
+            NonNull::new_unchecked(p)
+        };
+        ArtifactMap {
+            ptr,
+            len: data.len(),
+            mapped: false,
+        }
+    }
+
+    #[cfg(unix)]
+    fn open_mmap(path: &Path) -> io::Result<ArtifactMap> {
+        use std::os::fd::AsRawFd;
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "artifact too large"))?;
+        if len == 0 {
+            // mmap rejects zero-length mappings; an empty artifact needs
+            // no buffer at all.
+            return Ok(ArtifactMap {
+                ptr: NonNull::dangling(),
+                len: 0,
+                mapped: false,
+            });
+        }
+        // SAFETY: fd is open for the duration of the call; a MAP_PRIVATE +
+        // PROT_READ mapping of a regular file has no aliasing obligations;
+        // failure is reported as MAP_FAILED and checked.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(ArtifactMap {
+            // SAFETY: checked non-null above.
+            ptr: unsafe { NonNull::new_unchecked(ptr.cast()) },
+            len,
+            mapped: true,
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: ptr/len describe one live allocation (or len == 0, where
+        // a dangling pointer is allowed); the buffer is immutable.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Byte length of the map.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` for an empty map.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` when backed by a real file mapping (as opposed to the
+    /// aligned-read fallback buffer).
+    pub fn is_mmapped(&self) -> bool {
+        self.mapped
+    }
+}
+
+impl std::ops::Deref for ArtifactMap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl Drop for ArtifactMap {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        if self.mapped {
+            #[cfg(unix)]
+            // SAFETY: ptr/len are exactly what mmap returned.
+            unsafe {
+                sys::munmap(self.ptr.as_ptr().cast(), self.len);
+            }
+        } else {
+            // SAFETY: allocated in from_bytes with this exact layout.
+            unsafe {
+                std::alloc::dealloc(
+                    self.ptr.as_ptr(),
+                    std::alloc::Layout::from_size_align_unchecked(self.len, PAGE),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_is_page_aligned_and_roundtrips() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let map = ArtifactMap::from_bytes(&data);
+        assert_eq!(map.bytes(), &data[..]);
+        assert_eq!(map.bytes().as_ptr() as usize % PAGE, 0);
+        assert!(!map.is_mmapped());
+    }
+
+    #[test]
+    fn empty_map_is_fine() {
+        let map = ArtifactMap::from_bytes(&[]);
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn open_maps_a_real_file_page_aligned() {
+        let dir = crate::cache::scratch_dir("mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        let map = ArtifactMap::open(&path).expect("open");
+        assert_eq!(map.bytes(), &data[..]);
+        assert_eq!(map.bytes().as_ptr() as usize % PAGE, 0);
+        // On Unix this should be a real mapping; elsewhere the fallback
+        // buffer must still satisfy the same contract (checked above).
+        #[cfg(unix)]
+        assert!(map.is_mmapped());
+        drop(map);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_of_empty_file_yields_empty_map() {
+        let dir = crate::cache::scratch_dir("mmap-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        let map = ArtifactMap::open(&path).expect("open");
+        assert!(map.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

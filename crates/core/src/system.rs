@@ -12,10 +12,11 @@ use gar_ltr::{
 };
 use gar_obs::StageTimer;
 use gar_sql::{exact_match, mask_values, Query};
-use gar_vecindex::{nan_last_desc, FlatIndex};
+use gar_vecindex::{nan_last_desc, FlatIndex, Hit};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Full GAR configuration.
@@ -113,6 +114,146 @@ pub struct PreparedDb {
     pub embeds: Vec<Vec<f32>>,
     /// Flat cosine index over the embeddings.
     pub index: FlatIndex,
+}
+
+/// Read access to a prepared candidate pool, abstracting over the owned
+/// [`PreparedDb`] and the zero-copy
+/// [`PreparedView`](crate::artifact::PreparedView) so the whole
+/// translation path ([`GarSystem::translate`] /
+/// [`GarSystem::translate_batch`]) runs unchanged — and bit-identically —
+/// over either representation.
+pub trait CandidatePool: Sync {
+    /// Database id the pool was prepared for.
+    fn db_name(&self) -> &str;
+    /// Number of pool entries.
+    fn pool_len(&self) -> usize;
+    /// The masked candidate SQL of entry `i`.
+    fn sql(&self, i: usize) -> &Query;
+    /// The dialect text of entry `i`.
+    fn dialect(&self, i: usize) -> &str;
+    /// The raw (unnormalized) embedding of entry `i`.
+    fn embed(&self, i: usize) -> &[f32];
+    /// `true` when searches scan the int8 sidecar.
+    fn is_quantized(&self) -> bool;
+    /// Top-k search over the pool: the two-pass int8 scan plus exact
+    /// rescore on quantized pools (`rescore_factor` is ignored
+    /// otherwise).
+    fn search(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit>;
+    /// Batched [`CandidatePool::search`] with an explicit worker count;
+    /// bit-identical results to the per-query path.
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>>;
+}
+
+impl CandidatePool for PreparedDb {
+    fn db_name(&self) -> &str {
+        &self.db_name
+    }
+    fn pool_len(&self) -> usize {
+        self.entries.len()
+    }
+    fn sql(&self, i: usize) -> &Query {
+        &self.entries[i].sql
+    }
+    fn dialect(&self, i: usize) -> &str {
+        &self.entries[i].dialect
+    }
+    fn embed(&self, i: usize) -> &[f32] {
+        &self.embeds[i]
+    }
+    fn is_quantized(&self) -> bool {
+        self.index.is_quantized()
+    }
+    fn search(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        if self.index.is_quantized() {
+            self.index.search_quantized(query, k, rescore_factor)
+        } else {
+            self.index.search(query, k)
+        }
+    }
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        if self.index.is_quantized() {
+            self.index
+                .search_batch_quantized_threads(queries, k, rescore_factor, threads)
+        } else {
+            self.index.search_batch_threads(queries, k, threads)
+        }
+    }
+}
+
+// `&ws.prepared` in generic position infers `P = Arc<PreparedDb>` (deref
+// coercion does not apply there), so shared handles implement the trait
+// by delegation.
+impl<P: CandidatePool + Send + Sync + ?Sized> CandidatePool for Arc<P> {
+    fn db_name(&self) -> &str {
+        (**self).db_name()
+    }
+    fn pool_len(&self) -> usize {
+        (**self).pool_len()
+    }
+    fn sql(&self, i: usize) -> &Query {
+        (**self).sql(i)
+    }
+    fn dialect(&self, i: usize) -> &str {
+        (**self).dialect(i)
+    }
+    fn embed(&self, i: usize) -> &[f32] {
+        (**self).embed(i)
+    }
+    fn is_quantized(&self) -> bool {
+        (**self).is_quantized()
+    }
+    fn search(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        (**self).search(query, k, rescore_factor)
+    }
+    fn search_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        (**self).search_batch(queries, k, rescore_factor, threads)
+    }
+}
+
+/// The post-ranking gate switches that may differ per workspace in a
+/// multi-tenant deployment: static validation and execution-guided
+/// demotion. [`GarSystem::translate`] applies the system-wide values from
+/// [`GarConfig`]; `gar-serve` resolves a per-workspace gate and calls
+/// [`GarSystem::translate_batch_with_gate`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateConfig {
+    /// Static schema validation of ranked candidates
+    /// ([`GarConfig::validate`]).
+    pub validate: bool,
+    /// Execution-guided demotion depth; 0 disables
+    /// ([`GarConfig::exec_rerank_k`]).
+    pub exec_rerank_k: usize,
+    /// Row budget for the sampled execution database
+    /// ([`GarConfig::exec_row_budget`]).
+    pub exec_row_budget: usize,
+}
+
+impl From<&GarConfig> for GateConfig {
+    fn from(c: &GarConfig) -> GateConfig {
+        GateConfig {
+            validate: c.validate,
+            exec_rerank_k: c.exec_rerank_k,
+            exec_row_budget: c.exec_row_budget,
+        }
+    }
 }
 
 /// One ranked translation candidate.
@@ -523,22 +664,35 @@ impl GarSystem {
         prepared.index.remove_batch(&ids)
     }
 
-    /// Translate an NL question over a prepared database.
-    pub fn translate(&self, db: &GeneratedDb, prepared: &PreparedDb, nl: &str) -> Translation {
+    /// Translate an NL question over a prepared database (owned pool or
+    /// zero-copy view), gated by the system-wide [`GarConfig`] switches.
+    pub fn translate<P: CandidatePool + ?Sized>(
+        &self,
+        db: &GeneratedDb,
+        prepared: &P,
+        nl: &str,
+    ) -> Translation {
+        self.translate_with_gate(db, prepared, nl, &GateConfig::from(&self.config))
+    }
+
+    /// [`GarSystem::translate`] with an explicit per-request gate — the
+    /// single-question entry point for multi-tenant serving, where each
+    /// workspace carries its own validation/execution switches.
+    pub fn translate_with_gate<P: CandidatePool + ?Sized>(
+        &self,
+        db: &GeneratedDb,
+        prepared: &P,
+        nl: &str,
+        gate: &GateConfig,
+    ) -> Translation {
         // Stage 1: encode, then retrieve top-k.
         let t0 = Instant::now();
         let q_emb = self.retrieval.encode(nl);
         let encode_us = t0.elapsed().as_micros() as u64;
         let t1 = Instant::now();
-        let hits = if prepared.index.is_quantized() {
-            prepared
-                .index
-                .search_quantized(&q_emb, self.config.k, self.config.rescore_factor)
-        } else {
-            prepared.index.search(&q_emb, self.config.k)
-        };
+        let hits = prepared.search(&q_emb, self.config.k, self.config.rescore_factor);
         let retrieve_us = t1.elapsed().as_micros() as u64;
-        self.finish_translation(db, prepared, nl, &q_emb, hits, encode_us, retrieve_us)
+        self.finish_translation(db, prepared, nl, &q_emb, hits, encode_us, retrieve_us, gate)
     }
 
     /// Translate a batch of NL questions over one prepared database,
@@ -549,11 +703,24 @@ impl GarSystem {
     /// [`GarSystem::translate`] per question; `timings.encode_us` and
     /// `timings.retrieve_us` report the batch-amortized per-query stage-1
     /// latencies.
-    pub fn translate_batch<S: AsRef<str> + Sync>(
+    pub fn translate_batch<S: AsRef<str> + Sync, P: CandidatePool + ?Sized>(
         &self,
         db: &GeneratedDb,
-        prepared: &PreparedDb,
+        prepared: &P,
         nls: &[S],
+    ) -> Vec<Translation> {
+        self.translate_batch_with_gate(db, prepared, nls, &GateConfig::from(&self.config))
+    }
+
+    /// [`GarSystem::translate_batch`] with an explicit per-request gate —
+    /// the batched entry point for multi-tenant serving, where each
+    /// workspace carries its own validation/execution switches.
+    pub fn translate_batch_with_gate<S: AsRef<str> + Sync, P: CandidatePool + ?Sized>(
+        &self,
+        db: &GeneratedDb,
+        prepared: &P,
+        nls: &[S],
+        gate: &GateConfig,
     ) -> Vec<Translation> {
         if nls.is_empty() {
             return Vec::new();
@@ -565,18 +732,8 @@ impl GarSystem {
         let q_embs = self.retrieval.encode_batch(nls, threads);
         let encode_us = (t0.elapsed().as_micros() / nls.len() as u128) as u64;
         let t1 = Instant::now();
-        let mut all_hits = if prepared.index.is_quantized() {
-            prepared.index.search_batch_quantized_threads(
-                &q_embs,
-                self.config.k,
-                self.config.rescore_factor,
-                threads,
-            )
-        } else {
-            prepared
-                .index
-                .search_batch_threads(&q_embs, self.config.k, threads)
-        };
+        let mut all_hits =
+            prepared.search_batch(&q_embs, self.config.k, self.config.rescore_factor, threads);
         let retrieve_us = (t1.elapsed().as_micros() / nls.len() as u128) as u64;
 
         // Stages 2 + 3, chunk-balanced over scoped workers.
@@ -592,6 +749,7 @@ impl GarSystem {
                     hits,
                     encode_us,
                     retrieve_us,
+                    gate,
                 ));
             }
         } else {
@@ -620,6 +778,7 @@ impl GarSystem {
                                 h,
                                 encode_us,
                                 retrieve_us,
+                                gate,
                             ));
                         }
                     });
@@ -637,15 +796,16 @@ impl GarSystem {
     /// already-measured stage-1 latencies; this method records every stage
     /// into the global registry and returns them as [`StageTimings`].
     #[allow(clippy::too_many_arguments)]
-    fn finish_translation(
+    fn finish_translation<P: CandidatePool + ?Sized>(
         &self,
         db: &GeneratedDb,
-        prepared: &PreparedDb,
+        prepared: &P,
         nl: &str,
         q_emb: &[f32],
         hits: Vec<gar_vecindex::Hit>,
         encode_us: u64,
         retrieve_us: u64,
+        gate: &GateConfig,
     ) -> Translation {
         let m = metrics();
         m.encode.record(encode_us);
@@ -657,7 +817,7 @@ impl GarSystem {
         // Stage 2: value post-processing filter.
         let filter_timer = StageTimer::start(&m.filter);
         let nl_values = extract_nl_values(nl, db);
-        let sqls: Vec<&Query> = retrieved.iter().map(|&i| &prepared.entries[i].sql).collect();
+        let sqls: Vec<&Query> = retrieved.iter().map(|&i| prepared.sql(i)).collect();
         let filtered = filter_candidates(&retrieved, &sqls, &nl_values);
         let filter_us = filter_timer.stop();
         m.filtered.add((retrieved.len() - filtered.len()) as u64);
@@ -674,9 +834,9 @@ impl GarSystem {
                 .map(|&id| {
                     pair_features_into(
                         q_emb,
-                        &prepared.embeds[id],
+                        prepared.embed(id),
                         nl,
-                        &prepared.entries[id].dialect,
+                        prepared.dialect(id),
                         &mut feat,
                     );
                     (id, self.rerank.score_with(&feat, &mut scratch))
@@ -708,7 +868,7 @@ impl GarSystem {
         let mut with_unfilled: Vec<(usize, RankedCandidate)> = scored
             .into_iter()
             .map(|(id, score)| {
-                let sql = instantiate(&prepared.entries[id].sql, db, &nl_values);
+                let sql = instantiate(prepared.sql(id), db, &nl_values);
                 let unfilled = gar_sql::masked_count(&sql);
                 demoted += u64::from(unfilled > 0);
                 (unfilled, RankedCandidate { entry: id, sql, score })
@@ -725,7 +885,7 @@ impl GarSystem {
         // (schema, database, config, candidates), so the single and batched
         // paths stay bit-identical.
         let mut validate_us = 0u64;
-        if self.config.validate && !ranked.is_empty() {
+        if gate.validate && !ranked.is_empty() {
             let validate_timer = StageTimer::start(&m.validate);
             let keep: Vec<bool> = ranked
                 .iter()
@@ -746,17 +906,15 @@ impl GarSystem {
         ranked.truncate(10);
 
         let mut exec_rerank_us = 0u64;
-        if self.config.exec_rerank_k > 0 && !ranked.is_empty() {
+        if gate.exec_rerank_k > 0 && !ranked.is_empty() {
             let exec_timer = StageTimer::start(&m.exec_rerank);
-            let sampled = crate::validate::sample_database(
-                &db.database,
-                self.config.exec_row_budget.max(1),
-            );
+            let sampled =
+                crate::validate::sample_database(&db.database, gate.exec_row_budget.max(1));
             let sqls: Vec<&Query> = ranked.iter().map(|c| &c.sql).collect();
             let tiers = crate::validate::exec_tiers(
                 &sampled,
                 &sqls,
-                self.config.exec_rerank_k,
+                gate.exec_rerank_k,
                 crate::validate::EXEC_STEP_BUDGET,
             );
             let exec_demoted = tiers.iter().filter(|t| **t > 0).count();
@@ -1085,7 +1243,7 @@ mod tests {
         // translate metric — translate.total and the stage histograms
         // must be byte-for-byte unmoved.
         let before = gar_obs::global().snapshot();
-        let out = gar.translate_batch::<String>(db, &prepared, &[]);
+        let out = gar.translate_batch::<String, _>(db, &prepared, &[]);
         assert!(out.is_empty());
         let after = gar_obs::global().snapshot();
         assert_eq!(
@@ -1139,7 +1297,7 @@ mod tests {
             }
         }
 
-        assert!(gar.translate_batch::<String>(db, &prepared, &[]).is_empty());
+        assert!(gar.translate_batch::<String, _>(db, &prepared, &[]).is_empty());
     }
 
     #[test]

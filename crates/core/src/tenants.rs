@@ -1,0 +1,410 @@
+//! Multi-tenant workspace registry with atomic hot-swap (ROADMAP item 5).
+//!
+//! A production deployment serves many databases from one trained
+//! [`GarSystem`]. This module owns that mapping: workspace id → an
+//! immutable [`WorkspaceState`] (schema generation, database, prepared
+//! pool, per-workspace gate), published through an epoch-stamped atomic
+//! slot so an in-flight translation *never* observes a torn mix of two
+//! generations — it resolves one [`TenantSnapshot`] up front and runs
+//! entirely against it, while a concurrent swap only affects requests
+//! that resolve afterwards.
+//!
+//! Publication is ArcSwap-style but dependency-free: the slot is a
+//! `Mutex<Arc<WorkspaceState>>` taken only for the pointer clone/replace
+//! (never while a pool is being prepared or a translation runs), plus a
+//! monotone epoch counter paired with the pointer under the same lock.
+//! Re-preparation after a schema or sample change happens *off* the
+//! serving path — cold or via the content-addressed [`PrepareCache`] —
+//! and the finished state is swapped in atomically; `tenant.swap` counts
+//! publications and `tenant.reprepare_us` records rebuild wall time.
+
+use crate::artifact::PreparedPool;
+use crate::cache::PrepareCache;
+use crate::metrics::metrics;
+use crate::system::{GarSystem, GateConfig, PreparedDb};
+use gar_benchmarks::GeneratedDb;
+use gar_sql::Query;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The immutable, atomically-published state of one workspace:
+/// everything a translation needs, resolved in a single load. States are
+/// replaced whole (never mutated), which is what makes the swap safe for
+/// readers mid-request.
+#[derive(Debug, Clone)]
+pub struct WorkspaceState {
+    /// Schema generation this state was prepared from; bumped by
+    /// [`TenantRegistry::reprepare`].
+    pub schema_version: u64,
+    /// The workspace database (schema for validation, rows for value
+    /// filling and the execution gate).
+    pub db: Arc<GeneratedDb>,
+    /// The prepared candidate pool — owned, or a zero-copy mapped view.
+    pub pool: Arc<PreparedPool>,
+    /// Per-workspace gate switches applied to every request.
+    pub gate: GateConfig,
+}
+
+impl WorkspaceState {
+    /// A version-0 state over an owned pool with the given gate.
+    pub fn new(db: Arc<GeneratedDb>, prepared: PreparedDb, gate: GateConfig) -> WorkspaceState {
+        WorkspaceState {
+            schema_version: 0,
+            db,
+            pool: Arc::new(PreparedPool::Owned(prepared)),
+            gate,
+        }
+    }
+}
+
+/// One atomically-resolved view of a workspace: the published state plus
+/// the epoch it was published at (monotone per workspace, so tests and
+/// logs can tell exactly which generation served a request).
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Publication epoch; bumps on every swap, starting at 1.
+    pub epoch: u64,
+    /// The state current at resolve time.
+    pub state: Arc<WorkspaceState>,
+}
+
+/// The dependency-free ArcSwap: a mutex-guarded `Arc` slot plus an epoch
+/// counter read/written under the same lock, so (epoch, pointer) pairs
+/// are always consistent. The lock is held only for the pointer
+/// clone/replace — O(1), never across a prepare or a translation.
+#[derive(Debug)]
+struct Swap {
+    slot: Mutex<Arc<WorkspaceState>>,
+    epoch: AtomicU64,
+}
+
+impl Swap {
+    fn new(state: Arc<WorkspaceState>) -> Swap {
+        Swap {
+            slot: Mutex::new(state),
+            epoch: AtomicU64::new(1),
+        }
+    }
+
+    fn load(&self) -> TenantSnapshot {
+        let guard = self.slot.lock().expect("tenant slot poisoned");
+        TenantSnapshot {
+            epoch: self.epoch.load(Ordering::Acquire),
+            state: Arc::clone(&guard),
+        }
+    }
+
+    fn store(&self, state: Arc<WorkspaceState>) -> u64 {
+        let mut guard = self.slot.lock().expect("tenant slot poisoned");
+        *guard = state;
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+/// Workspace id → atomically-swappable [`WorkspaceState`], sharing one
+/// trained [`GarSystem`] and (optionally) one content-addressed
+/// [`PrepareCache`] across all tenants.
+///
+/// The registry itself is `Sync`: resolves take a read lock on the
+/// tenant table plus the per-tenant O(1) slot lock; publishes touch only
+/// the one tenant they swap. See `gar-serve`'s `GarEngine` for the
+/// request-path integration and `gar-testkit`'s tenants suite for the
+/// seeded torn-read harness.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    system: Arc<GarSystem>,
+    cache: Option<PrepareCache>,
+    tenants: RwLock<BTreeMap<String, Arc<Swap>>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry over a shared trained system, no cache.
+    pub fn new(system: Arc<GarSystem>) -> TenantRegistry {
+        TenantRegistry {
+            system,
+            cache: None,
+            tenants: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// An empty registry whose re-prepares go through a
+    /// content-addressed [`PrepareCache`] — identical samples + schema +
+    /// model resolve to the same artifact, so re-registering a workspace
+    /// (or hosting the same database twice) reuses the stored pool.
+    pub fn with_cache(system: Arc<GarSystem>, cache: PrepareCache) -> TenantRegistry {
+        TenantRegistry {
+            system,
+            cache: Some(cache),
+            tenants: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared trained system.
+    pub fn system(&self) -> &Arc<GarSystem> {
+        &self.system
+    }
+
+    /// Publish `state` for `id`: atomically replaces the current state
+    /// (or creates the tenant) and returns the new epoch. In-flight
+    /// requests holding the previous snapshot are unaffected; the old
+    /// pool is freed when the last of them drops it.
+    pub fn publish(&self, id: &str, state: WorkspaceState) -> u64 {
+        let state = Arc::new(state);
+        let existing = {
+            let tenants = self.tenants.read().expect("tenant table poisoned");
+            tenants.get(id).cloned()
+        };
+        let epoch = match existing {
+            Some(slot) => slot.store(state),
+            None => {
+                let mut tenants = self.tenants.write().expect("tenant table poisoned");
+                // Racing registrations: whoever got the write lock second
+                // swaps into the slot the first one inserted.
+                match tenants.get(id) {
+                    Some(slot) => slot.store(state),
+                    None => {
+                        tenants.insert(id.to_string(), Arc::new(Swap::new(state)));
+                        1
+                    }
+                }
+            }
+        };
+        metrics().tenant_swap.inc();
+        epoch
+    }
+
+    /// Prepare `db` from `samples` (through the cache when configured)
+    /// and publish it under the database's schema name with `gate`.
+    /// Returns the publication epoch. This is the cold-registration path;
+    /// use [`TenantRegistry::reprepare`] for generation bumps.
+    pub fn register(&self, db: Arc<GeneratedDb>, samples: &[Query], gate: GateConfig) -> u64 {
+        let prepared = self.system.prepare_eval_db_cached(
+            &db,
+            samples,
+            self.system.config.threads,
+            self.cache.as_ref(),
+        );
+        let id = db.schema.name.clone();
+        self.publish(&id, WorkspaceState::new(db, prepared, gate))
+    }
+
+    /// Resolve the current snapshot for `id`. The snapshot pins one
+    /// consistent (db, pool, gate, epoch) for the caller's whole request.
+    pub fn resolve(&self, id: &str) -> Option<TenantSnapshot> {
+        let tenants = self.tenants.read().expect("tenant table poisoned");
+        tenants.get(id).map(|slot| slot.load())
+    }
+
+    /// Swap only the gate switches of `id`, keeping the published db and
+    /// pool. Returns the new epoch, or `None` for an unknown tenant.
+    pub fn set_gate(&self, id: &str, gate: GateConfig) -> Option<u64> {
+        let snap = self.resolve(id)?;
+        let mut state = (*snap.state).clone();
+        state.gate = gate;
+        Some(self.publish(id, state))
+    }
+
+    /// Re-prepare `id` for a new schema/sample generation and atomically
+    /// publish the result: the whole rebuild happens off to the side
+    /// (cold, or served by the cache), readers keep translating against
+    /// the old state, and the swap is the only synchronized step. Records
+    /// the rebuild wall time in `tenant.reprepare_us`. Returns the new
+    /// epoch, or `None` for an unknown tenant.
+    pub fn reprepare(&self, id: &str, db: Arc<GeneratedDb>, samples: &[Query]) -> Option<u64> {
+        let snap = self.resolve(id)?;
+        let t0 = std::time::Instant::now();
+        let prepared = self.system.prepare_eval_db_cached(
+            &db,
+            samples,
+            self.system.config.threads,
+            self.cache.as_ref(),
+        );
+        metrics()
+            .tenant_reprepare
+            .record(t0.elapsed().as_micros() as u64);
+        let state = WorkspaceState {
+            schema_version: snap.state.schema_version + 1,
+            db,
+            pool: Arc::new(PreparedPool::Owned(prepared)),
+            gate: snap.state.gate,
+        };
+        Some(self.publish(id, state))
+    }
+
+    /// [`TenantRegistry::reprepare`] on a background thread — the serving
+    /// path keeps answering from the old generation until the swap lands.
+    /// Join the handle to observe the publication epoch.
+    pub fn reprepare_background(
+        self: &Arc<Self>,
+        id: &str,
+        db: Arc<GeneratedDb>,
+        samples: Vec<Query>,
+    ) -> std::thread::JoinHandle<Option<u64>> {
+        let registry = Arc::clone(self);
+        let id = id.to_string();
+        std::thread::spawn(move || registry.reprepare(&id, db, &samples))
+    }
+
+    /// Registered workspace ids, sorted.
+    pub fn workspace_ids(&self) -> Vec<String> {
+        let tenants = self.tenants.read().expect("tenant table poisoned");
+        tenants.keys().cloned().collect()
+    }
+
+    /// Number of registered workspaces.
+    pub fn len(&self) -> usize {
+        self.tenants.read().expect("tenant table poisoned").len()
+    }
+
+    /// `true` when no workspace is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare::PrepareConfig;
+    use crate::system::GarConfig;
+    use gar_benchmarks::{spider_sim, SpiderSimConfig};
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+
+    fn tiny_trained() -> (Arc<GarSystem>, gar_benchmarks::Benchmark) {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 12,
+            seed: 47,
+        });
+        let config = GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 120,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 80,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 512,
+                    ..FeatureConfig::default()
+                },
+                hidden: 24,
+                embed: 12,
+                epochs: 2,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 12,
+                hidden: 16,
+                epochs: 2,
+                ..RerankConfig::default()
+            },
+            ..GarConfig::default()
+        };
+        let (gar, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+        (Arc::new(gar), bench)
+    }
+
+    #[test]
+    fn register_resolve_and_swap_bump_epochs() {
+        let (gar, bench) = tiny_trained();
+        let registry = TenantRegistry::new(Arc::clone(&gar));
+        let db = Arc::new(bench.db(&bench.dev[0].db).expect("dev db").clone());
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        let gate = GateConfig::from(&gar.config);
+
+        assert!(registry.resolve(&db.schema.name).is_none());
+        let e1 = registry.register(Arc::clone(&db), &gold, gate);
+        assert_eq!(e1, 1);
+        let snap = registry.resolve(&db.schema.name).expect("registered");
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.state.schema_version, 0);
+        assert!(!snap.state.pool.is_empty());
+
+        // A re-prepare bumps both the epoch and the schema generation,
+        // and the old snapshot stays fully usable.
+        let e2 = registry
+            .reprepare(&db.schema.name, Arc::clone(&db), &gold)
+            .expect("known tenant");
+        assert_eq!(e2, 2);
+        let snap2 = registry.resolve(&db.schema.name).expect("still there");
+        assert_eq!(snap2.state.schema_version, 1);
+        let nl = &bench.dev[0].nl;
+        let a = gar.translate(&snap.state.db, &snap.state.pool, nl);
+        let b = gar.translate(&snap2.state.db, &snap2.state.pool, nl);
+        assert_eq!(
+            a.ranked.iter().map(|c| c.entry).collect::<Vec<_>>(),
+            b.ranked.iter().map(|c| c.entry).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn set_gate_republishes_without_repreparing() {
+        let (gar, bench) = tiny_trained();
+        let registry = TenantRegistry::new(Arc::clone(&gar));
+        let db = Arc::new(bench.db(&bench.dev[0].db).expect("dev db").clone());
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        registry.register(Arc::clone(&db), &gold, GateConfig::from(&gar.config));
+        let before = registry.resolve(&db.schema.name).unwrap();
+
+        let gate = GateConfig {
+            validate: true,
+            exec_rerank_k: 0,
+            exec_row_budget: 64,
+        };
+        let epoch = registry.set_gate(&db.schema.name, gate).expect("known");
+        assert_eq!(epoch, 2);
+        let after = registry.resolve(&db.schema.name).unwrap();
+        assert_eq!(after.state.gate, gate);
+        // Same pool object — only the gate swapped.
+        assert!(Arc::ptr_eq(&before.state.pool, &after.state.pool));
+        assert!(registry.set_gate("no-such-tenant", gate).is_none());
+    }
+
+    #[test]
+    fn cached_registry_reuses_prepared_artifacts() {
+        let (gar, bench) = tiny_trained();
+        let dir = crate::cache::scratch_dir("tenants");
+        let cache = PrepareCache::new(&dir).unwrap();
+        let registry = TenantRegistry::with_cache(Arc::clone(&gar), cache);
+        let db = Arc::new(bench.db(&bench.dev[0].db).expect("dev db").clone());
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        registry.register(Arc::clone(&db), &gold, GateConfig::from(&gar.config));
+        let cold = registry.resolve(&db.schema.name).unwrap();
+        // The same generation re-registers through the cache and serves a
+        // pool with identical contents.
+        registry.register(Arc::clone(&db), &gold, GateConfig::from(&gar.config));
+        let warm = registry.resolve(&db.schema.name).unwrap();
+        assert_eq!(warm.epoch, 2);
+        assert_eq!(cold.state.pool.len(), warm.state.pool.len());
+        let nl = &bench.dev[0].nl;
+        let a = gar.translate(&cold.state.db, &cold.state.pool, nl);
+        let b = gar.translate(&warm.state.db, &warm.state.pool, nl);
+        assert_eq!(
+            a.ranked.iter().map(|c| c.entry).collect::<Vec<_>>(),
+            b.ranked.iter().map(|c| c.entry).collect::<Vec<_>>(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_reprepare_swaps_atomically() {
+        let (gar, bench) = tiny_trained();
+        let registry = Arc::new(TenantRegistry::new(Arc::clone(&gar)));
+        let db = Arc::new(bench.db(&bench.dev[0].db).expect("dev db").clone());
+        let gold: Vec<Query> = bench.dev.iter().map(|e| e.sql.clone()).collect();
+        registry.register(Arc::clone(&db), &gold, GateConfig::from(&gar.config));
+        let handle =
+            registry.reprepare_background(&db.schema.name, Arc::clone(&db), gold.clone());
+        // Serving continues while the rebuild runs.
+        let snap = registry.resolve(&db.schema.name).unwrap();
+        let _ = gar.translate(&snap.state.db, &snap.state.pool, &bench.dev[0].nl);
+        let epoch = handle.join().expect("reprepare thread").expect("known");
+        assert!(epoch >= 2);
+        assert_eq!(
+            registry.resolve(&db.schema.name).unwrap().state.schema_version,
+            1
+        );
+    }
+}

@@ -2,17 +2,22 @@
 //! pipeline.
 //!
 //! Workers hand a flushed micro-batch to a [`BatchEngine`]; the production
-//! implementation is [`GarEngine`], which resolves the workspace to a
-//! prepared database and calls
-//! [`GarSystem::translate_batch`](gar_core::GarSystem::translate_batch).
+//! implementation is [`GarEngine`], which resolves the workspace through a
+//! shared [`TenantRegistry`] and calls
+//! [`GarSystem::translate_batch_with_gate`](gar_core::GarSystem::translate_batch_with_gate)
+//! with the workspace's own [`GateConfig`]. Because the registry publishes
+//! whole [`WorkspaceState`](gar_core::WorkspaceState)s atomically, a batch
+//! resolves one snapshot up front and runs entirely against it — a
+//! concurrent [`TenantRegistry::publish`] or re-prepare never tears a
+//! batch between two generations.
+//!
 //! Keeping the boundary a trait is what makes the concurrency layer
 //! testable in isolation: the serve test suite drives the same worker code
 //! with mock engines that echo, block, or panic on cue.
 
 use crate::error::ServeError;
 use gar_benchmarks::GeneratedDb;
-use gar_core::{GarSystem, PreparedDb, Translation};
-use std::collections::BTreeMap;
+use gar_core::{GarSystem, GateConfig, PreparedDb, TenantRegistry, TenantSnapshot, Translation};
 use std::sync::Arc;
 
 /// Executes one single-workspace micro-batch. Implementations must be
@@ -28,56 +33,81 @@ pub trait BatchEngine: Send + Sync + 'static {
     fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<Self::Output>, ServeError>;
 }
 
-/// One hosted workspace: a database and its prepared candidate pool. Both
-/// are behind `Arc`s — prepared state is strictly read-only at serve time
-/// and shared by every worker without copies.
-#[derive(Debug, Clone)]
-pub struct GarWorkspace {
-    /// The database (schema, annotations, rows for value extraction).
-    pub db: Arc<GeneratedDb>,
-    /// The prepared candidate pool + embeddings + index.
-    pub prepared: Arc<PreparedDb>,
-}
-
-/// The production engine: a trained [`GarSystem`] plus a registry of
-/// prepared workspaces, all read-only and shared across workers.
+/// The production engine: a [`TenantRegistry`] sharing one trained
+/// [`GarSystem`] across every hosted workspace. Cloning the engine shares
+/// the registry, so workspaces published through any clone (or through the
+/// registry handle directly — see [`GarEngine::registry`]) are visible to
+/// all workers immediately and atomically.
 #[derive(Debug, Clone)]
 pub struct GarEngine {
-    system: Arc<GarSystem>,
-    workspaces: BTreeMap<String, GarWorkspace>,
+    registry: Arc<TenantRegistry>,
 }
 
 impl GarEngine {
-    /// An engine hosting no workspaces yet.
+    /// An engine hosting no workspaces yet, over a fresh registry.
     pub fn new(system: Arc<GarSystem>) -> GarEngine {
         GarEngine {
-            system,
-            workspaces: BTreeMap::new(),
+            registry: Arc::new(TenantRegistry::new(system)),
         }
+    }
+
+    /// An engine serving from an existing registry — use this when the
+    /// control plane registers/re-prepares workspaces out of band while
+    /// the server translates.
+    pub fn from_registry(registry: Arc<TenantRegistry>) -> GarEngine {
+        GarEngine { registry }
+    }
+
+    /// The shared tenant registry (for out-of-band publishes, gate
+    /// changes, and background re-prepares while the server runs).
+    pub fn registry(&self) -> &Arc<TenantRegistry> {
+        &self.registry
     }
 
     /// The shared trained system.
     pub fn system(&self) -> &Arc<GarSystem> {
-        &self.system
+        self.registry.system()
     }
 
-    /// Host a prepared database under its schema name. Replaces any
-    /// workspace already registered under that name and returns the name.
-    pub fn add_workspace(&mut self, db: Arc<GeneratedDb>, prepared: Arc<PreparedDb>) -> String {
+    /// Host a prepared database under its schema name with the system's
+    /// default gate. Atomically replaces any workspace already published
+    /// under that name and returns the name. In-flight batches holding
+    /// the previous snapshot finish against it unharmed.
+    pub fn add_workspace(&self, db: Arc<GeneratedDb>, prepared: Arc<PreparedDb>) -> String {
+        let gate = GateConfig::from(&self.system().config);
+        self.add_workspace_with_gate(db, prepared, gate)
+    }
+
+    /// [`GarEngine::add_workspace`] with per-workspace gate switches
+    /// (static validation, execution-guided re-ranking depth and row
+    /// budget) instead of the system-wide defaults.
+    pub fn add_workspace_with_gate(
+        &self,
+        db: Arc<GeneratedDb>,
+        prepared: Arc<PreparedDb>,
+        gate: GateConfig,
+    ) -> String {
         let name = db.schema.name.clone();
-        self.workspaces
-            .insert(name.clone(), GarWorkspace { db, prepared });
+        let prepared = Arc::try_unwrap(prepared).unwrap_or_else(|arc| (*arc).clone());
+        self.registry
+            .publish(&name, gar_core::WorkspaceState::new(db, prepared, gate));
         name
     }
 
-    /// A hosted workspace, by name.
-    pub fn workspace(&self, name: &str) -> Option<&GarWorkspace> {
-        self.workspaces.get(name)
+    /// Swap only the gate switches of a hosted workspace (keeping its
+    /// database and pool); `None` for an unknown workspace.
+    pub fn set_gate(&self, name: &str, gate: GateConfig) -> Option<u64> {
+        self.registry.set_gate(name, gate)
+    }
+
+    /// The current snapshot of a hosted workspace, by name.
+    pub fn workspace(&self, name: &str) -> Option<TenantSnapshot> {
+        self.registry.resolve(name)
     }
 
     /// Names of every hosted workspace, in sorted order.
-    pub fn workspace_names(&self) -> Vec<&str> {
-        self.workspaces.keys().map(String::as_str).collect()
+    pub fn workspace_names(&self) -> Vec<String> {
+        self.registry.workspace_ids()
     }
 }
 
@@ -88,15 +118,21 @@ impl BatchEngine for GarEngine {
     /// short-circuits to `vec![]` before the workspace lookup or any
     /// batcher/translation machinery — a degenerate batch can never fail
     /// or spin up workers (mirrors `translate_batch`'s own short-circuit).
+    /// The snapshot is resolved once, so the whole batch runs against one
+    /// consistent (db, pool, gate) generation even if the workspace is
+    /// swapped mid-flight.
     fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<Translation>, ServeError> {
         if nls.is_empty() {
             return Ok(Vec::new());
         }
-        let ws = self
-            .workspaces
-            .get(workspace)
+        let snap = self
+            .registry
+            .resolve(workspace)
             .ok_or_else(|| ServeError::UnknownWorkspace(workspace.to_string()))?;
-        Ok(self.system.translate_batch(&ws.db, &ws.prepared, nls))
+        let ws = &snap.state;
+        Ok(self
+            .system()
+            .translate_batch_with_gate(&ws.db, &ws.pool, nls, &ws.gate))
     }
 }
 
@@ -137,5 +173,15 @@ mod tests {
             .run_batch("nope", &["list all sites".to_string()])
             .unwrap_err();
         assert_eq!(err, ServeError::UnknownWorkspace("nope".to_string()));
+    }
+
+    #[test]
+    fn engine_clones_share_one_registry() {
+        let engine = GarEngine::new(untrained_system());
+        let clone = engine.clone();
+        assert!(Arc::ptr_eq(engine.registry(), clone.registry()));
+        assert!(engine.workspace_names().is_empty());
+        assert!(engine.workspace("anything").is_none());
+        assert!(engine.set_gate("anything", GateConfig::from(&engine.system().config)).is_none());
     }
 }

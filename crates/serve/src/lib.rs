@@ -12,8 +12,12 @@
 //!   Time is an explicit argument, so the same transitions run under the
 //!   server's wall clock and under gar-testkit's seeded virtual clock.
 //! - [`BatchEngine`] — the execution boundary. [`GarEngine`] is the
-//!   production implementation over `Arc<GarSystem>` + prepared
-//!   workspaces; tests substitute mock engines that echo, block, or panic.
+//!   production implementation over a shared
+//!   [`TenantRegistry`](gar_core::TenantRegistry): each batch resolves one
+//!   atomic workspace snapshot (db + pool + per-workspace gate) and runs
+//!   entirely against it, so hot-swapping a workspace mid-traffic never
+//!   tears a batch; tests substitute mock engines that echo, block, or
+//!   panic.
 //! - [`Server`] — worker threads pulling from the shared batcher behind a
 //!   bounded queue: admission control ([`ServeError::Rejected`]),
 //!   deadline-aware idle waiting, contained worker panics, and a graceful
@@ -30,6 +34,6 @@ mod metrics;
 mod server;
 
 pub use batcher::{BatchPolicy, Batcher, FlushTrigger, MicroBatch, Pending};
-pub use engine::{BatchEngine, GarEngine, GarWorkspace};
+pub use engine::{BatchEngine, GarEngine};
 pub use error::ServeError;
 pub use server::{ResponseHandle, ServeConfig, ServeResponse, Server};

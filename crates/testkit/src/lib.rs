@@ -39,6 +39,11 @@
 //!    gold candidate on clean suites, and the row-sampled databases the
 //!    exec stage runs on stay differential-clean between the optimized
 //!    executor and the naive reference (replayable per case).
+//! 9. **Tenant hot-swap atomicity** ([`tenants`]) — N reader threads
+//!    racing a seeded sequence of workspace publications never observe a
+//!    torn (db, pool, gate) triple: every mid-swap translation is
+//!    bit-identical to the precomputed oracle for the exact epoch the
+//!    reader resolved.
 //!
 //! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
 //! `rand` dependency for harness decisions), so **every failure replays
@@ -69,6 +74,7 @@ pub mod pipeline;
 pub mod quant;
 pub mod rng;
 pub mod serve;
+pub mod tenants;
 
 pub use differential::{run_differential, DiffConfig, DiffReport, Divergence};
 pub use gen::{gen_queries, gen_query};

@@ -620,7 +620,7 @@ mod tests {
     fn thread_sweep_server_payloads_identical_for_1_2_4_workers() {
         let (system, hosts) = trained_hosts(2);
         let system = std::sync::Arc::new(system);
-        let mut engine = GarEngine::new(std::sync::Arc::clone(&system));
+        let engine = GarEngine::new(std::sync::Arc::clone(&system));
         let mut requests: Vec<(String, String)> = Vec::new(); // (workspace, nl)
         for (db, prepared, nls) in &hosts {
             let name = engine.add_workspace(

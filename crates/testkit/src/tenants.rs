@@ -1,0 +1,377 @@
+//! Torn-workspace harness for [`TenantRegistry`] hot swaps.
+//!
+//! The registry's contract is that a reader that resolves a
+//! [`TenantSnapshot`](gar_core::TenantSnapshot) mid-traffic always gets one
+//! *whole* published generation — db, pool and gate from the same
+//! [`WorkspaceState`], never a mix of two publications. This module proves
+//! it the testkit way: build a seeded sequence of distinguishable
+//! workspace generations, precompute the bit-exact translation every
+//! generation gives for a fixed probe set, then hammer the registry from N
+//! reader threads while a writer publishes the sequence. Every resolved
+//! snapshot's translation must match the precomputed answer **for the
+//! epoch that snapshot claims** — a torn (db, pool, gate) triple, a
+//! non-atomic epoch/pointer pair, or a reader observing epochs out of
+//! order all surface as violations. Failures replay from one `u64`:
+//! [`replay_swap_case`] re-runs exactly one seeded sweep.
+
+use crate::rng::{derive_seed, TestRng};
+use gar_benchmarks::GeneratedDb;
+use gar_core::{
+    GarSystem, GateConfig, PreparedPool, TenantRegistry, Translation, WorkspaceState,
+};
+use gar_sql::Query;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One seeded swap-consistency sweep: how many readers race how many
+/// publications, and how many translations each reader performs *after*
+/// the last swap lands (reads during the swap window are unbounded — the
+/// readers run for the writer's whole lifetime).
+#[derive(Debug, Clone)]
+pub struct SwapTraceConfig {
+    /// Concurrent reader threads resolving + translating in a loop.
+    pub readers: usize,
+    /// Published generations (the first is the cold registration).
+    pub generations: usize,
+    /// Minimum reads each reader performs after the final publication.
+    pub tail_reads: usize,
+    /// Master seed; generation sampling and probe choices derive from it.
+    pub seed: u64,
+}
+
+impl Default for SwapTraceConfig {
+    fn default() -> Self {
+        SwapTraceConfig {
+            readers: 4,
+            generations: 5,
+            tail_reads: 8,
+            seed: 0xB00,
+        }
+    }
+}
+
+/// What a clean sweep observed.
+#[derive(Debug, Clone)]
+pub struct SwapStats {
+    /// Total snapshot-resolve + translate round trips across all readers.
+    pub reads: usize,
+    /// Distinct publication epochs the readers saw.
+    pub epochs_observed: usize,
+    /// The final epoch (must equal `generations`).
+    pub final_epoch: u64,
+}
+
+fn bit_diff(label: &str, got: &Translation, want: &Translation) -> Option<String> {
+    if got.retrieved != want.retrieved {
+        return Some(format!("{label}: retrieved set differs"));
+    }
+    if got.ranked.len() != want.ranked.len() {
+        return Some(format!(
+            "{label}: {} ranked candidates vs {} expected",
+            got.ranked.len(),
+            want.ranked.len()
+        ));
+    }
+    for (a, b) in got.ranked.iter().zip(&want.ranked) {
+        if a.entry != b.entry {
+            return Some(format!("{label}: entry {} vs {}", a.entry, b.entry));
+        }
+        if a.score.to_bits() != b.score.to_bits() {
+            return Some(format!("{label}: score bits differ on entry {}", a.entry));
+        }
+        if a.sql != b.sql {
+            return Some(format!("{label}: SQL differs on entry {}", a.entry));
+        }
+    }
+    None
+}
+
+/// Run one seeded sweep: publish `cfg.generations` distinguishable
+/// generations of `db`'s workspace while `cfg.readers` threads resolve
+/// snapshots and translate seeded probes. Returns the observed stats, or
+/// every violation (torn snapshot, wrong-epoch translation, non-monotone
+/// epoch) tagged with the reader and read index that hit it.
+pub fn check_swap_consistency(
+    system: &Arc<GarSystem>,
+    db: &Arc<GeneratedDb>,
+    gold: &[Query],
+    probes: &[String],
+    cfg: &SwapTraceConfig,
+) -> Result<SwapStats, Vec<String>> {
+    assert!(cfg.readers > 0 && cfg.generations > 0, "degenerate sweep");
+    assert!(!gold.is_empty() && !probes.is_empty(), "empty workspace");
+
+    // Seeded, distinguishable generations: generation g prepares the pool
+    // from a rotation of the gold samples (entry ids shift, so retrieved
+    // candidate ids differ between generations) and flips the gate's
+    // exec-rerank depth, so gate tearing is observable too.
+    let mut states: Vec<Arc<WorkspaceState>> = Vec::with_capacity(cfg.generations);
+    for g in 0..cfg.generations {
+        let mut samples = gold.to_vec();
+        samples.rotate_left(derive_seed(cfg.seed, g as u64) as usize % gold.len());
+        let prepared = system.prepare_eval_db(db, &samples);
+        let gate = GateConfig {
+            exec_rerank_k: if g % 2 == 0 { 0 } else { 2 },
+            ..GateConfig::from(&system.config)
+        };
+        states.push(Arc::new(WorkspaceState {
+            schema_version: g as u64,
+            db: Arc::clone(db),
+            pool: Arc::new(PreparedPool::Owned(prepared)),
+            gate,
+        }));
+    }
+
+    // The oracle: what every (generation, probe) pair translates to,
+    // computed sequentially before any concurrency enters the picture.
+    let expected: Vec<Vec<Translation>> = states
+        .iter()
+        .map(|s| {
+            probes
+                .iter()
+                .map(|nl| system.translate_with_gate(&s.db, &s.pool, nl, &s.gate))
+                .collect()
+        })
+        .collect();
+
+    let registry = TenantRegistry::new(Arc::clone(system));
+    let id = db.schema.name.clone();
+    let first = registry.publish(&id, (*states[0]).clone());
+    assert_eq!(first, 1, "cold registration must open at epoch 1");
+
+    let done = AtomicBool::new(false);
+    let results: Vec<(usize, usize, Vec<String>)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.readers);
+        for reader in 0..cfg.readers {
+            let registry = &registry;
+            let expected = &expected;
+            let done = &done;
+            let id = id.as_str();
+            let mut rng = TestRng::new(derive_seed(cfg.seed, 0x4EAD + reader as u64));
+            handles.push(scope.spawn(move || {
+                let mut violations = Vec::new();
+                let mut epochs = std::collections::BTreeSet::new();
+                let mut reads = 0usize;
+                let mut tail = 0usize;
+                let mut last_epoch = 0u64;
+                while tail < cfg.tail_reads {
+                    let writer_done = done.load(Ordering::Acquire);
+                    let snap = registry.resolve(id).expect("workspace registered");
+                    let probe = rng.below(probes.len());
+                    let got = system.translate_with_gate(
+                        &snap.state.db,
+                        &snap.state.pool,
+                        &probes[probe],
+                        &snap.state.gate,
+                    );
+                    reads += 1;
+                    if writer_done {
+                        tail += 1;
+                    }
+                    let label = format!(
+                        "reader {reader} read {reads} (epoch {}, probe {probe})",
+                        snap.epoch
+                    );
+                    if snap.epoch < last_epoch {
+                        violations.push(format!(
+                            "{label}: epoch went backwards from {last_epoch}"
+                        ));
+                    }
+                    last_epoch = snap.epoch;
+                    epochs.insert(snap.epoch);
+                    let gen = (snap.epoch - 1) as usize;
+                    if gen >= expected.len() {
+                        violations.push(format!("{label}: epoch beyond publications"));
+                        continue;
+                    }
+                    if snap.state.schema_version != gen as u64 {
+                        violations.push(format!(
+                            "{label}: schema_version {} torn from epoch",
+                            snap.state.schema_version
+                        ));
+                    }
+                    if let Some(v) = bit_diff(&label, &got, &expected[gen][probe]) {
+                        violations.push(v);
+                    }
+                }
+                (reads, epochs.len(), violations)
+            }));
+        }
+
+        // The writer: publish the remaining generations while the readers
+        // hammer. The yields are scheduling hints only — correctness must
+        // hold for every interleaving.
+        for (g, state) in states.iter().enumerate().skip(1) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let epoch = registry.publish(&id, (**state).clone());
+            assert_eq!(epoch, g as u64 + 1, "single-writer epochs are dense");
+        }
+        done.store(true, Ordering::Release);
+
+        handles.into_iter().map(|h| h.join().expect("reader")).collect()
+    });
+
+    let mut violations = Vec::new();
+    let mut reads = 0;
+    let mut epochs_observed = 0;
+    for (r, e, v) in results {
+        reads += r;
+        epochs_observed = epochs_observed.max(e);
+        violations.extend(v);
+    }
+    let final_epoch = registry.resolve(&id).expect("still registered").epoch;
+    if final_epoch != cfg.generations as u64 {
+        violations.push(format!(
+            "final epoch {final_epoch} != {} publications",
+            cfg.generations
+        ));
+    }
+    if violations.is_empty() {
+        Ok(SwapStats {
+            reads,
+            epochs_observed,
+            final_epoch,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+/// Re-run exactly one seeded sweep — paste the failing seed from a
+/// violation report to reproduce it in isolation.
+pub fn replay_swap_case(
+    system: &Arc<GarSystem>,
+    db: &Arc<GeneratedDb>,
+    gold: &[Query],
+    probes: &[String],
+    seed: u64,
+    cfg: &SwapTraceConfig,
+) -> Result<SwapStats, Vec<String>> {
+    check_swap_consistency(
+        system,
+        db,
+        gold,
+        probes,
+        &SwapTraceConfig {
+            seed,
+            ..cfg.clone()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gar_core::GarConfig;
+    use gar_core::PrepareConfig;
+    use gar_benchmarks::{spider_sim, SpiderSimConfig};
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+
+    fn trained_workspace() -> (Arc<GarSystem>, Arc<GeneratedDb>, Vec<Query>, Vec<String>) {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: 1,
+            queries_per_db: 12,
+            seed: 67,
+        });
+        let config = GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 120,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 80,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 512,
+                    ..FeatureConfig::default()
+                },
+                hidden: 24,
+                embed: 12,
+                epochs: 2,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 12,
+                hidden: 16,
+                epochs: 2,
+                ..RerankConfig::default()
+            },
+            ..GarConfig::default()
+        };
+        let (system, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+        let eval = bench.eval_split();
+        let name = eval[0].db.clone();
+        let db = Arc::new(bench.db(&name).expect("eval db").clone());
+        let gold: Vec<Query> = eval
+            .iter()
+            .filter(|e| e.db == name)
+            .map(|e| e.sql.clone())
+            .collect();
+        let probes: Vec<String> = eval
+            .iter()
+            .filter(|e| e.db == name)
+            .take(6)
+            .map(|e| e.nl.clone())
+            .collect();
+        (Arc::new(system), db, gold, probes)
+    }
+
+    /// The headline harness: across several seeded sweeps, readers racing
+    /// a live swap sequence never observe a torn workspace — every
+    /// translation matches the oracle for the epoch it resolved.
+    #[test]
+    fn readers_never_see_a_torn_workspace_across_seeded_swaps() {
+        let (system, db, gold, probes) = trained_workspace();
+        for case in 0..4u64 {
+            let seed = derive_seed(0x7E4A_4775, case);
+            let cfg = SwapTraceConfig {
+                readers: 2 + (case % 3) as usize,
+                generations: 3 + (case % 2) as usize,
+                tail_reads: 4,
+                seed,
+            };
+            let stats = check_swap_consistency(&system, &db, &gold, &probes, &cfg)
+                .unwrap_or_else(|v| {
+                    panic!("swap seed {seed:#x} tore a workspace:\n  {}", v.join("\n  "))
+                });
+            assert_eq!(stats.final_epoch, cfg.generations as u64);
+            assert!(stats.reads >= cfg.readers * cfg.tail_reads);
+        }
+    }
+
+    /// The replay entry point runs the same sweep for the same seed.
+    #[test]
+    fn replay_reruns_one_seed() {
+        let (system, db, gold, probes) = trained_workspace();
+        let cfg = SwapTraceConfig {
+            readers: 2,
+            generations: 3,
+            tail_reads: 2,
+            ..SwapTraceConfig::default()
+        };
+        let stats = replay_swap_case(&system, &db, &gold, &probes, 0xD15C0, &cfg)
+            .expect("clean sweep");
+        assert_eq!(stats.final_epoch, 3);
+    }
+
+    /// The oracle comparison has teeth: translations from one generation
+    /// do not match the expectation of another (so a torn snapshot cannot
+    /// slip through as a coincidental bit-match).
+    #[test]
+    fn generations_are_distinguishable() {
+        let (system, db, gold, probes) = trained_workspace();
+        let mut rotated = gold.clone();
+        rotated.rotate_left(1 + derive_seed(1, 1) as usize % (gold.len() - 1));
+        let a = system.prepare_eval_db(&db, &gold);
+        let b = system.prepare_eval_db(&db, &rotated);
+        let gate = GateConfig::from(&system.config);
+        let pa = Arc::new(PreparedPool::Owned(a));
+        let pb = Arc::new(PreparedPool::Owned(b));
+        let differs = probes.iter().any(|nl| {
+            let x = system.translate_with_gate(&db, &pa, nl, &gate);
+            let y = system.translate_with_gate(&db, &pb, nl, &gate);
+            bit_diff("probe", &x, &y).is_some()
+        });
+        assert!(differs, "rotated pools must yield distinguishable answers");
+    }
+}

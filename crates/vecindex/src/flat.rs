@@ -238,6 +238,148 @@ pub(crate) fn partition(len: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// A borrowed, read-only snapshot of the scan state every search path
+/// runs over: the normalized f32 rows, the optional int8 sidecar,
+/// tombstone flags, and the id mapping. Both [`FlatIndex`] (owned `Vec`s)
+/// and [`FlatView`] (slices borrowed from a memory-mapped artifact) lower
+/// to this struct, so they share one set of scan/rescore kernels and the
+/// two produce bit-identical hits over identical bytes by construction.
+#[derive(Clone, Copy)]
+struct RawStore<'a> {
+    dim: usize,
+    /// Stored rows, live and tombstoned (the scan bound).
+    rows: usize,
+    data: &'a [f32],
+    qdata: &'a [i8],
+    quantized: bool,
+    qparams: QuantParams,
+    /// Tombstone flags; may be empty when `dead_count == 0`.
+    dead: &'a [bool],
+    dead_count: usize,
+    /// `None` means ids are insertion positions (the canonical layout of
+    /// artifact views, where entry ids are pool positions).
+    ids: Option<&'a [usize]>,
+}
+
+/// A read-only flat index over *borrowed*, already-normalized rows — the
+/// zero-copy twin of [`FlatIndex`], built by `gar-core`'s artifact layer
+/// directly over the sections of a memory-mapped pool file. Ids are row
+/// positions (the canonical prepared-pool layout) and there are no
+/// tombstones; every search runs the exact same kernels, tiling, and
+/// selection machinery as the owned index, so over identical bytes the
+/// results are bit-identical to [`FlatIndex`] for any thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatView<'a> {
+    dim: usize,
+    rows: usize,
+    data: &'a [f32],
+    qdata: Option<&'a [i8]>,
+}
+
+impl<'a> FlatView<'a> {
+    /// A view over `rows` normalized `dim`-wide rows stored contiguously
+    /// in `data`. Panics on a size mismatch (construction error).
+    pub fn new(dim: usize, rows: usize, data: &'a [f32]) -> FlatView<'a> {
+        assert_eq!(data.len(), rows * dim, "view data length mismatch");
+        FlatView {
+            dim,
+            rows,
+            data,
+            qdata: None,
+        }
+    }
+
+    /// Attach the int8 sidecar (the exact bytes of
+    /// [`FlatIndex::raw_qdata`]) so [`FlatView::search_quantized`] can
+    /// scan it. Panics on a size mismatch.
+    pub fn with_codes(mut self, qdata: &'a [i8]) -> FlatView<'a> {
+        assert_eq!(qdata.len(), self.rows * self.dim, "view codes length mismatch");
+        self.qdata = Some(qdata);
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `true` when the view carries the int8 sidecar.
+    pub fn is_quantized(&self) -> bool {
+        self.qdata.is_some()
+    }
+
+    /// The normalized row at position `pos`.
+    pub fn vector(&self, pos: usize) -> &'a [f32] {
+        assert!(
+            pos < self.rows,
+            "vector position {pos} out of bounds: view holds {} rows",
+            self.rows
+        );
+        &self.data[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    fn store(&self) -> RawStore<'a> {
+        RawStore {
+            dim: self.dim,
+            rows: self.rows,
+            data: self.data,
+            qdata: self.qdata.unwrap_or(&[]),
+            quantized: self.qdata.is_some(),
+            qparams: QuantParams::unit(),
+            dead: &[],
+            dead_count: 0,
+            ids: None,
+        }
+    }
+
+    /// Top-k cosine search; identical contract (and bits) as
+    /// [`FlatIndex::search`].
+    pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.store().search(query, k)
+    }
+
+    /// Two-pass quantized search; identical contract (and bits) as
+    /// [`FlatIndex::search_quantized`]. Panics without the sidecar.
+    pub fn search_quantized(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        self.store().search_quantized(query, k, rescore_factor)
+    }
+
+    /// Batched search with an explicit worker count; identical contract
+    /// (and bits) as [`FlatIndex::search_batch_threads`].
+    pub fn search_batch_threads<V: AsRef<[f32]>>(
+        &self,
+        queries: &[V],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        self.store().search_batch_threads(queries, k, threads)
+    }
+
+    /// Batched quantized search with an explicit worker count; identical
+    /// contract (and bits) as
+    /// [`FlatIndex::search_batch_quantized_threads`].
+    pub fn search_batch_quantized_threads<V: AsRef<[f32]>>(
+        &self,
+        queries: &[V],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        self.store()
+            .search_batch_quantized_threads(queries, k, rescore_factor, threads)
+    }
+}
+
 /// Exact cosine-similarity index. Vectors are normalized on insertion, so
 /// search is a dot product scan with top-k partial selection — the role
 /// Faiss's `IndexFlatIP` plays in the paper's pipeline.
@@ -625,32 +767,80 @@ impl FlatIndex {
         removed
     }
 
+    /// Borrow the scan state shared with [`FlatView`]: every search path
+    /// below lowers to the same [`RawStore`] machinery.
+    fn store(&self) -> RawStore<'_> {
+        RawStore {
+            dim: self.dim,
+            rows: self.ids.len(),
+            data: &self.data,
+            qdata: &self.qdata,
+            quantized: self.quantized,
+            qparams: self.qparams,
+            dead: &self.dead,
+            dead_count: self.dead_count,
+            ids: Some(&self.ids),
+        }
+    }
+
+    /// The raw normalized row store (`len() * dim()` floats, insertion
+    /// order, tombstoned rows included) — the exact bytes a zero-copy
+    /// artifact must carry for [`FlatView`] scans to be bit-identical.
+    pub fn raw_data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw int8 sidecar (empty unless quantized); the exact bytes
+    /// [`FlatView::with_codes`] expects.
+    pub fn raw_qdata(&self) -> &[i8] {
+        &self.qdata
+    }
+
+    /// `true` when the index is in the canonical prepared-pool layout a
+    /// [`FlatView`] can represent: no tombstones and ids identical to
+    /// insertion positions. Compaction after removals breaks this (ids
+    /// survive, positions shift), so encoders check before emitting a
+    /// zero-copy artifact.
+    pub fn ids_are_positions(&self) -> bool {
+        self.dead_count == 0 && self.ids.iter().copied().eq(0..self.ids.len())
+    }
+
+    /// Rebuild an index from rows that are *already* L2-normalized (the
+    /// exact bytes of [`FlatIndex::raw_data`]) plus the optional int8
+    /// sidecar, assigning ids = positions. This is the owned decode path
+    /// for zero-copy artifacts: no re-normalization and no
+    /// re-quantization, so the rebuilt index is bit-identical to the one
+    /// the encoder serialized. Panics on length mismatches (construction
+    /// errors).
+    pub fn from_normalized_parts(
+        dim: usize,
+        rows: usize,
+        data: Vec<f32>,
+        qdata: Option<Vec<i8>>,
+    ) -> FlatIndex {
+        assert_eq!(data.len(), rows * dim, "row data length mismatch");
+        let quantized = qdata.is_some();
+        let qdata = qdata.unwrap_or_default();
+        if quantized {
+            assert_eq!(qdata.len(), rows * dim, "sidecar length mismatch");
+        }
+        FlatIndex {
+            dim,
+            data,
+            ids: (0..rows).collect(),
+            qdata,
+            quantized,
+            qparams: QuantParams::unit(),
+            dead: vec![false; rows],
+            dead_count: 0,
+        }
+    }
+
     /// Top-k cosine search. The query is normalized internally. Results are
     /// sorted by descending score (ties: insertion order). `k = 0` returns
     /// an empty vec without allocating; `k > len` returns all hits sorted.
     pub fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        if k == 0 || self.live_len() == 0 {
-            return Vec::new();
-        }
-        let mut q = query.to_vec();
-        normalize(&mut q);
-        let n = self.len();
-        let mut row = vec![0.0f32; TILE.min(n)];
-        let mut topk = TopK::new(k);
-        let mut c0 = 0;
-        while c0 < n {
-            let tile = TILE.min(n - c0);
-            score_tile_q1(&self.data, self.dim, c0, &q, &mut row[..tile]);
-            if self.dead_count > 0 {
-                mask_dead_row(&self.dead, c0, &mut row[..tile]);
-            }
-            topk.offer_row(&row[..tile], c0);
-            c0 += tile;
-        }
-        let mut scored = Vec::new();
-        topk.finish_into(&mut scored);
-        self.hits_from(scored)
+        self.store().search(query, k)
     }
 
     /// Two-pass quantized top-k search: scan the int8 sidecar (a quarter
@@ -663,57 +853,7 @@ impl FlatIndex {
     /// identical to exact search — see the `gar-testkit` recall harness).
     /// Panics when the index was not built quantized.
     pub fn search_quantized(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
-        assert!(
-            self.quantized,
-            "search_quantized on an unquantized FlatIndex"
-        );
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        if k == 0 || self.live_len() == 0 {
-            return Vec::new();
-        }
-        let mut q = query.to_vec();
-        normalize(&mut q);
-        let mut qq = Vec::with_capacity(self.dim);
-        self.qparams.quantize_append(&q, &mut qq);
-
-        let m = index_metrics();
-        let r = k.saturating_mul(rescore_factor.max(1));
-        let scan_t = StageTimer::start(&m.scan_us);
-        let n = self.len();
-        let mut row = vec![0.0f32; TILE.min(n)];
-        let mut topk = TopK::new(r);
-        let mut c0 = 0;
-        while c0 < n {
-            let tile = TILE.min(n - c0);
-            score_tile_i8_q1(&self.qdata, self.dim, c0, &qq, &mut row[..tile]);
-            if self.dead_count > 0 {
-                mask_dead_row(&self.dead, c0, &mut row[..tile]);
-            }
-            topk.offer_row(&row[..tile], c0);
-            c0 += tile;
-        }
-        let mut approx = Vec::new();
-        topk.finish_into(&mut approx);
-        scan_t.stop();
-
-        let rescore_t = StageTimer::start(&m.rescore_us);
-        let hits = self.rescore(&q, approx, k);
-        rescore_t.stop();
-        hits
-    }
-
-    /// Exact-rescore the approximate survivors: replace each approximate
-    /// score with the f32 [`dot`] against the stored row (the identical
-    /// kernel the exact search uses), re-rank under the search total
-    /// order, and keep the best `k`.
-    fn rescore(&self, q: &[f32], approx: Vec<(f32, usize)>, k: usize) -> Vec<Hit> {
-        let exact: Vec<(f32, usize)> = approx
-            .into_iter()
-            .map(|(_, pos)| (dot(q, self.vector(pos)), pos))
-            .collect();
-        let mut hits = self.hits_from(exact);
-        hits.truncate(k);
-        hits
+        self.store().search_quantized(query, k, rescore_factor)
     }
 
     /// Batched top-k cosine search: one result list per query, each
@@ -754,6 +894,125 @@ impl FlatIndex {
         k: usize,
         threads: usize,
     ) -> Vec<Vec<Hit>> {
+        self.store().search_batch_threads(queries, k, threads)
+    }
+
+    /// [`FlatIndex::search_batch_quantized`] with an explicit worker
+    /// count. The int8 sidecar is sharded into contiguous ranges across
+    /// scoped threads exactly like the f32 batch path; each worker keeps a
+    /// per-shard top `rescore_factor * k` by approximate score, shards are
+    /// merged under the search total order, and only the merged survivors
+    /// are f32-rescored. Integer accumulation makes the approximate scores
+    /// exactly equal on every path, so results are bit-identical to
+    /// [`FlatIndex::search_quantized`] for any thread count.
+    pub fn search_batch_quantized_threads<V: AsRef<[f32]>>(
+        &self,
+        queries: &[V],
+        k: usize,
+        rescore_factor: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
+        self.store()
+            .search_batch_quantized_threads(queries, k, rescore_factor, threads)
+    }
+}
+
+impl<'a> RawStore<'a> {
+    fn live_len(&self) -> usize {
+        self.rows - self.dead_count
+    }
+
+    fn vector(&self, pos: usize) -> &'a [f32] {
+        &self.data[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    /// Body of [`FlatIndex::search`] / [`FlatView::search`].
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.live_len() == 0 {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let n = self.rows;
+        let mut row = vec![0.0f32; TILE.min(n)];
+        let mut topk = TopK::new(k);
+        let mut c0 = 0;
+        while c0 < n {
+            let tile = TILE.min(n - c0);
+            score_tile_q1(self.data, self.dim, c0, &q, &mut row[..tile]);
+            if self.dead_count > 0 {
+                mask_dead_row(self.dead, c0, &mut row[..tile]);
+            }
+            topk.offer_row(&row[..tile], c0);
+            c0 += tile;
+        }
+        let mut scored = Vec::new();
+        topk.finish_into(&mut scored);
+        self.hits_from(scored)
+    }
+
+    /// Body of [`FlatIndex::search_quantized`] /
+    /// [`FlatView::search_quantized`].
+    fn search_quantized(&self, query: &[f32], k: usize, rescore_factor: usize) -> Vec<Hit> {
+        assert!(self.quantized, "search_quantized on an unquantized index");
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 || self.live_len() == 0 {
+            return Vec::new();
+        }
+        let mut q = query.to_vec();
+        normalize(&mut q);
+        let mut qq = Vec::with_capacity(self.dim);
+        self.qparams.quantize_append(&q, &mut qq);
+
+        let m = index_metrics();
+        let r = k.saturating_mul(rescore_factor.max(1));
+        let scan_t = StageTimer::start(&m.scan_us);
+        let n = self.rows;
+        let mut row = vec![0.0f32; TILE.min(n)];
+        let mut topk = TopK::new(r);
+        let mut c0 = 0;
+        while c0 < n {
+            let tile = TILE.min(n - c0);
+            score_tile_i8_q1(self.qdata, self.dim, c0, &qq, &mut row[..tile]);
+            if self.dead_count > 0 {
+                mask_dead_row(self.dead, c0, &mut row[..tile]);
+            }
+            topk.offer_row(&row[..tile], c0);
+            c0 += tile;
+        }
+        let mut approx = Vec::new();
+        topk.finish_into(&mut approx);
+        scan_t.stop();
+
+        let rescore_t = StageTimer::start(&m.rescore_us);
+        let hits = self.rescore(&q, approx, k);
+        rescore_t.stop();
+        hits
+    }
+
+    /// Exact-rescore the approximate survivors: replace each approximate
+    /// score with the f32 [`dot`] against the stored row (the identical
+    /// kernel the exact search uses), re-rank under the search total
+    /// order, and keep the best `k`.
+    fn rescore(&self, q: &[f32], approx: Vec<(f32, usize)>, k: usize) -> Vec<Hit> {
+        let exact: Vec<(f32, usize)> = approx
+            .into_iter()
+            .map(|(_, pos)| (dot(q, self.vector(pos)), pos))
+            .collect();
+        let mut hits = self.hits_from(exact);
+        hits.truncate(k);
+        hits
+    }
+
+    /// Body of [`FlatIndex::search_batch_threads`] /
+    /// [`FlatView::search_batch_threads`].
+    fn search_batch_threads<V: AsRef<[f32]>>(
+        &self,
+        queries: &[V],
+        k: usize,
+        threads: usize,
+    ) -> Vec<Vec<Hit>> {
         for q in queries {
             assert_eq!(q.as_ref().len(), self.dim, "dimension mismatch");
         }
@@ -772,7 +1031,7 @@ impl FlatIndex {
             normalize(&mut qbuf[start..]);
         }
 
-        let n = self.len();
+        let n = self.rows;
         let want = threads.clamp(1, n.div_ceil(MIN_SHARD).max(1));
         let shards = partition(n, want);
 
@@ -817,15 +1076,9 @@ impl FlatIndex {
             .collect()
     }
 
-    /// [`FlatIndex::search_batch_quantized`] with an explicit worker
-    /// count. The int8 sidecar is sharded into contiguous ranges across
-    /// scoped threads exactly like the f32 batch path; each worker keeps a
-    /// per-shard top `rescore_factor * k` by approximate score, shards are
-    /// merged under the search total order, and only the merged survivors
-    /// are f32-rescored. Integer accumulation makes the approximate scores
-    /// exactly equal on every path, so results are bit-identical to
-    /// [`FlatIndex::search_quantized`] for any thread count.
-    pub fn search_batch_quantized_threads<V: AsRef<[f32]>>(
+    /// Body of [`FlatIndex::search_batch_quantized_threads`] /
+    /// [`FlatView::search_batch_quantized_threads`].
+    fn search_batch_quantized_threads<V: AsRef<[f32]>>(
         &self,
         queries: &[V],
         k: usize,
@@ -834,7 +1087,7 @@ impl FlatIndex {
     ) -> Vec<Vec<Hit>> {
         assert!(
             self.quantized,
-            "search_batch_quantized on an unquantized FlatIndex"
+            "search_batch_quantized on an unquantized index"
         );
         for q in queries {
             assert_eq!(q.as_ref().len(), self.dim, "dimension mismatch");
@@ -859,7 +1112,7 @@ impl FlatIndex {
 
         let m = index_metrics();
         let r = k.saturating_mul(rescore_factor.max(1));
-        let n = self.len();
+        let n = self.rows;
         let nq = queries.len();
         let want = threads.clamp(1, n.div_ceil(MIN_SHARD).max(1));
         let shards = partition(n, want);
@@ -1022,13 +1275,14 @@ impl FlatIndex {
         }
     }
 
-    /// Order scored positions (score desc, position asc) and resolve ids.
+    /// Order scored positions (score desc, position asc) and resolve ids
+    /// (identity when the store has no id mapping — artifact views).
     fn hits_from(&self, mut scored: Vec<(f32, usize)>) -> Vec<Hit> {
         scored.sort_unstable_by(rank);
         scored
             .into_iter()
             .map(|(score, pos)| Hit {
-                id: self.ids[pos],
+                id: self.ids.map_or(pos, |ids| ids[pos]),
                 score,
             })
             .collect()

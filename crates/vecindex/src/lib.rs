@@ -30,7 +30,7 @@ pub mod flat;
 pub mod ivf;
 pub mod quant;
 
-pub use flat::{dot, nan_last_desc, normalize, FlatIndex, Hit};
+pub use flat::{dot, nan_last_desc, normalize, FlatIndex, FlatView, Hit};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use quant::QuantParams;
 

@@ -14,7 +14,11 @@
 # multi-database load, and `bench_exec_rank` rewrites
 # results/BENCH_exec_rank.json with the top-1 execution-accuracy delta and
 # per-query latency cost of the post-rerank candidate gate on
-# spider_sim/qben_sim.
+# spider_sim/qben_sim, and `bench_artifact` rewrites
+# results/BENCH_artifact.json with the v3 artifact cold-start comparison
+# (zero-copy mapped view vs full owned decode of the same file), the
+# mapped-vs-owned translation bit-identity flag, and the atomic workspace
+# swap latency under concurrent translate load.
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
@@ -33,14 +37,16 @@
 # the ≥1.2× multi-worker speedup bar additionally applies on multi-core
 # hosts), and BENCH_exec_rank.json (gated execution accuracy never below
 # ungated on the clean suites — delta >= 0 per suite — with the p50/p95
-# latency of both modes recorded).
+# latency of both modes recorded), and BENCH_artifact.json (mapped view
+# cold-start >= 3x faster than owned decode, translations over the mapped
+# view bit-identical to the owned path, and a served-from-mmap flag).
 #
 # Usage: scripts/bench_smoke.sh [extra cargo bench args...]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve bench_exec_rank; do
+for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve bench_exec_rank bench_artifact; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -265,4 +271,39 @@ else
       || { echo "missing $k in $EXECRANK" >&2; exit 1; }
   done
   echo "[bench_smoke] $EXECRANK OK (grep check; python3 unavailable)"
+fi
+
+ARTIFACT="${GAR_RESULTS_DIR:-results}/BENCH_artifact.json"
+[[ -f "$ARTIFACT" ]] || { echo "missing $ARTIFACT" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$ARTIFACT" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("entries", "dim", "artifact_bytes", "cold_reps",
+          "owned_decode_us", "view_open_us", "coldstart_speedup",
+          "mapped", "bit_identical", "swaps", "swap_p50_us",
+          "swap_max_us", "translations_during_swaps", "cores"):
+    assert k in r, f"missing {k} in BENCH_artifact.json"
+assert r["entries"] > 0 and r["artifact_bytes"] > 0
+assert r["owned_decode_us"] > 0 and r["view_open_us"] > 0
+assert r["mapped"] is True, "v3 artifact was not served from an mmap view"
+assert r["bit_identical"] is True, (
+    "translations over the mapped view diverged from the owned decode")
+assert r["coldstart_speedup"] >= 3, (
+    f"mapped view cold-start only {r['coldstart_speedup']:.2f}x faster "
+    f"than owned decode (need >= 3x)")
+assert r["swaps"] > 0 and r["swap_max_us"] >= r["swap_p50_us"]
+print(f"[bench_smoke] {sys.argv[1]} OK: view open "
+      f"{r['view_open_us']:.0f}us vs decode {r['owned_decode_us']:.0f}us "
+      f"({r['coldstart_speedup']:.1f}x), swap p50 {r['swap_p50_us']:.0f}us "
+      f"over {r['translations_during_swaps']:.0f} concurrent translations")
+PY
+else
+  for k in owned_decode_us view_open_us coldstart_speedup swap_p50_us; do
+    grep -q "\"$k\"" "$ARTIFACT" \
+      || { echo "missing $k in $ARTIFACT" >&2; exit 1; }
+  done
+  grep -q '"bit_identical": true' "$ARTIFACT" \
+    || { echo "bit_identical not true in $ARTIFACT" >&2; exit 1; }
+  echo "[bench_smoke] $ARTIFACT OK (grep check; python3 unavailable)"
 fi

@@ -247,6 +247,15 @@ say "building + smoke-running bench_exec_rank against the criterion shim"
   -o bench_exec_rank
 GAR_RESULTS_DIR="$BUILD/results" ./bench_exec_rank
 
+say "building + smoke-running bench_artifact against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_artifact \
+  "$REPO/crates/bench/benches/bench_artifact.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_artifact
+GAR_RESULTS_DIR="$BUILD/results" ./bench_artifact
+
 # --- 5. batched retrieval throughput -------------------------------------
 say "building + running the batched-retrieval throughput measurement"
 "$RUSTC" "${FLAGS[@]}" --crate-name vecindex_bench \
