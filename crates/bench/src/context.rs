@@ -470,13 +470,15 @@ pub fn train_gar(cfg: &ExpConfig, suite: &Suite, seed_shift: u64) -> GarSystem {
 /// purpose is to exercise every observable pipeline stage — train, prepare,
 /// one batched evaluation, and a handful of single translations — so the
 /// registry snapshot written to `results/METRICS_metrics.json` contains all
-/// five stage histograms, the training loss series, and the candidate
-/// counters.
+/// five stage histograms, the training loss series, the candidate
+/// counters, and the byte-occupancy gauges (`prep.cache_bytes`,
+/// `rescache.bytes`).
 pub fn metrics_workout(cfg: &ExpConfig) {
     let suite = Suite::build(cfg);
     let gar = train_gar(cfg, &suite, 0x0b5);
     let records = evaluate_gar(&gar, &suite.spider, &suite.spider.dev);
     let mut singles = 0usize;
+    let mut parked = None;
     for ex in suite.spider.dev.iter().take(5) {
         let Some(db) = suite.spider.db(&ex.db) else { continue };
         let gold: Vec<Query> = suite
@@ -490,6 +492,35 @@ pub fn metrics_workout(cfg: &ExpConfig) {
         let tr = gar.translate(db, &prepared, &ex.nl);
         singles += 1;
         let _ = tr.timings.total_us();
+        parked = Some(tr);
+    }
+    // Byte-occupancy gauges: run one prepare through a throwaway on-disk
+    // prepare cache (its store path sets `prep.cache_bytes`) and park one
+    // translation in a result cache (`rescache.bytes`), so the snapshot
+    // this target writes carries both gauges.
+    let tmp = std::env::temp_dir().join(format!("gar-metrics-workout-{}", std::process::id()));
+    if let (Ok(cache), Some(ex)) = (PrepareCache::new(&tmp), suite.spider.dev.first()) {
+        if let Some(db) = suite.spider.db(&ex.db) {
+            let gold: Vec<Query> = suite
+                .spider
+                .dev
+                .iter()
+                .filter(|e| e.db == ex.db)
+                .map(|e| e.sql.clone())
+                .collect();
+            let _ = gar.prepare_eval_db_cached(db, &gold, gar.config.threads, Some(&cache));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+    if let Some(tr) = parked {
+        let rescache = gar_core::ResultCache::with_defaults();
+        rescache.insert(
+            0x6a4,
+            "metrics-workout",
+            1,
+            "workout probe",
+            std::sync::Arc::new(tr),
+        );
     }
     println!(
         "metrics workout: {} batched + {singles} single translations, \

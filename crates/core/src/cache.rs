@@ -38,7 +38,8 @@
 //!
 //! Hits and misses are counted in the global registry as `prep.cache_hit`
 //! and `prep.cache_miss`; delta patches additionally count
-//! `prep.cache_delta`.
+//! `prep.cache_delta`, and every store refreshes the `prep.cache_bytes`
+//! occupancy gauge with the directory's post-eviction byte total.
 
 use crate::artifact::{prepared_from_bytes, prepared_to_bytes};
 use crate::prepare::PrepareConfig;
@@ -349,12 +350,10 @@ impl PrepareCache {
     }
 
     fn evict(&self) {
-        if self.capacity == 0 {
-            return;
-        }
         let mut entries = self.entries();
         let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
-        if total <= self.capacity {
+        if self.capacity == 0 || total <= self.capacity {
+            crate::metrics::metrics().prep_cache_bytes.set(total);
             return;
         }
         entries.sort_by_key(|(_, _, mtime)| *mtime);
@@ -369,6 +368,7 @@ impl PrepareCache {
                 let _ = std::fs::remove_file(path.with_extension("meta"));
             }
         }
+        crate::metrics::metrics().prep_cache_bytes.set(total);
     }
 }
 
@@ -485,6 +485,13 @@ mod tests {
         let total: u64 = cache.entries().iter().map(|(_, len, _)| len).sum();
         assert!(total <= 1024, "evict left {total} bytes");
         assert!(!cache.is_empty(), "evict removed everything");
+        // Occupancy is mirrored into the gauge; another test's cache may
+        // overwrite it later, but a nonzero directory never reports zero
+        // at set time — pin that the handle is wired at all.
+        assert!(
+            gar_obs::global().snapshot().gauge("prep.cache_bytes").is_some(),
+            "prep.cache_bytes gauge registered"
+        );
         // The newest entries survive.
         assert!(cache.path(5).exists());
         assert!(!cache.path(0).exists());

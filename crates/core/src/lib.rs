@@ -34,6 +34,7 @@ pub mod mmap;
 pub mod par;
 pub mod postprocess;
 pub mod prepare;
+pub mod rescache;
 pub mod system;
 pub mod tenants;
 pub mod validate;
@@ -51,6 +52,7 @@ pub use postprocess::{extract_nl_values, filter_candidates, instantiate, NlValue
 pub use prepare::{
     eval_samples_from_gold, pool_covers, prepare, DialectEntry, PoolIndex, PrepareConfig,
 };
+pub use rescache::{ResCacheConfig, ResultCache};
 pub use system::{
     CandidatePool, GarConfig, GarSystem, GarTrainReport, GateConfig, PreparedDb, RankedCandidate,
     Translation,

@@ -22,6 +22,7 @@
 //! | `prep.cache_hit` | counter | prepared dbs served from the [`PrepareCache`](crate::PrepareCache) |
 //! | `prep.cache_miss` | counter | cache lookups that fell back to a cold prepare |
 //! | `prep.cache_delta` | counter | prepared dbs served by delta-patching a cached base pool |
+//! | `prep.cache_bytes` | gauge | on-disk bytes held by the [`PrepareCache`](crate::PrepareCache) |
 //! | `index.scan_us` | histogram | int8 candidate scan of a quantized search (gar-vecindex) |
 //! | `index.rescore_us` | histogram | exact f32 rescore pass of a quantized search (gar-vecindex) |
 //! | `index.compactions` | counter | physical index compactions after tombstone build-up (gar-vecindex) |
@@ -42,12 +43,17 @@
 //! | `artifact.mmap_bytes` | counter | bytes served through memory-mapped artifact views |
 //! | `tenant.swap` | counter | atomic workspace publications through the [`TenantRegistry`](crate::TenantRegistry) |
 //! | `tenant.reprepare_us` | histogram | wall time of a tenant re-prepare (schema/sample change) |
+//! | `rescache.hit` | counter | translations served from the [`ResultCache`](crate::ResultCache) |
+//! | `rescache.miss` | counter | result-cache lookups that fell through to the pipeline |
+//! | `rescache.insert` | counter | translations admitted into the result cache |
+//! | `rescache.evict` | counter | result-cache entries evicted for capacity |
+//! | `rescache.bytes` | gauge | accounted bytes resident in the result cache |
 //!
 //! Batched translation records the *amortized per-query* encode and
 //! retrieve latencies — one histogram sample per question, so single and
 //! batched runs report through the identical set of series.
 
-use gar_obs::{Counter, Histogram};
+use gar_obs::{Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
 
 /// Per-stage latencies of one translation, in microseconds.
@@ -119,6 +125,12 @@ pub(crate) struct PipelineMetrics {
     pub mmap_bytes: Arc<Counter>,
     pub tenant_swap: Arc<Counter>,
     pub tenant_reprepare: Arc<Histogram>,
+    pub prep_cache_bytes: Arc<Gauge>,
+    pub rescache_hit: Arc<Counter>,
+    pub rescache_miss: Arc<Counter>,
+    pub rescache_insert: Arc<Counter>,
+    pub rescache_evict: Arc<Counter>,
+    pub rescache_bytes: Arc<Gauge>,
 }
 
 /// The process-wide pipeline metric handles.
@@ -154,6 +166,12 @@ pub(crate) fn metrics() -> &'static PipelineMetrics {
             mmap_bytes: r.counter("artifact.mmap_bytes"),
             tenant_swap: r.counter("tenant.swap"),
             tenant_reprepare: r.histogram("tenant.reprepare_us"),
+            prep_cache_bytes: r.gauge("prep.cache_bytes"),
+            rescache_hit: r.counter("rescache.hit"),
+            rescache_miss: r.counter("rescache.miss"),
+            rescache_insert: r.counter("rescache.insert"),
+            rescache_evict: r.counter("rescache.evict"),
+            rescache_bytes: r.gauge("rescache.bytes"),
         }
     })
 }

@@ -1,0 +1,612 @@
+//! Epoch-aware sharded result cache for the serving hot path.
+//!
+//! GAR translation is fully deterministic for a fixed prepared pool and
+//! gate: the same (workspace generation, NL question, search knobs) always
+//! yields the same bit-exact [`Translation`]. Under the Zipf-skewed
+//! traffic `bench_serve` models, that makes the translation pipeline a
+//! pure function worth memoizing. This module is the memo table: a
+//! lock-striped, sharded LRU keyed by an FNV-1a fingerprint of
+//!
+//! * the workspace id,
+//! * the workspace's **publication epoch** (from the
+//!   [`TenantRegistry`](crate::TenantRegistry)),
+//! * the per-workspace [`GateConfig`] switches,
+//! * the system's quantize / rescore / top-k knobs,
+//! * the whitespace-normalized NL question,
+//!
+//! storing `Arc<Translation>` values under a byte-accounted capacity
+//! budget with per-shard LRU eviction.
+//!
+//! **Epoch keying is the invalidation story.** A hot-swap publishes a new
+//! `WorkspaceState` and bumps the epoch; every later resolve computes keys
+//! with the new epoch, so entries cached under the old generation become
+//! unreachable — stale results cannot be served, with no locking between
+//! the cache and the swap. [`ResultCache::purge_workspace`] exists purely
+//! to reclaim those dead bytes eagerly (the registry calls it on publish);
+//! correctness never depends on it.
+//!
+//! NL normalization (trim + collapse internal whitespace runs, see
+//! [`normalize_nl`]) is exactly as aggressive as the pipeline allows:
+//! both NL consumers — value extraction and the feature tokenizer — split
+//! on whitespace, so two questions differing only in spacing translate
+//! bit-identically. Case is *not* folded: numeric literal extraction
+//! reads the raw text.
+//!
+//! Like `gar-par` and `gar-obs`, the module is dependency-free: shards
+//! are plain `Mutex<HashMap>` stripes with a `BTreeMap` recency index
+//! (O(log n) touch, no unsafe, no intrusive lists). Metrics:
+//! `rescache.hit` / `rescache.miss` / `rescache.insert` /
+//! `rescache.evict` counters and the `rescache.bytes` occupancy gauge.
+
+use crate::metrics::metrics;
+use crate::system::{GateConfig, Translation};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sizing knobs for a [`ResultCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct ResCacheConfig {
+    /// Lock stripes; rounded up to a power of two, minimum 1. More shards
+    /// mean less contention and proportionally smaller per-shard budgets.
+    pub shards: usize,
+    /// Total byte budget across all shards (approximate, accounted per
+    /// entry). `0` means unbounded.
+    pub capacity_bytes: u64,
+}
+
+impl Default for ResCacheConfig {
+    fn default() -> Self {
+        ResCacheConfig {
+            shards: 8,
+            capacity_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One cached translation plus everything needed to verify the hit and
+/// account its footprint.
+#[derive(Debug)]
+struct Entry {
+    workspace: Box<str>,
+    epoch: u64,
+    nl: Box<str>,
+    value: Arc<Translation>,
+    cost: u64,
+    tick: u64,
+}
+
+/// One lock stripe: fingerprint → entry, plus a recency index mapping a
+/// monotone touch tick back to the fingerprint it touched. Eviction pops
+/// the smallest tick (least recently used); a touch re-keys the entry
+/// under a fresh tick.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+    recency: BTreeMap<u64, u64>,
+    tick: u64,
+    bytes: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: u64) {
+        let entry = self.map.get_mut(&key).expect("touched key present");
+        self.recency.remove(&entry.tick);
+        self.tick += 1;
+        entry.tick = self.tick;
+        self.recency.insert(self.tick, key);
+    }
+
+    fn remove(&mut self, key: u64) -> Option<Entry> {
+        let entry = self.map.remove(&key)?;
+        self.recency.remove(&entry.tick);
+        self.bytes -= entry.cost;
+        Some(entry)
+    }
+}
+
+/// The sharded, epoch-keyed translation memo table. See the module docs
+/// for the keying and invalidation contract.
+///
+/// All methods take `&self`; the cache is `Sync` and meant to be shared
+/// behind an `Arc` between the [`TenantRegistry`](crate::TenantRegistry)
+/// (which purges on publish) and the serving layer (which probes before
+/// admission).
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Box<[Mutex<Shard>]>,
+    mask: u64,
+    per_shard_budget: u64,
+    total_bytes: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache sized by `config` (shards rounded up to a power of two).
+    pub fn new(config: ResCacheConfig) -> ResultCache {
+        let shards = config.shards.max(1).next_power_of_two();
+        let per_shard_budget = if config.capacity_bytes == 0 {
+            0
+        } else {
+            // Ceil-divide so the summed budget is never under the ask.
+            config.capacity_bytes.div_ceil(shards as u64).max(1)
+        };
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: shards as u64 - 1,
+            per_shard_budget,
+            total_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with the default sizing (8 shards, 64 MiB).
+    pub fn with_defaults() -> ResultCache {
+        ResultCache::new(ResCacheConfig::default())
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key & self.mask) as usize]
+    }
+
+    /// Adjust the global byte total by `delta` and mirror it into the
+    /// `rescache.bytes` gauge.
+    fn account(&self, delta: i64) {
+        let new = if delta >= 0 {
+            self.total_bytes.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.total_bytes.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        metrics().rescache_bytes.set(new);
+    }
+
+    /// Look up `key`, verifying the full (workspace, epoch, normalized NL)
+    /// identity so a fingerprint collision degrades to a miss instead of a
+    /// wrong answer. A hit refreshes the entry's recency and bumps
+    /// `rescache.hit`; anything else bumps `rescache.miss`.
+    pub fn get(
+        &self,
+        key: u64,
+        workspace: &str,
+        epoch: u64,
+        normalized_nl: &str,
+    ) -> Option<Arc<Translation>> {
+        let mut shard = self.shard(key).lock().expect("rescache shard poisoned");
+        let hit = match shard.map.get(&key) {
+            Some(e) => {
+                e.epoch == epoch && &*e.workspace == workspace && &*e.nl == normalized_nl
+            }
+            None => false,
+        };
+        if !hit {
+            metrics().rescache_miss.inc();
+            return None;
+        }
+        shard.touch(key);
+        metrics().rescache_hit.inc();
+        Some(Arc::clone(&shard.map[&key].value))
+    }
+
+    /// Insert `value` under `key`. Replaces any previous entry for the
+    /// key, then evicts least-recently-used entries until the shard is
+    /// back under its budget. A value whose accounted cost exceeds the
+    /// whole per-shard budget is not admitted (it would evict the entire
+    /// stripe and still not fit) — but it still supersedes the key: any
+    /// resident entry for the key is dropped, so the cache never keeps
+    /// serving a value older than the latest one offered. Bumps
+    /// `rescache.insert` per admission and `rescache.evict` per capacity
+    /// eviction.
+    pub fn insert(
+        &self,
+        key: u64,
+        workspace: &str,
+        epoch: u64,
+        normalized_nl: &str,
+        value: Arc<Translation>,
+    ) {
+        let cost = entry_cost(workspace, normalized_nl, &value);
+        if self.per_shard_budget != 0 && cost > self.per_shard_budget {
+            let mut delta = 0i64;
+            {
+                let mut shard = self.shard(key).lock().expect("rescache shard poisoned");
+                if let Some(old) = shard.remove(key) {
+                    delta -= old.cost as i64;
+                }
+            }
+            self.account(delta);
+            return;
+        }
+        let mut delta = 0i64;
+        let mut evicted = 0u64;
+        {
+            let mut shard = self.shard(key).lock().expect("rescache shard poisoned");
+            if let Some(old) = shard.remove(key) {
+                delta -= old.cost as i64;
+            }
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.recency.insert(tick, key);
+            shard.map.insert(
+                key,
+                Entry {
+                    workspace: workspace.into(),
+                    epoch,
+                    nl: normalized_nl.into(),
+                    value,
+                    cost,
+                    tick,
+                },
+            );
+            shard.bytes += cost;
+            delta += cost as i64;
+            while self.per_shard_budget != 0 && shard.bytes > self.per_shard_budget {
+                let (_, lru) = shard.recency.pop_first().expect("non-empty over budget");
+                let old = shard.map.remove(&lru).expect("recency maps to entry");
+                shard.bytes -= old.cost;
+                delta -= old.cost as i64;
+                evicted += 1;
+            }
+        }
+        self.account(delta);
+        metrics().rescache_insert.inc();
+        metrics().rescache_evict.add(evicted);
+    }
+
+    /// Drop every entry cached for `workspace`, across all epochs, and
+    /// return how many were removed. Called by the registry on publish to
+    /// reclaim the (already unreachable) previous generation's bytes.
+    pub fn purge_workspace(&self, workspace: &str) -> usize {
+        let mut removed = 0usize;
+        let mut delta = 0i64;
+        for stripe in self.shards.iter() {
+            let mut shard = stripe.lock().expect("rescache shard poisoned");
+            let dead: Vec<u64> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| &*e.workspace == workspace)
+                .map(|(k, _)| *k)
+                .collect();
+            for key in dead {
+                let old = shard.remove(key).expect("listed key present");
+                delta -= old.cost as i64;
+                removed += 1;
+            }
+        }
+        if delta != 0 {
+            self.account(delta);
+        }
+        removed
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        let mut delta = 0i64;
+        for stripe in self.shards.iter() {
+            let mut shard = stripe.lock().expect("rescache shard poisoned");
+            delta -= shard.bytes as i64;
+            *shard = Shard::default();
+        }
+        if delta != 0 {
+            self.account(delta);
+        }
+    }
+
+    /// Resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("rescache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Accounted bytes currently resident (the value mirrored into the
+    /// `rescache.bytes` gauge).
+    pub fn bytes(&self) -> u64 {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of lock stripes (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard byte budget (`0` = unbounded).
+    pub fn per_shard_budget(&self) -> u64 {
+        self.per_shard_budget
+    }
+}
+
+/// Approximate resident footprint of one entry: the bookkeeping struct,
+/// both interned strings, and the translation's candidate list (each
+/// candidate charged its struct size plus its rendered SQL length, the
+/// dominant heap term).
+fn entry_cost(workspace: &str, nl: &str, value: &Translation) -> u64 {
+    let mut cost = (std::mem::size_of::<Entry>()
+        + std::mem::size_of::<Translation>()
+        + workspace.len()
+        + nl.len()
+        + value.retrieved.len() * std::mem::size_of::<usize>()) as u64;
+    for c in &value.ranked {
+        cost += std::mem::size_of_val(c) as u64 + gar_sql::to_sql(&c.sql).len() as u64;
+    }
+    cost
+}
+
+/// Trim and collapse internal whitespace runs to single spaces — the
+/// strongest normalization the pipeline permits (both value extraction
+/// and feature tokenization split on whitespace, so spacing never affects
+/// the translation). Case is preserved.
+pub fn normalize_nl(nl: &str) -> String {
+    let mut out = String::with_capacity(nl.len());
+    for token in nl.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(token);
+    }
+    out
+}
+
+/// FNV-1a (the [`PrepareCache`](crate::PrepareCache) idiom) over every
+/// input that can change a translation's bits: workspace identity and
+/// publication epoch, the gate switches, the system's quantize / rescore /
+/// top-k knobs, and the normalized question. Two requests share a key
+/// only when the pipeline is guaranteed to produce identical output.
+pub fn fingerprint(
+    workspace: &str,
+    epoch: u64,
+    gate: &GateConfig,
+    quantize: bool,
+    rescore_factor: usize,
+    k: usize,
+    normalized_nl: &str,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.str("gar-rescache-v1");
+    h.str(workspace);
+    h.u64(epoch);
+    h.u64(gate.validate as u64);
+    h.u64(gate.exec_rerank_k as u64);
+    h.u64(gate.exec_row_budget as u64);
+    h.u64(quantize as u64);
+    h.u64(rescore_factor as u64);
+    h.u64(k as u64);
+    h.str(normalized_nl);
+    h.0
+}
+
+/// FNV-1a with length-prefixed strings so field boundaries cannot alias.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::StageTimings;
+
+    fn gate() -> GateConfig {
+        GateConfig {
+            validate: false,
+            exec_rerank_k: 0,
+            exec_row_budget: 0,
+        }
+    }
+
+    /// A synthetic translation whose accounted cost grows with `weight`.
+    fn synthetic(weight: usize) -> Arc<Translation> {
+        Arc::new(Translation {
+            ranked: Vec::new(),
+            retrieved: (0..weight).collect(),
+            timings: StageTimings::default(),
+        })
+    }
+
+    fn key_for(ws: &str, epoch: u64, nl: &str) -> u64 {
+        fingerprint(ws, epoch, &gate(), false, 4, 30, nl)
+    }
+
+    #[test]
+    fn roundtrip_hit_and_identity_verified_miss() {
+        let cache = ResultCache::new(ResCacheConfig {
+            shards: 2,
+            capacity_bytes: 0,
+        });
+        let key = key_for("ws", 1, "list all singers");
+        cache.insert(key, "ws", 1, "list all singers", synthetic(3));
+        let hit = cache.get(key, "ws", 1, "list all singers").expect("hit");
+        assert_eq!(hit.retrieved, vec![0, 1, 2]);
+        // Same key queried under a different identity (as a collision
+        // would) degrades to a miss, never a wrong answer.
+        assert!(cache.get(key, "ws", 2, "list all singers").is_none());
+        assert!(cache.get(key, "other", 1, "list all singers").is_none());
+        assert!(cache.get(key, "ws", 1, "list all stadiums").is_none());
+    }
+
+    #[test]
+    fn epochs_key_separate_entries() {
+        let cache = ResultCache::new(ResCacheConfig {
+            shards: 1,
+            capacity_bytes: 0,
+        });
+        let k1 = key_for("ws", 1, "q");
+        let k2 = key_for("ws", 2, "q");
+        assert_ne!(k1, k2, "epoch must be part of the key");
+        cache.insert(k1, "ws", 1, "q", synthetic(1));
+        cache.insert(k2, "ws", 2, "q", synthetic(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(k1, "ws", 1, "q").unwrap().retrieved.len(), 1);
+        assert_eq!(cache.get(k2, "ws", 2, "q").unwrap().retrieved.len(), 2);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_knob() {
+        let base = fingerprint("ws", 1, &gate(), false, 4, 30, "q");
+        let mut g = gate();
+        g.validate = true;
+        assert_ne!(base, fingerprint("ws", 1, &g, false, 4, 30, "q"));
+        let mut g = gate();
+        g.exec_rerank_k = 2;
+        assert_ne!(base, fingerprint("ws", 1, &g, false, 4, 30, "q"));
+        let mut g = gate();
+        g.exec_row_budget = 64;
+        assert_ne!(base, fingerprint("ws", 1, &g, false, 4, 30, "q"));
+        assert_ne!(base, fingerprint("ws", 2, &gate(), false, 4, 30, "q"));
+        assert_ne!(base, fingerprint("ws", 1, &gate(), true, 4, 30, "q"));
+        assert_ne!(base, fingerprint("ws", 1, &gate(), false, 8, 30, "q"));
+        assert_ne!(base, fingerprint("ws", 1, &gate(), false, 4, 10, "q"));
+        assert_ne!(base, fingerprint("ws2", 1, &gate(), false, 4, 30, "q"));
+        assert_ne!(base, fingerprint("ws", 1, &gate(), false, 4, 30, "q2"));
+        // Length-prefixing keeps adjacent string fields from aliasing.
+        assert_ne!(
+            fingerprint("ab", 1, &gate(), false, 4, 30, "c"),
+            fingerprint("a", 1, &gate(), false, 4, 30, "bc"),
+        );
+    }
+
+    #[test]
+    fn normalization_trims_and_collapses_only() {
+        assert_eq!(normalize_nl("  list  all\tsingers \n"), "list all singers");
+        assert_eq!(normalize_nl("already normal"), "already normal");
+        assert_eq!(normalize_nl(""), "");
+        // Case survives: numeric/value extraction reads raw text.
+        assert_eq!(normalize_nl("Show Rows Above 275.29"), "Show Rows Above 275.29");
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency_and_budget() {
+        let probe = entry_cost("ws", "q0", &synthetic(4));
+        // Room for two probe-sized entries per shard, not three.
+        let cache = ResultCache::new(ResCacheConfig {
+            shards: 1,
+            capacity_bytes: probe * 2 + probe / 2,
+        });
+        let (ka, kb, kc) = (key_for("ws", 1, "qa"), key_for("ws", 1, "qb"), key_for("ws", 1, "qc"));
+        cache.insert(ka, "ws", 1, "qa", synthetic(4));
+        cache.insert(kb, "ws", 1, "qb", synthetic(4));
+        assert_eq!(cache.len(), 2);
+        // Touch `qa` so `qb` is the LRU victim when `qc` arrives.
+        assert!(cache.get(ka, "ws", 1, "qa").is_some());
+        cache.insert(kc, "ws", 1, "qc", synthetic(4));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(ka, "ws", 1, "qa").is_some(), "recently used survives");
+        assert!(cache.get(kb, "ws", 1, "qb").is_none(), "LRU evicted");
+        assert!(cache.get(kc, "ws", 1, "qc").is_some());
+        assert!(cache.bytes() <= probe * 2 + probe / 2);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_replacements_and_purges() {
+        let cache = ResultCache::new(ResCacheConfig {
+            shards: 4,
+            capacity_bytes: 0,
+        });
+        assert_eq!(cache.bytes(), 0);
+        let ka = key_for("a", 1, "q1");
+        let kb = key_for("b", 1, "q2");
+        cache.insert(ka, "a", 1, "q1", synthetic(2));
+        cache.insert(kb, "b", 1, "q2", synthetic(8));
+        let expect = entry_cost("a", "q1", &synthetic(2)) + entry_cost("b", "q2", &synthetic(8));
+        assert_eq!(cache.bytes(), expect);
+        // Replacement swaps the accounted cost, not adds to it.
+        cache.insert(ka, "a", 1, "q1", synthetic(16));
+        let expect = entry_cost("a", "q1", &synthetic(16)) + entry_cost("b", "q2", &synthetic(8));
+        assert_eq!(cache.bytes(), expect);
+        assert_eq!(cache.purge_workspace("a"), 1);
+        assert_eq!(cache.bytes(), entry_cost("b", "q2", &synthetic(8)));
+        assert_eq!(cache.purge_workspace("missing"), 0);
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn oversized_values_are_not_admitted() {
+        let cache = ResultCache::new(ResCacheConfig {
+            shards: 1,
+            capacity_bytes: 64,
+        });
+        let key = key_for("ws", 1, "q");
+        cache.insert(key, "ws", 1, "q", synthetic(1024));
+        assert!(cache.is_empty(), "an entry bigger than a whole shard is refused");
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_insert_still_supersedes_the_resident_entry() {
+        let probe = entry_cost("ws", "q", &synthetic(4));
+        let cache = ResultCache::new(ResCacheConfig {
+            shards: 1,
+            capacity_bytes: probe,
+        });
+        let key = key_for("ws", 1, "q");
+        cache.insert(key, "ws", 1, "q", synthetic(4));
+        assert!(cache.get(key, "ws", 1, "q").is_some());
+        // The newer value doesn't fit, but the key must not keep serving
+        // the value it just superseded.
+        cache.insert(key, "ws", 1, "q", synthetic(4096));
+        assert!(cache.get(key, "ws", 1, "q").is_none(), "stale value survived");
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        assert_eq!(ResultCache::new(ResCacheConfig { shards: 0, capacity_bytes: 0 }).shard_count(), 1);
+        assert_eq!(ResultCache::new(ResCacheConfig { shards: 3, capacity_bytes: 0 }).shard_count(), 4);
+        assert_eq!(ResultCache::with_defaults().shard_count(), 8);
+    }
+
+    #[test]
+    fn concurrent_stripes_stay_consistent() {
+        let cache = Arc::new(ResultCache::new(ResCacheConfig {
+            shards: 4,
+            capacity_bytes: 1 << 16,
+        }));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200usize {
+                        let nl = format!("q{}", (t * 31 + i) % 24);
+                        let key = key_for("ws", 1, &nl);
+                        if cache.get(key, "ws", 1, &nl).is_none() {
+                            cache.insert(key, "ws", 1, &nl, synthetic(i % 7));
+                        }
+                    }
+                });
+            }
+        });
+        // After the race: the accounted total stays within budget and a
+        // full purge returns the cache to exactly zero.
+        assert!(cache.bytes() <= 1 << 16);
+        assert!(cache.len() <= 24, "only 24 distinct questions were cached");
+        let resident = cache.len();
+        assert_eq!(cache.purge_workspace("ws"), resident);
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.is_empty());
+    }
+}

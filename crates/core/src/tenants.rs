@@ -21,6 +21,7 @@
 use crate::artifact::PreparedPool;
 use crate::cache::PrepareCache;
 use crate::metrics::metrics;
+use crate::rescache::ResultCache;
 use crate::system::{GarSystem, GateConfig, PreparedDb};
 use gar_benchmarks::GeneratedDb;
 use gar_sql::Query;
@@ -115,6 +116,7 @@ impl Swap {
 pub struct TenantRegistry {
     system: Arc<GarSystem>,
     cache: Option<PrepareCache>,
+    rescache: RwLock<Option<Arc<ResultCache>>>,
     tenants: RwLock<BTreeMap<String, Arc<Swap>>>,
 }
 
@@ -124,6 +126,7 @@ impl TenantRegistry {
         TenantRegistry {
             system,
             cache: None,
+            rescache: RwLock::new(None),
             tenants: RwLock::new(BTreeMap::new()),
         }
     }
@@ -136,6 +139,7 @@ impl TenantRegistry {
         TenantRegistry {
             system,
             cache: Some(cache),
+            rescache: RwLock::new(None),
             tenants: RwLock::new(BTreeMap::new()),
         }
     }
@@ -143,6 +147,20 @@ impl TenantRegistry {
     /// The shared trained system.
     pub fn system(&self) -> &Arc<GarSystem> {
         &self.system
+    }
+
+    /// Attach a shared [`ResultCache`]: the serving layer probes it
+    /// before admission, and every [`TenantRegistry::publish`] purges the
+    /// swapped workspace's entries. Epoch keying already makes stale
+    /// entries unreachable after a swap — the purge only reclaims their
+    /// bytes eagerly.
+    pub fn attach_result_cache(&self, cache: Arc<ResultCache>) {
+        *self.rescache.write().expect("rescache slot poisoned") = Some(cache);
+    }
+
+    /// The attached result cache, when one was configured.
+    pub fn result_cache(&self) -> Option<Arc<ResultCache>> {
+        self.rescache.read().expect("rescache slot poisoned").clone()
     }
 
     /// Publish `state` for `id`: atomically replaces the current state
@@ -171,6 +189,11 @@ impl TenantRegistry {
             }
         };
         metrics().tenant_swap.inc();
+        // The new epoch already hides the old generation's cached results;
+        // purging just hands their memory back without waiting for LRU.
+        if let Some(rescache) = self.result_cache() {
+            rescache.purge_workspace(id);
+        }
         epoch
     }
 

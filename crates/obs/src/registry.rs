@@ -155,6 +155,11 @@ impl Snapshot {
         self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
     }
 
+    /// Look up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
     /// Look up a histogram summary by name.
     pub fn histogram(&self, name: &str) -> Option<&HistStats> {
         self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
@@ -293,6 +298,9 @@ mod tests {
         assert_eq!(names, vec!["a", "b"]);
         assert_eq!(snap.gauges, vec![("g".to_string(), 5)]);
         assert_eq!(snap.series, vec![("s".to_string(), vec![0.25])]);
+        assert_eq!(snap.counter("a"), Some(2));
+        assert_eq!(snap.gauge("g"), Some(5));
+        assert_eq!(snap.gauge("missing"), None);
     }
 
     #[test]

@@ -17,20 +17,49 @@
 
 use crate::error::ServeError;
 use gar_benchmarks::GeneratedDb;
-use gar_core::{GarSystem, GateConfig, PreparedDb, TenantRegistry, TenantSnapshot, Translation};
+use gar_core::rescache::{fingerprint, normalize_nl};
+use gar_core::{
+    GarSystem, GateConfig, PreparedDb, ResultCache, TenantRegistry, TenantSnapshot, Translation,
+};
 use std::sync::Arc;
+
+/// What an engine knows about a request *before* it is admitted: either a
+/// finished output (served synchronously, skipping the queue entirely) or
+/// a miss, optionally carrying a **single-flight key** — requests with the
+/// same key are guaranteed identical, so the server admits only the first
+/// and fans its result out to the rest.
+#[derive(Debug)]
+pub enum CacheProbe<T> {
+    /// A cached output for this exact request; the server answers without
+    /// occupying queue depth or batch slots.
+    Hit(T),
+    /// No cached output.
+    Miss {
+        /// Coalescing key for identical concurrent misses, or `None` to
+        /// disable single-flight for this request.
+        flight: Option<u64>,
+    },
+}
 
 /// Executes one single-workspace micro-batch. Implementations must be
 /// shareable across worker threads (`Send + Sync`) and, on success, return
 /// **exactly one output per input, in input order** — the server pairs
 /// outputs with response channels positionally and fails the whole batch
-/// if the lengths disagree.
+/// if the lengths disagree. Outputs are `Clone` so a single-flight leader's
+/// result can fan out to its coalesced waiters.
 pub trait BatchEngine: Send + Sync + 'static {
     /// Per-request output (the GAR engine produces a [`Translation`]).
-    type Output: Send + 'static;
+    type Output: Send + Clone + 'static;
 
     /// Run every request of one batch against `workspace`.
     fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<Self::Output>, ServeError>;
+
+    /// Pre-admission probe, called by `submit` before the request touches
+    /// the queue. The default neither caches nor coalesces; [`GarEngine`]
+    /// overrides it when a [`ResultCache`] is attached to its registry.
+    fn cache_probe(&self, _workspace: &str, _nl: &str) -> CacheProbe<Self::Output> {
+        CacheProbe::Miss { flight: None }
+    }
 }
 
 /// The production engine: a [`TenantRegistry`] sharing one trained
@@ -41,6 +70,10 @@ pub trait BatchEngine: Send + Sync + 'static {
 #[derive(Debug, Clone)]
 pub struct GarEngine {
     registry: Arc<TenantRegistry>,
+    /// Whether misses carry a single-flight key (only meaningful while a
+    /// result cache is attached). On by default; `bench_cache` turns it
+    /// off to measure the cache and the coalescer separately.
+    coalesce: bool,
 }
 
 impl GarEngine {
@@ -48,6 +81,7 @@ impl GarEngine {
     pub fn new(system: Arc<GarSystem>) -> GarEngine {
         GarEngine {
             registry: Arc::new(TenantRegistry::new(system)),
+            coalesce: true,
         }
     }
 
@@ -55,7 +89,46 @@ impl GarEngine {
     /// control plane registers/re-prepares workspaces out of band while
     /// the server translates.
     pub fn from_registry(registry: Arc<TenantRegistry>) -> GarEngine {
-        GarEngine { registry }
+        GarEngine {
+            registry,
+            coalesce: true,
+        }
+    }
+
+    /// Attach a shared [`ResultCache`] to the underlying registry: probes
+    /// start answering hot requests before admission, `run_batch` feeds
+    /// computed translations back, and every registry publish purges the
+    /// swapped workspace. Delegates to
+    /// [`TenantRegistry::attach_result_cache`].
+    pub fn attach_result_cache(&self, cache: Arc<ResultCache>) {
+        self.registry.attach_result_cache(cache);
+    }
+
+    /// Toggle single-flight coalescing of identical concurrent misses
+    /// (builder-style; default on). Only observable while a result cache
+    /// is attached — without one, probes never produce a flight key.
+    pub fn with_coalescing(mut self, coalesce: bool) -> GarEngine {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// The single-flight key for one request under the current snapshot
+    /// of `workspace`, or `None` when the workspace is unknown. This is
+    /// the same fingerprint the cache is keyed by: workspace, publication
+    /// epoch, gate, quantize/rescore/top-k knobs, normalized NL.
+    fn request_key(&self, workspace: &str, nl_norm: &str) -> Option<(u64, u64)> {
+        let snap = self.registry.resolve(workspace)?;
+        let cfg = &self.system().config;
+        let key = fingerprint(
+            workspace,
+            snap.epoch,
+            &snap.state.gate,
+            cfg.quantize,
+            cfg.rescore_factor,
+            cfg.k,
+            nl_norm,
+        );
+        Some((key, snap.epoch))
     }
 
     /// The shared tenant registry (for out-of-band publishes, gate
@@ -130,9 +203,50 @@ impl BatchEngine for GarEngine {
             .resolve(workspace)
             .ok_or_else(|| ServeError::UnknownWorkspace(workspace.to_string()))?;
         let ws = &snap.state;
-        Ok(self
+        let outputs = self
             .system()
-            .translate_batch_with_gate(&ws.db, &ws.pool, nls, &ws.gate))
+            .translate_batch_with_gate(&ws.db, &ws.pool, nls, &ws.gate);
+        // Feed the cache under the epoch this batch actually ran against —
+        // never a re-resolved one, so a swap racing this batch can only
+        // produce an entry that the new epoch's keys ignore.
+        if let Some(cache) = self.registry.result_cache() {
+            let cfg = &self.system().config;
+            for (nl, translation) in nls.iter().zip(&outputs) {
+                let norm = normalize_nl(nl);
+                let key = fingerprint(
+                    workspace,
+                    snap.epoch,
+                    &ws.gate,
+                    cfg.quantize,
+                    cfg.rescore_factor,
+                    cfg.k,
+                    &norm,
+                );
+                cache.insert(key, workspace, snap.epoch, &norm, Arc::new(translation.clone()));
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Probe the attached result cache under the workspace's *current*
+    /// snapshot. A hit is cloned out of the cache; a miss carries the
+    /// request fingerprint as its single-flight key (when coalescing is
+    /// on), so identical concurrent misses admit one translation.
+    fn cache_probe(&self, workspace: &str, nl: &str) -> CacheProbe<Translation> {
+        let Some(cache) = self.registry.result_cache() else {
+            return CacheProbe::Miss { flight: None };
+        };
+        let norm = normalize_nl(nl);
+        let Some((key, epoch)) = self.request_key(workspace, &norm) else {
+            // Unknown workspace: let run_batch produce the typed error.
+            return CacheProbe::Miss { flight: None };
+        };
+        match cache.get(key, workspace, epoch, &norm) {
+            Some(hit) => CacheProbe::Hit((*hit).clone()),
+            None => CacheProbe::Miss {
+                flight: self.coalesce.then_some(key),
+            },
+        }
     }
 }
 
@@ -183,5 +297,52 @@ mod tests {
         assert!(engine.workspace_names().is_empty());
         assert!(engine.workspace("anything").is_none());
         assert!(engine.set_gate("anything", GateConfig::from(&engine.system().config)).is_none());
+    }
+
+    #[test]
+    fn probe_without_cache_or_workspace_neither_hits_nor_coalesces() {
+        let engine = GarEngine::new(untrained_system());
+        // No cache attached: plain miss, no flight key.
+        match engine.cache_probe("nope", "list all sites") {
+            CacheProbe::Miss { flight: None } => {}
+            other => panic!("expected Miss without flight, got {other:?}"),
+        }
+        // Cache attached but workspace unknown: still no flight key, so the
+        // admitted request reaches run_batch and gets the typed error.
+        engine.attach_result_cache(Arc::new(gar_core::ResultCache::with_defaults()));
+        match engine.cache_probe("nope", "list all sites") {
+            CacheProbe::Miss { flight: None } => {}
+            other => panic!("expected Miss without flight, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_coalescing_false_strips_flight_keys() {
+        use gar_benchmarks::{spider_sim, SpiderSimConfig};
+        let system = untrained_system();
+        let engine = GarEngine::new(Arc::clone(&system)).with_coalescing(false);
+        engine.attach_result_cache(Arc::new(gar_core::ResultCache::with_defaults()));
+        // Host a workspace so the probe resolves a snapshot; the pool is
+        // untrained but the probe never translates.
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 1,
+            val_dbs: 1,
+            queries_per_db: 2,
+            seed: 7,
+        });
+        let ex = bench.eval_split()[0].clone();
+        let db = Arc::new(bench.db(&ex.db).expect("eval db").clone());
+        let prepared = Arc::new(system.prepare_eval_db(&db, &[ex.sql.clone()]));
+        let name = engine.add_workspace(db, prepared);
+        match engine.cache_probe(&name, "how many rows") {
+            CacheProbe::Miss { flight: None } => {}
+            other => panic!("coalescing off must strip the flight key, got {other:?}"),
+        }
+        // The same engine with coalescing re-enabled produces a key.
+        let on = GarEngine::from_registry(Arc::clone(engine.registry()));
+        match on.cache_probe(&name, "how many rows") {
+            CacheProbe::Miss { flight: Some(_) } => {}
+            other => panic!("coalescing on must carry a flight key, got {other:?}"),
+        }
     }
 }

@@ -30,6 +30,15 @@ pub enum ServeError {
     /// aborting); graceful [`Server::shutdown`](crate::Server::shutdown)
     /// always answers first.
     Disconnected,
+    /// A [`ServeConfig`](crate::ServeConfig) field is out of range;
+    /// returned by [`Server::try_start`](crate::Server::try_start) before
+    /// any worker thread spawns.
+    InvalidConfig {
+        /// The offending configuration field.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -43,6 +52,9 @@ impl std::fmt::Display for ServeError {
             ServeError::WorkerPanicked => write!(f, "worker panicked while serving the batch"),
             ServeError::Internal(msg) => write!(f, "internal serving error: {msg}"),
             ServeError::Disconnected => write!(f, "response channel disconnected"),
+            ServeError::InvalidConfig { field, reason } => {
+                write!(f, "invalid serve config: {field} {reason}")
+            }
         }
     }
 }

@@ -22,10 +22,18 @@
 //!   bounded queue: admission control ([`ServeError::Rejected`]),
 //!   deadline-aware idle waiting, contained worker panics, and a graceful
 //!   [`Server::shutdown`] that answers every admitted request.
+//! - **Result caching & single-flight** — when a
+//!   [`ResultCache`](gar_core::ResultCache) is attached to the engine's
+//!   registry, `submit` probes it *before* admission: hits answer
+//!   synchronously without occupying queue depth or batch slots, and
+//!   identical concurrent misses coalesce onto one in-flight leader whose
+//!   result fans out to every waiter ([`CacheProbe`]). Keys include the
+//!   workspace's publication epoch, so hot-swaps invalidate for free.
 //!
 //! Observability lands in the global [`gar_obs`] registry under `serve.*`
-//! (queue/batch/e2e histograms, rejection and panic counters, queue-depth
-//! high-watermark) — see the table in the crate's `metrics` module.
+//! (queue/batch/e2e histograms, rejection/panic/short-circuit/coalesce
+//! counters, queue-depth high-watermark) — see the table in the crate's
+//! `metrics` module.
 
 mod batcher;
 mod engine;
@@ -34,6 +42,6 @@ mod metrics;
 mod server;
 
 pub use batcher::{BatchPolicy, Batcher, FlushTrigger, MicroBatch, Pending};
-pub use engine::{BatchEngine, GarEngine};
+pub use engine::{BatchEngine, CacheProbe, GarEngine};
 pub use error::ServeError;
 pub use server::{ResponseHandle, ServeConfig, ServeResponse, Server};

@@ -11,10 +11,17 @@
 //! | `serve.batches` | counter | micro-batches executed |
 //! | `serve.worker_panics` | counter | engine panics contained by a worker |
 //! | `serve.queue_peak` | gauge | high-watermark queue depth since reset |
+//! | `serve.cache_short_circuit` | counter | requests answered from the result cache before admission |
+//! | `serve.coalesced` | counter | identical concurrent misses folded onto an in-flight leader |
+//! | `serve.cache_hit_us` | histogram | submit → response for cache short-circuits (never admitted, so excluded from `serve.queue_us`/`serve.e2e_us`) |
 //!
 //! `serve.e2e_us` minus `serve.queue_us` is the engine's share, which the
 //! pipeline's own `stage.*` histograms further decompose — that is the
-//! budget a future validator gate gets measured against.
+//! budget a future validator gate gets measured against. Cache hits live
+//! in their own `serve.cache_hit_us` histogram so the batch-path latency
+//! series keep meaning what they always meant; the cache's own
+//! `rescache.*` counters and occupancy gauge are documented in
+//! `gar_core::metrics`.
 
 use gar_obs::{Counter, Gauge, Histogram};
 use std::sync::{Arc, OnceLock};
@@ -31,6 +38,9 @@ pub(crate) struct ServeMetrics {
     pub batches: Arc<Counter>,
     pub worker_panics: Arc<Counter>,
     pub queue_peak: Arc<Gauge>,
+    pub cache_short_circuit: Arc<Counter>,
+    pub coalesced: Arc<Counter>,
+    pub cache_hit_us: Arc<Histogram>,
 }
 
 /// The process-wide serving metric handles.
@@ -47,6 +57,9 @@ pub(crate) fn metrics() -> &'static ServeMetrics {
             batches: r.counter("serve.batches"),
             worker_panics: r.counter("serve.worker_panics"),
             queue_peak: r.gauge("serve.queue_peak"),
+            cache_short_circuit: r.counter("serve.cache_short_circuit"),
+            coalesced: r.counter("serve.coalesced"),
+            cache_hit_us: r.histogram("serve.cache_hit_us"),
         }
     })
 }

@@ -25,9 +25,11 @@
 //!   answered.
 
 use crate::batcher::{Batcher, MicroBatch, Pending};
+use crate::engine::CacheProbe;
 use crate::error::ServeError;
 use crate::metrics::metrics;
 use crate::{BatchEngine, BatchPolicy};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
@@ -57,6 +59,33 @@ impl Default for ServeConfig {
             max_wait_us: 2_000,
             queue_depth: 256,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Check the configuration without starting anything: `workers`,
+    /// `max_batch` and `queue_depth` must each be at least 1 (a zero-depth
+    /// queue could never admit, a zero-size batch could never flush).
+    /// `max_wait_us == 0` is **valid** — it means every admitted request
+    /// is flushable immediately, the lowest-latency/smallest-batch corner
+    /// — so it is deliberately not rejected here.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let invalid = |field| {
+            Err(ServeError::InvalidConfig {
+                field,
+                reason: "must be at least 1",
+            })
+        };
+        if self.workers == 0 {
+            return invalid("workers");
+        }
+        if self.max_batch == 0 {
+            return invalid("max_batch");
+        }
+        if self.queue_depth == 0 {
+            return invalid("queue_depth");
+        }
+        Ok(())
     }
 }
 
@@ -93,14 +122,34 @@ impl<T> ResponseHandle<T> {
     }
 }
 
-/// Worker-side payload: the request text plus its response channel.
+/// A response channel (and its owner's arrival time) parked on a
+/// single-flight leader.
+type Waiter<T> = (u64, SyncSender<Result<ServeResponse<T>, ServeError>>);
+
+/// One single-flight entry: the leader's identity (verified on attach so a
+/// fingerprint collision degrades to a separate admission, never a wrong
+/// fan-out) plus the waiters its result will be cloned to.
+struct Flight<T> {
+    workspace: Arc<str>,
+    nl: String,
+    waiters: Vec<Waiter<T>>,
+}
+
+/// Worker-side payload: the request text plus its response channel, and
+/// the single-flight key this request leads (if any).
 struct Job<T> {
     nl: String,
     tx: SyncSender<Result<ServeResponse<T>, ServeError>>,
+    flight: Option<u64>,
 }
 
 struct State<T> {
     batcher: Batcher<Job<T>>,
+    /// Single-flight table: key → the in-flight leader's entry. Insertion
+    /// (at admission) and removal (at batch completion) serialize on the
+    /// state lock, so an identical concurrent submit either attaches as a
+    /// waiter or finds the key absent and leads its own flight.
+    inflight: HashMap<u64, Flight<T>>,
     shutdown: bool,
 }
 
@@ -134,7 +183,10 @@ pub struct Server<E: BatchEngine> {
 }
 
 impl<E: BatchEngine> Server<E> {
-    /// Start the worker threads and begin accepting requests.
+    /// Start the worker threads and begin accepting requests. Zero-valued
+    /// `workers`/`max_batch`/`queue_depth` are clamped to 1 for backward
+    /// compatibility; use [`Server::try_start`] to get the typed
+    /// [`ServeError::InvalidConfig`] instead of the clamp.
     pub fn start(engine: E, config: ServeConfig) -> Server<E> {
         let config = ServeConfig {
             workers: config.workers.max(1),
@@ -142,6 +194,20 @@ impl<E: BatchEngine> Server<E> {
             queue_depth: config.queue_depth.max(1),
             ..config
         };
+        Self::start_validated(engine, config)
+    }
+
+    /// [`Server::start`] behind [`ServeConfig::validate`]: a zero
+    /// `workers`, `max_batch` or `queue_depth` returns
+    /// [`ServeError::InvalidConfig`] before any thread spawns, instead of
+    /// being silently clamped. (`max_wait_us == 0` is valid: immediate
+    /// flush.)
+    pub fn try_start(engine: E, config: ServeConfig) -> Result<Server<E>, ServeError> {
+        config.validate()?;
+        Ok(Self::start_validated(engine, config))
+    }
+
+    fn start_validated(engine: E, config: ServeConfig) -> Server<E> {
         let shared = Arc::new(Shared {
             engine,
             config,
@@ -150,6 +216,7 @@ impl<E: BatchEngine> Server<E> {
                     max_batch: config.max_batch,
                     max_wait_us: config.max_wait_us,
                 }),
+                inflight: HashMap::new(),
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -182,15 +249,61 @@ impl<E: BatchEngine> Server<E> {
     /// synchronously: [`ServeError::Rejected`] when the queue is at depth
     /// (admission control), [`ServeError::ShuttingDown`] after
     /// [`Server::shutdown`] began.
+    ///
+    /// Two fast paths run *before* admission, so neither ever occupies
+    /// queue depth or a batch slot:
+    ///
+    /// 1. **Cache short-circuit** — if the engine's
+    ///    [`cache_probe`](BatchEngine::cache_probe) returns a hit, the
+    ///    response is completed synchronously (`serve.cache_short_circuit`,
+    ///    latency in `serve.cache_hit_us`).
+    /// 2. **Single-flight coalescing** — a miss carrying a flight key
+    ///    attaches to an identical in-flight request when one exists
+    ///    (`serve.coalesced`); the leader's result fans out to every
+    ///    waiter when its batch completes. Only the first miss is
+    ///    admitted, so N identical concurrent misses cost one translation.
     pub fn submit(
         &self,
         workspace: &str,
         nl: impl Into<String>,
     ) -> Result<ResponseHandle<E::Output>, ServeError> {
         let m = metrics();
+        let nl = nl.into();
+        let t0 = self.shared.now_us();
+        // The probe runs outside the state lock: a hot cache never
+        // serializes against admissions or worker pulls.
+        let flight = match self.shared.engine.cache_probe(workspace, &nl) {
+            CacheProbe::Hit(output) => {
+                let e2e_us = self.shared.now_us().saturating_sub(t0);
+                m.cache_short_circuit.inc();
+                m.cache_hit_us.record(e2e_us);
+                m.completed.inc();
+                let (tx, rx) = sync_channel(1);
+                let _ = tx.try_send(Ok(ServeResponse {
+                    output,
+                    queue_us: 0,
+                    batch_size: 0,
+                    e2e_us,
+                }));
+                return Ok(ResponseHandle { rx });
+            }
+            CacheProbe::Miss { flight } => flight,
+        };
         let mut st = self.shared.lock_state();
         if st.shutdown {
             return Err(ServeError::ShuttingDown);
+        }
+        if let Some(key) = flight {
+            if let Some(f) = st.inflight.get_mut(&key) {
+                if &*f.workspace == workspace && f.nl == nl {
+                    let (tx, rx) = sync_channel(1);
+                    f.waiters.push((self.shared.now_us(), tx));
+                    m.coalesced.inc();
+                    return Ok(ResponseHandle { rx });
+                }
+                // A 64-bit fingerprint collision between *different*
+                // requests: admit separately, without the flight key.
+            }
         }
         let depth = st.batcher.len();
         if depth >= self.shared.config.queue_depth {
@@ -200,8 +313,19 @@ impl<E: BatchEngine> Server<E> {
         let (tx, rx) = sync_channel(1);
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let now = self.shared.now_us();
-        st.batcher
-            .admit(Arc::from(workspace), id, Job { nl: nl.into(), tx }, now);
+        let ws: Arc<str> = Arc::from(workspace);
+        let flight = flight.filter(|key| !st.inflight.contains_key(key));
+        if let Some(key) = flight {
+            st.inflight.insert(
+                key,
+                Flight {
+                    workspace: Arc::clone(&ws),
+                    nl: nl.clone(),
+                    waiters: Vec::new(),
+                },
+            );
+        }
+        st.batcher.admit(ws, id, Job { nl, tx, flight }, now);
         m.queue_peak.set_max(depth as u64 + 1);
         drop(st);
         self.shared.work.notify_one();
@@ -301,19 +425,57 @@ fn process_batch<E: BatchEngine>(shared: &Shared<E>, batch: MicroBatch<Job<E::Ou
         shared.engine.run_batch(&batch.workspace, &nls)
     }));
 
-    let answer_err = |requests: Vec<Pending<Job<E::Output>>>, err: ServeError| {
-        for p in requests {
+    // Single-flight harvest: retire every flight key this batch led and
+    // take its waiters. Removal holds the state lock, so a concurrent
+    // identical submit either attached before this point (answered below)
+    // or finds the key gone and leads a fresh flight — no waiter can be
+    // stranded.
+    let mut waiters: HashMap<usize, Vec<Waiter<E::Output>>> = HashMap::new();
+    if batch.requests.iter().any(|p| p.payload.flight.is_some()) {
+        let mut st = shared.lock_state();
+        for (i, p) in batch.requests.iter().enumerate() {
+            if let Some(key) = p.payload.flight {
+                if let Some(flight) = st.inflight.remove(&key) {
+                    if !flight.waiters.is_empty() {
+                        waiters.insert(i, flight.waiters);
+                    }
+                }
+            }
+        }
+    }
+
+    let answer_err = |requests: Vec<Pending<Job<E::Output>>>,
+                      mut waiters: HashMap<usize, Vec<Waiter<E::Output>>>,
+                      err: ServeError| {
+        for (i, p) in requests.into_iter().enumerate() {
             let _ = p.payload.tx.try_send(Err(err.clone()));
+            for (_, wtx) in waiters.remove(&i).unwrap_or_default() {
+                let _ = wtx.try_send(Err(err.clone()));
+            }
         }
     };
     match result {
         Ok(Ok(outputs)) => {
             if outputs.len() != size {
                 let msg = format!("engine returned {} outputs for {size} requests", outputs.len());
-                answer_err(batch.requests, ServeError::Internal(msg));
+                answer_err(batch.requests, waiters, ServeError::Internal(msg));
                 return;
             }
-            for (p, output) in batch.requests.into_iter().zip(outputs) {
+            for (i, (p, output)) in batch.requests.into_iter().zip(outputs).enumerate() {
+                // Fan the leader's result out to its coalesced waiters
+                // first (each clocked from its own arrival), then answer
+                // the leader with the original output.
+                for (arrival_us, wtx) in waiters.remove(&i).unwrap_or_default() {
+                    let e2e_us = shared.now_us().saturating_sub(arrival_us);
+                    m.e2e_us.record(e2e_us);
+                    m.completed.inc();
+                    let _ = wtx.try_send(Ok(ServeResponse {
+                        output: output.clone(),
+                        queue_us: pulled.saturating_sub(arrival_us),
+                        batch_size: size,
+                        e2e_us,
+                    }));
+                }
                 let e2e_us = shared.now_us().saturating_sub(p.arrival_us);
                 m.e2e_us.record(e2e_us);
                 m.completed.inc();
@@ -325,10 +487,10 @@ fn process_batch<E: BatchEngine>(shared: &Shared<E>, batch: MicroBatch<Job<E::Ou
                 }));
             }
         }
-        Ok(Err(err)) => answer_err(batch.requests, err),
+        Ok(Err(err)) => answer_err(batch.requests, waiters, err),
         Err(_panic) => {
             m.worker_panics.inc();
-            answer_err(batch.requests, ServeError::WorkerPanicked);
+            answer_err(batch.requests, waiters, ServeError::WorkerPanicked);
         }
     }
 }
@@ -408,6 +570,88 @@ mod tests {
 
     fn counter(name: &str) -> u64 {
         gar_obs::global().snapshot().counter(name).unwrap_or(0)
+    }
+
+    /// FNV-1a over (workspace, nl) — a deterministic flight key for the
+    /// mock engines below.
+    fn mock_key(workspace: &str, nl: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in workspace.bytes().chain([0u8]).chain(nl.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Gate-blocking engine that advertises a single-flight key for every
+    /// request (never a cache hit): the coalescing test wedges the worker
+    /// inside a leader's batch, then piles identical misses on top.
+    struct CoalesceEngine {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+        entered: Arc<AtomicUsize>,
+    }
+
+    impl CoalesceEngine {
+        fn new() -> (CoalesceEngine, Arc<(Mutex<bool>, Condvar)>, Arc<AtomicUsize>) {
+            let gate = Arc::new((Mutex::new(false), Condvar::new()));
+            let entered = Arc::new(AtomicUsize::new(0));
+            (
+                CoalesceEngine {
+                    gate: Arc::clone(&gate),
+                    entered: Arc::clone(&entered),
+                },
+                gate,
+                entered,
+            )
+        }
+    }
+
+    impl BatchEngine for CoalesceEngine {
+        type Output = String;
+        fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<String>, ServeError> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            if workspace == "missing" {
+                return Err(ServeError::UnknownWorkspace(workspace.to_string()));
+            }
+            Ok(nls.iter().map(|nl| format!("{workspace}:{nl}")).collect())
+        }
+        fn cache_probe(&self, workspace: &str, nl: &str) -> CacheProbe<String> {
+            CacheProbe::Miss {
+                flight: Some(mock_key(workspace, nl)),
+            }
+        }
+    }
+
+    /// Gate-blocking engine whose probe serves `"hot"` from a pretend
+    /// cache — lets a test prove hits bypass a full queue entirely.
+    struct HitEngine {
+        gate: Arc<(Mutex<bool>, Condvar)>,
+        entered: Arc<AtomicUsize>,
+    }
+
+    impl BatchEngine for HitEngine {
+        type Output = String;
+        fn run_batch(&self, workspace: &str, nls: &[String]) -> Result<Vec<String>, ServeError> {
+            self.entered.fetch_add(1, Ordering::SeqCst);
+            let (lock, cv) = &*self.gate;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            Ok(nls.iter().map(|nl| format!("{workspace}:{nl}")).collect())
+        }
+        fn cache_probe(&self, _workspace: &str, nl: &str) -> CacheProbe<String> {
+            if nl == "hot" {
+                CacheProbe::Hit("cached:hot".to_string())
+            } else {
+                CacheProbe::Miss { flight: None }
+            }
+        }
     }
 
     #[test]
@@ -570,6 +814,211 @@ mod tests {
         let r = h.wait().expect("deadline flush");
         assert_eq!(r.output, "ws:lonely");
         assert_eq!(r.batch_size, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn identical_concurrent_misses_coalesce_into_one_engine_call() {
+        let coalesced0 = counter("serve.coalesced");
+        let (engine, gate, entered) = CoalesceEngine::new();
+        let mut server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait_us: 0,
+                queue_depth: 8,
+            },
+        );
+        // Wedge the single worker inside the leader's batch; its flight
+        // key stays in the in-flight table until the batch completes.
+        let leader = server.submit("ws", "hot query").expect("admitted");
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // N identical misses arrive while the leader is in flight: each
+        // attaches as a waiter — none is admitted, none occupies depth.
+        let n = 5;
+        let waiters: Vec<_> = (0..n)
+            .map(|_| server.submit("ws", "hot query").expect("coalesced"))
+            .collect();
+        assert_eq!(server.queue_depth(), 0, "waiters must not occupy the queue");
+        assert!(counter("serve.coalesced") >= coalesced0 + n as u64);
+        // A *different* request is not coalesced: it admits normally.
+        let other = server.submit("ws", "cold query").expect("admitted");
+        assert_eq!(server.queue_depth(), 1);
+        open_gate(&gate);
+        // The leader and every waiter complete with the same output...
+        assert_eq!(leader.wait().expect("served").output, "ws:hot query");
+        for h in waiters {
+            let r = h.wait().expect("fanned out");
+            assert_eq!(r.output, "ws:hot query");
+            assert_eq!(r.batch_size, 1);
+        }
+        assert_eq!(other.wait().expect("served").output, "ws:cold query");
+        server.shutdown();
+        // ...and the engine ran exactly once for the 1+N identical
+        // requests (plus once for the distinct one).
+        assert_eq!(entered.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn coalesced_waiters_receive_batch_errors_too() {
+        let (engine, gate, entered) = CoalesceEngine::new();
+        let mut server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait_us: 0,
+                queue_depth: 8,
+            },
+        );
+        let leader = server.submit("missing", "q").expect("admitted");
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // Attach a waiter while the leader's batch is in flight, then let
+        // the batch fail: the typed error must fan out to the waiter too —
+        // no stranded channel, no untyped disconnect.
+        let waiter = server.submit("missing", "q").expect("coalesced");
+        open_gate(&gate);
+        let want = ServeError::UnknownWorkspace("missing".to_string());
+        assert_eq!(leader.wait().unwrap_err(), want);
+        assert_eq!(waiter.wait().unwrap_err(), want);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cache_hits_short_circuit_before_admission_even_when_queue_is_full() {
+        let hits0 = counter("serve.cache_short_circuit");
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let entered = Arc::new(AtomicUsize::new(0));
+        let engine = HitEngine {
+            gate: Arc::clone(&gate),
+            entered: Arc::clone(&entered),
+        };
+        let mut server = Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait_us: 0,
+                queue_depth: 1,
+            },
+        );
+        // Wedge the worker, then fill the one-slot queue.
+        let head = server.submit("ws", "cold head").expect("admitted");
+        while entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let fill = server.submit("ws", "cold fill").expect("admitted");
+        assert!(matches!(
+            server.submit("ws", "cold overflow"),
+            Err(ServeError::Rejected { .. })
+        ));
+        // A cache hit is served synchronously even though the queue is at
+        // depth: it never needed a slot.
+        let hit = server.submit("ws", "hot").expect("short-circuited");
+        let r = hit.wait().expect("synchronous response");
+        assert_eq!(r.output, "cached:hot");
+        assert_eq!(r.queue_us, 0);
+        assert_eq!(r.batch_size, 0, "a hit rides no batch");
+        assert!(counter("serve.cache_short_circuit") >= hits0 + 1);
+        let snap = gar_obs::global().snapshot();
+        assert!(snap.histogram("serve.cache_hit_us").expect("hit histogram").count >= 1);
+        open_gate(&gate);
+        assert!(head.wait().is_ok());
+        assert!(fill.wait().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_valued_config_fields_are_typed_errors_from_try_start() {
+        let cases = [
+            (
+                ServeConfig {
+                    workers: 0,
+                    ..ServeConfig::default()
+                },
+                "workers",
+            ),
+            (
+                ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                },
+                "max_batch",
+            ),
+            (
+                ServeConfig {
+                    queue_depth: 0,
+                    ..ServeConfig::default()
+                },
+                "queue_depth",
+            ),
+        ];
+        for (cfg, field) in cases {
+            assert_eq!(
+                cfg.validate().unwrap_err(),
+                ServeError::InvalidConfig {
+                    field,
+                    reason: "must be at least 1"
+                }
+            );
+            match Server::try_start(EchoEngine, cfg) {
+                Err(ServeError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+                Ok(_) => panic!("{field} == 0 must not start a server"),
+            }
+        }
+        // `start` keeps the historical clamp-to-1 behavior.
+        let mut server = Server::start(
+            EchoEngine,
+            ServeConfig {
+                workers: 0,
+                max_batch: 0,
+                max_wait_us: 0,
+                queue_depth: 0,
+            },
+        );
+        assert_eq!(
+            server.config(),
+            ServeConfig {
+                workers: 1,
+                max_batch: 1,
+                max_wait_us: 0,
+                queue_depth: 1,
+            }
+        );
+        let h = server.submit("ws", "q").expect("clamped server admits");
+        assert_eq!(h.wait().expect("served").output, "ws:q");
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_max_wait_is_valid_and_flushes_immediately() {
+        // max_wait_us == 0 passes validation — it is the immediate-flush
+        // corner, not a misconfiguration...
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 1_000, // the size trigger can never fire
+            max_wait_us: 0,
+            queue_depth: 8,
+        };
+        cfg.validate().expect("max_wait_us == 0 is valid");
+        let mut server = Server::try_start(EchoEngine, cfg).expect("starts");
+        // ...so each lone request flushes at once (batch of 1) instead of
+        // waiting for more traffic.
+        for i in 0..3 {
+            let r = server
+                .submit("ws", format!("q{i}"))
+                .expect("admitted")
+                .wait()
+                .expect("immediate flush");
+            assert_eq!(r.output, format!("ws:q{i}"));
+            assert_eq!(r.batch_size, 1);
+        }
         server.shutdown();
     }
 

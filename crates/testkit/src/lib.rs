@@ -43,7 +43,15 @@
 //!    racing a seeded sequence of workspace publications never observe a
 //!    torn (db, pool, gate) triple: every mid-swap translation is
 //!    bit-identical to the precomputed oracle for the exact epoch the
-//!    reader resolved.
+//!    reader resolved — including translations served from the shared
+//!    result cache the readers race alongside the swaps.
+//! 10. **Result-cache invariants** ([`rescache`]) — serving seeded
+//!    virtual-clock traces with the epoch-keyed result cache attached is
+//!    bit-identical to uncached serving (hits and misses alike), a
+//!    byte-budgeted cache under seeded insert/lookup/purge fuzz never
+//!    exceeds its budget and never serves anything but the latest value
+//!    for an identity, and republishing a workspace makes every cached
+//!    answer unreachable by epoch alone.
 //!
 //! Everything randomized flows through [`rng::TestRng`] (splitmix64, no
 //! `rand` dependency for harness decisions), so **every failure replays
@@ -72,6 +80,7 @@ pub mod gen;
 pub mod persist;
 pub mod pipeline;
 pub mod quant;
+pub mod rescache;
 pub mod rng;
 pub mod serve;
 pub mod tenants;

@@ -1,0 +1,515 @@
+//! Result-cache invariants (layer 10): the epoch-keyed serving cache must
+//! be **invisible** except in latency.
+//!
+//! Three families of checks, all replayable from one `u64`:
+//!
+//! - **Cached ≡ uncached bit-identity** ([`check_cache_bit_identity`]) —
+//!   the same seeded virtual-clock arrival traces layer 7 uses drive two
+//!   [`GarEngine`]s over identical workspaces: one bare, one with a shared
+//!   [`ResultCache`] attached. Every request is served the way the server
+//!   serves it — probe first, batch the misses — and every served
+//!   translation (hit or miss) must be bit-identical (retrieved set,
+//!   ranked entries, score bits, instantiated SQL) to the uncached
+//!   reference.
+//! - **Capacity & eviction invariants** ([`check_cache_invariants`]) — a
+//!   seeded op fuzz (inserts of varying cost, lookups, workspace purges)
+//!   against a byte-budgeted cache, checked after every op against a
+//!   model: resident bytes never exceed the shard budgets, a hit is
+//!   always the *latest* value inserted for exactly that (workspace,
+//!   epoch, question) identity — never a stale epoch's, never a purged
+//!   workspace's — and `clear` reaches zero.
+//! - **Swap-race staleness** — covered by layer 9 ([`crate::tenants`]),
+//!   whose racing readers share one cache with the publishing writer and
+//!   verify every hit against the per-epoch oracle.
+//!
+//! [`replay_cache_case`] re-runs exactly one fuzz seed, matching the
+//! other layers' replay contract.
+
+use crate::rng::TestRng;
+use crate::serve::{gen_trace, run_trace, ServeTraceConfig};
+use crate::tenants::bit_diff;
+use gar_benchmarks::GeneratedDb;
+use gar_core::rescache::{fingerprint, normalize_nl};
+use gar_core::{
+    GarConfig, GarSystem, GateConfig, PreparedDb, ResCacheConfig, ResultCache, StageTimings,
+    Translation,
+};
+use gar_serve::{BatchEngine, BatchPolicy, CacheProbe, GarEngine};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One hosted workspace for the bit-identity check (owned `Arc`s because
+/// the engines publish them into registries); request `id` asks
+/// `nls[id % nls.len()]`, mirroring [`crate::serve::ServeHost`].
+pub struct CacheHost {
+    /// The database.
+    pub db: Arc<GeneratedDb>,
+    /// Its prepared candidate pool.
+    pub prepared: Arc<PreparedDb>,
+    /// Question pool for this workspace; must be non-empty.
+    pub nls: Vec<String>,
+}
+
+/// What a clean bit-identity trace observed.
+#[derive(Debug, Clone, Default)]
+pub struct CacheTraceStats {
+    /// Requests served (== the trace length).
+    pub requests: usize,
+    /// Requests answered from the cache.
+    pub hits: usize,
+    /// Requests that went through the engine.
+    pub misses: usize,
+}
+
+/// Serve `cfg`'s seeded trace twice — once through a bare engine, once
+/// through a cache-attached engine probing before every batch — and check
+/// that every served translation is bit-identical between the two.
+/// `cfg.workspaces` is overridden to `hosts.len()`.
+pub fn check_cache_bit_identity(
+    system: &Arc<GarSystem>,
+    hosts: &[CacheHost],
+    cfg: &ServeTraceConfig,
+) -> Result<CacheTraceStats, Vec<String>> {
+    assert!(!hosts.is_empty(), "bit-identity needs at least one host");
+    let cfg = ServeTraceConfig {
+        workspaces: hosts.len(),
+        ..cfg.clone()
+    };
+    let trace = gen_trace(&cfg);
+    let batches = run_trace(
+        &trace,
+        BatchPolicy {
+            max_batch: cfg.max_batch,
+            max_wait_us: cfg.max_wait_us,
+        },
+    );
+
+    // Two engines over identical workspace states; only one caches.
+    let bare = GarEngine::new(Arc::clone(system));
+    let cached = GarEngine::new(Arc::clone(system));
+    cached.attach_result_cache(Arc::new(ResultCache::with_defaults()));
+    let names: Vec<String> = hosts
+        .iter()
+        .map(|h| {
+            let name = bare.add_workspace(Arc::clone(&h.db), Arc::clone(&h.prepared));
+            let same = cached.add_workspace(Arc::clone(&h.db), Arc::clone(&h.prepared));
+            assert_eq!(name, same, "hosts must publish under one name");
+            name
+        })
+        .collect();
+
+    let mut stats = CacheTraceStats::default();
+    let mut violations = Vec::new();
+    for b in &batches {
+        let host = &hosts[b.workspace];
+        let name = &names[b.workspace];
+        let nls: Vec<String> = b
+            .ids
+            .iter()
+            .map(|&id| host.nls[(id as usize) % host.nls.len()].clone())
+            .collect();
+        let reference = match bare.run_batch(name, &nls) {
+            Ok(out) => out,
+            Err(e) => {
+                violations.push(format!("{name} batch {:?}: bare engine failed: {e}", b.ids));
+                continue;
+            }
+        };
+        // Serve the cached side the way the server does: probe each
+        // request first, then run the misses as one micro-batch (which
+        // also feeds the cache for later batches of this trace).
+        let mut served: Vec<Option<Translation>> = vec![None; nls.len()];
+        let mut miss_slots = Vec::new();
+        let mut miss_nls = Vec::new();
+        for (slot, nl) in nls.iter().enumerate() {
+            match cached.cache_probe(name, nl) {
+                CacheProbe::Hit(t) => {
+                    stats.hits += 1;
+                    served[slot] = Some(t);
+                }
+                CacheProbe::Miss { .. } => {
+                    stats.misses += 1;
+                    miss_slots.push(slot);
+                    miss_nls.push(nl.clone());
+                }
+            }
+        }
+        if !miss_nls.is_empty() {
+            match cached.run_batch(name, &miss_nls) {
+                Ok(outs) => {
+                    for (&slot, out) in miss_slots.iter().zip(outs) {
+                        served[slot] = Some(out);
+                    }
+                }
+                Err(e) => {
+                    violations.push(format!(
+                        "{name} batch {:?}: cached engine failed: {e}",
+                        b.ids
+                    ));
+                    continue;
+                }
+            }
+        }
+        for (slot, (got, want)) in served.iter().zip(&reference).enumerate() {
+            stats.requests += 1;
+            let label = format!("{name} batch {:?} slot {slot}", b.ids);
+            match got {
+                Some(got) => {
+                    if let Some(v) = bit_diff(&label, got, want) {
+                        violations.push(v);
+                    }
+                }
+                None => violations.push(format!("{label}: never served")),
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Shape of one seeded capacity/eviction fuzz.
+#[derive(Debug, Clone)]
+pub struct CacheFuzzConfig {
+    /// Operations per sweep.
+    pub ops: usize,
+    /// Distinct workspaces ops draw from.
+    pub workspaces: usize,
+    /// Distinct questions per workspace.
+    pub nls: usize,
+    /// Epochs inserts spread over (stale-epoch isolation pressure).
+    pub epochs: u64,
+    /// Cache shard count under test.
+    pub shards: usize,
+    /// Byte budget — small enough that the sweep *must* evict.
+    pub capacity_bytes: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CacheFuzzConfig {
+    fn default() -> Self {
+        CacheFuzzConfig {
+            ops: 400,
+            workspaces: 3,
+            nls: 16,
+            epochs: 3,
+            shards: 4,
+            capacity_bytes: 16 << 10,
+            seed: 0xCAC4E,
+        }
+    }
+}
+
+/// What a clean fuzz sweep did.
+#[derive(Debug, Clone, Default)]
+pub struct CacheFuzzStats {
+    /// Values inserted (total insert cost necessarily exceeds the byte
+    /// budget in the default config, so staying under budget proves the
+    /// evictor ran).
+    pub inserts: usize,
+    /// Lookups answered from the cache (each verified against the model).
+    pub hits: usize,
+    /// Lookups that missed (evicted, purged, or never inserted).
+    pub misses: usize,
+    /// Workspace purges issued.
+    pub purges: usize,
+}
+
+/// A synthetic translation whose `retrieved` vector both varies the entry
+/// cost and stamps the value's identity — a cache serving the wrong value
+/// for an identity cannot match the model's stamp.
+fn stamped(stamp: usize, weight: usize) -> Translation {
+    Translation {
+        ranked: Vec::new(),
+        retrieved: vec![stamp; 1 + weight],
+        timings: StageTimings::default(),
+    }
+}
+
+/// Seeded op fuzz against a byte-budgeted [`ResultCache`], checked after
+/// every op (see the module docs). Returns the sweep's stats or every
+/// violation found.
+pub fn check_cache_invariants(cfg: &CacheFuzzConfig) -> Result<CacheFuzzStats, Vec<String>> {
+    assert!(cfg.workspaces > 0 && cfg.nls > 0 && cfg.epochs > 0, "degenerate fuzz");
+    let mut rng = TestRng::new(cfg.seed);
+    let cache = ResultCache::new(ResCacheConfig {
+        shards: cfg.shards,
+        capacity_bytes: cfg.capacity_bytes,
+    });
+    let gate = GateConfig::from(&GarConfig::default());
+    let key_of = |ws: usize, epoch: u64, nl: usize| {
+        let workspace = format!("ws{ws}");
+        let norm = format!("probe {nl}");
+        let key = fingerprint(&workspace, epoch, &gate, false, 4, 30, &norm);
+        (key, workspace, norm)
+    };
+
+    // The model: identity → the exact retrieved stamp the latest insert
+    // for that identity carried. Eviction may drop entries (a hit is
+    // optional); serving anything *else* than the model's value is not.
+    let mut model: HashMap<(usize, u64, usize), Vec<usize>> = HashMap::new();
+    let mut stats = CacheFuzzStats::default();
+    let mut violations = Vec::new();
+    let budget_bound = cache.shard_count() as u64 * cache.per_shard_budget();
+
+    for op in 0..cfg.ops {
+        let ws = rng.below(cfg.workspaces);
+        let epoch = 1 + rng.below(cfg.epochs as usize) as u64;
+        let nl = rng.below(cfg.nls);
+        let (key, workspace, norm) = key_of(ws, epoch, nl);
+        match rng.below(100) {
+            // Insert a fresh stamped value for this identity.
+            0..=49 => {
+                let value = stamped(op, rng.below(24));
+                model.insert((ws, epoch, nl), value.retrieved.clone());
+                cache.insert(key, &workspace, epoch, &norm, Arc::new(value));
+                stats.inserts += 1;
+            }
+            // Lookup: a hit must carry the model's exact stamp.
+            50..=89 => match cache.get(key, &workspace, epoch, &norm) {
+                Some(got) => {
+                    stats.hits += 1;
+                    match model.get(&(ws, epoch, nl)) {
+                        Some(want) if *want == got.retrieved => {}
+                        Some(want) => violations.push(format!(
+                            "op {op}: ws{ws}/e{epoch}/q{nl} served stamp {:?} != latest {:?}",
+                            got.retrieved.first(),
+                            want.first()
+                        )),
+                        None => violations.push(format!(
+                            "op {op}: ws{ws}/e{epoch}/q{nl} hit after purge/never-insert"
+                        )),
+                    }
+                }
+                None => stats.misses += 1,
+            },
+            // Purge one workspace across every epoch.
+            _ => {
+                cache.purge_workspace(&workspace);
+                model.retain(|&(w, _, _), _| w != ws);
+                stats.purges += 1;
+                // Purged identities must miss until reinserted.
+                let (k2, w2, n2) = key_of(ws, epoch, nl);
+                if cache.get(k2, &w2, epoch, &n2).is_some() {
+                    violations.push(format!("op {op}: ws{ws} served after purge"));
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                }
+            }
+        }
+        let bytes = cache.bytes();
+        if cache.per_shard_budget() != 0 && bytes > budget_bound {
+            violations.push(format!(
+                "op {op}: resident {bytes} bytes > budget bound {budget_bound}"
+            ));
+        }
+    }
+    cache.clear();
+    if cache.bytes() != 0 || !cache.is_empty() {
+        violations.push(format!(
+            "clear left {} bytes / {} entries resident",
+            cache.bytes(),
+            cache.len()
+        ));
+    }
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Re-run exactly one fuzz sweep: `cfg` with its seed replaced by `seed`.
+pub fn replay_cache_case(seed: u64, cfg: &CacheFuzzConfig) -> Result<CacheFuzzStats, Vec<String>> {
+    check_cache_invariants(&CacheFuzzConfig {
+        seed,
+        ..cfg.clone()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_seed;
+    use gar_benchmarks::{spider_sim, SpiderSimConfig};
+    use gar_core::PrepareConfig;
+    use gar_ltr::{FeatureConfig, RerankConfig, RetrievalConfig};
+
+    /// Seeded fuzz sweep: byte budgets hold, hits always serve the
+    /// model's exact value, purges stick — across shard counts and
+    /// budgets small enough that eviction is constantly active.
+    #[test]
+    fn cache_invariants_hold_across_60_seeded_sweeps() {
+        let mut hits = 0usize;
+        let mut purges = 0usize;
+        for case in 0..60u64 {
+            let seed = derive_seed(0x5CA1E, case);
+            let cfg = CacheFuzzConfig {
+                ops: 200 + (seed % 200) as usize,
+                workspaces: 1 + (seed % 4) as usize,
+                nls: 4 + (seed % 16) as usize,
+                epochs: 1 + seed % 4,
+                shards: 1 + (seed % 8) as usize,
+                // Small enough that the sweep's total insert cost exceeds
+                // it many times over: staying bounded proves eviction.
+                capacity_bytes: 2 << 10 << (seed % 3),
+                seed,
+            };
+            let stats = replay_cache_case(seed, &cfg).unwrap_or_else(|v| {
+                panic!(
+                    "fuzz seed {seed:#x} broke cache invariants \
+                     (replay_cache_case({seed:#x}, ..)):\n  {}",
+                    v.join("\n  ")
+                )
+            });
+            assert!(stats.inserts > 0, "seed {seed:#x}: sweep never inserted");
+            hits += stats.hits;
+            purges += stats.purges;
+        }
+        // The sweep must actually exercise both interesting paths.
+        assert!(hits > 0, "no verified hit in 60 sweeps");
+        assert!(purges > 0, "no purge in 60 sweeps");
+    }
+
+    /// Small trained fixture (mirrors the tenants module's economy).
+    fn trained_hosts(n: usize) -> (Arc<GarSystem>, Vec<CacheHost>) {
+        let bench = spider_sim(SpiderSimConfig {
+            train_dbs: 2,
+            val_dbs: n,
+            queries_per_db: 12,
+            seed: 61,
+        });
+        let config = GarConfig {
+            prepare: PrepareConfig {
+                gen_size: 120,
+                ..PrepareConfig::default()
+            },
+            train_gen_size: 80,
+            retrieval: RetrievalConfig {
+                features: FeatureConfig {
+                    dim: 512,
+                    ..FeatureConfig::default()
+                },
+                hidden: 24,
+                embed: 12,
+                epochs: 2,
+                ..RetrievalConfig::default()
+            },
+            rerank: RerankConfig {
+                embed: 12,
+                hidden: 16,
+                epochs: 2,
+                ..RerankConfig::default()
+            },
+            ..GarConfig::default()
+        };
+        let (system, _) = GarSystem::train(&bench.dbs, &bench.train, config);
+        let eval = bench.eval_split();
+        let mut names: Vec<String> = eval.iter().map(|e| e.db.clone()).collect();
+        names.dedup();
+        let hosts = names
+            .into_iter()
+            .take(n)
+            .map(|name| {
+                let db = Arc::new(bench.db(&name).expect("eval db").clone());
+                let gold: Vec<_> = eval
+                    .iter()
+                    .filter(|e| e.db == name)
+                    .map(|e| e.sql.clone())
+                    .collect();
+                let prepared = Arc::new(system.prepare_eval_db(&db, &gold));
+                let nls: Vec<String> = eval
+                    .iter()
+                    .filter(|e| e.db == name)
+                    .take(6)
+                    .map(|e| e.nl.clone())
+                    .collect();
+                assert!(!nls.is_empty(), "no questions for {name}");
+                CacheHost { db, prepared, nls }
+            })
+            .collect();
+        (Arc::new(system), hosts)
+    }
+
+    /// Seeded virtual-clock traces through the real engine: hit or miss,
+    /// every served translation is bit-identical to the uncached
+    /// reference — and the traces repeat questions enough that hits
+    /// actually occur.
+    #[test]
+    fn cached_serving_is_bit_identical_to_uncached_across_traces() {
+        let (system, hosts) = trained_hosts(2);
+        let mut hits = 0usize;
+        for case in 0..6u64 {
+            let seed = derive_seed(0xCAB17, case);
+            let cfg = ServeTraceConfig {
+                requests: 24,
+                max_batch: 1 + (seed % 4) as usize,
+                max_wait_us: 50 + seed % 400,
+                max_gap_us: seed % 250,
+                seed,
+                ..ServeTraceConfig::default()
+            };
+            let stats = check_cache_bit_identity(&system, &hosts, &cfg).unwrap_or_else(|v| {
+                panic!(
+                    "trace seed {seed:#x} broke cached bit-identity:\n  {}",
+                    v.join("\n  ")
+                )
+            });
+            assert_eq!(stats.requests, cfg.requests);
+            assert_eq!(stats.hits + stats.misses, cfg.requests);
+            hits += stats.hits;
+        }
+        assert!(hits > 0, "24-request traces over ≤12 questions never hit");
+    }
+
+    /// Epoch keying end to end: republishing a workspace (even with an
+    /// identical state) bumps the epoch and makes every cached answer
+    /// unreachable; re-translation refills under the new epoch with
+    /// bit-identical results.
+    #[test]
+    fn republish_invalidates_cached_results_by_epoch() {
+        let (system, hosts) = trained_hosts(1);
+        let engine = GarEngine::new(Arc::clone(&system));
+        engine.attach_result_cache(Arc::new(ResultCache::with_defaults()));
+        let host = &hosts[0];
+        let name = engine.add_workspace(Arc::clone(&host.db), Arc::clone(&host.prepared));
+        let nl = host.nls[0].clone();
+
+        let first = engine.run_batch(&name, &[nl.clone()]).expect("translates");
+        match engine.cache_probe(&name, &nl) {
+            CacheProbe::Hit(t) => assert!(bit_diff("hit", &t, &first[0]).is_none()),
+            other => panic!("expected a hit after run_batch, got {other:?}"),
+        }
+        // Same state, new publication: epoch moves, the hit disappears.
+        let again = engine.add_workspace(Arc::clone(&host.db), Arc::clone(&host.prepared));
+        assert_eq!(again, name);
+        match engine.cache_probe(&name, &nl) {
+            CacheProbe::Miss { .. } => {}
+            other => panic!("stale epoch served: {other:?}"),
+        }
+        // Refill under the new epoch; bits are unchanged because the
+        // state is.
+        let second = engine.run_batch(&name, &[nl.clone()]).expect("translates");
+        assert!(bit_diff("regen", &second[0], &first[0]).is_none());
+        match engine.cache_probe(&name, &nl) {
+            CacheProbe::Hit(t) => assert!(bit_diff("rehit", &t, &first[0]).is_none()),
+            other => panic!("expected a hit after refill, got {other:?}"),
+        }
+    }
+
+    /// The replay entry point runs the same sweep for the same seed.
+    #[test]
+    fn replay_reruns_one_seed() {
+        let cfg = CacheFuzzConfig::default();
+        let a = check_cache_invariants(&CacheFuzzConfig { seed: 42, ..cfg.clone() }).unwrap();
+        let b = replay_cache_case(42, &cfg).unwrap();
+        assert_eq!(a.inserts, b.inserts);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.purges, b.purges);
+    }
+}

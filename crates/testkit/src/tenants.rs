@@ -13,11 +13,20 @@
 //! non-atomic epoch/pointer pair, or a reader observing epochs out of
 //! order all surface as violations. Failures replay from one `u64`:
 //! [`replay_swap_case`] re-runs exactly one seeded sweep.
+//!
+//! The sweep also drives a shared [`ResultCache`] attached to the racing
+//! registry: every reader probes the cache under the epoch its snapshot
+//! claims and feeds fresh translations back under that same epoch, so a
+//! stale-epoch serve (a cached answer from generation g surviving a swap
+//! to g+1) would fail the per-epoch oracle comparison exactly like a torn
+//! snapshot. See the layer-10 module ([`crate::rescache`]) for the cache's
+//! own capacity and bit-identity invariants.
 
 use crate::rng::{derive_seed, TestRng};
 use gar_benchmarks::GeneratedDb;
+use gar_core::rescache::{fingerprint, normalize_nl};
 use gar_core::{
-    GarSystem, GateConfig, PreparedPool, TenantRegistry, Translation, WorkspaceState,
+    GarSystem, GateConfig, PreparedPool, ResultCache, TenantRegistry, Translation, WorkspaceState,
 };
 use gar_sql::Query;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,9 +68,13 @@ pub struct SwapStats {
     pub epochs_observed: usize,
     /// The final epoch (must equal `generations`).
     pub final_epoch: u64,
+    /// Result-cache hits verified against the per-epoch oracle (includes
+    /// the deterministic post-race pass, so this is always ≥ the probe
+    /// count on a clean sweep).
+    pub cache_hits: usize,
 }
 
-fn bit_diff(label: &str, got: &Translation, want: &Translation) -> Option<String> {
+pub(crate) fn bit_diff(label: &str, got: &Translation, want: &Translation) -> Option<String> {
     if got.retrieved != want.retrieved {
         return Some(format!("{label}: retrieved set differs"));
     }
@@ -135,17 +148,24 @@ pub fn check_swap_consistency(
         .collect();
 
     let registry = TenantRegistry::new(Arc::clone(system));
+    // The shared result cache races the same swap sequence: readers serve
+    // from it when they can, feed it when they miss, and every publish
+    // purges the workspace (epoch keying alone already guarantees the
+    // purged entries could never be served).
+    let rescache = Arc::new(ResultCache::with_defaults());
+    registry.attach_result_cache(Arc::clone(&rescache));
     let id = db.schema.name.clone();
     let first = registry.publish(&id, (*states[0]).clone());
     assert_eq!(first, 1, "cold registration must open at epoch 1");
 
     let done = AtomicBool::new(false);
-    let results: Vec<(usize, usize, Vec<String>)> = std::thread::scope(|scope| {
+    let results: Vec<(usize, usize, usize, Vec<String>)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.readers);
         for reader in 0..cfg.readers {
             let registry = &registry;
             let expected = &expected;
             let done = &done;
+            let rescache = &rescache;
             let id = id.as_str();
             let mut rng = TestRng::new(derive_seed(cfg.seed, 0x4EAD + reader as u64));
             handles.push(scope.spawn(move || {
@@ -153,6 +173,7 @@ pub fn check_swap_consistency(
                 let mut epochs = std::collections::BTreeSet::new();
                 let mut reads = 0usize;
                 let mut tail = 0usize;
+                let mut cache_hits = 0usize;
                 let mut last_epoch = 0u64;
                 while tail < cfg.tail_reads {
                     let writer_done = done.load(Ordering::Acquire);
@@ -193,8 +214,37 @@ pub fn check_swap_consistency(
                     if let Some(v) = bit_diff(&label, &got, &expected[gen][probe]) {
                         violations.push(v);
                     }
+                    // Cache leg: a hit for the epoch this reader resolved
+                    // must be bit-identical to that epoch's oracle — a
+                    // stale-epoch serve shows up here no matter how the
+                    // writer interleaved. Misses feed the fresh result
+                    // back under the same epoch it was computed against.
+                    let norm = normalize_nl(&probes[probe]);
+                    let cfg_ = &system.config;
+                    let key = fingerprint(
+                        id,
+                        snap.epoch,
+                        &snap.state.gate,
+                        cfg_.quantize,
+                        cfg_.rescore_factor,
+                        cfg_.k,
+                        &norm,
+                    );
+                    match rescache.get(key, id, snap.epoch, &norm) {
+                        Some(cached) => {
+                            cache_hits += 1;
+                            if let Some(v) =
+                                bit_diff(&format!("{label} [cached]"), &cached, &expected[gen][probe])
+                            {
+                                violations.push(v);
+                            }
+                        }
+                        None => {
+                            rescache.insert(key, id, snap.epoch, &norm, Arc::new(got));
+                        }
+                    }
                 }
-                (reads, epochs.len(), violations)
+                (reads, epochs.len(), cache_hits, violations)
             }));
         }
 
@@ -214,23 +264,71 @@ pub fn check_swap_consistency(
     let mut violations = Vec::new();
     let mut reads = 0;
     let mut epochs_observed = 0;
-    for (r, e, v) in results {
+    let mut cache_hits = 0usize;
+    for (r, e, h, v) in results {
         reads += r;
         epochs_observed = epochs_observed.max(e);
+        cache_hits += h;
         violations.extend(v);
     }
-    let final_epoch = registry.resolve(&id).expect("still registered").epoch;
+    let snap = registry.resolve(&id).expect("still registered");
+    let final_epoch = snap.epoch;
     if final_epoch != cfg.generations as u64 {
         violations.push(format!(
             "final epoch {final_epoch} != {} publications",
             cfg.generations
         ));
     }
+    // Deterministic cache pass: with the writer quiescent, every probe is
+    // translated once under the final epoch (if the race didn't already),
+    // then re-probed — the hit must exist and be bit-identical to the
+    // final generation's oracle, regardless of thread interleaving above.
+    let gen = (final_epoch.saturating_sub(1)) as usize;
+    if gen < expected.len() {
+        let cfg_ = &system.config;
+        for (p, nl) in probes.iter().enumerate() {
+            let norm = normalize_nl(nl);
+            let key = fingerprint(
+                &id,
+                final_epoch,
+                &snap.state.gate,
+                cfg_.quantize,
+                cfg_.rescore_factor,
+                cfg_.k,
+                &norm,
+            );
+            if rescache.get(key, &id, final_epoch, &norm).is_none() {
+                let got = system.translate_with_gate(
+                    &snap.state.db,
+                    &snap.state.pool,
+                    nl,
+                    &snap.state.gate,
+                );
+                rescache.insert(key, &id, final_epoch, &norm, Arc::new(got));
+            }
+            match rescache.get(key, &id, final_epoch, &norm) {
+                Some(cached) => {
+                    cache_hits += 1;
+                    if let Some(v) = bit_diff(
+                        &format!("final cache pass probe {p}"),
+                        &cached,
+                        &expected[gen][p],
+                    ) {
+                        violations.push(v);
+                    }
+                }
+                None => violations.push(format!(
+                    "final cache pass probe {p}: inserted entry did not stick"
+                )),
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(SwapStats {
             reads,
             epochs_observed,
             final_epoch,
+            cache_hits,
         })
     } else {
         Err(violations)
@@ -336,6 +434,14 @@ mod tests {
                 });
             assert_eq!(stats.final_epoch, cfg.generations as u64);
             assert!(stats.reads >= cfg.readers * cfg.tail_reads);
+            // The deterministic pass alone guarantees a verified hit per
+            // probe; the racing readers usually add more.
+            assert!(
+                stats.cache_hits >= probes.len(),
+                "expected ≥{} oracle-verified cache hits, saw {}",
+                probes.len(),
+                stats.cache_hits
+            );
         }
     }
 

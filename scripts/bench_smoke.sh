@@ -11,20 +11,28 @@
 # retrieval throughput, per-vector scan traffic, and recall, and
 # `bench_serve` rewrites results/BENCH_serve.json with the serving layer's
 # sustained qps and p50/p95/p99 end-to-end latency under Zipf-skewed
-# multi-database load, and `bench_exec_rank` rewrites
+# multi-database load, and `bench_cache` rewrites results/BENCH_cache.json
+# with the epoch-keyed result cache's qps + p50/p95/p99 for the uncached,
+# cached, and cached+coalesced serving arms across a Zipf-s sweep (hit
+# rate reported per s, bit-identity asserted before any timing), and
+# `bench_exec_rank` rewrites
 # results/BENCH_exec_rank.json with the top-1 execution-accuracy delta and
 # per-query latency cost of the post-rerank candidate gate on
 # spider_sim/qben_sim, and `bench_artifact` rewrites
 # results/BENCH_artifact.json with the v3 artifact cold-start comparison
 # (zero-copy mapped view vs full owned decode of the same file), the
 # mapped-vs-owned translation bit-identity flag, and the atomic workspace
-# swap latency under concurrent translate load.
+# swap latency under concurrent translate load, and BENCH_cache.json
+# (bit-identity flag set, hit rate > 0.5 at s = 1.1, tail ordering per
+# arm; the ≥2× cached-vs-uncached speedup bar additionally applies on
+# multi-core hosts and is waived on one core).
 #
 # After the benches, runs the `gar-exp metrics` workout and asserts the
 # emitted results/METRICS_metrics.json parses and carries all five
 # per-stage latency histograms (encode, retrieve, filter, rerank,
 # instantiate) plus the three training histograms (train.retrieval_us,
-# train.rerank_us, train.grad_reduce_us), then validates
+# train.rerank_us, train.grad_reduce_us) and the two byte-occupancy
+# gauges (prep.cache_bytes, rescache.bytes), then validates
 # BENCH_prepare.json (warm cache hits must be ≥10× faster than cold
 # prepare everywhere; the ≥2× parallel-vs-sequential bar additionally
 # applies on multi-core hosts), BENCH_train.json (scratch-reuse must be
@@ -46,7 +54,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve bench_exec_rank bench_artifact; do
+for bench in bench_retrieval bench_batch bench_prepare bench_train bench_quant bench_serve bench_cache bench_exec_rank bench_artifact; do
   echo "== $bench =="
   cargo bench --release -p gar-experiments --bench "$bench" "$@" -- \
     --measurement-time 1 --warm-up-time 0.5
@@ -71,8 +79,14 @@ for s in stages:
     assert hists[s]["count"] > 0, f"{s} recorded no samples"
     for q in ("p50", "p95", "p99"):
         assert q in hists[s], f"{s} lacks {q}"
+gauges = snap["gauges"]
+for g in ("prep.cache_bytes", "rescache.bytes"):
+    assert g in gauges, f"missing gauge {g}"
+    assert gauges[g] > 0, f"gauge {g} recorded zero bytes"
 print(f"[bench_smoke] {sys.argv[1]} OK: "
-      + ", ".join(f"{s}={hists[s]['count']}" for s in stages))
+      + ", ".join(f"{s}={hists[s]['count']}" for s in stages)
+      + ", " + ", ".join(f"{g}={gauges[g]}B"
+                         for g in ("prep.cache_bytes", "rescache.bytes")))
 PY
 else
   for s in encode retrieve filter rerank instantiate; do
@@ -82,6 +96,10 @@ else
   for s in train.retrieval_us train.rerank_us train.grad_reduce_us; do
     grep -q "\"${s//./\\.}\"" "$METRICS" \
       || { echo "missing $s in $METRICS" >&2; exit 1; }
+  done
+  for g in prep.cache_bytes rescache.bytes; do
+    grep -q "\"${g//./\\.}\"" "$METRICS" \
+      || { echo "missing gauge $g in $METRICS" >&2; exit 1; }
   done
   echo "[bench_smoke] $METRICS OK (grep check; python3 unavailable)"
 fi
@@ -231,6 +249,60 @@ else
       || { echo "missing $k in $SERVE" >&2; exit 1; }
   done
   echo "[bench_smoke] $SERVE OK (grep check; python3 unavailable)"
+fi
+
+CACHE="${GAR_RESULTS_DIR:-results}/BENCH_cache.json"
+[[ -f "$CACHE" ]] || { echo "missing $CACHE" >&2; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CACHE" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for k in ("bench", "cores", "workers", "requests", "workspaces",
+          "distinct_pairs", "max_batch", "max_wait_us", "queue_depth",
+          "bit_identical", "runs"):
+    assert k in r, f"missing {k} in BENCH_cache.json"
+assert r["bit_identical"] is True, (
+    "cached serving diverged bit-wise from uncached serving")
+assert r["requests"] > 0 and len(r["runs"]) > 0
+hot = None
+for run in r["runs"]:
+    for k in ("zipf_s", "hit_rate", "uncached", "cached", "coalesced",
+              "speedup_cached_vs_uncached", "speedup_coalesced_vs_uncached",
+              "coalesced_requests"):
+        assert k in run, f"run s={run.get('zipf_s')} missing {k}"
+    for arm in ("uncached", "cached", "coalesced"):
+        a = run[arm]
+        assert a["qps"] > 0, f"{arm} arm at s={run['zipf_s']} has zero qps"
+        assert 0 < a["p50_us"] <= a["p95_us"] <= a["p99_us"], (
+            f"{arm} latency tail out of order at s={run['zipf_s']}: "
+            f"p50 {a['p50_us']} p95 {a['p95_us']} p99 {a['p99_us']}")
+    assert 0 <= run["hit_rate"] <= 1
+    if abs(run["zipf_s"] - 1.1) < 1e-9:
+        hot = run
+assert hot is not None, "no s=1.1 run in BENCH_cache.json"
+assert hot["hit_rate"] > 0.5, (
+    f"hit rate only {hot['hit_rate']:.3f} at s=1.1 (need > 0.5)")
+if r["cores"] >= 2:
+    assert hot["speedup_cached_vs_uncached"] >= 2, (
+        f"cached arm only {hot['speedup_cached_vs_uncached']:.2f}x over "
+        f"uncached at s=1.1 on a {r['cores']}-core host")
+else:
+    print(f"[bench_smoke] single-core host: cached-arm speedup "
+          f"{hot['speedup_cached_vs_uncached']:.2f}x recorded, 2x bar waived")
+print(f"[bench_smoke] {sys.argv[1]} OK: s=1.1 hit rate "
+      f"{hot['hit_rate']:.3f}, cached {hot['cached']['qps']:.0f} qps vs "
+      f"uncached {hot['uncached']['qps']:.0f} qps "
+      f"({hot['speedup_cached_vs_uncached']:.2f}x), "
+      f"{hot['coalesced_requests']} coalesced fan-outs")
+PY
+else
+  for k in hit_rate speedup_cached_vs_uncached speedup_coalesced_vs_uncached coalesced_requests; do
+    grep -q "\"$k\"" "$CACHE" \
+      || { echo "missing $k in $CACHE" >&2; exit 1; }
+  done
+  grep -q '"bit_identical": true' "$CACHE" \
+    || { echo "bit_identical not true in $CACHE" >&2; exit 1; }
+  echo "[bench_smoke] $CACHE OK (grep check; python3 unavailable)"
 fi
 
 EXECRANK="${GAR_RESULTS_DIR:-results}/BENCH_exec_rank.json"

@@ -11,6 +11,8 @@ pub enum Value {
     Num(f64),
     /// String.
     Str(String),
+    /// Array.
+    Arr(Vec<Value>),
     /// Object with insertion-ordered keys.
     Obj(Vec<(String, Value)>),
 }
@@ -44,6 +46,12 @@ impl From<String> for Value {
     }
 }
 
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Arr(v)
+    }
+}
+
 fn render(v: &Value, indent: usize, out: &mut String) {
     match v {
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -55,6 +63,19 @@ fn render(v: &Value, indent: usize, out: &mut String) {
             }
         }
         Value::Str(s) => out.push_str(&format!("{s:?}")),
+        Value::Arr(items) => {
+            out.push_str("[\n");
+            for (i, v) in items.iter().enumerate() {
+                out.push_str(&" ".repeat(indent + 2));
+                render(v, indent + 2, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
         Value::Obj(pairs) => {
             out.push_str("{\n");
             for (i, (k, v)) in pairs.iter().enumerate() {

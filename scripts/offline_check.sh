@@ -18,8 +18,8 @@
 # the two workspace integration suites (tests/pipeline_integration.rs,
 # tests/substrate_integration.rs), the gar-experiments eval loop
 # (compile only), its bench_batch, bench_prepare, bench_train, bench_quant,
-# bench_serve and bench_exec_rank benches (smoke-run against a criterion
-# shim), and the batched-retrieval throughput measurement.
+# bench_serve, bench_cache and bench_exec_rank benches (smoke-run against
+# a criterion shim), and the batched-retrieval throughput measurement.
 # Not covered: gar-baselines/gar-experiments binaries (need serde_json and
 # criterion) and the proptest suites — run those with plain `cargo test`
 # on a networked machine.
@@ -237,6 +237,16 @@ say "building + smoke-running bench_serve against the criterion shim"
   --extern serde_json=libserde_json.rlib \
   -o bench_serve
 GAR_RESULTS_DIR="$BUILD/results" ./bench_serve
+
+say "building + smoke-running bench_cache against the criterion shim"
+"$RUSTC" "${FLAGS[@]}" --crate-name bench_cache \
+  "$REPO/crates/bench/benches/bench_cache.rs" "${CORE_EXTERNS[@]}" \
+  --extern gar_core=libgar_core.rlib \
+  --extern gar_serve=libgar_serve.rlib \
+  --extern criterion=libcriterion.rlib \
+  --extern serde_json=libserde_json.rlib \
+  -o bench_cache
+GAR_RESULTS_DIR="$BUILD/results" ./bench_cache
 
 say "building + smoke-running bench_exec_rank against the criterion shim"
 "$RUSTC" "${FLAGS[@]}" --crate-name bench_exec_rank \
